@@ -1,0 +1,141 @@
+// E9 -- Ablations of OI-RAID's design choices (DESIGN.md section 3).
+//
+//   (a) skewed layout on/off            -> recovery read balance
+//   (b) distributed vs dedicated spare  -> rebuild write bottleneck
+//   (c) outer-first vs inner-first plan -> where recovery reads land
+//
+// Each knob isolates one ingredient of the recovery speedup; together they
+// explain *why* the two-layer BIBD design rebuilds fast, not just that it
+// does.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "layout/analysis.hpp"
+#include "sim/rebuild.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace oi;
+using namespace oi::bench;
+
+double simulated_rebuild(const layout::Layout& layout, layout::SparePolicy spare) {
+  sim::SimConfig config;
+  config.disk = bench_disk();
+  config.spare = spare;
+  // Effectively unbounded rebuild window: the miniature arrays here stand in
+  // for proportionally provisioned rebuilders; the window-size sensitivity
+  // itself is covered by tests and E9.
+  config.max_inflight_steps = 1'000'000;
+  return sim::simulate(layout, {0}, config).rebuild_seconds;
+}
+
+double imbalance_of(const layout::Layout& layout,
+                    const std::vector<layout::RecoveryStep>& plan) {
+  const auto reads = layout::per_disk_read_load(layout, {0}, plan);
+  std::vector<double> active;
+  for (std::size_t d = 1; d < reads.size(); ++d) {
+    if (reads[d] > 0) active.push_back(reads[d]);
+  }
+  return max_over_mean(active);
+}
+
+}  // namespace
+
+int main() {
+  const Geometry fano = geometry_sweep(false)[0];
+  const Geometry pg3 = geometry_sweep(false)[4];  // 52 disks
+
+
+  print_experiment_header("E9a", "ablation: skewed layout");
+  {
+    Table table({"geometry", "variant", "read max/mean", "rebuild"});
+    for (const Geometry& g : {fano, pg3}) {
+      for (bool skew : {true, false}) {
+        const auto layout = make_oi(g, region_height_for(g, 30), skew);
+        const auto plan = layout.recovery_plan({0});
+        table.row().cell(g.label).cell(skew ? "skew (paper)" : "no skew")
+            .cell(imbalance_of(layout, *plan), 3)
+            .cell(format_seconds(
+                simulated_rebuild(layout, layout::SparePolicy::kDistributedSpare)));
+      }
+    }
+    table.print(std::cout);
+  }
+
+  print_experiment_header("E9b", "ablation: spare placement");
+  {
+    Table table({"geometry", "spare", "rebuild", "slowdown"});
+    for (const Geometry& g : {fano, pg3}) {
+      const auto layout = make_oi(g, region_height_for(g, 30));
+      const double dist =
+          simulated_rebuild(layout, layout::SparePolicy::kDistributedSpare);
+      const double dedi =
+          simulated_rebuild(layout, layout::SparePolicy::kDedicatedSpare);
+      table.row().cell(g.label).cell("distributed (paper)")
+          .cell(format_seconds(dist)).cell(1.0, 2);
+      table.row().cell(g.label).cell("dedicated hot spare")
+          .cell(format_seconds(dedi)).cell(dedi / dist, 2);
+    }
+    table.print(std::cout);
+  }
+
+  print_experiment_header("E9c", "ablation: outer-first vs inner-first recovery plan");
+  {
+    Table table({"geometry", "planner", "total reads", "read max/mean",
+                 "reads on failed group"});
+    for (const Geometry& g : {fano, pg3}) {
+      const auto layout = make_oi(g, region_height_for(g, 30));
+      for (bool outer_first : {true, false}) {
+        const auto plan = layout::plan_by_peeling(layout, {0}, outer_first);
+        const auto reads = layout::per_disk_read_load(layout, {0}, *plan);
+        double total = 0.0;
+        double on_group = 0.0;
+        for (std::size_t d = 0; d < reads.size(); ++d) {
+          total += reads[d];
+          if (d / g.m == 0 && d != 0) on_group += reads[d];
+        }
+        table.row().cell(g.label)
+            .cell(outer_first ? "outer-first (paper)" : "inner-first")
+            .cell(total, 0).cell(imbalance_of(layout, *plan), 3).cell(on_group, 0);
+      }
+    }
+    table.print(std::cout);
+  }
+
+  print_experiment_header("E9d", "extension: one fail-slow survivor during rebuild");
+  {
+    Table table({"geometry", "scheme", "slow factor", "rebuild", "vs healthy"});
+    for (const Geometry& g : {fano}) {
+      const auto oi_layout = make_oi(g, region_height_for(g, 30));
+      const auto raid50 = make_raid50(g, oi_layout.strips_per_disk());
+      for (const layout::Layout* layout :
+           std::initializer_list<const layout::Layout*>{&raid50, &oi_layout}) {
+        double base = 0.0;
+        for (double factor : {1.0, 3.0, 10.0}) {
+          sim::SimConfig config;
+          config.disk = bench_disk();
+          config.max_inflight_steps = 1'000'000;
+          // Slow down a *survivor* that serves rebuild reads (disk 1's group
+          // peer for raid50; an arbitrary other-group disk for oi-raid).
+          config.slow_disks = {{4, factor}};
+          const auto result = sim::simulate(*layout, {3}, config);
+          if (factor == 1.0) base = result.rebuild_seconds;
+          table.row().cell(g.label).cell(layout->name()).cell(factor, 0)
+              .cell(format_seconds(result.rebuild_seconds))
+              .cell(result.rebuild_seconds / base, 2);
+        }
+      }
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nExpected shape: (a) skew keeps max/mean near 1, unskewed inflates\n"
+               "it; (b) a dedicated spare serializes all writes on one disk and\n"
+               "erases most of the speedup; (c) inner-first planning dumps the\n"
+               "whole read load on the failed disk's m-1 group peers (the RAID5+0\n"
+               "failure mode) while outer-first spreads it across other groups.\n";
+  return 0;
+}

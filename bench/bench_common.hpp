@@ -1,0 +1,93 @@
+// Shared configuration for the experiment binaries: the OI-RAID geometry
+// sweep used across E1-E9 and helpers to build the matching baselines at the
+// same disk count. Keeping it here guarantees every experiment compares the
+// same systems.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bibd/constructions.hpp"
+#include "bibd/registry.hpp"
+#include "layout/oi_raid.hpp"
+#include "layout/parity_declustering.hpp"
+#include "layout/raid5.hpp"
+#include "layout/raid50.hpp"
+#include "sim/disk.hpp"
+
+namespace oi::bench {
+
+struct Geometry {
+  std::string label;
+  bibd::Design design;
+  std::size_t m;  ///< disks per group
+
+  std::size_t disks() const { return design.v * m; }
+};
+
+/// The sweep used by the figures: 21 to 186 disks. The Fano/m=3 point is the
+/// paper-scale running example.
+inline std::vector<Geometry> geometry_sweep(bool include_large = true) {
+  std::vector<Geometry> sweep;
+  sweep.push_back({"fano_m3", bibd::fano(), 3});                     // 21 disks
+  sweep.push_back({"ag3_m3", bibd::affine_plane(3), 3});             // 27
+  if (auto d = bibd::cyclic_difference_family(13, 3)) {
+    sweep.push_back({"df13_m3", *d, 3});                             // 39
+  }
+  sweep.push_back({"sts15_m3", bibd::bose_steiner_triple(15), 3});   // 45
+  sweep.push_back({"pg3_m4", bibd::projective_plane(3), 4});         // 52
+  if (include_large) {
+    sweep.push_back({"ag5_m5", bibd::affine_plane(5), 5});           // 125
+    sweep.push_back({"pg5_m6", bibd::projective_plane(5), 6});       // 186
+  }
+  return sweep;
+}
+
+inline layout::OiRaidLayout make_oi(const Geometry& g, std::size_t region_height,
+                                    bool skew = true) {
+  return layout::OiRaidLayout({g.design, g.m, region_height, skew});
+}
+
+/// Smallest multiple of m*(m-1)^2 at or above `target`: the region height at
+/// which the skewed layout's slot-shift cascade closes exactly for every
+/// block position (see OiRaidLayout::slot_shift).
+inline std::size_t region_height_for(const Geometry& g, std::size_t target) {
+  const std::size_t period = g.m * (g.m - 1) * (g.m - 1);
+  return ((target + period - 1) / period) * period;
+}
+
+inline layout::Raid5Layout make_raid5(const Geometry& g, std::size_t strips) {
+  return layout::Raid5Layout(g.disks(), strips);
+}
+
+inline layout::Raid50Layout make_raid50(const Geometry& g, std::size_t strips) {
+  return layout::Raid50Layout(g.design.v, g.m, strips);
+}
+
+/// Parity declustering over the same disk count with stripe width m, when a
+/// (n, m, 1) design is constructible.
+inline std::optional<layout::ParityDeclusteredLayout> make_pd(const Geometry& g,
+                                                              std::size_t strips) {
+  const auto design = bibd::find_design(g.disks(), g.m);
+  if (!design) return std::nullopt;
+  const std::size_t r = design->r();
+  const std::size_t passes = std::max<std::size_t>(1, strips / r);
+  return layout::ParityDeclusteredLayout(*design, passes);
+}
+
+/// Disk model used by all timing experiments: 4 MiB rebuild units so the
+/// comparison is bandwidth-bound (see DESIGN.md, substitutions).
+inline sim::DiskParams bench_disk() {
+  sim::DiskParams params;
+  params.strip_bytes = 4 * static_cast<std::size_t>(kMiB);
+  return params;
+}
+
+inline void print_experiment_header(const std::string& id, const std::string& title) {
+  std::cout << "\n==== " << id << ": " << title << " ====\n";
+}
+
+}  // namespace oi::bench

@@ -1,0 +1,104 @@
+// E8 -- User performance during rebuild (reconstructed figure).
+//
+// Foreground latency (mean / p95 / p99) under three states -- healthy,
+// degraded+rebuilding -- for OI-RAID and the baselines, with uniform and
+// Zipf access patterns. The rebuild runs at background priority; shorter
+// rebuilds mean both a shorter degraded window *and* less interference.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/rebuild.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace oi;
+using namespace oi::bench;
+
+struct LatencySummary {
+  double mean = 0.0, p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  std::size_t ops = 0;
+  double rebuild_seconds = 0.0;
+};
+
+LatencySummary run(const layout::Layout& layout, const std::vector<std::size_t>& failed,
+                   std::shared_ptr<const workload::Trace> trace, double rate) {
+  sim::SimConfig config;
+  config.disk = bench_disk();
+  config.max_inflight_steps = 1'000'000;  // unbounded; see E9 for window effects
+  config.foreground = sim::ForegroundConfig{{}, rate};
+  config.foreground->trace = std::move(trace);  // identical stream per scheme
+  config.healthy_horizon_seconds = 30.0;
+  config.seed = 7;
+  const auto result = sim::simulate(layout, failed, config);
+
+  LatencySummary s;
+  RunningStats stats;
+  for (double x : result.foreground_latencies) stats.add(x);
+  s.mean = stats.mean();
+  s.p50 = percentile(result.foreground_latencies, 0.50);
+  s.p95 = percentile(result.foreground_latencies, 0.95);
+  s.p99 = percentile(result.foreground_latencies, 0.99);
+  s.ops = result.foreground_completed;
+  s.rebuild_seconds = result.rebuild_seconds;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  print_experiment_header("E8", "foreground latency healthy vs during rebuild");
+  Table table({"workload", "scheme", "state", "ops", "mean", "p95", "p99",
+               "rebuild window"});
+
+  const Geometry fano = geometry_sweep(false)[0];
+  const std::size_t h = region_height_for(fano, 60);
+  const auto oi_layout = make_oi(fano, h);
+  const std::size_t strips = oi_layout.strips_per_disk();
+  const auto raid5 = make_raid5(fano, strips);
+  const auto raid50 = make_raid50(fano, strips);
+  const auto pd = make_pd(fano, strips);
+  const double rate = 120.0;  // req/s across 21 disks, moderate load
+
+  // Record each workload as a trace over the smallest logical capacity so
+  // every scheme replays the byte-identical request stream.
+  std::vector<const layout::Layout*> schemes{&raid5, &raid50};
+  if (pd) schemes.push_back(&*pd);
+  schemes.push_back(&oi_layout);
+  std::size_t min_capacity = schemes.front()->data_strips();
+  for (const layout::Layout* layout : schemes) {
+    min_capacity = std::min(min_capacity, layout->data_strips());
+  }
+
+  for (const auto& [wl_name, kind] :
+       std::vector<std::pair<std::string, workload::WorkloadSpec::Kind>>{
+           {"uniform 70/30", workload::WorkloadSpec::Kind::kUniform},
+           {"zipf(0.9) 70/30", workload::WorkloadSpec::Kind::kZipf}}) {
+    workload::WorkloadSpec spec;
+    spec.kind = kind;
+    Rng trace_rng(2016);
+    const auto generator = workload::make_generator(spec, min_capacity);
+    auto trace = std::make_shared<workload::Trace>(
+        workload::record(*generator, trace_rng, min_capacity, 20'000));
+
+    for (const layout::Layout* layout : schemes) {
+      const auto healthy = run(*layout, {}, trace, rate);
+      table.row().cell(wl_name).cell(layout->name()).cell("healthy").cell(healthy.ops)
+          .cell(format_seconds(healthy.mean)).cell(format_seconds(healthy.p95))
+          .cell(format_seconds(healthy.p99)).cell("-");
+      const auto degraded = run(*layout, {1}, trace, rate);
+      table.row().cell(wl_name).cell(layout->name()).cell("rebuilding")
+          .cell(degraded.ops).cell(format_seconds(degraded.mean))
+          .cell(format_seconds(degraded.p95)).cell(format_seconds(degraded.p99))
+          .cell(format_seconds(degraded.rebuild_seconds));
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: healthy latencies are comparable across schemes;\n"
+               "during rebuild OI-RAID's degraded window is several times shorter,\n"
+               "its degraded reads fan out over other groups (k-1 small reads), and\n"
+               "tail latency inflation stays below the RAID5 baseline's.\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+// E1 -- Fault-tolerance table (reconstructed; see DESIGN.md).
+//
+// Regenerates: "OI-RAID tolerates at least three disk failures" and the
+// survival fractions beyond the guarantee, against the baselines' guarantees
+// (RAID5/PD: 1, RAID5+0: 1 with benign cross-group pairs). Peel = what a
+// controller recovers online; exact = information-theoretic (GF(2) rank).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "layout/raid51.hpp"
+#include "core/fault_analysis.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace oi;
+using namespace oi::bench;
+
+void tolerance_table() {
+  print_experiment_header("E1a", "guaranteed failure tolerance (exhaustive enumeration)");
+  Table table({"scheme", "disks", "guaranteed tolerance", "checked up to"});
+
+  const Geometry fano = geometry_sweep(false)[0];
+  const std::size_t strips = 6;
+
+  {
+    const auto oi_layout = make_oi(fano, 2);
+    table.row().cell(oi_layout.name()).cell(oi_layout.disks())
+        .cell(core::guaranteed_tolerance(oi_layout, 4)).cell(std::size_t{4});
+  }
+  {
+    const auto r5 = make_raid5(fano, strips);
+    table.row().cell(r5.name()).cell(r5.disks())
+        .cell(core::guaranteed_tolerance(r5, 2)).cell(std::size_t{2});
+  }
+  {
+    const auto r50 = make_raid50(fano, strips);
+    table.row().cell(r50.name()).cell(r50.disks())
+        .cell(core::guaranteed_tolerance(r50, 2)).cell(std::size_t{2});
+  }
+  if (auto pd = make_pd(fano, strips)) {
+    table.row().cell(pd->name()).cell(pd->disks())
+        .cell(core::guaranteed_tolerance(*pd, 2)).cell(std::size_t{2});
+  }
+  {
+    // RAID5+1 reaches 3-failure tolerance too -- at 2x storage.
+    const layout::Raid51Layout r51(5, strips);
+    table.row().cell(r51.name()).cell(r51.disks())
+        .cell(core::guaranteed_tolerance(r51, 4)).cell(std::size_t{4});
+  }
+  table.print(std::cout);
+}
+
+void survival_table() {
+  print_experiment_header(
+      "E1b", "fraction of f-failure patterns recoverable (peel / exact)");
+  Table table({"scheme", "disks", "f", "patterns", "mode", "peel frac", "exact frac"});
+  Rng rng(2024);
+
+  const Geometry fano = geometry_sweep(false)[0];
+  const std::size_t strips = 6;
+  const std::size_t budget = 2000;
+
+  auto sweep_scheme = [&](const layout::Layout& layout, std::size_t f_max,
+                          bool run_exact) {
+    for (std::size_t f = 1; f <= f_max; ++f) {
+      const auto s = core::sweep_failure_patterns(layout, f, budget, rng, run_exact);
+      table.row().cell(layout.name()).cell(layout.disks()).cell(f)
+          .cell(s.patterns_tested).cell(s.exhaustive ? "exhaustive" : "sampled")
+          .cell(s.peel_fraction(), 4);
+      if (run_exact) {
+        table.cell(s.exact_fraction(), 4);
+      } else {
+        table.cell("-");
+      }
+    }
+  };
+
+  const auto oi_layout = make_oi(fano, 2);
+  sweep_scheme(oi_layout, 6, true);
+  sweep_scheme(make_raid5(fano, strips), 3, false);
+  sweep_scheme(layout::Raid51Layout(5, strips), 5, false);
+  sweep_scheme(make_raid50(fano, strips), 3, false);
+  if (auto pd = make_pd(fano, strips)) sweep_scheme(*pd, 3, false);
+
+  table.print(std::cout);
+}
+
+void larger_geometry_spotchecks() {
+  print_experiment_header("E1c", "3-failure spot checks on larger geometries (sampled)");
+  Table table({"geometry", "disks", "3-failure patterns", "peel frac"});
+  Rng rng(7);
+  for (const Geometry& g : geometry_sweep(true)) {
+    const auto layout = make_oi(g, 2);
+    const auto s = core::sweep_failure_patterns(layout, 3, 400, rng,
+                                                /*run_exact=*/false);
+    table.row().cell(g.label).cell(layout.disks()).cell(s.patterns_tested)
+        .cell(s.peel_fraction(), 4);
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  tolerance_table();
+  survival_table();
+  larger_geometry_spotchecks();
+  std::cout << "\nExpected shape: OI-RAID guarantees 3 (every 1/2/3-failure pattern\n"
+               "recoverable, all geometries); baselines guarantee 1; a majority of\n"
+               "4- and 5-failure patterns still survive on OI-RAID.\n";
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Micro-benchmarks (google-benchmark): codec throughput and layout/planner
+// costs. These back the implicit systems claims -- that parity math and
+// recovery planning are not bottlenecks next to disk I/O.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bibd/constructions.hpp"
+#include "codes/rdp.hpp"
+#include "codes/reed_solomon.hpp"
+#include "codes/xor_code.hpp"
+#include "layout/oi_raid.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace oi;
+
+std::vector<codes::Strip> random_strips(std::size_t count, std::size_t size,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<codes::Strip> strips(count);
+  for (auto& s : strips) {
+    s.resize(size);
+    for (auto& b : s) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  }
+  return strips;
+}
+
+void BM_XorEncode(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const std::size_t size = 64 * 1024;
+  codes::XorCode code(k);
+  const auto data = random_strips(k, size, 1);
+  std::vector<codes::Strip> parity(1);
+  for (auto _ : state) {
+    code.encode(data, parity);
+    benchmark::DoNotOptimize(parity[0].data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * size));
+}
+BENCHMARK(BM_XorEncode)->Arg(3)->Arg(6)->Arg(12);
+
+void BM_RsEncode(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const std::size_t size = 64 * 1024;
+  codes::ReedSolomon code(k, 3);
+  const auto data = random_strips(k, size, 2);
+  std::vector<codes::Strip> parity(3);
+  for (auto _ : state) {
+    code.encode(data, parity);
+    benchmark::DoNotOptimize(parity[0].data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * size));
+}
+BENCHMARK(BM_RsEncode)->Arg(6)->Arg(12);
+
+void BM_RsDecodeThreeErasures(benchmark::State& state) {
+  const std::size_t k = 6;
+  const std::size_t size = 64 * 1024;
+  codes::ReedSolomon code(k, 3);
+  auto data = random_strips(k, size, 3);
+  std::vector<codes::Strip> parity(3);
+  code.encode(data, parity);
+  std::vector<codes::Strip> strips;
+  for (const auto& s : data) strips.push_back(s);
+  for (const auto& s : parity) strips.push_back(s);
+  std::vector<bool> present(k + 3, true);
+  present[0] = present[2] = present[7] = false;
+  for (auto _ : state) {
+    auto work = strips;
+    work[0].clear();
+    work[2].clear();
+    work[7].clear();
+    benchmark::DoNotOptimize(code.decode(work, present));
+  }
+}
+BENCHMARK(BM_RsDecodeThreeErasures);
+
+void BM_RdpEncode(benchmark::State& state) {
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const std::size_t size = 8 * (p - 1) * 1024;
+  codes::RdpCode code(p);
+  const auto data = random_strips(p - 1, size, 4);
+  std::vector<codes::Strip> parity(2);
+  for (auto _ : state) {
+    code.encode(data, parity);
+    benchmark::DoNotOptimize(parity[0].data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>((p - 1) * size));
+}
+BENCHMARK(BM_RdpEncode)->Arg(5)->Arg(11);
+
+void BM_OiRaidLocate(benchmark::State& state) {
+  layout::OiRaidLayout layout({bibd::projective_plane(5), 6, 30});
+  std::size_t logical = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout.locate(logical));
+    logical = (logical + 97) % layout.data_strips();
+  }
+}
+BENCHMARK(BM_OiRaidLocate);
+
+void BM_OiRaidInspect(benchmark::State& state) {
+  layout::OiRaidLayout layout({bibd::projective_plane(5), 6, 30});
+  std::size_t disk = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout.inspect({disk, disk % layout.strips_per_disk()}));
+    disk = (disk + 1) % layout.disks();
+  }
+}
+BENCHMARK(BM_OiRaidInspect);
+
+void BM_RecoveryPlanSingleFailure(benchmark::State& state) {
+  layout::OiRaidLayout layout({bibd::fano(), 3, static_cast<std::size_t>(state.range(0))});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout.recovery_plan({0}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(layout.strips_per_disk()));
+}
+BENCHMARK(BM_RecoveryPlanSingleFailure)->Arg(6)->Arg(30);
+
+void BM_RecoveryPlanTripleFailure(benchmark::State& state) {
+  layout::OiRaidLayout layout({bibd::fano(), 3, 6});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout.recovery_plan({0, 1, 3}));
+  }
+}
+BENCHMARK(BM_RecoveryPlanTripleFailure);
+
+void BM_BibdProjectivePlane(benchmark::State& state) {
+  const auto q = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bibd::projective_plane(q));
+  }
+}
+BENCHMARK(BM_BibdProjectivePlane)->Arg(3)->Arg(7)->Arg(11);
+
+void BM_BibdDifferenceFamilySearch(benchmark::State& state) {
+  const auto v = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bibd::cyclic_difference_family(v, 3));
+  }
+}
+BENCHMARK(BM_BibdDifferenceFamilySearch)->Arg(19)->Arg(37);
+
+void BM_BibdSkolemTriple(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bibd::skolem_steiner_triple(43));
+  }
+}
+BENCHMARK(BM_BibdSkolemTriple);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// E4 -- Rebuild time under 1..3 concurrent failures (reconstructed figure).
+//
+// OI-RAID keeps rebuilding (staged repair) for every pattern up to three
+// failures -- same group, whole group, spread, 2+1 -- while the baselines
+// already lose data at two failures for most patterns. Times are simulated
+// on the shared disk model.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/rebuild.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace oi;
+using namespace oi::bench;
+
+void report(Table& table, const std::string& geometry, const layout::Layout& layout,
+            const std::string& pattern_name, const std::vector<std::size_t>& failed) {
+  if (!layout.recovery_plan(failed).has_value()) {
+    table.row().cell(geometry).cell(layout.name()).cell(pattern_name)
+        .cell(failed.size()).cell("DATA LOSS").cell("-");
+    return;
+  }
+  sim::SimConfig config;
+  config.disk = bench_disk();
+  // Effectively unbounded rebuild window: the miniature arrays here stand in
+  // for proportionally provisioned rebuilders; the window-size sensitivity
+  // itself is covered by tests and E9.
+  config.max_inflight_steps = 1'000'000;
+  const auto result = sim::simulate(layout, failed, config);
+  table.row().cell(geometry).cell(layout.name()).cell(pattern_name)
+      .cell(failed.size()).cell(format_seconds(result.rebuild_seconds))
+      .cell(static_cast<std::size_t>(result.rebuild_disk_reads));
+}
+
+}  // namespace
+
+int main() {
+  print_experiment_header("E4", "rebuild time vs number of concurrent failures");
+  Table table({"geometry", "scheme", "pattern", "failures", "rebuild", "disk reads"});
+
+  for (const Geometry& g : geometry_sweep(false)) {
+    const std::size_t h = region_height_for(g, 12);
+    const auto oi_layout = make_oi(g, h);
+    const std::size_t strips = oi_layout.strips_per_disk();
+    const std::size_t m = g.m;
+
+    // Representative patterns. Disk ids are group-major.
+    const std::vector<std::pair<std::string, std::vector<std::size_t>>> patterns = {
+        {"single", {0}},
+        {"pair same group", {0, 1}},
+        {"pair cross group", {0, m}},
+        {"whole group", [&] {
+           std::vector<std::size_t> whole;
+           for (std::size_t j = 0; j < m; ++j) whole.push_back(j);
+           return whole;
+         }()},
+        {"triple spread", {0, m, 2 * m}},
+        {"triple 2+1", {0, 1, m}},
+    };
+
+    const auto raid50 = make_raid50(g, strips);
+    const auto pd = make_pd(g, strips);
+    for (const auto& [name, failed] : patterns) {
+      report(table, g.label, oi_layout, name, failed);
+      report(table, g.label, raid50, name, failed);
+      if (pd) report(table, g.label, *pd, name, failed);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: OI-RAID completes every pattern (time grows roughly\n"
+               "linearly with lost strips); RAID5+0 and PD report DATA LOSS for\n"
+               "same-group pairs / any pair respectively.\n";
+  return 0;
+}

@@ -1,0 +1,207 @@
+// E7 -- Reliability (reconstructed figure + table).
+//
+// Couples the recovery results into MTTDL: rebuild windows come from the E2
+// simulation (scaled to 8 TB disks), the fatal-4th-failure fraction for
+// OI-RAID comes from the E1 structural sweep, and both a Markov model and a
+// structural Monte-Carlo estimate are reported. The claim: OI-RAID's
+// combination of 3-fault tolerance and a much shorter rebuild window puts
+// its MTTDL orders of magnitude above RAID6, which is above RAID5(+0)/PD.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/fault_analysis.hpp"
+#include "reliability/models.hpp"
+#include "reliability/monte_carlo.hpp"
+#include "sim/rebuild.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace oi;
+using namespace oi::bench;
+using reliability::DiskReliabilityParams;
+
+/// Rebuild hours for an 8 TB disk, scaled from the simulated miniature
+/// rebuild: the simulation uses S strips of 4 MiB; a real disk holds
+/// 8 TB / 4 MiB strips; time scales linearly in strips at fixed parallelism.
+double scaled_rebuild_hours(const layout::Layout& layout) {
+  sim::SimConfig config;
+  config.disk = bench_disk();
+  // Effectively unbounded rebuild window: the miniature arrays here stand in
+  // for proportionally provisioned rebuilders; the window-size sensitivity
+  // itself is covered by tests and E9.
+  config.max_inflight_steps = 1'000'000;
+  const auto result = sim::simulate(layout, {0}, config);
+  const double sim_strips = static_cast<double>(layout.strips_per_disk());
+  const double real_strips =
+      8.0 * 1e12 / static_cast<double>(config.disk.strip_bytes);
+  return result.rebuild_seconds * (real_strips / sim_strips) / 3600.0;
+}
+
+}  // namespace
+
+int main() {
+  print_experiment_header("E7a", "MTTDL (Markov), rebuild window from simulation");
+  Table table({"scheme", "disks", "rebuild window", "MTTDL", "vs raid5"});
+
+  const Geometry fano = geometry_sweep(false)[0];
+  const std::size_t h = region_height_for(fano, 30);
+  const auto oi_layout = make_oi(fano, h);
+  const std::size_t strips = oi_layout.strips_per_disk();
+  const std::size_t n = oi_layout.disks();
+
+  const double raid5_hours = scaled_rebuild_hours(make_raid5(fano, strips));
+  const double raid50_hours = scaled_rebuild_hours(make_raid50(fano, strips));
+  const auto pd = make_pd(fano, strips);
+  const double pd_hours = pd ? scaled_rebuild_hours(*pd) : 0.0;
+  const double oi_hours = scaled_rebuild_hours(oi_layout);
+
+  // Fatal fraction of a 4th concurrent failure, from the structural sweep on
+  // the compact geometry.
+  Rng rng(5);
+  const auto compact = make_oi(fano, 2);
+  const auto sweep4 = core::sweep_failure_patterns(compact, 4, 100000, rng, false);
+  const double fatal4 = 1.0 - sweep4.peel_fraction();
+
+  auto emit = [&](const std::string& name, double mttdl, double window) {
+    static double raid5_mttdl = 0.0;
+    if (raid5_mttdl == 0.0) raid5_mttdl = mttdl;
+    table.row().cell(name).cell(n).cell(format_seconds(window * 3600.0))
+        .cell(format_seconds(mttdl * 3600.0)).cell(mttdl / raid5_mttdl, 1);
+  };
+
+  DiskReliabilityParams base;  // 1.2M hours MTTF
+  {
+    DiskReliabilityParams p = base;
+    p.rebuild_hours = raid5_hours;
+    emit("raid5", reliability::mttdl_raid5(n, p), raid5_hours);
+  }
+  {
+    DiskReliabilityParams p = base;
+    p.rebuild_hours = raid50_hours;
+    emit("raid5+0", reliability::mttdl_raid50(fano.design.v, fano.m, p), raid50_hours);
+  }
+  if (pd) {
+    DiskReliabilityParams p = base;
+    p.rebuild_hours = pd_hours;
+    emit("pd", reliability::mttdl_parity_declustering(n, p), pd_hours);
+  }
+  {
+    DiskReliabilityParams p = base;
+    p.rebuild_hours = raid5_hours;  // RAID6 rebuild window ~ RAID5's
+    emit("raid6", reliability::mttdl_raid6(n, p), raid5_hours);
+  }
+  {
+    DiskReliabilityParams p = base;
+    p.rebuild_hours = oi_hours;
+    emit("oi-raid", reliability::mttdl_oi_raid(n, p, fatal4), oi_hours);
+  }
+  table.print(std::cout);
+  std::cout << "fatal fraction of a 4th concurrent failure (E1 sweep): " << fatal4
+            << "\n";
+
+  print_experiment_header("E7b", "P(data loss) vs mission time (Markov, series)");
+  for (double years : {1.0, 2.0, 5.0, 10.0, 20.0}) {
+    const double hours = years * 24 * 365.25;
+    DiskReliabilityParams p5 = base;
+    p5.rebuild_hours = raid5_hours;
+    DiskReliabilityParams poi = base;
+    poi.rebuild_hours = oi_hours;
+    print_series_point(std::cout, "raid5",
+                       years, reliability::loss_probability_t_tolerant(n, 1, p5, hours));
+    print_series_point(std::cout, "raid6",
+                       years, reliability::loss_probability_t_tolerant(n, 2, p5, hours));
+    print_series_point(
+        std::cout, "oi-raid", years,
+        reliability::loss_probability_t_tolerant(n, 3, poi, hours, fatal4));
+  }
+
+  print_experiment_header(
+      "E7c", "structural Monte-Carlo cross-check (stressed parameters)");
+  // Stressed so that losses are observable in reasonable trial counts; the
+  // *ordering* is the result.
+  reliability::MonteCarloConfig mc;
+  mc.mttf_hours = 10'000;
+  mc.rebuild_hours = 200;
+  mc.mission_hours = 20'000;
+  mc.trials = 1500;
+  mc.seed = 31;
+  Table mc_table({"scheme", "disks", "losses/trials", "P(loss)", "ci95"});
+  auto run_mc = [&](const layout::Layout& layout) {
+    const auto r = reliability::monte_carlo_reliability(layout, mc);
+    mc_table.row().cell(layout.name()).cell(layout.disks())
+        .cell(std::to_string(r.losses) + "/" + std::to_string(r.trials))
+        .cell(r.loss_probability, 4).cell(r.ci95, 4);
+  };
+  run_mc(make_raid5(fano, 2));
+  run_mc(make_raid50(fano, 2));
+  if (auto pd_small = make_pd(fano, 2)) run_mc(*pd_small);
+  run_mc(compact);
+  mc_table.print(std::cout);
+
+  print_experiment_header(
+      "E7d", "MTTDL with latent sector errors (extension; 8 TB disks, 1e-15/bit URE)");
+  {
+    // Rebuild read volume per failed-disk rebuild, from the recovery plans,
+    // scaled to 8 TB disks. This is the second reliability dividend of fast
+    // recovery: fewer bytes read => fewer unrecoverable read errors at the
+    // moment the array has no redundancy left.
+    Table lse_table({"scheme", "tolerance", "read volume/rebuild", "P(LSE in rebuild)",
+                     "MTTDL", "vs no-LSE"});
+    auto lse_row = [&](const std::string& name, const layout::Layout& layout,
+                       std::size_t tolerance, double rebuild_hours) {
+      const auto plan = layout.recovery_plan({0});
+      const auto load = layout::compute_rebuild_load(
+          layout, {0}, *plan, layout::SparePolicy::kDistributedSpare);
+      double total_reads = 0.0;
+      for (double r : load.reads) total_reads += r;
+      const double capacities = total_reads / static_cast<double>(layout.strips_per_disk());
+      const double bytes = capacities * 8e12;
+      const double p_lse = reliability::lse_probability(bytes);
+      DiskReliabilityParams p = base;
+      p.rebuild_hours = rebuild_hours;
+      const double with = reliability::mttdl_t_tolerant_lse(layout.disks(), tolerance, p,
+                                                            p_lse);
+      const double without =
+          reliability::mttdl_t_tolerant(layout.disks(), tolerance, p);
+      lse_table.row().cell(name).cell(tolerance).cell(format_bytes(bytes))
+          .cell(p_lse, 5).cell(format_seconds(with * 3600.0)).cell(with / without, 4);
+    };
+    lse_row("raid5", make_raid5(fano, strips), 1, raid5_hours);
+    if (pd) lse_row("pd", *pd, 1, pd_hours);
+    lse_row("oi-raid", oi_layout, 3, oi_hours);
+    lse_table.print(std::cout);
+  }
+
+  print_experiment_header(
+      "E7e", "correlated rack failures (extension; one OI-RAID group per rack)");
+  {
+    reliability::MonteCarloConfig rack;
+    rack.mttf_hours = 1.2e6;
+    rack.rebuild_hours = 24;
+    rack.mission_hours = 10 * 24 * 365.25;
+    rack.trials = 1200;
+    rack.seed = 37;
+    rack.disks_per_domain = 3;
+    rack.domain_mttf_hours = 200'000;  // one rack outage every ~23 years
+    Table rack_table({"scheme", "losses/trials", "P(loss in 10y)", "ci95"});
+    auto rack_row = [&](const layout::Layout& layout) {
+      const auto r = reliability::monte_carlo_reliability(layout, rack);
+      rack_table.row().cell(layout.name())
+          .cell(std::to_string(r.losses) + "/" + std::to_string(r.trials))
+          .cell(r.loss_probability, 4).cell(r.ci95, 4);
+    };
+    rack_row(compact);
+    rack_row(make_raid50(fano, 2));
+    if (auto pd_small = make_pd(fano, 2)) rack_row(*pd_small);
+    rack_table.print(std::cout);
+  }
+
+  std::cout << "\nExpected shape: MTTDL ordering oi-raid >> raid6 >> pd ~ raid5 >\n"
+               "raid5+0 per disk-count; Monte-Carlo (structural, layout-aware)\n"
+               "agrees under stressed parameters; with LSEs the single-parity\n"
+               "schemes collapse while OI-RAID barely moves; with one group per\n"
+               "rack, whole-rack outages are survivable only for OI-RAID.\n";
+  return 0;
+}

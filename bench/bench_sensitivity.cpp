@@ -1,0 +1,94 @@
+// E10 -- Sensitivity analysis (extension; not in the paper's abstract).
+//
+// Two questions a deployer asks before adopting OI-RAID:
+//  (a) how does the reliability advantage move with disk quality (MTTF) and
+//      rebuild speed? -- MTTDL grid over (MTTF, rebuild window);
+//  (b) when do OI-RAID's extra parities beat simply buying RAID6? -- the
+//      MTTDL ratio oi/raid6 across disk sizes, with rebuild windows scaled
+//      by capacity and the speedup measured in E2.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "reliability/models.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace oi;
+using namespace oi::bench;
+using reliability::DiskReliabilityParams;
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 21;
+  const double oi_speedup = 4.0;   // E2, fano_m3, conservative (measured)
+  const double fatal4 = 0.0152;    // E1 sweep
+
+  print_experiment_header("E10a", "MTTDL grid: disk MTTF x RAID5-class rebuild window");
+  {
+    Table table({"mttf", "rebuild", "raid5 MTTDL", "raid6 MTTDL", "oi-raid MTTDL",
+                 "oi/raid6"});
+    for (const double mttf : {300'000.0, 1.2e6}) {
+      for (const double rebuild : {6.0, 24.0, 96.0}) {
+        DiskReliabilityParams base;
+        base.mttf_hours = mttf;
+        base.rebuild_hours = rebuild;
+        DiskReliabilityParams oi = base;
+        oi.rebuild_hours = rebuild / oi_speedup;
+        const double r5 = reliability::mttdl_raid5(n, base);
+        const double r6 = reliability::mttdl_raid6(n, base);
+        const double oi_mttdl = reliability::mttdl_oi_raid(n, oi, fatal4);
+        table.row().cell(format_seconds(mttf * 3600)).cell(format_seconds(rebuild * 3600))
+            .cell(format_seconds(r5 * 3600)).cell(format_seconds(r6 * 3600))
+            .cell(format_seconds(oi_mttdl * 3600)).cell(oi_mttdl / r6, 1);
+      }
+    }
+    table.print(std::cout);
+  }
+
+  print_experiment_header(
+      "E10b", "disk-capacity scaling: rebuild windows grow, who degrades slower?");
+  {
+    // Rebuild window ~ capacity / per-disk recovery bandwidth.
+    Table table({"disk size", "raid6 window", "oi window", "raid6 MTTDL", "oi MTTDL",
+                 "oi/raid6"});
+    for (const double tb : {2.0, 8.0, 16.0, 32.0}) {
+      const double raid6_window = tb * 1e12 / (120.0 * 1e6) / 3600.0;  // ~120 MB/s
+      DiskReliabilityParams r6_params;
+      r6_params.rebuild_hours = raid6_window;
+      DiskReliabilityParams oi_params;
+      oi_params.rebuild_hours = raid6_window / oi_speedup;
+      const double r6 = reliability::mttdl_raid6(n, r6_params);
+      const double oi_mttdl = reliability::mttdl_oi_raid(n, oi_params, fatal4);
+      table.row().cell(std::to_string(static_cast<int>(tb)) + " TB")
+          .cell(format_seconds(raid6_window * 3600))
+          .cell(format_seconds(raid6_window / oi_speedup * 3600))
+          .cell(format_seconds(r6 * 3600)).cell(format_seconds(oi_mttdl * 3600))
+          .cell(oi_mttdl / r6, 1);
+    }
+    table.print(std::cout);
+  }
+
+  print_experiment_header("E10c", "speedup needed to justify the extra parity (series)");
+  for (double speedup = 1.0; speedup <= 8.01; speedup += 1.0) {
+    DiskReliabilityParams base;
+    base.rebuild_hours = 24.0;
+    DiskReliabilityParams oi = base;
+    oi.rebuild_hours = base.rebuild_hours / speedup;
+    print_series_point(std::cout, "oi_over_raid6", speedup,
+                       reliability::mttdl_oi_raid(n, oi, fatal4) /
+                           reliability::mttdl_raid6(n, base));
+  }
+
+  std::cout << "\nExpected shape: RAID6's absolute MTTDL collapses ~256x as disks\n"
+               "grow 2->32 TB (rebuild windows lengthen), dropping below 10M years\n"
+               "-- marginal at fleet scale -- while OI-RAID stays 7+ orders above\n"
+               "it at every size. The oi/raid6 ratio itself narrows with longer\n"
+               "windows (both lose a mu factor), which is why the paper couples\n"
+               "the extra tolerance with *faster* rebuild: E10c shows each unit of\n"
+               "speedup multiplying the advantage, and even speedup 1 clears RAID6\n"
+               "by ~1e6.\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// E6 -- Update complexity table (reconstructed).
+//
+// Regenerates the "optimal data update complexity" claim: parity strips
+// written per small user write, *measured* by instrumenting the data-bearing
+// array's write path (not just read off the plan), plus total I/Os of the
+// read-modify-write. 3 parity updates is the floor for any 3-fault-tolerant
+// systematic code; OI-RAID sits exactly on it.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "layout/raid51.hpp"
+#include "core/array.hpp"
+#include "core/coded_array.hpp"
+#include "codes/rdp.hpp"
+#include "codes/reed_solomon.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace oi;
+using namespace oi::bench;
+
+struct Measured {
+  double parity_writes = 0.0;
+  double reads = 0.0;
+  double writes = 0.0;
+};
+
+Measured measure(std::shared_ptr<const layout::Layout> layout) {
+  constexpr std::size_t kStripBytes = 32;
+  constexpr std::size_t kWrites = 500;
+  core::Array array(std::move(layout), kStripBytes);
+  Rng rng(42);
+  std::vector<std::uint8_t> buffer(kStripBytes);
+
+  const core::IoCounters before = array.counters();
+  for (std::size_t i = 0; i < kWrites; ++i) {
+    for (auto& b : buffer) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+    array.write(rng.uniform_u64(array.capacity_strips()), buffer);
+  }
+  const core::IoCounters delta = array.counters() - before;
+  return {static_cast<double>(delta.parity_strip_writes) / kWrites,
+          static_cast<double>(delta.strip_reads) / kWrites,
+          static_cast<double>(delta.strip_writes) / kWrites};
+}
+
+}  // namespace
+
+int main() {
+  print_experiment_header("E6", "small-write update cost (measured on the write path)");
+  Table table({"scheme", "tolerance", "parity writes/op", "reads/op", "writes/op",
+               "optimal for t?"});
+
+  const Geometry fano = geometry_sweep(false)[0];
+
+  {
+    const auto m = measure(std::make_shared<layout::OiRaidLayout>(
+        layout::OiRaidParams{fano.design, fano.m, 6}));
+    table.row().cell("oi-raid (fano,m=3)").cell(std::size_t{3})
+        .cell(m.parity_writes, 2).cell(m.reads, 2).cell(m.writes, 2)
+        .cell(m.parity_writes == 3.0);
+  }
+  {
+    const auto m = measure(std::make_shared<layout::Raid5Layout>(21, 18));
+    table.row().cell("raid5 (n=21)").cell(std::size_t{1}).cell(m.parity_writes, 2)
+        .cell(m.reads, 2).cell(m.writes, 2).cell(m.parity_writes == 1.0);
+  }
+  {
+    const auto m = measure(std::make_shared<layout::Raid50Layout>(7, 3, 18));
+    table.row().cell("raid5+0 (7x3)").cell(std::size_t{1}).cell(m.parity_writes, 2)
+        .cell(m.reads, 2).cell(m.writes, 2).cell(m.parity_writes == 1.0);
+  }
+  {
+    const auto m = measure(std::make_shared<layout::ParityDeclusteredLayout>(
+        bibd::bose_steiner_triple(21), 2));
+    table.row().cell("pd (21,3,1)").cell(std::size_t{1}).cell(m.parity_writes, 2)
+        .cell(m.reads, 2).cell(m.writes, 2).cell(m.parity_writes == 1.0);
+  }
+  {
+    const auto m = measure(std::make_shared<layout::Raid51Layout>(10, 18));
+    table.row().cell("raid5+1 (2x10)").cell(std::size_t{3}).cell(m.parity_writes, 2)
+        .cell(m.reads, 2).cell(m.writes, 2).cell(m.parity_writes == 3.0);
+  }
+  // Flat coded arrays, measured through the delta-update write path.
+  auto measure_coded = [](std::shared_ptr<codes::ErasureCode> code,
+                          std::size_t strip_bytes) {
+    constexpr std::size_t kWrites = 500;
+    core::CodedArray array(std::move(code), 16, strip_bytes);
+    Rng rng(42);
+    std::vector<std::uint8_t> buffer(strip_bytes);
+    array.reset_counters();
+    for (std::size_t i = 0; i < kWrites; ++i) {
+      for (auto& b : buffer) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+      array.write(rng.uniform_u64(array.capacity_strips()), buffer);
+    }
+    const auto& c = array.counters();
+    return Measured{static_cast<double>(c.parity_strip_writes) / kWrites,
+                    static_cast<double>(c.strip_reads) / kWrites,
+                    static_cast<double>(c.strip_writes) / kWrites};
+  };
+  {
+    const auto m = measure_coded(std::make_shared<codes::ReedSolomon>(6, 3), 32);
+    table.row().cell("rs(6,3) measured").cell(std::size_t{3}).cell(m.parity_writes, 2)
+        .cell(m.reads, 2).cell(m.writes, 2).cell(m.parity_writes == 3.0);
+  }
+  {
+    const auto m = measure_coded(std::make_shared<codes::RdpCode>(7), 24);
+    table.row().cell("rdp(p=7) measured").cell(std::size_t{2}).cell(m.parity_writes, 2)
+        .cell(m.reads, 2).cell(m.writes, 2).cell(m.parity_writes == 2.0);
+  }
+  table.row().cell("3-replication").cell(std::size_t{2}).cell(2.0, 2).cell(0.0, 2)
+      .cell(3.0, 2).cell(true);
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: OI-RAID measures exactly 3 parity writes per small\n"
+               "write -- the information-theoretic floor for 3-fault tolerance --\n"
+               "with a 4-read/4-write RMW, matching RS(k,3) while rebuilding much\n"
+               "faster.\n";
+  return 0;
+}

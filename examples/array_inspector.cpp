@@ -1,0 +1,86 @@
+// Array inspector: prints the physical map of a small OI-RAID layout -- which
+// strip on which disk plays which role and which outer stripe it belongs
+// to -- and then dumps the recovery plan for a chosen failed disk. Useful
+// for seeing the BIBD block structure and the skew with your own eyes.
+//
+//   array_inspector [failed_disk]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "bibd/constructions.hpp"
+#include "layout/analysis.hpp"
+#include "layout/oi_raid.hpp"
+
+int main(int argc, char** argv) {
+  using namespace oi;
+
+  layout::OiRaidLayout layout({bibd::fano(), 3, 2});  // compact: 21 disks x 6 strips
+  std::size_t failed = 4;
+  if (argc > 1) failed = static_cast<std::size_t>(std::atoi(argv[1]));
+  if (failed >= layout.disks()) {
+    std::cerr << "failed_disk must be < " << layout.disks() << "\n";
+    return 1;
+  }
+
+  std::cout << layout.name() << ": " << layout.groups() << " groups x "
+            << layout.disks_per_group() << " disks, " << layout.strips_per_disk()
+            << " strips/disk\n";
+  std::cout << "BIBD blocks (groups per outer stripe set):\n";
+  for (std::size_t b = 0; b < layout.blocks(); ++b) {
+    std::cout << "  block " << b << ": {";
+    for (std::size_t i = 0; i < layout.design().blocks[b].size(); ++i) {
+      std::cout << (i ? "," : "") << layout.design().blocks[b][i];
+    }
+    std::cout << "}\n";
+  }
+
+  std::cout << "\nphysical map (rows = offsets, columns = disks; P = inner parity,\n"
+               "Q<b> = outer parity of block b, d<b> = data of block b):\n      ";
+  for (std::size_t d = 0; d < layout.disks(); ++d) {
+    std::cout << std::setw(4) << ("d" + std::to_string(d));
+  }
+  std::cout << "\n";
+  for (std::size_t o = 0; o < layout.strips_per_disk(); ++o) {
+    std::cout << "  o" << std::setw(2) << o << " ";
+    for (std::size_t d = 0; d < layout.disks(); ++d) {
+      const auto info = layout.inspect({d, o});
+      std::string cell;
+      switch (info.role) {
+        case layout::StripRole::kParity: cell = "P"; break;
+        case layout::StripRole::kOuterParity:
+        case layout::StripRole::kData: {
+          // Region -> block id for the label.
+          const std::size_t region = o / layout.region_height();
+          const std::size_t group = d / layout.disks_per_group();
+          const std::size_t block = bibd::point_to_blocks(layout.design())[group][region];
+          cell = (info.role == layout::StripRole::kOuterParity ? "Q" : "d") +
+                 std::to_string(block);
+          break;
+        }
+      }
+      std::cout << std::setw(4) << cell;
+    }
+    std::cout << "\n";
+  }
+
+  const auto plan = layout.recovery_plan({failed});
+  const auto reads = layout::per_disk_read_load(layout, {failed}, *plan);
+  std::cout << "\nrecovery plan for disk " << failed << " (" << plan->size()
+            << " strips):\n";
+  for (const auto& step : *plan) {
+    std::cout << "  rebuild (d" << step.lost.disk << ",o" << step.lost.offset
+              << ") = XOR of";
+    for (const auto& r : step.reads) {
+      std::cout << " (d" << r.disk << ",o" << r.offset << ")";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nper-disk read load:";
+  for (std::size_t d = 0; d < reads.size(); ++d) {
+    std::cout << " d" << d << "=" << reads[d];
+  }
+  std::cout << "\n(note: zero load on the failed disk's own group -- outer-layer "
+               "repair)\n";
+  return 0;
+}

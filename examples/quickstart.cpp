@@ -1,0 +1,72 @@
+// Quickstart: build an OI-RAID array on the Fano plane (7 groups x 3 disks),
+// store data, survive three simultaneous disk failures, and rebuild --
+// verifying every byte on the way. Mirrors the README walkthrough.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bibd/constructions.hpp"
+#include "core/array.hpp"
+#include "layout/oi_raid.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace oi;
+
+  // 1. Pick the outer design and the inner group size. The Fano plane
+  //    (7,3,1) with m=3 disks per group gives the paper's 21-disk example.
+  layout::OiRaidParams params;
+  params.design = bibd::fano();
+  params.disks_per_group = 3;
+  params.region_height = 6;  // strips per region; capacity knob
+  auto layout = std::make_shared<layout::OiRaidLayout>(params);
+
+  std::cout << "layout: " << layout->name() << "\n"
+            << "  disks:            " << layout->disks() << " (" << layout->groups()
+            << " groups of " << layout->disks_per_group() << ")\n"
+            << "  strips per disk:  " << layout->strips_per_disk() << "\n"
+            << "  logical capacity: " << layout->data_strips() << " strips\n"
+            << "  data fraction:    " << layout->data_fraction() << "\n"
+            << "  fault tolerance:  " << layout->fault_tolerance() << " disks\n\n";
+
+  // 2. Create the data-bearing array (64-byte strips keep the demo quick).
+  core::Array array(layout, 64);
+
+  // 3. Write some data through the RMW path.
+  Rng rng(2016);
+  std::vector<std::vector<std::uint8_t>> golden;
+  for (std::size_t logical = 0; logical < 40; ++logical) {
+    std::vector<std::uint8_t> data(64);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+    array.write(logical, data);
+    golden.push_back(std::move(data));
+  }
+  std::cout << "wrote 40 logical strips; parity scrub: "
+            << (array.scrub().empty() ? "clean" : "BROKEN") << "\n";
+  std::cout << "update complexity: " << array.counters().parity_strip_writes / 40.0
+            << " parity writes per user write (optimal for 3-fault tolerance: 3)\n\n";
+
+  // 4. Fail three disks at once -- a whole group, the worst case.
+  for (std::size_t disk : {0, 1, 2}) array.fail_disk(disk);
+  std::cout << "failed disks 0,1,2 (all of group 0); recoverable: "
+            << (array.recoverable() ? "yes" : "no") << "\n";
+
+  // 5. Degraded reads still return correct data (served from other groups).
+  bool degraded_ok = true;
+  for (std::size_t logical = 0; logical < golden.size(); ++logical) {
+    degraded_ok &= array.read(logical) == golden[logical];
+  }
+  std::cout << "degraded reads verified: " << (degraded_ok ? "all correct" : "MISMATCH")
+            << "\n";
+
+  // 6. Rebuild onto replacement disks and verify every byte again.
+  const core::RebuildReport report = array.rebuild();
+  bool rebuilt_ok = array.scrub().empty();
+  for (std::size_t logical = 0; logical < golden.size(); ++logical) {
+    rebuilt_ok &= array.read(logical) == golden[logical];
+  }
+  std::cout << "rebuilt " << report.strips_rebuilt << " strips with "
+            << report.strip_reads << " strip reads; verification: "
+            << (rebuilt_ok ? "clean" : "MISMATCH") << "\n";
+  return degraded_ok && rebuilt_ok ? 0 : 1;
+}

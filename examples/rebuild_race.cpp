@@ -1,0 +1,52 @@
+// Rebuild race: the motivating scenario of the paper's introduction. A disk
+// in a busy 21-disk array dies; how long is the window until redundancy is
+// restored, and what do users feel meanwhile? Runs the same failure against
+// OI-RAID and RAID5+0 on identical disks and identical request streams.
+#include <iostream>
+
+#include "bibd/constructions.hpp"
+#include "layout/oi_raid.hpp"
+#include "layout/raid50.hpp"
+#include "sim/rebuild.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace oi;
+
+  layout::OiRaidLayout oi_layout({bibd::fano(), 3, 60});  // 21 disks, 180 strips
+  layout::Raid50Layout raid50(7, 3, oi_layout.strips_per_disk());
+
+  sim::SimConfig config;
+  config.disk.strip_bytes = 4 * static_cast<std::size_t>(kMiB);
+  config.max_inflight_steps = 1'000'000;
+  config.foreground = sim::ForegroundConfig{{}, 150.0};  // 150 req/s, 70% reads
+  config.seed = 99;
+
+  std::cout << "scenario: disk 4 dies at t=0 under 150 req/s of user traffic\n"
+            << "disks: 21 x " << format_bytes(static_cast<double>(
+                                     config.disk.strip_bytes *
+                                     oi_layout.strips_per_disk()))
+            << " (miniature; times scale linearly with capacity)\n\n";
+
+  for (const layout::Layout* layout :
+       std::initializer_list<const layout::Layout*>{&raid50, &oi_layout}) {
+    const auto result = sim::simulate(*layout, {4}, config);
+    RunningStats latency;
+    for (double x : result.foreground_latencies) latency.add(x);
+    std::cout << layout->name() << "\n"
+              << "  redundancy restored after: "
+              << format_seconds(result.rebuild_seconds) << "\n"
+              << "  rebuild I/O: " << result.rebuild_disk_reads << " reads, "
+              << result.rebuild_disk_writes << " writes\n"
+              << "  user ops completed during window: " << result.foreground_completed
+              << "\n"
+              << "  user latency mean/p95: " << format_seconds(latency.mean()) << " / "
+              << format_seconds(percentile(result.foreground_latencies, 0.95))
+              << "\n\n";
+  }
+  std::cout << "OI-RAID shortens the vulnerable window severalfold because every\n"
+            << "surviving group ships a small, balanced share of the reads, while\n"
+            << "RAID5+0 hammers the two group peers for the whole disk.\n";
+  return 0;
+}

@@ -1,0 +1,336 @@
+#include "bibd/constructions.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace oi::bibd {
+namespace {
+
+bool is_prime(std::size_t n) {
+  if (n < 2) return false;
+  for (std::size_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+void sort_blocks(Design& design) {
+  for (auto& block : design.blocks) std::sort(block.begin(), block.end());
+  std::sort(design.blocks.begin(), design.blocks.end());
+}
+
+void check_verified(const Design& design) {
+  const std::string problem = verify(design);
+  OI_ASSERT(problem.empty(), "construction produced an invalid design: " + problem);
+}
+
+}  // namespace
+
+Design fano() { return projective_plane(2); }
+
+Design projective_plane(std::size_t q) {
+  OI_ENSURE(is_prime(q), "projective_plane requires prime q (no GF(p^e) support)");
+  const std::size_t v = q * q + q + 1;
+
+  // Normalized homogeneous coordinates over GF(q):
+  //   (1, a, b)  a,b in GF(q)   -> q^2 points
+  //   (0, 1, c)  c in GF(q)     -> q points
+  //   (0, 0, 1)                 -> 1 point
+  struct P3 {
+    std::size_t x, y, z;
+  };
+  std::vector<P3> points;
+  points.reserve(v);
+  for (std::size_t a = 0; a < q; ++a) {
+    for (std::size_t b = 0; b < q; ++b) points.push_back({1, a, b});
+  }
+  for (std::size_t c = 0; c < q; ++c) points.push_back({0, 1, c});
+  points.push_back({0, 0, 1});
+
+  Design design;
+  design.v = v;
+  design.k = q + 1;
+  design.lambda = 1;
+  design.origin = "PG(2," + std::to_string(q) + ")";
+
+  // Lines are the same normalized triples interpreted as coefficients;
+  // point p lies on line L iff <p, L> = 0 in GF(q).
+  for (const P3& line : points) {
+    std::vector<std::size_t> block;
+    for (std::size_t pi = 0; pi < points.size(); ++pi) {
+      const P3& p = points[pi];
+      const std::size_t dot = (p.x * line.x + p.y * line.y + p.z * line.z) % q;
+      if (dot == 0) block.push_back(pi);
+    }
+    OI_ASSERT(block.size() == q + 1, "projective line must contain q+1 points");
+    design.blocks.push_back(std::move(block));
+  }
+  sort_blocks(design);
+  check_verified(design);
+  return design;
+}
+
+Design affine_plane(std::size_t q) {
+  OI_ENSURE(is_prime(q), "affine_plane requires prime q (no GF(p^e) support)");
+  Design design;
+  design.v = q * q;
+  design.k = q;
+  design.lambda = 1;
+  design.origin = "AG(2," + std::to_string(q) + ")";
+
+  auto point = [q](std::size_t x, std::size_t y) { return x * q + y; };
+  // Sloped lines y = a x + b.
+  for (std::size_t a = 0; a < q; ++a) {
+    for (std::size_t b = 0; b < q; ++b) {
+      std::vector<std::size_t> block;
+      block.reserve(q);
+      for (std::size_t x = 0; x < q; ++x) block.push_back(point(x, (a * x + b) % q));
+      design.blocks.push_back(std::move(block));
+    }
+  }
+  // Vertical lines x = c.
+  for (std::size_t c = 0; c < q; ++c) {
+    std::vector<std::size_t> block;
+    block.reserve(q);
+    for (std::size_t y = 0; y < q; ++y) block.push_back(point(c, y));
+    design.blocks.push_back(std::move(block));
+  }
+  sort_blocks(design);
+  check_verified(design);
+  return design;
+}
+
+Design bose_steiner_triple(std::size_t v) {
+  OI_ENSURE(v >= 9 && v % 6 == 3, "Bose construction requires v = 6t+3, t >= 1");
+  const std::size_t n = v / 3;  // odd
+  const std::size_t inv2 = (n + 1) / 2;
+  auto point = [n](std::size_t x, std::size_t i) { return i * n + x; };
+
+  Design design;
+  design.v = v;
+  design.k = 3;
+  design.lambda = 1;
+  design.origin = "Bose-STS(" + std::to_string(v) + ")";
+
+  for (std::size_t x = 0; x < n; ++x) {
+    design.blocks.push_back({point(x, 0), point(x, 1), point(x, 2)});
+  }
+  for (std::size_t x = 0; x < n; ++x) {
+    for (std::size_t y = x + 1; y < n; ++y) {
+      const std::size_t z = (x + y) * inv2 % n;
+      for (std::size_t i = 0; i < 3; ++i) {
+        design.blocks.push_back({point(x, i), point(y, i), point(z, (i + 1) % 3)});
+      }
+    }
+  }
+  sort_blocks(design);
+  check_verified(design);
+  return design;
+}
+
+Design skolem_steiner_triple(std::size_t v) {
+  OI_ENSURE(v >= 7 && v % 6 == 1, "Skolem construction requires v = 6t+1, t >= 1");
+  const std::size_t t = v / 6;
+  const std::size_t n = 2 * t;
+  // Half-idempotent commutative quasigroup on Z_2t: x*y = sigma(x+y mod 2t)
+  // with sigma(2k) = k, sigma(2k+1) = t+k. Then i*i = i for i < t and
+  // (t+i)*(t+i) = i, which is exactly what the construction needs.
+  auto sigma = [t](std::size_t s) { return s % 2 == 0 ? s / 2 : t + s / 2; };
+  auto qmul = [&](std::size_t x, std::size_t y) { return sigma((x + y) % n); };
+
+  // Points: infinity = 0, (x, j) = 1 + j*n + x.
+  const std::size_t infinity = 0;
+  auto point = [n](std::size_t x, std::size_t j) { return 1 + j * n + x; };
+
+  Design design;
+  design.v = v;
+  design.k = 3;
+  design.lambda = 1;
+  design.origin = "Skolem-STS(" + std::to_string(v) + ")";
+
+  for (std::size_t i = 0; i < t; ++i) {
+    design.blocks.push_back({point(i, 0), point(i, 1), point(i, 2)});
+    for (std::size_t j = 0; j < 3; ++j) {
+      design.blocks.push_back({infinity, point(t + i, j), point(i, (j + 1) % 3)});
+    }
+  }
+  for (std::size_t x = 0; x < n; ++x) {
+    for (std::size_t y = x + 1; y < n; ++y) {
+      const std::size_t z = qmul(x, y);
+      for (std::size_t j = 0; j < 3; ++j) {
+        design.blocks.push_back({point(x, j), point(y, j), point(z, (j + 1) % 3)});
+      }
+    }
+  }
+  sort_blocks(design);
+  check_verified(design);
+  return design;
+}
+
+Design steiner_triple(std::size_t v) {
+  OI_ENSURE(v >= 7 && (v % 6 == 1 || v % 6 == 3),
+            "Steiner triple systems exist only for v = 1 or 3 (mod 6), v >= 7");
+  return v % 6 == 3 ? bose_steiner_triple(v) : skolem_steiner_triple(v);
+}
+
+namespace {
+
+// Backtracking search for a (v, k, 1) difference family over Z_v: t base
+// blocks whose +-pairwise differences cover every nonzero residue exactly
+// once. Normalization: each base block contains 0, and its smallest nonzero
+// element is the smallest difference not yet covered (any element e paired
+// with 0 *is* the difference e, so all elements must be uncovered residues;
+// hence the smallest element of the next block is forced).
+struct FamilySearch {
+  std::size_t v;
+  std::size_t k;
+  std::vector<bool> used;                         // residues 1..v-1
+  std::vector<std::vector<std::size_t>> family;   // completed base blocks
+  std::vector<std::size_t> current;               // block under construction
+  std::size_t nodes = 0;
+  static constexpr std::size_t kNodeBudget = 20'000'000;
+
+  bool diffs_available(std::size_t x) const {
+    // All differences introduced by x must be uncovered AND mutually
+    // distinct: with v odd, d and v-d collide across element pairs exactly
+    // when 2x = e1 + e2 (mod v), which used[] alone cannot catch.
+    std::vector<std::size_t> fresh;
+    fresh.reserve(2 * current.size());
+    for (std::size_t e : current) {
+      const std::size_t d1 = x - e;  // x > e: blocks are built in increasing order
+      const std::size_t d2 = v - d1;
+      if (used[d1] || used[d2]) return false;
+      fresh.push_back(d1);
+      fresh.push_back(d2);
+    }
+    std::sort(fresh.begin(), fresh.end());
+    return std::adjacent_find(fresh.begin(), fresh.end()) == fresh.end();
+  }
+
+  void mark(std::size_t x, bool value) {
+    for (std::size_t e : current) {
+      const std::size_t d1 = x - e;
+      const std::size_t d2 = v - d1;
+      used[d1] = value;
+      used[d2] = value;
+    }
+  }
+
+  std::size_t smallest_unused() const {
+    for (std::size_t d = 1; d < v; ++d) {
+      if (!used[d]) return d;
+    }
+    return v;
+  }
+
+  bool solve() {
+    if (++nodes > kNodeBudget) return false;
+    if (current.size() == k) {
+      family.push_back(current);
+      std::vector<std::size_t> saved = std::move(current);
+      current.clear();
+      if (smallest_unused() == v) return true;  // all differences covered
+      if (start_block()) return true;
+      current = std::move(saved);
+      family.pop_back();
+      return false;
+    }
+    // Extend the current block with elements in increasing order.
+    const std::size_t last = current.back();
+    for (std::size_t x = last + 1; x < v; ++x) {
+      if (!diffs_available(x)) continue;
+      mark(x, true);
+      current.push_back(x);
+      if (solve()) return true;
+      current.pop_back();
+      mark(x, false);
+      if (nodes > kNodeBudget) return false;
+    }
+    return false;
+  }
+
+  bool start_block() {
+    const std::size_t d = smallest_unused();
+    OI_ASSERT(d < v, "start_block called with all differences covered");
+    current = {0, d};
+    used[d] = true;
+    used[v - d] = true;
+    if (solve()) return true;
+    current.clear();
+    used[d] = false;
+    used[v - d] = false;
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<Design> cyclic_difference_family(std::size_t v, std::size_t k) {
+  OI_ENSURE(k >= 2, "difference family needs k >= 2");
+  OI_ENSURE(v >= k, "difference family needs v >= k");
+  OI_ENSURE(v % (k * (k - 1)) == 1,
+            "cyclic (v,k,1) difference family requires v = 1 mod k(k-1)");
+  FamilySearch search{.v = v, .k = k, .used = std::vector<bool>(v, false), .family = {},
+                      .current = {}};
+  if (!search.start_block()) return std::nullopt;
+
+  Design design;
+  design.v = v;
+  design.k = k;
+  design.lambda = 1;
+  design.origin = "cyclic-DF(" + std::to_string(v) + "," + std::to_string(k) + ")";
+  for (const auto& base : search.family) {
+    for (std::size_t shift = 0; shift < v; ++shift) {
+      std::vector<std::size_t> block;
+      block.reserve(k);
+      for (std::size_t e : base) block.push_back((e + shift) % v);
+      std::sort(block.begin(), block.end());
+      design.blocks.push_back(std::move(block));
+    }
+  }
+  sort_blocks(design);
+  check_verified(design);
+  return design;
+}
+
+Design complete_design(std::size_t v, std::size_t k) {
+  OI_ENSURE(k >= 2 && k <= v, "complete design needs 2 <= k <= v");
+  // lambda = C(v-2, k-2)
+  auto choose = [](std::size_t n, std::size_t r) {
+    if (r > n) return std::size_t{0};
+    std::size_t result = 1;
+    for (std::size_t i = 0; i < r; ++i) result = result * (n - i) / (i + 1);
+    return result;
+  };
+  OI_ENSURE(choose(v, k) <= 200'000, "complete design would be impractically large");
+
+  Design design;
+  design.v = v;
+  design.k = k;
+  design.lambda = choose(v - 2, k - 2);
+  design.origin = "complete(" + std::to_string(v) + "," + std::to_string(k) + ")";
+
+  std::vector<std::size_t> combo(k);
+  std::iota(combo.begin(), combo.end(), 0);
+  while (true) {
+    design.blocks.push_back(combo);
+    // next k-combination of {0..v-1}
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (combo[i] != i + v - k) break;
+      if (i == 0) {
+        sort_blocks(design);
+        check_verified(design);
+        return design;
+      }
+    }
+    ++combo[i];
+    for (std::size_t j = i + 1; j < k; ++j) combo[j] = combo[j - 1] + 1;
+  }
+}
+
+}  // namespace oi::bibd

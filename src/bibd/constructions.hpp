@@ -1,0 +1,51 @@
+// Explicit BIBD constructions. All functions return verified lambda = 1
+// designs (except complete_design, whose lambda follows from v and k) and
+// throw std::invalid_argument when the parameters are outside the
+// construction's domain.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "bibd/design.hpp"
+
+namespace oi::bibd {
+
+/// The Fano plane: (v=7, k=3, lambda=1), b=7, r=3. The paper-scale example
+/// geometry (21 disks with m=3).
+Design fano();
+
+/// Projective plane PG(2,q) for prime q: v = q^2+q+1 points, blocks of size
+/// q+1, lambda = 1, b = v, r = q+1.
+Design projective_plane(std::size_t q);
+
+/// Affine plane AG(2,q) for prime q: v = q^2 points, blocks of size q,
+/// lambda = 1, b = q^2+q, r = q+1.
+Design affine_plane(std::size_t q);
+
+/// Bose's Steiner triple system for v = 6t+3: (v, 3, 1).
+Design bose_steiner_triple(std::size_t v);
+
+/// Skolem's Steiner triple system for v = 6t+1, t >= 1: (v, 3, 1). Built
+/// from the half-idempotent commutative quasigroup on Z_2t. Together with
+/// Bose this covers every admissible STS order (v = 1, 3 mod 6) except the
+/// degenerate v < 7.
+Design skolem_steiner_triple(std::size_t v);
+
+/// Steiner triple system for any admissible v (= 1 or 3 mod 6, v >= 7):
+/// dispatches to Bose or Skolem.
+Design steiner_triple(std::size_t v);
+
+/// Cyclic design developed from a (v, k, 1) difference family found by
+/// backtracking search over Z_v. Requires v = 1 (mod k*(k-1)) so that the
+/// differences partition exactly; practical for v up to a few hundred.
+/// Returns nullopt when the search exhausts without finding a family (rare
+/// for admissible parameters, e.g. none exists for k=3, v=9).
+std::optional<Design> cyclic_difference_family(std::size_t v, std::size_t k);
+
+/// All k-subsets of v points: lambda = C(v-2, k-2). The always-available
+/// fallback; block count grows binomially, so callers should prefer the
+/// structured constructions.
+Design complete_design(std::size_t v, std::size_t k);
+
+}  // namespace oi::bibd

@@ -1,0 +1,106 @@
+#include "bibd/design.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace oi::bibd {
+
+std::size_t Design::r() const {
+  OI_ENSURE(k >= 2, "design block size must be at least 2");
+  OI_ENSURE(lambda * (v - 1) % (k - 1) == 0, "r is not integral; invalid parameters");
+  return lambda * (v - 1) / (k - 1);
+}
+
+std::string verify(const Design& design) {
+  std::ostringstream err;
+  if (design.v < 2 || design.k < 2 || design.k > design.v || design.lambda < 1) {
+    err << "parameter sanity failed: v=" << design.v << " k=" << design.k
+        << " lambda=" << design.lambda;
+    return err.str();
+  }
+  if (design.lambda * (design.v - 1) % (design.k - 1) != 0) {
+    return "necessary divisibility lambda*(v-1) % (k-1) == 0 fails";
+  }
+  const std::size_t r = design.lambda * (design.v - 1) / (design.k - 1);
+  if (design.v * r % design.k != 0) {
+    return "necessary divisibility v*r % k == 0 fails";
+  }
+  const std::size_t expect_b = design.v * r / design.k;
+  if (design.blocks.size() != expect_b) {
+    err << "block count " << design.blocks.size() << " != v*r/k = " << expect_b;
+    return err.str();
+  }
+
+  std::vector<std::size_t> point_degree(design.v, 0);
+  // Pair coverage counts, upper-triangular flattened.
+  std::vector<std::size_t> pair_count(design.v * design.v, 0);
+
+  for (std::size_t bi = 0; bi < design.blocks.size(); ++bi) {
+    const auto& block = design.blocks[bi];
+    if (block.size() != design.k) {
+      err << "block " << bi << " has size " << block.size() << " != k";
+      return err.str();
+    }
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      if (block[i] >= design.v) {
+        err << "block " << bi << " references point " << block[i] << " >= v";
+        return err.str();
+      }
+      if (i > 0 && block[i] <= block[i - 1]) {
+        err << "block " << bi << " is not strictly sorted";
+        return err.str();
+      }
+      ++point_degree[block[i]];
+      for (std::size_t j = i + 1; j < block.size(); ++j) {
+        ++pair_count[block[i] * design.v + block[j]];
+      }
+    }
+  }
+
+  for (std::size_t p = 0; p < design.v; ++p) {
+    if (point_degree[p] != r) {
+      err << "point " << p << " lies in " << point_degree[p] << " blocks, expected r=" << r;
+      return err.str();
+    }
+  }
+  for (std::size_t p = 0; p < design.v; ++p) {
+    for (std::size_t q = p + 1; q < design.v; ++q) {
+      if (pair_count[p * design.v + q] != design.lambda) {
+        err << "pair (" << p << ',' << q << ") covered " << pair_count[p * design.v + q]
+            << " times, expected lambda=" << design.lambda;
+        return err.str();
+      }
+    }
+  }
+  return {};
+}
+
+bool is_valid(const Design& design) { return verify(design).empty(); }
+
+std::vector<std::vector<std::size_t>> point_to_blocks(const Design& design) {
+  std::vector<std::vector<std::size_t>> index(design.v);
+  for (std::size_t bi = 0; bi < design.blocks.size(); ++bi) {
+    for (std::size_t point : design.blocks[bi]) {
+      OI_ENSURE(point < design.v, "block references point out of range");
+      index[point].push_back(bi);
+    }
+  }
+  return index;
+}
+
+std::size_t block_of_pair(const Design& design, std::size_t p, std::size_t q) {
+  OI_ENSURE(design.lambda == 1, "block_of_pair requires a lambda=1 design");
+  OI_ENSURE(p != q && p < design.v && q < design.v, "invalid point pair");
+  for (std::size_t bi = 0; bi < design.blocks.size(); ++bi) {
+    const auto& block = design.blocks[bi];
+    if (std::binary_search(block.begin(), block.end(), p) &&
+        std::binary_search(block.begin(), block.end(), q)) {
+      return bi;
+    }
+  }
+  return design.b();
+}
+
+}  // namespace oi::bibd

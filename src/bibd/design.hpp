@@ -1,0 +1,48 @@
+// Balanced Incomplete Block Designs. A (v, k, lambda)-BIBD is a family of
+// k-element blocks over v points such that every unordered point pair occurs
+// in exactly lambda blocks. OI-RAID's outer layer places disk groups on the
+// points of a lambda = 1 design: any two groups then share exactly one outer
+// stripe set, which is what spreads a failed disk's recovery traffic across
+// r(k-1) distinct other groups.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace oi::bibd {
+
+struct Design {
+  std::size_t v = 0;       ///< number of points
+  std::size_t k = 0;       ///< block size
+  std::size_t lambda = 0;  ///< pair multiplicity
+  std::string origin;      ///< human-readable construction name
+  std::vector<std::vector<std::size_t>> blocks;  ///< each sorted, size k
+
+  /// Number of blocks.
+  std::size_t b() const { return blocks.size(); }
+  /// Replication number r = lambda * (v-1) / (k-1); every point lies in
+  /// exactly r blocks. Valid only for a verified design.
+  std::size_t r() const;
+};
+
+/// Full structural check: block sizes, point range, sortedness/uniqueness,
+/// every pair covered exactly lambda times, every point in exactly r blocks,
+/// and the counting identities b*k = v*r, r*(k-1) = lambda*(v-1).
+/// Returns an empty string when valid, otherwise a description of the first
+/// violation found.
+std::string verify(const Design& design);
+
+/// True iff verify() returns empty.
+bool is_valid(const Design& design);
+
+/// For each point, the (sorted) indices of blocks containing it. The layout
+/// engine uses this as the group -> outer-stripe-set map.
+std::vector<std::vector<std::size_t>> point_to_blocks(const Design& design);
+
+/// Index of the unique block containing both points (requires lambda == 1).
+/// Returns design.b() when the pair never co-occurs (impossible in a valid
+/// BIBD, but callers may probe partial designs).
+std::size_t block_of_pair(const Design& design, std::size_t p, std::size_t q);
+
+}  // namespace oi::bibd

@@ -1,0 +1,79 @@
+#include "bibd/registry.hpp"
+
+#include <cmath>
+
+#include "bibd/constructions.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace oi::bibd {
+namespace {
+
+bool is_prime(std::size_t n) {
+  if (n < 2) return false;
+  for (std::size_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+std::optional<std::size_t> projective_order(std::size_t v, std::size_t k) {
+  // v = q^2 + q + 1 and k = q + 1 for prime q.
+  if (k < 3) return std::nullopt;
+  const std::size_t q = k - 1;
+  if (!is_prime(q)) return std::nullopt;
+  if (q * q + q + 1 != v) return std::nullopt;
+  return q;
+}
+
+std::optional<std::size_t> affine_order(std::size_t v, std::size_t k) {
+  // v = q^2 and k = q for prime q.
+  if (!is_prime(k)) return std::nullopt;
+  if (k * k != v) return std::nullopt;
+  return k;
+}
+
+}  // namespace
+
+std::optional<Design> find_design(std::size_t v, std::size_t k, FindOptions options) {
+  OI_ENSURE(k >= 2, "find_design needs k >= 2");
+  OI_ENSURE(v >= k, "find_design needs v >= k");
+  if (projective_order(v, k)) return projective_plane(*projective_order(v, k));
+  if (affine_order(v, k)) return affine_plane(*affine_order(v, k));
+  if (k == 3 && v % 6 == 3 && v >= 9) return bose_steiner_triple(v);
+  if (k == 3 && v % 6 == 1 && v >= 7) return skolem_steiner_triple(v);
+  if (v % (k * (k - 1)) == 1) {
+    if (auto design = cyclic_difference_family(v, k)) return design;
+    OI_LOG_WARN << "difference-family search failed for v=" << v << " k=" << k;
+  }
+  if (options.allow_complete) return complete_design(v, k);
+  return std::nullopt;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> known_parameters(std::size_t v_max,
+                                                                  std::size_t k) {
+  std::vector<std::pair<std::size_t, std::size_t>> params;
+  for (std::size_t v = k + 1; v <= v_max; ++v) {
+    const bool fisher_ok = v % (k * (k - 1)) == 1 || (k == 3 && v % 6 == 3) ||
+                           projective_order(v, k).has_value() ||
+                           affine_order(v, k).has_value();
+    if (!fisher_ok) continue;
+    if (find_design(v, k)) params.emplace_back(v, k);
+  }
+  return params;
+}
+
+std::vector<Design> standard_catalog() {
+  std::vector<Design> catalog;
+  catalog.push_back(fano());                               // (7,3,1)  r=3
+  catalog.push_back(affine_plane(3));                      // (9,3,1)  r=4
+  if (auto d = cyclic_difference_family(13, 3)) catalog.push_back(*d);  // r=6
+  catalog.push_back(bose_steiner_triple(15));              // (15,3,1) r=7
+  catalog.push_back(projective_plane(3));                  // (13,4,1) r=4
+  if (auto d = cyclic_difference_family(25, 3)) catalog.push_back(*d);
+  catalog.push_back(affine_plane(5));                      // (25,5,1) r=6
+  catalog.push_back(projective_plane(5));                  // (31,6,1) r=6
+  return catalog;
+}
+
+}  // namespace oi::bibd

@@ -1,0 +1,34 @@
+// Lookup layer: given (v, k), pick a construction that yields a lambda = 1
+// BIBD, preferring the structured families over search and search over the
+// complete-design fallback.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bibd/design.hpp"
+
+namespace oi::bibd {
+
+struct FindOptions {
+  /// Allow falling back to the complete design (lambda > 1, binomially many
+  /// blocks). Off by default because OI-RAID wants lambda = 1.
+  bool allow_complete = false;
+};
+
+/// Finds a (v, k, 1) BIBD. Tries, in order: projective plane, affine plane,
+/// Bose STS, cyclic difference family, then (optionally) the complete
+/// design. Returns nullopt if nothing applies.
+std::optional<Design> find_design(std::size_t v, std::size_t k, FindOptions options = {});
+
+/// The admissible (v, k) pairs with v <= v_max for which find_design is
+/// known to succeed with lambda = 1 -- used by benches to sweep array sizes.
+std::vector<std::pair<std::size_t, std::size_t>> known_parameters(std::size_t v_max,
+                                                                  std::size_t k);
+
+/// The designs exercised across tests and benches, small to large.
+std::vector<Design> standard_catalog();
+
+}  // namespace oi::bibd

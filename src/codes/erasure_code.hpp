@@ -1,0 +1,72 @@
+// The codec abstraction shared by both OI-RAID layers and by all baseline
+// schemes. A codec transforms k equal-size data strips into m parity strips
+// and can rebuild up to `fault_tolerance()` erased strips of the k+m total.
+//
+// Strips are byte vectors; within one encode/decode call all strips must have
+// the same size. Codecs are stateless after construction and safe to share
+// across threads for concurrent encode/decode calls.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace oi::codes {
+
+using Strip = std::vector<std::uint8_t>;
+
+class ErasureCode {
+ public:
+  virtual ~ErasureCode() = default;
+
+  /// Number of data strips per stripe (k).
+  virtual std::size_t data_strips() const = 0;
+  /// Number of parity strips per stripe (m).
+  virtual std::size_t parity_strips() const = 0;
+  /// Guaranteed number of simultaneously erasable strips (t). Equals
+  /// parity_strips() for MDS codes, which all codecs here are.
+  virtual std::size_t fault_tolerance() const = 0;
+
+  /// Computes the m parity strips from the k data strips. `parity` must hold
+  /// m strips; they are resized to the data strip size.
+  virtual void encode(std::span<const Strip> data, std::span<Strip> parity) const = 0;
+
+  /// Reconstructs erased strips in place. `strips` holds the k data strips
+  /// followed by the m parity strips; `present[i]` says whether strips[i]
+  /// still holds valid content. Returns false when the erasure pattern is
+  /// beyond the code's tolerance (strips are then left untouched). On
+  /// success every strip is valid and `present` semantics become all-true
+  /// from the caller's perspective.
+  virtual bool decode(std::vector<Strip>& strips, const std::vector<bool>& present) const = 0;
+
+  /// Strips that must be read to rebuild the erased set (indices into the
+  /// k+m stripe layout). The default MDS answer is "any k surviving strips";
+  /// codecs with structured decoding (RDP) override it.
+  virtual std::vector<std::size_t> repair_read_set(const std::vector<bool>& present) const;
+
+  /// Small-write support: updates parity strip `parity_index` in place for a
+  /// change of data strip `data_index` from old_data to new_data. All codecs
+  /// here are linear, so the parity delta depends only on the data delta --
+  /// a write touches 1 + parity_strips() strips instead of the whole stripe.
+  virtual void update_parity(Strip& parity, std::size_t parity_index,
+                             std::size_t data_index, const Strip& old_data,
+                             const Strip& new_data) const = 0;
+
+  virtual std::string name() const = 0;
+
+  std::size_t total_strips() const { return data_strips() + parity_strips(); }
+
+ protected:
+  /// Shared argument validation for decode implementations. Returns the
+  /// erased indices; throws on malformed input (wrong strip count,
+  /// inconsistent sizes among present strips).
+  std::vector<std::size_t> validate_decode_args(const std::vector<Strip>& strips,
+                                                const std::vector<bool>& present) const;
+};
+
+/// Convenience: number of erased strips.
+std::size_t erased_count(const std::vector<bool>& present);
+
+}  // namespace oi::codes

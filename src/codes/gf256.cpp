@@ -1,0 +1,104 @@
+#include "codes/gf256.hpp"
+
+#include <array>
+
+#include "util/assert.hpp"
+
+namespace oi::gf {
+namespace {
+
+constexpr unsigned kPoly = 0x11d;  // x^8 + x^4 + x^3 + x^2 + 1
+
+struct Tables {
+  std::array<Byte, 512> exp_table{};  // doubled so mul needs no modulo
+  std::array<Byte, 256> log_table{};
+
+  Tables() {
+    unsigned x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      exp_table[i] = static_cast<Byte>(x);
+      log_table[x] = static_cast<Byte>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= kPoly;
+    }
+    for (unsigned i = 255; i < 512; ++i) exp_table[i] = exp_table[i - 255];
+    log_table[0] = 0;  // never consulted: mul/div check for zero operands
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+void init() { tables(); }
+
+Byte add(Byte a, Byte b) { return a ^ b; }
+Byte sub(Byte a, Byte b) { return a ^ b; }
+
+Byte mul(Byte a, Byte b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = tables();
+  return t.exp_table[static_cast<unsigned>(t.log_table[a]) + t.log_table[b]];
+}
+
+Byte div(Byte a, Byte b) {
+  OI_ENSURE(b != 0, "GF(256) division by zero");
+  if (a == 0) return 0;
+  const auto& t = tables();
+  return t.exp_table[static_cast<unsigned>(t.log_table[a]) + 255 - t.log_table[b]];
+}
+
+Byte inv(Byte a) {
+  OI_ENSURE(a != 0, "GF(256) inverse of zero");
+  const auto& t = tables();
+  return t.exp_table[255 - t.log_table[a]];
+}
+
+Byte pow(Byte a, unsigned e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = tables();
+  const unsigned log_a = t.log_table[a];
+  return t.exp_table[(log_a * (e % 255)) % 255];
+}
+
+Byte exp(unsigned i) { return tables().exp_table[i % 255]; }
+
+void mul_add(std::span<Byte> dst, std::span<const Byte> src, Byte coeff) {
+  OI_ENSURE(dst.size() == src.size(), "mul_add size mismatch");
+  if (coeff == 0) return;
+  if (coeff == 1) {
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+    return;
+  }
+  const auto& t = tables();
+  const unsigned log_c = t.log_table[coeff];
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    const Byte s = src[i];
+    if (s != 0) dst[i] ^= t.exp_table[static_cast<unsigned>(t.log_table[s]) + log_c];
+  }
+}
+
+void mul_assign(std::span<Byte> dst, std::span<const Byte> src, Byte coeff) {
+  OI_ENSURE(dst.size() == src.size(), "mul_assign size mismatch");
+  if (coeff == 0) {
+    for (auto& b : dst) b = 0;
+    return;
+  }
+  const auto& t = tables();
+  const unsigned log_c = t.log_table[coeff];
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    const Byte s = src[i];
+    dst[i] = s == 0 ? 0 : t.exp_table[static_cast<unsigned>(t.log_table[s]) + log_c];
+  }
+}
+
+void xor_acc(std::span<Byte> dst, std::span<const Byte> src) {
+  OI_ENSURE(dst.size() == src.size(), "xor_acc size mismatch");
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+}
+
+}  // namespace oi::gf

@@ -1,0 +1,38 @@
+// GF(2^8) arithmetic over the polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d),
+// the field used by standard Reed-Solomon storage codes. Multiplication and
+// division go through log/exp tables built once at namespace scope.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace oi::gf {
+
+using Byte = std::uint8_t;
+
+/// Initializes the tables; called lazily by the operations but exposed so
+/// tests can exercise it directly. Idempotent.
+void init();
+
+Byte add(Byte a, Byte b);
+Byte sub(Byte a, Byte b);  // identical to add in characteristic 2
+Byte mul(Byte a, Byte b);
+Byte div(Byte a, Byte b);  // b must be non-zero
+Byte inv(Byte a);          // a must be non-zero
+Byte pow(Byte a, unsigned e);
+
+/// The generator element alpha = 2 raised to the i-th power; the standard
+/// Vandermonde construction uses exp(i).
+Byte exp(unsigned i);
+
+/// dst[i] ^= coeff * src[i] for all i -- the inner loop of RS encoding.
+/// dst.size() must equal src.size().
+void mul_add(std::span<Byte> dst, std::span<const Byte> src, Byte coeff);
+
+/// dst[i] = coeff * src[i].
+void mul_assign(std::span<Byte> dst, std::span<const Byte> src, Byte coeff);
+
+/// dst[i] ^= src[i] (plain XOR accumulate; used by parity codes too).
+void xor_acc(std::span<Byte> dst, std::span<const Byte> src);
+
+}  // namespace oi::gf

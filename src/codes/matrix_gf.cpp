@@ -1,0 +1,109 @@
+#include "codes/matrix_gf.hpp"
+
+#include "util/assert.hpp"
+
+namespace oi::gf {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), cells_(rows * cols, 0) {
+  OI_ENSURE(rows > 0 && cols > 0, "matrix dimensions must be positive");
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+Matrix Matrix::vandermonde(std::size_t rows, std::size_t cols) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = pow(exp(static_cast<unsigned>(r)), static_cast<unsigned>(c));
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::cauchy(std::size_t rows, std::size_t cols) {
+  OI_ENSURE(rows + cols <= 256, "Cauchy matrix needs rows+cols distinct field elements");
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const Byte x = static_cast<Byte>(r + cols);
+      const Byte y = static_cast<Byte>(c);
+      m.at(r, c) = inv(add(x, y));
+    }
+  }
+  return m;
+}
+
+Byte& Matrix::at(std::size_t r, std::size_t c) {
+  OI_ENSURE(r < rows_ && c < cols_, "matrix index out of range");
+  return cells_[r * cols_ + c];
+}
+
+Byte Matrix::at(std::size_t r, std::size_t c) const {
+  OI_ENSURE(r < rows_ && c < cols_, "matrix index out of range");
+  return cells_[r * cols_ + c];
+}
+
+Matrix Matrix::multiply(const Matrix& rhs) const {
+  OI_ENSURE(cols_ == rhs.rows_, "matrix multiply dimension mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const Byte a = at(r, k);
+      if (a == 0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) {
+        out.at(r, c) = add(out.at(r, c), mul(a, rhs.at(k, c)));
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<Matrix> Matrix::inverted() const {
+  OI_ENSURE(rows_ == cols_, "only square matrices can be inverted");
+  Matrix work = *this;
+  Matrix inv_m = identity(rows_);
+  for (std::size_t col = 0; col < cols_; ++col) {
+    // Find a pivot at or below the diagonal.
+    std::size_t pivot = col;
+    while (pivot < rows_ && work.at(pivot, col) == 0) ++pivot;
+    if (pivot == rows_) return std::nullopt;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < cols_; ++c) {
+        std::swap(work.at(pivot, c), work.at(col, c));
+        std::swap(inv_m.at(pivot, c), inv_m.at(col, c));
+      }
+    }
+    const Byte scale = inv(work.at(col, col));
+    for (std::size_t c = 0; c < cols_; ++c) {
+      work.at(col, c) = mul(work.at(col, c), scale);
+      inv_m.at(col, c) = mul(inv_m.at(col, c), scale);
+    }
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == col) continue;
+      const Byte factor = work.at(r, col);
+      if (factor == 0) continue;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        work.at(r, c) = add(work.at(r, c), mul(factor, work.at(col, c)));
+        inv_m.at(r, c) = add(inv_m.at(r, c), mul(factor, inv_m.at(col, c)));
+      }
+    }
+  }
+  return inv_m;
+}
+
+Matrix Matrix::select_rows(const std::vector<std::size_t>& row_indices) const {
+  OI_ENSURE(!row_indices.empty(), "row selection must be non-empty");
+  Matrix out(row_indices.size(), cols_);
+  for (std::size_t r = 0; r < row_indices.size(); ++r) {
+    OI_ENSURE(row_indices[r] < rows_, "selected row out of range");
+    for (std::size_t c = 0; c < cols_; ++c) out.at(r, c) = at(row_indices[r], c);
+  }
+  return out;
+}
+
+}  // namespace oi::gf

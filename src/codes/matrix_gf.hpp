@@ -1,0 +1,48 @@
+// Dense matrices over GF(2^8), sized for erasure-coding work (dimensions are
+// strip counts, i.e. tens, not thousands). Used to build and invert the
+// Reed-Solomon generator/decoding matrices.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "codes/gf256.hpp"
+
+namespace oi::gf {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols);
+
+  static Matrix identity(std::size_t n);
+  /// Vandermonde matrix V[i][j] = exp(i)^j (rows x cols).
+  static Matrix vandermonde(std::size_t rows, std::size_t cols);
+  /// Cauchy matrix C[i][j] = 1 / (x_i + y_j) with x_i = i + cols, y_j = j.
+  /// Any square submatrix of a Cauchy matrix is invertible, which makes it a
+  /// valid MDS parity matrix without the Vandermonde systematization step.
+  static Matrix cauchy(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  Byte& at(std::size_t r, std::size_t c);
+  Byte at(std::size_t r, std::size_t c) const;
+
+  Matrix multiply(const Matrix& rhs) const;
+  /// Gauss-Jordan inverse; nullopt when singular.
+  std::optional<Matrix> inverted() const;
+  /// The matrix restricted to the given rows (used to build decode matrices
+  /// from the surviving strips' encode rows).
+  Matrix select_rows(const std::vector<std::size_t>& row_indices) const;
+
+  bool operator==(const Matrix& rhs) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Byte> cells_;
+};
+
+}  // namespace oi::gf

@@ -1,0 +1,206 @@
+#include "codes/rdp.hpp"
+
+#include <algorithm>
+
+#include "codes/gf256.hpp"
+#include "util/assert.hpp"
+
+namespace oi::codes {
+namespace {
+
+bool is_prime(std::size_t n) {
+  if (n < 2) return false;
+  for (std::size_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+RdpCode::RdpCode(std::size_t p) : p_(p) {
+  OI_ENSURE(p >= 3, "RDP needs p >= 3");
+  OI_ENSURE(is_prime(p), "RDP parameter p must be prime");
+}
+
+// Geometry: "array disks" 0..p-1 are the p-1 data strips plus the row-parity
+// strip at index p-1; the diagonal-parity strip is outside the diagonal grid.
+// Cell (row i, disk j), i in [0, p-1), lies on diagonal (i + j) mod p.
+// Diagonal d (d in [0, p-1)) has a stored parity row; diagonal p-1 does not
+// (each diagonal misses exactly one disk, and p-1 is the "missing" one).
+
+void RdpCode::encode(std::span<const Strip> data, std::span<Strip> parity) const {
+  OI_ENSURE(data.size() == p_ - 1, "encode expects p-1 data strips");
+  OI_ENSURE(parity.size() == 2, "RDP has two parity strips");
+  const std::size_t size = data[0].size();
+  OI_ENSURE(size % (p_ - 1) == 0, "RDP strip size must be divisible by p-1");
+  for (const auto& strip : data) {
+    OI_ENSURE(strip.size() == size, "data strips must have equal sizes");
+  }
+  const std::size_t row_size = size / (p_ - 1);
+
+  Strip& row_parity = parity[0];
+  Strip& diag_parity = parity[1];
+  row_parity.assign(size, 0);
+  diag_parity.assign(size, 0);
+
+  for (const auto& strip : data) gf::xor_acc(row_parity, strip);
+
+  auto cell = [&](const Strip& s, std::size_t row) {
+    return std::span<const std::uint8_t>(s.data() + row * row_size, row_size);
+  };
+  auto diag_row = [&](std::size_t d) {
+    return std::span<std::uint8_t>(diag_parity.data() + d * row_size, row_size);
+  };
+
+  for (std::size_t i = 0; i + 1 < p_; ++i) {
+    for (std::size_t j = 0; j < p_; ++j) {
+      const std::size_t d = (i + j) % p_;
+      if (d == p_ - 1) continue;  // the unstored diagonal
+      const Strip& src = j < p_ - 1 ? data[j] : row_parity;
+      gf::xor_acc(diag_row(d), cell(src, i));
+    }
+  }
+}
+
+bool RdpCode::decode(std::vector<Strip>& strips, const std::vector<bool>& present) const {
+  const auto erased = validate_decode_args(strips, present);
+  if (erased.empty()) return true;
+  if (erased.size() > 2) return false;
+
+  std::size_t size = 0;
+  for (std::size_t i = 0; i < strips.size(); ++i) {
+    if (present[i]) {
+      size = strips[i].size();
+      break;
+    }
+  }
+  OI_ENSURE(size % (p_ - 1) == 0, "RDP strip size must be divisible by p-1");
+  const std::size_t row_size = size / (p_ - 1);
+  const std::size_t rows = p_ - 1;
+
+  for (std::size_t idx : erased) strips[idx].assign(size, 0);
+
+  // Peeling decoder over the row and diagonal XOR relations. `unknown[j][i]`
+  // marks cell (row i, strip j) as not yet recovered; a relation with exactly
+  // one unknown cell solves it. RDP guarantees peeling completes for any <=2
+  // erased strips; if it stalls the pattern is undecodable.
+  const std::size_t total = strips.size();  // p+1 strips
+  std::vector<std::vector<bool>> unknown(total, std::vector<bool>(rows, false));
+  std::size_t remaining = 0;
+  for (std::size_t idx : erased) {
+    std::fill(unknown[idx].begin(), unknown[idx].end(), true);
+    remaining += rows;
+  }
+
+  auto cell_span = [&](std::size_t strip, std::size_t row) {
+    return std::span<std::uint8_t>(strips[strip].data() + row * row_size, row_size);
+  };
+
+  // Row relation i: data(0..p-2, i) ^ rowparity(i) = 0.
+  auto try_row = [&](std::size_t i) -> bool {
+    std::size_t unknown_strip = total;
+    std::size_t count = 0;
+    for (std::size_t j = 0; j < p_; ++j) {
+      if (unknown[j][i]) {
+        unknown_strip = j;
+        ++count;
+      }
+    }
+    if (count != 1) return false;
+    auto dst = cell_span(unknown_strip, i);
+    std::fill(dst.begin(), dst.end(), 0);
+    for (std::size_t j = 0; j < p_; ++j) {
+      if (j != unknown_strip) gf::xor_acc(dst, cell_span(j, i));
+    }
+    unknown[unknown_strip][i] = false;
+    --remaining;
+    return true;
+  };
+
+  // Diagonal relation d (< p-1): XOR of cells on diagonal d equals diagonal
+  // parity row d (strip index p_).
+  auto try_diag = [&](std::size_t d) -> bool {
+    std::size_t u_strip = total;
+    std::size_t u_row = rows;
+    std::size_t count = 0;
+    if (unknown[p_][d]) {
+      u_strip = p_;
+      u_row = d;
+      ++count;
+    }
+    for (std::size_t j = 0; j < p_; ++j) {
+      const std::size_t i = (d + p_ - j) % p_;
+      if (i >= rows) continue;  // this diagonal misses disk j
+      if (unknown[j][i]) {
+        u_strip = j;
+        u_row = i;
+        ++count;
+      }
+    }
+    if (count != 1) return false;
+    auto dst = cell_span(u_strip, u_row);
+    std::fill(dst.begin(), dst.end(), 0);
+    if (u_strip != p_) gf::xor_acc(dst, cell_span(p_, d));
+    for (std::size_t j = 0; j < p_; ++j) {
+      const std::size_t i = (d + p_ - j) % p_;
+      if (i >= rows) continue;
+      if (j == u_strip && i == u_row) continue;
+      gf::xor_acc(dst, cell_span(j, i));
+    }
+    unknown[u_strip][u_row] = false;
+    --remaining;
+    return true;
+  };
+
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (std::size_t i = 0; i < rows; ++i) progress |= try_row(i);
+    for (std::size_t d = 0; d + 1 < p_; ++d) progress |= try_diag(d);
+  }
+  OI_ASSERT(remaining == 0, "RDP peeling must complete for <=2 erasures");
+  return true;
+}
+
+void RdpCode::update_parity(Strip& parity, std::size_t parity_index,
+                            std::size_t data_index, const Strip& old_data,
+                            const Strip& new_data) const {
+  OI_ENSURE(parity_index < 2, "RDP has two parity strips");
+  OI_ENSURE(data_index < p_ - 1, "data index out of range");
+  OI_ENSURE(old_data.size() == new_data.size() && parity.size() == old_data.size(),
+            "delta strips must have equal sizes");
+  OI_ENSURE(parity.size() % (p_ - 1) == 0, "RDP strip size must be divisible by p-1");
+  const std::size_t row_size = parity.size() / (p_ - 1);
+  if (parity_index == 0) {
+    // Row parity: plain XOR of the delta.
+    for (std::size_t i = 0; i < parity.size(); ++i) {
+      parity[i] ^= old_data[i] ^ new_data[i];
+    }
+    return;
+  }
+  // Diagonal parity. Two contributions per row i of the delta: the data
+  // strip's own cell on diagonal (i + data_index) mod p, and the row-parity
+  // strip's cell on diagonal (i + p-1) mod p -- the row parity absorbs the
+  // same delta, and its cells sit on diagonals too.
+  const auto old_row = [&](std::size_t row) {
+    return std::span<const std::uint8_t>(old_data.data() + row * row_size, row_size);
+  };
+  const auto new_row = [&](std::size_t row) {
+    return std::span<const std::uint8_t>(new_data.data() + row * row_size, row_size);
+  };
+  for (std::size_t i = 0; i + 1 < p_; ++i) {
+    for (const std::size_t disk : {data_index, p_ - 1}) {
+      const std::size_t d = (i + disk) % p_;
+      if (d == p_ - 1) continue;  // the unstored diagonal
+      auto dst = std::span<std::uint8_t>(parity.data() + d * row_size, row_size);
+      for (std::size_t b = 0; b < row_size; ++b) {
+        dst[b] ^= old_row(i)[b] ^ new_row(i)[b];
+      }
+    }
+  }
+}
+
+std::string RdpCode::name() const { return "rdp(p=" + std::to_string(p_) + ")"; }
+
+}  // namespace oi::codes

@@ -1,0 +1,33 @@
+// Row-Diagonal Parity (RDP, Corbett et al. FAST'04) -- the XOR-only RAID6
+// code used as the 2-fault-tolerant baseline. Parameterized by a prime p:
+// p-1 data strips, one row-parity strip and one diagonal-parity strip; every
+// strip is internally divided into p-1 rows.
+#pragma once
+
+#include "codes/erasure_code.hpp"
+
+namespace oi::codes {
+
+class RdpCode final : public ErasureCode {
+ public:
+  /// p must be prime and >= 3. Strip sizes passed to encode/decode must be
+  /// divisible by p-1 (the per-strip row count).
+  explicit RdpCode(std::size_t p);
+
+  std::size_t data_strips() const override { return p_ - 1; }
+  std::size_t parity_strips() const override { return 2; }
+  std::size_t fault_tolerance() const override { return 2; }
+
+  void encode(std::span<const Strip> data, std::span<Strip> parity) const override;
+  bool decode(std::vector<Strip>& strips, const std::vector<bool>& present) const override;
+  void update_parity(Strip& parity, std::size_t parity_index, std::size_t data_index,
+                     const Strip& old_data, const Strip& new_data) const override;
+  std::string name() const override;
+
+  std::size_t prime() const { return p_; }
+
+ private:
+  std::size_t p_;
+};
+
+}  // namespace oi::codes

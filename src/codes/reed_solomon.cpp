@@ -1,0 +1,92 @@
+#include "codes/reed_solomon.hpp"
+
+#include "util/assert.hpp"
+
+namespace oi::codes {
+
+ReedSolomon::ReedSolomon(std::size_t k, std::size_t m) : k_(k), m_(m) {
+  OI_ENSURE(k >= 1 && m >= 1, "RS needs k >= 1 and m >= 1");
+  OI_ENSURE(k + m <= 256, "RS over GF(256) supports at most 256 strips");
+  generator_ = gf::Matrix(k + m, k);
+  for (std::size_t i = 0; i < k; ++i) generator_.at(i, i) = 1;
+  const gf::Matrix parity = gf::Matrix::cauchy(m, k);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < k; ++c) generator_.at(k + r, c) = parity.at(r, c);
+  }
+}
+
+void ReedSolomon::encode(std::span<const Strip> data, std::span<Strip> parity) const {
+  OI_ENSURE(data.size() == k_, "encode expects k data strips");
+  OI_ENSURE(parity.size() == m_, "encode expects m parity strips");
+  const std::size_t size = data[0].size();
+  for (const auto& strip : data) {
+    OI_ENSURE(strip.size() == size, "data strips must have equal sizes");
+  }
+  for (std::size_t p = 0; p < m_; ++p) {
+    parity[p].assign(size, 0);
+    for (std::size_t d = 0; d < k_; ++d) {
+      gf::mul_add(parity[p], data[d], generator_.at(k_ + p, d));
+    }
+  }
+}
+
+bool ReedSolomon::decode(std::vector<Strip>& strips, const std::vector<bool>& present) const {
+  const auto erased = validate_decode_args(strips, present);
+  if (erased.empty()) return true;
+  if (erased.size() > m_) return false;
+
+  // Pick k surviving strips; their generator rows form an invertible k x k
+  // matrix (Cauchy construction guarantees it). Inverting gives data from the
+  // survivors; then missing parity is re-encoded from the recovered data.
+  std::vector<std::size_t> survivors;
+  survivors.reserve(k_);
+  for (std::size_t i = 0; i < strips.size() && survivors.size() < k_; ++i) {
+    if (present[i]) survivors.push_back(i);
+  }
+  OI_ASSERT(survivors.size() == k_, "MDS code must have k survivors when erased <= m");
+
+  const gf::Matrix sub = generator_.select_rows(survivors);
+  const auto inverse = sub.inverted();
+  OI_ASSERT(inverse.has_value(), "Cauchy submatrix must be invertible");
+
+  const std::size_t size = strips[survivors[0]].size();
+
+  // data[d] = sum_j inverse[d][j] * survivor_strip[j]
+  std::vector<Strip> data(k_);
+  for (std::size_t d = 0; d < k_; ++d) {
+    data[d].assign(size, 0);
+    for (std::size_t j = 0; j < k_; ++j) {
+      gf::mul_add(data[d], strips[survivors[j]], inverse->at(d, j));
+    }
+  }
+  for (std::size_t d = 0; d < k_; ++d) {
+    if (!present[d]) strips[d] = data[d];
+  }
+  for (std::size_t p = 0; p < m_; ++p) {
+    if (present[k_ + p]) continue;
+    strips[k_ + p].assign(size, 0);
+    for (std::size_t d = 0; d < k_; ++d) {
+      gf::mul_add(strips[k_ + p], data[d], generator_.at(k_ + p, d));
+    }
+  }
+  return true;
+}
+
+void ReedSolomon::update_parity(Strip& parity, std::size_t parity_index,
+                                std::size_t data_index, const Strip& old_data,
+                                const Strip& new_data) const {
+  OI_ENSURE(parity_index < m_, "parity index out of range");
+  OI_ENSURE(data_index < k_, "data index out of range");
+  OI_ENSURE(old_data.size() == new_data.size() && parity.size() == old_data.size(),
+            "delta strips must have equal sizes");
+  // parity += G[k+p][d] * (old ^ new): linearity over GF(256).
+  Strip delta(old_data.size());
+  for (std::size_t i = 0; i < delta.size(); ++i) delta[i] = old_data[i] ^ new_data[i];
+  gf::mul_add(parity, delta, generator_.at(k_ + parity_index, data_index));
+}
+
+std::string ReedSolomon::name() const {
+  return "rs(" + std::to_string(k_) + "," + std::to_string(m_) + ")";
+}
+
+}  // namespace oi::codes

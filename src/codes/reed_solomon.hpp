@@ -1,0 +1,35 @@
+// Systematic Reed-Solomon over GF(2^8), Cauchy parity matrix. Serves as the
+// generic MDS baseline (RS(k,3) is the paper's natural 3-fault-tolerant
+// comparator) and as an alternative inner/outer codec for OI-RAID.
+#pragma once
+
+#include "codes/erasure_code.hpp"
+#include "codes/matrix_gf.hpp"
+
+namespace oi::codes {
+
+class ReedSolomon final : public ErasureCode {
+ public:
+  /// k data strips, m parity strips, k + m <= 256.
+  ReedSolomon(std::size_t k, std::size_t m);
+
+  std::size_t data_strips() const override { return k_; }
+  std::size_t parity_strips() const override { return m_; }
+  std::size_t fault_tolerance() const override { return m_; }
+
+  void encode(std::span<const Strip> data, std::span<Strip> parity) const override;
+  bool decode(std::vector<Strip>& strips, const std::vector<bool>& present) const override;
+  void update_parity(Strip& parity, std::size_t parity_index, std::size_t data_index,
+                     const Strip& old_data, const Strip& new_data) const override;
+  std::string name() const override;
+
+  /// The (k+m) x k generator matrix (identity on top of the Cauchy block).
+  const gf::Matrix& generator() const { return generator_; }
+
+ private:
+  std::size_t k_;
+  std::size_t m_;
+  gf::Matrix generator_;
+};
+
+}  // namespace oi::codes

@@ -1,0 +1,103 @@
+#include "codes/xor_code.hpp"
+
+#include "codes/gf256.hpp"
+#include "util/assert.hpp"
+
+namespace oi::codes {
+
+// Out-of-line so the vtable and the shared validator live in one TU.
+std::vector<std::size_t> ErasureCode::repair_read_set(const std::vector<bool>& present) const {
+  OI_ENSURE(present.size() == total_strips(), "present mask size mismatch");
+  std::vector<std::size_t> reads;
+  reads.reserve(data_strips());
+  for (std::size_t i = 0; i < present.size() && reads.size() < data_strips(); ++i) {
+    if (present[i]) reads.push_back(i);
+  }
+  return reads;
+}
+
+std::vector<std::size_t> ErasureCode::validate_decode_args(
+    const std::vector<Strip>& strips, const std::vector<bool>& present) const {
+  OI_ENSURE(strips.size() == total_strips(), "decode expects k+m strips");
+  OI_ENSURE(present.size() == strips.size(), "present mask size mismatch");
+  std::vector<std::size_t> erased;
+  std::size_t strip_size = 0;
+  bool have_size = false;
+  for (std::size_t i = 0; i < strips.size(); ++i) {
+    if (!present[i]) {
+      erased.push_back(i);
+      continue;
+    }
+    if (!have_size) {
+      strip_size = strips[i].size();
+      have_size = true;
+    } else {
+      OI_ENSURE(strips[i].size() == strip_size, "present strips must have equal sizes");
+    }
+  }
+  OI_ENSURE(have_size, "decode needs at least one present strip");
+  return erased;
+}
+
+std::size_t erased_count(const std::vector<bool>& present) {
+  std::size_t n = 0;
+  for (bool p : present) {
+    if (!p) ++n;
+  }
+  return n;
+}
+
+XorCode::XorCode(std::size_t k) : k_(k) {
+  OI_ENSURE(k >= 1, "XOR code needs at least one data strip");
+}
+
+void XorCode::encode(std::span<const Strip> data, std::span<Strip> parity) const {
+  OI_ENSURE(data.size() == k_, "encode expects k data strips");
+  OI_ENSURE(parity.size() == 1, "XOR code has exactly one parity strip");
+  const std::size_t size = data[0].size();
+  for (const auto& strip : data) {
+    OI_ENSURE(strip.size() == size, "data strips must have equal sizes");
+  }
+  parity[0].assign(size, 0);
+  for (const auto& strip : data) gf::xor_acc(parity[0], strip);
+}
+
+bool XorCode::decode(std::vector<Strip>& strips, const std::vector<bool>& present) const {
+  const auto erased = validate_decode_args(strips, present);
+  if (erased.empty()) return true;
+  if (erased.size() > 1) return false;
+  const std::size_t missing = erased[0];
+  // The missing strip (data or parity alike) is the XOR of all others.
+  std::size_t size = 0;
+  for (std::size_t i = 0; i < strips.size(); ++i) {
+    if (present[i]) {
+      size = strips[i].size();
+      break;
+    }
+  }
+  strips[missing].assign(size, 0);
+  for (std::size_t i = 0; i < strips.size(); ++i) {
+    if (i != missing) gf::xor_acc(strips[missing], strips[i]);
+  }
+  return true;
+}
+
+void XorCode::update_parity(Strip& parity, std::size_t parity_index,
+                            std::size_t data_index, const Strip& old_data,
+                            const Strip& new_data) const {
+  OI_ENSURE(parity_index == 0, "XOR code has a single parity strip");
+  OI_ENSURE(data_index < k_, "data index out of range");
+  apply_delta(parity, old_data, new_data);
+}
+
+std::string XorCode::name() const { return "raid5(k=" + std::to_string(k_) + ")"; }
+
+void XorCode::apply_delta(Strip& parity, const Strip& old_data, const Strip& new_data) {
+  OI_ENSURE(parity.size() == old_data.size() && parity.size() == new_data.size(),
+            "parity delta strips must have equal sizes");
+  for (std::size_t i = 0; i < parity.size(); ++i) {
+    parity[i] ^= old_data[i] ^ new_data[i];
+  }
+}
+
+}  // namespace oi::codes

@@ -1,0 +1,33 @@
+// Single-parity XOR code -- the RAID5 codec used by both OI-RAID layers in
+// the paper's reference instantiation ("we deploy RAID5 in both layers").
+#pragma once
+
+#include "codes/erasure_code.hpp"
+
+namespace oi::codes {
+
+class XorCode final : public ErasureCode {
+ public:
+  /// k data strips + 1 XOR parity strip.
+  explicit XorCode(std::size_t k);
+
+  std::size_t data_strips() const override { return k_; }
+  std::size_t parity_strips() const override { return 1; }
+  std::size_t fault_tolerance() const override { return 1; }
+
+  void encode(std::span<const Strip> data, std::span<Strip> parity) const override;
+  bool decode(std::vector<Strip>& strips, const std::vector<bool>& present) const override;
+  void update_parity(Strip& parity, std::size_t parity_index, std::size_t data_index,
+                     const Strip& old_data, const Strip& new_data) const override;
+  std::string name() const override;
+
+  /// RAID5 small-write parity delta: new_parity = old_parity ^ old_data ^
+  /// new_data. Exposed so the array write path can do read-modify-write
+  /// without touching the other k-1 strips.
+  static void apply_delta(Strip& parity, const Strip& old_data, const Strip& new_data);
+
+ private:
+  std::size_t k_;
+};
+
+}  // namespace oi::codes

@@ -1,0 +1,293 @@
+#include "core/array.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace oi::core {
+
+IoCounters IoCounters::operator-(const IoCounters& rhs) const {
+  return {strip_reads - rhs.strip_reads, strip_writes - rhs.strip_writes,
+          parity_strip_writes - rhs.parity_strip_writes};
+}
+
+Array::Array(std::shared_ptr<const layout::Layout> layout, std::size_t strip_bytes)
+    : layout_(std::move(layout)), strip_bytes_(strip_bytes) {
+  OI_ENSURE(layout_ != nullptr, "array needs a layout");
+  OI_ENSURE(layout_->xor_semantics(),
+            "core::Array decodes by XOR; use core::CodedArray for RS-style layouts");
+  OI_ENSURE(strip_bytes >= 1, "strip size must be positive");
+  store_.resize(layout_->disks());
+  for (auto& disk : store_) {
+    disk.assign(layout_->strips_per_disk() * strip_bytes_, 0);
+  }
+}
+
+std::span<std::uint8_t> Array::strip(layout::StripLoc loc) {
+  OI_ASSERT(loc.disk < store_.size(), "strip disk out of range");
+  return {store_[loc.disk].data() + loc.offset * strip_bytes_, strip_bytes_};
+}
+
+std::span<const std::uint8_t> Array::strip(layout::StripLoc loc) const {
+  OI_ASSERT(loc.disk < store_.size(), "strip disk out of range");
+  return {store_[loc.disk].data() + loc.offset * strip_bytes_, strip_bytes_};
+}
+
+std::optional<std::vector<std::uint8_t>> Array::reconstruct(
+    layout::StripLoc loc, std::set<layout::StripLoc>& in_progress) const {
+  auto relations = layout_->relations_of(loc);
+  // Prefer the relations that avoid the lost strip's own group (outer, then
+  // composite); fall back to anything that resolves.
+  std::stable_sort(relations.begin(), relations.end(),
+                   [](const layout::Relation& a, const layout::Relation& b) {
+                     return static_cast<int>(a.kind) > static_cast<int>(b.kind);
+                   });
+  in_progress.insert(loc);
+  for (const auto& rel : relations) {
+    std::vector<std::uint8_t> value(strip_bytes_, 0);
+    bool ok = true;
+    for (const auto& member : rel.strips) {
+      if (member == loc) continue;
+      // A strip currently being reconstructed is unusable whatever its disk
+      // state: for a failed disk this breaks recursion cycles, and for a
+      // *healthy* disk it keeps repair_strip from reading the very bytes it
+      // is repairing (the corrupt strip must never feed its own repair).
+      if (in_progress.contains(member)) {
+        ok = false;
+        break;
+      }
+      if (!failed_.contains(member.disk)) {
+        ++counters_.strip_reads;
+        const auto src = strip(member);
+        for (std::size_t i = 0; i < strip_bytes_; ++i) value[i] ^= src[i];
+        continue;
+      }
+      // Member is lost too: decode it first through another relation (the
+      // staged-repair pattern).
+      const auto sub = reconstruct(member, in_progress);
+      if (!sub.has_value()) {
+        ok = false;
+        break;
+      }
+      for (std::size_t i = 0; i < strip_bytes_; ++i) value[i] ^= (*sub)[i];
+    }
+    if (ok) {
+      in_progress.erase(loc);
+      return value;
+    }
+  }
+  in_progress.erase(loc);
+  return std::nullopt;
+}
+
+std::vector<std::uint8_t> Array::read(std::size_t logical) const {
+  OI_ENSURE(logical < capacity_strips(), "logical address out of range");
+  const layout::StripLoc loc = layout_->locate(logical);
+  if (!failed_.contains(loc.disk)) {
+    ++counters_.strip_reads;
+    const auto src = strip(loc);
+    return {src.begin(), src.end()};
+  }
+  std::set<layout::StripLoc> in_progress;
+  const auto value = reconstruct(loc, in_progress);
+  if (!value.has_value()) {
+    throw std::runtime_error("degraded read unrecoverable under current failures");
+  }
+  return *value;
+}
+
+void Array::write(std::size_t logical, std::span<const std::uint8_t> data) {
+  OI_ENSURE(logical < capacity_strips(), "logical address out of range");
+  OI_ENSURE(data.size() == strip_bytes_, "write size must equal the strip size");
+  const layout::WritePlan plan = layout_->small_write_plan(logical);
+  OI_ASSERT(!plan.writes.empty() && plan.writes.front() == layout_->locate(logical),
+            "write plan must lead with the data strip");
+  const layout::StripLoc data_loc = plan.writes.front();
+
+  // RMW reads are whatever the plan lists (old data + old parities; mirror
+  // copies need none).
+  for (const layout::StripLoc& read : plan.reads) {
+    if (!failed_.contains(read.disk)) ++counters_.strip_reads;
+  }
+  // delta = old ^ new; every covering redundancy strip absorbs the same
+  // delta (for a mirror copy, old-copy ^ delta == new data).
+  std::vector<std::uint8_t> delta(strip_bytes_);
+  if (!failed_.contains(data_loc.disk)) {
+    const auto old = strip(data_loc);
+    for (std::size_t i = 0; i < strip_bytes_; ++i) delta[i] = old[i] ^ data[i];
+    auto dst = strip(data_loc);
+    std::copy(data.begin(), data.end(), dst.begin());
+    ++counters_.strip_writes;
+  } else {
+    // Reconstruct-on-write: the strip's disk is down, but the write is still
+    // accepted -- the old value is decoded from redundancy and the surviving
+    // parity strips absorb the delta, so the *rebuild* will materialize the
+    // new data. Fails only when the pattern is beyond decoding.
+    std::set<layout::StripLoc> in_progress;
+    const auto old = reconstruct(data_loc, in_progress);
+    if (!old.has_value()) {
+      throw std::runtime_error(
+          "degraded write unrecoverable: old value cannot be reconstructed");
+    }
+    for (std::size_t i = 0; i < strip_bytes_; ++i) delta[i] = (*old)[i] ^ data[i];
+  }
+  for (std::size_t w = 1; w < plan.writes.size(); ++w) {
+    const layout::StripLoc parity = plan.writes[w];
+    if (failed_.contains(parity.disk)) continue;  // lost anyway; rebuilt later
+    auto dst = strip(parity);
+    for (std::size_t i = 0; i < strip_bytes_; ++i) dst[i] ^= delta[i];
+    ++counters_.strip_writes;
+    ++counters_.parity_strip_writes;
+  }
+}
+
+std::vector<std::uint8_t> Array::read_bytes(std::uint64_t offset,
+                                            std::size_t length) const {
+  OI_ENSURE(offset + length <= capacity_bytes(), "byte range out of capacity");
+  std::vector<std::uint8_t> out;
+  out.reserve(length);
+  std::uint64_t cursor = offset;
+  while (out.size() < length) {
+    const auto logical = static_cast<std::size_t>(cursor / strip_bytes_);
+    const auto within = static_cast<std::size_t>(cursor % strip_bytes_);
+    const auto take = std::min(length - out.size(), strip_bytes_ - within);
+    const auto strip_value = read(logical);
+    out.insert(out.end(), strip_value.begin() + static_cast<std::ptrdiff_t>(within),
+               strip_value.begin() + static_cast<std::ptrdiff_t>(within + take));
+    cursor += take;
+  }
+  return out;
+}
+
+void Array::write_bytes(std::uint64_t offset, std::span<const std::uint8_t> data) {
+  OI_ENSURE(offset + data.size() <= capacity_bytes(), "byte range out of capacity");
+  std::uint64_t cursor = offset;
+  std::size_t consumed = 0;
+  while (consumed < data.size()) {
+    const auto logical = static_cast<std::size_t>(cursor / strip_bytes_);
+    const auto within = static_cast<std::size_t>(cursor % strip_bytes_);
+    const auto take = std::min(data.size() - consumed, strip_bytes_ - within);
+    if (take == strip_bytes_) {
+      write(logical, data.subspan(consumed, take));
+    } else {
+      // Partial strip: RMW through the degraded-capable read.
+      auto current = read(logical);
+      std::copy(data.begin() + static_cast<std::ptrdiff_t>(consumed),
+                data.begin() + static_cast<std::ptrdiff_t>(consumed + take),
+                current.begin() + static_cast<std::ptrdiff_t>(within));
+      write(logical, current);
+    }
+    cursor += take;
+    consumed += take;
+  }
+}
+
+void Array::fail_disk(std::size_t disk) {
+  OI_ENSURE(disk < layout_->disks(), "disk id out of range");
+  if (failed_.contains(disk)) return;
+  failed_.insert(disk);
+  // The data is gone: model it so that nothing can accidentally read stale
+  // bytes through a bug.
+  std::fill(store_[disk].begin(), store_[disk].end(), 0xDD);
+}
+
+std::vector<std::size_t> Array::failed_disks() const {
+  return {failed_.begin(), failed_.end()};
+}
+
+bool Array::recoverable() const {
+  if (failed_.empty()) return true;
+  return layout_->recovery_plan(failed_disks()).has_value();
+}
+
+RebuildReport Array::rebuild() {
+  RebuildReport report;
+  if (failed_.empty()) return report;
+  const auto plan = layout_->recovery_plan(failed_disks());
+  if (!plan.has_value()) {
+    throw std::runtime_error("failure pattern is unrecoverable; data lost");
+  }
+  for (const auto& step : *plan) {
+    std::vector<std::uint8_t> value(strip_bytes_, 0);
+    for (const auto& read : step.reads) {
+      // Reads of strips rebuilt by earlier steps see the freshly written
+      // bytes because rebuild writes in place (replacement disk semantics).
+      const auto src = strip(read);
+      for (std::size_t i = 0; i < strip_bytes_; ++i) value[i] ^= src[i];
+      ++report.strip_reads;
+      ++counters_.strip_reads;
+    }
+    auto dst = strip(step.lost);
+    std::copy(value.begin(), value.end(), dst.begin());
+    ++counters_.strip_writes;
+    ++report.strips_rebuilt;
+  }
+  failed_.clear();
+  return report;
+}
+
+std::span<const std::uint8_t> Array::peek(layout::StripLoc loc) const {
+  OI_ENSURE(loc.disk < layout_->disks() && loc.offset < layout_->strips_per_disk(),
+            "strip location out of range");
+  return strip(loc);
+}
+
+void Array::inject_corruption(layout::StripLoc loc, std::uint8_t xor_mask) {
+  OI_ENSURE(loc.disk < layout_->disks() && loc.offset < layout_->strips_per_disk(),
+            "strip location out of range");
+  OI_ENSURE(xor_mask != 0, "a zero mask would be a no-op corruption");
+  auto dst = strip(loc);
+  for (auto& byte : dst) byte ^= xor_mask;
+}
+
+bool Array::repair_strip(layout::StripLoc loc) {
+  OI_ENSURE(loc.disk < layout_->disks() && loc.offset < layout_->strips_per_disk(),
+            "strip location out of range");
+  OI_ENSURE(!failed_.contains(loc.disk),
+            "repair_strip fixes silent corruption on healthy disks; use rebuild() "
+            "for failed disks");
+  std::set<layout::StripLoc> in_progress;
+  // reconstruct() reads only *other* strips of loc's relations, so the
+  // corrupt content never contaminates the repair.
+  const auto value = reconstruct(loc, in_progress);
+  if (!value.has_value()) return false;
+  auto dst = strip(loc);
+  std::copy(value->begin(), value->end(), dst.begin());
+  ++counters_.strip_writes;
+  return true;
+}
+
+std::string Array::scrub() const {
+  // Deduplicate relations by their sorted member list; composite relations
+  // are linear combinations of inner+outer ones, so checking those two kinds
+  // suffices.
+  std::set<std::vector<layout::StripLoc>> seen;
+  for (std::size_t disk = 0; disk < layout_->disks(); ++disk) {
+    for (std::size_t offset = 0; offset < layout_->strips_per_disk(); ++offset) {
+      for (const auto& rel : layout_->relations_of({disk, offset})) {
+        if (rel.kind == layout::RelationKind::kOuterComposite) continue;
+        std::vector<layout::StripLoc> key = rel.strips;
+        std::sort(key.begin(), key.end());
+        if (!seen.insert(key).second) continue;
+        if (std::any_of(key.begin(), key.end(), [&](const layout::StripLoc& l) {
+              return failed_.contains(l.disk);
+            })) {
+          continue;
+        }
+        std::vector<std::uint8_t> acc(strip_bytes_, 0);
+        for (const auto& member : key) {
+          const auto src = strip(member);
+          for (std::size_t i = 0; i < strip_bytes_; ++i) acc[i] ^= src[i];
+        }
+        if (std::any_of(acc.begin(), acc.end(), [](std::uint8_t b) { return b != 0; })) {
+          return "relation starting at disk=" + std::to_string(key.front().disk) +
+                 " offset=" + std::to_string(key.front().offset) +
+                 " does not XOR to zero";
+        }
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace oi::core

@@ -1,0 +1,130 @@
+// A data-bearing array: the layout decides placement and parity relations;
+// this class holds the actual bytes, implements the user-facing read/write
+// path (read-modify-write parity maintenance), failure injection, degraded
+// reads, and data-verified rebuild. It works over *any* layout in the
+// library because every scheme here uses single-XOR-parity relations; the
+// OI-RAID instantiation is the paper's system, the others are baselines.
+//
+// The backing store is in-memory -- the class models a disk array's
+// *contents and consistency*, while src/sim models its *timing*.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "layout/layout.hpp"
+
+namespace oi::core {
+
+struct IoCounters {
+  std::size_t strip_reads = 0;
+  std::size_t strip_writes = 0;
+  /// Writes that targeted parity strips (the update-complexity metric).
+  std::size_t parity_strip_writes = 0;
+
+  IoCounters operator-(const IoCounters& rhs) const;
+};
+
+struct RebuildReport {
+  std::size_t strips_rebuilt = 0;
+  std::size_t strip_reads = 0;
+};
+
+class Array {
+ public:
+  /// strip_bytes >= 1. All strips start zeroed, which is parity-consistent.
+  Array(std::shared_ptr<const layout::Layout> layout, std::size_t strip_bytes);
+
+  const layout::Layout& layout() const { return *layout_; }
+  std::size_t strip_bytes() const { return strip_bytes_; }
+  std::size_t capacity_strips() const { return layout_->data_strips(); }
+
+  /// Reads one logical strip. Served directly when its disk is healthy,
+  /// reconstructed through the first fully-available relation when it is not
+  /// (OI-RAID prefers the outer relation, keeping degraded reads off the
+  /// failed group). Throws std::runtime_error when reconstruction is
+  /// impossible under the current failures.
+  std::vector<std::uint8_t> read(std::size_t logical) const;
+
+  /// Writes one logical strip via read-modify-write, updating every parity
+  /// strip that covers it (3 for OI-RAID: inner, outer, outer's inner).
+  /// Parity strips on failed disks are skipped (their content is lost
+  /// anyway; rebuild re-derives them from the surviving relations). A write
+  /// to a strip whose own disk has failed is accepted via
+  /// reconstruct-on-write: the old value is decoded from redundancy and the
+  /// surviving parities absorb the delta, so the eventual rebuild
+  /// materializes the new data. Throws std::runtime_error only when the
+  /// failure pattern is beyond decoding.
+  void write(std::size_t logical, std::span<const std::uint8_t> data);
+
+  // --- byte-granular convenience layer over the strip API ---
+
+  std::uint64_t capacity_bytes() const {
+    return static_cast<std::uint64_t>(capacity_strips()) * strip_bytes_;
+  }
+  /// Reads an arbitrary byte range (may span strips; degraded-capable).
+  std::vector<std::uint8_t> read_bytes(std::uint64_t offset, std::size_t length) const;
+  /// Writes an arbitrary byte range. Partial strips go through
+  /// read-modify-write of the containing strip, so parity stays exact.
+  void write_bytes(std::uint64_t offset, std::span<const std::uint8_t> data);
+
+  void fail_disk(std::size_t disk);
+  bool is_failed(std::size_t disk) const { return failed_.contains(disk); }
+  std::vector<std::size_t> failed_disks() const;
+
+  /// True when the current failure set is repairable by iterative decoding.
+  bool recoverable() const;
+
+  /// Repairs every failed disk in place (models replacement disks that take
+  /// the failed disks' identities) and clears the failure set. Throws
+  /// std::runtime_error when unrecoverable.
+  RebuildReport rebuild();
+
+  /// Verifies every (inner/outer) relation XORs to zero over the healthy
+  /// strips; skips relations touching failed disks. Returns an empty string
+  /// or a description of the first violation.
+  std::string scrub() const;
+
+  /// Fault injection for testing and fire drills: flips bits of a physical
+  /// strip behind the parity machinery's back (silent corruption, as a
+  /// misdirected write or bit rot would). scrub() will flag it.
+  void inject_corruption(layout::StripLoc loc, std::uint8_t xor_mask = 0xFF);
+
+  /// Repairs one (healthy-disk) strip in place by reconstructing it from a
+  /// relation that avoids the strip itself -- the scrub-repair path for
+  /// silent corruption. Returns false when no fully-available relation
+  /// exists under current failures. Note: repair trusts the *other* strips;
+  /// run scrub() first to locate the corrupt one.
+  bool repair_strip(layout::StripLoc loc);
+
+  const IoCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = {}; }
+
+  /// Raw physical strip contents (no decoding, no counters) -- forensic
+  /// inspection for tests and debugging tools. Reading a failed disk
+  /// returns its poisoned fill pattern.
+  std::span<const std::uint8_t> peek(layout::StripLoc loc) const;
+
+ private:
+  std::span<std::uint8_t> strip(layout::StripLoc loc);
+  std::span<const std::uint8_t> strip(layout::StripLoc loc) const;
+  /// Reconstructs a lost strip's content by XOR over a relation, recursively
+  /// resolving members that are themselves lost (staged repair, as in the
+  /// 2+1 failure case where the peer group must be decoded first).
+  /// `in_progress` breaks cycles; nullopt when no relation chain resolves.
+  std::optional<std::vector<std::uint8_t>> reconstruct(
+      layout::StripLoc loc, std::set<layout::StripLoc>& in_progress) const;
+
+  std::shared_ptr<const layout::Layout> layout_;
+  std::size_t strip_bytes_;
+  std::vector<std::vector<std::uint8_t>> store_;  ///< per disk, strips concatenated
+  std::set<std::size_t> failed_;
+  mutable IoCounters counters_;
+};
+
+}  // namespace oi::core

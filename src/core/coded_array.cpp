@@ -1,0 +1,186 @@
+#include "core/coded_array.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace oi::core {
+
+CodedArray::CodedArray(std::shared_ptr<const codes::ErasureCode> code,
+                       std::size_t strips_per_disk, std::size_t strip_bytes,
+                       bool rotate)
+    : code_(std::move(code)),
+      strips_(strips_per_disk),
+      strip_bytes_(strip_bytes),
+      rotate_(rotate) {
+  OI_ENSURE(code_ != nullptr, "coded array needs a codec");
+  OI_ENSURE(strips_per_disk >= 1, "need at least one strip per disk");
+  OI_ENSURE(strip_bytes >= 1, "strip size must be positive");
+  store_.resize(disks());
+  for (auto& disk : store_) disk.assign(strips_ * strip_bytes_, 0);
+  // Zero data encodes to zero parity for every linear code here, so a fresh
+  // array is consistent; scrub() verifies rather than assumes.
+  OI_ASSERT(scrub().empty(), "fresh coded array must be consistent");
+}
+
+double CodedArray::data_fraction() const {
+  return static_cast<double>(code_->data_strips()) /
+         static_cast<double>(code_->total_strips());
+}
+
+std::size_t CodedArray::slot_of(std::size_t disk, std::size_t offset) const {
+  const std::size_t n = disks();
+  return rotate_ ? (disk + n - offset % n) % n : disk;
+}
+
+std::size_t CodedArray::disk_of(std::size_t slot, std::size_t offset) const {
+  const std::size_t n = disks();
+  return rotate_ ? (slot + offset) % n : slot;
+}
+
+std::span<std::uint8_t> CodedArray::strip(std::size_t disk, std::size_t offset) {
+  OI_ASSERT(disk < store_.size() && offset < strips_, "strip out of range");
+  return {store_[disk].data() + offset * strip_bytes_, strip_bytes_};
+}
+
+std::span<const std::uint8_t> CodedArray::strip(std::size_t disk,
+                                                std::size_t offset) const {
+  OI_ASSERT(disk < store_.size() && offset < strips_, "strip out of range");
+  return {store_[disk].data() + offset * strip_bytes_, strip_bytes_};
+}
+
+std::vector<bool> CodedArray::gather(std::size_t offset,
+                                     std::vector<codes::Strip>& strips) const {
+  const std::size_t n = disks();
+  strips.assign(n, {});
+  std::vector<bool> present(n, true);
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    const std::size_t disk = disk_of(slot, offset);
+    if (failed_.contains(disk)) {
+      present[slot] = false;
+      continue;
+    }
+    const auto src = strip(disk, offset);
+    strips[slot].assign(src.begin(), src.end());
+    ++counters_.strip_reads;
+  }
+  return present;
+}
+
+std::vector<std::uint8_t> CodedArray::read(std::size_t logical) const {
+  OI_ENSURE(logical < capacity_strips(), "logical address out of range");
+  const std::size_t offset = logical / code_->data_strips();
+  const std::size_t slot = logical % code_->data_strips();
+  const std::size_t disk = disk_of(slot, offset);
+  if (!failed_.contains(disk)) {
+    ++counters_.strip_reads;
+    const auto src = strip(disk, offset);
+    return {src.begin(), src.end()};
+  }
+  std::vector<codes::Strip> strips;
+  const auto present = gather(offset, strips);
+  if (!code_->decode(strips, present)) {
+    throw std::runtime_error("degraded read unrecoverable under current failures");
+  }
+  return strips[slot];
+}
+
+void CodedArray::write(std::size_t logical, std::span<const std::uint8_t> data) {
+  OI_ENSURE(logical < capacity_strips(), "logical address out of range");
+  OI_ENSURE(data.size() == strip_bytes_, "write size must equal the strip size");
+  const std::size_t k = code_->data_strips();
+  const std::size_t offset = logical / k;
+  const std::size_t slot = logical % k;
+  const std::size_t disk = disk_of(slot, offset);
+  if (failed_.contains(disk)) {
+    throw std::runtime_error("cannot write a strip whose disk has failed");
+  }
+  codes::Strip old_data;
+  {
+    const auto src = strip(disk, offset);
+    old_data.assign(src.begin(), src.end());
+    ++counters_.strip_reads;
+  }
+  codes::Strip new_data(data.begin(), data.end());
+  {
+    auto dst = strip(disk, offset);
+    std::copy(data.begin(), data.end(), dst.begin());
+    ++counters_.strip_writes;
+  }
+  for (std::size_t p = 0; p < code_->parity_strips(); ++p) {
+    const std::size_t parity_disk = disk_of(k + p, offset);
+    if (failed_.contains(parity_disk)) continue;
+    ++counters_.strip_reads;  // RMW read of the old parity
+    const auto span = strip(parity_disk, offset);
+    codes::Strip parity(span.begin(), span.end());
+    code_->update_parity(parity, p, slot, old_data, new_data);
+    std::copy(parity.begin(), parity.end(), strip(parity_disk, offset).begin());
+    ++counters_.strip_writes;
+    ++counters_.parity_strip_writes;
+  }
+}
+
+void CodedArray::fail_disk(std::size_t disk) {
+  OI_ENSURE(disk < disks(), "disk id out of range");
+  if (failed_.contains(disk)) return;
+  failed_.insert(disk);
+  std::fill(store_[disk].begin(), store_[disk].end(), 0xDD);
+}
+
+CodedRebuildReport CodedArray::rebuild() {
+  CodedRebuildReport report;
+  if (failed_.empty()) return report;
+  if (!recoverable()) {
+    throw std::runtime_error("failure pattern exceeds the code's tolerance; data lost");
+  }
+  const auto before_reads = counters_.strip_reads;
+  for (std::size_t offset = 0; offset < strips_; ++offset) {
+    std::vector<codes::Strip> strips;
+    const auto present = gather(offset, strips);
+    const bool ok = code_->decode(strips, present);
+    OI_ASSERT(ok, "decode must succeed within the code's tolerance");
+    for (std::size_t slot = 0; slot < disks(); ++slot) {
+      if (present[slot]) continue;
+      const std::size_t disk = disk_of(slot, offset);
+      auto dst = strip(disk, offset);
+      std::copy(strips[slot].begin(), strips[slot].end(), dst.begin());
+      ++counters_.strip_writes;
+      ++report.strips_rebuilt;
+    }
+  }
+  report.strip_reads = counters_.strip_reads - before_reads;
+  failed_.clear();
+  return report;
+}
+
+std::string CodedArray::scrub() const {
+  for (std::size_t offset = 0; offset < strips_; ++offset) {
+    bool stripe_touched_failure = false;
+    std::vector<codes::Strip> data(code_->data_strips());
+    for (std::size_t slot = 0; slot < code_->data_strips(); ++slot) {
+      const std::size_t disk = disk_of(slot, offset);
+      if (failed_.contains(disk)) {
+        stripe_touched_failure = true;
+        break;
+      }
+      const auto src = strip(disk, offset);
+      data[slot].assign(src.begin(), src.end());
+    }
+    if (stripe_touched_failure) continue;
+    std::vector<codes::Strip> parity(code_->parity_strips());
+    code_->encode(data, parity);
+    bool mismatch = false;
+    for (std::size_t p = 0; p < parity.size() && !mismatch; ++p) {
+      const std::size_t disk = disk_of(code_->data_strips() + p, offset);
+      if (failed_.contains(disk)) continue;
+      const auto stored = strip(disk, offset);
+      mismatch = !std::equal(parity[p].begin(), parity[p].end(), stored.begin());
+    }
+    if (mismatch) {
+      return "stripe at offset " + std::to_string(offset) + " has inconsistent parity";
+    }
+  }
+  return {};
+}
+
+}  // namespace oi::core

@@ -1,0 +1,171 @@
+#include "core/fault_analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace oi::core {
+namespace {
+
+double choose(std::size_t n, std::size_t r) {
+  if (r > n) return 0.0;
+  double result = 1.0;
+  for (std::size_t i = 0; i < r; ++i) {
+    result *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+  }
+  return result;
+}
+
+/// Calls fn for every r-combination of {0..n-1}; fn may return false to
+/// abort the enumeration early.
+template <typename Fn>
+void for_each_combination(std::size_t n, std::size_t r, Fn&& fn) {
+  std::vector<std::size_t> combo(r);
+  for (std::size_t i = 0; i < r; ++i) combo[i] = i;
+  while (true) {
+    if (!fn(const_cast<const std::vector<std::size_t>&>(combo))) return;
+    std::size_t i = r;
+    while (i > 0) {
+      --i;
+      if (combo[i] != i + n - r) break;
+      if (i == 0) return;
+    }
+    ++combo[i];
+    for (std::size_t j = i + 1; j < r; ++j) combo[j] = combo[j - 1] + 1;
+  }
+}
+
+}  // namespace
+
+bool peel_recoverable(const layout::Layout& layout,
+                      const std::vector<std::size_t>& failed_disks) {
+  return layout.recovery_plan(failed_disks).has_value();
+}
+
+bool exact_recoverable(const layout::Layout& layout,
+                       const std::vector<std::size_t>& failed_disks) {
+  const std::set<std::size_t> failed(failed_disks.begin(), failed_disks.end());
+  if (failed.empty()) return true;
+
+  // Index the unknowns (every strip of every failed disk).
+  std::map<layout::StripLoc, std::size_t> var_index;
+  for (std::size_t disk : failed) {
+    OI_ENSURE(disk < layout.disks(), "failed disk id out of range");
+    for (std::size_t offset = 0; offset < layout.strips_per_disk(); ++offset) {
+      var_index.emplace(layout::StripLoc{disk, offset}, var_index.size());
+    }
+  }
+  const std::size_t vars = var_index.size();
+
+  // Gather every inner/outer relation touching an unknown, deduplicated.
+  // Composite relations lie in the span of these and add no rank.
+  std::set<std::vector<layout::StripLoc>> seen;
+  std::vector<std::vector<std::uint64_t>> rows;
+  const std::size_t words = (vars + 63) / 64;
+  for (const auto& [loc, idx] : var_index) {
+    (void)idx;
+    for (const auto& rel : layout.relations_of(loc)) {
+      if (rel.kind == layout::RelationKind::kOuterComposite) continue;
+      std::vector<layout::StripLoc> key = rel.strips;
+      std::sort(key.begin(), key.end());
+      if (!seen.insert(key).second) continue;
+      std::vector<std::uint64_t> row(words, 0);
+      for (const auto& member : key) {
+        const auto it = var_index.find(member);
+        if (it == var_index.end()) continue;
+        row[it->second / 64] |= 1ULL << (it->second % 64);
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+
+  // Rank via Gaussian elimination. The system is consistent by construction
+  // (the true array contents satisfy every relation), so recoverability is
+  // exactly rank == number of unknowns.
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < vars && rank < rows.size(); ++col) {
+    const std::size_t word = col / 64;
+    const std::uint64_t bit = 1ULL << (col % 64);
+    std::size_t pivot = rank;
+    while (pivot < rows.size() && (rows[pivot][word] & bit) == 0) ++pivot;
+    if (pivot == rows.size()) return false;  // free variable: not unique
+    std::swap(rows[rank], rows[pivot]);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (r != rank && (rows[r][word] & bit)) {
+        for (std::size_t w = 0; w < words; ++w) rows[r][w] ^= rows[rank][w];
+      }
+    }
+    ++rank;
+  }
+  return rank == vars;
+}
+
+double ToleranceSummary::peel_fraction() const {
+  return patterns_tested == 0
+             ? 0.0
+             : static_cast<double>(peel_recoverable) / static_cast<double>(patterns_tested);
+}
+
+double ToleranceSummary::exact_fraction() const {
+  return patterns_tested == 0
+             ? 0.0
+             : static_cast<double>(exact_recoverable) /
+                   static_cast<double>(patterns_tested);
+}
+
+ToleranceSummary sweep_failure_patterns(const layout::Layout& layout,
+                                        std::size_t failures,
+                                        std::size_t max_patterns, Rng& rng,
+                                        bool run_exact) {
+  OI_ENSURE(failures >= 1 && failures <= layout.disks(),
+            "failure count out of range");
+  OI_ENSURE(max_patterns >= 1, "need at least one pattern");
+  ToleranceSummary summary;
+  summary.failures = failures;
+
+  auto test = [&](const std::vector<std::size_t>& pattern) {
+    ++summary.patterns_tested;
+    if (peel_recoverable(layout, pattern)) {
+      ++summary.peel_recoverable;
+      // Peeling success implies exact solvability.
+      if (run_exact) ++summary.exact_recoverable;
+    } else if (run_exact && exact_recoverable(layout, pattern)) {
+      ++summary.exact_recoverable;
+    }
+  };
+
+  if (choose(layout.disks(), failures) <= static_cast<double>(max_patterns)) {
+    summary.exhaustive = true;
+    for_each_combination(layout.disks(), failures,
+                         [&](const std::vector<std::size_t>& pattern) {
+                           test(pattern);
+                           return true;
+                         });
+  } else {
+    for (std::size_t i = 0; i < max_patterns; ++i) {
+      test(rng.sample_without_replacement(layout.disks(), failures));
+    }
+  }
+  return summary;
+}
+
+std::size_t guaranteed_tolerance(const layout::Layout& layout, std::size_t f_max) {
+  OI_ENSURE(f_max >= 1, "f_max must be positive");
+  for (std::size_t f = 1; f <= std::min(f_max, layout.disks()); ++f) {
+    bool all_ok = true;
+    for_each_combination(layout.disks(), f,
+                         [&](const std::vector<std::size_t>& pattern) {
+                           if (!peel_recoverable(layout, pattern)) {
+                             all_ok = false;
+                             return false;
+                           }
+                           return true;
+                         });
+    if (!all_ok) return f - 1;
+  }
+  return std::min(f_max, layout.disks());
+}
+
+}  // namespace oi::core

@@ -1,0 +1,54 @@
+// Fault-tolerance decision procedures and enumeration utilities (experiment
+// E1). Two checkers:
+//
+//   * peel_recoverable -- iterative decoding over the layout's relations;
+//     this is what a real controller executes and what Layout::recovery_plan
+//     uses. Complete for every failure pattern a controller could actually
+//     repair online.
+//   * exact_recoverable -- GF(2) rank test over the full relation system;
+//     decides *information-theoretic* recoverability, catching patterns
+//     where joint (Gaussian) decoding succeeds but one-at-a-time peeling
+//     stalls.
+//
+// The guaranteed tolerance reported by the paper ("at least three") is a
+// statement about peeling; the exact checker quantifies the extra headroom.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "layout/layout.hpp"
+#include "util/rng.hpp"
+
+namespace oi::core {
+
+bool peel_recoverable(const layout::Layout& layout,
+                      const std::vector<std::size_t>& failed_disks);
+
+bool exact_recoverable(const layout::Layout& layout,
+                       const std::vector<std::size_t>& failed_disks);
+
+struct ToleranceSummary {
+  std::size_t failures = 0;
+  std::size_t patterns_tested = 0;
+  std::size_t peel_recoverable = 0;
+  std::size_t exact_recoverable = 0;
+  bool exhaustive = false;
+
+  double peel_fraction() const;
+  double exact_fraction() const;
+};
+
+/// Tests failure patterns of the given size: exhaustively when C(n, f) <=
+/// max_patterns, otherwise by uniform sampling without replacement of
+/// max_patterns random patterns.
+ToleranceSummary sweep_failure_patterns(const layout::Layout& layout,
+                                        std::size_t failures,
+                                        std::size_t max_patterns, Rng& rng,
+                                        bool run_exact = true);
+
+/// Largest f such that every pattern of f failures peels (scans upward from
+/// 1, exhaustively; practical for test-sized arrays).
+std::size_t guaranteed_tolerance(const layout::Layout& layout, std::size_t f_max);
+
+}  // namespace oi::core

@@ -1,0 +1,100 @@
+#include "layout/analysis.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace oi::layout {
+
+RebuildLoad compute_rebuild_load(const Layout& layout,
+                                 const std::vector<std::size_t>& failed_disks,
+                                 const std::vector<RecoveryStep>& plan,
+                                 SparePolicy spare) {
+  const std::set<std::size_t> failed(failed_disks.begin(), failed_disks.end());
+  RebuildLoad load;
+  load.reads = per_disk_read_load(layout, failed_disks, plan);
+  load.lost_strips = plan.size();
+
+  const std::size_t n = layout.disks();
+  if (spare == SparePolicy::kDedicatedSpare) {
+    // One replacement disk per failed disk; replacement f absorbs the strips
+    // of the f-th failed disk.
+    load.writes.assign(n + failed.size(), 0.0);
+    std::vector<std::size_t> ordered(failed.begin(), failed.end());
+    for (const RecoveryStep& step : plan) {
+      const auto it = std::lower_bound(ordered.begin(), ordered.end(), step.lost.disk);
+      OI_ASSERT(it != ordered.end() && *it == step.lost.disk,
+                "plan rebuilds a strip on a disk that did not fail");
+      load.writes[n + static_cast<std::size_t>(it - ordered.begin())] += 1.0;
+    }
+  } else {
+    // Round-robin the rebuilt strips over the survivors' spare space.
+    load.writes.assign(n, 0.0);
+    std::vector<std::size_t> survivors;
+    survivors.reserve(n - failed.size());
+    for (std::size_t d = 0; d < n; ++d) {
+      if (!failed.contains(d)) survivors.push_back(d);
+    }
+    OI_ENSURE(!survivors.empty(), "distributed spare needs at least one survivor");
+    std::size_t next = 0;
+    for (const RecoveryStep& step : plan) {
+      (void)step;
+      load.writes[survivors[next]] += 1.0;
+      next = (next + 1) % survivors.size();
+    }
+  }
+  return load;
+}
+
+double rebuild_time_lower_bound(const RebuildLoad& load, double strip_read_seconds,
+                                double strip_write_seconds) {
+  OI_ENSURE(strip_read_seconds > 0 && strip_write_seconds > 0,
+            "strip service times must be positive");
+  double bound = 0.0;
+  const std::size_t disks = std::max(load.reads.size(), load.writes.size());
+  for (std::size_t d = 0; d < disks; ++d) {
+    const double reads = d < load.reads.size() ? load.reads[d] : 0.0;
+    const double writes = d < load.writes.size() ? load.writes[d] : 0.0;
+    bound = std::max(bound, reads * strip_read_seconds + writes * strip_write_seconds);
+  }
+  return bound;
+}
+
+double read_imbalance(const RebuildLoad& load,
+                      const std::vector<std::size_t>& failed_disks) {
+  const std::set<std::size_t> failed(failed_disks.begin(), failed_disks.end());
+  std::vector<double> active;
+  for (std::size_t d = 0; d < load.reads.size(); ++d) {
+    if (failed.contains(d)) continue;
+    if (load.reads[d] > 0.0) active.push_back(load.reads[d]);
+  }
+  return max_over_mean(active);
+}
+
+double oi_raid_data_fraction(std::size_t k, std::size_t m) {
+  OI_ENSURE(k >= 2 && m >= 2, "OI-RAID needs k >= 2 and m >= 2");
+  const double outer = static_cast<double>(k - 1) / static_cast<double>(k);
+  const double inner = static_cast<double>(m - 1) / static_cast<double>(m);
+  return outer * inner;
+}
+
+double raid5_data_fraction(std::size_t n) {
+  OI_ENSURE(n >= 2, "RAID5 needs n >= 2");
+  return static_cast<double>(n - 1) / static_cast<double>(n);
+}
+
+double raid50_data_fraction(std::size_t m) { return raid5_data_fraction(m); }
+
+double replication_data_fraction(std::size_t copies) {
+  OI_ENSURE(copies >= 1, "replication needs at least one copy");
+  return 1.0 / static_cast<double>(copies);
+}
+
+double rs_data_fraction(std::size_t k, std::size_t parity) {
+  OI_ENSURE(k >= 1, "RS needs k >= 1");
+  return static_cast<double>(k) / static_cast<double>(k + parity);
+}
+
+}  // namespace oi::layout

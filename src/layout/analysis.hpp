@@ -1,0 +1,57 @@
+// Analytic helpers shared by the bench binaries: per-disk rebuild load,
+// bandwidth-bound rebuild-time estimates, storage overhead and update-cost
+// summaries. The event-driven simulator (src/sim) produces the measured
+// counterparts; benches print both so the closed forms are cross-checked.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "layout/layout.hpp"
+
+namespace oi::layout {
+
+enum class SparePolicy {
+  /// All rebuilt strips are written to one replacement disk per failed disk
+  /// (the classic hot-spare; its write bandwidth caps rebuild speed).
+  kDedicatedSpare,
+  /// Rebuilt strips are scattered round-robin over the surviving disks'
+  /// reserved spare space (parity-declustering style); removes the
+  /// single-disk write bottleneck.
+  kDistributedSpare,
+};
+
+struct RebuildLoad {
+  /// Strip reads charged to each surviving disk (failed disks stay 0).
+  std::vector<double> reads;
+  /// Strip writes charged to each disk. With a dedicated spare the vector is
+  /// extended by one entry per failed disk (the replacements).
+  std::vector<double> writes;
+  std::size_t lost_strips = 0;
+};
+
+RebuildLoad compute_rebuild_load(const Layout& layout,
+                                 const std::vector<std::size_t>& failed_disks,
+                                 const std::vector<RecoveryStep>& plan,
+                                 SparePolicy spare);
+
+/// Bandwidth-bound rebuild time: every disk moves its strips at the given
+/// per-strip service times; the slowest disk defines the bound. This ignores
+/// queueing interleave effects (the simulator captures those) but preserves
+/// the max-load structure the paper's analysis relies on.
+double rebuild_time_lower_bound(const RebuildLoad& load, double strip_read_seconds,
+                                double strip_write_seconds);
+
+/// max(read load)/mean(read load) over surviving disks that serve at least
+/// one read -- the balance metric of the skew experiments (1.0 = perfect).
+double read_imbalance(const RebuildLoad& load,
+                      const std::vector<std::size_t>& failed_disks);
+
+/// Closed-form data fractions used by the storage-overhead table (E5).
+double oi_raid_data_fraction(std::size_t k, std::size_t m);
+double raid5_data_fraction(std::size_t n);
+double raid50_data_fraction(std::size_t m);
+double replication_data_fraction(std::size_t copies);
+double rs_data_fraction(std::size_t k, std::size_t parity);
+
+}  // namespace oi::layout

@@ -1,0 +1,113 @@
+#include "layout/coded_flat.hpp"
+
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace oi::layout {
+
+CodedFlatLayout::CodedFlatLayout(std::shared_ptr<const codes::ErasureCode> code,
+                                 std::size_t strips_per_disk)
+    : code_(std::move(code)), strips_(strips_per_disk) {
+  OI_ENSURE(code_ != nullptr, "coded flat layout needs a codec");
+  OI_ENSURE(strips_per_disk >= 1, "need at least one strip per disk");
+}
+
+std::string CodedFlatLayout::name() const { return "flat-" + code_->name(); }
+
+std::size_t CodedFlatLayout::slot_of(std::size_t disk, std::size_t offset) const {
+  const std::size_t n = disks();
+  return (disk + n - offset % n) % n;
+}
+
+std::size_t CodedFlatLayout::disk_of(std::size_t slot, std::size_t offset) const {
+  return (slot + offset) % disks();
+}
+
+StripLoc CodedFlatLayout::locate(std::size_t logical) const {
+  OI_ENSURE(logical < data_strips(), "logical address out of range");
+  const std::size_t k = code_->data_strips();
+  const std::size_t offset = logical / k;
+  return {disk_of(logical % k, offset), offset};
+}
+
+StripInfo CodedFlatLayout::inspect(StripLoc loc) const {
+  OI_ENSURE(loc.disk < disks() && loc.offset < strips_, "strip location out of range");
+  const std::size_t slot = slot_of(loc.disk, loc.offset);
+  if (slot >= code_->data_strips()) return {StripRole::kParity, 0};
+  return {StripRole::kData, loc.offset * code_->data_strips() + slot};
+}
+
+std::vector<Relation> CodedFlatLayout::relations_of(StripLoc loc) const {
+  OI_ENSURE(loc.disk < disks() && loc.offset < strips_, "strip location out of range");
+  Relation stripe{RelationKind::kInner, {}};
+  stripe.strips.reserve(disks());
+  for (std::size_t d = 0; d < disks(); ++d) stripe.strips.push_back({d, loc.offset});
+  return {stripe};
+}
+
+std::vector<StripLoc> CodedFlatLayout::degraded_read_sources(
+    StripLoc loc, const std::set<std::size_t>& failed_disks) const {
+  // MDS: any k surviving strips of the stripe decode everything.
+  std::vector<StripLoc> sources;
+  const std::size_t k = code_->data_strips();
+  for (std::size_t d = 0; d < disks() && sources.size() < k; ++d) {
+    if (d == loc.disk || failed_disks.contains(d)) continue;
+    sources.push_back({d, loc.offset});
+  }
+  if (sources.size() < k) return {};
+  return sources;
+}
+
+WritePlan CodedFlatLayout::small_write_plan(std::size_t logical) const {
+  const StripLoc data = locate(logical);
+  WritePlan plan;
+  plan.reads = {data};
+  plan.writes = {data};
+  for (std::size_t p = 0; p < code_->parity_strips(); ++p) {
+    const StripLoc parity{disk_of(code_->data_strips() + p, data.offset), data.offset};
+    plan.reads.push_back(parity);
+    plan.writes.push_back(parity);
+  }
+  plan.parity_updates = code_->parity_strips();
+  return plan;
+}
+
+std::optional<std::vector<RecoveryStep>> CodedFlatLayout::recovery_plan(
+    const std::vector<std::size_t>& failed_disks) const {
+  std::set<std::size_t> failed(failed_disks.begin(), failed_disks.end());
+  for (std::size_t disk : failed_disks) {
+    OI_ENSURE(disk < disks(), "failed disk id out of range");
+  }
+  OI_ENSURE(failed.size() == failed_disks.size(), "duplicate failed disk ids");
+  if (failed.size() > code_->fault_tolerance()) return std::nullopt;
+
+  std::vector<RecoveryStep> plan;
+  plan.reserve(failed.size() * strips_);
+  const std::size_t k = code_->data_strips();
+  for (std::size_t offset = 0; offset < strips_; ++offset) {
+    // One decode buffer per stripe: k survivor reads, charged to the first
+    // lost strip of the stripe.
+    bool first_in_stripe = true;
+    for (std::size_t disk : failed) {
+      RecoveryStep step{{disk, offset}, {}};
+      if (first_in_stripe) {
+        // Rotate which k survivors serve each stripe so the read load
+        // spreads over all n-1 survivors instead of pinning the lowest ids.
+        std::size_t taken = 0;
+        for (std::size_t i = 0; i < disks() && taken < k; ++i) {
+          const std::size_t d = (offset + i) % disks();
+          if (failed.contains(d)) continue;
+          step.reads.push_back({d, offset});
+          ++taken;
+        }
+        OI_ASSERT(taken == k, "MDS stripe must have k survivors within tolerance");
+        first_in_stripe = false;
+      }
+      plan.push_back(std::move(step));
+    }
+  }
+  return plan;
+}
+
+}  // namespace oi::layout

@@ -1,0 +1,55 @@
+// Flat MDS-coded layout: one stripe per offset across all k+m disks, roles
+// rotated RAID5-style. Gives the timing experiments the same-tolerance
+// Reed-Solomon baseline: RS(k,3) matches OI-RAID's 3-fault tolerance and
+// update cost, but its rebuild reads k strips per stripe from the *same* k
+// surviving disks -- no declustering, so the rebuild window stays a full
+// disk read no matter how large the array grows.
+//
+// Relations here describe stripe membership for I/O accounting and the
+// structural validators; actual decoding needs the codec (xor_semantics() is
+// false), so pair this layout with core::CodedArray for data-level work.
+#pragma once
+
+#include <memory>
+
+#include "codes/erasure_code.hpp"
+#include "layout/layout.hpp"
+
+namespace oi::layout {
+
+class CodedFlatLayout final : public Layout {
+ public:
+  CodedFlatLayout(std::shared_ptr<const codes::ErasureCode> code,
+                  std::size_t strips_per_disk);
+
+  std::size_t disks() const override { return code_->total_strips(); }
+  std::size_t strips_per_disk() const override { return strips_; }
+  std::size_t data_strips() const override { return strips_ * code_->data_strips(); }
+  std::size_t fault_tolerance() const override { return code_->fault_tolerance(); }
+  std::string name() const override;
+
+  StripLoc locate(std::size_t logical) const override;
+  StripInfo inspect(StripLoc loc) const override;
+  std::vector<Relation> relations_of(StripLoc loc) const override;
+  bool xor_semantics() const override { return false; }
+  std::vector<StripLoc> degraded_read_sources(
+      StripLoc loc, const std::set<std::size_t>& failed_disks) const override;
+  WritePlan small_write_plan(std::size_t logical) const override;
+
+  /// MDS recovery: per stripe, read any k survivors once and reconstruct
+  /// every lost strip of the stripe from that buffer (the first lost strip
+  /// of a stripe carries the reads; the rest are free).
+  std::optional<std::vector<RecoveryStep>> recovery_plan(
+      const std::vector<std::size_t>& failed_disks) const override;
+
+  const codes::ErasureCode& code() const { return *code_; }
+
+ private:
+  std::size_t slot_of(std::size_t disk, std::size_t offset) const;
+  std::size_t disk_of(std::size_t slot, std::size_t offset) const;
+
+  std::shared_ptr<const codes::ErasureCode> code_;
+  std::size_t strips_;
+};
+
+}  // namespace oi::layout

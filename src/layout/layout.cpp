@@ -1,0 +1,273 @@
+#include "layout/layout.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace oi::layout {
+
+std::optional<std::vector<RecoveryStep>> Layout::recovery_plan(
+    const std::vector<std::size_t>& failed_disks) const {
+  return plan_by_peeling(*this, failed_disks);
+}
+
+double Layout::data_fraction() const {
+  return static_cast<double>(data_strips()) / static_cast<double>(total_strips());
+}
+
+std::vector<StripLoc> Layout::degraded_read_sources(
+    StripLoc loc, const std::set<std::size_t>& failed_disks) const {
+  auto relations = relations_of(loc);
+  std::stable_sort(relations.begin(), relations.end(),
+                   [](const Relation& a, const Relation& b) {
+                     return static_cast<int>(a.kind) > static_cast<int>(b.kind);
+                   });
+  for (const Relation& rel : relations) {
+    std::vector<StripLoc> sources;
+    sources.reserve(rel.strips.size() - 1);
+    bool ok = true;
+    for (const StripLoc& member : rel.strips) {
+      if (member == loc) continue;
+      if (failed_disks.contains(member.disk)) {
+        ok = false;
+        break;
+      }
+      sources.push_back(member);
+    }
+    if (ok) return sources;
+  }
+  return {};
+}
+
+std::optional<std::vector<RecoveryStep>> plan_by_peeling(
+    const Layout& layout, const std::vector<std::size_t>& failed_disks,
+    bool prefer_outer) {
+  const std::size_t strips = layout.strips_per_disk();
+  for (std::size_t disk : failed_disks) {
+    OI_ENSURE(disk < layout.disks(), "failed disk id out of range");
+  }
+  std::set<std::size_t> failed(failed_disks.begin(), failed_disks.end());
+  OI_ENSURE(failed.size() == failed_disks.size(), "duplicate failed disk ids");
+
+  // Strips still to plan, in a deterministic order.
+  std::vector<StripLoc> pending;
+  pending.reserve(failed.size() * strips);
+  for (std::size_t disk : failed) {
+    for (std::size_t offset = 0; offset < strips; ++offset) {
+      pending.push_back({disk, offset});
+    }
+  }
+
+  std::set<StripLoc> rebuilt;
+  auto available = [&](const StripLoc& loc) {
+    return !failed.contains(loc.disk) || rebuilt.contains(loc);
+  };
+
+  std::vector<RecoveryStep> plan;
+  plan.reserve(pending.size());
+
+  // Peel: repeatedly sweep the pending strips, emitting a step whenever some
+  // relation has all other members available. For single-parity relations
+  // this is precisely the iterative decode a controller performs; a sweep
+  // with no progress means iterative decoding is stuck and the pattern is
+  // unrecoverable by these codes.
+  bool progress = true;
+  while (!pending.empty() && progress) {
+    progress = false;
+    std::vector<StripLoc> still_pending;
+    still_pending.reserve(pending.size());
+    for (const StripLoc& lost : pending) {
+      auto relations = layout.relations_of(lost);
+      OI_ASSERT(!relations.empty(), "every strip must belong to a relation");
+      if (prefer_outer) {
+        std::stable_sort(relations.begin(), relations.end(),
+                         [](const Relation& a, const Relation& b) {
+                           return static_cast<int>(a.kind) > static_cast<int>(b.kind);
+                         });
+      }
+      bool planned = false;
+      for (const Relation& rel : relations) {
+        std::vector<StripLoc> reads;
+        reads.reserve(rel.strips.size() - 1);
+        bool ready = true;
+        for (const StripLoc& member : rel.strips) {
+          if (member == lost) continue;
+          if (!available(member)) {
+            ready = false;
+            break;
+          }
+          reads.push_back(member);
+        }
+        if (!ready) continue;
+        OI_ASSERT(reads.size() + 1 == rel.strips.size(), "lost strip must be in relation");
+        plan.push_back({lost, std::move(reads)});
+        rebuilt.insert(lost);
+        planned = true;
+        progress = true;
+        break;
+      }
+      if (!planned) still_pending.push_back(lost);
+    }
+    pending = std::move(still_pending);
+  }
+  if (!pending.empty()) return std::nullopt;
+  return plan;
+}
+
+std::string check_mapping(const Layout& layout) {
+  std::ostringstream err;
+  std::map<StripLoc, std::size_t> seen;  // physical -> logical
+  for (std::size_t logical = 0; logical < layout.data_strips(); ++logical) {
+    const StripLoc loc = layout.locate(logical);
+    if (loc.disk >= layout.disks() || loc.offset >= layout.strips_per_disk()) {
+      err << "logical " << logical << " maps outside the array: disk=" << loc.disk
+          << " offset=" << loc.offset;
+      return err.str();
+    }
+    auto [it, inserted] = seen.emplace(loc, logical);
+    if (!inserted) {
+      err << "logical " << logical << " and " << it->second << " collide at disk="
+          << loc.disk << " offset=" << loc.offset;
+      return err.str();
+    }
+    const StripInfo info = layout.inspect(loc);
+    if (info.role != StripRole::kData) {
+      err << "logical " << logical << " lands on a non-data strip";
+      return err.str();
+    }
+    if (info.logical != logical) {
+      err << "inspect(locate(" << logical << ")) returned logical " << info.logical;
+      return err.str();
+    }
+  }
+  // Every physical strip is either one of the mapped data strips or a parity
+  // strip; count roles for the whole array.
+  std::size_t data = 0;
+  for (std::size_t disk = 0; disk < layout.disks(); ++disk) {
+    for (std::size_t offset = 0; offset < layout.strips_per_disk(); ++offset) {
+      const StripLoc loc{disk, offset};
+      const StripInfo info = layout.inspect(loc);
+      if (info.role == StripRole::kData) {
+        ++data;
+        if (!seen.contains(loc)) {
+          err << "data strip at disk=" << disk << " offset=" << offset
+              << " is unreachable from any logical address";
+          return err.str();
+        }
+      }
+    }
+  }
+  if (data != layout.data_strips()) {
+    err << "inspect reports " << data << " data strips, expected " << layout.data_strips();
+    return err.str();
+  }
+  return {};
+}
+
+std::string check_relations(const Layout& layout) {
+  std::ostringstream err;
+  for (std::size_t disk = 0; disk < layout.disks(); ++disk) {
+    for (std::size_t offset = 0; offset < layout.strips_per_disk(); ++offset) {
+      const StripLoc loc{disk, offset};
+      const auto relations = layout.relations_of(loc);
+      if (relations.empty()) {
+        err << "strip disk=" << disk << " offset=" << offset << " has no relation";
+        return err.str();
+      }
+      for (const Relation& rel : relations) {
+        if (rel.strips.size() < 2) {
+          err << "relation of size " << rel.strips.size() << " at disk=" << disk
+              << " offset=" << offset;
+          return err.str();
+        }
+        if (std::count(rel.strips.begin(), rel.strips.end(), loc) != 1) {
+          err << "strip disk=" << disk << " offset=" << offset
+              << " not listed exactly once in its own relation";
+          return err.str();
+        }
+        std::set<StripLoc> unique(rel.strips.begin(), rel.strips.end());
+        if (unique.size() != rel.strips.size()) {
+          err << "relation with duplicate members at disk=" << disk << " offset=" << offset;
+          return err.str();
+        }
+        // Symmetry: each member must report an identical relation. Composite
+        // relations are one-sided by construction (derived views centred on
+        // a parity strip); their XOR validity is checked at the data level
+        // by the array integrity tests instead.
+        if (rel.kind == RelationKind::kOuterComposite) continue;
+        for (const StripLoc& member : rel.strips) {
+          const auto member_rels = layout.relations_of(member);
+          const bool found = std::any_of(
+              member_rels.begin(), member_rels.end(), [&](const Relation& mr) {
+                return mr.kind == rel.kind &&
+                       std::set<StripLoc>(mr.strips.begin(), mr.strips.end()) == unique;
+              });
+          if (!found) {
+            err << "relation asymmetry: member disk=" << member.disk
+                << " offset=" << member.offset << " does not report the relation of disk="
+                << disk << " offset=" << offset;
+            return err.str();
+          }
+        }
+      }
+    }
+  }
+  return {};
+}
+
+std::string check_recovery_plan(const Layout& layout,
+                                const std::vector<std::size_t>& failed_disks,
+                                const std::vector<RecoveryStep>& plan) {
+  std::ostringstream err;
+  const std::set<std::size_t> failed(failed_disks.begin(), failed_disks.end());
+  std::set<StripLoc> rebuilt;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const RecoveryStep& step = plan[i];
+    if (!failed.contains(step.lost.disk)) {
+      err << "step " << i << " rebuilds a strip on a healthy disk";
+      return err.str();
+    }
+    if (rebuilt.contains(step.lost)) {
+      err << "step " << i << " rebuilds a strip twice";
+      return err.str();
+    }
+    for (const StripLoc& read : step.reads) {
+      if (read.disk >= layout.disks() || read.offset >= layout.strips_per_disk()) {
+        err << "step " << i << " reads outside the array";
+        return err.str();
+      }
+      if (failed.contains(read.disk) && !rebuilt.contains(read)) {
+        err << "step " << i << " reads a strip that is lost and not yet rebuilt";
+        return err.str();
+      }
+    }
+    rebuilt.insert(step.lost);
+  }
+  const std::size_t expected = failed.size() * layout.strips_per_disk();
+  if (rebuilt.size() != expected) {
+    err << "plan rebuilds " << rebuilt.size() << " strips, expected " << expected;
+    return err.str();
+  }
+  return {};
+}
+
+std::vector<double> per_disk_read_load(const Layout& layout,
+                                       const std::vector<std::size_t>& failed_disks,
+                                       const std::vector<RecoveryStep>& plan) {
+  const std::set<std::size_t> failed(failed_disks.begin(), failed_disks.end());
+  std::vector<double> load(layout.disks(), 0.0);
+  for (const RecoveryStep& step : plan) {
+    for (const StripLoc& read : step.reads) {
+      // Reads of already-rebuilt strips come from the rebuild buffer, not a
+      // surviving disk; they carry no disk cost.
+      if (failed.contains(read.disk)) continue;
+      load[read.disk] += 1.0;
+    }
+  }
+  return load;
+}
+
+}  // namespace oi::layout

@@ -1,0 +1,168 @@
+// The layout abstraction: every scheme in this library (flat RAID5, RAID5+0,
+// Holland/Gibson parity declustering, and OI-RAID itself) is a placement of
+// fixed-size strips on an array of disks together with a set of XOR
+// relations (stripes) over those strips -- each relation's strips XOR to
+// zero. That uniform view gives us, generically:
+//
+//   * a recovery planner (iterative peeling over relations, which for these
+//     single-parity-per-relation codes is the exact decode procedure used by
+//     a real controller),
+//   * integrity checking (fill data, derive parity, verify relations),
+//   * analysis of per-disk recovery load, update cost and overhead.
+//
+// Strips are addressed physically by (disk, offset) and logically by a dense
+// data index in [0, data_strips()).
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace oi::layout {
+
+struct StripLoc {
+  std::size_t disk = 0;
+  std::size_t offset = 0;
+
+  auto operator<=>(const StripLoc&) const = default;
+};
+
+enum class StripRole {
+  kData,         ///< holds user data
+  kParity,       ///< single-layer parity, or OI-RAID's *inner* (group) parity
+  kOuterParity,  ///< OI-RAID's outer (cross-group) parity
+};
+
+/// Parity-strip contents must be derived in a fixed order because OI-RAID's
+/// inner parity covers outer-parity strips: all kOuterParity strips are
+/// computed from data first, then kParity strips from data + outer parity.
+struct StripInfo {
+  StripRole role = StripRole::kData;
+  /// Dense logical index; meaningful only when role == kData.
+  std::size_t logical = 0;
+};
+
+enum class RelationKind {
+  kInner,  ///< intra-group (or single-layer) stripe
+  kOuter,  ///< OI-RAID cross-group stripe
+  /// OI-RAID inner-parity strips can be rebuilt without touching their own
+  /// group: the inner parity equals the XOR of the outer peers of every
+  /// strip it covers (each covered strip substituted by its outer relation).
+  /// This keeps single-failure recovery reads entirely on *other* groups,
+  /// which is what the paper's speedup analysis assumes.
+  kOuterComposite,
+};
+
+/// One XOR stripe: the strips listed XOR to zero. Exactly one member plays
+/// the parity role for that relation, but recovery does not care which --
+/// any single missing member is the XOR of the rest.
+struct Relation {
+  RelationKind kind = RelationKind::kInner;
+  std::vector<StripLoc> strips;
+};
+
+/// One rebuild action: `lost` is reconstructed as the XOR of `reads`.
+/// Steps are ordered; a read may target a failed disk only if that strip
+/// appears as `lost` in an earlier step (staged repair, e.g. OI-RAID's
+/// "repair the single-failure group first" case) -- the rebuilder then
+/// serves it from the rebuilt copy.
+struct RecoveryStep {
+  StripLoc lost;
+  std::vector<StripLoc> reads;
+};
+
+/// Read-modify-write plan for a small (single-strip) user write.
+struct WritePlan {
+  std::vector<StripLoc> reads;
+  std::vector<StripLoc> writes;
+  /// Number of parity strips among `writes` (the paper's update-complexity
+  /// metric; OI-RAID achieves the optimum of 3 for 3-fault tolerance).
+  std::size_t parity_updates = 0;
+};
+
+class Layout {
+ public:
+  virtual ~Layout() = default;
+
+  virtual std::size_t disks() const = 0;
+  virtual std::size_t strips_per_disk() const = 0;
+  /// Logical capacity in strips.
+  virtual std::size_t data_strips() const = 0;
+  /// Number of disk failures the scheme tolerates in the worst case.
+  virtual std::size_t fault_tolerance() const = 0;
+  virtual std::string name() const = 0;
+
+  virtual StripLoc locate(std::size_t logical) const = 0;
+  virtual StripInfo inspect(StripLoc loc) const = 0;
+
+  /// Every XOR relation containing the given strip. Each strip belongs to at
+  /// least one relation (nothing is unprotected).
+  virtual std::vector<Relation> relations_of(StripLoc loc) const = 0;
+
+  /// True when the relations are literal XOR equations (all RAID5-family
+  /// layouts here). CodedFlatLayout (Reed-Solomon) returns false: its
+  /// relations describe stripe membership for I/O accounting, but decoding
+  /// needs the codec -- core::Array refuses such layouts (use
+  /// core::CodedArray instead).
+  virtual bool xor_semantics() const { return true; }
+
+  /// Strips to read to reconstruct `loc` when its disk is down, under the
+  /// given failure set; empty when no single-step reconstruction exists.
+  /// Default: the first relation whose other members are all healthy
+  /// (outer-type relations preferred). MDS flat layouts override it to read
+  /// exactly k survivors.
+  virtual std::vector<StripLoc> degraded_read_sources(
+      StripLoc loc, const std::set<std::size_t>& failed_disks) const;
+
+  virtual WritePlan small_write_plan(std::size_t logical) const = 0;
+
+  /// Plans a full rebuild of the given failed disks via relation peeling.
+  /// Returns nullopt when the failure pattern is unrecoverable. The default
+  /// implementation is exact for every layout in this library; see
+  /// plan_by_peeling.
+  virtual std::optional<std::vector<RecoveryStep>> recovery_plan(
+      const std::vector<std::size_t>& failed_disks) const;
+
+  std::size_t total_strips() const { return disks() * strips_per_disk(); }
+  /// data_strips / total_strips.
+  double data_fraction() const;
+};
+
+/// Generic relation-peeling planner used by Layout::recovery_plan. For
+/// strips whose role prefers it, outer relations are tried before inner ones
+/// (that is what spreads OI-RAID's recovery traffic across groups); the
+/// fallback order tries everything, so the planner finds a plan whenever
+/// iterative decoding can.
+std::optional<std::vector<RecoveryStep>> plan_by_peeling(
+    const Layout& layout, const std::vector<std::size_t>& failed_disks,
+    bool prefer_outer = true);
+
+/// --- structural validators (used by tests and by array construction) ---
+
+/// Checks that logical->physical->logical round-trips, that physical strips
+/// partition into exactly the advertised roles, and that no two logical
+/// addresses collide. Returns empty string when valid.
+std::string check_mapping(const Layout& layout);
+
+/// Checks every relation reported by relations_of: membership is symmetric
+/// (each member strip reports the same relation) and relation sizes are sane.
+/// Quadratic in total strips; intended for test-sized geometries.
+std::string check_relations(const Layout& layout);
+
+/// Checks a recovery plan's staging discipline: reads only reference healthy
+/// disks or strips already rebuilt by earlier steps, and all strips of all
+/// failed disks are covered exactly once.
+std::string check_recovery_plan(const Layout& layout,
+                                const std::vector<std::size_t>& failed_disks,
+                                const std::vector<RecoveryStep>& plan);
+
+/// Per-disk number of strip reads a plan performs (index = disk id); reads
+/// served from rebuilt strips (staged repair) are *not* charged to a disk.
+std::vector<double> per_disk_read_load(const Layout& layout,
+                                       const std::vector<std::size_t>& failed_disks,
+                                       const std::vector<RecoveryStep>& plan);
+
+}  // namespace oi::layout

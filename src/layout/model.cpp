@@ -1,0 +1,58 @@
+#include "layout/model.hpp"
+
+#include "util/assert.hpp"
+
+namespace oi::layout {
+
+double OiRaidModel::rebuild_read_capacities() const {
+  OI_ENSURE(k >= 2 && m >= 2 && v > k, "invalid OI-RAID model parameters");
+  OI_ENSURE((v - 1) % (k - 1) == 0, "replication number must be integral");
+  const double md = static_cast<double>(m);
+  const double kd = static_cast<double>(k);
+  return (md - 1.0) / md * (kd - 1.0)        // content strips
+         + 1.0 / md * (md - 1.0) * (kd - 1.0);  // inner-parity strips
+}
+
+double OiRaidModel::per_disk_read_fraction() const {
+  // lambda = 1 spreads the reads over all (v-1) other groups' m disks.
+  return rebuild_read_capacities() /
+         (static_cast<double>(v - 1) * static_cast<double>(m));
+}
+
+double OiRaidModel::per_disk_write_fraction() const {
+  return 1.0 / static_cast<double>(disks() - 1);
+}
+
+double OiRaidModel::busiest_disk_fraction() const {
+  // Under perfect skew every surviving disk outside the failed group gets
+  // the mean read share plus its write share; the failed group's peers only
+  // absorb writes.
+  return per_disk_read_fraction() + per_disk_write_fraction();
+}
+
+double OiRaidModel::speedup_vs_raid5() const {
+  return raid5_busiest_fraction(disks()) / busiest_disk_fraction();
+}
+
+double raid5_busiest_fraction(std::size_t n) {
+  OI_ENSURE(n >= 2, "RAID5 needs n >= 2");
+  return 1.0 + 1.0 / static_cast<double>(n - 1);
+}
+
+double raid50_busiest_fraction(std::size_t groups, std::size_t m) {
+  OI_ENSURE(groups >= 1 && m >= 2, "RAID5+0 needs groups >= 1, m >= 2");
+  return 1.0 + 1.0 / static_cast<double>(groups * m - 1);
+}
+
+double pd_busiest_fraction(std::size_t n, std::size_t k) {
+  OI_ENSURE(n > k && k >= 2, "parity declustering needs n > k >= 2");
+  return (static_cast<double>(k - 1) + 1.0) / static_cast<double>(n - 1);
+}
+
+double rebuild_seconds_from_fraction(double fraction, std::size_t strips,
+                                     double strip_seconds) {
+  OI_ENSURE(fraction > 0 && strip_seconds > 0, "model inputs must be positive");
+  return fraction * static_cast<double>(strips) * strip_seconds;
+}
+
+}  // namespace oi::layout

@@ -1,0 +1,54 @@
+// Closed-form performance models re-deriving the paper's analysis: per-disk
+// rebuild read load, bandwidth-bound rebuild time and recovery speedup for
+// each scheme, as functions of the geometry only. The benches print these
+// next to the simulated numbers; tests assert the two agree (the simulator
+// validates the analysis and vice versa).
+//
+// Conventions: loads are in units of "fraction of one disk's capacity";
+// times are for one disk of `strips` strips moved at `strip_seconds` per
+// strip, with a distributed spare (writes spread over survivors).
+#pragma once
+
+#include <cstddef>
+
+namespace oi::layout {
+
+struct OiRaidModel {
+  std::size_t v = 7;  ///< groups
+  std::size_t k = 3;  ///< outer stripe width (BIBD block size)
+  std::size_t m = 3;  ///< disks per group
+  std::size_t r() const { return (v - 1) / (k - 1); }
+  std::size_t disks() const { return v * m; }
+
+  /// Total recovery reads for one failed disk, in disk capacities:
+  /// content strips (m-1)/m of the disk read k-1 peers each; inner-parity
+  /// strips 1/m of the disk read (m-1)(k-1) peers each.
+  double rebuild_read_capacities() const;
+  /// Reads landing on each disk of the other groups under perfect skew
+  /// (fraction of a disk capacity): total spread over (v-1)*m disks.
+  double per_disk_read_fraction() const;
+  /// Writes per surviving disk with a distributed spare.
+  double per_disk_write_fraction() const;
+  /// max per-disk I/O fraction; its inverse is the speedup over reading a
+  /// whole disk (the RAID5 baseline).
+  double busiest_disk_fraction() const;
+  double speedup_vs_raid5() const;
+};
+
+/// RAID5 over n disks, distributed spare: every survivor reads its whole
+/// disk; writes add 1/(n-1).
+double raid5_busiest_fraction(std::size_t n);
+
+/// RAID5+0: the m-1 group peers read everything; writes spread array-wide.
+double raid50_busiest_fraction(std::size_t groups, std::size_t m);
+
+/// Parity declustering over n disks with stripe width k: reads (k-1)/(n-1)
+/// per survivor, writes 1/(n-1).
+double pd_busiest_fraction(std::size_t n, std::size_t k);
+
+/// Bandwidth-bound rebuild seconds for a disk of `strips` strips at
+/// `strip_seconds` per strip given a busiest-disk fraction.
+double rebuild_seconds_from_fraction(double fraction, std::size_t strips,
+                                     double strip_seconds);
+
+}  // namespace oi::layout

@@ -1,0 +1,198 @@
+#include "layout/oi_raid.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace oi::layout {
+
+OiRaidLayout::OiRaidLayout(OiRaidParams params) : params_(std::move(params)) {
+  const bibd::Design& design = params_.design;
+  OI_ENSURE(design.lambda == 1, "OI-RAID requires a lambda=1 design");
+  const std::string problem = bibd::verify(design);
+  OI_ENSURE(problem.empty(), "invalid design: " + problem);
+  OI_ENSURE(params_.disks_per_group >= 2, "OI-RAID needs at least 2 disks per group");
+  OI_ENSURE(params_.region_height >= 1, "OI-RAID needs region height >= 1");
+  v_ = design.v;
+  k_ = design.k;
+  r_ = design.r();
+  b_ = design.b();
+  m_ = params_.disks_per_group;
+  h_ = params_.region_height;
+  group_blocks_ = bibd::point_to_blocks(design);
+
+  rank_in_group_.assign(b_, std::vector<std::size_t>(k_, 0));
+  for (std::size_t block = 0; block < b_; ++block) {
+    for (std::size_t pos = 0; pos < k_; ++pos) {
+      const std::size_t group = design.blocks[block][pos];
+      const auto& list = group_blocks_[group];
+      const auto it = std::lower_bound(list.begin(), list.end(), block);
+      OI_ASSERT(it != list.end() && *it == block, "point_to_blocks inconsistent");
+      rank_in_group_[block][pos] = static_cast<std::size_t>(it - list.begin());
+    }
+  }
+}
+
+std::size_t OiRaidLayout::inner_parity_member(std::size_t offset) const {
+  // Skewed layout: banded rotation (see header). Naive layout: per-offset
+  // rotation, the classic RAID5 left-symmetric pattern.
+  if (params_.skew && m_ > 2) return (offset / (m_ - 1)) % m_;
+  return offset % m_;
+}
+
+std::string OiRaidLayout::name() const {
+  return "oi-raid(" + params_.design.origin + ",m=" + std::to_string(m_) +
+         ",H=" + std::to_string(h_) + (params_.skew ? "" : ",noskew") + ")";
+}
+
+StripLoc OiRaidLayout::cell_location(std::size_t block, std::size_t position,
+                                     std::size_t t) const {
+  OI_ASSERT(block < b_ && position < k_ && t < stripes_per_block(),
+            "cell coordinates out of range");
+  const std::size_t group = params_.design.blocks[block][position];
+  const std::size_t region = rank_in_group_[block][position];
+  const std::size_t u = t / (m_ - 1);
+  const std::size_t offset = region * h_ + u;
+  const std::size_t slot =
+      (t % (m_ - 1) + slot_shift(position, u, offset)) % (m_ - 1);
+  const std::size_t member = (inner_parity_member(offset) + 1 + slot) % m_;
+  return {group * m_ + member, offset};
+}
+
+std::size_t OiRaidLayout::slot_shift(std::size_t position, std::size_t u,
+                                     std::size_t offset) const {
+  // Skew shift sum_i digit_i(position) * level_i, where the digits are the
+  // base-(m-1) expansion of the block position and the levels form a cascade
+  // of progressively slower counters: level_0 = u (within-band), level_1 =
+  // band(offset), level_2 = band/(m-1), ... Because any two groups co-occur
+  // in exactly one block (lambda = 1), there is no cross-region averaging:
+  // the shift *difference* of every position pair must itself rotate the
+  // peer reads over a group's disks. Two positions differ in at least one
+  // digit, so their shift difference advances with the matching level --
+  // within a parity band for digit 0, across bands for digit 1, across
+  // band-groups for digit 2 -- while the banded inner-parity rotation
+  // staggers the remaining direction. The cascade supports k up to (m-1)^3
+  // block positions before shift functions could collide.
+  if (!params_.skew || m_ <= 2) return 0;
+  const std::size_t radix = m_ - 1;
+  const std::size_t band = offset / radix;
+  const std::size_t levels[3] = {u, band, band / radix};
+  std::size_t shift = 0;
+  std::size_t digits = position;
+  for (std::size_t i = 0; i < 3 && digits > 0; ++i) {
+    shift += (digits % radix) * levels[i];
+    digits /= radix;
+  }
+  return shift;
+}
+
+OiRaidLayout::CellCoords OiRaidLayout::cell_coords(StripLoc loc) const {
+  const std::size_t group = loc.disk / m_;
+  const std::size_t member = loc.disk % m_;
+  const std::size_t parity_member = inner_parity_member(loc.offset);
+  OI_ASSERT(member != parity_member, "cell_coords called on an inner parity strip");
+  const std::size_t region = loc.offset / h_;
+  const std::size_t u = loc.offset % h_;
+  const std::size_t block = group_blocks_[group][region];
+  const auto& members = params_.design.blocks[block];
+  const auto it = std::lower_bound(members.begin(), members.end(), group);
+  OI_ASSERT(it != members.end() && *it == group, "group not found in its own block");
+  const auto position = static_cast<std::size_t>(it - members.begin());
+  const std::size_t slot = (member + m_ - parity_member - 1) % m_;
+  const std::size_t skew_shift = slot_shift(position, u, loc.offset) % (m_ - 1);
+  const std::size_t t_mod = (slot + (m_ - 1) - skew_shift) % (m_ - 1);
+  const std::size_t t = u * (m_ - 1) + t_mod;
+  return {group, position, block, t};
+}
+
+StripLoc OiRaidLayout::locate(std::size_t logical) const {
+  OI_ENSURE(logical < data_strips(), "logical address out of range");
+  const std::size_t per_stripe = k_ - 1;
+  const std::size_t stripe = logical / per_stripe;
+  const std::size_t idx = logical % per_stripe;
+  const std::size_t block = stripe / stripes_per_block();
+  const std::size_t t = stripe % stripes_per_block();
+  const std::size_t parity_pos = outer_parity_position(t);
+  const std::size_t position = idx < parity_pos ? idx : idx + 1;
+  return cell_location(block, position, t);
+}
+
+StripInfo OiRaidLayout::inspect(StripLoc loc) const {
+  OI_ENSURE(loc.disk < disks() && loc.offset < strips_per_disk(),
+            "strip location out of range");
+  if (loc.disk % m_ == inner_parity_member(loc.offset)) {
+    return {StripRole::kParity, 0};
+  }
+  const CellCoords cell = cell_coords(loc);
+  const std::size_t parity_pos = outer_parity_position(cell.stripe);
+  if (cell.position == parity_pos) return {StripRole::kOuterParity, 0};
+  const std::size_t idx = cell.position < parity_pos ? cell.position : cell.position - 1;
+  const std::size_t stripe = cell.block * stripes_per_block() + cell.stripe;
+  return {StripRole::kData, stripe * (k_ - 1) + idx};
+}
+
+std::vector<StripLoc> OiRaidLayout::outer_stripe_cells(std::size_t block,
+                                                       std::size_t t) const {
+  OI_ENSURE(block < b_ && t < stripes_per_block(), "outer stripe id out of range");
+  std::vector<StripLoc> cells;
+  cells.reserve(k_);
+  for (std::size_t pos = 0; pos < k_; ++pos) cells.push_back(cell_location(block, pos, t));
+  return cells;
+}
+
+std::vector<StripLoc> OiRaidLayout::inner_stripe_strips(StripLoc loc) const {
+  OI_ENSURE(loc.disk < disks() && loc.offset < strips_per_disk(),
+            "strip location out of range");
+  const std::size_t group = loc.disk / m_;
+  std::vector<StripLoc> strips;
+  strips.reserve(m_);
+  for (std::size_t j = 0; j < m_; ++j) strips.push_back({group * m_ + j, loc.offset});
+  return strips;
+}
+
+std::vector<Relation> OiRaidLayout::relations_of(StripLoc loc) const {
+  OI_ENSURE(loc.disk < disks() && loc.offset < strips_per_disk(),
+            "strip location out of range");
+  std::vector<Relation> relations;
+  relations.push_back({RelationKind::kInner, inner_stripe_strips(loc)});
+
+  const std::size_t member = loc.disk % m_;
+  if (member != inner_parity_member(loc.offset)) {
+    // Content cell: member of exactly one outer stripe.
+    const CellCoords cell = cell_coords(loc);
+    relations.push_back({RelationKind::kOuter, outer_stripe_cells(cell.block, cell.stripe)});
+  } else {
+    // Inner parity: substituting each covered content cell by its outer
+    // peers yields an XOR relation that never touches this group -- the key
+    // to keeping single-failure recovery off the failed disk's own group.
+    Relation composite{RelationKind::kOuterComposite, {loc}};
+    for (const StripLoc& content : inner_stripe_strips(loc)) {
+      if (content == loc) continue;
+      const CellCoords cell = cell_coords(content);
+      for (const StripLoc& peer : outer_stripe_cells(cell.block, cell.stripe)) {
+        if (peer != content) composite.strips.push_back(peer);
+      }
+    }
+    relations.push_back(std::move(composite));
+  }
+  return relations;
+}
+
+WritePlan OiRaidLayout::small_write_plan(std::size_t logical) const {
+  const StripLoc data = locate(logical);
+  const StripLoc inner_parity{(data.disk / m_) * m_ + inner_parity_member(data.offset),
+                              data.offset};
+  const CellCoords cell = cell_coords(data);
+  const StripLoc outer_parity =
+      cell_location(cell.block, outer_parity_position(cell.stripe), cell.stripe);
+  const StripLoc outer_inner_parity{
+      (outer_parity.disk / m_) * m_ + inner_parity_member(outer_parity.offset),
+      outer_parity.offset};
+  WritePlan plan;
+  plan.reads = {data, inner_parity, outer_parity, outer_inner_parity};
+  plan.writes = {data, inner_parity, outer_parity, outer_inner_parity};
+  plan.parity_updates = 3;
+  return plan;
+}
+
+}  // namespace oi::layout

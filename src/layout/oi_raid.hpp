@@ -1,0 +1,127 @@
+// The OI-RAID two-layer layout (the paper's contribution).
+//
+// Geometry. Take a (v, k, 1)-BIBD with replication r = (v-1)/(k-1) and b =
+// v*r/k blocks. The array has v groups of m disks (n = v*m). Each group's
+// capacity is split into r regions of H strips per disk, region rho of group
+// g being dedicated to the rho-th block containing g.
+//
+// Inner layer (RAID5 within a group): at every offset o the group's m strips
+// form an inner stripe; the strip on disk (o mod m) is the inner parity, the
+// other m-1 are "content" cells. Inner parity protects everything in the
+// group, outer parity included.
+//
+// Outer layer (RAID5 across the groups of a block): block B's outer stripe
+// set consists of T = H*(m-1) stripes; stripe t takes exactly one content
+// cell from each of B's k group-regions; the cell of the group at block
+// position (t mod k) is the outer parity, the rest hold data.
+//
+// Skewed placement. Two coupled rotations:
+//   * the inner parity rotates in *bands* of m-1 consecutive offsets:
+//     p(o) = (o / (m-1)) mod m, so within a band every group member keeps a
+//     fixed role;
+//   * within a band, stripe t's cell sits at offset o = rho*H + u
+//     (u = t / (m-1)) on content slot
+//     s = (t + sum_i digit_i(pi) * level_i) mod (m-1), where the digit_i are
+//     the base-(m-1) expansion of the group's block position pi and the
+//     levels are the counter cascade {u, band(o), band(o)/(m-1)}; the disk
+//     is j = (p(o)+1+s) mod m (see slot_shift for the rationale).
+// Consequence (the paper's "skewed data layout ... efficient parallel I/O of
+// all disks"): for a failed disk, the peer cells it needs from any other
+// group either cycle through all m-1 content slots within each band (when
+// the position difference is coprime to m-1) or stay fixed per band while
+// the parity banding rotates them across all m disks over m bands -- either
+// way, per-disk recovery reads are uniform once H spans the full rotation
+// period m*(m-1)^2 (near-uniform already at multiples of m*(m-1)).
+// The naive layout (skew = false: per-offset parity rotation, no slot shift)
+// instead sends a whole region's reads to a single disk per peer group.
+//
+// Failure tolerance: >= 3 arbitrary disks (inner handles one failure per
+// group, the outer layer rebuilds any single lost cell per stripe, and the
+// composite relation rebuilds inner parity from other groups); verified
+// exhaustively in tests and in bench_fault_tolerance.
+#pragma once
+
+#include "bibd/design.hpp"
+#include "layout/layout.hpp"
+
+namespace oi::layout {
+
+struct OiRaidParams {
+  /// Verified (v, k, 1)-BIBD; points are disk groups.
+  bibd::Design design;
+  /// Disks per group (m >= 2). RAID5 inner stripes have width m.
+  std::size_t disks_per_group = 3;
+  /// Region height in strips per disk. For exactly uniform recovery-load
+  /// rotation use a multiple of m*(m-1)^2 (the skew cascade's full period);
+  /// any multiple of m*(m-1) is near-uniform.
+  std::size_t region_height = 6;
+  /// Disable to get the naive (unskewed) placement -- the ablation knob that
+  /// shows why the paper's skewed layout matters: without it, the strips a
+  /// given survivor contributes to a failed disk's recovery concentrate on
+  /// one disk per group instead of rotating over all of them.
+  bool skew = true;
+};
+
+class OiRaidLayout final : public Layout {
+ public:
+  explicit OiRaidLayout(OiRaidParams params);
+
+  std::size_t disks() const override { return v_ * m_; }
+  std::size_t strips_per_disk() const override { return r_ * h_; }
+  std::size_t data_strips() const override {
+    return b_ * stripes_per_block() * (k_ - 1);
+  }
+  std::size_t fault_tolerance() const override { return 3; }
+  std::string name() const override;
+
+  StripLoc locate(std::size_t logical) const override;
+  StripInfo inspect(StripLoc loc) const override;
+  std::vector<Relation> relations_of(StripLoc loc) const override;
+  WritePlan small_write_plan(std::size_t logical) const override;
+
+  // --- OI-RAID-specific accessors used by analysis and benches ---
+
+  std::size_t groups() const { return v_; }
+  std::size_t disks_per_group() const { return m_; }
+  std::size_t region_height() const { return h_; }
+  std::size_t blocks() const { return b_; }
+  std::size_t replication() const { return r_; }
+  std::size_t stripe_width() const { return k_; }
+  /// Outer stripes per block: T = H * (m-1).
+  std::size_t stripes_per_block() const { return h_ * (m_ - 1); }
+  const bibd::Design& design() const { return params_.design; }
+
+  /// All k cells of outer stripe (block, t), ordered by block position.
+  std::vector<StripLoc> outer_stripe_cells(std::size_t block, std::size_t t) const;
+  /// Block position holding outer parity for stripe t.
+  std::size_t outer_parity_position(std::size_t t) const { return t % k_; }
+  /// The m strips of the inner stripe containing `loc` (same group, same
+  /// offset), ordered by group member index.
+  std::vector<StripLoc> inner_stripe_strips(StripLoc loc) const;
+
+ private:
+  struct CellCoords {
+    std::size_t group;      ///< group id
+    std::size_t position;   ///< position of the group within the block
+    std::size_t block;      ///< BIBD block id
+    std::size_t stripe;     ///< outer stripe index t within the block
+  };
+
+  /// Physical location of outer stripe t's cell in the group at `position`
+  /// of `block`.
+  StripLoc cell_location(std::size_t block, std::size_t position, std::size_t t) const;
+  /// Inverse of cell_location for a content strip (disk member != inner
+  /// parity member at that offset).
+  CellCoords cell_coords(StripLoc loc) const;
+
+  std::size_t inner_parity_member(std::size_t offset) const;
+  /// Content-slot skew for the group at `position`: see the header comment.
+  std::size_t slot_shift(std::size_t position, std::size_t u, std::size_t offset) const;
+
+  OiRaidParams params_;
+  std::size_t v_, k_, r_, b_, m_, h_;
+  std::vector<std::vector<std::size_t>> group_blocks_;  ///< group -> sorted block ids
+  std::vector<std::vector<std::size_t>> rank_in_group_; ///< [block][pos] -> region index
+};
+
+}  // namespace oi::layout

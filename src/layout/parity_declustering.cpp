@@ -1,0 +1,95 @@
+#include "layout/parity_declustering.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace oi::layout {
+
+ParityDeclusteredLayout::ParityDeclusteredLayout(bibd::Design design, std::size_t passes)
+    : design_(std::move(design)), passes_(passes) {
+  OI_ENSURE(passes >= 1, "parity declustering needs at least one pass");
+  OI_ENSURE(design_.lambda == 1, "parity declustering requires a lambda=1 design");
+  const std::string problem = bibd::verify(design_);
+  OI_ENSURE(problem.empty(), "invalid design: " + problem);
+  r_ = design_.r();
+  point_blocks_ = bibd::point_to_blocks(design_);
+
+  rank_in_disk_.assign(design_.b(), std::vector<std::size_t>(design_.k, 0));
+  for (std::size_t block = 0; block < design_.b(); ++block) {
+    for (std::size_t pos = 0; pos < design_.k; ++pos) {
+      const std::size_t disk = design_.blocks[block][pos];
+      const auto& list = point_blocks_[disk];
+      const auto it = std::lower_bound(list.begin(), list.end(), block);
+      OI_ASSERT(it != list.end() && *it == block, "point_to_blocks inconsistent");
+      rank_in_disk_[block][pos] = static_cast<std::size_t>(it - list.begin());
+    }
+  }
+}
+
+std::string ParityDeclusteredLayout::name() const {
+  return "pd(" + design_.origin + ")";
+}
+
+std::vector<StripLoc> ParityDeclusteredLayout::stripe_strips(StripeId id) const {
+  std::vector<StripLoc> strips;
+  strips.reserve(design_.k);
+  for (std::size_t pos = 0; pos < design_.k; ++pos) {
+    const std::size_t disk = design_.blocks[id.block][pos];
+    const std::size_t offset = id.pass * r_ + rank_in_disk_[id.block][pos];
+    strips.push_back({disk, offset});
+  }
+  return strips;
+}
+
+StripLoc ParityDeclusteredLayout::locate(std::size_t logical) const {
+  OI_ENSURE(logical < data_strips(), "logical address out of range");
+  const std::size_t k = design_.k;
+  const std::size_t stripe = logical / (k - 1);
+  const std::size_t idx = logical % (k - 1);
+  const StripeId id{stripe / design_.b(), stripe % design_.b()};
+  const std::size_t parity_pos = parity_position(id);
+  const std::size_t pos = idx < parity_pos ? idx : idx + 1;
+  return stripe_strips(id)[pos];
+}
+
+StripInfo ParityDeclusteredLayout::inspect(StripLoc loc) const {
+  OI_ENSURE(loc.disk < disks() && loc.offset < strips_per_disk(),
+            "strip location out of range");
+  const std::size_t pass = loc.offset / r_;
+  const std::size_t rank = loc.offset % r_;
+  const std::size_t block = point_blocks_[loc.disk][rank];
+  const auto& members = design_.blocks[block];
+  const auto it = std::lower_bound(members.begin(), members.end(), loc.disk);
+  OI_ASSERT(it != members.end() && *it == loc.disk, "disk not found in its own block");
+  const auto pos = static_cast<std::size_t>(it - members.begin());
+  const StripeId id{pass, block};
+  const std::size_t parity_pos = parity_position(id);
+  if (pos == parity_pos) return {StripRole::kParity, 0};
+  const std::size_t idx = pos < parity_pos ? pos : pos - 1;
+  const std::size_t stripe = pass * design_.b() + block;
+  return {StripRole::kData, stripe * (design_.k - 1) + idx};
+}
+
+std::vector<Relation> ParityDeclusteredLayout::relations_of(StripLoc loc) const {
+  OI_ENSURE(loc.disk < disks() && loc.offset < strips_per_disk(),
+            "strip location out of range");
+  const std::size_t pass = loc.offset / r_;
+  const std::size_t rank = loc.offset % r_;
+  const std::size_t block = point_blocks_[loc.disk][rank];
+  return {Relation{RelationKind::kInner, stripe_strips({pass, block})}};
+}
+
+WritePlan ParityDeclusteredLayout::small_write_plan(std::size_t logical) const {
+  const StripLoc data = locate(logical);
+  const std::size_t stripe = logical / (design_.k - 1);
+  const StripeId id{stripe / design_.b(), stripe % design_.b()};
+  const StripLoc parity = stripe_strips(id)[parity_position(id)];
+  WritePlan plan;
+  plan.reads = {data, parity};
+  plan.writes = {data, parity};
+  plan.parity_updates = 1;
+  return plan;
+}
+
+}  // namespace oi::layout

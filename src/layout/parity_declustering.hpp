@@ -1,0 +1,56 @@
+// Holland & Gibson parity declustering (single layer): stripes of width k
+// are placed on the n disks according to the blocks of an (n, k, 1)-BIBD, so
+// a failed disk's rebuild reads spread over all n-1 survivors at a fraction
+// (k-1)/(n-1) of their bandwidth. The strongest single-fault baseline in the
+// recovery experiments -- OI-RAID must beat *this*, not just RAID5.
+#pragma once
+
+#include "bibd/design.hpp"
+#include "layout/layout.hpp"
+
+namespace oi::layout {
+
+class ParityDeclusteredLayout final : public Layout {
+ public:
+  /// `design` must be a verified (v, k, 1)-BIBD; v is the disk count.
+  /// Each pass over the design's block table consumes r strips per disk, so
+  /// strips_per_disk = passes * r.
+  ParityDeclusteredLayout(bibd::Design design, std::size_t passes);
+
+  std::size_t disks() const override { return design_.v; }
+  std::size_t strips_per_disk() const override { return passes_ * r_; }
+  std::size_t data_strips() const override {
+    return passes_ * design_.b() * (design_.k - 1);
+  }
+  std::size_t fault_tolerance() const override { return 1; }
+  std::string name() const override;
+
+  StripLoc locate(std::size_t logical) const override;
+  StripInfo inspect(StripLoc loc) const override;
+  std::vector<Relation> relations_of(StripLoc loc) const override;
+  WritePlan small_write_plan(std::size_t logical) const override;
+
+  const bibd::Design& design() const { return design_; }
+
+ private:
+  struct StripeId {
+    std::size_t pass;
+    std::size_t block;
+  };
+  /// Physical strips of stripe (pass, block), ordered by block position.
+  std::vector<StripLoc> stripe_strips(StripeId id) const;
+  std::size_t parity_position(StripeId id) const {
+    return (id.pass + id.block) % design_.k;
+  }
+
+  bibd::Design design_;
+  std::size_t passes_;
+  std::size_t r_;
+  /// point_blocks_[d] = sorted blocks containing disk d (rank = region slot).
+  std::vector<std::vector<std::size_t>> point_blocks_;
+  /// rank_in_disk_[block][position] = rank of `block` within the block list
+  /// of the disk at that position of the block.
+  std::vector<std::vector<std::size_t>> rank_in_disk_;
+};
+
+}  // namespace oi::layout

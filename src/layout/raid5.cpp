@@ -1,0 +1,49 @@
+#include "layout/raid5.hpp"
+
+#include "util/assert.hpp"
+
+namespace oi::layout {
+
+Raid5Layout::Raid5Layout(std::size_t n, std::size_t strips_per_disk)
+    : n_(n), strips_(strips_per_disk) {
+  OI_ENSURE(n >= 2, "RAID5 needs at least two disks");
+  OI_ENSURE(strips_per_disk >= 1, "RAID5 needs at least one strip per disk");
+}
+
+std::string Raid5Layout::name() const { return "raid5(n=" + std::to_string(n_) + ")"; }
+
+StripLoc Raid5Layout::locate(std::size_t logical) const {
+  OI_ENSURE(logical < data_strips(), "logical address out of range");
+  const std::size_t offset = logical / (n_ - 1);
+  const std::size_t idx = logical % (n_ - 1);
+  const std::size_t disk = (parity_disk(offset) + 1 + idx) % n_;
+  return {disk, offset};
+}
+
+StripInfo Raid5Layout::inspect(StripLoc loc) const {
+  OI_ENSURE(loc.disk < n_ && loc.offset < strips_, "strip location out of range");
+  const std::size_t p = parity_disk(loc.offset);
+  if (loc.disk == p) return {StripRole::kParity, 0};
+  const std::size_t idx = (loc.disk + n_ - p - 1) % n_;
+  return {StripRole::kData, loc.offset * (n_ - 1) + idx};
+}
+
+std::vector<Relation> Raid5Layout::relations_of(StripLoc loc) const {
+  OI_ENSURE(loc.disk < n_ && loc.offset < strips_, "strip location out of range");
+  Relation rel{RelationKind::kInner, {}};
+  rel.strips.reserve(n_);
+  for (std::size_t d = 0; d < n_; ++d) rel.strips.push_back({d, loc.offset});
+  return {rel};
+}
+
+WritePlan Raid5Layout::small_write_plan(std::size_t logical) const {
+  const StripLoc data = locate(logical);
+  const StripLoc parity{parity_disk(data.offset), data.offset};
+  WritePlan plan;
+  plan.reads = {data, parity};
+  plan.writes = {data, parity};
+  plan.parity_updates = 1;
+  return plan;
+}
+
+}  // namespace oi::layout

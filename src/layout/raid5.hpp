@@ -1,0 +1,34 @@
+// Flat RAID5 (left-asymmetric rotation) over n disks -- the classic baseline
+// whose rebuild reads every surviving disk end to end and therefore sets the
+// "speedup = 1" reference point in the recovery experiments.
+#pragma once
+
+#include "layout/layout.hpp"
+
+namespace oi::layout {
+
+class Raid5Layout final : public Layout {
+ public:
+  /// n >= 2 disks (n-1 data + rotating parity), each holding
+  /// `strips_per_disk` strips.
+  Raid5Layout(std::size_t n, std::size_t strips_per_disk);
+
+  std::size_t disks() const override { return n_; }
+  std::size_t strips_per_disk() const override { return strips_; }
+  std::size_t data_strips() const override { return strips_ * (n_ - 1); }
+  std::size_t fault_tolerance() const override { return 1; }
+  std::string name() const override;
+
+  StripLoc locate(std::size_t logical) const override;
+  StripInfo inspect(StripLoc loc) const override;
+  std::vector<Relation> relations_of(StripLoc loc) const override;
+  WritePlan small_write_plan(std::size_t logical) const override;
+
+ private:
+  std::size_t parity_disk(std::size_t offset) const { return offset % n_; }
+
+  std::size_t n_;
+  std::size_t strips_;
+};
+
+}  // namespace oi::layout

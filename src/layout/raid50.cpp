@@ -1,0 +1,63 @@
+#include "layout/raid50.hpp"
+
+#include "util/assert.hpp"
+
+namespace oi::layout {
+
+Raid50Layout::Raid50Layout(std::size_t groups, std::size_t disks_per_group,
+                           std::size_t strips_per_disk)
+    : groups_(groups), m_(disks_per_group), strips_(strips_per_disk) {
+  OI_ENSURE(groups >= 1, "RAID50 needs at least one group");
+  OI_ENSURE(disks_per_group >= 2, "RAID50 groups need at least two disks");
+  OI_ENSURE(strips_per_disk >= 1, "RAID50 needs at least one strip per disk");
+}
+
+std::string Raid50Layout::name() const {
+  return "raid50(g=" + std::to_string(groups_) + ",m=" + std::to_string(m_) + ")";
+}
+
+StripLoc Raid50Layout::locate(std::size_t logical) const {
+  OI_ENSURE(logical < data_strips(), "logical address out of range");
+  // RAID0 striping across groups at stripe granularity: consecutive logical
+  // strips first fill one group stripe, then move to the next group.
+  const std::size_t per_stripe = m_ - 1;
+  const std::size_t stripe_row = logical / (groups_ * per_stripe);
+  const std::size_t rem = logical % (groups_ * per_stripe);
+  const std::size_t group = rem / per_stripe;
+  const std::size_t idx = rem % per_stripe;
+  const std::size_t member = (parity_member(stripe_row) + 1 + idx) % m_;
+  return {group * m_ + member, stripe_row};
+}
+
+StripInfo Raid50Layout::inspect(StripLoc loc) const {
+  OI_ENSURE(loc.disk < disks() && loc.offset < strips_, "strip location out of range");
+  const std::size_t group = loc.disk / m_;
+  const std::size_t member = loc.disk % m_;
+  const std::size_t p = parity_member(loc.offset);
+  if (member == p) return {StripRole::kParity, 0};
+  const std::size_t idx = (member + m_ - p - 1) % m_;
+  const std::size_t per_stripe = m_ - 1;
+  return {StripRole::kData, loc.offset * groups_ * per_stripe + group * per_stripe + idx};
+}
+
+std::vector<Relation> Raid50Layout::relations_of(StripLoc loc) const {
+  OI_ENSURE(loc.disk < disks() && loc.offset < strips_, "strip location out of range");
+  const std::size_t group = loc.disk / m_;
+  Relation rel{RelationKind::kInner, {}};
+  rel.strips.reserve(m_);
+  for (std::size_t j = 0; j < m_; ++j) rel.strips.push_back({group * m_ + j, loc.offset});
+  return {rel};
+}
+
+WritePlan Raid50Layout::small_write_plan(std::size_t logical) const {
+  const StripLoc data = locate(logical);
+  const std::size_t group = data.disk / m_;
+  const StripLoc parity{group * m_ + parity_member(data.offset), data.offset};
+  WritePlan plan;
+  plan.reads = {data, parity};
+  plan.writes = {data, parity};
+  plan.parity_updates = 1;
+  return plan;
+}
+
+}  // namespace oi::layout

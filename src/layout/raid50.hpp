@@ -1,0 +1,40 @@
+// RAID5+0: data striped (RAID0) across g independent RAID5 groups of m disks
+// each. This is the "disk grouping without BIBD" strawman: rebuild traffic
+// for a failed disk is confined to its own group's m-1 survivors, so the
+// rebuild window does not shrink as the array grows.
+#pragma once
+
+#include "layout/layout.hpp"
+
+namespace oi::layout {
+
+class Raid50Layout final : public Layout {
+ public:
+  /// g groups of m disks (m >= 2); disk ids are group-major
+  /// (disk = group*m + member).
+  Raid50Layout(std::size_t groups, std::size_t disks_per_group,
+               std::size_t strips_per_disk);
+
+  std::size_t disks() const override { return groups_ * m_; }
+  std::size_t strips_per_disk() const override { return strips_; }
+  std::size_t data_strips() const override { return groups_ * strips_ * (m_ - 1); }
+  std::size_t fault_tolerance() const override { return 1; }
+  std::string name() const override;
+
+  StripLoc locate(std::size_t logical) const override;
+  StripInfo inspect(StripLoc loc) const override;
+  std::vector<Relation> relations_of(StripLoc loc) const override;
+  WritePlan small_write_plan(std::size_t logical) const override;
+
+  std::size_t groups() const { return groups_; }
+  std::size_t disks_per_group() const { return m_; }
+
+ private:
+  std::size_t parity_member(std::size_t offset) const { return offset % m_; }
+
+  std::size_t groups_;
+  std::size_t m_;
+  std::size_t strips_;
+};
+
+}  // namespace oi::layout

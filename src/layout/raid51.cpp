@@ -1,0 +1,57 @@
+#include "layout/raid51.hpp"
+
+#include "util/assert.hpp"
+
+namespace oi::layout {
+
+Raid51Layout::Raid51Layout(std::size_t n, std::size_t strips_per_disk)
+    : n_(n), strips_(strips_per_disk) {
+  OI_ENSURE(n >= 2, "RAID5+1 needs at least two disks per side");
+  OI_ENSURE(strips_per_disk >= 1, "RAID5+1 needs at least one strip per disk");
+}
+
+std::string Raid51Layout::name() const { return "raid51(n=2x" + std::to_string(n_) + ")"; }
+
+StripLoc Raid51Layout::locate(std::size_t logical) const {
+  OI_ENSURE(logical < data_strips(), "logical address out of range");
+  // The primary copy lives on side A; side B is its mirror.
+  const std::size_t offset = logical / (n_ - 1);
+  const std::size_t idx = logical % (n_ - 1);
+  const std::size_t disk = (parity_disk(offset) + 1 + idx) % n_;
+  return {disk, offset};
+}
+
+StripInfo Raid51Layout::inspect(StripLoc loc) const {
+  OI_ENSURE(loc.disk < disks() && loc.offset < strips_, "strip location out of range");
+  const std::size_t side_disk = loc.disk % n_;
+  const std::size_t p = parity_disk(loc.offset);
+  if (side_disk == p) return {StripRole::kParity, 0};
+  if (loc.disk >= n_) return {StripRole::kParity, 0};  // mirror copies are redundancy
+  const std::size_t idx = (side_disk + n_ - p - 1) % n_;
+  return {StripRole::kData, loc.offset * (n_ - 1) + idx};
+}
+
+std::vector<Relation> Raid51Layout::relations_of(StripLoc loc) const {
+  OI_ENSURE(loc.disk < disks() && loc.offset < strips_, "strip location out of range");
+  const std::size_t base = loc.disk < n_ ? 0 : n_;
+  Relation stripe{RelationKind::kInner, {}};
+  stripe.strips.reserve(n_);
+  for (std::size_t d = 0; d < n_; ++d) stripe.strips.push_back({base + d, loc.offset});
+  // Mirror pairs XOR to zero because the copies are identical; tag them as
+  // outer so the planner prefers the 1-read mirror repair over the
+  // (n-1)-read stripe repair.
+  Relation mirror{RelationKind::kOuter, {loc, twin(loc)}};
+  return {stripe, mirror};
+}
+
+WritePlan Raid51Layout::small_write_plan(std::size_t logical) const {
+  const StripLoc data = locate(logical);
+  const StripLoc parity{parity_disk(data.offset), data.offset};
+  WritePlan plan;
+  plan.reads = {data, parity};
+  plan.writes = {data, parity, twin(data), twin(parity)};
+  plan.parity_updates = 3;  // side-A parity + both mirror copies
+  return plan;
+}
+
+}  // namespace oi::layout

@@ -1,0 +1,43 @@
+// RAID5+1: two mirrored RAID5 arrays of n disks each (2n disks total). The
+// classic way to reach 3-failure tolerance before multi-parity codes -- and
+// therefore the fairest same-tolerance baseline for OI-RAID's overhead and
+// recovery comparisons. In the relation framework each side contributes its
+// RAID5 stripes and every strip also sits in a 2-member mirror relation with
+// its twin, so the generic peeling planner recovers all guaranteed patterns.
+#pragma once
+
+#include "layout/layout.hpp"
+
+namespace oi::layout {
+
+class Raid51Layout final : public Layout {
+ public:
+  /// n >= 2 disks per side; disk ids 0..n-1 are side A, n..2n-1 side B
+  /// (disk i mirrors disk n+i).
+  Raid51Layout(std::size_t n, std::size_t strips_per_disk);
+
+  std::size_t disks() const override { return 2 * n_; }
+  std::size_t strips_per_disk() const override { return strips_; }
+  std::size_t data_strips() const override { return strips_ * (n_ - 1); }
+  /// Any 3 failures: a side with <= 1 failure self-heals and re-seeds its
+  /// twin; 2+1 splits recover via mirror relations. Verified exhaustively in
+  /// tests.
+  std::size_t fault_tolerance() const override { return 3; }
+  std::string name() const override;
+
+  StripLoc locate(std::size_t logical) const override;
+  StripInfo inspect(StripLoc loc) const override;
+  std::vector<Relation> relations_of(StripLoc loc) const override;
+  WritePlan small_write_plan(std::size_t logical) const override;
+
+ private:
+  std::size_t parity_disk(std::size_t offset) const { return offset % n_; }
+  StripLoc twin(StripLoc loc) const {
+    return {loc.disk < n_ ? loc.disk + n_ : loc.disk - n_, loc.offset};
+  }
+
+  std::size_t n_;
+  std::size_t strips_;
+};
+
+}  // namespace oi::layout

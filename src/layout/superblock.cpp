@@ -1,0 +1,95 @@
+#include "layout/superblock.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "bibd/design.hpp"
+#include "util/assert.hpp"
+
+namespace oi::layout {
+
+void save_superblock(const OiRaidLayout& layout, std::ostream& os) {
+  const bibd::Design& design = layout.design();
+  os << "oi-raid-superblock v1\n"
+     << "m " << layout.disks_per_group() << '\n'
+     << "height " << layout.region_height() << '\n'
+     << "skew " << (layout.name().find("noskew") == std::string::npos ? 1 : 0) << '\n'
+     << "design " << design.v << ' ' << design.k << ' ' << design.lambda << ' '
+     << design.origin << '\n';
+  for (const auto& block : design.blocks) {
+    os << "block";
+    for (std::size_t point : block) os << ' ' << point;
+    os << '\n';
+  }
+  os << "end\n";
+}
+
+std::string superblock_string(const OiRaidLayout& layout) {
+  std::ostringstream os;
+  save_superblock(layout, os);
+  return os.str();
+}
+
+OiRaidLayout load_superblock(std::istream& is) {
+  std::string line;
+  auto next_line = [&]() {
+    OI_ENSURE(static_cast<bool>(std::getline(is, line)), "superblock truncated");
+    return line;
+  };
+  OI_ENSURE(next_line() == "oi-raid-superblock v1",
+            "unrecognized superblock header: " + line);
+
+  OiRaidParams params;
+  auto read_kv = [&](const std::string& key) {
+    std::istringstream ls(next_line());
+    std::string word;
+    std::size_t value = 0;
+    OI_ENSURE(static_cast<bool>(ls >> word >> value) && word == key,
+              "superblock expects '" + key + " <n>', got: " + line);
+    return value;
+  };
+  params.disks_per_group = read_kv("m");
+  params.region_height = read_kv("height");
+  params.skew = read_kv("skew") != 0;
+
+  {
+    std::istringstream ls(next_line());
+    std::string word;
+    OI_ENSURE(static_cast<bool>(ls >> word) && word == "design",
+              "superblock expects a design line, got: " + line);
+    OI_ENSURE(static_cast<bool>(ls >> params.design.v >> params.design.k >>
+                                params.design.lambda),
+              "malformed design line: " + line);
+    std::getline(ls, params.design.origin);
+    // Trim the leading separator space.
+    if (!params.design.origin.empty() && params.design.origin.front() == ' ') {
+      params.design.origin.erase(0, 1);
+    }
+    if (params.design.origin.empty()) params.design.origin = "superblock";
+  }
+
+  while (true) {
+    next_line();
+    if (line == "end") break;
+    std::istringstream ls(line);
+    std::string word;
+    OI_ENSURE(static_cast<bool>(ls >> word) && word == "block",
+              "superblock expects 'block ...' or 'end', got: " + line);
+    std::vector<std::size_t> block;
+    std::size_t point = 0;
+    while (ls >> point) block.push_back(point);
+    OI_ENSURE(block.size() == params.design.k, "block line with wrong size: " + line);
+    std::sort(block.begin(), block.end());
+    params.design.blocks.push_back(std::move(block));
+  }
+  std::sort(params.design.blocks.begin(), params.design.blocks.end());
+
+  const std::string problem = bibd::verify(params.design);
+  OI_ENSURE(problem.empty(), "superblock design invalid: " + problem);
+  // The OiRaidLayout constructor re-validates everything else (m, height).
+  return OiRaidLayout(std::move(params));
+}
+
+}  // namespace oi::layout

@@ -1,0 +1,32 @@
+// Superblock (de)serialization: the on-disk description from which an
+// OI-RAID array's exact layout can be reconstructed -- including the full
+// BIBD block table, so arrays built from searched difference families or
+// hand-made designs round-trip bit-exactly. Text format, one value per line:
+//
+//   oi-raid-superblock v1
+//   m <disks_per_group>
+//   height <region_height>
+//   skew <0|1>
+//   design <v> <k> <lambda> <origin...>
+//   block <p0> <p1> ... <p_{k-1}>     (b() lines, any order)
+//   end
+//
+// Loading verifies the design (every pair covered exactly lambda times), so
+// a corrupted or hand-edited superblock fails loudly instead of quietly
+// scrambling the address map.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "layout/oi_raid.hpp"
+
+namespace oi::layout {
+
+void save_superblock(const OiRaidLayout& layout, std::ostream& os);
+std::string superblock_string(const OiRaidLayout& layout);
+
+/// Throws std::invalid_argument on malformed input or an invalid design.
+OiRaidLayout load_superblock(std::istream& is);
+
+}  // namespace oi::layout

@@ -1,0 +1,135 @@
+#include "reliability/ctmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace oi::reliability {
+
+Ctmc::Ctmc(std::size_t states) : n_(states) {
+  OI_ENSURE(states >= 2, "a chain needs at least two states");
+  rate_.assign(n_, std::vector<double>(n_, 0.0));
+}
+
+void Ctmc::add_rate(std::size_t from, std::size_t to, double rate) {
+  OI_ENSURE(from < n_ && to < n_, "state index out of range");
+  OI_ENSURE(from != to, "self-transitions are implicit");
+  OI_ENSURE(rate >= 0.0, "rates must be non-negative");
+  rate_[from][to] += rate;
+}
+
+double Ctmc::expected_absorption_time(std::size_t initial,
+                                      const std::set<std::size_t>& absorbing) const {
+  OI_ENSURE(initial < n_, "initial state out of range");
+  OI_ENSURE(!absorbing.empty(), "need at least one absorbing state");
+  if (absorbing.contains(initial)) return 0.0;
+
+  // Transient states and their dense index.
+  std::vector<std::size_t> transient;
+  std::vector<std::size_t> index(n_, n_);
+  for (std::size_t s = 0; s < n_; ++s) {
+    if (!absorbing.contains(s)) {
+      index[s] = transient.size();
+      transient.push_back(s);
+    }
+  }
+  const std::size_t t = transient.size();
+
+  // Solve Q_tt * x = -1 where Q_tt is the transient generator block; x is
+  // the vector of expected absorption times.
+  std::vector<std::vector<double>> a(t, std::vector<double>(t + 1, 0.0));
+  for (std::size_t i = 0; i < t; ++i) {
+    const std::size_t s = transient[i];
+    double out = 0.0;
+    for (std::size_t to = 0; to < n_; ++to) out += rate_[s][to];
+    a[i][i] = -out;
+    for (std::size_t to = 0; to < n_; ++to) {
+      if (index[to] != n_ && to != s) a[i][index[to]] += rate_[s][to];
+    }
+    a[i][t] = -1.0;
+  }
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < t; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < t; ++row) {
+      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) pivot = row;
+    }
+    OI_ENSURE(std::fabs(a[pivot][col]) > 1e-300,
+              "absorption is not reachable from some transient state");
+    std::swap(a[col], a[pivot]);
+    for (std::size_t row = 0; row < t; ++row) {
+      if (row == col) continue;
+      const double factor = a[row][col] / a[col][col];
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c <= t; ++c) a[row][c] -= factor * a[col][c];
+    }
+  }
+  const std::size_t i0 = index[initial];
+  OI_ASSERT(i0 != n_, "initial state lost during indexing");
+  return a[i0][t] / a[i0][i0];
+}
+
+double Ctmc::absorption_probability(std::size_t initial,
+                                    const std::set<std::size_t>& absorbing,
+                                    double horizon, double tolerance) const {
+  OI_ENSURE(initial < n_, "initial state out of range");
+  OI_ENSURE(horizon >= 0.0, "horizon must be non-negative");
+  OI_ENSURE(tolerance > 0.0 && tolerance < 1.0, "tolerance must be in (0,1)");
+  if (absorbing.contains(initial)) return 1.0;
+  if (horizon == 0.0) return 0.0;
+
+  // Uniformization: P(t) = sum_k Poisson(k; q t) * P_hat^k, with P_hat the
+  // DTMC of the uniformized chain at rate q >= max total outflow.
+  double q = 0.0;
+  for (std::size_t s = 0; s < n_; ++s) {
+    double out = 0.0;
+    for (std::size_t to = 0; to < n_; ++to) out += rate_[s][to];
+    q = std::max(q, out);
+  }
+  if (q == 0.0) return 0.0;  // no dynamics at all
+  q *= 1.02;                 // headroom keeps self-loop probabilities positive
+
+  std::vector<std::vector<double>> p_hat(n_, std::vector<double>(n_, 0.0));
+  for (std::size_t s = 0; s < n_; ++s) {
+    double out = 0.0;
+    for (std::size_t to = 0; to < n_; ++to) {
+      // Absorbing states keep their mass (their rates are ignored).
+      if (absorbing.contains(s)) continue;
+      p_hat[s][to] = rate_[s][to] / q;
+      out += p_hat[s][to];
+    }
+    p_hat[s][s] = 1.0 - out;
+  }
+
+  std::vector<double> dist(n_, 0.0);
+  dist[initial] = 1.0;
+  const double qt = q * horizon;
+  // Poisson(k; qt) computed iteratively in log space to dodge overflow.
+  // Stop once the accumulated Poisson mass covers 1 - tolerance, or -- since
+  // double accumulation of ~qt terms cannot always reach that exactly --
+  // once we are past the mode and the terms themselves are negligible.
+  double log_pk = -qt;  // log Poisson(0)
+  double absorbed_mass = 0.0;
+  double cumulative = 0.0;
+  for (std::size_t k = 0; cumulative < 1.0 - tolerance; ++k) {
+    const double pk = std::exp(log_pk);
+    double in_absorbing = 0.0;
+    for (std::size_t s : absorbing) in_absorbing += dist[s];
+    absorbed_mass += pk * in_absorbing;
+    cumulative += pk;
+    if (static_cast<double>(k) > qt && pk < tolerance * 1e-3) break;
+    // Advance the DTMC one uniformized step.
+    std::vector<double> next(n_, 0.0);
+    for (std::size_t s = 0; s < n_; ++s) {
+      if (dist[s] == 0.0) continue;
+      for (std::size_t to = 0; to < n_; ++to) next[to] += dist[s] * p_hat[s][to];
+    }
+    dist = std::move(next);
+    log_pk += std::log(qt) - std::log(static_cast<double>(k + 1));
+    OI_ENSURE(k < 50'000'000, "uniformization failed to converge");
+  }
+  return std::min(1.0, absorbed_mass + (1.0 - cumulative));  // conservative tail
+}
+
+}  // namespace oi::reliability

@@ -1,0 +1,40 @@
+// Continuous-time Markov chains sized for storage reliability models (a
+// handful of states). Provides expected time to absorption (MTTDL) via a
+// dense linear solve and transient absorption probability via
+// uniformization.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+namespace oi::reliability {
+
+class Ctmc {
+ public:
+  explicit Ctmc(std::size_t states);
+
+  std::size_t states() const { return n_; }
+
+  /// Adds a transition rate (1/hour or any consistent unit). from != to,
+  /// rate >= 0; accumulating calls add up.
+  void add_rate(std::size_t from, std::size_t to, double rate);
+
+  /// Expected time to reach any state in `absorbing`, starting from
+  /// `initial`. The absorbing states' outgoing rates are ignored. Throws if
+  /// absorption is not almost-sure from `initial` (singular system).
+  double expected_absorption_time(std::size_t initial,
+                                  const std::set<std::size_t>& absorbing) const;
+
+  /// P(chain is in an absorbing state by `horizon`), via uniformization with
+  /// the given truncation tolerance.
+  double absorption_probability(std::size_t initial,
+                                const std::set<std::size_t>& absorbing, double horizon,
+                                double tolerance = 1e-12) const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::vector<double>> rate_;  ///< rate_[from][to], off-diagonal
+};
+
+}  // namespace oi::reliability

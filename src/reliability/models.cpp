@@ -1,0 +1,154 @@
+#include "reliability/models.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace oi::reliability {
+namespace {
+
+/// Stable expected-absorption-time for the birth-death chain used by every
+/// model here: states 0..t, birth[i] = rate i -> i+1 (i < t), death[i] =
+/// rate i -> i-1 (i >= 1), plus an absorbing rate out of state t. The
+/// forward-substitution E_i = p_i + q_i * E_{i+1} keeps every intermediate
+/// positive, avoiding the catastrophic cancellation a general Gaussian solve
+/// suffers when rates span many orders of magnitude (tiny failure rates vs
+/// fast repairs produce MTTDLs ~ mu^t / lambda^{t+1}).
+double birth_death_absorption_time(const std::vector<double>& birth,
+                                   const std::vector<double>& death,
+                                   double absorb_from_top) {
+  const std::size_t t = birth.size();  // top transient state index
+  OI_ASSERT(death.size() == t + 1, "death rates must cover states 0..t");
+  OI_ENSURE(absorb_from_top > 0, "absorption must be reachable");
+  if (t == 0) return 1.0 / absorb_from_top;
+  OI_ENSURE(birth[0] > 0, "state 0 must reach state 1");
+
+  // E_i = p_i + q_i * E_{i+1} for i < t.
+  std::vector<double> p(t), q(t);
+  p[0] = 1.0 / birth[0];
+  q[0] = 1.0;
+  for (std::size_t i = 1; i < t; ++i) {
+    const double denom = birth[i] + death[i] * (1.0 - q[i - 1]);
+    OI_ASSERT(denom > 0, "birth-death recurrence lost positivity");
+    p[i] = (1.0 + death[i] * p[i - 1]) / denom;
+    q[i] = birth[i] / denom;
+  }
+  const double denom_top = absorb_from_top + death[t] * (1.0 - q[t - 1]);
+  OI_ASSERT(denom_top > 0, "birth-death recurrence lost positivity at the top");
+  const double e_top = (1.0 + death[t] * p[t - 1]) / denom_top;
+  double e = e_top;
+  for (std::size_t i = t; i-- > 0;) e = p[i] + q[i] * e;
+  return e;
+}
+
+Ctmc build_t_tolerant(std::size_t n, std::size_t t, const DiskReliabilityParams& params,
+                      double fatal_fraction_beyond) {
+  OI_ENSURE(n > t, "array must have more disks than its tolerance");
+  OI_ENSURE(fatal_fraction_beyond >= 0.0 && fatal_fraction_beyond <= 1.0,
+            "fatal fraction must be a probability");
+  const double lambda = params.failure_rate();
+  const double mu = params.repair_rate();
+  // States: 0..t concurrent failures; state t+1 is data loss.
+  Ctmc chain(t + 2);
+  const std::size_t loss = t + 1;
+  for (std::size_t i = 0; i < t; ++i) {
+    chain.add_rate(i, i + 1, static_cast<double>(n - i) * lambda);
+  }
+  // The (t+1)-th failure: fatal with the given probability; the benign
+  // complement is modeled as staying in state t (the extra failure joins the
+  // repair queue without destroying data).
+  chain.add_rate(t, loss, static_cast<double>(n - t) * lambda * fatal_fraction_beyond);
+  for (std::size_t i = 1; i <= t; ++i) {
+    chain.add_rate(i, i - 1, static_cast<double>(i) * mu);
+  }
+  return chain;
+}
+
+}  // namespace
+
+double mttdl_t_tolerant(std::size_t n, std::size_t t, const DiskReliabilityParams& params,
+                        double fatal_fraction_beyond) {
+  OI_ENSURE(n > t, "array must have more disks than its tolerance");
+  OI_ENSURE(fatal_fraction_beyond > 0.0 && fatal_fraction_beyond <= 1.0,
+            "fatal fraction must be a probability (> 0 so absorption is reachable)");
+  const double lambda = params.failure_rate();
+  const double mu = params.repair_rate();
+  std::vector<double> birth(t), death(t + 1, 0.0);
+  for (std::size_t i = 0; i < t; ++i) {
+    birth[i] = static_cast<double>(n - i) * lambda;
+  }
+  for (std::size_t i = 1; i <= t; ++i) death[i] = static_cast<double>(i) * mu;
+  return birth_death_absorption_time(
+      birth, death, static_cast<double>(n - t) * lambda * fatal_fraction_beyond);
+}
+
+double loss_probability_t_tolerant(std::size_t n, std::size_t t,
+                                   const DiskReliabilityParams& params,
+                                   double mission_hours,
+                                   double fatal_fraction_beyond) {
+  const Ctmc chain = build_t_tolerant(n, t, params, fatal_fraction_beyond);
+  return chain.absorption_probability(0, {t + 1}, mission_hours);
+}
+
+double mttdl_raid5(std::size_t n, const DiskReliabilityParams& params) {
+  return mttdl_t_tolerant(n, 1, params);
+}
+
+double mttdl_raid6(std::size_t n, const DiskReliabilityParams& params) {
+  return mttdl_t_tolerant(n, 2, params);
+}
+
+double mttdl_raid50(std::size_t groups, std::size_t m,
+                    const DiskReliabilityParams& params) {
+  OI_ENSURE(groups >= 1, "need at least one group");
+  return mttdl_raid5(m, params) / static_cast<double>(groups);
+}
+
+double mttdl_parity_declustering(std::size_t n, const DiskReliabilityParams& params) {
+  return mttdl_raid5(n, params);
+}
+
+double mttdl_oi_raid(std::size_t n, const DiskReliabilityParams& params,
+                     double fatal_fraction_4th) {
+  return mttdl_t_tolerant(n, 3, params, fatal_fraction_4th);
+}
+
+double mttdl_replication(std::size_t sets, std::size_t copies,
+                         const DiskReliabilityParams& params) {
+  OI_ENSURE(sets >= 1 && copies >= 2, "replication needs sets >= 1, copies >= 2");
+  return mttdl_t_tolerant(copies, copies - 1, params) / static_cast<double>(sets);
+}
+
+double lse_probability(double bytes_read, double errors_per_byte) {
+  OI_ENSURE(bytes_read >= 0, "bytes_read must be non-negative");
+  OI_ENSURE(errors_per_byte >= 0, "error rate must be non-negative");
+  // 1 - (1-p)^bytes with p tiny: use expm1 for numerical stability.
+  return -std::expm1(-errors_per_byte * bytes_read);
+}
+
+double mttdl_t_tolerant_lse(std::size_t n, std::size_t t,
+                            const DiskReliabilityParams& params,
+                            double lse_prob_during_rebuild,
+                            double fatal_fraction_beyond) {
+  OI_ENSURE(lse_prob_during_rebuild >= 0.0 && lse_prob_during_rebuild <= 1.0,
+            "LSE probability must be in [0,1]");
+  OI_ENSURE(n > t, "array must have more disks than its tolerance");
+  OI_ENSURE(fatal_fraction_beyond > 0.0 && fatal_fraction_beyond <= 1.0,
+            "fatal fraction must be a probability (> 0 so absorption is reachable)");
+  const double lambda = params.failure_rate();
+  const double mu = params.repair_rate();
+  const double p = lse_prob_during_rebuild;
+  // At the tolerance limit a rebuild either succeeds (death to t-1) or trips
+  // an LSE on a stripe with no redundancy left (absorption).
+  std::vector<double> birth(t), death(t + 1, 0.0);
+  for (std::size_t i = 0; i < t; ++i) {
+    birth[i] = static_cast<double>(n - i) * lambda;
+  }
+  for (std::size_t i = 1; i < t; ++i) death[i] = static_cast<double>(i) * mu;
+  if (t >= 1) death[t] = static_cast<double>(t) * mu * (1.0 - p);
+  const double absorb = static_cast<double>(n - t) * lambda * fatal_fraction_beyond +
+                        (t >= 1 ? static_cast<double>(t) * mu * p : 0.0);
+  return birth_death_absorption_time(birth, death, absorb);
+}
+
+}  // namespace oi::reliability

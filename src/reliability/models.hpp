@@ -1,0 +1,78 @@
+// Closed Markov models for each scheme's MTTDL (experiment E7). Every model
+// uses the classic birth-death structure: disks fail at rate 1/MTTF, failed
+// disks are repaired at rate 1/rebuild-time, and data loss is the absorbing
+// state. The rebuild time is the coupling point to the recovery experiments:
+// OI-RAID's faster rebuild directly shrinks the window in which extra
+// failures are fatal.
+#pragma once
+
+#include <cstddef>
+
+#include "reliability/ctmc.hpp"
+
+namespace oi::reliability {
+
+struct DiskReliabilityParams {
+  double mttf_hours = 1.2e6;   ///< per-disk mean time to failure
+  double rebuild_hours = 12.0; ///< mean repair time of one failed disk
+
+  double failure_rate() const { return 1.0 / mttf_hours; }
+  double repair_rate() const { return 1.0 / rebuild_hours; }
+};
+
+/// Generic t-fault-tolerant array of n disks: states 0..t failed disks plus
+/// data loss. Failures arrive at (n - i) * lambda; each failed disk repairs
+/// independently, so state i repairs at i * mu. `fatal_fraction_beyond` is
+/// the probability that the (t+1)-th concurrent failure actually destroys
+/// data (1.0 for MDS-like schemes; OI-RAID's measured 4-failure survival
+/// fraction plugs in here).
+double mttdl_t_tolerant(std::size_t n, std::size_t t, const DiskReliabilityParams& params,
+                        double fatal_fraction_beyond = 1.0);
+
+/// P(data loss within mission_hours) for the same chain.
+double loss_probability_t_tolerant(std::size_t n, std::size_t t,
+                                   const DiskReliabilityParams& params,
+                                   double mission_hours,
+                                   double fatal_fraction_beyond = 1.0);
+
+double mttdl_raid5(std::size_t n, const DiskReliabilityParams& params);
+double mttdl_raid6(std::size_t n, const DiskReliabilityParams& params);
+/// g independent RAID5 groups of m disks: group MTTDL / g (first-failure
+/// approximation, standard for independent subsystems).
+double mttdl_raid50(std::size_t groups, std::size_t m,
+                    const DiskReliabilityParams& params);
+/// Parity declustering has RAID5-level tolerance over all n disks.
+double mttdl_parity_declustering(std::size_t n, const DiskReliabilityParams& params);
+/// OI-RAID: three-fault-tolerant over n disks; pass the measured fraction of
+/// fatal 4th failures (from the E1 sweep) to tighten the default.
+double mttdl_oi_raid(std::size_t n, const DiskReliabilityParams& params,
+                     double fatal_fraction_4th = 1.0);
+/// c-way replication of n/c primaries: tolerance c-1 within each mirror set;
+/// modeled as independent sets like RAID50.
+double mttdl_replication(std::size_t sets, std::size_t copies,
+                         const DiskReliabilityParams& params);
+
+// --- latent sector errors (unrecoverable read errors) ---
+
+/// Probability that reading `bytes_read` bytes hits at least one latent
+/// sector error. The default rate corresponds to the common nearline spec of
+/// one unrecoverable error per 10^15 bits read.
+double lse_probability(double bytes_read, double errors_per_byte = 1.25e-16);
+
+/// MTTDL including LSEs: when the array is at its tolerance limit (t
+/// concurrent failures), a rebuild that hits an LSE has no redundancy left
+/// for that stripe and loses data. The rebuild-completion transition from
+/// state t therefore splits: success with 1-p, data loss with p, where p is
+/// the LSE probability over that rebuild's read volume. Rebuilds in states
+/// below t re-derive the unreadable sector from the remaining redundancy, so
+/// only state t is affected (first-order model).
+///
+/// This is where recovery efficiency feeds reliability twice: OI-RAID's
+/// rebuild reads ~2(m-1)(k-1)/m disk-capacities instead of RAID5's n-1, so
+/// both the rebuild window *and* the LSE exposure shrink.
+double mttdl_t_tolerant_lse(std::size_t n, std::size_t t,
+                            const DiskReliabilityParams& params,
+                            double lse_prob_during_rebuild,
+                            double fatal_fraction_beyond = 1.0);
+
+}  // namespace oi::reliability

@@ -1,0 +1,161 @@
+#include "reliability/monte_carlo.hpp"
+
+#include <cmath>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace oi::reliability {
+namespace {
+
+enum class EventKind { kDiskFailure, kRepair, kDomainFailure };
+
+struct Event {
+  double time;
+  EventKind kind;
+  std::size_t target;  ///< disk id, or domain id for kDomainFailure
+  /// Per-disk generation stamp: a disk-failure event is valid only while the
+  /// disk is in the same lifetime epoch it was scheduled in. Repairs and
+  /// domain failures bump the epoch, invalidating stale lifetimes (a disk
+  /// must never carry two pending lifetime draws).
+  std::uint64_t epoch;
+};
+
+struct Later {
+  bool operator()(const Event& a, const Event& b) const { return a.time > b.time; }
+};
+
+}  // namespace
+
+MonteCarloResult monte_carlo_reliability(const layout::Layout& layout,
+                                         const MonteCarloConfig& config) {
+  OI_ENSURE(config.mttf_hours > 0 && config.rebuild_hours > 0,
+            "reliability parameters must be positive");
+  OI_ENSURE(config.mission_hours > 0, "mission time must be positive");
+  OI_ENSURE(config.trials >= 1, "need at least one trial");
+  OI_ENSURE(config.weibull_shape > 0, "weibull shape must be positive");
+  OI_ENSURE(config.lse_probability_per_repair >= 0.0 &&
+                config.lse_probability_per_repair <= 1.0,
+            "LSE probability must be in [0,1]");
+  const std::size_t n = layout.disks();
+  std::size_t domains = 0;
+  if (config.disks_per_domain > 0) {
+    OI_ENSURE(n % config.disks_per_domain == 0,
+              "disks_per_domain must divide the disk count");
+    OI_ENSURE(config.domain_mttf_hours > 0,
+              "domain failures need a positive domain MTTF");
+    domains = n / config.disks_per_domain;
+  }
+
+  Rng rng(config.seed);
+  const std::size_t tolerance = layout.fault_tolerance();
+  // Scale so the Weibull mean equals MTTF: mean = scale * Gamma(1 + 1/shape).
+  const double scale = config.mttf_hours / std::tgamma(1.0 + 1.0 / config.weibull_shape);
+
+  auto draw_lifetime = [&](Rng& r) {
+    return config.weibull_shape == 1.0 ? r.exponential(1.0 / config.mttf_hours)
+                                       : r.weibull(config.weibull_shape, scale);
+  };
+
+  MonteCarloResult result;
+  result.trials = config.trials;
+
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    std::priority_queue<Event, std::vector<Event>, Later> events;
+    std::vector<std::uint64_t> epoch(n, 0);
+    for (std::size_t d = 0; d < n; ++d) {
+      events.push({draw_lifetime(rng), EventKind::kDiskFailure, d, epoch[d]});
+    }
+    for (std::size_t dom = 0; dom < domains; ++dom) {
+      events.push({rng.exponential(1.0 / config.domain_mttf_hours),
+                   EventKind::kDomainFailure, dom, 0});
+    }
+    std::set<std::size_t> failed;
+    bool lost = false;
+
+    auto recoverable = [&](const std::set<std::size_t>& pattern) {
+      if (pattern.size() <= tolerance) return true;
+      if (pattern.size() >= n) return false;
+      return layout
+          .recovery_plan(std::vector<std::size_t>(pattern.begin(), pattern.end()))
+          .has_value();
+    };
+
+    auto fail_disk = [&](std::size_t disk, double now) {
+      if (failed.contains(disk)) return;
+      failed.insert(disk);
+      ++epoch[disk];  // cancels any pending lifetime event
+      events.push({now + rng.exponential(1.0 / config.rebuild_hours),
+                   EventKind::kRepair, disk, epoch[disk]});
+    };
+
+    while (!events.empty() && !lost) {
+      const Event event = events.top();
+      events.pop();
+      if (event.time > config.mission_hours) break;
+
+      switch (event.kind) {
+        case EventKind::kDiskFailure: {
+          if (event.epoch != epoch[event.target]) break;  // stale lifetime
+          fail_disk(event.target, event.time);
+          if (!recoverable(failed)) lost = true;
+          break;
+        }
+        case EventKind::kDomainFailure: {
+          const std::size_t first = event.target * config.disks_per_domain;
+          for (std::size_t j = 0; j < config.disks_per_domain; ++j) {
+            fail_disk(first + j, event.time);
+          }
+          if (!recoverable(failed)) lost = true;
+          // The (replaced) domain can fail again later.
+          events.push({event.time + rng.exponential(1.0 / config.domain_mttf_hours),
+                       EventKind::kDomainFailure, event.target, 0});
+          break;
+        }
+        case EventKind::kRepair: {
+          if (event.epoch != epoch[event.target]) break;  // superseded
+          if (!failed.contains(event.target)) break;
+          // Latent sector error during the rebuild's reads: one surviving
+          // disk momentarily contributes nothing for some stripe; that
+          // stripe survives only if the pattern including it still decodes.
+          if (config.lse_probability_per_repair > 0.0 &&
+              rng.bernoulli(config.lse_probability_per_repair)) {
+            std::vector<std::size_t> survivors;
+            survivors.reserve(n - failed.size());
+            for (std::size_t d = 0; d < n; ++d) {
+              if (!failed.contains(d)) survivors.push_back(d);
+            }
+            if (!survivors.empty()) {
+              std::set<std::size_t> with_lse = failed;
+              with_lse.insert(survivors[rng.uniform_u64(survivors.size())]);
+              if (!recoverable(with_lse)) {
+                lost = true;
+                break;
+              }
+            }
+          }
+          failed.erase(event.target);
+          ++epoch[event.target];
+          events.push({event.time + draw_lifetime(rng), EventKind::kDiskFailure,
+                       event.target, epoch[event.target]});
+          break;
+        }
+      }
+      if (lost) {
+        result.time_to_loss.add(event.time);
+        ++result.losses;
+      }
+    }
+  }
+
+  result.loss_probability =
+      static_cast<double>(result.losses) / static_cast<double>(result.trials);
+  const double p = result.loss_probability;
+  result.ci95 = 1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(result.trials));
+  return result;
+}
+
+}  // namespace oi::reliability

@@ -1,0 +1,81 @@
+#include "sim/disk.hpp"
+
+#include "util/assert.hpp"
+
+namespace oi::sim {
+
+Disk::Disk(Engine& engine, DiskParams params, std::size_t id)
+    : engine_(engine), params_(params), id_(id) {
+  OI_ENSURE(params.bandwidth > 0, "disk bandwidth must be positive");
+  OI_ENSURE(params.strip_bytes > 0, "strip size must be positive");
+  OI_ENSURE(params.seek_seconds >= 0 && params.rotational_seconds >= 0,
+            "positioning times must be non-negative");
+  OI_ENSURE(params.service_multiplier > 0, "service multiplier must be positive");
+}
+
+void Disk::submit(DiskRequest request) {
+  OI_ENSURE(request.on_complete != nullptr, "request needs a completion callback");
+  (request.priority == Priority::kForeground ? high_ : low_).push_back(std::move(request));
+  if (!busy_) start_next();
+}
+
+void Disk::start_next() {
+  OI_ASSERT(!busy_, "start_next while busy");
+  DiskRequest request;
+  if (!high_.empty()) {
+    // Foreground stays FIFO for latency fairness.
+    request = std::move(high_.front());
+    high_.pop_front();
+  } else if (!low_.empty()) {
+    // Rebuild traffic is served in C-SCAN (elevator) order: the smallest
+    // offset at or ahead of the head, wrapping to the smallest overall.
+    // Real controllers and NCQ do this, and it is what lets a declustered
+    // rebuild recover sequential bandwidth from scattered strip reads.
+    auto best = low_.end();
+    auto fallback = low_.end();
+    for (auto it = low_.begin(); it != low_.end(); ++it) {
+      if (!has_position_ || it->offset >= head_position_) {
+        if (best == low_.end() || it->offset < best->offset) best = it;
+      }
+      if (fallback == low_.end() || it->offset < fallback->offset) fallback = it;
+    }
+    if (best == low_.end()) best = fallback;
+    request = std::move(*best);
+    low_.erase(best);
+  } else {
+    return;
+  }
+  busy_ = true;
+
+  const bool sequential = has_position_ && request.offset == head_position_ + 1;
+  const double transfer =
+      request.bytes == 0
+          ? params_.transfer_seconds()
+          : static_cast<double>(request.bytes) / params_.bandwidth;
+  const double service =
+      ((sequential ? 0.0 : params_.positioning_seconds()) + transfer) *
+      params_.service_multiplier;
+  has_position_ = true;
+  head_position_ = request.offset;
+  busy_seconds_ += service;
+  if (request.is_write) {
+    ++writes_;
+  } else {
+    ++reads_;
+  }
+
+  engine_.schedule_after(service, [this, done = std::move(request.on_complete)]() {
+    busy_ = false;
+    // Completion first, so a dependent request submitted by the callback can
+    // be picked up by the immediately following start_next.
+    done();
+    if (!busy_) start_next();
+  });
+}
+
+double Disk::utilization(double end_time) const {
+  if (end_time <= 0.0) return 0.0;
+  return busy_seconds_ / end_time;
+}
+
+}  // namespace oi::sim

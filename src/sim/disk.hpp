@@ -1,0 +1,83 @@
+// Single-disk service model with two-priority FIFO queueing.
+//
+// Service time = positioning + transfer, where positioning (seek + half
+// rotation) is waived when the request continues sequentially from the
+// previous one. The absolute numbers model a 7.2k nearline HDD; the recovery
+// experiments only rely on the *ratios* (positioning vs transfer), which are
+// representative across the class.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "util/units.hpp"
+
+namespace oi::sim {
+
+struct DiskParams {
+  double seek_seconds = 4.2e-3;        ///< average seek + settle
+  double rotational_seconds = 4.17e-3; ///< half rotation at 7200 rpm
+  double bandwidth = 180.0 * static_cast<double>(kMiB);  ///< media rate, B/s
+  std::size_t strip_bytes = 256 * kKiB;
+  /// Fail-slow injection: every service time is multiplied by this factor
+  /// (1.0 = healthy; field studies report 2-100x for ailing drives).
+  double service_multiplier = 1.0;
+
+  double transfer_seconds() const {
+    return static_cast<double>(strip_bytes) / bandwidth;
+  }
+  double positioning_seconds() const { return seek_seconds + rotational_seconds; }
+};
+
+enum class Priority {
+  kForeground,  ///< user I/O, served first
+  kRebuild,     ///< background reconstruction traffic
+};
+
+struct DiskRequest {
+  std::size_t offset = 0;
+  bool is_write = false;
+  Priority priority = Priority::kRebuild;
+  /// Transfer size; 0 means one full strip (params.strip_bytes). Foreground
+  /// user I/O is typically much smaller than the rebuild unit.
+  std::size_t bytes = 0;
+  std::function<void()> on_complete;
+};
+
+class Disk {
+ public:
+  Disk(Engine& engine, DiskParams params, std::size_t id);
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  void submit(DiskRequest request);
+
+  std::size_t id() const { return id_; }
+  std::size_t queued() const { return high_.size() + low_.size() + (busy_ ? 1 : 0); }
+  double busy_seconds() const { return busy_seconds_; }
+  std::size_t completed_reads() const { return reads_; }
+  std::size_t completed_writes() const { return writes_; }
+  /// busy_seconds / elapsed; pass the simulation end time.
+  double utilization(double end_time) const;
+
+ private:
+  void start_next();
+
+  Engine& engine_;
+  DiskParams params_;
+  std::size_t id_;
+  std::deque<DiskRequest> high_;
+  std::deque<DiskRequest> low_;
+  bool busy_ = false;
+  bool has_position_ = false;
+  std::size_t head_position_ = 0;
+  double busy_seconds_ = 0.0;
+  std::size_t reads_ = 0;
+  std::size_t writes_ = 0;
+};
+
+}  // namespace oi::sim

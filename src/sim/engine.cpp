@@ -1,0 +1,44 @@
+#include "sim/engine.hpp"
+
+#include "util/assert.hpp"
+
+namespace oi::sim {
+
+void Engine::schedule_at(double time, Callback callback) {
+  OI_ENSURE(time >= now_, "cannot schedule an event in the past");
+  OI_ENSURE(callback != nullptr, "event callback must be callable");
+  queue_.push({time, next_seq_++, std::move(callback)});
+}
+
+void Engine::schedule_after(double delay, Callback callback) {
+  OI_ENSURE(delay >= 0.0, "event delay must be non-negative");
+  schedule_at(now_ + delay, std::move(callback));
+}
+
+void Engine::pop_and_run() {
+  // Move the callback out before popping so the event may schedule others.
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.time;
+  ++processed_;
+  event.callback();
+}
+
+double Engine::run() {
+  while (!queue_.empty()) pop_and_run();
+  return now_;
+}
+
+double Engine::run_bounded(std::size_t max_events) {
+  for (std::size_t i = 0; i < max_events && !queue_.empty(); ++i) pop_and_run();
+  return now_;
+}
+
+double Engine::run_until(double horizon) {
+  OI_ENSURE(horizon >= now_, "horizon must not be in the past");
+  while (!queue_.empty() && queue_.top().time <= horizon) pop_and_run();
+  now_ = horizon;
+  return now_;
+}
+
+}  // namespace oi::sim

@@ -1,0 +1,57 @@
+// Minimal discrete-event engine. Single-threaded by design: determinism is a
+// feature (every simulation is reproducible from its seed), and the arrays
+// simulated here are far below the event rates where parallel DES pays off.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace oi::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  double now() const { return now_; }
+
+  /// Schedules a callback at an absolute time >= now().
+  void schedule_at(double time, Callback callback);
+  /// Schedules a callback `delay` seconds from now (delay >= 0).
+  void schedule_after(double delay, Callback callback);
+
+  /// Runs events until the queue drains. Returns the final simulation time.
+  double run();
+  /// Runs at most `max_events` further events; use idle() afterwards to tell
+  /// whether the queue actually drained.
+  double run_bounded(std::size_t max_events);
+  /// Runs events with time <= horizon; later events stay queued and now()
+  /// advances to the horizon.
+  double run_until(double horizon);
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t processed_events() const { return processed_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  ///< tie-breaker: FIFO among same-time events
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void pop_and_run();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace oi::sim

@@ -1,0 +1,428 @@
+#include "sim/rebuild.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "sim/engine.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace oi::sim {
+namespace {
+
+using layout::RecoveryStep;
+using layout::StripLoc;
+
+/// Everything a single simulation run needs, wired together. Lives on the
+/// stack of simulate(); all callbacks complete before simulate() returns
+/// because the engine drains before destruction.
+struct SimState {
+  const layout::Layout& layout;
+  const SimConfig& config;
+  std::vector<std::size_t> failed;
+  std::set<std::size_t> failed_set;
+
+  Engine engine;
+  std::vector<std::unique_ptr<Disk>> disks;
+  Rng rng;
+
+  // --- rebuild bookkeeping ---
+  std::vector<RecoveryStep> plan;
+  std::map<StripLoc, std::size_t> lost_index;       // lost strip -> step id
+  std::vector<std::size_t> unmet_deps;              // per step
+  std::vector<std::vector<std::size_t>> dependents; // step -> steps waiting on it
+  std::deque<std::size_t> ready;
+  std::size_t inflight = 0;
+  std::size_t steps_done = 0;
+  bool rebuild_active = false;
+  double rebuild_finish = 0.0;
+  std::size_t rebuild_disk_reads = 0;
+  std::size_t rebuild_disk_writes = 0;
+  // Distributed-spare write cursors.
+  std::vector<std::size_t> survivors;
+  std::size_t next_survivor = 0;
+  std::vector<std::size_t> spare_fill;  // per disk: strips appended so far
+  // Copy-back bookkeeping (distributed spare + config.copy_back).
+  std::vector<StripLoc> spare_location;  // per step: where the strip parked
+  std::size_t copyback_next = 0;
+  std::size_t copyback_inflight = 0;
+  std::size_t copyback_done = 0;
+  double copy_back_finish = 0.0;
+
+  // --- foreground bookkeeping ---
+  std::unique_ptr<workload::AccessGenerator> generator;
+  bool arrivals_open = false;
+  std::size_t foreground_completed = 0;
+  std::vector<double> foreground_latencies;
+
+  SimState(const layout::Layout& l, const std::vector<std::size_t>& f,
+           const SimConfig& c)
+      : layout(l), config(c), failed(f), failed_set(f.begin(), f.end()), rng(c.seed) {}
+
+  Priority rebuild_priority() const {
+    return config.rebuild_background_priority ? Priority::kRebuild
+                                              : Priority::kForeground;
+  }
+
+  bool disk_failed(std::size_t disk) const { return failed_set.contains(disk); }
+
+  bool copy_back_enabled() const {
+    return config.copy_back && config.spare == layout::SparePolicy::kDistributedSpare &&
+           !failed.empty();
+  }
+
+  void setup_disks() {
+    const std::size_t n = layout.disks();
+    std::size_t total = n;
+    // Dedicated spares and copy-back targets are replacement disks appended
+    // after the array's own ids.
+    if (config.spare == layout::SparePolicy::kDedicatedSpare || copy_back_enabled()) {
+      total += failed.size();
+    }
+    for (const auto& [disk, factor] : config.slow_disks) {
+      OI_ENSURE(disk < n, "fail-slow injection targets a disk outside the array");
+      OI_ENSURE(factor > 0, "fail-slow factor must be positive");
+    }
+    for (std::size_t d = 0; d < total; ++d) {
+      DiskParams params = config.disk;
+      const auto slow = config.slow_disks.find(d);
+      if (slow != config.slow_disks.end()) params.service_multiplier *= slow->second;
+      disks.push_back(std::make_unique<Disk>(engine, params, d));
+    }
+    for (std::size_t d = 0; d < n; ++d) {
+      if (!disk_failed(d)) survivors.push_back(d);
+    }
+    OI_ENSURE(!survivors.empty(), "all disks failed");
+    spare_fill.assign(total, 0);
+  }
+
+  // ---------- rebuild ----------
+
+  void setup_rebuild() {
+    auto maybe_plan = layout.recovery_plan(failed);
+    OI_ENSURE(maybe_plan.has_value(), "failure pattern is unrecoverable");
+    plan = std::move(*maybe_plan);
+    if (copy_back_enabled()) spare_location.assign(plan.size(), {});
+    for (std::size_t i = 0; i < plan.size(); ++i) lost_index.emplace(plan[i].lost, i);
+
+    unmet_deps.assign(plan.size(), 0);
+    dependents.assign(plan.size(), {});
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      for (const StripLoc& read : plan[i].reads) {
+        const auto it = lost_index.find(read);
+        if (it == lost_index.end()) continue;
+        OI_ASSERT(it->second < i, "recovery plan is not topologically ordered");
+        ++unmet_deps[i];
+        dependents[it->second].push_back(i);
+      }
+    }
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      if (unmet_deps[i] == 0) ready.push_back(i);
+    }
+    rebuild_active = true;
+    issue_ready_steps();
+  }
+
+  void issue_ready_steps() {
+    while (inflight < config.max_inflight_steps && !ready.empty()) {
+      const std::size_t step = ready.front();
+      ready.pop_front();
+      ++inflight;
+      start_step(step);
+    }
+  }
+
+  void start_step(std::size_t step) {
+    // Reads of strips that earlier steps rebuilt are served from the rebuild
+    // buffer -- no disk I/O.
+    std::vector<StripLoc> disk_reads;
+    for (const StripLoc& read : plan[step].reads) {
+      if (!lost_index.contains(read)) disk_reads.push_back(read);
+    }
+    if (disk_reads.empty()) {
+      write_step(step);
+      return;
+    }
+    auto pending = std::make_shared<std::size_t>(disk_reads.size());
+    for (const StripLoc& read : disk_reads) {
+      ++rebuild_disk_reads;
+      disks[read.disk]->submit({.offset = read.offset,
+                                .is_write = false,
+                                .priority = rebuild_priority(),
+                                .bytes = 0,  // full rebuild unit
+                                .on_complete = [this, step, pending] {
+                                  if (--*pending == 0) write_step(step);
+                                }});
+    }
+  }
+
+  void write_step(std::size_t step) {
+    const StripLoc lost = plan[step].lost;
+    std::size_t target = 0;
+    std::size_t offset = 0;
+    if (config.spare == layout::SparePolicy::kDedicatedSpare) {
+      const auto it = std::find(failed.begin(), failed.end(), lost.disk);
+      OI_ASSERT(it != failed.end(), "lost strip on a healthy disk");
+      target = layout.disks() + static_cast<std::size_t>(it - failed.begin());
+      offset = lost.offset;
+    } else {
+      target = survivors[next_survivor];
+      next_survivor = (next_survivor + 1) % survivors.size();
+      // Spare space is appended after the regular strips; sequential fill.
+      offset = layout.strips_per_disk() + spare_fill[target]++;
+      if (copy_back_enabled()) spare_location[step] = {target, offset};
+    }
+    ++rebuild_disk_writes;
+    disks[target]->submit({.offset = offset,
+                           .is_write = true,
+                           .priority = rebuild_priority(),
+                           .bytes = 0,
+                           .on_complete = [this, step] { finish_step(step); }});
+  }
+
+  void finish_step(std::size_t step) {
+    --inflight;
+    ++steps_done;
+    for (std::size_t dependent : dependents[step]) {
+      OI_ASSERT(unmet_deps[dependent] > 0, "dependency accounting corrupt");
+      if (--unmet_deps[dependent] == 0) ready.push_back(dependent);
+    }
+    if (steps_done == plan.size()) {
+      rebuild_active = false;
+      rebuild_finish = engine.now();
+      arrivals_open = false;  // measurement window ends with the rebuild
+      if (copy_back_enabled()) issue_copy_back();
+      return;
+    }
+    issue_ready_steps();
+  }
+
+  // ---------- copy-back (distributed spare -> replacement disks) ----------
+
+  std::size_t replacement_disk(std::size_t failed_disk) const {
+    const auto it = std::find(failed.begin(), failed.end(), failed_disk);
+    OI_ASSERT(it != failed.end(), "no replacement for a healthy disk");
+    return layout.disks() + static_cast<std::size_t>(it - failed.begin());
+  }
+
+  void issue_copy_back() {
+    while (copyback_inflight < config.max_inflight_steps &&
+           copyback_next < plan.size()) {
+      const std::size_t step = copyback_next++;
+      ++copyback_inflight;
+      const StripLoc parked = spare_location[step];
+      disks[parked.disk]->submit(
+          {.offset = parked.offset,
+           .is_write = false,
+           .priority = Priority::kRebuild,
+           .bytes = 0,
+           .on_complete = [this, step] {
+             const StripLoc lost = plan[step].lost;
+             disks[replacement_disk(lost.disk)]->submit(
+                 {.offset = lost.offset,
+                  .is_write = true,
+                  .priority = Priority::kRebuild,
+                  .bytes = 0,
+                  .on_complete = [this] { finish_copy_back_step(); }});
+           }});
+    }
+  }
+
+  void finish_copy_back_step() {
+    --copyback_inflight;
+    if (++copyback_done == plan.size()) {
+      copy_back_finish = engine.now();
+      return;
+    }
+    issue_copy_back();
+  }
+
+  // ---------- foreground ----------
+
+  void setup_foreground() {
+    if (!config.foreground.has_value()) return;
+    OI_ENSURE(config.foreground->arrival_rate > 0, "arrival rate must be positive");
+    if (config.foreground->trace != nullptr) {
+      OI_ENSURE(config.foreground->trace->capacity <= layout.data_strips(),
+                "trace addresses exceed the layout's logical capacity");
+      generator = std::make_unique<workload::TraceReplayer>(*config.foreground->trace);
+    } else {
+      generator =
+          workload::make_generator(config.foreground->spec, layout.data_strips());
+    }
+    arrivals_open = true;
+    schedule_next_arrival();
+  }
+
+  void schedule_next_arrival() {
+    const double gap = rng.exponential(config.foreground->arrival_rate);
+    engine.schedule_after(gap, [this] {
+      if (!arrivals_open) return;
+      // Healthy-baseline runs close arrivals at the horizon.
+      if (failed.empty() && engine.now() >= config.healthy_horizon_seconds) {
+        arrivals_open = false;
+        return;
+      }
+      start_access(generator->next(rng));
+      schedule_next_arrival();
+    });
+  }
+
+  /// Per-request state, shared by the request's outstanding disk callbacks;
+  /// destroyed when the last callback releases it.
+  struct OpTracker {
+    double start = 0.0;
+    std::size_t pending = 0;
+    std::vector<StripLoc> writes_after;  // second RMW phase
+  };
+  using Op = std::shared_ptr<OpTracker>;
+
+  void complete_op(const Op& op) {
+    foreground_latencies.push_back(engine.now() - op->start);
+    ++foreground_completed;
+  }
+
+  void issue_op_writes(const Op& op, std::vector<StripLoc> writes) {
+    op->pending = writes.size();
+    for (const StripLoc& w : writes) {
+      disks[w.disk]->submit({.offset = w.offset,
+                             .is_write = true,
+                             .priority = Priority::kForeground,
+                             .bytes = config.foreground->request_bytes,
+                             .on_complete = [this, op] { op_write_done(op); }});
+    }
+  }
+
+  void op_read_done(const Op& op) {
+    OI_ASSERT(op->pending > 0, "op tracker accounting corrupt");
+    if (--op->pending > 0) return;
+    if (op->writes_after.empty()) {
+      complete_op(op);
+      return;
+    }
+    std::vector<StripLoc> writes;
+    writes.swap(op->writes_after);
+    issue_op_writes(op, std::move(writes));
+  }
+
+  void op_write_done(const Op& op) {
+    OI_ASSERT(op->pending > 0, "op tracker accounting corrupt");
+    if (--op->pending == 0) complete_op(op);
+  }
+
+  void start_access(workload::Access access) {
+    auto op = std::make_shared<OpTracker>();
+    op->start = engine.now();
+    if (!access.is_write) {
+      start_read(op, access.logical);
+    } else {
+      start_write(op, access.logical);
+    }
+  }
+
+  void start_read(const Op& op, std::size_t logical) {
+    const StripLoc loc = layout.locate(logical);
+    std::vector<StripLoc> reads;
+    if (!disk_failed(loc.disk)) {
+      reads.push_back(loc);
+    } else {
+      // Degraded read: the layout decides which strips reconstruct the lost
+      // one (outer relation for OI-RAID -- off the failed group; any k
+      // survivors for flat MDS codes).
+      reads = layout.degraded_read_sources(loc, failed_set);
+      if (reads.empty()) {
+        // Unreadable while multiple overlapping failures persist; count it
+        // as an instant error response rather than wedging the op.
+        complete_op(op);
+        return;
+      }
+    }
+    op->pending = reads.size();
+    for (const StripLoc& r : reads) {
+      disks[r.disk]->submit({.offset = r.offset,
+                             .is_write = false,
+                             .priority = Priority::kForeground,
+                             .bytes = config.foreground->request_bytes,
+                             .on_complete = [this, op] { op_read_done(op); }});
+    }
+  }
+
+  void start_write(const Op& op, std::size_t logical) {
+    const layout::WritePlan plan_w = layout.small_write_plan(logical);
+    std::vector<StripLoc> reads;
+    for (const StripLoc& r : plan_w.reads) {
+      if (!disk_failed(r.disk)) reads.push_back(r);
+    }
+    for (const StripLoc& w : plan_w.writes) {
+      if (!disk_failed(w.disk)) op->writes_after.push_back(w);
+    }
+    if (reads.empty() && op->writes_after.empty()) {
+      complete_op(op);
+      return;
+    }
+    if (reads.empty()) {
+      // Degenerate RMW with nothing to read: go straight to the write phase.
+      std::vector<StripLoc> writes;
+      writes.swap(op->writes_after);
+      issue_op_writes(op, std::move(writes));
+      return;
+    }
+    op->pending = reads.size();
+    for (const StripLoc& r : reads) {
+      disks[r.disk]->submit({.offset = r.offset,
+                             .is_write = false,
+                             .priority = Priority::kForeground,
+                             .bytes = config.foreground->request_bytes,
+                             .on_complete = [this, op] { op_read_done(op); }});
+    }
+  }
+};
+
+}  // namespace
+
+double SimResult::max_disk_utilization() const {
+  if (end_time <= 0.0) return 0.0;
+  double busiest = 0.0;
+  for (double b : disk_busy_seconds) busiest = std::max(busiest, b);
+  return busiest / end_time;
+}
+
+SimResult simulate(const layout::Layout& layout,
+                   const std::vector<std::size_t>& failed_disks,
+                   const SimConfig& config) {
+  OI_ENSURE(!failed_disks.empty() || config.foreground.has_value(),
+            "a simulation needs a rebuild, a foreground workload, or both");
+  SimState state(layout, failed_disks, config);
+  state.setup_disks();
+  state.setup_foreground();
+  if (!failed_disks.empty()) state.setup_rebuild();
+  const double end = state.engine.run_bounded(config.max_events);
+  if (!state.engine.idle()) {
+    throw std::runtime_error(
+        "simulation exceeded its event budget: the foreground arrival rate "
+        "saturates the array and the run cannot drain");
+  }
+
+  SimResult result;
+  result.rebuild_seconds = failed_disks.empty() ? 0.0 : state.rebuild_finish;
+  if (state.copy_back_enabled()) {
+    OI_ASSERT(state.copyback_done == state.plan.size(), "copy-back did not drain");
+    result.copy_back_seconds = state.copy_back_finish - state.rebuild_finish;
+  }
+  result.rebuild_strips = state.plan.size();
+  result.rebuild_disk_reads = state.rebuild_disk_reads;
+  result.rebuild_disk_writes = state.rebuild_disk_writes;
+  result.end_time = end;
+  result.disk_busy_seconds.reserve(state.disks.size());
+  for (const auto& disk : state.disks) {
+    result.disk_busy_seconds.push_back(disk->busy_seconds());
+  }
+  result.foreground_completed = state.foreground_completed;
+  result.foreground_latencies = std::move(state.foreground_latencies);
+  return result;
+}
+
+}  // namespace oi::sim

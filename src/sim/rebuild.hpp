@@ -1,0 +1,89 @@
+// Rebuild simulation: executes a layout's recovery plan on the disk model,
+// optionally with competing foreground traffic, and reports rebuild time,
+// per-disk utilization and foreground latency. This is the measurement
+// backend for the recovery-speedup, multi-failure and degraded-performance
+// experiments (E2, E4, E8).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include <memory>
+
+#include "layout/analysis.hpp"
+#include "layout/layout.hpp"
+#include "sim/disk.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace.hpp"
+
+namespace oi::sim {
+
+struct ForegroundConfig {
+  workload::WorkloadSpec spec{};
+  /// Poisson arrival rate, requests/second across the whole array.
+  double arrival_rate = 200.0;
+  /// User request size; much smaller than the rebuild unit (strip_bytes).
+  std::size_t request_bytes = 64 * kKiB;
+  /// When set, requests replay this trace (looping) instead of sampling from
+  /// `spec` -- lets different schemes face byte-identical request streams.
+  /// trace->capacity must not exceed the layout's logical capacity.
+  std::shared_ptr<const workload::Trace> trace;
+};
+
+struct SimConfig {
+  DiskParams disk{};
+  layout::SparePolicy spare = layout::SparePolicy::kDistributedSpare;
+  /// Rebuild window: reconstruction steps in flight at once. Large enough to
+  /// keep every disk's queue non-empty, small enough to bound buffer memory.
+  std::size_t max_inflight_steps = 64;
+  /// Rebuild I/O yields to foreground I/O at the disk queues when true.
+  bool rebuild_background_priority = true;
+  std::optional<ForegroundConfig> foreground;
+  std::uint64_t seed = 1;
+  /// For runs without failures (healthy baseline): how long to generate
+  /// foreground traffic.
+  double healthy_horizon_seconds = 10.0;
+  /// Hard event budget: exceeding it means the configuration saturates the
+  /// array (arrivals outpace service and the rebuild can never finish);
+  /// simulate() then throws instead of spinning forever.
+  std::size_t max_events = 50'000'000;
+  /// Fail-slow injection: disk id -> service-time multiplier (> 1 slows the
+  /// disk down without failing it), applied on top of the base disk model.
+  std::map<std::size_t, double> slow_disks;
+  /// With a distributed spare, also simulate the copy-back phase: after
+  /// redundancy is restored, strips parked in the survivors' spare space are
+  /// drained onto the replacement disks in the background. Redundancy is
+  /// already back during copy-back, so it does not extend the vulnerable
+  /// window -- the result reports it separately.
+  bool copy_back = false;
+};
+
+struct SimResult {
+  /// Time from t=0 (failure already detected) to the last rebuilt strip
+  /// being durably written. 0 when nothing failed.
+  double rebuild_seconds = 0.0;
+  std::size_t rebuild_strips = 0;
+  std::size_t rebuild_disk_reads = 0;
+  std::size_t rebuild_disk_writes = 0;
+  std::vector<double> disk_busy_seconds;
+  double end_time = 0.0;
+  /// Time from rebuild completion to the last strip landing on the
+  /// replacement disk (0 unless config.copy_back with a distributed spare).
+  double copy_back_seconds = 0.0;
+
+  std::size_t foreground_completed = 0;
+  std::vector<double> foreground_latencies;
+
+  double max_disk_utilization() const;
+};
+
+/// Simulates rebuilding `failed_disks` (may be empty for a healthy-baseline
+/// run, which then requires config.foreground). Throws std::invalid_argument
+/// when the failure pattern is unrecoverable for the layout.
+SimResult simulate(const layout::Layout& layout,
+                   const std::vector<std::size_t>& failed_disks,
+                   const SimConfig& config);
+
+}  // namespace oi::sim

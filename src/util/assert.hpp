@@ -1,0 +1,46 @@
+// Error-handling helpers shared by every oi-raid module.
+//
+// Two macros, two audiences:
+//   OI_ENSURE(cond, msg)  -- validates *caller-supplied* inputs and
+//                            environment conditions; throws std::invalid_argument
+//                            or std::runtime_error so the caller can recover.
+//   OI_ASSERT(cond, msg)  -- checks *internal* invariants; violation means a
+//                            bug in this library, throws std::logic_error.
+//
+// Both always evaluate the condition (no NDEBUG elision): this library backs
+// correctness claims about erasure codes, so silent invariant skips in
+// release builds are not acceptable.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace oi::detail {
+
+[[noreturn]] inline void throw_ensure(const char* expr, const std::string& msg,
+                                      const char* file, int line) {
+  std::ostringstream os;
+  os << "OI_ENSURE failed: " << msg << " [" << expr << "] at " << file << ':' << line;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_assert(const char* expr, const std::string& msg,
+                                      const char* file, int line) {
+  std::ostringstream os;
+  os << "OI_ASSERT failed (library bug): " << msg << " [" << expr << "] at " << file << ':'
+     << line;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace oi::detail
+
+#define OI_ENSURE(cond, msg)                                          \
+  do {                                                                \
+    if (!(cond)) ::oi::detail::throw_ensure(#cond, (msg), __FILE__, __LINE__); \
+  } while (0)
+
+#define OI_ASSERT(cond, msg)                                          \
+  do {                                                                \
+    if (!(cond)) ::oi::detail::throw_assert(#cond, (msg), __FILE__, __LINE__); \
+  } while (0)

@@ -1,0 +1,122 @@
+#include "util/flags.hpp"
+
+#include <charconv>
+
+#include "util/assert.hpp"
+
+namespace oi {
+
+Flags::Flags(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  parse(args);
+}
+
+Flags::Flags(const std::vector<std::string>& args) { parse(args); }
+
+void Flags::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    OI_ENSURE(!name.empty(), "bare '--' is not a valid flag");
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      OI_ENSURE(!name.empty(), "flag with empty name: " + arg);
+    } else if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      value = args[++i];
+    } else {
+      value = "true";  // boolean flag
+    }
+    const auto [it, inserted] = values_.emplace(name, value);
+    (void)it;
+    OI_ENSURE(inserted, "duplicate flag: --" + name);
+  }
+}
+
+std::optional<std::string> Flags::raw(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  touched_[name] = true;
+  return it->second;
+}
+
+bool Flags::has(const std::string& name) const { return raw(name).has_value(); }
+
+std::string Flags::get_string(const std::string& name, const std::string& fallback) const {
+  return raw(name).value_or(fallback);
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto value = raw(name);
+  if (!value) return fallback;
+  std::int64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(value->data(), value->data() + value->size(), out);
+  OI_ENSURE(ec == std::errc{} && ptr == value->data() + value->size(),
+            "flag --" + name + " expects an integer, got '" + *value + "'");
+  return out;
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  const auto value = raw(name);
+  if (!value) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double out = std::stod(*value, &consumed);
+    OI_ENSURE(consumed == value->size(),
+              "flag --" + name + " expects a number, got '" + *value + "'");
+    return out;
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" + *value +
+                                "'");
+  }
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  const auto value = raw(name);
+  if (!value) return fallback;
+  if (*value == "true" || *value == "1" || *value == "yes") return true;
+  if (*value == "false" || *value == "0" || *value == "no") return false;
+  throw std::invalid_argument("flag --" + name + " expects a boolean, got '" + *value +
+                              "'");
+}
+
+std::vector<std::size_t> Flags::get_size_list(const std::string& name) const {
+  const auto value = raw(name);
+  std::vector<std::size_t> out;
+  if (!value || value->empty()) return out;
+  std::size_t start = 0;
+  while (start <= value->size()) {
+    const auto comma = value->find(',', start);
+    const std::string token =
+        value->substr(start, comma == std::string::npos ? std::string::npos
+                                                        : comma - start);
+    std::size_t parsed = 0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), parsed);
+    OI_ENSURE(ec == std::errc{} && ptr == token.data() + token.size(),
+              "flag --" + name + " expects a comma-separated list of integers, got '" +
+                  *value + "'");
+    out.push_back(parsed);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> Flags::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (!touched_.contains(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace oi

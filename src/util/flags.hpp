@@ -1,0 +1,48 @@
+// Tiny command-line flag parser for the tools and examples. Supports
+// `--name value`, `--name=value`, boolean `--name`, and positional
+// arguments; unknown flags are an error so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace oi {
+
+class Flags {
+ public:
+  /// Parses argv (excluding argv[0]). Throws std::invalid_argument on
+  /// malformed input ("--" with empty name, duplicate flag).
+  Flags(int argc, const char* const* argv);
+  /// Convenience for tests.
+  explicit Flags(const std::vector<std::string>& args);
+
+  bool has(const std::string& name) const;
+
+  /// Typed getters: return the default when the flag is absent; throw
+  /// std::invalid_argument when present but unparsable.
+  std::string get_string(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+  /// Comma-separated list of non-negative integers ("0,3,7").
+  std::vector<std::size_t> get_size_list(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags that were provided but never read by any getter -- callers can
+  /// reject them to catch typos.
+  std::vector<std::string> unused() const;
+
+ private:
+  void parse(const std::vector<std::string>& args);
+  std::optional<std::string> raw(const std::string& name) const;
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> touched_;
+};
+
+}  // namespace oi

@@ -1,0 +1,56 @@
+// Minimal leveled logger. Simulation hot paths must stay allocation-free, so
+// logging is opt-in per call site via level checks rather than macros that
+// always build strings.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace oi {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log configuration. Not thread-safe to reconfigure while other
+/// threads log; configure once at startup (tests/benches are single-threaded
+/// apart from worker pools that only read).
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+namespace detail {
+struct LogLine {
+  LogLevel level;
+  std::ostringstream os;
+  explicit LogLine(LogLevel l) : level(l) {}
+  ~LogLine() { Logger::instance().write(level, os.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os << value;
+    return *this;
+  }
+};
+}  // namespace detail
+
+}  // namespace oi
+
+#define OI_LOG(level)                                   \
+  if (!::oi::Logger::instance().enabled(level)) {       \
+  } else                                                \
+    ::oi::detail::LogLine(level)
+
+#define OI_LOG_DEBUG OI_LOG(::oi::LogLevel::kDebug)
+#define OI_LOG_INFO OI_LOG(::oi::LogLevel::kInfo)
+#define OI_LOG_WARN OI_LOG(::oi::LogLevel::kWarn)
+#define OI_LOG_ERROR OI_LOG(::oi::LogLevel::kError)

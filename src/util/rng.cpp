@@ -1,0 +1,167 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace oi {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // xoshiro must not be seeded with the all-zero state; SplitMix64 expansion
+  // of any seed (including 0) avoids that.
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t bound) {
+  OI_ENSURE(bound > 0, "uniform_u64 bound must be positive");
+  // Lemire's multiply-shift with rejection of the biased low region.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  OI_ENSURE(lo <= hi, "uniform_int requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span wraps to 0 when the range covers all of int64; then any draw works.
+  if (span == 0) return static_cast<std::int64_t>((*this)());
+  return lo + static_cast<std::int64_t>(uniform_u64(span));
+}
+
+double Rng::uniform01() {
+  // 53 top bits -> double in [0,1) with full mantissa resolution.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  OI_ENSURE(lo <= hi, "uniform requires lo <= hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+double Rng::exponential(double rate) {
+  OI_ENSURE(rate > 0, "exponential rate must be positive");
+  // -log(1-U) with U in [0,1) never evaluates log(0).
+  return -std::log1p(-uniform01()) / rate;
+}
+
+double Rng::weibull(double shape, double scale) {
+  OI_ENSURE(shape > 0 && scale > 0, "weibull parameters must be positive");
+  return scale * std::pow(-std::log1p(-uniform01()), 1.0 / shape);
+}
+
+double Rng::normal(double mean, double stddev) {
+  OI_ENSURE(stddev >= 0, "normal stddev must be non-negative");
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = uniform01();
+  while (u1 == 0.0) u1 = uniform01();
+  const double u2 = uniform01();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return mean + stddev * radius * std::cos(angle);
+}
+
+bool Rng::bernoulli(double p) {
+  OI_ENSURE(p >= 0.0 && p <= 1.0, "bernoulli probability must be in [0,1]");
+  return uniform01() < p;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  OI_ENSURE(k <= n, "cannot sample more elements than the population holds");
+  // Selection sampling (Knuth 3.4.2 Algorithm S): O(n), no allocation of the
+  // full population permutation. Fine for simulation-sized n.
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  std::size_t remaining = k;
+  for (std::size_t i = 0; i < n && remaining > 0; ++i) {
+    if (uniform_u64(n - i) < remaining) {
+      out.push_back(i);
+      --remaining;
+    }
+  }
+  return out;
+}
+
+Rng Rng::split() { return Rng((*this)()); }
+
+ZipfSampler::ZipfSampler(std::size_t n, double theta) : n_(n), theta_(theta) {
+  OI_ENSURE(n >= 1, "zipf support must be non-empty");
+  OI_ENSURE(theta >= 0.0 && theta != 1.0, "zipf theta must be >= 0 and != 1");
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_n_ = h_integral(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfSampler::h(double x) const { return std::exp(-theta_ * std::log(x)); }
+
+double ZipfSampler::h_integral(double x) const {
+  const double log_x = std::log(x);
+  // integral of x^-theta dx = x^(1-theta)/(1-theta); theta==1 excluded.
+  return std::exp((1.0 - theta_) * log_x) / (1.0 - theta_);
+}
+
+double ZipfSampler::h_integral_inverse(double x) const {
+  // H(x) = x^(1-theta)/(1-theta)  =>  H^-1(y) = ((1-theta) y)^(1/(1-theta)).
+  // (1-theta)*y is positive for both theta < 1 and theta > 1 over the
+  // sampler's working range; clamp guards the floating-point edge.
+  double t = x * (1.0 - theta_);
+  if (t < 1e-300) t = 1e-300;
+  return std::pow(t, 1.0 / (1.0 - theta_));
+}
+
+std::size_t ZipfSampler::operator()(Rng& rng) {
+  // Hörmann & Derflinger rejection-inversion. Returns rank-1 values shifted
+  // to a 0-based index so callers can use the result directly as a block id.
+  while (true) {
+    const double u =
+        h_integral_n_ + rng.uniform01() * (h_integral_x1_ - h_integral_n_);
+    const double x = h_integral_inverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+    if (k - x <= s_ || u >= h_integral(k + 0.5) - h(k)) {
+      return static_cast<std::size_t>(k) - 1;
+    }
+  }
+}
+
+}  // namespace oi

@@ -1,0 +1,103 @@
+// Deterministic, fast pseudo-random number generation for simulations.
+//
+// All stochastic components of the library (Monte-Carlo reliability runs,
+// synthetic workloads, failure injection) draw from oi::Rng so that every
+// experiment is reproducible from a single 64-bit seed. The generator is
+// xoshiro256**, seeded through SplitMix64; both are public-domain algorithms
+// by Blackman & Vigna.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace oi {
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator, so it can be
+/// plugged into <random> distributions, but the member helpers below are
+/// preferred: they are portable across standard-library implementations
+/// (libstdc++/libc++ produce different std::*_distribution streams).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased multiply-shift
+  /// rejection method. bound == 0 is invalid.
+  std::uint64_t uniform_u64(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Exponential with the given rate (mean = 1/rate).
+  double exponential(double rate);
+
+  /// Weibull with shape `k` and scale `lambda` (mean = lambda * Gamma(1+1/k)).
+  double weibull(double shape, double scale);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// true with probability p.
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = uniform_u64(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct values sampled uniformly from [0, n) (k <= n).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  /// A new generator whose stream is independent of this one (splits via
+  /// SplitMix64 on the next output). Useful to give each simulated entity
+  /// its own stream while preserving determinism.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Zipf(θ) sampler over {0, .., n-1} using the rejection-inversion method of
+/// Hörmann & Derflinger; O(1) per sample, supports n in the millions.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double theta);
+
+  std::size_t operator()(Rng& rng);
+
+  std::size_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double h(double x) const;
+  double h_integral(double x) const;
+  double h_integral_inverse(double x) const;
+
+  std::size_t n_;
+  double theta_;
+  double h_integral_x1_;
+  double h_integral_n_;
+  double s_;
+};
+
+}  // namespace oi

@@ -1,0 +1,134 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace oi {
+
+void RunningStats::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel-variance merge.
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  mean_ = (n1 * mean_ + n2 * other.mean_) / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double RunningStats::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double RunningStats::ci95_halfwidth() const {
+  if (count_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double percentile(std::vector<double> samples, double q) {
+  OI_ENSURE(q >= 0.0 && q <= 1.0, "percentile q must be in [0,1]");
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto n = samples.size();
+  auto rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return samples[rank - 1];
+}
+
+double coefficient_of_variation(const std::vector<double>& samples) {
+  RunningStats s;
+  for (double x : samples) s.add(x);
+  if (s.count() == 0 || s.mean() == 0.0) return 0.0;
+  return s.stddev() / s.mean();
+}
+
+double max_over_mean(const std::vector<double>& samples) {
+  RunningStats s;
+  for (double x : samples) s.add(x);
+  if (s.count() == 0 || s.mean() == 0.0) return 0.0;
+  return s.max() / s.mean();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets) : lo_(lo) {
+  OI_ENSURE(hi > lo, "histogram range must be non-empty");
+  OI_ENSURE(buckets >= 1, "histogram needs at least one bucket");
+  width_ = (hi - lo) / static_cast<double>(buckets);
+  counts_.assign(buckets, 0);
+}
+
+void Histogram::add(double x) {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  if (idx < 0) idx = 0;
+  if (idx >= static_cast<std::ptrdiff_t>(counts_.size())) {
+    idx = static_cast<std::ptrdiff_t>(counts_.size()) - 1;
+  }
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_low(std::size_t i) const {
+  OI_ENSURE(i < counts_.size(), "bucket index out of range");
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+double Histogram::quantile(double q) const {
+  OI_ENSURE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto c = static_cast<double>(counts_[i]);
+    if (cumulative + c >= target) {
+      const double frac = c == 0.0 ? 0.0 : (target - cumulative) / c;
+      return bucket_low(i) + frac * width_;
+    }
+    cumulative += c;
+  }
+  return lo_ + width_ * static_cast<double>(counts_.size());
+}
+
+std::string Histogram::render(std::size_t max_bar_width) const {
+  std::ostringstream os;
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = counts_[i] * max_bar_width / peak;
+    os << "[" << bucket_low(i) << ", " << bucket_low(i) + width_ << ") "
+       << std::string(bar, '#') << ' ' << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace oi

@@ -1,0 +1,78 @@
+// Streaming and batch statistics used by benches and the simulators.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace oi {
+
+/// Streaming mean/variance/min/max via Welford's algorithm. O(1) memory, so
+/// it is safe to feed millions of simulator events through it.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+  /// Half-width of the 95% normal-approximation confidence interval.
+  double ci95_halfwidth() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Batch percentile over a copy of the samples (nearest-rank method).
+/// q in [0,1]; q=0.5 is the median.
+double percentile(std::vector<double> samples, double q);
+
+/// Coefficient of variation (stddev/mean) of the samples; 0 for empty input
+/// or zero mean.
+double coefficient_of_variation(const std::vector<double>& samples);
+
+/// max/mean ratio -- the load-imbalance metric used in the recovery-balance
+/// experiments (1.0 == perfectly balanced). Returns 0 for empty input.
+double max_over_mean(const std::vector<double>& samples);
+
+/// Fixed-bucket histogram for latency distributions.
+class Histogram {
+ public:
+  /// Buckets are [lo + i*width, lo + (i+1)*width); values outside the range
+  /// are clamped to the first/last bucket.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  const std::vector<std::size_t>& buckets() const { return counts_; }
+  double bucket_low(std::size_t i) const;
+  double bucket_width() const { return width_; }
+
+  /// Approximate quantile by linear interpolation inside the bucket.
+  double quantile(double q) const;
+
+  /// Multi-line ASCII rendering (for example programs).
+  std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace oi

@@ -1,0 +1,47 @@
+// Console/CSV table writer used by every bench binary so that regenerated
+// paper tables and figure series print in a uniform, diff-friendly format.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace oi {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// a fixed precision so repeated runs diff cleanly.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add_* calls fill it left to right.
+  Table& row();
+  Table& cell(std::string value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 3);
+  Table& cell(std::size_t value);
+  Table& cell(long long value);
+  Table& cell(int value);
+  Table& cell(bool value);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+
+  /// Aligned, boxed rendering for terminals.
+  std::string to_string() const;
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Convenience: "fig_series" format for figures -- one line per point,
+/// `series=<name> x=<x> y=<y>` -- trivially grep/plottable.
+void print_series_point(std::ostream& os, const std::string& series, double x, double y);
+
+}  // namespace oi

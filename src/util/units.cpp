@@ -1,0 +1,50 @@
+#include "util/units.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace oi {
+namespace {
+
+std::string format_with_unit(double value, const char* unit, int precision = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value << ' ' << unit;
+  return os.str();
+}
+
+}  // namespace
+
+std::string format_bytes(double bytes) {
+  const double abs = std::fabs(bytes);
+  if (abs >= static_cast<double>(kTiB)) {
+    return format_with_unit(bytes / static_cast<double>(kTiB), "TiB");
+  }
+  if (abs >= static_cast<double>(kGiB)) {
+    return format_with_unit(bytes / static_cast<double>(kGiB), "GiB");
+  }
+  if (abs >= static_cast<double>(kMiB)) {
+    return format_with_unit(bytes / static_cast<double>(kMiB), "MiB");
+  }
+  if (abs >= static_cast<double>(kKiB)) {
+    return format_with_unit(bytes / static_cast<double>(kKiB), "KiB");
+  }
+  return format_with_unit(bytes, "B", 0);
+}
+
+std::string format_seconds(double seconds) {
+  const double abs = std::fabs(seconds);
+  if (abs >= kYear) return format_with_unit(seconds / kYear, "y");
+  if (abs >= kDay) return format_with_unit(seconds / kDay, "d");
+  if (abs >= kHour) return format_with_unit(seconds / kHour, "h");
+  if (abs >= 60.0) return format_with_unit(seconds / 60.0, "min");
+  if (abs >= 1.0) return format_with_unit(seconds, "s");
+  if (abs >= kMillisecond) return format_with_unit(seconds / kMillisecond, "ms");
+  return format_with_unit(seconds / kMicrosecond, "us");
+}
+
+std::string format_bandwidth(double bytes_per_second) {
+  return format_bytes(bytes_per_second) + "/s";
+}
+
+}  // namespace oi

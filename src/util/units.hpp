@@ -1,0 +1,31 @@
+// Byte/time unit helpers. The simulator works in doubles (seconds, bytes);
+// these helpers keep bench output human-readable and conversions explicit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace oi {
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+inline constexpr std::uint64_t kTiB = 1024ULL * kGiB;
+
+inline constexpr double kMillisecond = 1e-3;
+inline constexpr double kMicrosecond = 1e-6;
+inline constexpr double kHour = 3600.0;
+inline constexpr double kDay = 24.0 * kHour;
+inline constexpr double kYear = 365.25 * kDay;
+
+/// "1.50 GiB", "512.00 KiB", ...
+std::string format_bytes(double bytes);
+
+/// "3.2 ms", "1.5 h", "2.3 y", ... picks the largest unit that keeps the
+/// mantissa >= 1.
+std::string format_seconds(double seconds);
+
+/// "123.4 MiB/s"
+std::string format_bandwidth(double bytes_per_second);
+
+}  // namespace oi

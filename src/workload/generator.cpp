@@ -1,0 +1,63 @@
+#include "workload/generator.hpp"
+
+#include "util/assert.hpp"
+
+namespace oi::workload {
+
+UniformWorkload::UniformWorkload(std::size_t capacity, double read_fraction)
+    : capacity_(capacity), read_fraction_(read_fraction) {
+  OI_ENSURE(capacity >= 1, "workload needs non-empty capacity");
+  OI_ENSURE(read_fraction >= 0.0 && read_fraction <= 1.0,
+            "read fraction must be in [0,1]");
+}
+
+Access UniformWorkload::next(Rng& rng) {
+  return {rng.uniform_u64(capacity_), !rng.bernoulli(read_fraction_)};
+}
+
+std::string UniformWorkload::name() const { return "uniform"; }
+
+ZipfWorkload::ZipfWorkload(std::size_t capacity, double theta, double read_fraction)
+    : zipf_(capacity, theta), read_fraction_(read_fraction) {
+  OI_ENSURE(read_fraction >= 0.0 && read_fraction <= 1.0,
+            "read fraction must be in [0,1]");
+}
+
+Access ZipfWorkload::next(Rng& rng) {
+  return {zipf_(rng), !rng.bernoulli(read_fraction_)};
+}
+
+std::string ZipfWorkload::name() const {
+  return "zipf(theta=" + std::to_string(zipf_.theta()) + ")";
+}
+
+SequentialWorkload::SequentialWorkload(std::size_t capacity, double read_fraction)
+    : capacity_(capacity), read_fraction_(read_fraction) {
+  OI_ENSURE(capacity >= 1, "workload needs non-empty capacity");
+  OI_ENSURE(read_fraction >= 0.0 && read_fraction <= 1.0,
+            "read fraction must be in [0,1]");
+}
+
+Access SequentialWorkload::next(Rng& rng) {
+  const Access access{cursor_, !rng.bernoulli(read_fraction_)};
+  cursor_ = (cursor_ + 1) % capacity_;
+  return access;
+}
+
+std::string SequentialWorkload::name() const { return "sequential"; }
+
+std::unique_ptr<AccessGenerator> make_generator(const WorkloadSpec& spec,
+                                                std::size_t capacity) {
+  switch (spec.kind) {
+    case WorkloadSpec::Kind::kUniform:
+      return std::make_unique<UniformWorkload>(capacity, spec.read_fraction);
+    case WorkloadSpec::Kind::kZipf:
+      return std::make_unique<ZipfWorkload>(capacity, spec.zipf_theta,
+                                            spec.read_fraction);
+    case WorkloadSpec::Kind::kSequential:
+      return std::make_unique<SequentialWorkload>(capacity, spec.read_fraction);
+  }
+  OI_ASSERT(false, "unknown workload kind");
+}
+
+}  // namespace oi::workload

@@ -1,0 +1,73 @@
+// Synthetic foreground workloads for the performance-under-rebuild
+// experiments. Generators produce logical strip accesses; the simulator maps
+// them through a layout onto disk I/O.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace oi::workload {
+
+struct Access {
+  std::size_t logical = 0;
+  bool is_write = false;
+};
+
+class AccessGenerator {
+ public:
+  virtual ~AccessGenerator() = default;
+  virtual Access next(Rng& rng) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Uniformly random strip, reads with probability `read_fraction`.
+class UniformWorkload final : public AccessGenerator {
+ public:
+  UniformWorkload(std::size_t capacity, double read_fraction);
+  Access next(Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  std::size_t capacity_;
+  double read_fraction_;
+};
+
+/// Zipf-skewed accesses (hot strips), the OLTP-ish case.
+class ZipfWorkload final : public AccessGenerator {
+ public:
+  ZipfWorkload(std::size_t capacity, double theta, double read_fraction);
+  Access next(Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  ZipfSampler zipf_;
+  double read_fraction_;
+};
+
+/// Sequential scan with optional write phase -- the streaming baseline.
+class SequentialWorkload final : public AccessGenerator {
+ public:
+  SequentialWorkload(std::size_t capacity, double read_fraction);
+  Access next(Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  std::size_t capacity_;
+  double read_fraction_;
+  std::size_t cursor_ = 0;
+};
+
+struct WorkloadSpec {
+  enum class Kind { kUniform, kZipf, kSequential } kind = Kind::kUniform;
+  double read_fraction = 0.7;
+  double zipf_theta = 0.9;
+};
+
+std::unique_ptr<AccessGenerator> make_generator(const WorkloadSpec& spec,
+                                                std::size_t capacity);
+
+}  // namespace oi::workload

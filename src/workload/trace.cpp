@@ -1,0 +1,55 @@
+#include "workload/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace oi::workload {
+
+Trace record(AccessGenerator& generator, Rng& rng, std::size_t capacity,
+             std::size_t count) {
+  Trace trace;
+  trace.capacity = capacity;
+  trace.accesses.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) trace.accesses.push_back(generator.next(rng));
+  return trace;
+}
+
+void save(const Trace& trace, std::ostream& os) {
+  os << "oi-trace v1\n" << trace.capacity << '\n';
+  for (const Access& access : trace.accesses) {
+    os << (access.is_write ? 'W' : 'R') << ' ' << access.logical << '\n';
+  }
+}
+
+Trace load(std::istream& is) {
+  std::string header;
+  std::getline(is, header);
+  OI_ENSURE(header == "oi-trace v1", "unrecognized trace header: " + header);
+  Trace trace;
+  OI_ENSURE(static_cast<bool>(is >> trace.capacity), "missing trace capacity");
+  char op = 0;
+  std::size_t logical = 0;
+  while (is >> op >> logical) {
+    OI_ENSURE(op == 'R' || op == 'W', std::string("bad trace op: ") + op);
+    OI_ENSURE(logical < trace.capacity, "trace access beyond capacity");
+    trace.accesses.push_back({logical, op == 'W'});
+  }
+  return trace;
+}
+
+TraceReplayer::TraceReplayer(Trace trace) : trace_(std::move(trace)) {
+  OI_ENSURE(!trace_.accesses.empty(), "cannot replay an empty trace");
+}
+
+Access TraceReplayer::next(Rng&) {
+  const Access access = trace_.accesses[cursor_];
+  cursor_ = (cursor_ + 1) % trace_.accesses.size();
+  return access;
+}
+
+std::string TraceReplayer::name() const { return "trace-replay"; }
+
+}  // namespace oi::workload

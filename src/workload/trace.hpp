@@ -1,0 +1,43 @@
+// Deterministic trace capture/replay: lets a bench record a workload once
+// and replay it against every scheme so comparisons see identical request
+// streams. The on-disk format is a line-oriented text file:
+//   oi-trace v1
+//   <capacity>
+//   R <logical>
+//   W <logical>
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "workload/generator.hpp"
+
+namespace oi::workload {
+
+struct Trace {
+  std::size_t capacity = 0;
+  std::vector<Access> accesses;
+};
+
+/// Draws `count` accesses from the generator into a trace.
+Trace record(AccessGenerator& generator, Rng& rng, std::size_t capacity,
+             std::size_t count);
+
+void save(const Trace& trace, std::ostream& os);
+/// Throws std::invalid_argument on malformed input.
+Trace load(std::istream& is);
+
+/// Replays a recorded trace through the AccessGenerator interface; loops
+/// back to the start when exhausted.
+class TraceReplayer final : public AccessGenerator {
+ public:
+  explicit TraceReplayer(Trace trace);
+  Access next(Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  Trace trace_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace oi::workload

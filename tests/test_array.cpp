@@ -1,0 +1,412 @@
+// End-to-end data correctness: fill arrays with random bytes through the
+// public write path, break disks, and verify degraded reads and rebuilds
+// reproduce the exact bytes. This is the strongest check in the suite -- it
+// exercises layout mapping, parity maintenance and recovery planning
+// together at the data level.
+#include "core/array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "bibd/constructions.hpp"
+#include "layout/oi_raid.hpp"
+#include "layout/parity_declustering.hpp"
+#include "layout/raid5.hpp"
+#include "layout/raid50.hpp"
+#include "layout/raid51.hpp"
+#include "util/rng.hpp"
+
+namespace oi::core {
+namespace {
+
+constexpr std::size_t kStripBytes = 64;
+
+std::shared_ptr<const layout::Layout> oi_fano() {
+  return std::make_shared<layout::OiRaidLayout>(
+      layout::OiRaidParams{bibd::fano(), 3, 4});
+}
+
+std::vector<std::uint8_t> random_strip(Rng& rng) {
+  std::vector<std::uint8_t> data(kStripBytes);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  return data;
+}
+
+/// Writes random content to every logical strip; returns the golden copy.
+std::map<std::size_t, std::vector<std::uint8_t>> fill_random(Array& array, Rng& rng,
+                                                             std::size_t stride = 1) {
+  std::map<std::size_t, std::vector<std::uint8_t>> golden;
+  for (std::size_t l = 0; l < array.capacity_strips(); l += stride) {
+    auto data = random_strip(rng);
+    array.write(l, data);
+    golden.emplace(l, std::move(data));
+  }
+  return golden;
+}
+
+struct ArrayCase {
+  std::string label;
+  std::function<std::shared_ptr<const layout::Layout>()> make;
+  std::vector<std::size_t> survivable_failures;  // one pattern to exercise
+};
+
+class ArrayContract : public ::testing::TestWithParam<ArrayCase> {};
+
+TEST_P(ArrayContract, FreshArrayIsConsistentAndZero) {
+  Array array(GetParam().make(), kStripBytes);
+  EXPECT_EQ(array.scrub(), "");
+  const auto value = array.read(0);
+  EXPECT_EQ(value, std::vector<std::uint8_t>(kStripBytes, 0));
+}
+
+TEST_P(ArrayContract, WritesKeepParityConsistent) {
+  Rng rng(1);
+  Array array(GetParam().make(), kStripBytes);
+  fill_random(array, rng, 3);
+  EXPECT_EQ(array.scrub(), "");
+}
+
+TEST_P(ArrayContract, ReadBackMatchesWrites) {
+  Rng rng(2);
+  Array array(GetParam().make(), kStripBytes);
+  const auto golden = fill_random(array, rng, 2);
+  for (const auto& [logical, data] : golden) {
+    EXPECT_EQ(array.read(logical), data) << "logical " << logical;
+  }
+}
+
+TEST_P(ArrayContract, DegradedReadsReproduceData) {
+  Rng rng(3);
+  Array array(GetParam().make(), kStripBytes);
+  const auto golden = fill_random(array, rng);
+  const auto failures = GetParam().survivable_failures;
+  for (std::size_t disk : failures) array.fail_disk(disk);
+  for (const auto& [logical, data] : golden) {
+    EXPECT_EQ(array.read(logical), data) << "logical " << logical;
+  }
+}
+
+TEST_P(ArrayContract, RebuildRestoresExactBytes) {
+  Rng rng(4);
+  Array array(GetParam().make(), kStripBytes);
+  const auto golden = fill_random(array, rng);
+  for (std::size_t disk : GetParam().survivable_failures) array.fail_disk(disk);
+  ASSERT_TRUE(array.recoverable());
+  const RebuildReport report = array.rebuild();
+  EXPECT_EQ(report.strips_rebuilt,
+            GetParam().survivable_failures.size() * array.layout().strips_per_disk());
+  EXPECT_EQ(array.scrub(), "");
+  for (const auto& [logical, data] : golden) {
+    EXPECT_EQ(array.read(logical), data) << "logical " << logical;
+  }
+  EXPECT_TRUE(array.failed_disks().empty());
+}
+
+TEST_P(ArrayContract, WritesWhileDegradedSurviveRebuild) {
+  Rng rng(5);
+  Array array(GetParam().make(), kStripBytes);
+  auto golden = fill_random(array, rng);
+  const auto failures = GetParam().survivable_failures;
+  for (std::size_t disk : failures) array.fail_disk(disk);
+
+  // Overwrite some strips whose disks are still healthy.
+  std::size_t updated = 0;
+  for (std::size_t l = 0; l < array.capacity_strips() && updated < 20; l += 3) {
+    const auto loc = array.layout().locate(l);
+    if (array.is_failed(loc.disk)) continue;
+    auto data = random_strip(rng);
+    array.write(l, data);
+    golden[l] = std::move(data);
+    ++updated;
+  }
+  ASSERT_GT(updated, 0u);
+
+  array.rebuild();
+  EXPECT_EQ(array.scrub(), "");
+  for (const auto& [logical, data] : golden) {
+    EXPECT_EQ(array.read(logical), data) << "logical " << logical;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, ArrayContract,
+    ::testing::Values(
+        ArrayCase{"raid5",
+                  [] {
+                    return std::make_shared<layout::Raid5Layout>(5, 12);
+                  },
+                  {2}},
+        ArrayCase{"raid50",
+                  [] {
+                    return std::make_shared<layout::Raid50Layout>(3, 3, 12);
+                  },
+                  {1, 5}},
+        ArrayCase{"pd",
+                  [] {
+                    return std::make_shared<layout::ParityDeclusteredLayout>(
+                        bibd::fano(), 2);
+                  },
+                  {4}},
+        ArrayCase{"raid51",
+                  [] {
+                    return std::make_shared<layout::Raid51Layout>(4, 8);
+                  },
+                  {0, 1, 4}},
+        ArrayCase{"oi_single", oi_fano, {7}},
+        ArrayCase{"oi_group_pair", oi_fano, {3, 4}},
+        ArrayCase{"oi_whole_group", oi_fano, {0, 1, 2}},
+        ArrayCase{"oi_spread_triple", oi_fano, {1, 9, 17}},
+        ArrayCase{"oi_two_plus_one", oi_fano, {6, 7, 12}}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(ArraySemantics, UpdateComplexityIsThreeForOiRaid) {
+  Rng rng(6);
+  Array array(oi_fano(), kStripBytes);
+  array.reset_counters();
+  const IoCounters before = array.counters();
+  array.write(5, random_strip(rng));
+  const IoCounters delta = array.counters() - before;
+  EXPECT_EQ(delta.parity_strip_writes, 3u);
+  EXPECT_EQ(delta.strip_writes, 4u);   // data + 3 parity
+  EXPECT_EQ(delta.strip_reads, 4u);    // RMW reads
+}
+
+TEST(ArraySemantics, UpdateComplexityIsOneForRaid5) {
+  Rng rng(7);
+  Array array(std::make_shared<layout::Raid5Layout>(6, 8), kStripBytes);
+  array.write(3, random_strip(rng));
+  EXPECT_EQ(array.counters().parity_strip_writes, 1u);
+}
+
+TEST(ArraySemantics, Raid51UpdateCostMatchesOiRaid) {
+  Rng rng(10);
+  Array array(std::make_shared<layout::Raid51Layout>(5, 8), kStripBytes);
+  array.write(3, random_strip(rng));
+  EXPECT_EQ(array.counters().parity_strip_writes, 3u);
+  EXPECT_EQ(array.counters().strip_reads, 2u);   // old data + old parity only
+  EXPECT_EQ(array.counters().strip_writes, 4u);  // data+parity on both sides
+}
+
+TEST(ArraySemantics, ReconstructOnWriteToFailedDisk) {
+  Rng rng(8);
+  Array array(oi_fano(), kStripBytes);
+  auto golden = fill_random(array, rng);
+  // Find a logical strip on disk 0, fail the disk, then overwrite it.
+  std::size_t target = array.capacity_strips();
+  for (std::size_t l = 0; l < array.capacity_strips(); ++l) {
+    if (array.layout().locate(l).disk == 0) {
+      target = l;
+      break;
+    }
+  }
+  ASSERT_LT(target, array.capacity_strips());
+  array.fail_disk(0);
+  const auto fresh = random_strip(rng);
+  array.write(target, fresh);
+  golden[target] = fresh;
+  // The degraded read already serves the new value...
+  EXPECT_EQ(array.read(target), fresh);
+  // ...and the rebuild materializes it on the replacement disk.
+  array.rebuild();
+  EXPECT_EQ(array.scrub(), "");
+  for (const auto& [logical, data] : golden) {
+    EXPECT_EQ(array.read(logical), data) << "logical " << logical;
+  }
+}
+
+TEST(ArraySemantics, DegradedWriteBeyondDecodingThrows) {
+  Rng rng(13);
+  Array array(std::make_shared<layout::Raid5Layout>(5, 6), kStripBytes);
+  array.fail_disk(0);
+  array.fail_disk(1);  // beyond RAID5's tolerance
+  for (std::size_t l = 0; l < array.capacity_strips(); ++l) {
+    if (array.layout().locate(l).disk == 0) {
+      EXPECT_THROW(array.write(l, random_strip(rng)), std::runtime_error);
+      return;
+    }
+  }
+  FAIL() << "no logical strip found on disk 0";
+}
+
+TEST(ArraySemantics, UnrecoverablePatternsReportAndThrow) {
+  Array array(std::make_shared<layout::Raid5Layout>(5, 6), kStripBytes);
+  array.fail_disk(0);
+  array.fail_disk(1);
+  EXPECT_FALSE(array.recoverable());
+  EXPECT_THROW(array.rebuild(), std::runtime_error);
+}
+
+TEST(ArraySemantics, DegradedReadBeyondToleranceThrows) {
+  Array array(std::make_shared<layout::Raid5Layout>(5, 6), kStripBytes);
+  array.fail_disk(0);
+  array.fail_disk(1);
+  bool threw = false;
+  for (std::size_t l = 0; l < array.capacity_strips(); ++l) {
+    try {
+      array.read(l);
+    } catch (const std::runtime_error&) {
+      threw = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(ArraySemantics, FailDiskIsIdempotentAndValidated) {
+  Array array(oi_fano(), kStripBytes);
+  array.fail_disk(4);
+  array.fail_disk(4);
+  EXPECT_EQ(array.failed_disks(), std::vector<std::size_t>{4});
+  EXPECT_THROW(array.fail_disk(99), std::invalid_argument);
+}
+
+TEST(ArraySemantics, ScrubDetectsSilentCorruption) {
+  Rng rng(9);
+  auto layout_ptr = oi_fano();
+  Array array(layout_ptr, kStripBytes);
+  fill_random(array, rng, 5);
+  ASSERT_EQ(array.scrub(), "");
+  // Corrupt one byte behind the array's back via a degraded-path trick:
+  // writing the same strip twice with different bytes must change parity, so
+  // instead simulate corruption by failing+rebuilding... we cannot reach the
+  // private store, so verify scrub catches an inconsistency made through the
+  // public API: a write whose parity update was suppressed by a failure.
+  array.fail_disk(20);            // some parity updates now get skipped
+  const auto loc_ok = [&] {
+    for (std::size_t l = 0; l < array.capacity_strips(); ++l) {
+      const auto loc = layout_ptr->locate(l);
+      if (loc.disk != 20) return l;
+    }
+    return std::size_t{0};
+  }();
+  array.write(loc_ok, random_strip(rng));
+  // Bring the disk "back" without rebuilding by failing and rebuilding a
+  // different healthy state is impossible through the API; instead assert
+  // that scrub *skips* relations touching the failed disk and stays clean.
+  EXPECT_EQ(array.scrub(), "");
+  // After a proper rebuild everything is consistent again.
+  array.rebuild();
+  EXPECT_EQ(array.scrub(), "");
+}
+
+TEST(ArrayBytes, UnalignedRangesRoundTrip) {
+  Rng rng(14);
+  Array array(oi_fano(), kStripBytes);
+  // A write that starts and ends mid-strip and spans several strips.
+  const std::uint64_t offset = kStripBytes + 7;
+  std::vector<std::uint8_t> blob(kStripBytes * 3 + 11);
+  for (auto& b : blob) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  array.write_bytes(offset, blob);
+  EXPECT_EQ(array.scrub(), "");
+  EXPECT_EQ(array.read_bytes(offset, blob.size()), blob);
+  // Untouched neighbours stayed zero.
+  EXPECT_EQ(array.read_bytes(0, 7), std::vector<std::uint8_t>(7, 0));
+  const std::uint64_t after = offset + blob.size();
+  EXPECT_EQ(array.read_bytes(after, 5), std::vector<std::uint8_t>(5, 0));
+}
+
+TEST(ArrayBytes, SurvivesFailuresLikeStrips) {
+  Rng rng(15);
+  Array array(oi_fano(), kStripBytes);
+  std::vector<std::uint8_t> blob(200);
+  for (auto& b : blob) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  array.write_bytes(33, blob);
+  array.fail_disk(0);
+  array.fail_disk(1);
+  EXPECT_EQ(array.read_bytes(33, blob.size()), blob);
+  array.rebuild();
+  EXPECT_EQ(array.read_bytes(33, blob.size()), blob);
+}
+
+TEST(ArrayBytes, RangeValidation) {
+  Array array(oi_fano(), kStripBytes);
+  EXPECT_THROW(array.read_bytes(array.capacity_bytes(), 1), std::invalid_argument);
+  std::vector<std::uint8_t> one(1, 0);
+  EXPECT_THROW(array.write_bytes(array.capacity_bytes(), one), std::invalid_argument);
+  EXPECT_EQ(array.read_bytes(array.capacity_bytes() - 1, 1).size(), 1u);
+}
+
+TEST(ArrayScrubRepair, CorruptionDetectedAndRepairedEveryRole) {
+  Rng rng(11);
+  auto layout_ptr = oi_fano();
+  Array array(layout_ptr, kStripBytes);
+  const auto golden = fill_random(array, rng, 2);
+  ASSERT_EQ(array.scrub(), "");
+
+  // Hit one strip of each role.
+  std::vector<layout::StripLoc> victims;
+  bool have_data = false, have_parity = false, have_outer = false;
+  for (std::size_t d = 0; d < layout_ptr->disks() && victims.size() < 3; ++d) {
+    for (std::size_t o = 0; o < layout_ptr->strips_per_disk() && victims.size() < 3;
+         ++o) {
+      const auto role = layout_ptr->inspect({d, o}).role;
+      if (role == layout::StripRole::kData && !have_data) {
+        victims.push_back({d, o});
+        have_data = true;
+      } else if (role == layout::StripRole::kParity && !have_parity) {
+        victims.push_back({d, o});
+        have_parity = true;
+      } else if (role == layout::StripRole::kOuterParity && !have_outer) {
+        victims.push_back({d, o});
+        have_outer = true;
+      }
+    }
+  }
+  ASSERT_EQ(victims.size(), 3u);
+
+  for (const auto& victim : victims) {
+    array.inject_corruption(victim);
+    EXPECT_NE(array.scrub(), "") << "scrub missed corruption";
+    EXPECT_TRUE(array.repair_strip(victim));
+    EXPECT_EQ(array.scrub(), "") << "repair did not restore consistency";
+  }
+  for (const auto& [logical, data] : golden) {
+    EXPECT_EQ(array.read(logical), data) << "logical " << logical;
+  }
+}
+
+TEST(ArrayScrubRepair, RepairWorksUnderConcurrentDiskFailure) {
+  Rng rng(12);
+  auto layout_ptr = oi_fano();
+  Array array(layout_ptr, kStripBytes);
+  fill_random(array, rng, 4);
+  array.fail_disk(9);
+  // Corrupt a healthy data strip; repair must route around the failure.
+  layout::StripLoc victim{0, 0};
+  for (std::size_t o = 0; o < layout_ptr->strips_per_disk(); ++o) {
+    if (layout_ptr->inspect({0, o}).role == layout::StripRole::kData) {
+      victim = {0, o};
+      break;
+    }
+  }
+  array.inject_corruption(victim, 0x5A);
+  EXPECT_TRUE(array.repair_strip(victim));
+  array.rebuild();
+  EXPECT_EQ(array.scrub(), "");
+}
+
+TEST(ArrayScrubRepair, Validation) {
+  Array array(oi_fano(), kStripBytes);
+  EXPECT_THROW(array.inject_corruption({999, 0}), std::invalid_argument);
+  EXPECT_THROW(array.inject_corruption({0, 0}, 0), std::invalid_argument);
+  array.fail_disk(0);
+  EXPECT_THROW(array.repair_strip({0, 0}), std::invalid_argument);
+}
+
+TEST(ArrayValidation, ConstructorChecks) {
+  EXPECT_THROW(Array(nullptr, 64), std::invalid_argument);
+  EXPECT_THROW(Array(oi_fano(), 0), std::invalid_argument);
+}
+
+TEST(ArrayValidation, WriteSizeMustMatch) {
+  Array array(oi_fano(), kStripBytes);
+  std::vector<std::uint8_t> wrong(kStripBytes + 1, 0);
+  EXPECT_THROW(array.write(0, wrong), std::invalid_argument);
+  EXPECT_THROW(array.read(array.capacity_strips()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oi::core

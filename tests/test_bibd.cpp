@@ -1,0 +1,267 @@
+#include "bibd/constructions.hpp"
+#include "bibd/design.hpp"
+#include "bibd/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace oi::bibd {
+namespace {
+
+TEST(Fano, ClassicParameters) {
+  const Design d = fano();
+  EXPECT_EQ(d.v, 7u);
+  EXPECT_EQ(d.k, 3u);
+  EXPECT_EQ(d.lambda, 1u);
+  EXPECT_EQ(d.b(), 7u);
+  EXPECT_EQ(d.r(), 3u);
+  EXPECT_TRUE(is_valid(d));
+}
+
+struct PlaneCase {
+  std::size_t q;
+};
+
+class ProjectivePlaneTest : public ::testing::TestWithParam<PlaneCase> {};
+
+TEST_P(ProjectivePlaneTest, ParametersAndValidity) {
+  const std::size_t q = GetParam().q;
+  const Design d = projective_plane(q);
+  EXPECT_EQ(d.v, q * q + q + 1);
+  EXPECT_EQ(d.k, q + 1);
+  EXPECT_EQ(d.b(), d.v);
+  EXPECT_EQ(d.r(), q + 1);
+  EXPECT_TRUE(is_valid(d)) << verify(d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ProjectivePlaneTest,
+                         ::testing::Values(PlaneCase{2}, PlaneCase{3}, PlaneCase{5},
+                                           PlaneCase{7}, PlaneCase{11}),
+                         [](const auto& info) {
+                           return "q" + std::to_string(info.param.q);
+                         });
+
+class AffinePlaneTest : public ::testing::TestWithParam<PlaneCase> {};
+
+TEST_P(AffinePlaneTest, ParametersAndValidity) {
+  const std::size_t q = GetParam().q;
+  const Design d = affine_plane(q);
+  EXPECT_EQ(d.v, q * q);
+  EXPECT_EQ(d.k, q);
+  EXPECT_EQ(d.b(), q * q + q);
+  EXPECT_EQ(d.r(), q + 1);
+  EXPECT_TRUE(is_valid(d)) << verify(d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, AffinePlaneTest,
+                         ::testing::Values(PlaneCase{2}, PlaneCase{3}, PlaneCase{5},
+                                           PlaneCase{7}, PlaneCase{11}),
+                         [](const auto& info) {
+                           return "q" + std::to_string(info.param.q);
+                         });
+
+TEST(Planes, RejectNonPrimeOrders) {
+  EXPECT_THROW(projective_plane(4), std::invalid_argument);
+  EXPECT_THROW(projective_plane(6), std::invalid_argument);
+  EXPECT_THROW(affine_plane(9), std::invalid_argument);
+}
+
+class BoseTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BoseTest, SteinerTripleSystem) {
+  const std::size_t v = GetParam();
+  const Design d = bose_steiner_triple(v);
+  EXPECT_EQ(d.v, v);
+  EXPECT_EQ(d.k, 3u);
+  EXPECT_EQ(d.b(), v * (v - 1) / 6);
+  EXPECT_TRUE(is_valid(d)) << verify(d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BoseTest, ::testing::Values(9, 15, 21, 27, 33, 39, 45),
+                         [](const auto& info) {
+                           return "v" + std::to_string(info.param);
+                         });
+
+class SkolemTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SkolemTest, SteinerTripleSystem) {
+  const std::size_t v = GetParam();
+  const Design d = skolem_steiner_triple(v);
+  EXPECT_EQ(d.v, v);
+  EXPECT_EQ(d.k, 3u);
+  EXPECT_EQ(d.b(), v * (v - 1) / 6);
+  EXPECT_TRUE(is_valid(d)) << verify(d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SkolemTest, ::testing::Values(7, 13, 19, 25, 31, 37, 43),
+                         [](const auto& info) {
+                           return "v" + std::to_string(info.param);
+                         });
+
+TEST(Skolem, RejectsWrongResidue) {
+  EXPECT_THROW(skolem_steiner_triple(9), std::invalid_argument);
+  EXPECT_THROW(skolem_steiner_triple(6), std::invalid_argument);
+}
+
+TEST(SteinerDispatch, CoversBothResidues) {
+  for (std::size_t v : {7, 9, 13, 15, 19, 21, 25, 27}) {
+    const Design d = steiner_triple(v);
+    EXPECT_TRUE(is_valid(d)) << "v=" << v << ": " << verify(d);
+  }
+  EXPECT_THROW(steiner_triple(8), std::invalid_argument);
+  EXPECT_THROW(steiner_triple(5), std::invalid_argument);
+}
+
+TEST(Bose, RejectsWrongResidue) {
+  EXPECT_THROW(bose_steiner_triple(7), std::invalid_argument);
+  EXPECT_THROW(bose_steiner_triple(13), std::invalid_argument);
+  EXPECT_THROW(bose_steiner_triple(12), std::invalid_argument);
+}
+
+struct DfCase {
+  std::size_t v;
+  std::size_t k;
+};
+
+class DifferenceFamilyTest : public ::testing::TestWithParam<DfCase> {};
+
+TEST_P(DifferenceFamilyTest, SearchFindsValidDesign) {
+  const auto [v, k] = GetParam();
+  const auto d = cyclic_difference_family(v, k);
+  ASSERT_TRUE(d.has_value()) << "no family found for v=" << v << " k=" << k;
+  EXPECT_EQ(d->v, v);
+  EXPECT_EQ(d->k, k);
+  EXPECT_TRUE(is_valid(*d)) << verify(*d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Admissible, DifferenceFamilyTest,
+                         ::testing::Values(DfCase{7, 3}, DfCase{13, 3}, DfCase{19, 3},
+                                           DfCase{25, 3}, DfCase{31, 3}, DfCase{37, 3},
+                                           DfCase{13, 4}, DfCase{37, 4}, DfCase{21, 5},
+                                           DfCase{41, 5}),
+                         [](const auto& info) {
+                           return "v" + std::to_string(info.param.v) + "k" +
+                                  std::to_string(info.param.k);
+                         });
+
+TEST(DifferenceFamily, RejectsInadmissibleResidue) {
+  EXPECT_THROW(cyclic_difference_family(10, 3), std::invalid_argument);
+  EXPECT_THROW(cyclic_difference_family(14, 4), std::invalid_argument);
+}
+
+TEST(CompleteDesign, SmallCases) {
+  const Design d = complete_design(5, 3);
+  EXPECT_EQ(d.b(), 10u);
+  EXPECT_EQ(d.lambda, 3u);  // C(3,1)
+  EXPECT_TRUE(is_valid(d)) << verify(d);
+
+  const Design pairs = complete_design(6, 2);
+  EXPECT_EQ(pairs.b(), 15u);
+  EXPECT_EQ(pairs.lambda, 1u);
+  EXPECT_TRUE(is_valid(pairs));
+}
+
+TEST(Verifier, DetectsBrokenDesigns) {
+  Design d = fano();
+
+  Design wrong_b = d;
+  wrong_b.blocks.pop_back();
+  EXPECT_FALSE(is_valid(wrong_b));
+
+  Design bad_point = d;
+  bad_point.blocks[0][2] = 99;
+  EXPECT_FALSE(is_valid(bad_point));
+
+  Design unsorted = d;
+  std::swap(unsorted.blocks[0][0], unsorted.blocks[0][1]);
+  EXPECT_FALSE(is_valid(unsorted));
+
+  Design pair_broken = d;
+  // Swap one point so that some pair is covered twice and another zero times
+  // (block count and sizes stay right).
+  pair_broken.blocks[0] = pair_broken.blocks[1];
+  EXPECT_FALSE(is_valid(pair_broken));
+}
+
+TEST(Verifier, ReportsDivisibilityViolations) {
+  Design d;
+  d.v = 8;
+  d.k = 3;
+  d.lambda = 1;  // (v-1) = 7 not divisible by k-1 = 2
+  EXPECT_NE(verify(d), "");
+}
+
+TEST(PointIndex, EveryPointInRBlocks) {
+  const Design d = projective_plane(3);
+  const auto index = point_to_blocks(d);
+  ASSERT_EQ(index.size(), d.v);
+  for (const auto& blocks : index) EXPECT_EQ(blocks.size(), d.r());
+}
+
+TEST(PointIndex, BlockOfPairIsConsistent) {
+  const Design d = fano();
+  for (std::size_t p = 0; p < d.v; ++p) {
+    for (std::size_t q = p + 1; q < d.v; ++q) {
+      const std::size_t bi = block_of_pair(d, p, q);
+      ASSERT_LT(bi, d.b());
+      const auto& block = d.blocks[bi];
+      EXPECT_TRUE(std::count(block.begin(), block.end(), p) == 1);
+      EXPECT_TRUE(std::count(block.begin(), block.end(), q) == 1);
+    }
+  }
+}
+
+TEST(Registry, FindsStructuredDesigns) {
+  auto fano_d = find_design(7, 3);
+  ASSERT_TRUE(fano_d.has_value());
+  EXPECT_EQ(fano_d->origin, "PG(2,2)");
+
+  auto ag3 = find_design(9, 3);
+  ASSERT_TRUE(ag3.has_value());
+  EXPECT_EQ(ag3->origin, "AG(2,3)");
+
+  auto sts15 = find_design(15, 3);
+  ASSERT_TRUE(sts15.has_value());
+  EXPECT_TRUE(is_valid(*sts15));
+
+  auto pg3 = find_design(13, 4);
+  ASSERT_TRUE(pg3.has_value());
+  EXPECT_EQ(pg3->origin, "PG(2,3)");
+
+  auto df = find_design(25, 3);
+  ASSERT_TRUE(df.has_value());
+  EXPECT_TRUE(is_valid(*df));
+}
+
+TEST(Registry, FallbackPolicy) {
+  EXPECT_FALSE(find_design(8, 3).has_value());
+  auto complete = find_design(8, 3, {.allow_complete = true});
+  ASSERT_TRUE(complete.has_value());
+  EXPECT_GT(complete->lambda, 1u);
+  EXPECT_TRUE(is_valid(*complete));
+}
+
+TEST(Registry, KnownParametersAreAllConstructible) {
+  const auto params = known_parameters(40, 3);
+  EXPECT_FALSE(params.empty());
+  for (const auto& [v, k] : params) {
+    const auto d = find_design(v, k);
+    ASSERT_TRUE(d.has_value()) << "v=" << v;
+    EXPECT_TRUE(is_valid(*d));
+  }
+}
+
+TEST(Registry, StandardCatalogAllValid) {
+  const auto catalog = standard_catalog();
+  EXPECT_GE(catalog.size(), 6u);
+  std::set<std::string> origins;
+  for (const auto& d : catalog) {
+    EXPECT_TRUE(is_valid(d)) << d.origin << ": " << verify(d);
+    origins.insert(d.origin);
+  }
+  EXPECT_EQ(origins.size(), catalog.size()) << "duplicate catalog entries";
+}
+
+}  // namespace
+}  // namespace oi::bibd

@@ -1,0 +1,215 @@
+// Codec round-trip properties: for every codec and every erasure pattern up
+// to its tolerance, decode(encode(data)) == data. Parameterized over codecs
+// so new codecs inherit the whole battery.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "codes/erasure_code.hpp"
+#include "codes/rdp.hpp"
+#include "codes/reed_solomon.hpp"
+#include "codes/xor_code.hpp"
+#include "util/rng.hpp"
+
+namespace oi::codes {
+namespace {
+
+using Factory = std::function<std::unique_ptr<ErasureCode>()>;
+
+struct CodecCase {
+  std::string label;
+  Factory make;
+  std::size_t strip_size;  // must satisfy codec-specific divisibility
+};
+
+std::vector<Strip> random_data(std::size_t k, std::size_t size, Rng& rng) {
+  std::vector<Strip> data(k);
+  for (auto& strip : data) {
+    strip.resize(size);
+    for (auto& byte : strip) byte = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  }
+  return data;
+}
+
+/// Encodes, erases the given strips, decodes, and checks equality.
+void round_trip(const ErasureCode& code, std::size_t strip_size,
+                const std::vector<std::size_t>& erased, Rng& rng) {
+  const std::size_t k = code.data_strips();
+  const std::size_t m = code.parity_strips();
+  const auto data = random_data(k, strip_size, rng);
+  std::vector<Strip> parity(m);
+  code.encode(data, parity);
+
+  std::vector<Strip> strips;
+  strips.reserve(k + m);
+  for (const auto& s : data) strips.push_back(s);
+  for (const auto& s : parity) strips.push_back(s);
+  const std::vector<Strip> original = strips;
+
+  std::vector<bool> present(k + m, true);
+  for (std::size_t e : erased) {
+    present[e] = false;
+    strips[e].assign(3, 0xEE);  // garbage of even wrong size
+  }
+  ASSERT_TRUE(code.decode(strips, present))
+      << code.name() << " failed to decode a pattern within its tolerance";
+  for (std::size_t i = 0; i < strips.size(); ++i) {
+    EXPECT_EQ(strips[i], original[i]) << code.name() << " strip " << i;
+  }
+}
+
+void all_patterns_of_size(const ErasureCode& code, std::size_t strip_size,
+                          std::size_t erasures, Rng& rng) {
+  const std::size_t total = code.total_strips();
+  std::vector<std::size_t> pattern(erasures, 0);
+  // Enumerate all combinations of `erasures` indices.
+  std::function<void(std::size_t, std::size_t)> recurse = [&](std::size_t pos,
+                                                              std::size_t start) {
+    if (pos == erasures) {
+      round_trip(code, strip_size, pattern, rng);
+      return;
+    }
+    for (std::size_t i = start; i < total; ++i) {
+      pattern[pos] = i;
+      recurse(pos + 1, i + 1);
+    }
+  };
+  recurse(0, 0);
+}
+
+class CodecTest : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(CodecTest, NoErasureDecodeIsIdentity) {
+  Rng rng(1);
+  const auto code = GetParam().make();
+  round_trip(*code, GetParam().strip_size, {}, rng);
+}
+
+TEST_P(CodecTest, AllSingleErasures) {
+  Rng rng(2);
+  const auto code = GetParam().make();
+  all_patterns_of_size(*code, GetParam().strip_size, 1, rng);
+}
+
+TEST_P(CodecTest, AllPatternsUpToTolerance) {
+  Rng rng(3);
+  const auto code = GetParam().make();
+  for (std::size_t e = 2; e <= code->fault_tolerance(); ++e) {
+    all_patterns_of_size(*code, GetParam().strip_size, e, rng);
+  }
+}
+
+TEST_P(CodecTest, BeyondToleranceFailsCleanly) {
+  Rng rng(4);
+  const auto code = GetParam().make();
+  const std::size_t t = code->fault_tolerance();
+  if (code->total_strips() <= t + 1) GTEST_SKIP() << "cannot erase t+1 strips";
+
+  const std::size_t k = code->data_strips();
+  const auto data = random_data(k, GetParam().strip_size, rng);
+  std::vector<Strip> parity(code->parity_strips());
+  code->encode(data, parity);
+  std::vector<Strip> strips;
+  for (const auto& s : data) strips.push_back(s);
+  for (const auto& s : parity) strips.push_back(s);
+  std::vector<bool> present(code->total_strips(), true);
+  for (std::size_t e = 0; e <= t; ++e) present[e] = false;
+  EXPECT_FALSE(code->decode(strips, present));
+}
+
+TEST_P(CodecTest, RepairReadSetSuffices) {
+  Rng rng(5);
+  const auto code = GetParam().make();
+  std::vector<bool> present(code->total_strips(), true);
+  present[0] = false;
+  const auto reads = code->repair_read_set(present);
+  EXPECT_GE(reads.size(), code->data_strips() == 1 ? 1u : code->data_strips());
+  for (std::size_t idx : reads) EXPECT_TRUE(present[idx]);
+}
+
+TEST_P(CodecTest, EmptyStripsSupported) {
+  Rng rng(6);
+  const auto code = GetParam().make();
+  round_trip(*code, 0, {0}, rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codecs, CodecTest,
+    ::testing::Values(
+        CodecCase{"xor_k1", [] { return std::make_unique<XorCode>(1); }, 64},
+        CodecCase{"xor_k2", [] { return std::make_unique<XorCode>(2); }, 64},
+        CodecCase{"xor_k4", [] { return std::make_unique<XorCode>(4); }, 64},
+        CodecCase{"xor_k8", [] { return std::make_unique<XorCode>(8); }, 17},
+        CodecCase{"rs_2_1", [] { return std::make_unique<ReedSolomon>(2, 1); }, 32},
+        CodecCase{"rs_4_2", [] { return std::make_unique<ReedSolomon>(4, 2); }, 32},
+        CodecCase{"rs_6_3", [] { return std::make_unique<ReedSolomon>(6, 3); }, 31},
+        CodecCase{"rs_10_4", [] { return std::make_unique<ReedSolomon>(10, 4); }, 16},
+        CodecCase{"rdp_p3", [] { return std::make_unique<RdpCode>(3); }, 16},
+        CodecCase{"rdp_p5", [] { return std::make_unique<RdpCode>(5); }, 16},
+        CodecCase{"rdp_p7", [] { return std::make_unique<RdpCode>(7); }, 12},
+        CodecCase{"rdp_p11", [] { return std::make_unique<RdpCode>(11); }, 20}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(XorCodeTest, ApplyDeltaMatchesReencode) {
+  Rng rng(7);
+  XorCode code(4);
+  auto data = random_data(4, 64, rng);
+  std::vector<Strip> parity(1);
+  code.encode(data, parity);
+
+  Strip new_data(64);
+  for (auto& b : new_data) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  XorCode::apply_delta(parity[0], data[2], new_data);
+  data[2] = new_data;
+
+  std::vector<Strip> expected(1);
+  code.encode(data, expected);
+  EXPECT_EQ(parity[0], expected[0]);
+}
+
+TEST(XorCodeTest, DeltaSizeMismatchThrows) {
+  Strip parity(4), old_data(4), new_data(3);
+  EXPECT_THROW(XorCode::apply_delta(parity, old_data, new_data), std::invalid_argument);
+}
+
+TEST(RdpTest, RejectsNonPrime) {
+  EXPECT_THROW(RdpCode(4), std::invalid_argument);
+  EXPECT_THROW(RdpCode(9), std::invalid_argument);
+  EXPECT_THROW(RdpCode(1), std::invalid_argument);
+}
+
+TEST(RdpTest, RejectsIndivisibleStripSize) {
+  RdpCode code(5);  // rows = 4
+  Rng rng(8);
+  auto data = random_data(4, 10, rng);  // 10 % 4 != 0
+  std::vector<Strip> parity(2);
+  EXPECT_THROW(code.encode(data, parity), std::invalid_argument);
+}
+
+TEST(RsTest, RejectsTooManyStrips) {
+  EXPECT_THROW(ReedSolomon(250, 10), std::invalid_argument);
+}
+
+TEST(CodecValidation, WrongStripCountThrows) {
+  XorCode code(3);
+  std::vector<Strip> strips(2);
+  std::vector<bool> present(2, true);
+  EXPECT_THROW(code.decode(strips, present), std::invalid_argument);
+}
+
+TEST(CodecValidation, InconsistentSizesThrow) {
+  XorCode code(2);
+  std::vector<Strip> strips{{1, 2}, {1, 2, 3}, {0, 0}};
+  std::vector<bool> present(3, true);
+  EXPECT_THROW(code.decode(strips, present), std::invalid_argument);
+}
+
+TEST(CodecValidation, ErasedCountHelper) {
+  EXPECT_EQ(erased_count({true, false, true, false}), 2u);
+  EXPECT_EQ(erased_count({}), 0u);
+}
+
+}  // namespace
+}  // namespace oi::codes

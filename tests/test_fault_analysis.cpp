@@ -1,0 +1,103 @@
+#include "core/fault_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bibd/constructions.hpp"
+#include "layout/oi_raid.hpp"
+#include "layout/parity_declustering.hpp"
+#include "layout/raid5.hpp"
+#include "layout/raid50.hpp"
+
+namespace oi::core {
+namespace {
+
+layout::OiRaidLayout compact_oi() {
+  return layout::OiRaidLayout(layout::OiRaidParams{bibd::fano(), 3, 2});
+}
+
+TEST(PeelVsExact, AgreeOnRaid5) {
+  layout::Raid5Layout layout(5, 6);
+  for (std::size_t d = 0; d < 5; ++d) {
+    EXPECT_TRUE(peel_recoverable(layout, {d}));
+    EXPECT_TRUE(exact_recoverable(layout, {d}));
+  }
+  EXPECT_FALSE(peel_recoverable(layout, {0, 1}));
+  EXPECT_FALSE(exact_recoverable(layout, {0, 1}));
+}
+
+TEST(PeelVsExact, ExactNeverWeakerThanPeel) {
+  const auto layout = compact_oi();
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto pattern = rng.sample_without_replacement(layout.disks(), 4);
+    if (peel_recoverable(layout, pattern)) {
+      EXPECT_TRUE(exact_recoverable(layout, pattern));
+    }
+  }
+}
+
+TEST(GuaranteedTolerance, MatchesSchemeClaims) {
+  layout::Raid5Layout raid5(6, 4);
+  EXPECT_EQ(guaranteed_tolerance(raid5, 3), 1u);
+
+  layout::Raid50Layout raid50(3, 3, 4);
+  EXPECT_EQ(guaranteed_tolerance(raid50, 3), 1u);
+
+  layout::ParityDeclusteredLayout pd(bibd::fano(), 1);
+  EXPECT_EQ(guaranteed_tolerance(pd, 3), 1u);
+
+  // The headline claim, verified by full enumeration of 1-, 2-, 3- and
+  // (first failing) 4-disk patterns.
+  EXPECT_EQ(guaranteed_tolerance(compact_oi(), 4), 3u);
+}
+
+TEST(SweepPatterns, ExhaustiveWhenSmall) {
+  const auto layout = compact_oi();
+  Rng rng(2);
+  const auto summary = sweep_failure_patterns(layout, 2, 100000, rng);
+  EXPECT_TRUE(summary.exhaustive);
+  EXPECT_EQ(summary.patterns_tested, 21u * 20u / 2u);
+  EXPECT_EQ(summary.peel_recoverable, summary.patterns_tested);
+  EXPECT_DOUBLE_EQ(summary.peel_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(summary.exact_fraction(), 1.0);
+}
+
+TEST(SweepPatterns, SampledWhenLarge) {
+  const auto layout = compact_oi();
+  Rng rng(3);
+  const auto summary = sweep_failure_patterns(layout, 5, 300, rng);
+  EXPECT_FALSE(summary.exhaustive);
+  EXPECT_EQ(summary.patterns_tested, 300u);
+  // Five failures: some survive, some do not.
+  EXPECT_GT(summary.peel_recoverable, 0u);
+  EXPECT_LT(summary.peel_recoverable, summary.patterns_tested);
+  EXPECT_GE(summary.exact_recoverable, summary.peel_recoverable);
+}
+
+TEST(SweepPatterns, FourFailureSurvivalIsSubstantial) {
+  const auto layout = compact_oi();
+  Rng rng(4);
+  const auto summary = sweep_failure_patterns(layout, 4, 100000, rng);
+  EXPECT_TRUE(summary.exhaustive);
+  // "At least 3": not all 4-patterns survive...
+  EXPECT_LT(summary.peel_fraction(), 1.0);
+  // ...but the majority do (that is what the reliability model exploits).
+  EXPECT_GT(summary.peel_fraction(), 0.5);
+}
+
+TEST(SweepPatterns, Validation) {
+  const auto layout = compact_oi();
+  Rng rng(5);
+  EXPECT_THROW(sweep_failure_patterns(layout, 0, 10, rng), std::invalid_argument);
+  EXPECT_THROW(sweep_failure_patterns(layout, 99, 10, rng), std::invalid_argument);
+  EXPECT_THROW(sweep_failure_patterns(layout, 1, 0, rng), std::invalid_argument);
+}
+
+TEST(ExactChecker, HandlesEmptyAndValidatesIds) {
+  const auto layout = compact_oi();
+  EXPECT_TRUE(exact_recoverable(layout, {}));
+  EXPECT_THROW(exact_recoverable(layout, {999}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oi::core

@@ -1,0 +1,81 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oi {
+namespace {
+
+TEST(FlagsTest, BasicForms) {
+  // A flag greedily consumes the next non-flag token as its value, so bare
+  // boolean flags must come last or use the `=` form next to positionals.
+  Flags flags({"positional1", "positional2", "--v", "7", "--k=3", "--skew"});
+  EXPECT_EQ(flags.get_int("v", 0), 7);
+  EXPECT_EQ(flags.get_int("k", 0), 3);
+  EXPECT_TRUE(flags.get_bool("skew"));
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"positional1", "positional2"}));
+}
+
+TEST(FlagsTest, FlagConsumesFollowingToken) {
+  Flags flags({"--skew", "next"});
+  EXPECT_THROW(flags.get_bool("skew"), std::invalid_argument);
+  EXPECT_EQ(flags.get_string("skew", ""), "next");
+}
+
+TEST(FlagsTest, Defaults) {
+  Flags flags({});
+  EXPECT_EQ(flags.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(flags.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(flags.get_string("missing", "x"), "x");
+  EXPECT_FALSE(flags.get_bool("missing"));
+  EXPECT_FALSE(flags.has("missing"));
+}
+
+TEST(FlagsTest, ArgcArgvConstructorSkipsProgramName) {
+  const char* argv[] = {"prog", "--n", "5"};
+  Flags flags(3, argv);
+  EXPECT_EQ(flags.get_int("n", 0), 5);
+}
+
+TEST(FlagsTest, BooleanSpellings) {
+  Flags flags({"--a=true", "--b=false", "--c=1", "--d=no"});
+  EXPECT_TRUE(flags.get_bool("a"));
+  EXPECT_FALSE(flags.get_bool("b"));
+  EXPECT_TRUE(flags.get_bool("c"));
+  EXPECT_FALSE(flags.get_bool("d"));
+  Flags bad({"--e=maybe"});
+  EXPECT_THROW(bad.get_bool("e"), std::invalid_argument);
+}
+
+TEST(FlagsTest, SizeList) {
+  Flags flags({"--fail=0,3,17"});
+  EXPECT_EQ(flags.get_size_list("fail"), (std::vector<std::size_t>{0, 3, 17}));
+  EXPECT_TRUE(Flags({}).get_size_list("fail").empty());
+  Flags bad({"--fail=1,x"});
+  EXPECT_THROW(bad.get_size_list("fail"), std::invalid_argument);
+}
+
+TEST(FlagsTest, NegativeNumbersAsValues) {
+  // "--x -3" would look like a flag; the = form is required for negatives.
+  Flags flags({"--x=-3", "--y=-2.5"});
+  EXPECT_EQ(flags.get_int("x", 0), -3);
+  EXPECT_DOUBLE_EQ(flags.get_double("y", 0.0), -2.5);
+}
+
+TEST(FlagsTest, Malformed) {
+  EXPECT_THROW(Flags({"--"}), std::invalid_argument);
+  EXPECT_THROW(Flags({"--=5"}), std::invalid_argument);
+  EXPECT_THROW(Flags({"--a", "1", "--a", "2"}), std::invalid_argument);
+  Flags flags({"--n", "abc"});
+  EXPECT_THROW(flags.get_int("n", 0), std::invalid_argument);
+  Flags flags2({"--x", "1.5zzz"});
+  EXPECT_THROW(flags2.get_double("x", 0.0), std::invalid_argument);
+}
+
+TEST(FlagsTest, UnusedDetection) {
+  Flags flags({"--used", "1", "--typo", "2"});
+  EXPECT_EQ(flags.get_int("used", 0), 1);
+  EXPECT_EQ(flags.unused(), std::vector<std::string>{"typo"});
+}
+
+}  // namespace
+}  // namespace oi

@@ -1,0 +1,130 @@
+#include "codes/gf256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace oi::gf {
+namespace {
+
+TEST(Gf256, AddIsXor) {
+  EXPECT_EQ(add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(sub(0x53, 0xCA), add(0x53, 0xCA));
+}
+
+TEST(Gf256, MulIdentityAndZero) {
+  for (unsigned a = 0; a < 256; ++a) {
+    EXPECT_EQ(mul(static_cast<Byte>(a), 1), a);
+    EXPECT_EQ(mul(1, static_cast<Byte>(a)), a);
+    EXPECT_EQ(mul(static_cast<Byte>(a), 0), 0);
+    EXPECT_EQ(mul(0, static_cast<Byte>(a)), 0);
+  }
+}
+
+TEST(Gf256, MulCommutative) {
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<Byte>(rng.uniform_u64(256));
+    const auto b = static_cast<Byte>(rng.uniform_u64(256));
+    EXPECT_EQ(mul(a, b), mul(b, a));
+  }
+}
+
+TEST(Gf256, MulAssociative) {
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<Byte>(rng.uniform_u64(256));
+    const auto b = static_cast<Byte>(rng.uniform_u64(256));
+    const auto c = static_cast<Byte>(rng.uniform_u64(256));
+    EXPECT_EQ(mul(mul(a, b), c), mul(a, mul(b, c)));
+  }
+}
+
+TEST(Gf256, MulDistributesOverAdd) {
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<Byte>(rng.uniform_u64(256));
+    const auto b = static_cast<Byte>(rng.uniform_u64(256));
+    const auto c = static_cast<Byte>(rng.uniform_u64(256));
+    EXPECT_EQ(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+  }
+}
+
+TEST(Gf256, InverseRoundTrip) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const Byte x = static_cast<Byte>(a);
+    EXPECT_EQ(mul(x, inv(x)), 1) << "a=" << a;
+    EXPECT_EQ(div(1, x), inv(x));
+  }
+}
+
+TEST(Gf256, DivisionInvertsMultiplication) {
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<Byte>(rng.uniform_u64(256));
+    const auto b = static_cast<Byte>(1 + rng.uniform_u64(255));
+    EXPECT_EQ(div(mul(a, b), b), a);
+  }
+}
+
+TEST(Gf256, DivByZeroThrows) {
+  EXPECT_THROW(div(5, 0), std::invalid_argument);
+  EXPECT_THROW(inv(0), std::invalid_argument);
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  for (unsigned a = 0; a < 256; ++a) {
+    Byte acc = 1;
+    for (unsigned e = 0; e < 10; ++e) {
+      EXPECT_EQ(pow(static_cast<Byte>(a), e), acc) << "a=" << a << " e=" << e;
+      acc = mul(acc, static_cast<Byte>(a));
+    }
+  }
+}
+
+TEST(Gf256, GeneratorHasFullOrder) {
+  // alpha = 2 generates the multiplicative group: 255 distinct powers.
+  std::vector<bool> seen(256, false);
+  for (unsigned i = 0; i < 255; ++i) {
+    const Byte x = exp(i);
+    EXPECT_FALSE(seen[x]) << "repeat at i=" << i;
+    seen[x] = true;
+  }
+  EXPECT_FALSE(seen[0]);
+}
+
+TEST(Gf256, MulAddAccumulates) {
+  std::vector<Byte> dst{1, 2, 3, 4};
+  const std::vector<Byte> src{5, 6, 7, 8};
+  mul_add(dst, src, 0);  // no-op
+  EXPECT_EQ(dst, (std::vector<Byte>{1, 2, 3, 4}));
+  mul_add(dst, src, 1);  // xor
+  EXPECT_EQ(dst, (std::vector<Byte>{1 ^ 5, 2 ^ 6, 3 ^ 7, 4 ^ 8}));
+  std::vector<Byte> dst2{0, 0};
+  const std::vector<Byte> src2{3, 9};
+  mul_add(dst2, src2, 7);
+  EXPECT_EQ(dst2[0], mul(3, 7));
+  EXPECT_EQ(dst2[1], mul(9, 7));
+}
+
+TEST(Gf256, MulAssignScalesOrZeroes) {
+  std::vector<Byte> dst{9, 9};
+  const std::vector<Byte> src{3, 5};
+  mul_assign(dst, src, 4);
+  EXPECT_EQ(dst[0], mul(3, 4));
+  EXPECT_EQ(dst[1], mul(5, 4));
+  mul_assign(dst, src, 0);
+  EXPECT_EQ(dst, (std::vector<Byte>{0, 0}));
+}
+
+TEST(Gf256, SizeMismatchThrows) {
+  std::vector<Byte> dst{1};
+  const std::vector<Byte> src{1, 2};
+  EXPECT_THROW(mul_add(dst, src, 1), std::invalid_argument);
+  EXPECT_THROW(xor_acc(dst, src), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oi::gf

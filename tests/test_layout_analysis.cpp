@@ -1,0 +1,73 @@
+// Direct tests of the analysis helpers that the benches lean on.
+#include "layout/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bibd/constructions.hpp"
+#include "layout/oi_raid.hpp"
+#include "layout/raid5.hpp"
+
+namespace oi::layout {
+namespace {
+
+TEST(Analysis, ReadImbalanceIgnoresFailedAndIdleDisks) {
+  Raid5Layout layout(5, 10);
+  const auto plan = layout.recovery_plan({2});
+  const auto load = compute_rebuild_load(layout, {2}, *plan,
+                                         SparePolicy::kDistributedSpare);
+  // RAID5: every survivor reads the full disk -> perfectly balanced.
+  EXPECT_DOUBLE_EQ(read_imbalance(load, {2}), 1.0);
+}
+
+TEST(Analysis, DedicatedSpareSplitsWritesPerFailedDisk) {
+  OiRaidLayout layout({bibd::fano(), 3, 2});
+  const std::vector<std::size_t> failed{1, 9};
+  const auto plan = layout.recovery_plan(failed);
+  ASSERT_TRUE(plan.has_value());
+  const auto load =
+      compute_rebuild_load(layout, failed, *plan, SparePolicy::kDedicatedSpare);
+  ASSERT_EQ(load.writes.size(), layout.disks() + 2);
+  EXPECT_DOUBLE_EQ(load.writes[layout.disks()],
+                   static_cast<double>(layout.strips_per_disk()));
+  EXPECT_DOUBLE_EQ(load.writes[layout.disks() + 1],
+                   static_cast<double>(layout.strips_per_disk()));
+  for (std::size_t d = 0; d < layout.disks(); ++d) {
+    EXPECT_DOUBLE_EQ(load.writes[d], 0.0);
+  }
+}
+
+TEST(Analysis, DistributedSpareSkipsFailedDisks) {
+  OiRaidLayout layout({bibd::fano(), 3, 2});
+  const std::vector<std::size_t> failed{0, 1};
+  const auto plan = layout.recovery_plan(failed);
+  ASSERT_TRUE(plan.has_value());
+  const auto load =
+      compute_rebuild_load(layout, failed, *plan, SparePolicy::kDistributedSpare);
+  EXPECT_DOUBLE_EQ(load.writes[0], 0.0);
+  EXPECT_DOUBLE_EQ(load.writes[1], 0.0);
+  double total = 0.0;
+  for (double w : load.writes) total += w;
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(plan->size()));
+}
+
+TEST(Analysis, RebuildTimeBoundValidation) {
+  RebuildLoad load;
+  load.reads = {1.0, 2.0};
+  load.writes = {0.0, 0.0, 3.0};
+  EXPECT_THROW(rebuild_time_lower_bound(load, 0.0, 1.0), std::invalid_argument);
+  // Bound picks the slowest disk across both vectors (sizes may differ).
+  EXPECT_DOUBLE_EQ(rebuild_time_lower_bound(load, 1.0, 2.0), 6.0);
+}
+
+TEST(Analysis, DataFractionFormulas) {
+  EXPECT_DOUBLE_EQ(oi_raid_data_fraction(3, 3), 4.0 / 9.0);
+  EXPECT_DOUBLE_EQ(raid5_data_fraction(21), 20.0 / 21.0);
+  EXPECT_DOUBLE_EQ(raid50_data_fraction(3), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(replication_data_fraction(3), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(rs_data_fraction(6, 3), 2.0 / 3.0);
+  EXPECT_THROW(oi_raid_data_fraction(1, 3), std::invalid_argument);
+  EXPECT_THROW(replication_data_fraction(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oi::layout

@@ -1,0 +1,256 @@
+// Properties every layout must satisfy: bijective logical mapping, sane and
+// symmetric relations, valid single-failure recovery plans, and small-write
+// plans that touch the advertised number of parity strips. Parameterized so
+// all four schemes run the same battery.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "bibd/constructions.hpp"
+#include "layout/analysis.hpp"
+#include "layout/layout.hpp"
+#include "layout/oi_raid.hpp"
+#include "layout/parity_declustering.hpp"
+#include "layout/raid5.hpp"
+#include "layout/raid50.hpp"
+#include "layout/raid51.hpp"
+
+namespace oi::layout {
+namespace {
+
+struct LayoutCase {
+  std::string label;
+  std::function<std::unique_ptr<Layout>()> make;
+};
+
+std::unique_ptr<Layout> make_oi_fano() {
+  return std::make_unique<OiRaidLayout>(
+      OiRaidParams{bibd::fano(), /*disks_per_group=*/3, /*region_height=*/6});
+}
+
+std::unique_ptr<Layout> make_oi_pg3() {
+  return std::make_unique<OiRaidLayout>(
+      OiRaidParams{bibd::projective_plane(3), /*disks_per_group=*/4, /*region_height=*/12});
+}
+
+std::unique_ptr<Layout> make_oi_m2() {
+  return std::make_unique<OiRaidLayout>(
+      OiRaidParams{bibd::affine_plane(3), /*disks_per_group=*/2, /*region_height=*/4});
+}
+
+class LayoutContract : public ::testing::TestWithParam<LayoutCase> {};
+
+TEST_P(LayoutContract, MappingIsBijective) {
+  const auto layout = GetParam().make();
+  EXPECT_EQ(check_mapping(*layout), "");
+}
+
+TEST_P(LayoutContract, RelationsAreWellFormed) {
+  const auto layout = GetParam().make();
+  EXPECT_EQ(check_relations(*layout), "");
+}
+
+TEST_P(LayoutContract, DataFractionBelowOne) {
+  const auto layout = GetParam().make();
+  EXPECT_GT(layout->data_fraction(), 0.0);
+  EXPECT_LT(layout->data_fraction(), 1.0);
+}
+
+TEST_P(LayoutContract, EverySingleFailureIsRecoverable) {
+  const auto layout = GetParam().make();
+  for (std::size_t disk = 0; disk < layout->disks(); ++disk) {
+    const auto plan = layout->recovery_plan({disk});
+    ASSERT_TRUE(plan.has_value()) << "disk " << disk;
+    EXPECT_EQ(check_recovery_plan(*layout, {disk}, *plan), "") << "disk " << disk;
+  }
+}
+
+TEST_P(LayoutContract, SingleFailurePlanNeverReadsFailedDisk) {
+  const auto layout = GetParam().make();
+  const std::size_t disk = layout->disks() / 2;
+  const auto plan = layout->recovery_plan({disk});
+  ASSERT_TRUE(plan.has_value());
+  for (const auto& step : *plan) {
+    for (const auto& read : step.reads) EXPECT_NE(read.disk, disk);
+  }
+}
+
+TEST_P(LayoutContract, SmallWritePlansAreConsistent) {
+  const auto layout = GetParam().make();
+  const std::size_t stride = std::max<std::size_t>(1, layout->data_strips() / 97);
+  for (std::size_t logical = 0; logical < layout->data_strips(); logical += stride) {
+    const WritePlan plan = layout->small_write_plan(logical);
+    // RMW discipline: every read feeds a write (mirror copies need no read),
+    // the data strip itself leads the writes, and strips are distinct.
+    EXPECT_LE(plan.reads.size(), plan.writes.size());
+    EXPECT_GE(plan.parity_updates, 1u);
+    EXPECT_EQ(plan.writes.size(), plan.parity_updates + 1);
+    const StripLoc data = layout->locate(logical);
+    EXPECT_EQ(plan.writes.front(), data);
+    std::set<StripLoc> unique(plan.writes.begin(), plan.writes.end());
+    EXPECT_EQ(unique.size(), plan.writes.size()) << "duplicate strip in write plan";
+    for (std::size_t i = 1; i < plan.writes.size(); ++i) {
+      EXPECT_NE(layout->inspect(plan.writes[i]).role, StripRole::kData);
+    }
+  }
+}
+
+TEST_P(LayoutContract, RebuildLoadAccounting) {
+  const auto layout = GetParam().make();
+  const std::size_t disk = 0;
+  const auto plan = layout->recovery_plan({disk});
+  ASSERT_TRUE(plan.has_value());
+
+  const auto dedicated =
+      compute_rebuild_load(*layout, {disk}, *plan, SparePolicy::kDedicatedSpare);
+  EXPECT_EQ(dedicated.lost_strips, layout->strips_per_disk());
+  // All writes land on the one replacement disk.
+  EXPECT_DOUBLE_EQ(dedicated.writes.back(),
+                   static_cast<double>(layout->strips_per_disk()));
+
+  const auto distributed =
+      compute_rebuild_load(*layout, {disk}, *plan, SparePolicy::kDistributedSpare);
+  double total_writes = 0.0;
+  for (double w : distributed.writes) total_writes += w;
+  EXPECT_DOUBLE_EQ(total_writes, static_cast<double>(layout->strips_per_disk()));
+  EXPECT_DOUBLE_EQ(distributed.writes[disk], 0.0);
+
+  // The failed disk serves no reads; total reads are positive.
+  EXPECT_DOUBLE_EQ(dedicated.reads[disk], 0.0);
+  double total_reads = 0.0;
+  for (double r : dedicated.reads) total_reads += r;
+  EXPECT_GT(total_reads, 0.0);
+}
+
+TEST_P(LayoutContract, RebuildTimeBoundPositiveAndMonotone) {
+  const auto layout = GetParam().make();
+  const auto plan = layout->recovery_plan({0});
+  ASSERT_TRUE(plan.has_value());
+  const auto load =
+      compute_rebuild_load(*layout, {0}, *plan, SparePolicy::kDistributedSpare);
+  const double t1 = rebuild_time_lower_bound(load, 1e-3, 1e-3);
+  const double t2 = rebuild_time_lower_bound(load, 2e-3, 2e-3);
+  EXPECT_GT(t1, 0.0);
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, LayoutContract,
+    ::testing::Values(
+        LayoutCase{"raid5_n5", [] { return std::make_unique<Raid5Layout>(5, 20); }},
+        LayoutCase{"raid5_n21", [] { return std::make_unique<Raid5Layout>(21, 18); }},
+        LayoutCase{"raid50_7x3", [] { return std::make_unique<Raid50Layout>(7, 3, 18); }},
+        LayoutCase{"raid51_2x5",
+                   [] { return std::make_unique<Raid51Layout>(5, 20); }},
+        LayoutCase{"raid50_2x4",
+                   [] { return std::make_unique<Raid50Layout>(2, 4, 12); }},
+        LayoutCase{"pd_fano",
+                   [] {
+                     return std::make_unique<ParityDeclusteredLayout>(bibd::fano(), 4);
+                   }},
+        LayoutCase{"pd_pg3",
+                   [] {
+                     return std::make_unique<ParityDeclusteredLayout>(
+                         bibd::projective_plane(3), 3);
+                   }},
+        LayoutCase{"oi_fano_m3", make_oi_fano},
+        LayoutCase{"oi_pg3_m4", make_oi_pg3},
+        LayoutCase{"oi_ag3_m2", make_oi_m2}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(Raid5, TwoFailuresUnrecoverable) {
+  Raid5Layout layout(5, 10);
+  EXPECT_FALSE(layout.recovery_plan({1, 3}).has_value());
+}
+
+TEST(Raid50, SameGroupPairUnrecoverableOtherGroupsFine) {
+  Raid50Layout layout(4, 3, 12);
+  EXPECT_FALSE(layout.recovery_plan({0, 1}).has_value());  // same group
+  const auto plan = layout.recovery_plan({0, 5});           // groups 0 and 1
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(check_recovery_plan(layout, {0, 5}, *plan), "");
+}
+
+TEST(ParityDeclustering, AnyTwoFailuresUnrecoverable) {
+  ParityDeclusteredLayout layout(bibd::fano(), 2);
+  // lambda = 1: every disk pair co-occurs in exactly one block, so some
+  // stripe loses two strips.
+  for (std::size_t a = 0; a < layout.disks(); ++a) {
+    for (std::size_t b = a + 1; b < layout.disks(); ++b) {
+      EXPECT_FALSE(layout.recovery_plan({a, b}).has_value())
+          << "disks " << a << "," << b;
+    }
+  }
+}
+
+TEST(ParityDeclustering, SingleFailureLoadSpreadsOverAllSurvivors) {
+  ParityDeclusteredLayout layout(bibd::projective_plane(3), 3);
+  const auto plan = layout.recovery_plan({0});
+  ASSERT_TRUE(plan.has_value());
+  const auto load = per_disk_read_load(layout, {0}, *plan);
+  for (std::size_t d = 1; d < layout.disks(); ++d) {
+    EXPECT_GT(load[d], 0.0) << "survivor " << d << " idle";
+  }
+}
+
+TEST(Raid51, GuaranteedTripleToleranceExhaustive) {
+  Raid51Layout layout(4, 3);  // 8 disks
+  const std::size_t n = layout.disks();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      for (std::size_t c = b + 1; c < n; ++c) {
+        const auto plan = layout.recovery_plan({a, b, c});
+        ASSERT_TRUE(plan.has_value()) << a << "," << b << "," << c;
+        EXPECT_EQ(check_recovery_plan(layout, {a, b, c}, *plan), "");
+      }
+    }
+  }
+}
+
+TEST(Raid51, MirrorPairLossOfBothSidesStillPeels) {
+  // Disks i and n+i are twins; losing both leaves each strip its stripe.
+  Raid51Layout layout(5, 8);
+  const auto plan = layout.recovery_plan({2, 7});
+  ASSERT_TRUE(plan.has_value());
+}
+
+TEST(Raid51, TwoPlusTwoAcrossMirrorsIsFatal) {
+  Raid51Layout layout(5, 8);
+  // Sides: A={0..4}, B={5..9}. Failing i,j on A and their twins on B kills
+  // the strips on i and j (stripe blocked on both sides, mirrors gone).
+  EXPECT_FALSE(layout.recovery_plan({1, 2, 6, 7}).has_value());
+}
+
+TEST(Raid51, SingleFailureRepairsViaMirrorOneReadPerStrip) {
+  Raid51Layout layout(6, 10);
+  const auto plan = layout.recovery_plan({3});
+  ASSERT_TRUE(plan.has_value());
+  for (const auto& step : *plan) {
+    ASSERT_EQ(step.reads.size(), 1u);  // mirror copy, not an (n-1)-read stripe
+    EXPECT_EQ(step.reads[0].disk, 3u + 6u);
+  }
+}
+
+TEST(LayoutValidation, BadConstructorArgs) {
+  EXPECT_THROW(Raid5Layout(1, 10), std::invalid_argument);
+  EXPECT_THROW(Raid5Layout(4, 0), std::invalid_argument);
+  EXPECT_THROW(Raid50Layout(0, 3, 4), std::invalid_argument);
+  EXPECT_THROW(Raid50Layout(2, 1, 4), std::invalid_argument);
+  EXPECT_THROW(ParityDeclusteredLayout(bibd::fano(), 0), std::invalid_argument);
+  EXPECT_THROW(OiRaidLayout(OiRaidParams{bibd::fano(), 1, 4}), std::invalid_argument);
+  EXPECT_THROW(OiRaidLayout(OiRaidParams{bibd::fano(), 3, 0}), std::invalid_argument);
+  bibd::Design broken = bibd::fano();
+  broken.blocks.pop_back();
+  EXPECT_THROW(OiRaidLayout(OiRaidParams{broken, 3, 4}), std::invalid_argument);
+}
+
+TEST(LayoutValidation, PlannerRejectsBadDiskIds) {
+  Raid5Layout layout(4, 4);
+  EXPECT_THROW(layout.recovery_plan({9}), std::invalid_argument);
+  EXPECT_THROW(layout.recovery_plan({1, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oi::layout

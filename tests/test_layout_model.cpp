@@ -1,0 +1,132 @@
+// The analytic models must agree with the constructed layouts and the
+// simulator -- each validates the other.
+#include "layout/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bibd/constructions.hpp"
+#include "layout/analysis.hpp"
+#include "layout/oi_raid.hpp"
+#include "layout/parity_declustering.hpp"
+#include "layout/raid5.hpp"
+#include "layout/raid50.hpp"
+#include "sim/rebuild.hpp"
+
+namespace oi::layout {
+namespace {
+
+struct ModelCase {
+  std::string label;
+  std::size_t v, k, m;
+};
+
+class OiModelVsLayout : public ::testing::TestWithParam<ModelCase> {};
+
+TEST_P(OiModelVsLayout, ReadVolumeMatchesConstructedLayout) {
+  const auto& c = GetParam();
+  const OiRaidModel model{c.v, c.k, c.m};
+  auto design = c.v == 7 && c.k == 3 ? bibd::fano()
+               : c.v == 13 && c.k == 4 ? bibd::projective_plane(3)
+                                       : bibd::bose_steiner_triple(c.v);
+  const std::size_t h = c.m * (c.m - 1) * (c.m - 1);
+  const OiRaidLayout layout({design, c.m, h});
+  const auto plan = layout.recovery_plan({0});
+  const auto reads = per_disk_read_load(layout, {0}, *plan);
+  double total = 0.0;
+  for (double x : reads) total += x;
+  const double capacities = total / static_cast<double>(layout.strips_per_disk());
+  EXPECT_NEAR(capacities, model.rebuild_read_capacities(), 1e-9) << layout.name();
+}
+
+TEST_P(OiModelVsLayout, PerDiskReadMatchesMeanOfConstructedLayout) {
+  const auto& c = GetParam();
+  const OiRaidModel model{c.v, c.k, c.m};
+  auto design = c.v == 7 && c.k == 3 ? bibd::fano()
+               : c.v == 13 && c.k == 4 ? bibd::projective_plane(3)
+                                       : bibd::bose_steiner_triple(c.v);
+  const std::size_t h = c.m * (c.m - 1) * (c.m - 1);
+  const OiRaidLayout layout({design, c.m, h});
+  const auto plan = layout.recovery_plan({0});
+  const auto reads = per_disk_read_load(layout, {0}, *plan);
+  double mean_outside = 0.0;
+  std::size_t outside = 0;
+  for (std::size_t d = c.m; d < reads.size(); ++d) {
+    mean_outside += reads[d];
+    ++outside;
+  }
+  mean_outside /= static_cast<double>(outside) *
+                  static_cast<double>(layout.strips_per_disk());
+  EXPECT_NEAR(mean_outside, model.per_disk_read_fraction(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, OiModelVsLayout,
+                         ::testing::Values(ModelCase{"fano_m3", 7, 3, 3},
+                                           ModelCase{"fano_m4", 7, 3, 4},
+                                           ModelCase{"sts15_m3", 15, 3, 3},
+                                           ModelCase{"pg3_m4", 13, 4, 4}),
+                         [](const auto& info) { return info.param.label; });
+
+TEST(ModelVsSimulation, OiRaidRebuildTimeWithinQueueingSlack) {
+  const OiRaidModel model{7, 3, 3};
+  const std::size_t h = 12;
+  const OiRaidLayout layout({bibd::fano(), 3, h});
+  sim::SimConfig config;
+  config.disk.strip_bytes = 4 * static_cast<std::size_t>(kMiB);
+  config.max_inflight_steps = 1'000'000;
+  const auto result = sim::simulate(layout, {0}, config);
+  const double predicted = rebuild_seconds_from_fraction(
+      model.busiest_disk_fraction(), layout.strips_per_disk(),
+      config.disk.transfer_seconds());
+  // The simulator adds positioning and queueing the bound ignores; the
+  // model must be a lower bound and within ~60% of the measurement.
+  EXPECT_LE(predicted, result.rebuild_seconds);
+  EXPECT_GT(predicted, result.rebuild_seconds * 0.4);
+}
+
+TEST(ModelVsSimulation, Raid5AndRaid50MatchClosely) {
+  const std::size_t strips = 120;
+  sim::SimConfig config;
+  config.disk.strip_bytes = 4 * static_cast<std::size_t>(kMiB);
+  config.max_inflight_steps = 1'000'000;
+  {
+    Raid5Layout layout(21, strips);
+    const auto result = sim::simulate(layout, {0}, config);
+    const double predicted = rebuild_seconds_from_fraction(
+        raid5_busiest_fraction(21), strips, config.disk.transfer_seconds());
+    EXPECT_NEAR(result.rebuild_seconds / predicted, 1.0, 0.15);
+  }
+  {
+    Raid50Layout layout(7, 3, strips);
+    const auto result = sim::simulate(layout, {0}, config);
+    const double predicted = rebuild_seconds_from_fraction(
+        raid50_busiest_fraction(7, 3), strips, config.disk.transfer_seconds());
+    EXPECT_NEAR(result.rebuild_seconds / predicted, 1.0, 0.15);
+  }
+}
+
+TEST(ModelProperties, SpeedupGrowsWithGeometry) {
+  const OiRaidModel small{7, 3, 3};
+  const OiRaidModel mid{13, 4, 4};
+  const OiRaidModel large{31, 6, 6};
+  EXPECT_GT(small.speedup_vs_raid5(), 3.0);
+  EXPECT_GT(mid.speedup_vs_raid5(), small.speedup_vs_raid5());
+  EXPECT_GT(large.speedup_vs_raid5(), mid.speedup_vs_raid5());
+}
+
+TEST(ModelProperties, PdBeatsRaid5ButNotOiReliability) {
+  // PD's busiest fraction shrinks with n at fixed k.
+  EXPECT_LT(pd_busiest_fraction(45, 3), pd_busiest_fraction(21, 3));
+  EXPECT_LT(pd_busiest_fraction(21, 3), raid5_busiest_fraction(21));
+  EXPECT_GT(raid50_busiest_fraction(7, 3), 1.0);
+}
+
+TEST(ModelProperties, Validation) {
+  EXPECT_THROW(raid5_busiest_fraction(1), std::invalid_argument);
+  EXPECT_THROW(pd_busiest_fraction(3, 3), std::invalid_argument);
+  EXPECT_THROW(rebuild_seconds_from_fraction(0.0, 10, 1.0), std::invalid_argument);
+  OiRaidModel bad{8, 3, 3};  // (v-1) % (k-1) != 0
+  EXPECT_THROW(bad.rebuild_read_capacities(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oi::layout

@@ -1,0 +1,288 @@
+// OI-RAID-specific properties: geometry, role accounting, the paper's three
+// headline structural claims (3-failure tolerance, 3-parity-update writes,
+// balanced recovery reads), and the outer-stripe structure induced by the
+// BIBD.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "bibd/constructions.hpp"
+#include "layout/analysis.hpp"
+#include "layout/oi_raid.hpp"
+#include "util/stats.hpp"
+
+namespace oi::layout {
+namespace {
+
+OiRaidLayout fano_layout(std::size_t m = 3, std::size_t h = 6) {
+  return OiRaidLayout(OiRaidParams{bibd::fano(), m, h});
+}
+
+TEST(OiRaidGeometry, CountsMatchFormulas) {
+  const OiRaidLayout layout = fano_layout();
+  EXPECT_EQ(layout.groups(), 7u);
+  EXPECT_EQ(layout.disks(), 21u);
+  EXPECT_EQ(layout.replication(), 3u);
+  EXPECT_EQ(layout.blocks(), 7u);
+  EXPECT_EQ(layout.strips_per_disk(), 18u);  // r * H
+  EXPECT_EQ(layout.stripes_per_block(), 12u);  // H * (m-1)
+  EXPECT_EQ(layout.data_strips(), 7u * 12u * 2u);
+  EXPECT_DOUBLE_EQ(layout.data_fraction(), oi_raid_data_fraction(3, 3));
+  EXPECT_EQ(layout.fault_tolerance(), 3u);
+}
+
+TEST(OiRaidGeometry, RoleFractions) {
+  const OiRaidLayout layout = fano_layout();
+  std::map<StripRole, std::size_t> counts;
+  for (std::size_t d = 0; d < layout.disks(); ++d) {
+    for (std::size_t o = 0; o < layout.strips_per_disk(); ++o) {
+      ++counts[layout.inspect({d, o}).role];
+    }
+  }
+  const std::size_t total = layout.total_strips();
+  EXPECT_EQ(counts[StripRole::kParity], total / 3);           // 1/m
+  EXPECT_EQ(counts[StripRole::kOuterParity], total * 2 / 9);  // (m-1)/(m*k)
+  EXPECT_EQ(counts[StripRole::kData], total * 4 / 9);         // (m-1)(k-1)/(m*k)
+}
+
+TEST(OiRaidStructure, OuterStripesHaveOneCellPerBlockGroup) {
+  const OiRaidLayout layout = fano_layout();
+  const auto& design = layout.design();
+  for (std::size_t block = 0; block < layout.blocks(); ++block) {
+    std::set<StripLoc> seen;
+    for (std::size_t t = 0; t < layout.stripes_per_block(); ++t) {
+      const auto cells = layout.outer_stripe_cells(block, t);
+      ASSERT_EQ(cells.size(), design.k);
+      for (std::size_t pos = 0; pos < cells.size(); ++pos) {
+        EXPECT_EQ(cells[pos].disk / layout.disks_per_group(), design.blocks[block][pos]);
+        EXPECT_TRUE(seen.insert(cells[pos]).second)
+            << "cell reused across outer stripes of one block";
+      }
+    }
+    // The block's stripes exactly tile the content cells of its k regions.
+    EXPECT_EQ(seen.size(), layout.stripes_per_block() * design.k);
+  }
+}
+
+TEST(OiRaidStructure, OuterCellsAreNeverInnerParity) {
+  const OiRaidLayout layout = fano_layout();
+  for (std::size_t block = 0; block < layout.blocks(); ++block) {
+    for (std::size_t t = 0; t < layout.stripes_per_block(); ++t) {
+      for (const StripLoc& cell : layout.outer_stripe_cells(block, t)) {
+        EXPECT_NE(layout.inspect(cell).role, StripRole::kParity);
+      }
+    }
+  }
+}
+
+TEST(OiRaidUpdate, ThreeParityUpdatesTouchingBothLayers) {
+  const OiRaidLayout layout = fano_layout();
+  const std::size_t m = layout.disks_per_group();
+  for (std::size_t logical = 0; logical < layout.data_strips(); logical += 7) {
+    const WritePlan plan = layout.small_write_plan(logical);
+    EXPECT_EQ(plan.parity_updates, 3u);
+    ASSERT_EQ(plan.writes.size(), 4u);
+    const StripLoc data = plan.writes[0];
+    const StripLoc inner = plan.writes[1];
+    const StripLoc outer = plan.writes[2];
+    const StripLoc outer_inner = plan.writes[3];
+    EXPECT_EQ(layout.inspect(data).role, StripRole::kData);
+    EXPECT_EQ(layout.inspect(inner).role, StripRole::kParity);
+    EXPECT_EQ(layout.inspect(outer).role, StripRole::kOuterParity);
+    EXPECT_EQ(layout.inspect(outer_inner).role, StripRole::kParity);
+    // Inner parity shares the data strip's group and offset.
+    EXPECT_EQ(inner.disk / m, data.disk / m);
+    EXPECT_EQ(inner.offset, data.offset);
+    // Outer parity lives in a different group; its inner parity alongside it.
+    EXPECT_NE(outer.disk / m, data.disk / m);
+    EXPECT_EQ(outer_inner.disk / m, outer.disk / m);
+    EXPECT_EQ(outer_inner.offset, outer.offset);
+  }
+}
+
+TEST(OiRaidRecovery, ExhaustiveTripleFailureTolerance) {
+  const OiRaidLayout layout = fano_layout(3, 2);  // compact geometry
+  const std::size_t n = layout.disks();
+  std::size_t patterns = 0;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      for (std::size_t c = b + 1; c < n; ++c) {
+        const auto plan = layout.recovery_plan({a, b, c});
+        ASSERT_TRUE(plan.has_value()) << "unrecoverable: " << a << "," << b << "," << c;
+        ASSERT_EQ(check_recovery_plan(layout, {a, b, c}, *plan), "")
+            << a << "," << b << "," << c;
+        ++patterns;
+      }
+    }
+  }
+  EXPECT_EQ(patterns, 21u * 20u * 19u / 6u);
+}
+
+TEST(OiRaidRecovery, ExhaustiveTripleFailureToleranceM2) {
+  // Smallest inner layer (m=2, mirrored pairs) on AG(2,3): 18 disks.
+  const OiRaidLayout layout(OiRaidParams{bibd::affine_plane(3), 2, 2});
+  const std::size_t n = layout.disks();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      for (std::size_t c = b + 1; c < n; ++c) {
+        EXPECT_TRUE(layout.recovery_plan({a, b, c}).has_value())
+            << "unrecoverable: " << a << "," << b << "," << c;
+      }
+    }
+  }
+}
+
+TEST(OiRaidRecovery, WholeGroupLossRecoverable) {
+  const OiRaidLayout layout = fano_layout(3, 4);
+  // All m disks of group 2 fail simultaneously.
+  const std::vector<std::size_t> failed{6, 7, 8};
+  const auto plan = layout.recovery_plan(failed);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(check_recovery_plan(layout, failed, *plan), "");
+  // Recovery of a whole group must never read the group itself.
+  for (const auto& step : *plan) {
+    for (const auto& read : step.reads) {
+      EXPECT_TRUE(read.disk < 6 || read.disk > 8 ||
+                  std::find_if(plan->begin(), plan->end(),
+                               [&](const RecoveryStep& s) { return s.lost == read; }) !=
+                      plan->end());
+    }
+  }
+}
+
+TEST(OiRaidRecovery, SomeQuadrupleFailuresFailSomeSucceed) {
+  const OiRaidLayout layout = fano_layout(3, 2);
+  // Four failures spread over four distinct groups: recoverable (each group
+  // has a single failure).
+  const auto spread = layout.recovery_plan({0, 3, 6, 9});
+  EXPECT_TRUE(spread.has_value());
+
+  // Sweep 4-failure patterns; OI-RAID guarantees only 3, so at least one
+  // pattern must be unrecoverable and a decent share should survive.
+  std::size_t ok = 0;
+  std::size_t bad = 0;
+  const std::size_t n = layout.disks();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      for (std::size_t c = b + 1; c < n; ++c) {
+        for (std::size_t d = c + 1; d < n; ++d) {
+          if ((a + b + c + d) % 7 != 0) continue;  // thin the sweep for speed
+          if (layout.recovery_plan({a, b, c, d}).has_value()) {
+            ++ok;
+          } else {
+            ++bad;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(ok, 0u);
+  EXPECT_GT(bad, 0u);
+}
+
+TEST(OiRaidRecovery, SingleFailureReadsSpreadAcrossOtherGroups) {
+  // H must span several parity-band cycles (band = m-1 offsets, cycle =
+  // m*(m-1) offsets) for the skew rotation to close; H=30 = 5 cycles.
+  const OiRaidLayout layout = fano_layout(3, 30);
+  const std::size_t failed = 4;  // group 1, member 1
+  const auto plan = layout.recovery_plan({failed});
+  ASSERT_TRUE(plan.has_value());
+  const auto load = per_disk_read_load(layout, {failed}, *plan);
+
+  const std::size_t m = layout.disks_per_group();
+  const std::size_t group = failed / m;
+  // The failed disk's own group serves nothing (outer + composite repair).
+  for (std::size_t j = 0; j < m; ++j) {
+    EXPECT_DOUBLE_EQ(load[group * m + j], 0.0) << "group member " << j;
+  }
+  // Every disk of every other group serves some reads.
+  std::vector<double> active;
+  for (std::size_t d = 0; d < layout.disks(); ++d) {
+    if (d / m == group) continue;
+    EXPECT_GT(load[d], 0.0) << "disk " << d << " idle";
+    active.push_back(load[d]);
+  }
+  // Skew keeps the spread tight; the busiest disk does at most 2x the mean
+  // (measured ~1.3 on this geometry; bound leaves margin but still fails for
+  // an unskewed layout, which concentrates 3x+).
+  EXPECT_LE(max_over_mean(active), 2.0);
+}
+
+TEST(OiRaidRecovery, ReadVolumeMatchesClosedForm) {
+  const OiRaidLayout layout = fano_layout(3, 6);
+  const auto plan = layout.recovery_plan({0});
+  ASSERT_TRUE(plan.has_value());
+  const auto load = per_disk_read_load(layout, {0}, *plan);
+  double total = 0.0;
+  for (double x : load) total += x;
+  // content strips: S*(m-1)/m of the disk, (k-1) reads each;
+  // inner parity:   S/m, (m-1)(k-1) reads each.
+  const double s = static_cast<double>(layout.strips_per_disk());
+  const double m = 3.0;
+  const double k = 3.0;
+  const double expected = s * (m - 1) / m * (k - 1) + s / m * (m - 1) * (k - 1);
+  EXPECT_DOUBLE_EQ(total, expected);
+}
+
+TEST(OiRaidRecovery, DegradedReadOfDataStrip) {
+  // A degraded read of one lost data strip = its outer relation: k-1 reads,
+  // none in the failed disk's group.
+  const OiRaidLayout layout = fano_layout();
+  const std::size_t m = layout.disks_per_group();
+  for (std::size_t logical = 0; logical < layout.data_strips(); logical += 13) {
+    const StripLoc loc = layout.locate(logical);
+    const auto relations = layout.relations_of(loc);
+    bool has_outer = false;
+    for (const auto& rel : relations) {
+      if (rel.kind != RelationKind::kOuter) continue;
+      has_outer = true;
+      EXPECT_EQ(rel.strips.size(), layout.stripe_width());
+      for (const auto& member : rel.strips) {
+        if (member == loc) continue;
+        EXPECT_NE(member.disk / m, loc.disk / m);
+      }
+    }
+    EXPECT_TRUE(has_outer);
+  }
+}
+
+TEST(OiRaidRecovery, CompositeRelationAvoidsOwnGroup) {
+  const OiRaidLayout layout = fano_layout();
+  const std::size_t m = layout.disks_per_group();
+  std::size_t checked = 0;
+  for (std::size_t d = 0; d < layout.disks() && checked < 40; ++d) {
+    for (std::size_t o = 0; o < layout.strips_per_disk() && checked < 40; ++o) {
+      const StripLoc loc{d, o};
+      if (layout.inspect(loc).role != StripRole::kParity) continue;
+      for (const auto& rel : layout.relations_of(loc)) {
+        if (rel.kind != RelationKind::kOuterComposite) continue;
+        ++checked;
+        EXPECT_EQ(rel.strips.size(), 1 + (m - 1) * (layout.stripe_width() - 1));
+        for (const auto& member : rel.strips) {
+          if (member == loc) continue;
+          EXPECT_NE(member.disk / m, loc.disk / m);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(checked, 40u);
+}
+
+TEST(OiRaidSweep, LargerGeometriesKeepContracts) {
+  // PG(2,3): 13 groups of 4 -> 52 disks; STS(15): 15 groups of 3 -> 45.
+  const std::vector<OiRaidParams> configs = {
+      {bibd::projective_plane(3), 4, 6},
+      {bibd::bose_steiner_triple(15), 3, 6},
+  };
+  for (const auto& config : configs) {
+    const OiRaidLayout layout(config);
+    EXPECT_EQ(check_mapping(layout), "") << layout.name();
+    const auto plan = layout.recovery_plan({1});
+    ASSERT_TRUE(plan.has_value()) << layout.name();
+    EXPECT_EQ(check_recovery_plan(layout, {1}, *plan), "") << layout.name();
+  }
+}
+
+}  // namespace
+}  // namespace oi::layout

@@ -1,0 +1,61 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <sstream>
+
+namespace oi {
+namespace {
+
+/// Captures std::clog for the duration of a test.
+class ClogCapture {
+ public:
+  ClogCapture() : old_(std::clog.rdbuf(buffer_.rdbuf())) {}
+  ~ClogCapture() { std::clog.rdbuf(old_); }
+  std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+TEST(LoggerTest, LevelsFilter) {
+  ClogCapture capture;
+  Logger::instance().set_level(LogLevel::kWarn);
+  OI_LOG_DEBUG << "hidden debug";
+  OI_LOG_INFO << "hidden info";
+  OI_LOG_WARN << "visible warn";
+  OI_LOG_ERROR << "visible error";
+  const std::string out = capture.text();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("[WARN] visible warn"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR] visible error"), std::string::npos);
+}
+
+TEST(LoggerTest, StreamingComposesValues) {
+  ClogCapture capture;
+  Logger::instance().set_level(LogLevel::kInfo);
+  OI_LOG_INFO << "x=" << 42 << " y=" << 2.5;
+  EXPECT_NE(capture.text().find("[INFO] x=42 y=2.5"), std::string::npos);
+  Logger::instance().set_level(LogLevel::kWarn);  // restore default
+}
+
+TEST(LoggerTest, OffSilencesEverything) {
+  ClogCapture capture;
+  Logger::instance().set_level(LogLevel::kOff);
+  OI_LOG_ERROR << "nothing";
+  EXPECT_TRUE(capture.text().empty());
+  Logger::instance().set_level(LogLevel::kWarn);
+}
+
+TEST(LoggerTest, EnabledPredicate) {
+  Logger::instance().set_level(LogLevel::kInfo);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kDebug));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kError));
+  Logger::instance().set_level(LogLevel::kWarn);
+}
+
+}  // namespace
+}  // namespace oi

@@ -1,0 +1,109 @@
+#include "codes/matrix_gf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace oi::gf {
+namespace {
+
+TEST(MatrixGf, IdentityMultiplication) {
+  const Matrix id = Matrix::identity(4);
+  Matrix m(4, 4);
+  Rng rng(1);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) m.at(r, c) = static_cast<Byte>(rng.uniform_u64(256));
+  }
+  EXPECT_EQ(m.multiply(id), m);
+  EXPECT_EQ(id.multiply(m), m);
+}
+
+TEST(MatrixGf, InverseRoundTrip) {
+  Rng rng(2);
+  int invertible = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    Matrix m(5, 5);
+    for (std::size_t r = 0; r < 5; ++r) {
+      for (std::size_t c = 0; c < 5; ++c) {
+        m.at(r, c) = static_cast<Byte>(rng.uniform_u64(256));
+      }
+    }
+    const auto inv_m = m.inverted();
+    if (!inv_m) continue;
+    ++invertible;
+    EXPECT_EQ(m.multiply(*inv_m), Matrix::identity(5));
+    EXPECT_EQ(inv_m->multiply(m), Matrix::identity(5));
+  }
+  EXPECT_GT(invertible, 30);  // random GF(256) matrices are mostly invertible
+}
+
+TEST(MatrixGf, SingularReturnsNullopt) {
+  Matrix m(3, 3);  // all zero
+  EXPECT_FALSE(m.inverted().has_value());
+
+  Matrix dup(2, 2);  // duplicate rows
+  dup.at(0, 0) = 3;
+  dup.at(0, 1) = 7;
+  dup.at(1, 0) = 3;
+  dup.at(1, 1) = 7;
+  EXPECT_FALSE(dup.inverted().has_value());
+}
+
+TEST(MatrixGf, CauchySquareSubmatricesInvertible) {
+  // The MDS property of the RS construction rests on this.
+  const std::size_t k = 6;
+  const std::size_t m = 3;
+  const Matrix cauchy = Matrix::cauchy(m, k);
+  // Any k x k submatrix of [I; C] must be invertible; test all ways of
+  // replacing rows of I with rows of C (up to m replacements).
+  Matrix gen(k + m, k);
+  for (std::size_t i = 0; i < k; ++i) gen.at(i, i) = 1;
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < k; ++c) gen.at(k + r, c) = cauchy.at(r, c);
+  }
+  std::vector<std::size_t> rows(k + m);
+  std::iota(rows.begin(), rows.end(), 0);
+  // Enumerate all k-subsets of rows via bitmask (k+m = 9 -> 512 masks).
+  for (unsigned mask = 0; mask < (1u << (k + m)); ++mask) {
+    if (static_cast<std::size_t>(__builtin_popcount(mask)) != k) continue;
+    std::vector<std::size_t> selected;
+    for (std::size_t i = 0; i < k + m; ++i) {
+      if (mask & (1u << i)) selected.push_back(i);
+    }
+    EXPECT_TRUE(gen.select_rows(selected).inverted().has_value())
+        << "mask=" << mask;
+  }
+}
+
+TEST(MatrixGf, VandermondeStructure) {
+  const Matrix v = Matrix::vandermonde(4, 3);
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(v.at(r, 0), 1);
+    EXPECT_EQ(v.at(r, 2), mul(v.at(r, 1), v.at(r, 1)));
+  }
+}
+
+TEST(MatrixGf, SelectRows) {
+  Matrix m(3, 2);
+  m.at(0, 0) = 1;
+  m.at(1, 0) = 2;
+  m.at(2, 0) = 3;
+  const Matrix sel = m.select_rows({2, 0});
+  EXPECT_EQ(sel.rows(), 2u);
+  EXPECT_EQ(sel.at(0, 0), 3);
+  EXPECT_EQ(sel.at(1, 0), 1);
+}
+
+TEST(MatrixGf, DimensionChecks) {
+  EXPECT_THROW(Matrix(0, 3), std::invalid_argument);
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a.multiply(b), std::invalid_argument);
+  EXPECT_THROW(a.inverted(), std::invalid_argument);
+  EXPECT_THROW(a.at(5, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oi::gf

@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bibd/constructions.hpp"
+#include "layout/oi_raid.hpp"
+#include "layout/parity_declustering.hpp"
+#include "layout/raid5.hpp"
+#include "layout/raid50.hpp"
+#include "reliability/ctmc.hpp"
+#include "reliability/models.hpp"
+#include "reliability/monte_carlo.hpp"
+
+namespace oi::reliability {
+namespace {
+
+TEST(CtmcTest, PureDeathChainIsExponentialMean) {
+  Ctmc chain(2);
+  chain.add_rate(0, 1, 0.25);
+  EXPECT_NEAR(chain.expected_absorption_time(0, {1}), 4.0, 1e-12);
+}
+
+TEST(CtmcTest, AbsorptionProbabilityMatchesExponential) {
+  Ctmc chain(2);
+  const double rate = 0.1;
+  chain.add_rate(0, 1, rate);
+  for (double t : {0.0, 1.0, 5.0, 20.0}) {
+    EXPECT_NEAR(chain.absorption_probability(0, {1}, t), 1.0 - std::exp(-rate * t),
+                1e-9)
+        << "t=" << t;
+  }
+}
+
+TEST(CtmcTest, Raid5ClosedFormMatches) {
+  // Classic result: MTTDL_RAID5 = ((2n-1)lambda + mu) / (n(n-1) lambda^2).
+  const std::size_t n = 8;
+  DiskReliabilityParams params;
+  params.mttf_hours = 100000;
+  params.rebuild_hours = 24;
+  const double lambda = params.failure_rate();
+  const double mu = params.repair_rate();
+  const double nn = static_cast<double>(n);
+  const double closed_form = ((2 * nn - 1) * lambda + mu) / (nn * (nn - 1) * lambda * lambda);
+  EXPECT_NEAR(mttdl_raid5(n, params) / closed_form, 1.0, 1e-9);
+}
+
+TEST(CtmcTest, StartingAbsorbedIsZeroTimeProbabilityOne) {
+  Ctmc chain(3);
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 2, 1.0);
+  EXPECT_DOUBLE_EQ(chain.expected_absorption_time(2, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(chain.absorption_probability(2, {2}, 5.0), 1.0);
+}
+
+TEST(CtmcTest, UnreachableAbsorptionThrows) {
+  Ctmc chain(3);
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 0, 1.0);  // 2 unreachable
+  EXPECT_THROW(chain.expected_absorption_time(0, {2}), std::invalid_argument);
+}
+
+TEST(CtmcTest, Validation) {
+  EXPECT_THROW(Ctmc(1), std::invalid_argument);
+  Ctmc chain(2);
+  EXPECT_THROW(chain.add_rate(0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(chain.add_rate(0, 1, -1.0), std::invalid_argument);
+  EXPECT_THROW(chain.add_rate(5, 1, 1.0), std::invalid_argument);
+  chain.add_rate(0, 1, 1.0);
+  EXPECT_THROW(chain.expected_absorption_time(0, {}), std::invalid_argument);
+  EXPECT_THROW(chain.absorption_probability(0, {1}, -1.0), std::invalid_argument);
+}
+
+TEST(Models, ToleranceOrdering) {
+  DiskReliabilityParams params;
+  const std::size_t n = 21;
+  const double raid5 = mttdl_raid5(n, params);
+  const double raid6 = mttdl_raid6(n, params);
+  const double oi = mttdl_oi_raid(n, params);
+  EXPECT_GT(raid6, 100.0 * raid5);
+  EXPECT_GT(oi, 100.0 * raid6);
+}
+
+TEST(Models, FasterRebuildImprovesMttdl) {
+  DiskReliabilityParams slow;
+  slow.rebuild_hours = 24.0;
+  DiskReliabilityParams fast = slow;
+  fast.rebuild_hours = 4.0;  // the OI-RAID speedup effect
+  EXPECT_GT(mttdl_oi_raid(21, fast), mttdl_oi_raid(21, slow));
+  // For a 3-fault-tolerant chain, MTTDL ~ mu^3, so 6x faster rebuild buys
+  // roughly 216x; allow slack for the lambda terms.
+  EXPECT_GT(mttdl_oi_raid(21, fast) / mttdl_oi_raid(21, slow), 100.0);
+}
+
+TEST(Models, BenignFourthFailureFractionHelps) {
+  DiskReliabilityParams params;
+  const double all_fatal = mttdl_oi_raid(21, params, 1.0);
+  const double half_fatal = mttdl_oi_raid(21, params, 0.5);
+  EXPECT_NEAR(half_fatal / all_fatal, 2.0, 0.05);  // ~linear in this regime
+  EXPECT_THROW(mttdl_oi_raid(21, params, 1.5), std::invalid_argument);
+}
+
+TEST(Models, ExtremeRateRatiosStayPositiveAndMonotone) {
+  // Regression: the naive Gaussian solve returned *negative* MTTDL for
+  // 3-fault-tolerant chains when repairs are ~7 orders faster than failures
+  // (catastrophic cancellation); the birth-death recurrence must not.
+  DiskReliabilityParams params;
+  params.mttf_hours = 1.2e6;
+  double previous = 0.0;
+  for (const double rebuild : {96.0, 24.0, 6.0, 1.16, 0.2}) {
+    DiskReliabilityParams p = params;
+    p.rebuild_hours = rebuild;
+    const double mttdl = mttdl_oi_raid(21, p, 0.0152);
+    EXPECT_GT(mttdl, 0.0) << "rebuild=" << rebuild;
+    EXPECT_GT(mttdl, previous) << "rebuild=" << rebuild;
+    previous = mttdl;
+    const double with_lse = mttdl_t_tolerant_lse(21, 3, p, 1e-3, 0.0152);
+    EXPECT_GT(with_lse, 0.0);
+    EXPECT_LT(with_lse, mttdl);
+  }
+}
+
+TEST(Models, RecurrenceMatchesGeneralSolverWhereStable) {
+  // In well-conditioned regimes the stable recurrence and the generic CTMC
+  // solve must agree to high precision (raid6 at moderate rates).
+  DiskReliabilityParams params;
+  params.mttf_hours = 50'000;
+  params.rebuild_hours = 100;
+  Ctmc chain(4);
+  const double lambda = params.failure_rate();
+  const double mu = params.repair_rate();
+  chain.add_rate(0, 1, 12 * lambda);
+  chain.add_rate(1, 2, 11 * lambda);
+  chain.add_rate(2, 3, 10 * lambda);
+  chain.add_rate(1, 0, mu);
+  chain.add_rate(2, 1, 2 * mu);
+  EXPECT_NEAR(mttdl_raid6(12, params) / chain.expected_absorption_time(0, {3}), 1.0,
+              1e-9);
+}
+
+TEST(Models, GroupCompositionDividesMttdl) {
+  DiskReliabilityParams params;
+  EXPECT_NEAR(mttdl_raid50(7, 3, params), mttdl_raid5(3, params) / 7.0, 1e-6);
+  EXPECT_NEAR(mttdl_replication(4, 3, params),
+              mttdl_t_tolerant(3, 2, params) / 4.0, 1e-6);
+}
+
+TEST(Models, MoreDisksLowerMttdl) {
+  DiskReliabilityParams params;
+  EXPECT_GT(mttdl_raid5(5, params), mttdl_raid5(20, params));
+  EXPECT_GT(mttdl_oi_raid(21, params), mttdl_oi_raid(52, params));
+}
+
+TEST(Models, LossProbabilityMonotoneInMission) {
+  DiskReliabilityParams params;
+  params.mttf_hours = 50000;
+  const double p1 = loss_probability_t_tolerant(8, 1, params, 1000.0);
+  const double p2 = loss_probability_t_tolerant(8, 1, params, 10000.0);
+  EXPECT_GT(p2, p1);
+  EXPECT_GT(p1, 0.0);
+  EXPECT_LT(p2, 1.0);
+}
+
+TEST(MonteCarloTest, MatchesMarkovForRaid5) {
+  // Stress the parameters so losses are common enough to estimate tightly.
+  layout::Raid5Layout layout(5, 2);
+  MonteCarloConfig config;
+  config.mttf_hours = 3000;
+  config.rebuild_hours = 150;
+  config.mission_hours = 6000;
+  config.trials = 4000;
+  config.seed = 11;
+  const auto mc = monte_carlo_reliability(layout, config);
+
+  DiskReliabilityParams params;
+  params.mttf_hours = config.mttf_hours;
+  params.rebuild_hours = config.rebuild_hours;
+  const double markov = loss_probability_t_tolerant(5, 1, params, config.mission_hours);
+  EXPECT_NEAR(mc.loss_probability, markov, 3.0 * mc.ci95 + 0.01);
+  EXPECT_EQ(mc.trials, 4000u);
+  EXPECT_EQ(mc.losses, mc.time_to_loss.count());
+}
+
+TEST(MonteCarloTest, StructuralAdvantageOfOiRaid) {
+  MonteCarloConfig config;
+  config.mttf_hours = 2000;  // brutal, to surface differences quickly
+  config.rebuild_hours = 100;
+  config.mission_hours = 8000;
+  config.trials = 800;
+  config.seed = 13;
+
+  layout::ParityDeclusteredLayout pd(bibd::fano(), 1);  // 7 disks, t=1
+  layout::OiRaidLayout oi(layout::OiRaidParams{bibd::fano(), 3, 2});
+
+  const auto pd_result = monte_carlo_reliability(pd, config);
+  const auto oi_result = monte_carlo_reliability(oi, config);
+  // 21 disks vs 7, yet OI-RAID still loses data far less often.
+  EXPECT_LT(oi_result.loss_probability, pd_result.loss_probability / 2.0);
+}
+
+TEST(MonteCarloTest, DeterministicAcrossRuns) {
+  layout::Raid5Layout layout(4, 2);
+  MonteCarloConfig config;
+  config.mttf_hours = 5000;
+  config.rebuild_hours = 200;
+  config.trials = 500;
+  config.seed = 17;
+  const auto a = monte_carlo_reliability(layout, config);
+  const auto b = monte_carlo_reliability(layout, config);
+  EXPECT_EQ(a.losses, b.losses);
+}
+
+TEST(MonteCarloTest, WeibullShapeShiftsLossRate) {
+  layout::Raid5Layout layout(5, 2);
+  MonteCarloConfig exp_config;
+  exp_config.mttf_hours = 4000;
+  exp_config.rebuild_hours = 200;
+  exp_config.mission_hours = 4000;
+  exp_config.trials = 2000;
+  exp_config.seed = 19;
+  MonteCarloConfig weib_config = exp_config;
+  weib_config.weibull_shape = 2.0;  // strongly wear-out: fewer early deaths
+  const auto exp_result = monte_carlo_reliability(layout, exp_config);
+  const auto weib_result = monte_carlo_reliability(layout, weib_config);
+  // With the same mean, shape 2 concentrates failures late, and the short
+  // mission (= MTTF) sees fewer overlapping-failure windows early on.
+  EXPECT_NE(exp_result.losses, weib_result.losses);
+}
+
+TEST(LseModel, ProbabilityBasics) {
+  EXPECT_DOUBLE_EQ(lse_probability(0.0), 0.0);
+  // 8 TB at 1e-15/bit-ish: small but meaningfully nonzero.
+  const double p = lse_probability(8e12);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 0.01);
+  // Monotone in volume.
+  EXPECT_GT(lse_probability(8e13), p);
+  // Saturates at 1 for absurd volumes.
+  EXPECT_NEAR(lse_probability(1e20, 1e-15), 1.0, 1e-9);
+  EXPECT_THROW(lse_probability(-1.0), std::invalid_argument);
+}
+
+TEST(LseModel, ZeroLseMatchesPlainModel) {
+  DiskReliabilityParams params;
+  EXPECT_NEAR(mttdl_t_tolerant_lse(21, 3, params, 0.0) / mttdl_t_tolerant(21, 3, params),
+              1.0, 1e-9);
+}
+
+TEST(LseModel, LsePenalizesAndReadVolumeMatters) {
+  DiskReliabilityParams params;
+  const double clean = mttdl_t_tolerant_lse(21, 1, params, 0.0);
+  // RAID5 rebuild reads ~20 disk capacities; OI-RAID ~2.7.
+  const double raid5ish = mttdl_t_tolerant_lse(21, 1, params, lse_probability(20 * 8e12));
+  const double oiish = mttdl_t_tolerant_lse(21, 1, params, lse_probability(2.7 * 8e12));
+  EXPECT_LT(raid5ish, clean);
+  EXPECT_LT(raid5ish, oiish);
+  EXPECT_LT(oiish, clean);
+}
+
+TEST(LseModel, HighLseDominatesMttdl) {
+  DiskReliabilityParams params;
+  // With p -> 1 every first rebuild fails: MTTDL ~ time to first failure.
+  const double mttdl = mttdl_t_tolerant_lse(10, 1, params, 1.0);
+  EXPECT_NEAR(mttdl, params.mttf_hours / 10.0, params.mttf_hours * 0.01);
+}
+
+TEST(MonteCarloLse, IncreasesLossRate) {
+  layout::Raid5Layout layout(5, 2);
+  MonteCarloConfig base;
+  base.mttf_hours = 20000;
+  base.rebuild_hours = 100;
+  base.mission_hours = 20000;
+  base.trials = 2000;
+  base.seed = 23;
+  MonteCarloConfig lse = base;
+  lse.lse_probability_per_repair = 0.2;
+  const auto clean = monte_carlo_reliability(layout, base);
+  const auto dirty = monte_carlo_reliability(layout, lse);
+  EXPECT_GT(dirty.losses, clean.losses + 10);
+}
+
+TEST(MonteCarloLse, OiRaidShrugsOffSingleLse) {
+  // At one concurrent failure + one bad sector, OI-RAID still has two spare
+  // tolerances; losses should stay near the no-LSE level.
+  layout::OiRaidLayout oi({bibd::fano(), 3, 2});
+  MonteCarloConfig config;
+  config.mttf_hours = 20000;
+  config.rebuild_hours = 100;
+  config.mission_hours = 20000;
+  config.trials = 1500;
+  config.seed = 29;
+  config.lse_probability_per_repair = 0.3;
+  const auto result = monte_carlo_reliability(oi, config);
+  EXPECT_LT(result.loss_probability, 0.02);
+}
+
+TEST(MonteCarloDomains, WholeRackLossKillsRaid50ButNotOiRaid) {
+  // One OI-RAID group per rack: rack failure = whole-group loss, which
+  // OI-RAID's outer layer recovers; RAID5+0 with a group per rack dies.
+  MonteCarloConfig config;
+  config.mttf_hours = 1e9;  // individual failures off: isolate the rack effect
+  config.rebuild_hours = 50;
+  config.mission_hours = 50000;
+  config.trials = 400;
+  config.seed = 31;
+  config.disks_per_domain = 3;
+  config.domain_mttf_hours = 100000;
+
+  layout::OiRaidLayout oi({bibd::fano(), 3, 2});
+  layout::Raid50Layout raid50(7, 3, 6);
+  const auto oi_result = monte_carlo_reliability(oi, config);
+  const auto raid50_result = monte_carlo_reliability(raid50, config);
+  // OI-RAID survives single-rack losses outright; only the rare overlap of
+  // two concurrent rack rebuilds can hurt it.
+  EXPECT_LT(oi_result.losses, 10u);
+  EXPECT_GT(raid50_result.losses, 100u);
+}
+
+TEST(MonteCarloDomains, ValidatesDomainConfig) {
+  layout::Raid5Layout layout(5, 2);
+  MonteCarloConfig config;
+  config.disks_per_domain = 2;  // does not divide 5
+  config.domain_mttf_hours = 1000;
+  EXPECT_THROW(monte_carlo_reliability(layout, config), std::invalid_argument);
+  MonteCarloConfig config2;
+  config2.disks_per_domain = 5;
+  config2.domain_mttf_hours = 0.0;
+  EXPECT_THROW(monte_carlo_reliability(layout, config2), std::invalid_argument);
+}
+
+TEST(MonteCarloTest, Validation) {
+  layout::Raid5Layout layout(4, 2);
+  MonteCarloConfig config;
+  config.trials = 0;
+  EXPECT_THROW(monte_carlo_reliability(layout, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oi::reliability

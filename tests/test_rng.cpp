@@ -1,0 +1,200 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace oi {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedWorks) {
+  Rng rng(0);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 100; ++i) values.insert(rng());
+  EXPECT_GT(values.size(), 95u);  // no degenerate all-zero state
+}
+
+TEST(Rng, UniformU64RespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.uniform_u64(bound), bound);
+  }
+}
+
+TEST(Rng, UniformU64RejectsZeroBound) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform_u64(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformU64CoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_u64(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = rng.uniform_int(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    saw_lo |= x == -2;
+    saw_hi |= x == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InHalfOpenRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  const double rate = 0.5;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.05);
+}
+
+TEST(Rng, WeibullShapeOneIsExponential) {
+  Rng rng(17);
+  const double scale = 3.0;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.weibull(1.0, scale);
+  EXPECT_NEAR(sum / n, scale, 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndSorted) {
+  Rng rng(29);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto sample = rng.sample_without_replacement(50, 10);
+    ASSERT_EQ(sample.size(), 10u);
+    EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+    EXPECT_EQ(std::set<std::size_t>(sample.begin(), sample.end()).size(), 10u);
+    for (auto x : sample) EXPECT_LT(x, 50u);
+  }
+}
+
+TEST(Rng, SampleWholePopulation) {
+  Rng rng(31);
+  const auto sample = rng.sample_without_replacement(5, 5);
+  EXPECT_EQ(sample, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Rng, SampleRejectsOversizedRequest) {
+  Rng rng(31);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng a(41);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Zipf, Theta0IsUniform) {
+  Rng rng(43);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf(rng)];
+  for (int c : counts) EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02);
+}
+
+TEST(Zipf, SkewFavorsLowRanks) {
+  Rng rng(47);
+  ZipfSampler zipf(1000, 0.99);
+  std::vector<int> counts(1000, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[0], counts[99] * 5);
+  // Top 10% of items should absorb well over half the accesses at 0.99.
+  int head = 0;
+  for (int i = 0; i < 100; ++i) head += counts[i];
+  EXPECT_GT(head, n / 2);
+}
+
+TEST(Zipf, StaysInSupport) {
+  Rng rng(53);
+  ZipfSampler zipf(17, 1.2);
+  for (int i = 0; i < 20000; ++i) EXPECT_LT(zipf(rng), 17u);
+}
+
+TEST(Zipf, SingletonSupport) {
+  Rng rng(59);
+  ZipfSampler zipf(1, 0.8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf(rng), 0u);
+}
+
+TEST(Zipf, RejectsThetaOne) {
+  EXPECT_THROW(ZipfSampler(10, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oi

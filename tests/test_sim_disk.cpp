@@ -1,0 +1,193 @@
+#include "sim/disk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace oi::sim {
+namespace {
+
+DiskParams test_params() {
+  DiskParams params;
+  params.seek_seconds = 0.004;
+  params.rotational_seconds = 0.002;
+  params.bandwidth = 100.0 * static_cast<double>(kMiB);
+  params.strip_bytes = static_cast<std::size_t>(kMiB);
+  return params;
+}
+
+TEST(DiskModel, ServiceTimeComponents) {
+  const DiskParams params = test_params();
+  EXPECT_DOUBLE_EQ(params.transfer_seconds(), 0.01);
+  EXPECT_DOUBLE_EQ(params.positioning_seconds(), 0.006);
+}
+
+TEST(DiskModel, RandomRequestPaysPositioning) {
+  Engine engine;
+  Disk disk(engine, test_params(), 0);
+  double completed_at = 0.0;
+  disk.submit({.offset = 50, .is_write = false, .priority = Priority::kForeground, .bytes = 0,
+               .on_complete = [&] { completed_at = engine.now(); }});
+  engine.run();
+  EXPECT_DOUBLE_EQ(completed_at, 0.016);  // seek+rot+transfer
+  EXPECT_EQ(disk.completed_reads(), 1u);
+}
+
+TEST(DiskModel, SequentialRunSkipsPositioning) {
+  Engine engine;
+  Disk disk(engine, test_params(), 0);
+  double last = 0.0;
+  for (std::size_t o = 10; o < 14; ++o) {
+    disk.submit({.offset = o, .is_write = false, .priority = Priority::kRebuild, .bytes = 0,
+                 .on_complete = [&] { last = engine.now(); }});
+  }
+  engine.run();
+  // First pays 0.016, the next three sequential pay 0.010 each.
+  EXPECT_NEAR(last, 0.016 + 3 * 0.010, 1e-12);
+}
+
+TEST(DiskModel, NonAdjacentOffsetsPayPositioning) {
+  Engine engine;
+  Disk disk(engine, test_params(), 0);
+  double last = 0.0;
+  disk.submit({.offset = 10, .is_write = false, .priority = Priority::kRebuild, .bytes = 0,
+               .on_complete = [&] { last = engine.now(); }});
+  disk.submit({.offset = 12, .is_write = false, .priority = Priority::kRebuild, .bytes = 0,
+               .on_complete = [&] { last = engine.now(); }});
+  engine.run();
+  EXPECT_NEAR(last, 2 * 0.016, 1e-12);
+}
+
+TEST(DiskModel, ForegroundPreemptsQueuedRebuild) {
+  Engine engine;
+  Disk disk(engine, test_params(), 0);
+  std::vector<char> order;
+  // Three rebuild requests queue up; a foreground request arrives while the
+  // first is in service and must be served before rebuild #2.
+  for (int i = 0; i < 3; ++i) {
+    disk.submit({.offset = static_cast<std::size_t>(100 + 2 * i), .is_write = false,
+                 .priority = Priority::kRebuild, .bytes = 0,
+                 .on_complete = [&] { order.push_back('r'); }});
+  }
+  engine.schedule_at(0.001, [&] {
+    disk.submit({.offset = 7, .is_write = false, .priority = Priority::kForeground, .bytes = 0,
+                 .on_complete = [&] { order.push_back('f'); }});
+  });
+  engine.run();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 'r');
+  EXPECT_EQ(order[1], 'f');
+}
+
+TEST(DiskModel, BusyAccountingAndUtilization) {
+  Engine engine;
+  Disk disk(engine, test_params(), 3);
+  for (int i = 0; i < 5; ++i) {
+    disk.submit({.offset = static_cast<std::size_t>(10 * i), .is_write = true, .priority = Priority::kRebuild, .bytes = 0, .on_complete = [] {}});
+  }
+  const double end = engine.run();
+  EXPECT_NEAR(disk.busy_seconds(), 5 * 0.016, 1e-12);
+  EXPECT_NEAR(disk.utilization(end), 1.0, 1e-9);  // saturated the whole run
+  EXPECT_EQ(disk.completed_writes(), 5u);
+  EXPECT_EQ(disk.id(), 3u);
+}
+
+TEST(DiskModel, CompletionCanSubmitFollowUp) {
+  Engine engine;
+  Disk disk(engine, test_params(), 0);
+  bool second_done = false;
+  disk.submit({.offset = 1, .is_write = false, .priority = Priority::kForeground, .bytes = 0,
+               .on_complete = [&] {
+                 disk.submit({.offset = 2, .is_write = true,
+                              .priority = Priority::kForeground, .bytes = 0,
+                              .on_complete = [&] { second_done = true; }});
+               }});
+  engine.run();
+  EXPECT_TRUE(second_done);
+  EXPECT_EQ(disk.completed_reads(), 1u);
+  EXPECT_EQ(disk.completed_writes(), 1u);
+}
+
+TEST(DiskModel, RejectsMissingCallbackAndBadParams) {
+  Engine engine;
+  Disk disk(engine, test_params(), 0);
+  EXPECT_THROW(disk.submit({.offset = 0, .is_write = false, .priority = Priority::kRebuild, .bytes = 0,
+                            .on_complete = nullptr}),
+               std::invalid_argument);
+  DiskParams bad = test_params();
+  bad.bandwidth = 0.0;
+  EXPECT_THROW(Disk(engine, bad, 1), std::invalid_argument);
+}
+
+TEST(DiskModel, PerRequestBytesOverrideTransferTime) {
+  Engine engine;
+  Disk disk(engine, test_params(), 0);
+  double completed_at = 0.0;
+  // 64 KiB at 100 MiB/s = 0.625 ms transfer + 6 ms positioning.
+  disk.submit({.offset = 9, .is_write = false, .priority = Priority::kForeground,
+               .bytes = 64 * static_cast<std::size_t>(kKiB),
+               .on_complete = [&] { completed_at = engine.now(); }});
+  engine.run();
+  EXPECT_NEAR(completed_at, 0.006 + 0.000625, 1e-12);
+}
+
+TEST(DiskModel, ZeroBytesMeansFullStrip) {
+  Engine engine;
+  Disk disk(engine, test_params(), 0);
+  double completed_at = 0.0;
+  disk.submit({.offset = 9, .is_write = false, .priority = Priority::kForeground,
+               .bytes = 0, .on_complete = [&] { completed_at = engine.now(); }});
+  engine.run();
+  EXPECT_NEAR(completed_at, 0.016, 1e-12);
+}
+
+TEST(DiskModel, ElevatorServesRebuildQueueInOffsetOrder) {
+  Engine engine;
+  Disk disk(engine, test_params(), 0);
+  std::vector<std::size_t> served;
+  auto submit = [&](std::size_t offset) {
+    disk.submit({.offset = offset, .is_write = false, .priority = Priority::kRebuild,
+                 .bytes = 0, .on_complete = [&, offset] { served.push_back(offset); }});
+  };
+  // First request starts service immediately; the rest queue and must come
+  // out in ascending offset order regardless of submission order.
+  submit(50);
+  submit(90);
+  submit(60);
+  submit(70);
+  submit(80);
+  engine.run();
+  EXPECT_EQ(served, (std::vector<std::size_t>{50, 60, 70, 80, 90}));
+}
+
+TEST(DiskModel, ElevatorWrapsToSmallestOffset) {
+  Engine engine;
+  Disk disk(engine, test_params(), 0);
+  std::vector<std::size_t> served;
+  auto submit = [&](std::size_t offset) {
+    disk.submit({.offset = offset, .is_write = false, .priority = Priority::kRebuild,
+                 .bytes = 0, .on_complete = [&, offset] { served.push_back(offset); }});
+  };
+  submit(100);  // head ends at 100
+  submit(10);   // behind the head
+  submit(120);  // ahead
+  engine.run();
+  EXPECT_EQ(served, (std::vector<std::size_t>{100, 120, 10}));
+}
+
+TEST(DiskModel, ElevatorMakesConsecutiveRebuildSequential) {
+  Engine engine;
+  Disk disk(engine, test_params(), 0);
+  double end = 0.0;
+  for (std::size_t o : {23, 21, 24, 20, 22}) {
+    disk.submit({.offset = o, .is_write = false, .priority = Priority::kRebuild,
+                 .bytes = 0, .on_complete = [&] { end = engine.now(); }});
+  }
+  engine.run();
+  // 23 (position+transfer), 24 sequential, wrap to 20 (position), then 21
+  // and 22 sequential: two positionings instead of five.
+  EXPECT_NEAR(end, 2 * 0.016 + 3 * 0.010, 1e-12);
+}
+
+}  // namespace
+}  // namespace oi::sim

@@ -1,0 +1,105 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace oi::sim {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(3.0, [&] { order.push_back(3); });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(2.0, [&] { order.push_back(2); });
+  const double end = engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(end, 3.0);
+  EXPECT_EQ(engine.processed_events(), 3u);
+}
+
+TEST(Engine, SameTimeEventsAreFifo) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) engine.schedule_after(1.0, chain);
+  };
+  engine.schedule_after(1.0, chain);
+  const double end = engine.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(end, 5.0);
+}
+
+TEST(Engine, RunUntilLeavesLaterEventsQueued) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&] { ++fired; });
+  engine.schedule_at(10.0, [&] { ++fired; });
+  engine.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(engine.now(), 5.0);
+  EXPECT_FALSE(engine.idle());
+  engine.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, RejectsPastEventsAndNegativeDelays) {
+  Engine engine;
+  engine.schedule_at(2.0, [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_after(-0.5, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.run_until(1.0), std::invalid_argument);
+}
+
+TEST(Engine, RunBoundedStopsAtBudget) {
+  Engine engine;
+  int fired = 0;
+  // Self-perpetuating event chain: unbounded run would never return.
+  std::function<void()> chain = [&] {
+    ++fired;
+    engine.schedule_after(1.0, chain);
+  };
+  engine.schedule_after(1.0, chain);
+  engine.run_bounded(10);
+  EXPECT_EQ(fired, 10);
+  EXPECT_FALSE(engine.idle());
+  engine.run_bounded(5);
+  EXPECT_EQ(fired, 15);
+}
+
+TEST(Engine, RunBoundedDrainsWhenShort) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&] { ++fired; });
+  engine.run_bounded(1000);
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(engine.idle());
+}
+
+TEST(Engine, NowAdvancesMonotonically) {
+  Engine engine;
+  double last = -1.0;
+  for (double t : {0.5, 0.5, 1.5, 2.0}) {
+    engine.schedule_at(t, [&, t] {
+      EXPECT_GE(engine.now(), last);
+      EXPECT_DOUBLE_EQ(engine.now(), t);
+      last = engine.now();
+    });
+  }
+  engine.run();
+}
+
+}  // namespace
+}  // namespace oi::sim

@@ -1,0 +1,266 @@
+#include "sim/rebuild.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bibd/constructions.hpp"
+#include "layout/oi_raid.hpp"
+#include "layout/raid5.hpp"
+#include "layout/raid50.hpp"
+#include "util/stats.hpp"
+
+namespace oi::sim {
+namespace {
+
+SimConfig fast_config() {
+  SimConfig config;
+  config.disk.strip_bytes = 256 * kKiB;
+  config.max_inflight_steps = 32;
+  return config;
+}
+
+TEST(RebuildSim, Raid5RebuildCompletesAndAccounts) {
+  layout::Raid5Layout layout(5, 50);
+  const auto result = simulate(layout, {2}, fast_config());
+  EXPECT_GT(result.rebuild_seconds, 0.0);
+  EXPECT_EQ(result.rebuild_strips, 50u);
+  // Every step reads the 4 surviving strips of its stripe.
+  EXPECT_EQ(result.rebuild_disk_reads, 200u);
+  EXPECT_EQ(result.rebuild_disk_writes, 50u);
+  // The failed disk never serves I/O.
+  EXPECT_DOUBLE_EQ(result.disk_busy_seconds[2], 0.0);
+}
+
+TEST(RebuildSim, DedicatedSpareAddsReplacementDisk) {
+  layout::Raid5Layout layout(4, 30);
+  SimConfig config = fast_config();
+  config.spare = layout::SparePolicy::kDedicatedSpare;
+  const auto result = simulate(layout, {1}, config);
+  // disks + 1 replacement
+  EXPECT_EQ(result.disk_busy_seconds.size(), 5u);
+  EXPECT_GT(result.disk_busy_seconds[4], 0.0);
+}
+
+TEST(RebuildSim, OiRaidRebuildsFasterThanRaid50SameDisks) {
+  // 21 disks each: OI-RAID (Fano, m=3) vs RAID5+0 (7 groups of 3). Rebuild
+  // moves data in large units (4 MiB here) so the comparison is
+  // bandwidth-bound, as in the paper's setting.
+  const std::size_t strips = 90;  // r*H = 3*30
+  layout::OiRaidLayout oi(layout::OiRaidParams{bibd::fano(), 3, 30});
+  layout::Raid50Layout r50(7, 3, strips);
+  ASSERT_EQ(oi.strips_per_disk(), strips);
+
+  SimConfig config = fast_config();
+  config.disk.strip_bytes = 4 * static_cast<std::size_t>(kMiB);
+  const auto oi_result = simulate(oi, {0}, config);
+  const auto r50_result = simulate(r50, {0}, config);
+  EXPECT_GT(oi_result.rebuild_seconds, 0.0);
+  // The headline claim at miniature scale: several-fold speedup.
+  EXPECT_LT(oi_result.rebuild_seconds, r50_result.rebuild_seconds / 2.0);
+}
+
+TEST(RebuildSim, UnrecoverablePatternThrows) {
+  layout::Raid5Layout layout(5, 10);
+  EXPECT_THROW(simulate(layout, {0, 1}, fast_config()), std::invalid_argument);
+}
+
+TEST(RebuildSim, NeedsWorkToDo) {
+  layout::Raid5Layout layout(5, 10);
+  EXPECT_THROW(simulate(layout, {}, fast_config()), std::invalid_argument);
+}
+
+TEST(RebuildSim, WindowSizeDoesNotChangeTotalIo) {
+  layout::Raid5Layout layout(6, 40);
+  SimConfig narrow = fast_config();
+  narrow.max_inflight_steps = 1;
+  SimConfig wide = fast_config();
+  wide.max_inflight_steps = 128;
+  const auto slow = simulate(layout, {0}, narrow);
+  const auto fast = simulate(layout, {0}, wide);
+  EXPECT_EQ(slow.rebuild_disk_reads, fast.rebuild_disk_reads);
+  EXPECT_EQ(slow.rebuild_disk_writes, fast.rebuild_disk_writes);
+  EXPECT_LE(fast.rebuild_seconds, slow.rebuild_seconds);
+}
+
+TEST(RebuildSim, DeterministicForSameSeed) {
+  layout::OiRaidLayout oi(layout::OiRaidParams{bibd::fano(), 3, 6});
+  SimConfig config = fast_config();
+  config.foreground = ForegroundConfig{{}, 100.0};
+  config.seed = 99;
+  const auto a = simulate(oi, {3}, config);
+  const auto b = simulate(oi, {3}, config);
+  EXPECT_DOUBLE_EQ(a.rebuild_seconds, b.rebuild_seconds);
+  EXPECT_EQ(a.foreground_completed, b.foreground_completed);
+}
+
+TEST(RebuildSim, HealthyBaselineServesForeground) {
+  layout::Raid5Layout layout(8, 100);
+  SimConfig config = fast_config();
+  config.foreground = ForegroundConfig{{}, 300.0};
+  config.healthy_horizon_seconds = 5.0;
+  const auto result = simulate(layout, {}, config);
+  EXPECT_DOUBLE_EQ(result.rebuild_seconds, 0.0);
+  EXPECT_GT(result.foreground_completed, 1000u);
+  EXPECT_EQ(result.foreground_latencies.size(), result.foreground_completed);
+  for (double latency : result.foreground_latencies) EXPECT_GT(latency, 0.0);
+}
+
+TEST(RebuildSim, ForegroundLatencyRisesDuringRebuild) {
+  layout::Raid5Layout layout(8, 1500);
+  SimConfig config = fast_config();
+  config.foreground = ForegroundConfig{{}, 200.0};
+  config.healthy_horizon_seconds = 8.0;
+  const auto healthy = simulate(layout, {}, config);
+  const auto degraded = simulate(layout, {0}, config);
+  RunningStats h, d;
+  for (double x : healthy.foreground_latencies) h.add(x);
+  for (double x : degraded.foreground_latencies) d.add(x);
+  ASSERT_GT(h.count(), 100u);
+  ASSERT_GT(d.count(), 100u);
+  EXPECT_GT(d.mean(), h.mean());
+}
+
+TEST(RebuildSim, BackgroundPrioritySpeedsForegroundOverEqualPriority) {
+  layout::Raid5Layout layout(6, 300);
+  SimConfig bg = fast_config();
+  bg.foreground = ForegroundConfig{{}, 150.0};
+  bg.rebuild_background_priority = true;
+  SimConfig eq = bg;
+  eq.rebuild_background_priority = false;
+  const auto r_bg = simulate(layout, {0}, bg);
+  const auto r_eq = simulate(layout, {0}, eq);
+  RunningStats l_bg, l_eq;
+  for (double x : r_bg.foreground_latencies) l_bg.add(x);
+  for (double x : r_eq.foreground_latencies) l_eq.add(x);
+  EXPECT_LT(l_bg.mean(), l_eq.mean());
+}
+
+TEST(RebuildSim, MultiFailureStagedRepairRuns) {
+  layout::OiRaidLayout oi(layout::OiRaidParams{bibd::fano(), 3, 6});
+  // Two failures in one group force staged repair (content via outer, then
+  // inner parity from partially rebuilt strips).
+  const auto result = simulate(oi, {0, 1}, fast_config());
+  EXPECT_GT(result.rebuild_seconds, 0.0);
+  EXPECT_EQ(result.rebuild_strips, 2 * oi.strips_per_disk());
+}
+
+TEST(RebuildSim, SaturatedForegroundThrowsInsteadOfHanging) {
+  layout::Raid5Layout layout(4, 4000);
+  SimConfig config = fast_config();
+  // Full-strip user requests at an absurd rate: the array cannot keep up,
+  // the background rebuild starves, and arrivals would continue forever.
+  config.disk.strip_bytes = 4 * static_cast<std::size_t>(kMiB);
+  config.foreground = ForegroundConfig{{}, 100000.0, 4 * static_cast<std::size_t>(kMiB)};
+  config.max_events = 200'000;
+  EXPECT_THROW(simulate(layout, {0}, config), std::runtime_error);
+}
+
+TEST(RebuildSim, SmallUserRequestsCostLessThanFullStrips) {
+  layout::Raid5Layout layout(8, 400);
+  SimConfig small = fast_config();
+  small.disk.strip_bytes = 4 * static_cast<std::size_t>(kMiB);
+  small.foreground = ForegroundConfig{{}, 50.0, 64 * static_cast<std::size_t>(kKiB)};
+  small.healthy_horizon_seconds = 5.0;
+  SimConfig large = small;
+  large.foreground->request_bytes = 4 * static_cast<std::size_t>(kMiB);
+  const auto r_small = simulate(layout, {}, small);
+  const auto r_large = simulate(layout, {}, large);
+  RunningStats s, l;
+  for (double x : r_small.foreground_latencies) s.add(x);
+  for (double x : r_large.foreground_latencies) l.add(x);
+  EXPECT_LT(s.mean(), l.mean());
+}
+
+TEST(RebuildSim, CopyBackRunsAfterRebuild) {
+  layout::OiRaidLayout oi(layout::OiRaidParams{bibd::fano(), 3, 6});
+  SimConfig config = fast_config();
+  config.copy_back = true;
+  const auto with = simulate(oi, {2}, config);
+  EXPECT_GT(with.copy_back_seconds, 0.0);
+  // One extra replacement disk was modeled and absorbed the copied strips.
+  EXPECT_EQ(with.disk_busy_seconds.size(), oi.disks() + 1);
+  EXPECT_GT(with.disk_busy_seconds.back(), 0.0);
+
+  SimConfig without = fast_config();
+  const auto plain = simulate(oi, {2}, without);
+  EXPECT_DOUBLE_EQ(plain.copy_back_seconds, 0.0);
+  // Copy-back happens after redundancy is restored; the rebuild window
+  // itself is unchanged.
+  EXPECT_DOUBLE_EQ(with.rebuild_seconds, plain.rebuild_seconds);
+}
+
+TEST(RebuildSim, CopyBackIgnoredForDedicatedSpare) {
+  layout::Raid5Layout layout(5, 20);
+  SimConfig config = fast_config();
+  config.copy_back = true;
+  config.spare = layout::SparePolicy::kDedicatedSpare;
+  const auto result = simulate(layout, {0}, config);
+  EXPECT_DOUBLE_EQ(result.copy_back_seconds, 0.0);
+}
+
+TEST(RebuildSim, TraceReplayGivesIdenticalStreamsAcrossSchemes) {
+  // The same trace through two different layouts must produce the same
+  // number of completed ops (arrival process and addresses are identical).
+  workload::UniformWorkload generator(500, 0.7);
+  Rng rng(5);
+  auto trace = std::make_shared<workload::Trace>(
+      workload::record(generator, rng, 500, 2'000));
+
+  SimConfig config = fast_config();
+  config.foreground = ForegroundConfig{{}, 150.0};
+  config.foreground->trace = trace;
+  config.healthy_horizon_seconds = 5.0;
+
+  layout::Raid5Layout a(8, 200);
+  layout::Raid5Layout b(12, 200);
+  const auto ra = simulate(a, {}, config);
+  const auto rb = simulate(b, {}, config);
+  EXPECT_EQ(ra.foreground_completed, rb.foreground_completed);
+  EXPECT_GT(ra.foreground_completed, 500u);
+}
+
+TEST(RebuildSim, TraceBeyondCapacityRejected) {
+  workload::UniformWorkload generator(10'000, 1.0);
+  Rng rng(6);
+  auto trace = std::make_shared<workload::Trace>(
+      workload::record(generator, rng, 10'000, 100));
+  SimConfig config = fast_config();
+  config.foreground = ForegroundConfig{{}, 100.0};
+  config.foreground->trace = trace;
+  layout::Raid5Layout tiny(4, 10);  // capacity 30 < 10000
+  EXPECT_THROW(simulate(tiny, {}, config), std::invalid_argument);
+}
+
+TEST(RebuildSim, FailSlowSurvivorStretchesRebuild) {
+  layout::OiRaidLayout oi(layout::OiRaidParams{bibd::fano(), 3, 12});
+  SimConfig healthy = fast_config();
+  SimConfig ailing = fast_config();
+  ailing.slow_disks = {{5, 10.0}};  // one survivor 10x slower
+  const auto base = simulate(oi, {0}, healthy);
+  const auto slow = simulate(oi, {0}, ailing);
+  EXPECT_GT(slow.rebuild_seconds, 2.0 * base.rebuild_seconds);
+  // Balanced declustering bounds the damage: the slow disk serves only a
+  // ~1/(n-m) share of the reads, so 10x slower != 10x longer.
+  EXPECT_LT(slow.rebuild_seconds, 10.0 * base.rebuild_seconds);
+}
+
+TEST(RebuildSim, FailSlowValidation) {
+  layout::Raid5Layout layout(5, 10);
+  SimConfig config = fast_config();
+  config.slow_disks = {{99, 4.0}};  // not an array disk
+  EXPECT_THROW(simulate(layout, {0}, config), std::invalid_argument);
+  SimConfig bad = fast_config();
+  bad.slow_disks = {{1, 0.0}};
+  EXPECT_THROW(simulate(layout, {0}, bad), std::invalid_argument);
+}
+
+TEST(SimResultTest, MaxUtilizationBounded) {
+  layout::Raid5Layout layout(5, 60);
+  const auto result = simulate(layout, {1}, fast_config());
+  EXPECT_GT(result.max_disk_utilization(), 0.0);
+  EXPECT_LE(result.max_disk_utilization(), 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace oi::sim

@@ -1,0 +1,144 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace oi {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs{3.0, 1.5, -2.0, 8.25, 0.0, 4.5};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.25);
+  EXPECT_EQ(s.count(), xs.size());
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(1);
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_NEAR(b.mean(), 1.5, 1e-12);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  Rng rng(2);
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 100; ++i) small.add(rng.uniform01());
+  for (int i = 0; i < 10000; ++i) large.add(rng.uniform01());
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(Percentile, NearestRank) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.95), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 10.0);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Percentile, RejectsBadQ) {
+  EXPECT_THROW(percentile({1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(LoadMetrics, MaxOverMean) {
+  EXPECT_DOUBLE_EQ(max_over_mean({2, 2, 2, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(max_over_mean({1, 3}), 1.5);
+  EXPECT_DOUBLE_EQ(max_over_mean({}), 0.0);
+}
+
+TEST(LoadMetrics, CoefficientOfVariation) {
+  EXPECT_DOUBLE_EQ(coefficient_of_variation({5, 5, 5}), 0.0);
+  EXPECT_GT(coefficient_of_variation({1, 9}), 0.5);
+}
+
+TEST(HistogramTest, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-3.0);   // clamps to first bucket
+  h.add(100.0);  // clamps to last bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.buckets().front(), 2u);
+  EXPECT_EQ(h.buckets().back(), 2u);
+}
+
+TEST(HistogramTest, QuantileInterpolates) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 1000; ++i) h.add(static_cast<double>(i % 100) + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 2.0);
+}
+
+TEST(HistogramTest, RenderMentionsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string text = h.render(10);
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(HistogramTest, RejectsEmptyRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oi

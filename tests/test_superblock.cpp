@@ -1,0 +1,85 @@
+#include "layout/superblock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bibd/constructions.hpp"
+
+namespace oi::layout {
+namespace {
+
+OiRaidLayout sample_layout(bool skew = true) {
+  return OiRaidLayout({bibd::projective_plane(3), 4, 12, skew});
+}
+
+TEST(Superblock, RoundTripPreservesTheExactMapping) {
+  const OiRaidLayout original = sample_layout();
+  std::stringstream buffer(superblock_string(original));
+  const OiRaidLayout restored = load_superblock(buffer);
+
+  EXPECT_EQ(restored.disks(), original.disks());
+  EXPECT_EQ(restored.strips_per_disk(), original.strips_per_disk());
+  EXPECT_EQ(restored.data_strips(), original.data_strips());
+  EXPECT_EQ(restored.design().blocks, original.design().blocks);
+  // Bit-exact address map: every logical strip lands in the same place.
+  for (std::size_t l = 0; l < original.data_strips(); ++l) {
+    EXPECT_EQ(restored.locate(l), original.locate(l)) << "logical " << l;
+  }
+}
+
+TEST(Superblock, PreservesSkewFlag) {
+  const OiRaidLayout noskew = sample_layout(false);
+  std::stringstream buffer(superblock_string(noskew));
+  const OiRaidLayout restored = load_superblock(buffer);
+  for (std::size_t l = 0; l < noskew.data_strips(); l += 17) {
+    EXPECT_EQ(restored.locate(l), noskew.locate(l));
+  }
+  EXPECT_NE(restored.name().find("noskew"), std::string::npos);
+}
+
+TEST(Superblock, SearchedDesignRoundTrips) {
+  // Difference-family designs have no re-derivable construction; the block
+  // table in the superblock is what makes them restorable.
+  const auto design = bibd::cyclic_difference_family(13, 3);
+  ASSERT_TRUE(design.has_value());
+  const OiRaidLayout original({*design, 3, 6});
+  std::stringstream buffer(superblock_string(original));
+  const OiRaidLayout restored = load_superblock(buffer);
+  EXPECT_EQ(restored.design().blocks, original.design().blocks);
+}
+
+TEST(Superblock, RejectsTampering) {
+  const std::string good = superblock_string(sample_layout());
+
+  {
+    std::stringstream s("not-a-superblock\n" + good);
+    EXPECT_THROW(load_superblock(s), std::invalid_argument);
+  }
+  {
+    // Drop one block line: block count no longer matches v*r/k.
+    std::string cut = good;
+    const auto pos = cut.find("block ");
+    const auto eol = cut.find('\n', pos);
+    cut.erase(pos, eol - pos + 1);
+    std::stringstream s(cut);
+    EXPECT_THROW(load_superblock(s), std::invalid_argument);
+  }
+  {
+    // Corrupt a point id so some pair is covered twice.
+    std::string mangled = good;
+    const auto pos = mangled.find("block ");
+    mangled[pos + 6] = '9';
+    std::stringstream s(mangled);
+    EXPECT_THROW(load_superblock(s), std::invalid_argument);
+  }
+  {
+    // Truncated before "end".
+    std::string truncated = good.substr(0, good.size() / 2);
+    std::stringstream s(truncated);
+    EXPECT_THROW(load_superblock(s), std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace oi::layout

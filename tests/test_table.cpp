@@ -1,0 +1,64 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace oi {
+namespace {
+
+TEST(TableTest, AlignedRendering) {
+  Table t({"scheme", "speedup"});
+  t.row().cell("raid5").cell(1.0);
+  t.row().cell("oi-raid").cell(6.75);
+  const std::string text = t.to_string();
+  EXPECT_NE(text.find("| scheme "), std::string::npos);
+  EXPECT_NE(text.find("6.750"), std::string::npos);
+  EXPECT_NE(text.find("+--"), std::string::npos);
+}
+
+TEST(TableTest, CellTypes) {
+  Table t({"a", "b", "c", "d", "e"});
+  t.row().cell(std::size_t{7}).cell(-3).cell(true).cell(2.5, 1).cell("x");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("7,-3,yes,2.5,x"), std::string::npos);
+}
+
+TEST(TableTest, CsvQuoting) {
+  Table t({"name"});
+  t.row().cell("a,b");
+  t.row().cell("say \"hi\"");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, RejectsOverfilledRow) {
+  Table t({"only"});
+  t.row().cell("x");
+  EXPECT_THROW(t.cell("y"), std::invalid_argument);
+}
+
+TEST(TableTest, RejectsRowBeforeCell) {
+  Table t({"a"});
+  EXPECT_THROW(t.cell("x"), std::invalid_argument);
+}
+
+TEST(TableTest, RejectsIncompletePreviousRow) {
+  Table t({"a", "b"});
+  t.row().cell("x");
+  EXPECT_THROW(t.row(), std::invalid_argument);
+}
+
+TEST(TableTest, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(SeriesPoint, Format) {
+  std::ostringstream os;
+  print_series_point(os, "oi", 21, 6.75);
+  EXPECT_EQ(os.str(), "series=oi x=21 y=6.75\n");
+}
+
+}  // namespace
+}  // namespace oi

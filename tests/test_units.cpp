@@ -1,0 +1,36 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oi {
+namespace {
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_bytes(3.5 * static_cast<double>(kMiB)), "3.50 MiB");
+  EXPECT_EQ(format_bytes(static_cast<double>(kGiB)), "1.00 GiB");
+  EXPECT_EQ(format_bytes(2.0 * static_cast<double>(kTiB)), "2.00 TiB");
+}
+
+TEST(Units, FormatSeconds) {
+  EXPECT_EQ(format_seconds(0.000002), "2.00 us");
+  EXPECT_EQ(format_seconds(0.005), "5.00 ms");
+  EXPECT_EQ(format_seconds(2.5), "2.50 s");
+  EXPECT_EQ(format_seconds(90.0), "1.50 min");
+  EXPECT_EQ(format_seconds(7200.0), "2.00 h");
+  EXPECT_EQ(format_seconds(2.0 * kDay), "2.00 d");
+  EXPECT_EQ(format_seconds(3.0 * kYear), "3.00 y");
+}
+
+TEST(Units, FormatBandwidth) {
+  EXPECT_EQ(format_bandwidth(100.0 * static_cast<double>(kMiB)), "100.00 MiB/s");
+}
+
+TEST(Units, Constants) {
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_DOUBLE_EQ(kYear, 365.25 * 24 * 3600);
+}
+
+}  // namespace
+}  // namespace oi

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/generator.hpp"
+#include "workload/trace.hpp"
+
+namespace oi::workload {
+namespace {
+
+TEST(UniformWorkloadTest, StaysInRangeAndMixesOps) {
+  Rng rng(1);
+  UniformWorkload gen(100, 0.7);
+  std::size_t writes = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const Access a = gen.next(rng);
+    EXPECT_LT(a.logical, 100u);
+    writes += a.is_write ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / 10000.0, 0.3, 0.03);
+}
+
+TEST(UniformWorkloadTest, PureReadAndPureWrite) {
+  Rng rng(2);
+  UniformWorkload reads(10, 1.0);
+  UniformWorkload writes(10, 0.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(reads.next(rng).is_write);
+    EXPECT_TRUE(writes.next(rng).is_write);
+  }
+}
+
+TEST(ZipfWorkloadTest, HotSpotExists) {
+  Rng rng(3);
+  ZipfWorkload gen(1000, 0.99, 1.0);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[gen.next(rng).logical];
+  int head = 0;
+  for (int i = 0; i < 10; ++i) head += counts[i];
+  EXPECT_GT(head, 50000 / 10);  // top 1% gets way more than 1%
+}
+
+TEST(SequentialWorkloadTest, WrapsAround) {
+  Rng rng(4);
+  SequentialWorkload gen(5, 1.0);
+  std::vector<std::size_t> seen;
+  for (int i = 0; i < 12; ++i) seen.push_back(gen.next(rng).logical);
+  EXPECT_EQ(seen[0], 0u);
+  EXPECT_EQ(seen[4], 4u);
+  EXPECT_EQ(seen[5], 0u);
+  EXPECT_EQ(seen[11], 1u);
+}
+
+TEST(GeneratorFactory, BuildsEachKind) {
+  for (auto kind : {WorkloadSpec::Kind::kUniform, WorkloadSpec::Kind::kZipf,
+                    WorkloadSpec::Kind::kSequential}) {
+    WorkloadSpec spec;
+    spec.kind = kind;
+    const auto gen = make_generator(spec, 50);
+    ASSERT_NE(gen, nullptr);
+    Rng rng(5);
+    EXPECT_LT(gen->next(rng).logical, 50u);
+    EXPECT_FALSE(gen->name().empty());
+  }
+}
+
+TEST(GeneratorValidation, BadParams) {
+  EXPECT_THROW(UniformWorkload(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(UniformWorkload(10, 1.5), std::invalid_argument);
+  EXPECT_THROW(ZipfWorkload(10, 1.0, 0.5), std::invalid_argument);
+}
+
+TEST(TraceTest, RecordSaveLoadRoundTrip) {
+  Rng rng(6);
+  UniformWorkload gen(64, 0.5);
+  const Trace trace = record(gen, rng, 64, 100);
+  EXPECT_EQ(trace.accesses.size(), 100u);
+  EXPECT_EQ(trace.capacity, 64u);
+
+  std::stringstream buffer;
+  save(trace, buffer);
+  const Trace loaded = load(buffer);
+  EXPECT_EQ(loaded.capacity, trace.capacity);
+  ASSERT_EQ(loaded.accesses.size(), trace.accesses.size());
+  for (std::size_t i = 0; i < trace.accesses.size(); ++i) {
+    EXPECT_EQ(loaded.accesses[i].logical, trace.accesses[i].logical);
+    EXPECT_EQ(loaded.accesses[i].is_write, trace.accesses[i].is_write);
+  }
+}
+
+TEST(TraceTest, LoadRejectsGarbage) {
+  std::stringstream bad_header("not-a-trace\n5\nR 1\n");
+  EXPECT_THROW(load(bad_header), std::invalid_argument);
+
+  std::stringstream bad_op("oi-trace v1\n5\nX 1\n");
+  EXPECT_THROW(load(bad_op), std::invalid_argument);
+
+  std::stringstream out_of_range("oi-trace v1\n5\nR 9\n");
+  EXPECT_THROW(load(out_of_range), std::invalid_argument);
+}
+
+TEST(TraceTest, ReplayerLoops) {
+  Trace trace;
+  trace.capacity = 4;
+  trace.accesses = {{0, false}, {1, true}, {2, false}};
+  TraceReplayer replay(std::move(trace));
+  Rng rng(7);
+  EXPECT_EQ(replay.next(rng).logical, 0u);
+  EXPECT_EQ(replay.next(rng).logical, 1u);
+  EXPECT_EQ(replay.next(rng).logical, 2u);
+  EXPECT_EQ(replay.next(rng).logical, 0u);  // wrapped
+}
+
+TEST(TraceTest, EmptyReplayRejected) {
+  EXPECT_THROW(TraceReplayer(Trace{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oi::workload

@@ -1,0 +1,295 @@
+// oiraidctl -- command-line front end for the oi-raid library.
+//
+//   oiraidctl designs   --k 3 --vmax 60
+//       list constructible (v, k, 1) designs and the arrays they induce
+//   oiraidctl plan      --v 7 --k 3 --m 3 --height 6
+//       geometry summary: disks, capacity, overhead, tolerance, update cost
+//   oiraidctl map       --v 7 --k 3 --m 3 --height 2
+//       physical strip map (roles and block ids per disk/offset)
+//   oiraidctl recover   --v 7 --k 3 --m 3 --height 6 --fail 0,1,2
+//       recovery plan statistics: per-disk reads, balance, analytic bound
+//   oiraidctl simulate  --v 7 --k 3 --m 3 --height 30 --fail 0
+//       simulated rebuild on the disk model (optional foreground load)
+//   oiraidctl tolerance --v 7 --k 3 --m 3 --height 2 --failures 4
+//       survival fraction of f-failure patterns (peel + exact)
+//   oiraidctl mttdl     --disks 21 --mttf-hours 1.2e6 --rebuild-hours 12
+//       Markov MTTDL for a t-fault-tolerant array
+//   oiraidctl export    --v 7 --k 3 --m 3 --height 6
+//       print the superblock (restorable layout description) to stdout
+//
+// Layout-taking commands also accept --superblock <file> instead of
+// --v/--k/--m/--height.
+//
+// Every command prints its inputs so output files are self-describing.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bibd/registry.hpp"
+#include "core/fault_analysis.hpp"
+#include "layout/analysis.hpp"
+#include "layout/oi_raid.hpp"
+#include "layout/superblock.hpp"
+#include "reliability/models.hpp"
+#include "sim/rebuild.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace oi;
+
+int usage() {
+  std::cerr << "usage: oiraidctl <designs|plan|map|recover|simulate|tolerance|mttdl|export> "
+               "[--flags]\n       see the header of tools/oiraidctl.cpp for details\n";
+  return 2;
+}
+
+layout::OiRaidLayout layout_from_flags(const Flags& flags) {
+  if (flags.has("superblock")) {
+    std::ifstream file(flags.get_string("superblock", ""));
+    if (!file) throw std::invalid_argument("cannot open superblock file");
+    return layout::load_superblock(file);
+  }
+  const auto v = static_cast<std::size_t>(flags.get_int("v", 7));
+  const auto k = static_cast<std::size_t>(flags.get_int("k", 3));
+  const auto m = static_cast<std::size_t>(flags.get_int("m", 3));
+  const auto height = static_cast<std::size_t>(flags.get_int("height", 6));
+  const bool skew = !flags.get_bool("no-skew", false);
+  auto design = bibd::find_design(v, k);
+  if (!design) {
+    throw std::invalid_argument("no (v=" + std::to_string(v) + ", k=" + std::to_string(k) +
+                                ", 1) design is constructible; try `oiraidctl designs`");
+  }
+  return layout::OiRaidLayout({std::move(*design), m, height, skew});
+}
+
+int cmd_designs(const Flags& flags) {
+  const auto k = static_cast<std::size_t>(flags.get_int("k", 3));
+  const auto vmax = static_cast<std::size_t>(flags.get_int("vmax", 60));
+  const auto m = static_cast<std::size_t>(flags.get_int("m", k));
+  Table table({"v", "k", "origin", "blocks", "r", "disks (m=" + std::to_string(m) + ")",
+               "data fraction"});
+  for (const auto& [v, kk] : bibd::known_parameters(vmax, k)) {
+    const auto design = bibd::find_design(v, kk);
+    table.row().cell(v).cell(kk).cell(design->origin).cell(design->b())
+        .cell(design->r()).cell(v * m)
+        .cell(layout::oi_raid_data_fraction(kk, m), 4);
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_plan(const Flags& flags) {
+  const auto layout = layout_from_flags(flags);
+  const auto& d = layout.design();
+  std::cout << "layout:            " << layout.name() << "\n"
+            << "outer design:      " << d.origin << "  (v=" << d.v << ", k=" << d.k
+            << ", b=" << d.b() << ", r=" << d.r() << ")\n"
+            << "disks:             " << layout.disks() << "  (" << layout.groups()
+            << " groups x " << layout.disks_per_group() << ")\n"
+            << "strips per disk:   " << layout.strips_per_disk() << "\n"
+            << "logical capacity:  " << layout.data_strips() << " strips\n"
+            << "data fraction:     " << layout.data_fraction() << "\n"
+            << "fault tolerance:   " << layout.fault_tolerance() << " disks (guaranteed)\n"
+            << "small-write cost:  " << layout.small_write_plan(0).parity_updates
+            << " parity updates (optimal for 3-ft: 3)\n";
+  return 0;
+}
+
+int cmd_map(const Flags& flags) {
+  const auto layout = layout_from_flags(flags);
+  const auto blocks_of = bibd::point_to_blocks(layout.design());
+  std::cout << layout.name() << " physical map (P = inner parity, Q<b>/d<b> = outer "
+               "parity/data of block b):\n     ";
+  for (std::size_t d = 0; d < layout.disks(); ++d) {
+    std::cout << "d" << d << (d < 10 ? "   " : "  ");
+  }
+  std::cout << "\n";
+  for (std::size_t o = 0; o < layout.strips_per_disk(); ++o) {
+    std::cout << "o" << o << (o < 10 ? "   " : "  ");
+    for (std::size_t d = 0; d < layout.disks(); ++d) {
+      const auto info = layout.inspect({d, o});
+      std::string cell;
+      if (info.role == layout::StripRole::kParity) {
+        cell = "P";
+      } else {
+        const std::size_t group = d / layout.disks_per_group();
+        const std::size_t region = o / layout.region_height();
+        const std::size_t block = blocks_of[group][region];
+        cell = (info.role == layout::StripRole::kOuterParity ? "Q" : "d") +
+               std::to_string(block);
+      }
+      cell.resize(5, ' ');
+      std::cout << cell;
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int cmd_recover(const Flags& flags) {
+  const auto layout = layout_from_flags(flags);
+  const auto failed = flags.get_size_list("fail");
+  if (failed.empty()) {
+    std::cerr << "recover: --fail d0,d1,... is required\n";
+    return 2;
+  }
+  const auto plan = layout.recovery_plan(failed);
+  if (!plan) {
+    std::cout << "pattern is UNRECOVERABLE (beyond iterative decoding)\n";
+    return 1;
+  }
+  const bool dedicated = flags.get_string("spare", "distributed") == "dedicated";
+  const auto load = layout::compute_rebuild_load(
+      layout, failed, *plan,
+      dedicated ? layout::SparePolicy::kDedicatedSpare
+                : layout::SparePolicy::kDistributedSpare);
+  std::cout << "strips to rebuild: " << plan->size() << "\n";
+  double total_reads = 0.0;
+  for (double r : load.reads) total_reads += r;
+  std::cout << "total strip reads: " << total_reads << "\n"
+            << "read imbalance (max/mean over active disks): "
+            << layout::read_imbalance(load, failed) << "\n";
+  sim::DiskParams disk;
+  std::cout << "bandwidth-bound rebuild time (4 MiB strips, "
+            << format_bandwidth(disk.bandwidth) << "): "
+            << format_seconds(layout::rebuild_time_lower_bound(
+                   load, disk.transfer_seconds(), disk.transfer_seconds()))
+            << "\n";
+  if (flags.get_bool("per-disk", false)) {
+    Table table({"disk", "reads", "writes"});
+    for (std::size_t d = 0; d < load.writes.size(); ++d) {
+      table.row().cell(d).cell(d < load.reads.size() ? load.reads[d] : 0.0, 0)
+          .cell(load.writes[d], 0);
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}
+
+int cmd_simulate(const Flags& flags) {
+  const auto layout = layout_from_flags(flags);
+  const auto failed = flags.get_size_list("fail");
+  sim::SimConfig config;
+  config.disk.strip_bytes =
+      static_cast<std::size_t>(flags.get_int("strip-mib", 4)) * kMiB;
+  // Effectively unbounded rebuild window: the miniature arrays here stand in
+  // for proportionally provisioned rebuilders; the window-size sensitivity
+  // itself is covered by tests and E9.
+  config.max_inflight_steps = 1'000'000;
+  config.spare = flags.get_string("spare", "distributed") == "dedicated"
+                     ? layout::SparePolicy::kDedicatedSpare
+                     : layout::SparePolicy::kDistributedSpare;
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  config.copy_back = flags.get_bool("copy-back", false);
+  // --slow "disk:factor" fail-slow injection, e.g. --slow 4 --slow-factor 10
+  if (flags.has("slow")) {
+    config.slow_disks[static_cast<std::size_t>(flags.get_int("slow", 0))] =
+        flags.get_double("slow-factor", 10.0);
+  }
+  const double rate = flags.get_double("rate", 0.0);
+  if (rate > 0.0) config.foreground = sim::ForegroundConfig{{}, rate};
+  if (failed.empty() && rate <= 0.0) {
+    std::cerr << "simulate: provide --fail d0,... and/or --rate req_per_s\n";
+    return 2;
+  }
+  config.healthy_horizon_seconds = flags.get_double("horizon", 10.0);
+
+  const auto result = sim::simulate(layout, failed, config);
+  std::cout << "rebuild time:  " << format_seconds(result.rebuild_seconds) << "\n"
+            << "rebuild I/O:   " << result.rebuild_disk_reads << " reads, "
+            << result.rebuild_disk_writes << " writes\n"
+            << "max disk util: " << result.max_disk_utilization() << "\n";
+  if (result.copy_back_seconds > 0.0) {
+    std::cout << "copy-back:     " << format_seconds(result.copy_back_seconds) << "\n";
+  }
+  if (!result.foreground_latencies.empty()) {
+    RunningStats stats;
+    for (double x : result.foreground_latencies) stats.add(x);
+    std::cout << "foreground:    " << result.foreground_completed << " ops, mean "
+              << format_seconds(stats.mean()) << ", p95 "
+              << format_seconds(percentile(result.foreground_latencies, 0.95)) << "\n";
+  }
+  return 0;
+}
+
+int cmd_tolerance(const Flags& flags) {
+  const auto layout = layout_from_flags(flags);
+  const auto f_max = static_cast<std::size_t>(flags.get_int("failures", 4));
+  const auto budget = static_cast<std::size_t>(flags.get_int("patterns", 2000));
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+  Table table({"failures", "patterns", "mode", "peel frac", "exact frac"});
+  for (std::size_t f = 1; f <= f_max; ++f) {
+    const auto s = core::sweep_failure_patterns(layout, f, budget, rng);
+    table.row().cell(f).cell(s.patterns_tested)
+        .cell(s.exhaustive ? "exhaustive" : "sampled").cell(s.peel_fraction(), 4)
+        .cell(s.exact_fraction(), 4);
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_export(const Flags& flags) {
+  const auto layout = layout_from_flags(flags);
+  layout::save_superblock(layout, std::cout);
+  return 0;
+}
+
+int cmd_mttdl(const Flags& flags) {
+  const auto disks = static_cast<std::size_t>(flags.get_int("disks", 21));
+  reliability::DiskReliabilityParams params;
+  params.mttf_hours = flags.get_double("mttf-hours", 1.2e6);
+  params.rebuild_hours = flags.get_double("rebuild-hours", 12.0);
+  const auto tolerance = static_cast<std::size_t>(flags.get_int("tolerance", 3));
+  const double fatal = flags.get_double("fatal-beyond", 1.0);
+  const double mttdl = reliability::mttdl_t_tolerant(disks, tolerance, params, fatal);
+  std::cout << "disks=" << disks << " tolerance=" << tolerance
+            << " mttf=" << format_seconds(params.mttf_hours * 3600)
+            << " rebuild=" << format_seconds(params.rebuild_hours * 3600) << "\n"
+            << "MTTDL: " << format_seconds(mttdl * 3600) << "\n"
+            << "P(loss in 10y): "
+            << reliability::loss_probability_t_tolerant(disks, tolerance, params,
+                                                        10 * 24 * 365.25, fatal)
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const Flags flags(argc - 1, argv + 1);
+    int code = 2;
+    if (command == "designs") {
+      code = cmd_designs(flags);
+    } else if (command == "plan") {
+      code = cmd_plan(flags);
+    } else if (command == "map") {
+      code = cmd_map(flags);
+    } else if (command == "recover") {
+      code = cmd_recover(flags);
+    } else if (command == "simulate") {
+      code = cmd_simulate(flags);
+    } else if (command == "tolerance") {
+      code = cmd_tolerance(flags);
+    } else if (command == "mttdl") {
+      code = cmd_mttdl(flags);
+    } else if (command == "export") {
+      code = cmd_export(flags);
+    } else {
+      return usage();
+    }
+    for (const std::string& name : flags.unused()) {
+      std::cerr << "warning: unused flag --" << name << "\n";
+    }
+    return code;
+  } catch (const std::exception& error) {
+    std::cerr << "oiraidctl " << command << ": " << error.what() << "\n";
+    return 1;
+  }
+}
