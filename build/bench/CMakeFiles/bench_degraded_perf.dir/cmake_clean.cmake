@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_degraded_perf.dir/bench_degraded_perf.cpp.o"
+  "CMakeFiles/bench_degraded_perf.dir/bench_degraded_perf.cpp.o.d"
+  "bench_degraded_perf"
+  "bench_degraded_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_degraded_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

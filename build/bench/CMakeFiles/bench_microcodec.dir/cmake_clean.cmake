@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_microcodec.dir/bench_microcodec.cpp.o"
+  "CMakeFiles/bench_microcodec.dir/bench_microcodec.cpp.o.d"
+  "bench_microcodec"
+  "bench_microcodec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_microcodec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

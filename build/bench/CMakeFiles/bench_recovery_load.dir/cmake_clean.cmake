@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recovery_load.dir/bench_recovery_load.cpp.o"
+  "CMakeFiles/bench_recovery_load.dir/bench_recovery_load.cpp.o.d"
+  "bench_recovery_load"
+  "bench_recovery_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recovery_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recovery_speedup.dir/bench_recovery_speedup.cpp.o"
+  "CMakeFiles/bench_recovery_speedup.dir/bench_recovery_speedup.cpp.o.d"
+  "bench_recovery_speedup"
+  "bench_recovery_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recovery_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

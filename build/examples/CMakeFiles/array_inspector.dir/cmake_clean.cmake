@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_inspector.dir/array_inspector.cpp.o"
+  "CMakeFiles/array_inspector.dir/array_inspector.cpp.o.d"
+  "array_inspector"
+  "array_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

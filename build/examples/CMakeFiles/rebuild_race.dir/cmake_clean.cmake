@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebuild_race.dir/rebuild_race.cpp.o"
+  "CMakeFiles/rebuild_race.dir/rebuild_race.cpp.o.d"
+  "rebuild_race"
+  "rebuild_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebuild_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

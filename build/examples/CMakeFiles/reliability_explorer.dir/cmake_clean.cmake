@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_explorer.dir/reliability_explorer.cpp.o"
+  "CMakeFiles/reliability_explorer.dir/reliability_explorer.cpp.o.d"
+  "reliability_explorer"
+  "reliability_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

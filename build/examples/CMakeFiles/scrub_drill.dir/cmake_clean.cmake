@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrub_drill.dir/scrub_drill.cpp.o"
+  "CMakeFiles/scrub_drill.dir/scrub_drill.cpp.o.d"
+  "scrub_drill"
+  "scrub_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrub_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

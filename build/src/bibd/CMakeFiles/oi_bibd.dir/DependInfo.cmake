@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bibd/constructions.cpp" "src/bibd/CMakeFiles/oi_bibd.dir/constructions.cpp.o" "gcc" "src/bibd/CMakeFiles/oi_bibd.dir/constructions.cpp.o.d"
+  "/root/repo/src/bibd/design.cpp" "src/bibd/CMakeFiles/oi_bibd.dir/design.cpp.o" "gcc" "src/bibd/CMakeFiles/oi_bibd.dir/design.cpp.o.d"
+  "/root/repo/src/bibd/registry.cpp" "src/bibd/CMakeFiles/oi_bibd.dir/registry.cpp.o" "gcc" "src/bibd/CMakeFiles/oi_bibd.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/oi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

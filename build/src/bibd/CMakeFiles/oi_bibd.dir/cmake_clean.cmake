@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oi_bibd.dir/constructions.cpp.o"
+  "CMakeFiles/oi_bibd.dir/constructions.cpp.o.d"
+  "CMakeFiles/oi_bibd.dir/design.cpp.o"
+  "CMakeFiles/oi_bibd.dir/design.cpp.o.d"
+  "CMakeFiles/oi_bibd.dir/registry.cpp.o"
+  "CMakeFiles/oi_bibd.dir/registry.cpp.o.d"
+  "liboi_bibd.a"
+  "liboi_bibd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oi_bibd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboi_bibd.a"
+)

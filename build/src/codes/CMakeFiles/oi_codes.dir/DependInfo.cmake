@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codes/gf256.cpp" "src/codes/CMakeFiles/oi_codes.dir/gf256.cpp.o" "gcc" "src/codes/CMakeFiles/oi_codes.dir/gf256.cpp.o.d"
+  "/root/repo/src/codes/matrix_gf.cpp" "src/codes/CMakeFiles/oi_codes.dir/matrix_gf.cpp.o" "gcc" "src/codes/CMakeFiles/oi_codes.dir/matrix_gf.cpp.o.d"
+  "/root/repo/src/codes/rdp.cpp" "src/codes/CMakeFiles/oi_codes.dir/rdp.cpp.o" "gcc" "src/codes/CMakeFiles/oi_codes.dir/rdp.cpp.o.d"
+  "/root/repo/src/codes/reed_solomon.cpp" "src/codes/CMakeFiles/oi_codes.dir/reed_solomon.cpp.o" "gcc" "src/codes/CMakeFiles/oi_codes.dir/reed_solomon.cpp.o.d"
+  "/root/repo/src/codes/xor_code.cpp" "src/codes/CMakeFiles/oi_codes.dir/xor_code.cpp.o" "gcc" "src/codes/CMakeFiles/oi_codes.dir/xor_code.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/oi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oi_codes.dir/gf256.cpp.o"
+  "CMakeFiles/oi_codes.dir/gf256.cpp.o.d"
+  "CMakeFiles/oi_codes.dir/matrix_gf.cpp.o"
+  "CMakeFiles/oi_codes.dir/matrix_gf.cpp.o.d"
+  "CMakeFiles/oi_codes.dir/rdp.cpp.o"
+  "CMakeFiles/oi_codes.dir/rdp.cpp.o.d"
+  "CMakeFiles/oi_codes.dir/reed_solomon.cpp.o"
+  "CMakeFiles/oi_codes.dir/reed_solomon.cpp.o.d"
+  "CMakeFiles/oi_codes.dir/xor_code.cpp.o"
+  "CMakeFiles/oi_codes.dir/xor_code.cpp.o.d"
+  "liboi_codes.a"
+  "liboi_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oi_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oi_core.dir/array.cpp.o"
+  "CMakeFiles/oi_core.dir/array.cpp.o.d"
+  "CMakeFiles/oi_core.dir/coded_array.cpp.o"
+  "CMakeFiles/oi_core.dir/coded_array.cpp.o.d"
+  "CMakeFiles/oi_core.dir/fault_analysis.cpp.o"
+  "CMakeFiles/oi_core.dir/fault_analysis.cpp.o.d"
+  "liboi_core.a"
+  "liboi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/analysis.cpp" "src/layout/CMakeFiles/oi_layout.dir/analysis.cpp.o" "gcc" "src/layout/CMakeFiles/oi_layout.dir/analysis.cpp.o.d"
+  "/root/repo/src/layout/coded_flat.cpp" "src/layout/CMakeFiles/oi_layout.dir/coded_flat.cpp.o" "gcc" "src/layout/CMakeFiles/oi_layout.dir/coded_flat.cpp.o.d"
+  "/root/repo/src/layout/layout.cpp" "src/layout/CMakeFiles/oi_layout.dir/layout.cpp.o" "gcc" "src/layout/CMakeFiles/oi_layout.dir/layout.cpp.o.d"
+  "/root/repo/src/layout/model.cpp" "src/layout/CMakeFiles/oi_layout.dir/model.cpp.o" "gcc" "src/layout/CMakeFiles/oi_layout.dir/model.cpp.o.d"
+  "/root/repo/src/layout/oi_raid.cpp" "src/layout/CMakeFiles/oi_layout.dir/oi_raid.cpp.o" "gcc" "src/layout/CMakeFiles/oi_layout.dir/oi_raid.cpp.o.d"
+  "/root/repo/src/layout/parity_declustering.cpp" "src/layout/CMakeFiles/oi_layout.dir/parity_declustering.cpp.o" "gcc" "src/layout/CMakeFiles/oi_layout.dir/parity_declustering.cpp.o.d"
+  "/root/repo/src/layout/raid5.cpp" "src/layout/CMakeFiles/oi_layout.dir/raid5.cpp.o" "gcc" "src/layout/CMakeFiles/oi_layout.dir/raid5.cpp.o.d"
+  "/root/repo/src/layout/raid50.cpp" "src/layout/CMakeFiles/oi_layout.dir/raid50.cpp.o" "gcc" "src/layout/CMakeFiles/oi_layout.dir/raid50.cpp.o.d"
+  "/root/repo/src/layout/raid51.cpp" "src/layout/CMakeFiles/oi_layout.dir/raid51.cpp.o" "gcc" "src/layout/CMakeFiles/oi_layout.dir/raid51.cpp.o.d"
+  "/root/repo/src/layout/superblock.cpp" "src/layout/CMakeFiles/oi_layout.dir/superblock.cpp.o" "gcc" "src/layout/CMakeFiles/oi_layout.dir/superblock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/oi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bibd/CMakeFiles/oi_bibd.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/oi_codes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

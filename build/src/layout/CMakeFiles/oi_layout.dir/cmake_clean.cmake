@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oi_layout.dir/analysis.cpp.o"
+  "CMakeFiles/oi_layout.dir/analysis.cpp.o.d"
+  "CMakeFiles/oi_layout.dir/coded_flat.cpp.o"
+  "CMakeFiles/oi_layout.dir/coded_flat.cpp.o.d"
+  "CMakeFiles/oi_layout.dir/layout.cpp.o"
+  "CMakeFiles/oi_layout.dir/layout.cpp.o.d"
+  "CMakeFiles/oi_layout.dir/model.cpp.o"
+  "CMakeFiles/oi_layout.dir/model.cpp.o.d"
+  "CMakeFiles/oi_layout.dir/oi_raid.cpp.o"
+  "CMakeFiles/oi_layout.dir/oi_raid.cpp.o.d"
+  "CMakeFiles/oi_layout.dir/parity_declustering.cpp.o"
+  "CMakeFiles/oi_layout.dir/parity_declustering.cpp.o.d"
+  "CMakeFiles/oi_layout.dir/raid5.cpp.o"
+  "CMakeFiles/oi_layout.dir/raid5.cpp.o.d"
+  "CMakeFiles/oi_layout.dir/raid50.cpp.o"
+  "CMakeFiles/oi_layout.dir/raid50.cpp.o.d"
+  "CMakeFiles/oi_layout.dir/raid51.cpp.o"
+  "CMakeFiles/oi_layout.dir/raid51.cpp.o.d"
+  "CMakeFiles/oi_layout.dir/superblock.cpp.o"
+  "CMakeFiles/oi_layout.dir/superblock.cpp.o.d"
+  "liboi_layout.a"
+  "liboi_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oi_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/ctmc.cpp" "src/reliability/CMakeFiles/oi_reliability.dir/ctmc.cpp.o" "gcc" "src/reliability/CMakeFiles/oi_reliability.dir/ctmc.cpp.o.d"
+  "/root/repo/src/reliability/models.cpp" "src/reliability/CMakeFiles/oi_reliability.dir/models.cpp.o" "gcc" "src/reliability/CMakeFiles/oi_reliability.dir/models.cpp.o.d"
+  "/root/repo/src/reliability/monte_carlo.cpp" "src/reliability/CMakeFiles/oi_reliability.dir/monte_carlo.cpp.o" "gcc" "src/reliability/CMakeFiles/oi_reliability.dir/monte_carlo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/oi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/oi_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/bibd/CMakeFiles/oi_bibd.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/oi_codes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oi_reliability.dir/ctmc.cpp.o"
+  "CMakeFiles/oi_reliability.dir/ctmc.cpp.o.d"
+  "CMakeFiles/oi_reliability.dir/models.cpp.o"
+  "CMakeFiles/oi_reliability.dir/models.cpp.o.d"
+  "CMakeFiles/oi_reliability.dir/monte_carlo.cpp.o"
+  "CMakeFiles/oi_reliability.dir/monte_carlo.cpp.o.d"
+  "liboi_reliability.a"
+  "liboi_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oi_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

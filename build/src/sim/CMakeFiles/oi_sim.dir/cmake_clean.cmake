@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oi_sim.dir/disk.cpp.o"
+  "CMakeFiles/oi_sim.dir/disk.cpp.o.d"
+  "CMakeFiles/oi_sim.dir/engine.cpp.o"
+  "CMakeFiles/oi_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/oi_sim.dir/rebuild.cpp.o"
+  "CMakeFiles/oi_sim.dir/rebuild.cpp.o.d"
+  "liboi_sim.a"
+  "liboi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

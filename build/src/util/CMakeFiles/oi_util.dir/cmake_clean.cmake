@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oi_util.dir/flags.cpp.o"
+  "CMakeFiles/oi_util.dir/flags.cpp.o.d"
+  "CMakeFiles/oi_util.dir/log.cpp.o"
+  "CMakeFiles/oi_util.dir/log.cpp.o.d"
+  "CMakeFiles/oi_util.dir/rng.cpp.o"
+  "CMakeFiles/oi_util.dir/rng.cpp.o.d"
+  "CMakeFiles/oi_util.dir/stats.cpp.o"
+  "CMakeFiles/oi_util.dir/stats.cpp.o.d"
+  "CMakeFiles/oi_util.dir/table.cpp.o"
+  "CMakeFiles/oi_util.dir/table.cpp.o.d"
+  "CMakeFiles/oi_util.dir/units.cpp.o"
+  "CMakeFiles/oi_util.dir/units.cpp.o.d"
+  "liboi_util.a"
+  "liboi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oi_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oi_workload.dir/generator.cpp.o"
+  "CMakeFiles/oi_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/oi_workload.dir/trace.cpp.o"
+  "CMakeFiles/oi_workload.dir/trace.cpp.o.d"
+  "liboi_workload.a"
+  "liboi_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oi_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

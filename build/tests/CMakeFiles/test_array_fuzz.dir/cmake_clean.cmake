@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_array_fuzz.dir/test_array_fuzz.cpp.o"
+  "CMakeFiles/test_array_fuzz.dir/test_array_fuzz.cpp.o.d"
+  "test_array_fuzz"
+  "test_array_fuzz.pdb"
+  "test_array_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_array_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

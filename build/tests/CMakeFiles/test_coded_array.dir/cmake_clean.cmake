@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coded_array.dir/test_coded_array.cpp.o"
+  "CMakeFiles/test_coded_array.dir/test_coded_array.cpp.o.d"
+  "test_coded_array"
+  "test_coded_array.pdb"
+  "test_coded_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coded_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

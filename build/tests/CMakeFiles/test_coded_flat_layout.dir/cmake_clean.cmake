@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coded_flat_layout.dir/test_coded_flat_layout.cpp.o"
+  "CMakeFiles/test_coded_flat_layout.dir/test_coded_flat_layout.cpp.o.d"
+  "test_coded_flat_layout"
+  "test_coded_flat_layout.pdb"
+  "test_coded_flat_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coded_flat_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

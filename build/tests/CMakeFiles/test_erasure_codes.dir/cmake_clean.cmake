@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_erasure_codes.dir/test_erasure_codes.cpp.o"
+  "CMakeFiles/test_erasure_codes.dir/test_erasure_codes.cpp.o.d"
+  "test_erasure_codes"
+  "test_erasure_codes.pdb"
+  "test_erasure_codes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_erasure_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

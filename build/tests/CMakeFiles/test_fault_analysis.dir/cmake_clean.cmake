@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_analysis.dir/test_fault_analysis.cpp.o"
+  "CMakeFiles/test_fault_analysis.dir/test_fault_analysis.cpp.o.d"
+  "test_fault_analysis"
+  "test_fault_analysis.pdb"
+  "test_fault_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout_analysis.dir/test_layout_analysis.cpp.o"
+  "CMakeFiles/test_layout_analysis.dir/test_layout_analysis.cpp.o.d"
+  "test_layout_analysis"
+  "test_layout_analysis.pdb"
+  "test_layout_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout_oiraid.dir/test_layout_oiraid.cpp.o"
+  "CMakeFiles/test_layout_oiraid.dir/test_layout_oiraid.cpp.o.d"
+  "test_layout_oiraid"
+  "test_layout_oiraid.pdb"
+  "test_layout_oiraid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout_oiraid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

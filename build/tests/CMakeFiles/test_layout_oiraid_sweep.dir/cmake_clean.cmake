@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout_oiraid_sweep.dir/test_layout_oiraid_sweep.cpp.o"
+  "CMakeFiles/test_layout_oiraid_sweep.dir/test_layout_oiraid_sweep.cpp.o.d"
+  "test_layout_oiraid_sweep"
+  "test_layout_oiraid_sweep.pdb"
+  "test_layout_oiraid_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout_oiraid_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrix_gf.dir/test_matrix_gf.cpp.o"
+  "CMakeFiles/test_matrix_gf.dir/test_matrix_gf.cpp.o.d"
+  "test_matrix_gf"
+  "test_matrix_gf.pdb"
+  "test_matrix_gf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrix_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

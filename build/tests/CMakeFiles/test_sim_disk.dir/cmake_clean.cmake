@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_disk.dir/test_sim_disk.cpp.o"
+  "CMakeFiles/test_sim_disk.dir/test_sim_disk.cpp.o.d"
+  "test_sim_disk"
+  "test_sim_disk.pdb"
+  "test_sim_disk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sim_rebuild.cpp" "tests/CMakeFiles/test_sim_rebuild.dir/test_sim_rebuild.cpp.o" "gcc" "tests/CMakeFiles/test_sim_rebuild.dir/test_sim_rebuild.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/oi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/oi_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/bibd/CMakeFiles/oi_bibd.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/oi_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/oi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/oi_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/oi_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_rebuild.dir/test_sim_rebuild.cpp.o"
+  "CMakeFiles/test_sim_rebuild.dir/test_sim_rebuild.cpp.o.d"
+  "test_sim_rebuild"
+  "test_sim_rebuild.pdb"
+  "test_sim_rebuild[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_rebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

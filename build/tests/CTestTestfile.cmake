@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_table[1]_include.cmake")
+include("/root/repo/build/tests/test_units[1]_include.cmake")
+include("/root/repo/build/tests/test_flags[1]_include.cmake")
+include("/root/repo/build/tests/test_log[1]_include.cmake")
+include("/root/repo/build/tests/test_gf256[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix_gf[1]_include.cmake")
+include("/root/repo/build/tests/test_erasure_codes[1]_include.cmake")
+include("/root/repo/build/tests/test_bibd[1]_include.cmake")
+include("/root/repo/build/tests/test_layout_common[1]_include.cmake")
+include("/root/repo/build/tests/test_layout_oiraid[1]_include.cmake")
+include("/root/repo/build/tests/test_layout_oiraid_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_layout_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_layout_model[1]_include.cmake")
+include("/root/repo/build/tests/test_superblock[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_disk[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_rebuild[1]_include.cmake")
+include("/root/repo/build/tests/test_array[1]_include.cmake")
+include("/root/repo/build/tests/test_coded_array[1]_include.cmake")
+include("/root/repo/build/tests/test_array_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_coded_flat_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_reliability[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oiraidctl.dir/oiraidctl.cpp.o"
+  "CMakeFiles/oiraidctl.dir/oiraidctl.cpp.o.d"
+  "oiraidctl"
+  "oiraidctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oiraidctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
