@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "layout/analysis.hpp"
 #include "sim/rebuild.hpp"
 #include "util/stats.hpp"
@@ -47,7 +48,7 @@ double imbalance_of(const layout::Layout& layout,
 int main() {
   const Geometry fano = geometry_sweep(false)[0];
   const Geometry pg3 = geometry_sweep(false)[4];  // 52 disks
-
+  BenchJson json("ablation");
 
   print_experiment_header("E9a", "ablation: skewed layout");
   {
@@ -56,10 +57,14 @@ int main() {
       for (bool skew : {true, false}) {
         const auto layout = make_oi(g, region_height_for(g, 30), skew);
         const auto plan = layout.recovery_plan({0});
+        const double imbalance = imbalance_of(layout, *plan);
+        const double rebuild =
+            simulated_rebuild(layout, layout::SparePolicy::kDistributedSpare);
         table.row().cell(g.label).cell(skew ? "skew (paper)" : "no skew")
-            .cell(imbalance_of(layout, *plan), 3)
-            .cell(format_seconds(
-                simulated_rebuild(layout, layout::SparePolicy::kDistributedSpare)));
+            .cell(imbalance, 3).cell(format_seconds(rebuild));
+        const std::string variant = skew ? "skew" : "noskew";
+        json.record(g.label, variant + "_read_max_over_mean", imbalance);
+        json.record(g.label, variant + "_rebuild_seconds", rebuild);
       }
     }
     table.print(std::cout);
@@ -78,6 +83,8 @@ int main() {
           .cell(format_seconds(dist)).cell(1.0, 2);
       table.row().cell(g.label).cell("dedicated hot spare")
           .cell(format_seconds(dedi)).cell(dedi / dist, 2);
+      json.record(g.label, "distributed_spare_rebuild_seconds", dist);
+      json.record(g.label, "dedicated_spare_rebuild_seconds", dedi);
     }
     table.print(std::cout);
   }
@@ -100,6 +107,9 @@ int main() {
         table.row().cell(g.label)
             .cell(outer_first ? "outer-first (paper)" : "inner-first")
             .cell(total, 0).cell(imbalance_of(layout, *plan), 3).cell(on_group, 0);
+        const std::string planner = outer_first ? "outer_first" : "inner_first";
+        json.record(g.label, planner + "_total_reads", total);
+        json.record(g.label, planner + "_reads_on_failed_group", on_group);
       }
     }
     table.print(std::cout);
@@ -126,6 +136,11 @@ int main() {
           table.row().cell(g.label).cell(layout->name()).cell(factor, 0)
               .cell(format_seconds(result.rebuild_seconds))
               .cell(result.rebuild_seconds / base, 2);
+          json.record(g.label,
+                      layout->name() + "_failslow_x" +
+                          std::to_string(static_cast<int>(factor)) +
+                          "_rebuild_seconds",
+                      result.rebuild_seconds);
         }
       }
     }

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "sim/rebuild.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -52,6 +53,7 @@ int main() {
   print_experiment_header("E8", "foreground latency healthy vs during rebuild");
   Table table({"workload", "scheme", "state", "ops", "mean", "p95", "p99",
                "rebuild window"});
+  BenchJson json("degraded_perf");
 
   const Geometry fano = geometry_sweep(false)[0];
   const std::size_t h = region_height_for(fano, 60);
@@ -83,6 +85,8 @@ int main() {
     auto trace = std::make_shared<workload::Trace>(
         workload::record(*generator, trace_rng, min_capacity, 20'000));
 
+    const std::string wl_key =
+        kind == workload::WorkloadSpec::Kind::kUniform ? "uniform" : "zipf";
     for (const layout::Layout* layout : schemes) {
       const auto healthy = run(*layout, {}, trace, rate);
       table.row().cell(wl_name).cell(layout->name()).cell("healthy").cell(healthy.ops)
@@ -93,6 +97,12 @@ int main() {
           .cell(degraded.ops).cell(format_seconds(degraded.mean))
           .cell(format_seconds(degraded.p95)).cell(format_seconds(degraded.p99))
           .cell(format_seconds(degraded.rebuild_seconds));
+      const std::string prefix = wl_key + "_" + layout->name();
+      json.record(fano.label, prefix + "_healthy_mean_seconds", healthy.mean);
+      json.record(fano.label, prefix + "_healthy_p99_seconds", healthy.p99);
+      json.record(fano.label, prefix + "_rebuilding_mean_seconds", degraded.mean);
+      json.record(fano.label, prefix + "_rebuilding_p99_seconds", degraded.p99);
+      json.record(fano.label, prefix + "_rebuild_seconds", degraded.rebuild_seconds);
     }
   }
   table.print(std::cout);

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "layout/raid51.hpp"
 #include "core/fault_analysis.hpp"
 #include "util/rng.hpp"
@@ -17,42 +18,31 @@ namespace {
 using namespace oi;
 using namespace oi::bench;
 
-void tolerance_table() {
+void tolerance_table(BenchJson& json) {
   print_experiment_header("E1a", "guaranteed failure tolerance (exhaustive enumeration)");
   Table table({"scheme", "disks", "guaranteed tolerance", "checked up to"});
 
   const Geometry fano = geometry_sweep(false)[0];
   const std::size_t strips = 6;
 
-  {
-    const auto oi_layout = make_oi(fano, 2);
-    table.row().cell(oi_layout.name()).cell(oi_layout.disks())
-        .cell(core::guaranteed_tolerance(oi_layout, 4)).cell(std::size_t{4});
-  }
-  {
-    const auto r5 = make_raid5(fano, strips);
-    table.row().cell(r5.name()).cell(r5.disks())
-        .cell(core::guaranteed_tolerance(r5, 2)).cell(std::size_t{2});
-  }
-  {
-    const auto r50 = make_raid50(fano, strips);
-    table.row().cell(r50.name()).cell(r50.disks())
-        .cell(core::guaranteed_tolerance(r50, 2)).cell(std::size_t{2});
-  }
-  if (auto pd = make_pd(fano, strips)) {
-    table.row().cell(pd->name()).cell(pd->disks())
-        .cell(core::guaranteed_tolerance(*pd, 2)).cell(std::size_t{2});
-  }
-  {
-    // RAID5+1 reaches 3-failure tolerance too -- at 2x storage.
-    const layout::Raid51Layout r51(5, strips);
-    table.row().cell(r51.name()).cell(r51.disks())
-        .cell(core::guaranteed_tolerance(r51, 4)).cell(std::size_t{4});
-  }
+  auto emit = [&](const layout::Layout& layout, std::size_t checked_up_to) {
+    const std::size_t tolerance = core::guaranteed_tolerance(layout, checked_up_to);
+    table.row().cell(layout.name()).cell(layout.disks())
+        .cell(tolerance).cell(checked_up_to);
+    json.record(fano.label, layout.name() + "_guaranteed_tolerance",
+                static_cast<double>(tolerance));
+  };
+
+  emit(make_oi(fano, 2), 4);
+  emit(make_raid5(fano, strips), 2);
+  emit(make_raid50(fano, strips), 2);
+  if (auto pd = make_pd(fano, strips)) emit(*pd, 2);
+  // RAID5+1 reaches 3-failure tolerance too -- at 2x storage.
+  emit(layout::Raid51Layout(5, strips), 4);
   table.print(std::cout);
 }
 
-void survival_table() {
+void survival_table(BenchJson& json) {
   print_experiment_header(
       "E1b", "fraction of f-failure patterns recoverable (peel / exact)");
   Table table({"scheme", "disks", "f", "patterns", "mode", "peel frac", "exact frac"});
@@ -69,8 +59,14 @@ void survival_table() {
       table.row().cell(layout.name()).cell(layout.disks()).cell(f)
           .cell(s.patterns_tested).cell(s.exhaustive ? "exhaustive" : "sampled")
           .cell(s.peel_fraction(), 4);
+      json.record(fano.label,
+                  layout.name() + "_peel_fraction_f" + std::to_string(f),
+                  s.peel_fraction());
       if (run_exact) {
         table.cell(s.exact_fraction(), 4);
+        json.record(fano.label,
+                    layout.name() + "_exact_fraction_f" + std::to_string(f),
+                    s.exact_fraction());
       } else {
         table.cell("-");
       }
@@ -87,7 +83,7 @@ void survival_table() {
   table.print(std::cout);
 }
 
-void larger_geometry_spotchecks() {
+void larger_geometry_spotchecks(BenchJson& json) {
   print_experiment_header("E1c", "3-failure spot checks on larger geometries (sampled)");
   Table table({"geometry", "disks", "3-failure patterns", "peel frac"});
   Rng rng(7);
@@ -97,6 +93,7 @@ void larger_geometry_spotchecks() {
                                                 /*run_exact=*/false);
     table.row().cell(g.label).cell(layout.disks()).cell(s.patterns_tested)
         .cell(s.peel_fraction(), 4);
+    json.record(g.label, "oi_peel_fraction_f3", s.peel_fraction());
   }
   table.print(std::cout);
 }
@@ -104,9 +101,10 @@ void larger_geometry_spotchecks() {
 }  // namespace
 
 int main() {
-  tolerance_table();
-  survival_table();
-  larger_geometry_spotchecks();
+  BenchJson json("fault_tolerance");
+  tolerance_table(json);
+  survival_table(json);
+  larger_geometry_spotchecks(json);
   std::cout << "\nExpected shape: OI-RAID guarantees 3 (every 1/2/3-failure pattern\n"
                "recoverable, all geometries); baselines guarantee 1; a majority of\n"
                "4- and 5-failure patterns still survive on OI-RAID.\n";

@@ -1,0 +1,78 @@
+// Machine-readable experiment output. Every bench binary keeps its
+// human-oriented tables on stdout and additionally appends flat records to
+// BENCH_<name>.json in the working directory, so plotting and regression
+// scripts never scrape tables. One record = (bench, geometry, metric, value).
+#pragma once
+
+#include <cmath>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace oi::bench {
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+  ~BenchJson() { flush(); }
+
+  /// Thread-safe: parallel per-geometry sections record directly. Records
+  /// keep insertion order, so run-to-run diffs stay meaningful when the
+  /// callers record from ordered (post-join) code.
+  void record(const std::string& geometry, const std::string& metric, double value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.push_back({geometry, metric, value});
+  }
+
+  /// Writes BENCH_<name>.json; called by the destructor, but callable early
+  /// so a crash after the measurement phase still leaves the file behind.
+  void flush() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ofstream out("BENCH_" + name_ + ".json");
+    out << "{\n  \"bench\": \"" << escape(name_) << "\",\n  \"results\": [";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n");
+      out << "    {\"geometry\": \"" << escape(records_[i].geometry)
+          << "\", \"metric\": \"" << escape(records_[i].metric)
+          << "\", \"value\": " << number(records_[i].value) << "}";
+    }
+    out << "\n  ]\n}\n";
+  }
+
+ private:
+  struct Record {
+    std::string geometry;
+    std::string metric;
+    double value;
+  };
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;  // labels are plain
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  static std::string number(double value) {
+    if (!std::isfinite(value)) return "null";  // JSON has no inf/nan
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    return os.str();
+  }
+
+  std::string name_;
+  std::mutex mutex_;
+  std::vector<Record> records_;
+};
+
+}  // namespace oi::bench

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "bibd/constructions.hpp"
 #include "codes/rdp.hpp"
 #include "codes/reed_solomon.hpp"
@@ -156,6 +157,34 @@ void BM_BibdSkolemTriple(benchmark::State& state) {
 }
 BENCHMARK(BM_BibdSkolemTriple);
 
+// Console reporter that additionally records each benchmark's real time (ns)
+// into BENCH_microcodec.json, keeping this binary's output contract aligned
+// with the table-printing benches.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(oi::bench::BenchJson& json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      json_.record("microcodec", run.benchmark_name() + "_real_time_ns",
+                   run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  oi::bench::BenchJson& json_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  oi::bench::BenchJson json("microcodec");
+  JsonTeeReporter reporter(json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,8 +5,10 @@
 // already lose data at two failures for most patterns. Times are simulated
 // on the shared disk model.
 #include <iostream>
+#include <limits>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "sim/rebuild.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -16,11 +18,23 @@ namespace {
 using namespace oi;
 using namespace oi::bench;
 
-void report(Table& table, const std::string& geometry, const layout::Layout& layout,
-            const std::string& pattern_name, const std::vector<std::size_t>& failed) {
+std::string metric_key(const layout::Layout& layout, const std::string& pattern_name) {
+  std::string key = layout.name() + "_" + pattern_name + "_rebuild_seconds";
+  for (char& c : key) {
+    if (c == ' ' || c == '+') c = '_';
+  }
+  return key;
+}
+
+void report(Table& table, BenchJson& json, const std::string& geometry,
+            const layout::Layout& layout, const std::string& pattern_name,
+            const std::vector<std::size_t>& failed) {
   if (!layout.recovery_plan(failed).has_value()) {
     table.row().cell(geometry).cell(layout.name()).cell(pattern_name)
         .cell(failed.size()).cell("DATA LOSS").cell("-");
+    // Unrecoverable pattern: null in the JSON marks data loss.
+    json.record(geometry, metric_key(layout, pattern_name),
+                std::numeric_limits<double>::quiet_NaN());
     return;
   }
   sim::SimConfig config;
@@ -33,6 +47,7 @@ void report(Table& table, const std::string& geometry, const layout::Layout& lay
   table.row().cell(geometry).cell(layout.name()).cell(pattern_name)
       .cell(failed.size()).cell(format_seconds(result.rebuild_seconds))
       .cell(static_cast<std::size_t>(result.rebuild_disk_reads));
+  json.record(geometry, metric_key(layout, pattern_name), result.rebuild_seconds);
 }
 
 }  // namespace
@@ -40,6 +55,7 @@ void report(Table& table, const std::string& geometry, const layout::Layout& lay
 int main() {
   print_experiment_header("E4", "rebuild time vs number of concurrent failures");
   Table table({"geometry", "scheme", "pattern", "failures", "rebuild", "disk reads"});
+  BenchJson json("multi_failure");
 
   for (const Geometry& g : geometry_sweep(false)) {
     const std::size_t h = region_height_for(g, 12);
@@ -64,9 +80,9 @@ int main() {
     const auto raid50 = make_raid50(g, strips);
     const auto pd = make_pd(g, strips);
     for (const auto& [name, failed] : patterns) {
-      report(table, g.label, oi_layout, name, failed);
-      report(table, g.label, raid50, name, failed);
-      if (pd) report(table, g.label, *pd, name, failed);
+      report(table, json, g.label, oi_layout, name, failed);
+      report(table, json, g.label, raid50, name, failed);
+      if (pd) report(table, json, g.label, *pd, name, failed);
     }
   }
   table.print(std::cout);

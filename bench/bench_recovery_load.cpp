@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "layout/analysis.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -52,6 +53,7 @@ int main() {
   print_experiment_header("E3", "per-disk recovery read load, single failure");
   Table table({"geometry", "scheme", "disks", "total reads", "mean(active)", "max",
                "max/mean", "idle survivors"});
+  BenchJson json("recovery_load");
 
   for (const Geometry& g : geometry_sweep(true)) {
     const std::size_t h = region_height_for(g, 30);
@@ -73,6 +75,10 @@ int main() {
       table.row().cell(g.label).cell(layout->name()).cell(layout->disks())
           .cell(s.total, 0).cell(s.mean_active, 2).cell(s.max, 0)
           .cell(s.imbalance, 3).cell(s.idle_survivors);
+      json.record(g.label, layout->name() + "_total_reads", s.total);
+      json.record(g.label, layout->name() + "_read_max_over_mean", s.imbalance);
+      json.record(g.label, layout->name() + "_idle_survivors",
+                  static_cast<double>(s.idle_survivors));
     }
   }
   table.print(std::cout);

@@ -4,16 +4,21 @@
 // one failed disk for OI-RAID vs flat RAID5, RAID5+0 and parity
 // declustering, across the geometry sweep, plus the analytic bandwidth
 // bound. Distributed spare everywhere (the dedicated-spare ablation lives in
-// E9). Output: one table and `series=` lines for the figure.
+// E9). Output: one table, `series=` lines for the figure, and
+// BENCH_recovery_speedup.json. Geometries are measured concurrently
+// (--threads N, 0 = all cores); printing stays in sweep order.
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "layout/analysis.hpp"
 #include "layout/model.hpp"
 #include "layout/coded_flat.hpp"
 #include "codes/reed_solomon.hpp"
 #include "sim/rebuild.hpp"
+#include "util/flags.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -26,6 +31,12 @@ struct Row {
   std::size_t disks;
   double rebuild_seconds;
   double bound_seconds;
+  double model_speedup;
+};
+
+struct GeometryRows {
+  std::size_t strips = 0;
+  std::vector<Row> rows;
 };
 
 Row measure(const layout::Layout& layout, const std::string& series) {
@@ -43,60 +54,83 @@ Row measure(const layout::Layout& layout, const std::string& series) {
                                                  layout::SparePolicy::kDistributedSpare);
   const double strip_s = config.disk.transfer_seconds();
   const double bound = layout::rebuild_time_lower_bound(load, strip_s, strip_s);
-  return {series, layout.disks(), result.rebuild_seconds, bound};
+  return {series, layout.disks(), result.rebuild_seconds, bound, 0.0};
+}
+
+GeometryRows measure_geometry(const Geometry& g) {
+  GeometryRows out;
+  // Equal per-disk capacity across schemes: S = r * H.
+  const std::size_t h = region_height_for(g, 30);
+  const auto oi_layout = make_oi(g, h);
+  out.strips = oi_layout.strips_per_disk();
+  const std::size_t strips = out.strips;
+
+  out.rows.push_back(measure(make_raid5(g, strips), "raid5"));
+  out.rows.push_back(measure(make_raid50(g, strips), "raid50"));
+  if (const auto pd = make_pd(g, strips)) out.rows.push_back(measure(*pd, "pd"));
+  {
+    // Same-tolerance flat MDS baseline at the same disk count: RS(n-3, 3).
+    const layout::CodedFlatLayout rs(
+        std::make_shared<codes::ReedSolomon>(g.disks() - 3, 3), strips);
+    out.rows.push_back(measure(rs, "rs-flat"));
+  }
+  out.rows.push_back(measure(oi_layout, "oi-raid"));
+
+  const layout::OiRaidModel model{g.design.v, g.design.k, g.m};
+  for (Row& row : out.rows) {
+    if (row.series == "raid5") {
+      row.model_speedup = 1.0;
+    } else if (row.series == "raid50") {
+      row.model_speedup = layout::raid5_busiest_fraction(g.disks()) /
+                          layout::raid50_busiest_fraction(g.design.v, g.m);
+    } else if (row.series == "pd") {
+      row.model_speedup = layout::raid5_busiest_fraction(g.disks()) /
+                          layout::pd_busiest_fraction(g.disks(), g.m);
+    } else if (row.series == "rs-flat") {
+      // Every survivor reads k/(n-1) of a disk plus the write share.
+      const double n = static_cast<double>(g.disks());
+      row.model_speedup = layout::raid5_busiest_fraction(g.disks()) /
+                          ((n - 3.0) / (n - 1.0) + 1.0 / (n - 1.0));
+    } else {
+      row.model_speedup = model.speedup_vs_raid5();
+    }
+  }
+  return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::size_t threads = flags.get_threads(0);  // default: all cores
+
   print_experiment_header("E2", "single-failure rebuild time vs array size");
   Table table({"geometry", "scheme", "disks", "strips/disk", "rebuild", "bw bound",
                "speedup vs raid5", "model speedup"});
+  BenchJson json("recovery_speedup");
+
+  const auto sweep = geometry_sweep(true);
+  std::vector<GeometryRows> measured(sweep.size());
+  {
+    ThreadPool pool(threads);
+    pool.parallel_for(0, sweep.size(),
+                      [&](std::size_t i) { measured[i] = measure_geometry(sweep[i]); });
+  }
+
   std::vector<Row> rows;
-
-  for (const Geometry& g : geometry_sweep(true)) {
-    // Equal per-disk capacity across schemes: S = r * H.
-    const std::size_t h = region_height_for(g, 30);
-    const auto oi_layout = make_oi(g, h);
-    const std::size_t strips = oi_layout.strips_per_disk();
-
-    std::vector<Row> here;
-    here.push_back(measure(make_raid5(g, strips), "raid5"));
-    here.push_back(measure(make_raid50(g, strips), "raid50"));
-    if (const auto pd = make_pd(g, strips)) here.push_back(measure(*pd, "pd"));
-    {
-      // Same-tolerance flat MDS baseline at the same disk count: RS(n-3, 3).
-      const layout::CodedFlatLayout rs(
-          std::make_shared<codes::ReedSolomon>(g.disks() - 3, 3), strips);
-      here.push_back(measure(rs, "rs-flat"));
-    }
-    here.push_back(measure(oi_layout, "oi-raid"));
-
-    const double raid5_time = here.front().rebuild_seconds;
-    const layout::OiRaidModel model{g.design.v, g.design.k, g.m};
-    for (const Row& row : here) {
-      double model_speedup = 0.0;
-      if (row.series == "raid5") {
-        model_speedup = 1.0;
-      } else if (row.series == "raid50") {
-        model_speedup = layout::raid5_busiest_fraction(g.disks()) /
-                        layout::raid50_busiest_fraction(g.design.v, g.m);
-      } else if (row.series == "pd") {
-        model_speedup = layout::raid5_busiest_fraction(g.disks()) /
-                        layout::pd_busiest_fraction(g.disks(), g.m);
-      } else if (row.series == "rs-flat") {
-        // Every survivor reads k/(n-1) of a disk plus the write share.
-        const double n = static_cast<double>(g.disks());
-        model_speedup = layout::raid5_busiest_fraction(g.disks()) /
-                        ((n - 3.0) / (n - 1.0) + 1.0 / (n - 1.0));
-      } else {
-        model_speedup = model.speedup_vs_raid5();
-      }
-      table.row().cell(g.label).cell(row.series).cell(row.disks).cell(strips)
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const Geometry& g = sweep[i];
+    const double raid5_time = measured[i].rows.front().rebuild_seconds;
+    for (const Row& row : measured[i].rows) {
+      table.row().cell(g.label).cell(row.series).cell(row.disks)
+          .cell(measured[i].strips)
           .cell(format_seconds(row.rebuild_seconds))
           .cell(format_seconds(row.bound_seconds))
           .cell(raid5_time / row.rebuild_seconds, 2)
-          .cell(model_speedup, 2);
+          .cell(row.model_speedup, 2);
+      json.record(g.label, row.series + "_rebuild_seconds", row.rebuild_seconds);
+      json.record(g.label, row.series + "_speedup_vs_raid5",
+                  raid5_time / row.rebuild_seconds);
       rows.push_back(row);
     }
   }
@@ -105,10 +139,6 @@ int main() {
   std::cout << "\n# figure series: x = disks, y = speedup vs raid5 at same size\n";
   // Regroup per scheme for the figure.
   for (const std::string series : {"raid5", "raid50", "pd", "rs-flat", "oi-raid"}) {
-    double raid5_time = 0.0;
-    for (const Row& row : rows) {
-      if (row.series == "raid5" && raid5_time == 0.0) raid5_time = row.rebuild_seconds;
-    }
     for (std::size_t i = 0; i < rows.size(); ++i) {
       if (rows[i].series != series) continue;
       // Find the raid5 row with the same disk-count context (same geometry

@@ -6,14 +6,23 @@
 // structural Monte-Carlo estimate are reported. The claim: OI-RAID's
 // combination of 3-fault tolerance and a much shorter rebuild window puts
 // its MTTDL orders of magnitude above RAID6, which is above RAID5(+0)/PD.
+//
+// The independent measurements (per-scheme rebuild simulations, per-scheme
+// Monte-Carlo runs) fan out over a thread pool (--threads N, 0 = all
+// cores); tables are emitted in fixed order afterwards, and results land in
+// BENCH_reliability.json as well.
+#include <functional>
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/fault_analysis.hpp"
 #include "reliability/models.hpp"
 #include "reliability/monte_carlo.hpp"
 #include "sim/rebuild.hpp"
+#include "util/flags.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -39,9 +48,20 @@ double scaled_rebuild_hours(const layout::Layout& layout) {
   return result.rebuild_seconds * (real_strips / sim_strips) / 3600.0;
 }
 
+/// Runs the given independent measurements concurrently; each writes only
+/// its own output slot, so ordering stays deterministic.
+void fan_out(ThreadPool& pool, const std::vector<std::function<void()>>& jobs) {
+  pool.parallel_for(0, jobs.size(), [&](std::size_t i) { jobs[i](); });
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::size_t threads = flags.get_threads(0);  // default: all cores
+  ThreadPool pool(threads);
+  BenchJson json("reliability");
+
   print_experiment_header("E7a", "MTTDL (Markov), rebuild window from simulation");
   Table table({"scheme", "disks", "rebuild window", "MTTDL", "vs raid5"});
 
@@ -50,25 +70,33 @@ int main() {
   const auto oi_layout = make_oi(fano, h);
   const std::size_t strips = oi_layout.strips_per_disk();
   const std::size_t n = oi_layout.disks();
-
-  const double raid5_hours = scaled_rebuild_hours(make_raid5(fano, strips));
-  const double raid50_hours = scaled_rebuild_hours(make_raid50(fano, strips));
   const auto pd = make_pd(fano, strips);
-  const double pd_hours = pd ? scaled_rebuild_hours(*pd) : 0.0;
-  const double oi_hours = scaled_rebuild_hours(oi_layout);
-
-  // Fatal fraction of a 4th concurrent failure, from the structural sweep on
-  // the compact geometry.
-  Rng rng(5);
   const auto compact = make_oi(fano, 2);
-  const auto sweep4 = core::sweep_failure_patterns(compact, 4, 100000, rng, false);
-  const double fatal4 = 1.0 - sweep4.peel_fraction();
 
+  double raid5_hours = 0.0, raid50_hours = 0.0, pd_hours = 0.0, oi_hours = 0.0;
+  double fatal4 = 0.0;
+  fan_out(pool, {
+      [&] { raid5_hours = scaled_rebuild_hours(make_raid5(fano, strips)); },
+      [&] { raid50_hours = scaled_rebuild_hours(make_raid50(fano, strips)); },
+      [&] { if (pd) pd_hours = scaled_rebuild_hours(*pd); },
+      [&] { oi_hours = scaled_rebuild_hours(oi_layout); },
+      [&] {
+        // Fatal fraction of a 4th concurrent failure, from the structural
+        // sweep on the compact geometry.
+        Rng rng(5);
+        const auto sweep4 =
+            core::sweep_failure_patterns(compact, 4, 100000, rng, false);
+        fatal4 = 1.0 - sweep4.peel_fraction();
+      },
+  });
+
+  double raid5_mttdl = 0.0;
   auto emit = [&](const std::string& name, double mttdl, double window) {
-    static double raid5_mttdl = 0.0;
     if (raid5_mttdl == 0.0) raid5_mttdl = mttdl;
     table.row().cell(name).cell(n).cell(format_seconds(window * 3600.0))
         .cell(format_seconds(mttdl * 3600.0)).cell(mttdl / raid5_mttdl, 1);
+    json.record(fano.label, name + "_mttdl_hours", mttdl);
+    json.record(fano.label, name + "_rebuild_window_hours", window);
   };
 
   DiskReliabilityParams base;  // 1.2M hours MTTF
@@ -100,6 +128,7 @@ int main() {
   table.print(std::cout);
   std::cout << "fatal fraction of a 4th concurrent failure (E1 sweep): " << fatal4
             << "\n";
+  json.record(fano.label, "fatal_fraction_4th_failure", fatal4);
 
   print_experiment_header("E7b", "P(data loss) vs mission time (Markov, series)");
   for (double years : {1.0, 2.0, 5.0, 10.0, 20.0}) {
@@ -127,18 +156,32 @@ int main() {
   mc.mission_hours = 20'000;
   mc.trials = 1500;
   mc.seed = 31;
-  Table mc_table({"scheme", "disks", "losses/trials", "P(loss)", "ci95"});
-  auto run_mc = [&](const layout::Layout& layout) {
-    const auto r = reliability::monte_carlo_reliability(layout, mc);
-    mc_table.row().cell(layout.name()).cell(layout.disks())
-        .cell(std::to_string(r.losses) + "/" + std::to_string(r.trials))
-        .cell(r.loss_probability, 4).cell(r.ci95, 4);
-  };
-  run_mc(make_raid5(fano, 2));
-  run_mc(make_raid50(fano, 2));
-  if (auto pd_small = make_pd(fano, 2)) run_mc(*pd_small);
-  run_mc(compact);
-  mc_table.print(std::cout);
+  {
+    std::vector<const layout::Layout*> schemes;
+    const auto raid5_small = make_raid5(fano, 2);
+    const auto raid50_small = make_raid50(fano, 2);
+    const auto pd_small = make_pd(fano, 2);
+    schemes.push_back(&raid5_small);
+    schemes.push_back(&raid50_small);
+    if (pd_small) schemes.push_back(&*pd_small);
+    schemes.push_back(&compact);
+
+    std::vector<reliability::MonteCarloResult> results(schemes.size());
+    pool.parallel_for(0, schemes.size(), [&](std::size_t i) {
+      results[i] = reliability::monte_carlo_reliability(*schemes[i], mc);
+    });
+
+    Table mc_table({"scheme", "disks", "losses/trials", "P(loss)", "ci95"});
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      const auto& r = results[i];
+      mc_table.row().cell(schemes[i]->name()).cell(schemes[i]->disks())
+          .cell(std::to_string(r.losses) + "/" + std::to_string(r.trials))
+          .cell(r.loss_probability, 4).cell(r.ci95, 4);
+      json.record(fano.label, schemes[i]->name() + "_mc_loss_probability",
+                  r.loss_probability);
+    }
+    mc_table.print(std::cout);
+  }
 
   print_experiment_header(
       "E7d", "MTTDL with latent sector errors (extension; 8 TB disks, 1e-15/bit URE)");
@@ -167,6 +210,7 @@ int main() {
           reliability::mttdl_t_tolerant(layout.disks(), tolerance, p);
       lse_table.row().cell(name).cell(tolerance).cell(format_bytes(bytes))
           .cell(p_lse, 5).cell(format_seconds(with * 3600.0)).cell(with / without, 4);
+      json.record(fano.label, name + "_mttdl_lse_hours", with);
     };
     lse_row("raid5", make_raid5(fano, strips), 1, raid5_hours);
     if (pd) lse_row("pd", *pd, 1, pd_hours);
@@ -185,16 +229,28 @@ int main() {
     rack.seed = 37;
     rack.disks_per_domain = 3;
     rack.domain_mttf_hours = 200'000;  // one rack outage every ~23 years
+
+    std::vector<const layout::Layout*> schemes;
+    const auto raid50_small = make_raid50(fano, 2);
+    const auto pd_small = make_pd(fano, 2);
+    schemes.push_back(&compact);
+    schemes.push_back(&raid50_small);
+    if (pd_small) schemes.push_back(&*pd_small);
+
+    std::vector<reliability::MonteCarloResult> results(schemes.size());
+    pool.parallel_for(0, schemes.size(), [&](std::size_t i) {
+      results[i] = reliability::monte_carlo_reliability(*schemes[i], rack);
+    });
+
     Table rack_table({"scheme", "losses/trials", "P(loss in 10y)", "ci95"});
-    auto rack_row = [&](const layout::Layout& layout) {
-      const auto r = reliability::monte_carlo_reliability(layout, rack);
-      rack_table.row().cell(layout.name())
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      const auto& r = results[i];
+      rack_table.row().cell(schemes[i]->name())
           .cell(std::to_string(r.losses) + "/" + std::to_string(r.trials))
           .cell(r.loss_probability, 4).cell(r.ci95, 4);
-    };
-    rack_row(compact);
-    rack_row(make_raid50(fano, 2));
-    if (auto pd_small = make_pd(fano, 2)) rack_row(*pd_small);
+      json.record(fano.label, schemes[i]->name() + "_rack_loss_probability",
+                  r.loss_probability);
+    }
     rack_table.print(std::cout);
   }
 

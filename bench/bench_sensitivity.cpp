@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "reliability/models.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -25,6 +26,8 @@ int main() {
   const std::size_t n = 21;
   const double oi_speedup = 4.0;   // E2, fano_m3, conservative (measured)
   const double fatal4 = 0.0152;    // E1 sweep
+  BenchJson json("sensitivity");
+  const std::string label = "n21";  // fixed 21-disk running example
 
   print_experiment_header("E10a", "MTTDL grid: disk MTTF x RAID5-class rebuild window");
   {
@@ -43,6 +46,10 @@ int main() {
         table.row().cell(format_seconds(mttf * 3600)).cell(format_seconds(rebuild * 3600))
             .cell(format_seconds(r5 * 3600)).cell(format_seconds(r6 * 3600))
             .cell(format_seconds(oi_mttdl * 3600)).cell(oi_mttdl / r6, 1);
+        json.record(label,
+                    "mttf" + std::to_string(static_cast<long>(mttf)) + "_rebuild" +
+                        std::to_string(static_cast<int>(rebuild)) + "h_oi_over_raid6",
+                    oi_mttdl / r6);
       }
     }
     table.print(std::cout);
@@ -67,6 +74,9 @@ int main() {
           .cell(format_seconds(raid6_window / oi_speedup * 3600))
           .cell(format_seconds(r6 * 3600)).cell(format_seconds(oi_mttdl * 3600))
           .cell(oi_mttdl / r6, 1);
+      const std::string tb_key = std::to_string(static_cast<int>(tb)) + "tb";
+      json.record(label, tb_key + "_raid6_mttdl_hours", r6);
+      json.record(label, tb_key + "_oi_mttdl_hours", oi_mttdl);
     }
     table.print(std::cout);
   }
@@ -77,9 +87,12 @@ int main() {
     base.rebuild_hours = 24.0;
     DiskReliabilityParams oi = base;
     oi.rebuild_hours = base.rebuild_hours / speedup;
-    print_series_point(std::cout, "oi_over_raid6", speedup,
-                       reliability::mttdl_oi_raid(n, oi, fatal4) /
-                           reliability::mttdl_raid6(n, base));
+    const double ratio = reliability::mttdl_oi_raid(n, oi, fatal4) /
+                         reliability::mttdl_raid6(n, base);
+    print_series_point(std::cout, "oi_over_raid6", speedup, ratio);
+    json.record(label,
+                "speedup" + std::to_string(static_cast<int>(speedup)) + "_oi_over_raid6",
+                ratio);
   }
 
   std::cout << "\nExpected shape: RAID6's absolute MTTDL collapses ~256x as disks\n"

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "layout/analysis.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -23,6 +24,7 @@ int main() {
 
   Table table({"scheme", "tolerance", "geometry", "disks", "data fraction",
                "usable of 21 x 1TiB", "formula vs layout"});
+  BenchJson json("storage_overhead");
 
   for (const Geometry& g : geometry_sweep(true)) {
     const auto oi_layout = make_oi(g, 6);
@@ -32,26 +34,29 @@ int main() {
     table.row().cell("oi-raid").cell(std::size_t{3}).cell(g.label)
         .cell(oi_layout.disks()).cell(actual, 4).cell(usable_tib, 2)
         .cell(std::abs(formula - actual) < 1e-12 ? "match" : "MISMATCH");
+    json.record(g.label, "oi_data_fraction", actual);
   }
 
   struct Baseline {
     std::string name;
+    std::string key;
     std::size_t tolerance;
     double fraction;
   };
   const std::vector<Baseline> baselines = {
-      {"raid5 (n=21)", 1, layout::raid5_data_fraction(21)},
-      {"raid5+0 (m=3)", 1, layout::raid50_data_fraction(3)},
-      {"raid6/rdp", 2, layout::rs_data_fraction(19, 2)},
-      {"raid5+1 (2x10)", 3, layout::raid5_data_fraction(10) / 2.0},
-      {"rs(6,3)", 3, layout::rs_data_fraction(6, 3)},
-      {"rs(12,3)", 3, layout::rs_data_fraction(12, 3)},
-      {"3-replication", 2, layout::replication_data_fraction(3)},
-      {"4-replication", 3, layout::replication_data_fraction(4)},
+      {"raid5 (n=21)", "raid5", 1, layout::raid5_data_fraction(21)},
+      {"raid5+0 (m=3)", "raid50", 1, layout::raid50_data_fraction(3)},
+      {"raid6/rdp", "raid6", 2, layout::rs_data_fraction(19, 2)},
+      {"raid5+1 (2x10)", "raid51", 3, layout::raid5_data_fraction(10) / 2.0},
+      {"rs(6,3)", "rs_6_3", 3, layout::rs_data_fraction(6, 3)},
+      {"rs(12,3)", "rs_12_3", 3, layout::rs_data_fraction(12, 3)},
+      {"3-replication", "replication3", 2, layout::replication_data_fraction(3)},
+      {"4-replication", "replication4", 3, layout::replication_data_fraction(4)},
   };
   for (const Baseline& b : baselines) {
     table.row().cell(b.name).cell(b.tolerance).cell("-").cell(std::size_t{21})
         .cell(b.fraction, 4).cell(21.0 * b.fraction, 2).cell("closed form");
+    json.record("n21", b.key + "_data_fraction", b.fraction);
   }
   table.print(std::cout);
 

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "layout/raid51.hpp"
 #include "core/array.hpp"
 #include "core/coded_array.hpp"
@@ -52,37 +53,32 @@ int main() {
   print_experiment_header("E6", "small-write update cost (measured on the write path)");
   Table table({"scheme", "tolerance", "parity writes/op", "reads/op", "writes/op",
                "optimal for t?"});
+  BenchJson json("update_cost");
 
   const Geometry fano = geometry_sweep(false)[0];
 
-  {
-    const auto m = measure(std::make_shared<layout::OiRaidLayout>(
-        layout::OiRaidParams{fano.design, fano.m, 6}));
-    table.row().cell("oi-raid (fano,m=3)").cell(std::size_t{3})
-        .cell(m.parity_writes, 2).cell(m.reads, 2).cell(m.writes, 2)
-        .cell(m.parity_writes == 3.0);
-  }
-  {
-    const auto m = measure(std::make_shared<layout::Raid5Layout>(21, 18));
-    table.row().cell("raid5 (n=21)").cell(std::size_t{1}).cell(m.parity_writes, 2)
-        .cell(m.reads, 2).cell(m.writes, 2).cell(m.parity_writes == 1.0);
-  }
-  {
-    const auto m = measure(std::make_shared<layout::Raid50Layout>(7, 3, 18));
-    table.row().cell("raid5+0 (7x3)").cell(std::size_t{1}).cell(m.parity_writes, 2)
-        .cell(m.reads, 2).cell(m.writes, 2).cell(m.parity_writes == 1.0);
-  }
-  {
-    const auto m = measure(std::make_shared<layout::ParityDeclusteredLayout>(
-        bibd::bose_steiner_triple(21), 2));
-    table.row().cell("pd (21,3,1)").cell(std::size_t{1}).cell(m.parity_writes, 2)
-        .cell(m.reads, 2).cell(m.writes, 2).cell(m.parity_writes == 1.0);
-  }
-  {
-    const auto m = measure(std::make_shared<layout::Raid51Layout>(10, 18));
-    table.row().cell("raid5+1 (2x10)").cell(std::size_t{3}).cell(m.parity_writes, 2)
-        .cell(m.reads, 2).cell(m.writes, 2).cell(m.parity_writes == 3.0);
-  }
+  auto emit = [&](const std::string& name, const std::string& key,
+                  std::size_t tolerance, const Measured& m) {
+    table.row().cell(name).cell(tolerance).cell(m.parity_writes, 2)
+        .cell(m.reads, 2).cell(m.writes, 2)
+        .cell(m.parity_writes == static_cast<double>(tolerance));
+    json.record(fano.label, key + "_parity_writes_per_op", m.parity_writes);
+    json.record(fano.label, key + "_reads_per_op", m.reads);
+    json.record(fano.label, key + "_writes_per_op", m.writes);
+  };
+
+  emit("oi-raid (fano,m=3)", "oi_raid", 3,
+       measure(std::make_shared<layout::OiRaidLayout>(
+           layout::OiRaidParams{fano.design, fano.m, 6})));
+  emit("raid5 (n=21)", "raid5", 1,
+       measure(std::make_shared<layout::Raid5Layout>(21, 18)));
+  emit("raid5+0 (7x3)", "raid50", 1,
+       measure(std::make_shared<layout::Raid50Layout>(7, 3, 18)));
+  emit("pd (21,3,1)", "pd", 1,
+       measure(std::make_shared<layout::ParityDeclusteredLayout>(
+           bibd::bose_steiner_triple(21), 2)));
+  emit("raid5+1 (2x10)", "raid51", 3,
+       measure(std::make_shared<layout::Raid51Layout>(10, 18)));
   // Flat coded arrays, measured through the delta-update write path.
   auto measure_coded = [](std::shared_ptr<codes::ErasureCode> code,
                           std::size_t strip_bytes) {
@@ -100,16 +96,10 @@ int main() {
                     static_cast<double>(c.strip_reads) / kWrites,
                     static_cast<double>(c.strip_writes) / kWrites};
   };
-  {
-    const auto m = measure_coded(std::make_shared<codes::ReedSolomon>(6, 3), 32);
-    table.row().cell("rs(6,3) measured").cell(std::size_t{3}).cell(m.parity_writes, 2)
-        .cell(m.reads, 2).cell(m.writes, 2).cell(m.parity_writes == 3.0);
-  }
-  {
-    const auto m = measure_coded(std::make_shared<codes::RdpCode>(7), 24);
-    table.row().cell("rdp(p=7) measured").cell(std::size_t{2}).cell(m.parity_writes, 2)
-        .cell(m.reads, 2).cell(m.writes, 2).cell(m.parity_writes == 2.0);
-  }
+  emit("rs(6,3) measured", "rs_6_3", 3,
+       measure_coded(std::make_shared<codes::ReedSolomon>(6, 3), 32));
+  emit("rdp(p=7) measured", "rdp_p7", 2,
+       measure_coded(std::make_shared<codes::RdpCode>(7), 24));
   table.row().cell("3-replication").cell(std::size_t{2}).cell(2.0, 2).cell(0.0, 2)
       .cell(3.0, 2).cell(true);
   table.print(std::cout);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "layout/stripe_map.hpp"
 #include "util/assert.hpp"
 
 namespace oi::core {
@@ -34,31 +35,27 @@ std::span<const std::uint8_t> Array::strip(layout::StripLoc loc) const {
 }
 
 std::optional<std::vector<std::uint8_t>> Array::reconstruct(
-    layout::StripLoc loc, std::set<layout::StripLoc>& in_progress) const {
-  auto relations = layout_->relations_of(loc);
-  // Prefer the relations that avoid the lost strip's own group (outer, then
-  // composite); fall back to anything that resolves.
-  std::stable_sort(relations.begin(), relations.end(),
-                   [](const layout::Relation& a, const layout::Relation& b) {
-                     return static_cast<int>(a.kind) > static_cast<int>(b.kind);
-                   });
-  in_progress.insert(loc);
-  for (const auto& rel : relations) {
+    std::uint32_t strip_id, std::vector<char>& in_progress) const {
+  const layout::StripeMap& map = layout_->stripe_map();
+  in_progress[strip_id] = 1;
+  // preferred_occurrences lists relations that avoid the lost strip's own
+  // group first (outer, then composite); fall back to anything that resolves.
+  for (const std::uint32_t occ : map.preferred_occurrences(strip_id)) {
     std::vector<std::uint8_t> value(strip_bytes_, 0);
     bool ok = true;
-    for (const auto& member : rel.strips) {
-      if (member == loc) continue;
+    for (const std::uint32_t member : map.occurrence_members(occ)) {
+      if (member == strip_id) continue;
       // A strip currently being reconstructed is unusable whatever its disk
       // state: for a failed disk this breaks recursion cycles, and for a
       // *healthy* disk it keeps repair_strip from reading the very bytes it
       // is repairing (the corrupt strip must never feed its own repair).
-      if (in_progress.contains(member)) {
+      if (in_progress[member]) {
         ok = false;
         break;
       }
-      if (!failed_.contains(member.disk)) {
+      if (!failed_.contains(map.disk_of(member))) {
         ++counters_.strip_reads;
-        const auto src = strip(member);
+        const auto src = strip(map.strip_loc(member));
         for (std::size_t i = 0; i < strip_bytes_; ++i) value[i] ^= src[i];
         continue;
       }
@@ -72,11 +69,11 @@ std::optional<std::vector<std::uint8_t>> Array::reconstruct(
       for (std::size_t i = 0; i < strip_bytes_; ++i) value[i] ^= (*sub)[i];
     }
     if (ok) {
-      in_progress.erase(loc);
+      in_progress[strip_id] = 0;
       return value;
     }
   }
-  in_progress.erase(loc);
+  in_progress[strip_id] = 0;
   return std::nullopt;
 }
 
@@ -88,8 +85,9 @@ std::vector<std::uint8_t> Array::read(std::size_t logical) const {
     const auto src = strip(loc);
     return {src.begin(), src.end()};
   }
-  std::set<layout::StripLoc> in_progress;
-  const auto value = reconstruct(loc, in_progress);
+  const layout::StripeMap& map = layout_->stripe_map();
+  std::vector<char> in_progress(map.total_strips(), 0);
+  const auto value = reconstruct(map.strip_id(loc), in_progress);
   if (!value.has_value()) {
     throw std::runtime_error("degraded read unrecoverable under current failures");
   }
@@ -123,8 +121,9 @@ void Array::write(std::size_t logical, std::span<const std::uint8_t> data) {
     // accepted -- the old value is decoded from redundancy and the surviving
     // parity strips absorb the delta, so the *rebuild* will materialize the
     // new data. Fails only when the pattern is beyond decoding.
-    std::set<layout::StripLoc> in_progress;
-    const auto old = reconstruct(data_loc, in_progress);
+    const layout::StripeMap& map = layout_->stripe_map();
+    std::vector<char> in_progress(map.total_strips(), 0);
+    const auto old = reconstruct(map.strip_id(data_loc), in_progress);
     if (!old.has_value()) {
       throw std::runtime_error(
           "degraded write unrecoverable: old value cannot be reconstructed");
@@ -246,10 +245,11 @@ bool Array::repair_strip(layout::StripLoc loc) {
   OI_ENSURE(!failed_.contains(loc.disk),
             "repair_strip fixes silent corruption on healthy disks; use rebuild() "
             "for failed disks");
-  std::set<layout::StripLoc> in_progress;
+  const layout::StripeMap& map = layout_->stripe_map();
+  std::vector<char> in_progress(map.total_strips(), 0);
   // reconstruct() reads only *other* strips of loc's relations, so the
   // corrupt content never contaminates the repair.
-  const auto value = reconstruct(loc, in_progress);
+  const auto value = reconstruct(map.strip_id(loc), in_progress);
   if (!value.has_value()) return false;
   auto dst = strip(loc);
   std::copy(value->begin(), value->end(), dst.begin());
@@ -258,33 +258,28 @@ bool Array::repair_strip(layout::StripLoc loc) {
 }
 
 std::string Array::scrub() const {
-  // Deduplicate relations by their sorted member list; composite relations
-  // are linear combinations of inner+outer ones, so checking those two kinds
-  // suffices.
-  std::set<std::vector<layout::StripLoc>> seen;
-  for (std::size_t disk = 0; disk < layout_->disks(); ++disk) {
-    for (std::size_t offset = 0; offset < layout_->strips_per_disk(); ++offset) {
-      for (const auto& rel : layout_->relations_of({disk, offset})) {
-        if (rel.kind == layout::RelationKind::kOuterComposite) continue;
-        std::vector<layout::StripLoc> key = rel.strips;
-        std::sort(key.begin(), key.end());
-        if (!seen.insert(key).second) continue;
-        if (std::any_of(key.begin(), key.end(), [&](const layout::StripLoc& l) {
-              return failed_.contains(l.disk);
-            })) {
-          continue;
-        }
-        std::vector<std::uint8_t> acc(strip_bytes_, 0);
-        for (const auto& member : key) {
-          const auto src = strip(member);
-          for (std::size_t i = 0; i < strip_bytes_; ++i) acc[i] ^= src[i];
-        }
-        if (std::any_of(acc.begin(), acc.end(), [](std::uint8_t b) { return b != 0; })) {
-          return "relation starting at disk=" + std::to_string(key.front().disk) +
-                 " offset=" + std::to_string(key.front().offset) +
-                 " does not XOR to zero";
-        }
-      }
+  // The StripeMap's canonical relation table is already deduplicated, so each
+  // stripe is verified exactly once; composite relations are linear
+  // combinations of inner+outer ones, so checking those two kinds suffices.
+  const layout::StripeMap& map = layout_->stripe_map();
+  std::vector<std::uint8_t> acc(strip_bytes_);
+  for (std::uint32_t rel = 0; rel < map.relations(); ++rel) {
+    if (map.relation_kind(rel) == layout::RelationKind::kOuterComposite) continue;
+    const auto members = map.relation_members(rel);
+    if (std::any_of(members.begin(), members.end(), [&](std::uint32_t m) {
+          return failed_.contains(map.disk_of(m));
+        })) {
+      continue;
+    }
+    std::fill(acc.begin(), acc.end(), 0);
+    for (const std::uint32_t member : members) {
+      const auto src = strip(map.strip_loc(member));
+      for (std::size_t i = 0; i < strip_bytes_; ++i) acc[i] ^= src[i];
+    }
+    if (std::any_of(acc.begin(), acc.end(), [](std::uint8_t b) { return b != 0; })) {
+      const layout::StripLoc first = map.strip_loc(members.front());
+      return "relation starting at disk=" + std::to_string(first.disk) +
+             " offset=" + std::to_string(first.offset) + " does not XOR to zero";
     }
   }
   return {};

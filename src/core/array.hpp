@@ -115,10 +115,12 @@ class Array {
   std::span<const std::uint8_t> strip(layout::StripLoc loc) const;
   /// Reconstructs a lost strip's content by XOR over a relation, recursively
   /// resolving members that are themselves lost (staged repair, as in the
-  /// 2+1 failure case where the peer group must be decoded first).
-  /// `in_progress` breaks cycles; nullopt when no relation chain resolves.
+  /// 2+1 failure case where the peer group must be decoded first). Runs on
+  /// the layout's compiled StripeMap; `strip_id` addresses the IR's flat
+  /// strip table and `in_progress` (one flag per strip) breaks cycles.
+  /// nullopt when no relation chain resolves.
   std::optional<std::vector<std::uint8_t>> reconstruct(
-      layout::StripLoc loc, std::set<layout::StripLoc>& in_progress) const;
+      std::uint32_t strip_id, std::vector<char>& in_progress) const;
 
   std::shared_ptr<const layout::Layout> layout_;
   std::size_t strip_bytes_;

@@ -134,8 +134,10 @@ CodedRebuildReport CodedArray::rebuild() {
     throw std::runtime_error("failure pattern exceeds the code's tolerance; data lost");
   }
   const auto before_reads = counters_.strip_reads;
+  // One stripe buffer reused across offsets: gather() reassigns every slot,
+  // so nothing leaks between stripes and the per-stripe allocations vanish.
+  std::vector<codes::Strip> strips;
   for (std::size_t offset = 0; offset < strips_; ++offset) {
-    std::vector<codes::Strip> strips;
     const auto present = gather(offset, strips);
     const bool ok = code_->decode(strips, present);
     OI_ASSERT(ok, "decode must succeed within the code's tolerance");
@@ -154,9 +156,13 @@ CodedRebuildReport CodedArray::rebuild() {
 }
 
 std::string CodedArray::scrub() const {
+  // Stripe buffers reused across offsets: each slot is fully reassigned (or
+  // the stripe skipped) before use, and every codec's encode() assigns its
+  // parity strips outright.
+  std::vector<codes::Strip> data(code_->data_strips());
+  std::vector<codes::Strip> parity(code_->parity_strips());
   for (std::size_t offset = 0; offset < strips_; ++offset) {
     bool stripe_touched_failure = false;
-    std::vector<codes::Strip> data(code_->data_strips());
     for (std::size_t slot = 0; slot < code_->data_strips(); ++slot) {
       const std::size_t disk = disk_of(slot, offset);
       if (failed_.contains(disk)) {
@@ -167,7 +173,6 @@ std::string CodedArray::scrub() const {
       data[slot].assign(src.begin(), src.end());
     }
     if (stripe_touched_failure) continue;
-    std::vector<codes::Strip> parity(code_->parity_strips());
     code_->encode(data, parity);
     bool mismatch = false;
     for (std::size_t p = 0; p < parity.size() && !mismatch; ++p) {

@@ -1,9 +1,10 @@
 #include "core/fault_analysis.hpp"
 
 #include <algorithm>
-#include <map>
+#include <limits>
 #include <set>
 
+#include "layout/stripe_map.hpp"
 #include "util/assert.hpp"
 
 namespace oi::core {
@@ -49,36 +50,36 @@ bool exact_recoverable(const layout::Layout& layout,
   const std::set<std::size_t> failed(failed_disks.begin(), failed_disks.end());
   if (failed.empty()) return true;
 
+  const layout::StripeMap& map = layout.stripe_map();
+
   // Index the unknowns (every strip of every failed disk).
-  std::map<layout::StripLoc, std::size_t> var_index;
+  constexpr std::uint32_t kKnown = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> var_of(map.total_strips(), kKnown);
+  std::size_t vars = 0;
   for (std::size_t disk : failed) {
-    OI_ENSURE(disk < layout.disks(), "failed disk id out of range");
-    for (std::size_t offset = 0; offset < layout.strips_per_disk(); ++offset) {
-      var_index.emplace(layout::StripLoc{disk, offset}, var_index.size());
+    OI_ENSURE(disk < map.disks(), "failed disk id out of range");
+    for (std::size_t offset = 0; offset < map.strips_per_disk(); ++offset) {
+      var_of[map.strip_id({disk, offset})] = static_cast<std::uint32_t>(vars++);
     }
   }
-  const std::size_t vars = var_index.size();
 
-  // Gather every inner/outer relation touching an unknown, deduplicated.
-  // Composite relations lie in the span of these and add no rank.
-  std::set<std::vector<layout::StripLoc>> seen;
+  // Gather every inner/outer relation touching an unknown; the canonical
+  // relation table is already deduplicated. Composite relations lie in the
+  // span of these and add no rank.
   std::vector<std::vector<std::uint64_t>> rows;
   const std::size_t words = (vars + 63) / 64;
-  for (const auto& [loc, idx] : var_index) {
-    (void)idx;
-    for (const auto& rel : layout.relations_of(loc)) {
-      if (rel.kind == layout::RelationKind::kOuterComposite) continue;
-      std::vector<layout::StripLoc> key = rel.strips;
-      std::sort(key.begin(), key.end());
-      if (!seen.insert(key).second) continue;
-      std::vector<std::uint64_t> row(words, 0);
-      for (const auto& member : key) {
-        const auto it = var_index.find(member);
-        if (it == var_index.end()) continue;
-        row[it->second / 64] |= 1ULL << (it->second % 64);
-      }
-      rows.push_back(std::move(row));
+  for (std::uint32_t rel = 0; rel < map.relations(); ++rel) {
+    if (map.relation_kind(rel) == layout::RelationKind::kOuterComposite) continue;
+    const auto members = map.relation_members(rel);
+    std::vector<std::uint64_t> row(words, 0);
+    bool touches_unknown = false;
+    for (const std::uint32_t member : members) {
+      const std::uint32_t var = var_of[member];
+      if (var == kKnown) continue;
+      touches_unknown = true;
+      row[var / 64] |= 1ULL << (var % 64);
     }
+    if (touches_unknown) rows.push_back(std::move(row));
   }
 
   // Rank via Gaussian elimination. The system is consistent by construction

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "layout/stripe_map.hpp"
 #include "util/assert.hpp"
 #include "util/stats.hpp"
 
@@ -12,12 +13,13 @@ RebuildLoad compute_rebuild_load(const Layout& layout,
                                  const std::vector<std::size_t>& failed_disks,
                                  const std::vector<RecoveryStep>& plan,
                                  SparePolicy spare) {
+  const StripeMap& map = layout.stripe_map();
   const std::set<std::size_t> failed(failed_disks.begin(), failed_disks.end());
   RebuildLoad load;
-  load.reads = per_disk_read_load(layout, failed_disks, plan);
+  load.reads = per_disk_read_load(map, failed_disks, plan);
   load.lost_strips = plan.size();
 
-  const std::size_t n = layout.disks();
+  const std::size_t n = map.disks();
   if (spare == SparePolicy::kDedicatedSpare) {
     // One replacement disk per failed disk; replacement f absorbs the strips
     // of the f-th failed disk.

@@ -5,13 +5,22 @@
 #include <set>
 #include <sstream>
 
+#include "layout/stripe_map.hpp"
 #include "util/assert.hpp"
 
 namespace oi::layout {
 
+Layout::~Layout() = default;
+
+const StripeMap& Layout::stripe_map() const {
+  std::lock_guard<std::mutex> lock(stripe_map_mutex_);
+  if (!stripe_map_) stripe_map_ = std::make_shared<const StripeMap>(*this);
+  return *stripe_map_;
+}
+
 std::optional<std::vector<RecoveryStep>> Layout::recovery_plan(
     const std::vector<std::size_t>& failed_disks) const {
-  return plan_by_peeling(*this, failed_disks);
+  return plan_by_peeling(stripe_map(), failed_disks);
 }
 
 double Layout::data_fraction() const {
@@ -20,22 +29,22 @@ double Layout::data_fraction() const {
 
 std::vector<StripLoc> Layout::degraded_read_sources(
     StripLoc loc, const std::set<std::size_t>& failed_disks) const {
-  auto relations = relations_of(loc);
-  std::stable_sort(relations.begin(), relations.end(),
-                   [](const Relation& a, const Relation& b) {
-                     return static_cast<int>(a.kind) > static_cast<int>(b.kind);
-                   });
-  for (const Relation& rel : relations) {
+  OI_ENSURE(loc.disk < disks() && loc.offset < strips_per_disk(),
+            "strip location out of range");
+  const StripeMap& map = stripe_map();
+  for (const std::uint32_t occ : map.preferred_occurrences(map.strip_id(loc))) {
+    const auto members = map.occurrence_members(occ);
     std::vector<StripLoc> sources;
-    sources.reserve(rel.strips.size() - 1);
+    sources.reserve(members.size() - 1);
     bool ok = true;
-    for (const StripLoc& member : rel.strips) {
-      if (member == loc) continue;
-      if (failed_disks.contains(member.disk)) {
+    for (const std::uint32_t member : members) {
+      const StripLoc member_loc = map.strip_loc(member);
+      if (member_loc == loc) continue;
+      if (failed_disks.contains(member_loc.disk)) {
         ok = false;
         break;
       }
-      sources.push_back(member);
+      sources.push_back(member_loc);
     }
     if (ok) return sources;
   }
@@ -43,6 +52,12 @@ std::vector<StripLoc> Layout::degraded_read_sources(
 }
 
 std::optional<std::vector<RecoveryStep>> plan_by_peeling(
+    const Layout& layout, const std::vector<std::size_t>& failed_disks,
+    bool prefer_outer) {
+  return plan_by_peeling(layout.stripe_map(), failed_disks, prefer_outer);
+}
+
+std::optional<std::vector<RecoveryStep>> plan_by_peeling_virtual(
     const Layout& layout, const std::vector<std::size_t>& failed_disks,
     bool prefer_outer) {
   const std::size_t strips = layout.strips_per_disk();
@@ -168,6 +183,10 @@ std::string check_mapping(const Layout& layout) {
 }
 
 std::string check_relations(const Layout& layout) {
+  return check_relations(layout.stripe_map());
+}
+
+std::string check_relations_virtual(const Layout& layout) {
   std::ostringstream err;
   for (std::size_t disk = 0; disk < layout.disks(); ++disk) {
     for (std::size_t offset = 0; offset < layout.strips_per_disk(); ++offset) {
@@ -221,53 +240,13 @@ std::string check_relations(const Layout& layout) {
 std::string check_recovery_plan(const Layout& layout,
                                 const std::vector<std::size_t>& failed_disks,
                                 const std::vector<RecoveryStep>& plan) {
-  std::ostringstream err;
-  const std::set<std::size_t> failed(failed_disks.begin(), failed_disks.end());
-  std::set<StripLoc> rebuilt;
-  for (std::size_t i = 0; i < plan.size(); ++i) {
-    const RecoveryStep& step = plan[i];
-    if (!failed.contains(step.lost.disk)) {
-      err << "step " << i << " rebuilds a strip on a healthy disk";
-      return err.str();
-    }
-    if (rebuilt.contains(step.lost)) {
-      err << "step " << i << " rebuilds a strip twice";
-      return err.str();
-    }
-    for (const StripLoc& read : step.reads) {
-      if (read.disk >= layout.disks() || read.offset >= layout.strips_per_disk()) {
-        err << "step " << i << " reads outside the array";
-        return err.str();
-      }
-      if (failed.contains(read.disk) && !rebuilt.contains(read)) {
-        err << "step " << i << " reads a strip that is lost and not yet rebuilt";
-        return err.str();
-      }
-    }
-    rebuilt.insert(step.lost);
-  }
-  const std::size_t expected = failed.size() * layout.strips_per_disk();
-  if (rebuilt.size() != expected) {
-    err << "plan rebuilds " << rebuilt.size() << " strips, expected " << expected;
-    return err.str();
-  }
-  return {};
+  return check_recovery_plan(layout.stripe_map(), failed_disks, plan);
 }
 
 std::vector<double> per_disk_read_load(const Layout& layout,
                                        const std::vector<std::size_t>& failed_disks,
                                        const std::vector<RecoveryStep>& plan) {
-  const std::set<std::size_t> failed(failed_disks.begin(), failed_disks.end());
-  std::vector<double> load(layout.disks(), 0.0);
-  for (const RecoveryStep& step : plan) {
-    for (const StripLoc& read : step.reads) {
-      // Reads of already-rebuilt strips come from the rebuild buffer, not a
-      // surviving disk; they carry no disk cost.
-      if (failed.contains(read.disk)) continue;
-      load[read.disk] += 1.0;
-    }
-  }
-  return load;
+  return per_disk_read_load(layout.stripe_map(), failed_disks, plan);
 }
 
 }  // namespace oi::layout

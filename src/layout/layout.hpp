@@ -16,12 +16,16 @@
 
 #include <compare>
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 namespace oi::layout {
+
+class StripeMap;
 
 struct StripLoc {
   std::size_t disk = 0;
@@ -85,7 +89,12 @@ struct WritePlan {
 
 class Layout {
  public:
-  virtual ~Layout() = default;
+  Layout() = default;
+  virtual ~Layout();
+  // The compiled-IR cache is identity-bound, never copied: a copy re-compiles
+  // lazily on first use.
+  Layout(const Layout&) noexcept {}
+  Layout& operator=(const Layout&) noexcept { return *this; }
 
   virtual std::size_t disks() const = 0;
   virtual std::size_t strips_per_disk() const = 0;
@@ -129,14 +138,32 @@ class Layout {
   std::size_t total_strips() const { return disks() * strips_per_disk(); }
   /// data_strips / total_strips.
   double data_fraction() const;
+
+  /// The compiled StripeMap IR for this layout: built on first use (one
+  /// relations_of/inspect/locate sweep), cached, and shared by reference by
+  /// every consumer afterwards. Thread-safe; concurrent first calls build
+  /// once. The reference stays valid for the layout's lifetime.
+  const StripeMap& stripe_map() const;
+
+ private:
+  mutable std::shared_ptr<const StripeMap> stripe_map_;
+  mutable std::mutex stripe_map_mutex_;
 };
 
 /// Generic relation-peeling planner used by Layout::recovery_plan. For
 /// strips whose role prefers it, outer relations are tried before inner ones
 /// (that is what spreads OI-RAID's recovery traffic across groups); the
 /// fallback order tries everything, so the planner finds a plan whenever
-/// iterative decoding can.
+/// iterative decoding can. Runs on the layout's compiled StripeMap.
 std::optional<std::vector<RecoveryStep>> plan_by_peeling(
+    const Layout& layout, const std::vector<std::size_t>& failed_disks,
+    bool prefer_outer = true);
+
+/// Reference implementation of the peeling planner over the virtual
+/// relations_of API, kept verbatim from before the StripeMap IR existed.
+/// Slow (re-derives relations every sweep); used by the equivalence tests to
+/// prove the IR-backed planner emits byte-identical plans.
+std::optional<std::vector<RecoveryStep>> plan_by_peeling_virtual(
     const Layout& layout, const std::vector<std::size_t>& failed_disks,
     bool prefer_outer = true);
 
@@ -149,8 +176,14 @@ std::string check_mapping(const Layout& layout);
 
 /// Checks every relation reported by relations_of: membership is symmetric
 /// (each member strip reports the same relation) and relation sizes are sane.
-/// Quadratic in total strips; intended for test-sized geometries.
+/// Linear in total relation size via the compiled StripeMap (symmetry is a
+/// canonical-id lookup instead of an all-pairs set comparison), so it runs
+/// at production geometries, not just test sizes.
 std::string check_relations(const Layout& layout);
+
+/// The original quadratic validator over the virtual API; reference for the
+/// equivalence tests.
+std::string check_relations_virtual(const Layout& layout);
 
 /// Checks a recovery plan's staging discipline: reads only reference healthy
 /// disks or strips already rebuilt by earlier steps, and all strips of all

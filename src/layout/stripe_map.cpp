@@ -1,0 +1,283 @@
+#include "layout/stripe_map.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace oi::layout {
+
+StripeMap::StripeMap(const Layout& layout)
+    : disks_(layout.disks()),
+      strips_per_disk_(layout.strips_per_disk()),
+      fault_tolerance_(layout.fault_tolerance()),
+      xor_semantics_(layout.xor_semantics()) {
+  const std::size_t total = disks_ * strips_per_disk_;
+  strips_.resize(total);
+  for (std::size_t disk = 0; disk < disks_; ++disk) {
+    for (std::size_t offset = 0; offset < strips_per_disk_; ++offset) {
+      const StripLoc loc{disk, offset};
+      strips_[strip_id(loc)] = layout.inspect(loc);
+    }
+  }
+  locate_.resize(layout.data_strips());
+  for (std::size_t logical = 0; logical < locate_.size(); ++logical) {
+    const StripLoc loc = layout.locate(logical);
+    OI_ENSURE(loc.disk < disks_ && loc.offset < strips_per_disk_,
+              "layout locates a logical address outside the array");
+    locate_[logical] = strip_id(loc);
+  }
+
+  // One relations_of per strip; canonical dedup by (kind, sorted members).
+  std::map<std::pair<int, std::vector<std::uint32_t>>, std::uint32_t> canonical;
+  occ_begin_.assign(total + 1, 0);
+  occ_members_begin_.push_back(0);
+  rel_begin_.push_back(0);
+  for (std::uint32_t s = 0; s < total; ++s) {
+    const auto relations = layout.relations_of(strip_loc(s));
+    for (const Relation& rel : relations) {
+      const auto occ = static_cast<std::uint32_t>(occ_kind_.size());
+      occ_ids_.push_back(occ);
+      occ_kind_.push_back(rel.kind);
+      std::vector<std::uint32_t> ids;
+      ids.reserve(rel.strips.size());
+      for (const StripLoc& member : rel.strips) {
+        OI_ENSURE(member.disk < disks_ && member.offset < strips_per_disk_,
+                  "relation member outside the array");
+        ids.push_back(strip_id(member));
+      }
+      members_.insert(members_.end(), ids.begin(), ids.end());
+      occ_members_begin_.push_back(static_cast<std::uint32_t>(members_.size()));
+
+      std::sort(ids.begin(), ids.end());
+      const std::pair<int, std::vector<std::uint32_t>> key{
+          static_cast<int>(rel.kind), std::move(ids)};
+      auto it = canonical.find(key);
+      if (it == canonical.end()) {
+        const auto id = static_cast<std::uint32_t>(rel_kind_.size());
+        rel_kind_.push_back(rel.kind);
+        rel_members_.insert(rel_members_.end(), key.second.begin(), key.second.end());
+        rel_begin_.push_back(static_cast<std::uint32_t>(rel_members_.size()));
+        it = canonical.emplace(std::move(key), id).first;
+      }
+      occ_canonical_.push_back(it->second);
+    }
+    occ_begin_[s + 1] = static_cast<std::uint32_t>(occ_ids_.size());
+  }
+
+  // Preference order: stable sort by kind descending (outer-type relations
+  // first), exactly the comparator every recovery path used on the virtual
+  // relations_of result.
+  pref_ids_ = occ_ids_;
+  for (std::uint32_t s = 0; s < total; ++s) {
+    std::stable_sort(pref_ids_.begin() + occ_begin_[s],
+                     pref_ids_.begin() + occ_begin_[s + 1],
+                     [this](std::uint32_t a, std::uint32_t b) {
+                       return static_cast<int>(occ_kind_[a]) >
+                              static_cast<int>(occ_kind_[b]);
+                     });
+  }
+}
+
+Relation StripeMap::materialize(std::uint32_t occ) const {
+  Relation rel{occ_kind_[occ], {}};
+  const auto members = occurrence_members(occ);
+  rel.strips.reserve(members.size());
+  for (std::uint32_t id : members) rel.strips.push_back(strip_loc(id));
+  return rel;
+}
+
+std::optional<std::vector<RecoveryStep>> plan_by_peeling(
+    const StripeMap& map, const std::vector<std::size_t>& failed_disks,
+    bool prefer_outer) {
+  const std::size_t strips = map.strips_per_disk();
+  for (std::size_t disk : failed_disks) {
+    OI_ENSURE(disk < map.disks(), "failed disk id out of range");
+  }
+  const std::set<std::size_t> failed(failed_disks.begin(), failed_disks.end());
+  OI_ENSURE(failed.size() == failed_disks.size(), "duplicate failed disk ids");
+
+  std::vector<char> failed_disk(map.disks(), 0);
+  for (std::size_t disk : failed) failed_disk[disk] = 1;
+
+  // Strips still to plan, in the same deterministic order as the reference
+  // planner (failed disks ascending, offsets ascending).
+  std::vector<std::uint32_t> pending;
+  pending.reserve(failed.size() * strips);
+  for (std::size_t disk : failed) {
+    for (std::size_t offset = 0; offset < strips; ++offset) {
+      pending.push_back(map.strip_id({disk, offset}));
+    }
+  }
+
+  std::vector<char> rebuilt(map.total_strips(), 0);
+  auto available = [&](std::uint32_t id) {
+    return !failed_disk[map.disk_of(id)] || rebuilt[id];
+  };
+
+  std::vector<RecoveryStep> plan;
+  plan.reserve(pending.size());
+
+  bool progress = true;
+  while (!pending.empty() && progress) {
+    progress = false;
+    std::vector<std::uint32_t> still_pending;
+    still_pending.reserve(pending.size());
+    for (const std::uint32_t lost : pending) {
+      const auto occs =
+          prefer_outer ? map.preferred_occurrences(lost) : map.occurrences(lost);
+      OI_ASSERT(!occs.empty(), "every strip must belong to a relation");
+      bool planned = false;
+      for (const std::uint32_t occ : occs) {
+        const auto members = map.occurrence_members(occ);
+        std::vector<StripLoc> reads;
+        reads.reserve(members.size() - 1);
+        bool ready = true;
+        for (const std::uint32_t member : members) {
+          if (member == lost) continue;
+          if (!available(member)) {
+            ready = false;
+            break;
+          }
+          reads.push_back(map.strip_loc(member));
+        }
+        if (!ready) continue;
+        OI_ASSERT(reads.size() + 1 == members.size(), "lost strip must be in relation");
+        plan.push_back({map.strip_loc(lost), std::move(reads)});
+        rebuilt[lost] = 1;
+        planned = true;
+        progress = true;
+        break;
+      }
+      if (!planned) still_pending.push_back(lost);
+    }
+    pending = std::move(still_pending);
+  }
+  if (!pending.empty()) return std::nullopt;
+  return plan;
+}
+
+std::string check_relations(const StripeMap& map) {
+  std::ostringstream err;
+  for (std::uint32_t s = 0; s < map.total_strips(); ++s) {
+    const StripLoc loc = map.strip_loc(s);
+    const auto occs = map.occurrences(s);
+    if (occs.empty()) {
+      err << "strip disk=" << loc.disk << " offset=" << loc.offset << " has no relation";
+      return err.str();
+    }
+    for (const std::uint32_t occ : occs) {
+      const auto members = map.occurrence_members(occ);
+      if (members.size() < 2) {
+        err << "relation of size " << members.size() << " at disk=" << loc.disk
+            << " offset=" << loc.offset;
+        return err.str();
+      }
+      if (std::count(members.begin(), members.end(), s) != 1) {
+        err << "strip disk=" << loc.disk << " offset=" << loc.offset
+            << " not listed exactly once in its own relation";
+        return err.str();
+      }
+      // Sorted canonical members make duplicate detection adjacent.
+      const auto sorted = map.relation_members(map.occurrence_relation(occ));
+      if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+        err << "relation with duplicate members at disk=" << loc.disk
+            << " offset=" << loc.offset;
+        return err.str();
+      }
+      // Symmetry via canonical ids: every member of a non-composite relation
+      // must report an occurrence that canonicalizes to the same relation.
+      // (Composite relations are one-sided by construction; their XOR
+      // validity is checked at the data level by the array tests.)
+      if (map.occurrence_kind(occ) == RelationKind::kOuterComposite) continue;
+      const std::uint32_t canonical = map.occurrence_relation(occ);
+      for (const std::uint32_t member : members) {
+        const auto member_occs = map.occurrences(member);
+        const bool found =
+            std::any_of(member_occs.begin(), member_occs.end(),
+                        [&](std::uint32_t mo) {
+                          return map.occurrence_relation(mo) == canonical;
+                        });
+        if (!found) {
+          const StripLoc mloc = map.strip_loc(member);
+          err << "relation asymmetry: member disk=" << mloc.disk
+              << " offset=" << mloc.offset << " does not report the relation of disk="
+              << loc.disk << " offset=" << loc.offset;
+          return err.str();
+        }
+      }
+    }
+  }
+  return {};
+}
+
+std::string check_recovery_plan(const StripeMap& map,
+                                const std::vector<std::size_t>& failed_disks,
+                                const std::vector<RecoveryStep>& plan) {
+  std::ostringstream err;
+  std::vector<char> failed(map.disks(), 0);
+  for (std::size_t disk : failed_disks) {
+    if (disk < map.disks()) failed[disk] = 1;
+  }
+  std::vector<char> rebuilt(map.total_strips(), 0);
+  std::size_t rebuilt_count = 0;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const RecoveryStep& step = plan[i];
+    if (step.lost.disk >= map.disks() || !failed[step.lost.disk]) {
+      err << "step " << i << " rebuilds a strip on a healthy disk";
+      return err.str();
+    }
+    if (step.lost.offset >= map.strips_per_disk()) {
+      err << "step " << i << " rebuilds a strip outside the array";
+      return err.str();
+    }
+    const std::uint32_t lost = map.strip_id(step.lost);
+    if (rebuilt[lost]) {
+      err << "step " << i << " rebuilds a strip twice";
+      return err.str();
+    }
+    for (const StripLoc& read : step.reads) {
+      if (read.disk >= map.disks() || read.offset >= map.strips_per_disk()) {
+        err << "step " << i << " reads outside the array";
+        return err.str();
+      }
+      if (failed[read.disk] && !rebuilt[map.strip_id(read)]) {
+        err << "step " << i << " reads a strip that is lost and not yet rebuilt";
+        return err.str();
+      }
+    }
+    rebuilt[lost] = 1;
+    ++rebuilt_count;
+  }
+  const std::set<std::size_t> unique_failed(failed_disks.begin(), failed_disks.end());
+  const std::size_t expected = unique_failed.size() * map.strips_per_disk();
+  if (rebuilt_count != expected) {
+    err << "plan rebuilds " << rebuilt_count << " strips, expected " << expected;
+    return err.str();
+  }
+  return {};
+}
+
+std::vector<double> per_disk_read_load(const StripeMap& map,
+                                       const std::vector<std::size_t>& failed_disks,
+                                       const std::vector<RecoveryStep>& plan) {
+  std::vector<char> failed(map.disks(), 0);
+  for (std::size_t disk : failed_disks) {
+    if (disk < map.disks()) failed[disk] = 1;
+  }
+  std::vector<double> load(map.disks(), 0.0);
+  for (const RecoveryStep& step : plan) {
+    for (const StripLoc& read : step.reads) {
+      // Reads of already-rebuilt strips come from the rebuild buffer, not a
+      // surviving disk; they carry no disk cost.
+      if (failed[read.disk]) continue;
+      load[read.disk] += 1.0;
+    }
+  }
+  return load;
+}
+
+}  // namespace oi::layout

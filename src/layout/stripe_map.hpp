@@ -1,0 +1,148 @@
+// Compiled layout IR. Every Layout consumer used to re-derive stripe
+// structure through repeated virtual relations_of/locate/inspect calls; the
+// StripeMap materializes that structure *once* into flat arrays so the hot
+// paths (peeling planner, validators, Monte-Carlo recoverability probes,
+// data-level reconstruction, rebuild step scheduling) run over dense integer
+// ids with no virtual dispatch and no per-query allocation.
+//
+// Two views are kept, because they serve different consumers:
+//
+//   * per-strip *occurrences*: for each strip, the relations exactly as the
+//     layout reported them (same order, same member order). This is what the
+//     peeling planner and the degraded-read path walk, and preserving the
+//     verbatim order is what makes the IR-backed planner produce plans
+//     byte-identical to the virtual-dispatch reference implementation.
+//   * deduplicated *canonical relations* (kind + sorted member ids), with a
+//     CSR member table. Scrub, the GF(2) rank checker and the linear
+//     check_relations iterate these; the one-sided composite relations are
+//     canonicalized too (their key includes the kind, so an inner and a
+//     composite over the same strips never merge).
+//
+// Strips are addressed by a dense id = disk * strips_per_disk + offset.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "layout/layout.hpp"
+
+namespace oi::layout {
+
+class StripeMap {
+ public:
+  /// Materializes the layout: one locate() per logical address, one
+  /// inspect() and one relations_of() per physical strip. Linear in the
+  /// total relation size -- this is the only place the virtual API is hit.
+  explicit StripeMap(const Layout& layout);
+
+  // --- geometry (copied from the layout; no virtual calls afterwards) ---
+
+  std::size_t disks() const { return disks_; }
+  std::size_t strips_per_disk() const { return strips_per_disk_; }
+  std::size_t total_strips() const { return strips_.size(); }
+  std::size_t data_strips() const { return locate_.size(); }
+  std::size_t fault_tolerance() const { return fault_tolerance_; }
+  bool xor_semantics() const { return xor_semantics_; }
+
+  std::uint32_t strip_id(StripLoc loc) const {
+    return static_cast<std::uint32_t>(loc.disk * strips_per_disk_ + loc.offset);
+  }
+  StripLoc strip_loc(std::uint32_t id) const {
+    return {id / strips_per_disk_, id % strips_per_disk_};
+  }
+  std::size_t disk_of(std::uint32_t id) const { return id / strips_per_disk_; }
+
+  const StripInfo& strip_info(std::uint32_t id) const { return strips_[id]; }
+  /// Strip id of the given logical address (the materialized locate()).
+  std::uint32_t locate(std::size_t logical) const { return locate_[logical]; }
+
+  // --- per-strip relation occurrences (verbatim relations_of view) ---
+
+  /// Occurrence ids of `strip`, in the exact order relations_of returned.
+  std::span<const std::uint32_t> occurrences(std::uint32_t strip) const {
+    return {occ_ids_.data() + occ_begin_[strip],
+            occ_ids_.data() + occ_begin_[strip + 1]};
+  }
+  /// Occurrence ids of `strip`, stable-sorted by kind descending (outer and
+  /// composite before inner) -- the preference order every recovery path in
+  /// this library uses. Precomputed so consumers never sort.
+  std::span<const std::uint32_t> preferred_occurrences(std::uint32_t strip) const {
+    return {pref_ids_.data() + occ_begin_[strip],
+            pref_ids_.data() + occ_begin_[strip + 1]};
+  }
+  RelationKind occurrence_kind(std::uint32_t occ) const { return occ_kind_[occ]; }
+  /// Member strip ids in the layout's reported order (includes the strip the
+  /// occurrence belongs to).
+  std::span<const std::uint32_t> occurrence_members(std::uint32_t occ) const {
+    return {members_.data() + occ_members_begin_[occ],
+            members_.data() + occ_members_begin_[occ + 1]};
+  }
+  /// Canonical relation id this occurrence maps to.
+  std::uint32_t occurrence_relation(std::uint32_t occ) const {
+    return occ_canonical_[occ];
+  }
+  /// Reconstructs the Relation value as the layout reported it.
+  Relation materialize(std::uint32_t occ) const;
+
+  // --- canonical (deduplicated) relations ---
+
+  std::size_t relations() const { return rel_kind_.size(); }
+  RelationKind relation_kind(std::uint32_t rel) const { return rel_kind_[rel]; }
+  /// Member strip ids, sorted ascending.
+  std::span<const std::uint32_t> relation_members(std::uint32_t rel) const {
+    return {rel_members_.data() + rel_begin_[rel],
+            rel_members_.data() + rel_begin_[rel + 1]};
+  }
+
+ private:
+  std::size_t disks_ = 0;
+  std::size_t strips_per_disk_ = 0;
+  std::size_t fault_tolerance_ = 0;
+  bool xor_semantics_ = true;
+
+  std::vector<StripInfo> strips_;        ///< indexed by strip id
+  std::vector<std::uint32_t> locate_;    ///< logical -> strip id
+
+  // Occurrence CSR: strip -> [occ_begin_[s], occ_begin_[s+1]) into occ_ids_
+  // (and pref_ids_ for the kind-sorted view). Occurrence ids are dense.
+  std::vector<std::uint32_t> occ_begin_;
+  std::vector<std::uint32_t> occ_ids_;
+  std::vector<std::uint32_t> pref_ids_;
+  std::vector<RelationKind> occ_kind_;
+  std::vector<std::uint32_t> occ_members_begin_;
+  std::vector<std::uint32_t> members_;
+  std::vector<std::uint32_t> occ_canonical_;
+
+  // Canonical relation CSR (members sorted ascending).
+  std::vector<RelationKind> rel_kind_;
+  std::vector<std::uint32_t> rel_begin_;
+  std::vector<std::uint32_t> rel_members_;
+};
+
+/// IR-backed peeling planner. Produces plans identical to the
+/// plan_by_peeling(const Layout&, ...) reference (same pending order, same
+/// relation preference, same read order) -- the equivalence is enforced by
+/// tests over the whole geometry sweep.
+std::optional<std::vector<RecoveryStep>> plan_by_peeling(
+    const StripeMap& map, const std::vector<std::size_t>& failed_disks,
+    bool prefer_outer = true);
+
+/// Linear-time relation validator over the IR: well-formedness per
+/// occurrence plus symmetry via canonical ids (every member of a
+/// non-composite relation must report the same canonical relation). Replaces
+/// the quadratic all-pairs scan for production-sized geometries.
+std::string check_relations(const StripeMap& map);
+
+/// IR-backed plan validator; same checks and messages as the Layout form.
+std::string check_recovery_plan(const StripeMap& map,
+                                const std::vector<std::size_t>& failed_disks,
+                                const std::vector<RecoveryStep>& plan);
+
+/// IR-backed per-disk read accounting; same semantics as the Layout form.
+std::vector<double> per_disk_read_load(const StripeMap& map,
+                                       const std::vector<std::size_t>& failed_disks,
+                                       const std::vector<RecoveryStep>& plan);
+
+}  // namespace oi::layout

@@ -7,6 +7,7 @@
 
 #include "util/assert.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace oi::reliability {
 namespace {
@@ -27,6 +28,112 @@ struct Event {
 struct Later {
   bool operator()(const Event& a, const Event& b) const { return a.time > b.time; }
 };
+
+struct TrialOutcome {
+  bool lost = false;
+  double time = 0.0;  ///< time of the loss event (hours); meaningless if !lost
+};
+
+/// One independent mission. Each trial owns an RNG stream seeded by
+/// config.seed ^ trial, so trials are reproducible in isolation and the
+/// aggregate result does not depend on which thread ran which trial.
+TrialOutcome run_trial(const layout::Layout& layout, const MonteCarloConfig& config,
+                       std::size_t domains, double weibull_scale,
+                       std::size_t trial) {
+  Rng rng(config.seed ^ static_cast<std::uint64_t>(trial));
+  const std::size_t n = layout.disks();
+  const std::size_t tolerance = layout.fault_tolerance();
+
+  auto draw_lifetime = [&](Rng& r) {
+    return config.weibull_shape == 1.0
+               ? r.exponential(1.0 / config.mttf_hours)
+               : r.weibull(config.weibull_shape, weibull_scale);
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events;
+  std::vector<std::uint64_t> epoch(n, 0);
+  for (std::size_t d = 0; d < n; ++d) {
+    events.push({draw_lifetime(rng), EventKind::kDiskFailure, d, epoch[d]});
+  }
+  for (std::size_t dom = 0; dom < domains; ++dom) {
+    events.push({rng.exponential(1.0 / config.domain_mttf_hours),
+                 EventKind::kDomainFailure, dom, 0});
+  }
+  std::set<std::size_t> failed;
+  TrialOutcome outcome;
+
+  auto recoverable = [&](const std::set<std::size_t>& pattern) {
+    if (pattern.size() <= tolerance) return true;
+    if (pattern.size() >= n) return false;
+    return layout
+        .recovery_plan(std::vector<std::size_t>(pattern.begin(), pattern.end()))
+        .has_value();
+  };
+
+  auto fail_disk = [&](std::size_t disk, double now) {
+    if (failed.contains(disk)) return;
+    failed.insert(disk);
+    ++epoch[disk];  // cancels any pending lifetime event
+    events.push({now + rng.exponential(1.0 / config.rebuild_hours),
+                 EventKind::kRepair, disk, epoch[disk]});
+  };
+
+  while (!events.empty() && !outcome.lost) {
+    const Event event = events.top();
+    events.pop();
+    if (event.time > config.mission_hours) break;
+
+    switch (event.kind) {
+      case EventKind::kDiskFailure: {
+        if (event.epoch != epoch[event.target]) break;  // stale lifetime
+        fail_disk(event.target, event.time);
+        if (!recoverable(failed)) outcome.lost = true;
+        break;
+      }
+      case EventKind::kDomainFailure: {
+        const std::size_t first = event.target * config.disks_per_domain;
+        for (std::size_t j = 0; j < config.disks_per_domain; ++j) {
+          fail_disk(first + j, event.time);
+        }
+        if (!recoverable(failed)) outcome.lost = true;
+        // The (replaced) domain can fail again later.
+        events.push({event.time + rng.exponential(1.0 / config.domain_mttf_hours),
+                     EventKind::kDomainFailure, event.target, 0});
+        break;
+      }
+      case EventKind::kRepair: {
+        if (event.epoch != epoch[event.target]) break;  // superseded
+        if (!failed.contains(event.target)) break;
+        // Latent sector error during the rebuild's reads: one surviving
+        // disk momentarily contributes nothing for some stripe; that
+        // stripe survives only if the pattern including it still decodes.
+        if (config.lse_probability_per_repair > 0.0 &&
+            rng.bernoulli(config.lse_probability_per_repair)) {
+          std::vector<std::size_t> survivors;
+          survivors.reserve(n - failed.size());
+          for (std::size_t d = 0; d < n; ++d) {
+            if (!failed.contains(d)) survivors.push_back(d);
+          }
+          if (!survivors.empty()) {
+            std::set<std::size_t> with_lse = failed;
+            with_lse.insert(survivors[rng.uniform_u64(survivors.size())]);
+            if (!recoverable(with_lse)) {
+              outcome.lost = true;
+              break;
+            }
+          }
+        }
+        failed.erase(event.target);
+        ++epoch[event.target];
+        events.push({event.time + draw_lifetime(rng), EventKind::kDiskFailure,
+                     event.target, epoch[event.target]});
+        break;
+      }
+    }
+    if (outcome.lost) outcome.time = event.time;
+  }
+  return outcome;
+}
 
 }  // namespace
 
@@ -50,105 +157,34 @@ MonteCarloResult monte_carlo_reliability(const layout::Layout& layout,
     domains = n / config.disks_per_domain;
   }
 
-  Rng rng(config.seed);
-  const std::size_t tolerance = layout.fault_tolerance();
   // Scale so the Weibull mean equals MTTF: mean = scale * Gamma(1 + 1/shape).
   const double scale = config.mttf_hours / std::tgamma(1.0 + 1.0 / config.weibull_shape);
 
-  auto draw_lifetime = [&](Rng& r) {
-    return config.weibull_shape == 1.0 ? r.exponential(1.0 / config.mttf_hours)
-                                       : r.weibull(config.weibull_shape, scale);
-  };
+  // Trials are independent (own RNG stream each); the outcome array plus a
+  // sequential reduce in trial order makes the result bit-identical whatever
+  // the thread count or scheduling.
+  std::vector<TrialOutcome> outcomes(config.trials);
+  const std::size_t threads = ThreadPool::resolve_threads(config.threads);
+  if (threads <= 1 || config.trials == 1) {
+    for (std::size_t trial = 0; trial < config.trials; ++trial) {
+      outcomes[trial] = run_trial(layout, config, domains, scale, trial);
+    }
+  } else {
+    // Force the layout's StripeMap to compile before the fan-out so workers
+    // share the cached IR instead of racing to build it.
+    layout.stripe_map();
+    ThreadPool pool(threads);
+    pool.parallel_for(0, config.trials, [&](std::size_t trial) {
+      outcomes[trial] = run_trial(layout, config, domains, scale, trial);
+    });
+  }
 
   MonteCarloResult result;
   result.trials = config.trials;
-
-  for (std::size_t trial = 0; trial < config.trials; ++trial) {
-    std::priority_queue<Event, std::vector<Event>, Later> events;
-    std::vector<std::uint64_t> epoch(n, 0);
-    for (std::size_t d = 0; d < n; ++d) {
-      events.push({draw_lifetime(rng), EventKind::kDiskFailure, d, epoch[d]});
-    }
-    for (std::size_t dom = 0; dom < domains; ++dom) {
-      events.push({rng.exponential(1.0 / config.domain_mttf_hours),
-                   EventKind::kDomainFailure, dom, 0});
-    }
-    std::set<std::size_t> failed;
-    bool lost = false;
-
-    auto recoverable = [&](const std::set<std::size_t>& pattern) {
-      if (pattern.size() <= tolerance) return true;
-      if (pattern.size() >= n) return false;
-      return layout
-          .recovery_plan(std::vector<std::size_t>(pattern.begin(), pattern.end()))
-          .has_value();
-    };
-
-    auto fail_disk = [&](std::size_t disk, double now) {
-      if (failed.contains(disk)) return;
-      failed.insert(disk);
-      ++epoch[disk];  // cancels any pending lifetime event
-      events.push({now + rng.exponential(1.0 / config.rebuild_hours),
-                   EventKind::kRepair, disk, epoch[disk]});
-    };
-
-    while (!events.empty() && !lost) {
-      const Event event = events.top();
-      events.pop();
-      if (event.time > config.mission_hours) break;
-
-      switch (event.kind) {
-        case EventKind::kDiskFailure: {
-          if (event.epoch != epoch[event.target]) break;  // stale lifetime
-          fail_disk(event.target, event.time);
-          if (!recoverable(failed)) lost = true;
-          break;
-        }
-        case EventKind::kDomainFailure: {
-          const std::size_t first = event.target * config.disks_per_domain;
-          for (std::size_t j = 0; j < config.disks_per_domain; ++j) {
-            fail_disk(first + j, event.time);
-          }
-          if (!recoverable(failed)) lost = true;
-          // The (replaced) domain can fail again later.
-          events.push({event.time + rng.exponential(1.0 / config.domain_mttf_hours),
-                       EventKind::kDomainFailure, event.target, 0});
-          break;
-        }
-        case EventKind::kRepair: {
-          if (event.epoch != epoch[event.target]) break;  // superseded
-          if (!failed.contains(event.target)) break;
-          // Latent sector error during the rebuild's reads: one surviving
-          // disk momentarily contributes nothing for some stripe; that
-          // stripe survives only if the pattern including it still decodes.
-          if (config.lse_probability_per_repair > 0.0 &&
-              rng.bernoulli(config.lse_probability_per_repair)) {
-            std::vector<std::size_t> survivors;
-            survivors.reserve(n - failed.size());
-            for (std::size_t d = 0; d < n; ++d) {
-              if (!failed.contains(d)) survivors.push_back(d);
-            }
-            if (!survivors.empty()) {
-              std::set<std::size_t> with_lse = failed;
-              with_lse.insert(survivors[rng.uniform_u64(survivors.size())]);
-              if (!recoverable(with_lse)) {
-                lost = true;
-                break;
-              }
-            }
-          }
-          failed.erase(event.target);
-          ++epoch[event.target];
-          events.push({event.time + draw_lifetime(rng), EventKind::kDiskFailure,
-                       event.target, epoch[event.target]});
-          break;
-        }
-      }
-      if (lost) {
-        result.time_to_loss.add(event.time);
-        ++result.losses;
-      }
-    }
+  for (const TrialOutcome& outcome : outcomes) {
+    if (!outcome.lost) continue;
+    result.time_to_loss.add(outcome.time);
+    ++result.losses;
   }
 
   result.loss_probability =

@@ -33,6 +33,10 @@ struct MonteCarloConfig {
   /// Map it to the OI-RAID group size to model one-group-per-rack placement.
   std::size_t disks_per_domain = 0;
   double domain_mttf_hours = 0.0;
+  /// Worker threads for the trial loop (0 = all cores). Every trial draws
+  /// from its own RNG stream seeded by seed ^ trial index and outcomes are
+  /// reduced in trial order, so the result is bit-identical at any count.
+  std::size_t threads = 1;
 };
 
 struct MonteCarloResult {

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <deque>
-#include <map>
+#include <limits>
 #include <memory>
 #include <set>
 
+#include "layout/stripe_map.hpp"
 #include "sim/engine.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -30,8 +31,9 @@ struct SimState {
   Rng rng;
 
   // --- rebuild bookkeeping ---
+  static constexpr std::size_t kNoStep = std::numeric_limits<std::size_t>::max();
   std::vector<RecoveryStep> plan;
-  std::map<StripLoc, std::size_t> lost_index;       // lost strip -> step id
+  std::vector<std::size_t> lost_step;  // strip id -> rebuilding step, else kNoStep
   std::vector<std::size_t> unmet_deps;              // per step
   std::vector<std::vector<std::size_t>> dependents; // step -> steps waiting on it
   std::deque<std::size_t> ready;
@@ -102,21 +104,25 @@ struct SimState {
   // ---------- rebuild ----------
 
   void setup_rebuild() {
+    const layout::StripeMap& map = layout.stripe_map();
     auto maybe_plan = layout.recovery_plan(failed);
     OI_ENSURE(maybe_plan.has_value(), "failure pattern is unrecoverable");
     plan = std::move(*maybe_plan);
     if (copy_back_enabled()) spare_location.assign(plan.size(), {});
-    for (std::size_t i = 0; i < plan.size(); ++i) lost_index.emplace(plan[i].lost, i);
+    lost_step.assign(map.total_strips(), kNoStep);
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      lost_step[map.strip_id(plan[i].lost)] = i;
+    }
 
     unmet_deps.assign(plan.size(), 0);
     dependents.assign(plan.size(), {});
     for (std::size_t i = 0; i < plan.size(); ++i) {
       for (const StripLoc& read : plan[i].reads) {
-        const auto it = lost_index.find(read);
-        if (it == lost_index.end()) continue;
-        OI_ASSERT(it->second < i, "recovery plan is not topologically ordered");
+        const std::size_t dep = lost_step[map.strip_id(read)];
+        if (dep == kNoStep) continue;
+        OI_ASSERT(dep < i, "recovery plan is not topologically ordered");
         ++unmet_deps[i];
-        dependents[it->second].push_back(i);
+        dependents[dep].push_back(i);
       }
     }
     for (std::size_t i = 0; i < plan.size(); ++i) {
@@ -138,9 +144,10 @@ struct SimState {
   void start_step(std::size_t step) {
     // Reads of strips that earlier steps rebuilt are served from the rebuild
     // buffer -- no disk I/O.
+    const layout::StripeMap& map = layout.stripe_map();
     std::vector<StripLoc> disk_reads;
     for (const StripLoc& read : plan[step].reads) {
-      if (!lost_index.contains(read)) disk_reads.push_back(read);
+      if (lost_step[map.strip_id(read)] == kNoStep) disk_reads.push_back(read);
     }
     if (disk_reads.empty()) {
       write_step(step);

@@ -3,6 +3,7 @@
 #include <charconv>
 
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace oi {
 
@@ -108,6 +109,13 @@ std::vector<std::size_t> Flags::get_size_list(const std::string& name) const {
     start = comma + 1;
   }
   return out;
+}
+
+std::size_t Flags::get_threads(std::size_t fallback) const {
+  const std::int64_t requested =
+      get_int("threads", static_cast<std::int64_t>(fallback));
+  OI_ENSURE(requested >= 0, "flag --threads expects a non-negative count");
+  return ThreadPool::resolve_threads(static_cast<std::size_t>(requested));
 }
 
 std::vector<std::string> Flags::unused() const {

@@ -29,6 +29,9 @@ class Flags {
   bool get_bool(const std::string& name, bool fallback = false) const;
   /// Comma-separated list of non-negative integers ("0,3,7").
   std::vector<std::size_t> get_size_list(const std::string& name) const;
+  /// The `--threads N` convention shared by every tool: returns a resolved
+  /// positive worker count. N = 0 (and a fallback of 0) means "all cores".
+  std::size_t get_threads(std::size_t fallback = 1) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
 

@@ -19,6 +19,7 @@ void Logger::write(LogLevel level, const std::string& message) {
     case LogLevel::kError: tag = "ERROR"; break;
     case LogLevel::kOff: return;
   }
+  std::lock_guard<std::mutex> lock(sink_mutex_);
   std::clog << '[' << tag << "] " << message << '\n';
 }
 

@@ -3,7 +3,9 @@
 // always build strings.
 #pragma once
 
+#include <atomic>
 #include <iosfwd>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -11,22 +13,23 @@ namespace oi {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Process-wide log configuration. Not thread-safe to reconfigure while other
-/// threads log; configure once at startup (tests/benches are single-threaded
-/// apart from worker pools that only read).
+/// Process-wide log configuration. Thread-safe: the level is atomic (so hot
+/// paths can check it from worker threads, and tests may flip it mid-run) and
+/// the sink is mutex-guarded so concurrent lines never interleave.
 class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
-  bool enabled(LogLevel level) const { return level >= level_; }
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  bool enabled(LogLevel level) const { return level >= this->level(); }
 
   void write(LogLevel level, const std::string& message);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::mutex sink_mutex_;
 };
 
 namespace detail {

@@ -1,0 +1,103 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace oi {
+
+std::size_t ThreadPool::resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t count = resolve_threads(threads);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    stop_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  OI_ENSURE(task != nullptr, "cannot submit an empty task");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  // Chunked dynamic claiming: cheap enough for thousands of iterations, yet
+  // tolerant of wildly uneven per-index cost (one slow geometry does not
+  // serialize the sweep).
+  const std::size_t chunk =
+      std::max<std::size_t>(1, total / (workers_.size() * 8));
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(begin);
+  const std::size_t tasks = std::min(workers_.size(), total);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    submit([cursor, end, chunk, &fn] {
+      while (true) {
+        const std::size_t start = cursor->fetch_add(chunk);
+        if (start >= end) return;
+        const std::size_t stop = std::min(end, start + chunk);
+        for (std::size_t i = start; i < stop; ++i) fn(i);
+      }
+    });
+  }
+  wait();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+    }
+    idle_.notify_all();
+  }
+}
+
+}  // namespace oi

@@ -1,0 +1,62 @@
+// Fixed-size worker pool for embarrassingly parallel fan-out: Monte-Carlo
+// reliability trials and per-geometry bench sweeps. Deliberately minimal --
+// submit() for fire-and-forget tasks, parallel_for() for index ranges with
+// dynamic chunking -- because every parallel site in this library reduces
+// results *outside* the pool (per-slot output arrays, combined sequentially)
+// to keep numerics bit-identical at any thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace oi {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  /// Drains the queue (waits for every submitted task) before joining.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threads() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not submit to the same pool recursively.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished. The first
+  /// exception thrown by any task is rethrown here (the rest are dropped).
+  void wait();
+
+  /// Runs fn(i) for i in [begin, end) across the workers, blocking until the
+  /// range is done. Iterations are claimed from a shared atomic cursor in
+  /// chunks, so uneven per-index cost still balances. fn must be safe to call
+  /// concurrently for distinct i. Exceptions propagate as in wait().
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// The worker count a `--threads N` flag value maps to (0 = all cores).
+  static std::size_t resolve_threads(std::size_t requested);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace oi

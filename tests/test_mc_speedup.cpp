@@ -1,0 +1,51 @@
+// Long-running performance gate (ctest label: long): the parallel
+// Monte-Carlo trial loop must actually scale. Skipped on small machines --
+// a meaningful speedup measurement needs at least 4 hardware threads.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "reliability/monte_carlo.hpp"
+
+namespace oi::reliability {
+namespace {
+
+double run_seconds(const layout::Layout& layout, MonteCarloConfig config,
+                   std::size_t threads) {
+  config.threads = threads;
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = monte_carlo_reliability(layout, config);
+  const auto end = std::chrono::steady_clock::now();
+  EXPECT_EQ(result.trials, config.trials);
+  return std::chrono::duration<double>(end - start).count();
+}
+
+TEST(MonteCarloSpeedup, ParallelTrialsAtLeastThreeTimesFaster) {
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores < 4) {
+    GTEST_SKIP() << "speedup measurement needs >= 4 hardware threads, have "
+                 << cores;
+  }
+
+  const auto layout = bench::make_oi(bench::geometry_sweep(false)[0], 2);
+  MonteCarloConfig config;
+  config.mttf_hours = 10'000;
+  config.rebuild_hours = 200;
+  config.mission_hours = 20'000;
+  config.trials = 100'000;
+  config.seed = 31;
+
+  // Warm the shared StripeMap cache so neither run pays the one-time build.
+  layout.stripe_map();
+
+  const double sequential = run_seconds(layout, config, 1);
+  const double parallel = run_seconds(layout, config, cores);
+  EXPECT_GE(sequential / parallel, 3.0)
+      << "sequential " << sequential << "s, parallel " << parallel << "s on "
+      << cores << " cores";
+}
+
+}  // namespace
+}  // namespace oi::reliability

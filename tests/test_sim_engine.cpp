@@ -88,6 +88,51 @@ TEST(Engine, RunBoundedDrainsWhenShort) {
   EXPECT_TRUE(engine.idle());
 }
 
+TEST(Engine, RunUntilFiresEventExactlyOnHorizon) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(5.0, [&] { ++fired; });
+  engine.schedule_at(5.0 + 1e-9, [&] { ++fired; });
+  const double end = engine.run_until(5.0);
+  // The horizon is inclusive: an event exactly on it fires, one epsilon past
+  // it stays queued.
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(end, 5.0);
+  EXPECT_FALSE(engine.idle());
+  engine.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, RunBoundedZeroBudgetFiresNothing) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&] { ++fired; });
+  const double end = engine.run_bounded(0);
+  EXPECT_EQ(fired, 0);
+  EXPECT_DOUBLE_EQ(end, 0.0);
+  EXPECT_FALSE(engine.idle());
+  EXPECT_EQ(engine.processed_events(), 0u);
+}
+
+TEST(Engine, RerunAfterDrainIsIdempotentAndAcceptsNewEvents) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_DOUBLE_EQ(engine.run(), 2.0);
+  EXPECT_TRUE(engine.idle());
+
+  // Draining again is a no-op: time holds and nothing re-fires.
+  EXPECT_DOUBLE_EQ(engine.run(), 2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.processed_events(), 1u);
+
+  // The engine stays usable: new events schedule from now() and run.
+  engine.schedule_after(1.0, [&] { ++fired; });
+  EXPECT_DOUBLE_EQ(engine.run(), 3.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(engine.idle());
+}
+
 TEST(Engine, NowAdvancesMonotonically) {
   Engine engine;
   double last = -1.0;

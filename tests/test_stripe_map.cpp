@@ -1,0 +1,232 @@
+// StripeMap IR equivalence battery. The compiled IR replaced the virtual
+// relations_of/locate/inspect walks in every hot path; the reference
+// implementations (plan_by_peeling_virtual, check_relations_virtual) are kept
+// verbatim so these tests can prove, for every geometry in the bench sweep,
+// that the IR-backed paths produce *identical* results -- not merely
+// equivalent ones. The Monte-Carlo determinism tests pin down the other half
+// of the refactor: per-trial RNG streams make the parallel trial loop
+// bit-identical at any thread count.
+#include "layout/stripe_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "layout/layout.hpp"
+#include "reliability/monte_carlo.hpp"
+
+namespace oi::layout {
+namespace {
+
+using bench::Geometry;
+using bench::geometry_sweep;
+
+std::string pattern_label(const std::vector<std::size_t>& failed, bool prefer_outer) {
+  std::ostringstream os;
+  os << "failed={";
+  for (std::size_t i = 0; i < failed.size(); ++i) os << (i ? "," : "") << failed[i];
+  os << "} prefer_outer=" << (prefer_outer ? "true" : "false");
+  return os.str();
+}
+
+void expect_identical_plans(const std::optional<std::vector<RecoveryStep>>& ir,
+                            const std::optional<std::vector<RecoveryStep>>& ref,
+                            const std::string& context) {
+  ASSERT_EQ(ir.has_value(), ref.has_value()) << context;
+  if (!ir.has_value()) return;
+  ASSERT_EQ(ir->size(), ref->size()) << context;
+  for (std::size_t i = 0; i < ir->size(); ++i) {
+    EXPECT_EQ((*ir)[i].lost, (*ref)[i].lost) << context << " step " << i;
+    EXPECT_EQ((*ir)[i].reads, (*ref)[i].reads) << context << " step " << i;
+  }
+}
+
+/// Failure patterns exercised per geometry: single, same-group pair,
+/// cross-group pair, 2+1 triple, spread triple.
+std::vector<std::vector<std::size_t>> failure_patterns(const Geometry& g) {
+  const std::size_t m = g.m;
+  return {{0},          {g.disks() / 3}, {0, 1},
+          {0, m},       {0, 1, m},       {0, m, 2 * m}};
+}
+
+class StripeMapSweep : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(StripeMapSweep, PlannerMatchesVirtualReferenceExactly) {
+  const auto layout = bench::make_oi(GetParam(), 2);
+  for (const auto& failed : failure_patterns(GetParam())) {
+    for (bool prefer_outer : {true, false}) {
+      expect_identical_plans(plan_by_peeling(layout, failed, prefer_outer),
+                             plan_by_peeling_virtual(layout, failed, prefer_outer),
+                             pattern_label(failed, prefer_outer));
+    }
+  }
+}
+
+TEST_P(StripeMapSweep, CheckRelationsMatchesVirtualReference) {
+  const auto layout = bench::make_oi(GetParam(), 2);
+  const std::string linear = check_relations(layout);
+  const std::string quadratic = check_relations_virtual(layout);
+  EXPECT_EQ(linear, quadratic);
+  EXPECT_EQ(linear, "");
+}
+
+TEST_P(StripeMapSweep, IrValidatorAcceptsIrPlans) {
+  const auto layout = bench::make_oi(GetParam(), 2);
+  for (const auto& failed : failure_patterns(GetParam())) {
+    const auto plan = layout.recovery_plan(failed);
+    ASSERT_TRUE(plan.has_value()) << pattern_label(failed, true);
+    EXPECT_EQ(check_recovery_plan(layout, failed, *plan), "")
+        << pattern_label(failed, true);
+  }
+}
+
+TEST_P(StripeMapSweep, StripeMapMirrorsVirtualApi) {
+  const auto layout = bench::make_oi(GetParam(), 2);
+  const StripeMap& map = layout.stripe_map();
+  ASSERT_EQ(map.disks(), layout.disks());
+  ASSERT_EQ(map.strips_per_disk(), layout.strips_per_disk());
+  ASSERT_EQ(map.total_strips(), layout.total_strips());
+  ASSERT_EQ(map.data_strips(), layout.data_strips());
+  EXPECT_EQ(map.fault_tolerance(), layout.fault_tolerance());
+  EXPECT_EQ(map.xor_semantics(), layout.xor_semantics());
+
+  for (std::size_t logical = 0; logical < layout.data_strips(); ++logical) {
+    EXPECT_EQ(map.strip_loc(map.locate(logical)), layout.locate(logical));
+  }
+
+  for (std::size_t d = 0; d < layout.disks(); ++d) {
+    for (std::size_t o = 0; o < layout.strips_per_disk(); ++o) {
+      const StripLoc loc{d, o};
+      const std::uint32_t id = map.strip_id(loc);
+      EXPECT_EQ(map.strip_loc(id), loc);
+      EXPECT_EQ(map.disk_of(id), d);
+      EXPECT_EQ(map.strip_info(id).role, layout.inspect(loc).role);
+
+      // Occurrences must be relations_of, verbatim: same relation order,
+      // same member order within each relation.
+      const auto reported = layout.relations_of(loc);
+      const auto occs = map.occurrences(id);
+      ASSERT_EQ(occs.size(), reported.size()) << "disk " << d << " offset " << o;
+      for (std::size_t i = 0; i < reported.size(); ++i) {
+        EXPECT_EQ(map.occurrence_kind(occs[i]), reported[i].kind);
+        const auto members = map.occurrence_members(occs[i]);
+        ASSERT_EQ(members.size(), reported[i].strips.size());
+        for (std::size_t j = 0; j < members.size(); ++j) {
+          EXPECT_EQ(map.strip_loc(members[j]), reported[i].strips[j]);
+        }
+        const Relation round_trip = map.materialize(occs[i]);
+        EXPECT_EQ(round_trip.kind, reported[i].kind);
+        EXPECT_EQ(round_trip.strips, reported[i].strips);
+      }
+
+      // The preferred view is a permutation of the occurrences with
+      // outer-kind relations first (stable within each kind).
+      const auto preferred = map.preferred_occurrences(id);
+      ASSERT_EQ(preferred.size(), occs.size());
+      for (std::size_t i = 1; i < preferred.size(); ++i) {
+        EXPECT_GE(static_cast<int>(map.occurrence_kind(preferred[i - 1])),
+                  static_cast<int>(map.occurrence_kind(preferred[i])));
+      }
+    }
+  }
+}
+
+TEST_P(StripeMapSweep, ReadLoadMatchesLayoutForm) {
+  const auto layout = bench::make_oi(GetParam(), 2);
+  const auto plan = layout.recovery_plan({0});
+  ASSERT_TRUE(plan.has_value());
+  const auto via_layout = per_disk_read_load(layout, {0}, *plan);
+  const auto via_map = per_disk_read_load(layout.stripe_map(), {0}, *plan);
+  EXPECT_EQ(via_layout, via_map);
+}
+
+INSTANTIATE_TEST_SUITE_P(GeometrySweep, StripeMapSweep,
+                         ::testing::ValuesIn(geometry_sweep(true)),
+                         [](const auto& info) { return info.param.label; });
+
+TEST(StripeMapBaselines, PlannerEquivalenceForBaselineLayouts) {
+  const Geometry fano = geometry_sweep(false)[0];
+  const auto raid5 = bench::make_raid5(fano, 6);
+  const auto raid50 = bench::make_raid50(fano, 6);
+  const auto pd = bench::make_pd(fano, 6);
+  std::vector<const Layout*> layouts{&raid5, &raid50};
+  if (pd) layouts.push_back(&*pd);
+  for (const Layout* layout : layouts) {
+    for (const auto& failed :
+         std::vector<std::vector<std::size_t>>{{0}, {0, 1}, {0, 3}}) {
+      expect_identical_plans(plan_by_peeling(*layout, failed),
+                             plan_by_peeling_virtual(*layout, failed),
+                             layout->name() + " " + pattern_label(failed, true));
+    }
+    EXPECT_EQ(check_relations(*layout), check_relations_virtual(*layout))
+        << layout->name();
+  }
+}
+
+TEST(StripeMapCache, SharedAcrossCallsAndRebuiltAfterCopy) {
+  const auto layout = bench::make_oi(geometry_sweep(false)[0], 2);
+  const StripeMap& first = layout.stripe_map();
+  const StripeMap& second = layout.stripe_map();
+  EXPECT_EQ(&first, &second) << "cache must hand out the same compiled map";
+
+  const auto copy = layout;
+  const StripeMap& copied = copy.stripe_map();
+  EXPECT_NE(&copied, &first) << "copies compile their own map";
+  EXPECT_EQ(copied.total_strips(), first.total_strips());
+}
+
+TEST(MonteCarloParallel, BitIdenticalAcrossThreadCounts) {
+  const auto layout = bench::make_oi(geometry_sweep(false)[0], 2);
+  reliability::MonteCarloConfig config;
+  config.mttf_hours = 10'000;
+  config.rebuild_hours = 200;
+  config.mission_hours = 20'000;
+  config.trials = 600;
+  config.seed = 31;
+  config.lse_probability_per_repair = 0.05;
+
+  config.threads = 1;
+  const auto sequential = reliability::monte_carlo_reliability(layout, config);
+  for (std::size_t threads : {2, 4, 7}) {
+    config.threads = threads;
+    const auto parallel = reliability::monte_carlo_reliability(layout, config);
+    EXPECT_EQ(parallel.trials, sequential.trials) << threads << " threads";
+    EXPECT_EQ(parallel.losses, sequential.losses) << threads << " threads";
+    EXPECT_EQ(parallel.loss_probability, sequential.loss_probability)
+        << threads << " threads";
+    EXPECT_EQ(parallel.ci95, sequential.ci95) << threads << " threads";
+    EXPECT_EQ(parallel.time_to_loss.count(), sequential.time_to_loss.count());
+    EXPECT_EQ(parallel.time_to_loss.mean(), sequential.time_to_loss.mean());
+    EXPECT_EQ(parallel.time_to_loss.sum(), sequential.time_to_loss.sum());
+    EXPECT_EQ(parallel.time_to_loss.min(), sequential.time_to_loss.min());
+    EXPECT_EQ(parallel.time_to_loss.max(), sequential.time_to_loss.max());
+  }
+}
+
+TEST(MonteCarloParallel, DomainFailuresBitIdenticalAcrossThreadCounts) {
+  const auto layout = bench::make_oi(geometry_sweep(false)[0], 2);
+  reliability::MonteCarloConfig config;
+  config.mttf_hours = 1.2e6;
+  config.rebuild_hours = 24;
+  config.mission_hours = 10 * 24 * 365.25;
+  config.trials = 400;
+  config.seed = 37;
+  config.disks_per_domain = 3;
+  config.domain_mttf_hours = 200'000;
+
+  config.threads = 1;
+  const auto sequential = reliability::monte_carlo_reliability(layout, config);
+  config.threads = 4;
+  const auto parallel = reliability::monte_carlo_reliability(layout, config);
+  EXPECT_EQ(parallel.losses, sequential.losses);
+  EXPECT_EQ(parallel.loss_probability, sequential.loss_probability);
+  EXPECT_EQ(parallel.time_to_loss.count(), sequential.time_to_loss.count());
+  EXPECT_EQ(parallel.time_to_loss.sum(), sequential.time_to_loss.sum());
+}
+
+}  // namespace
+}  // namespace oi::layout

@@ -1,0 +1,118 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace oi {
+namespace {
+
+TEST(ThreadPool, ResolveThreadsMapsZeroToAllCores) {
+  const std::size_t cores = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  EXPECT_EQ(ThreadPool::resolve_threads(0), cores);
+  EXPECT_EQ(ThreadPool::resolve_threads(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(3), 3u);
+}
+
+TEST(ThreadPool, ReportsRequestedThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.threads(), 3u);
+  ThreadPool defaulted;
+  EXPECT_GE(defaulted.threads(), 1u);
+}
+
+TEST(ThreadPool, SubmitAndWaitRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForHandlesEmptyAndPartialRanges) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  std::vector<std::atomic<int>> hits(10);
+  pool.parallel_for(7, 10, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), i >= 7 ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForWorksWithSingleWorker) {
+  ThreadPool pool(1);
+  std::vector<int> out(64, 0);
+  pool.parallel_for(0, out.size(), [&](std::size_t i) { out[i] = static_cast<int>(i); });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i));
+  }
+}
+
+TEST(ThreadPool, WaitRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The pool stays usable after an error has been consumed.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](std::size_t i) {
+                                   if (i == 42) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForBalancesUnevenWork) {
+  // Heavily skewed per-index cost: dynamic chunking must still cover all
+  // indices and produce the exact sum.
+  ThreadPool pool(4);
+  std::vector<long> out(200, 0);
+  pool.parallel_for(0, out.size(), [&](std::size_t i) {
+    long acc = 0;
+    const long spins = (i % 10 == 0) ? 20000 : 10;
+    for (long s = 0; s < spins; ++s) acc += s % 7;
+    out[i] = static_cast<long>(i) + (acc - acc);
+  });
+  const long sum = std::accumulate(out.begin(), out.end(), 0L);
+  EXPECT_EQ(sum, 199L * 200L / 2L);
+}
+
+}  // namespace
+}  // namespace oi
