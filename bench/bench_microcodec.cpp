@@ -8,6 +8,8 @@
 
 #include "bench_json.hpp"
 #include "bibd/constructions.hpp"
+#include "codes/gf256.hpp"
+#include "codes/kernels.hpp"
 #include "codes/rdp.hpp"
 #include "codes/reed_solomon.hpp"
 #include "codes/xor_code.hpp"
@@ -17,6 +19,22 @@
 namespace {
 
 using namespace oi;
+
+/// Forces a GF kernel variant for one benchmark run, restoring the previous
+/// selection afterwards so unparameterized benchmarks keep the startup
+/// default (OI_GF_KERNEL or CPUID best).
+class ScopedKernel {
+ public:
+  explicit ScopedKernel(gf::Kernel k) : prev_(gf::active_kernel()) {
+    gf::set_kernel(k);
+  }
+  ~ScopedKernel() { gf::set_kernel(prev_); }
+  ScopedKernel(const ScopedKernel&) = delete;
+  ScopedKernel& operator=(const ScopedKernel&) = delete;
+
+ private:
+  gf::Kernel prev_;
+};
 
 std::vector<codes::Strip> random_strips(std::size_t count, std::size_t size,
                                         std::uint64_t seed) {
@@ -28,6 +46,52 @@ std::vector<codes::Strip> random_strips(std::size_t count, std::size_t size,
   }
   return strips;
 }
+
+// Kernel-variant microbenchmarks for the two bulk primitives everything else
+// reduces to. Arg is the buffer size in bytes; GB/s lands in the JSON tee.
+void BM_XorAcc(benchmark::State& state, gf::Kernel kernel) {
+  if (!gf::kernel_available(kernel)) {
+    state.SkipWithError("kernel unavailable on this CPU");
+    return;
+  }
+  ScopedKernel scoped(kernel);
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  auto bufs = random_strips(2, size, 5);
+  for (auto _ : state) {
+    gf::xor_acc(bufs[0], bufs[1]);
+    benchmark::DoNotOptimize(bufs[0].data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK_CAPTURE(BM_XorAcc, scalar, gf::Kernel::kScalar)
+    ->Arg(4096)->Arg(64 << 10)->Arg(1 << 20);
+BENCHMARK_CAPTURE(BM_XorAcc, word64, gf::Kernel::kWord64)
+    ->Arg(4096)->Arg(64 << 10)->Arg(1 << 20);
+BENCHMARK_CAPTURE(BM_XorAcc, pshufb, gf::Kernel::kPshufb)
+    ->Arg(4096)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_MulAdd(benchmark::State& state, gf::Kernel kernel) {
+  if (!gf::kernel_available(kernel)) {
+    state.SkipWithError("kernel unavailable on this CPU");
+    return;
+  }
+  ScopedKernel scoped(kernel);
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  auto bufs = random_strips(2, size, 6);
+  for (auto _ : state) {
+    gf::mul_add(bufs[0], bufs[1], 0x1d);
+    benchmark::DoNotOptimize(bufs[0].data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK_CAPTURE(BM_MulAdd, scalar, gf::Kernel::kScalar)
+    ->Arg(4096)->Arg(64 << 10)->Arg(1 << 20);
+BENCHMARK_CAPTURE(BM_MulAdd, word64, gf::Kernel::kWord64)
+    ->Arg(4096)->Arg(64 << 10)->Arg(1 << 20);
+BENCHMARK_CAPTURE(BM_MulAdd, pshufb, gf::Kernel::kPshufb)
+    ->Arg(4096)->Arg(64 << 10)->Arg(1 << 20);
 
 void BM_XorEncode(benchmark::State& state) {
   const std::size_t k = static_cast<std::size_t>(state.range(0));
@@ -59,27 +123,33 @@ void BM_RsEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_RsEncode)->Arg(6)->Arg(12);
 
-void BM_RsDecodeThreeErasures(benchmark::State& state) {
+void BM_RsDecodeErasures(benchmark::State& state) {
   const std::size_t k = 6;
   const std::size_t size = 64 * 1024;
+  const auto n_erased = static_cast<std::size_t>(state.range(0));
   codes::ReedSolomon code(k, 3);
   auto data = random_strips(k, size, 3);
   std::vector<codes::Strip> parity(3);
   code.encode(data, parity);
-  std::vector<codes::Strip> strips;
-  for (const auto& s : data) strips.push_back(s);
-  for (const auto& s : parity) strips.push_back(s);
+  // Scratch hoisted out of the timed loop: decode only writes the erased
+  // strips (survivors are read-only), so one up-front clear suffices and the
+  // loop measures decoding, not strip-vector allocation/copying.
+  std::vector<codes::Strip> work;
+  for (const auto& s : data) work.push_back(s);
+  for (const auto& s : parity) work.push_back(s);
   std::vector<bool> present(k + 3, true);
-  present[0] = present[2] = present[7] = false;
+  const std::size_t erased[] = {0, 2, 7};
+  for (std::size_t e = 0; e < n_erased; ++e) {
+    present[erased[e]] = false;
+    work[erased[e]].clear();
+  }
   for (auto _ : state) {
-    auto work = strips;
-    work[0].clear();
-    work[2].clear();
-    work[7].clear();
     benchmark::DoNotOptimize(code.decode(work, present));
   }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * size));
 }
-BENCHMARK(BM_RsDecodeThreeErasures);
+BENCHMARK(BM_RsDecodeErasures)->Arg(1)->Arg(3);
 
 void BM_RdpEncode(benchmark::State& state) {
   const std::size_t p = static_cast<std::size_t>(state.range(0));

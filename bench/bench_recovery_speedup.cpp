@@ -11,6 +11,7 @@
 
 #include "bench_common.hpp"
 #include "bench_json.hpp"
+#include "codes/kernels.hpp"
 #include "layout/analysis.hpp"
 #include "layout/model.hpp"
 #include "layout/coded_flat.hpp"
@@ -102,6 +103,7 @@ GeometryRows measure_geometry(const Geometry& g) {
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  gf::set_kernel_by_name(flags.get_gf_kernel());
   const std::size_t threads = flags.get_threads(0);  // default: all cores
 
   print_experiment_header("E2", "single-failure rebuild time vs array size");

@@ -16,6 +16,7 @@
 
 #include "bench_common.hpp"
 #include "bench_json.hpp"
+#include "codes/kernels.hpp"
 #include "core/fault_analysis.hpp"
 #include "reliability/models.hpp"
 #include "reliability/monte_carlo.hpp"
@@ -58,6 +59,7 @@ void fan_out(ThreadPool& pool, const std::vector<std::function<void()>>& jobs) {
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  gf::set_kernel_by_name(flags.get_gf_kernel());
   const std::size_t threads = flags.get_threads(0);  // default: all cores
   ThreadPool pool(threads);
   BenchJson json("reliability");

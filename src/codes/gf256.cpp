@@ -1,39 +1,23 @@
 #include "codes/gf256.hpp"
 
-#include <array>
+#include <algorithm>
+#include <cstring>
 
+#include "codes/kernels.hpp"
 #include "util/assert.hpp"
 
 namespace oi::gf {
 namespace {
 
-constexpr unsigned kPoly = 0x11d;  // x^8 + x^4 + x^3 + x^2 + 1
-
-struct Tables {
-  std::array<Byte, 512> exp_table{};  // doubled so mul needs no modulo
-  std::array<Byte, 256> log_table{};
-
-  Tables() {
-    unsigned x = 1;
-    for (unsigned i = 0; i < 255; ++i) {
-      exp_table[i] = static_cast<Byte>(x);
-      log_table[x] = static_cast<Byte>(i);
-      x <<= 1;
-      if (x & 0x100) x ^= kPoly;
-    }
-    for (unsigned i = 255; i < 512; ++i) exp_table[i] = exp_table[i - 255];
-    log_table[0] = 0;  // never consulted: mul/div check for zero operands
-  }
-};
-
-const Tables& tables() {
-  static const Tables t;
-  return t;
-}
+const detail::GfTables& tables() { return detail::gf_tables(); }
 
 }  // namespace
 
-void init() { tables(); }
+void init() {
+  tables();
+  mul_table(0);  // also force the kernel nibble tables and variant selection
+  ops();
+}
 
 Byte add(Byte a, Byte b) { return a ^ b; }
 Byte sub(Byte a, Byte b) { return a ^ b; }
@@ -41,64 +25,106 @@ Byte sub(Byte a, Byte b) { return a ^ b; }
 Byte mul(Byte a, Byte b) {
   if (a == 0 || b == 0) return 0;
   const auto& t = tables();
-  return t.exp_table[static_cast<unsigned>(t.log_table[a]) + t.log_table[b]];
+  return t.exp[static_cast<unsigned>(t.log[a]) + t.log[b]];
 }
 
 Byte div(Byte a, Byte b) {
   OI_ENSURE(b != 0, "GF(256) division by zero");
   if (a == 0) return 0;
   const auto& t = tables();
-  return t.exp_table[static_cast<unsigned>(t.log_table[a]) + 255 - t.log_table[b]];
+  return t.exp[static_cast<unsigned>(t.log[a]) + 255 - t.log[b]];
 }
 
 Byte inv(Byte a) {
   OI_ENSURE(a != 0, "GF(256) inverse of zero");
   const auto& t = tables();
-  return t.exp_table[255 - t.log_table[a]];
+  return t.exp[255 - t.log[a]];
 }
 
 Byte pow(Byte a, unsigned e) {
   if (e == 0) return 1;
   if (a == 0) return 0;
   const auto& t = tables();
-  const unsigned log_a = t.log_table[a];
-  return t.exp_table[(log_a * (e % 255)) % 255];
+  const unsigned log_a = t.log[a];
+  return t.exp[(log_a * (e % 255)) % 255];
 }
 
-Byte exp(unsigned i) { return tables().exp_table[i % 255]; }
+Byte exp(unsigned i) { return tables().exp[i % 255]; }
 
 void mul_add(std::span<Byte> dst, std::span<const Byte> src, Byte coeff) {
   OI_ENSURE(dst.size() == src.size(), "mul_add size mismatch");
   if (coeff == 0) return;
+  const KernelOps& k = ops();
   if (coeff == 1) {
-    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+    k.xor_acc(dst.data(), src.data(), dst.size());
     return;
   }
-  const auto& t = tables();
-  const unsigned log_c = t.log_table[coeff];
-  for (std::size_t i = 0; i < dst.size(); ++i) {
-    const Byte s = src[i];
-    if (s != 0) dst[i] ^= t.exp_table[static_cast<unsigned>(t.log_table[s]) + log_c];
-  }
+  k.mul_add(dst.data(), src.data(), dst.size(), mul_table(coeff));
 }
 
 void mul_assign(std::span<Byte> dst, std::span<const Byte> src, Byte coeff) {
   OI_ENSURE(dst.size() == src.size(), "mul_assign size mismatch");
   if (coeff == 0) {
-    for (auto& b : dst) b = 0;
+    std::fill(dst.begin(), dst.end(), Byte{0});
     return;
   }
-  const auto& t = tables();
-  const unsigned log_c = t.log_table[coeff];
-  for (std::size_t i = 0; i < dst.size(); ++i) {
-    const Byte s = src[i];
-    dst[i] = s == 0 ? 0 : t.exp_table[static_cast<unsigned>(t.log_table[s]) + log_c];
+  if (coeff == 1) {
+    if (dst.data() != src.data() && !dst.empty()) {
+      std::memmove(dst.data(), src.data(), dst.size());
+    }
+    return;
   }
+  ops().mul_assign(dst.data(), src.data(), dst.size(), mul_table(coeff));
 }
 
 void xor_acc(std::span<Byte> dst, std::span<const Byte> src) {
   OI_ENSURE(dst.size() == src.size(), "xor_acc size mismatch");
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+  ops().xor_acc(dst.data(), src.data(), dst.size());
+}
+
+void xor_delta(std::span<Byte> dst, std::span<const Byte> a, std::span<const Byte> b) {
+  OI_ENSURE(dst.size() == a.size() && dst.size() == b.size(),
+            "xor_delta size mismatch");
+  ops().xor_delta(dst.data(), a.data(), b.data(), dst.size());
+}
+
+void mul_add_delta(std::span<Byte> dst, std::span<const Byte> a,
+                   std::span<const Byte> b, Byte coeff) {
+  OI_ENSURE(dst.size() == a.size() && dst.size() == b.size(),
+            "mul_add_delta size mismatch");
+  if (coeff == 0) return;
+  const KernelOps& k = ops();
+  if (coeff == 1) {
+    k.xor_delta(dst.data(), a.data(), b.data(), dst.size());
+    return;
+  }
+  k.mul_add_delta(dst.data(), a.data(), b.data(), dst.size(), mul_table(coeff));
+}
+
+void mul_add_multi(std::span<Byte> dst, std::span<const std::span<const Byte>> srcs,
+                   std::span<const Byte> coeffs) {
+  OI_ENSURE(srcs.size() == coeffs.size(), "mul_add_multi srcs/coeffs size mismatch");
+  for (const auto& src : srcs) {
+    OI_ENSURE(src.size() == dst.size(), "mul_add_multi source size mismatch");
+  }
+  // Block size tuned so one destination block plus a streaming source block
+  // stay resident in a 32 KiB L1d while the block is revisited per source.
+  constexpr std::size_t kBlock = 8 * 1024;
+  const KernelOps& k = ops();
+  for (std::size_t off = 0; off < dst.size(); off += kBlock) {
+    const std::size_t n = std::min(kBlock, dst.size() - off);
+    Byte* d = dst.data() + off;
+    for (std::size_t s = 0; s < srcs.size(); ++s) {
+      const Byte c = coeffs[s];
+      if (c == 0) continue;
+      const Byte* p = srcs[s].data() + off;
+      if (c == 1) {
+        k.xor_acc(d, p, n);
+      } else {
+        k.mul_add(d, p, n, mul_table(c));
+      }
+    }
+  }
 }
 
 }  // namespace oi::gf

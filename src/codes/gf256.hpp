@@ -26,13 +26,29 @@ Byte pow(Byte a, unsigned e);
 Byte exp(unsigned i);
 
 /// dst[i] ^= coeff * src[i] for all i -- the inner loop of RS encoding.
-/// dst.size() must equal src.size().
+/// dst.size() must equal src.size(). Routed through the active SIMD kernel
+/// (see codes/kernels.hpp), like every bulk primitive below.
 void mul_add(std::span<Byte> dst, std::span<const Byte> src, Byte coeff);
 
-/// dst[i] = coeff * src[i].
+/// dst[i] = coeff * src[i]. dst may alias src exactly (in-place scaling).
 void mul_assign(std::span<Byte> dst, std::span<const Byte> src, Byte coeff);
 
 /// dst[i] ^= src[i] (plain XOR accumulate; used by parity codes too).
 void xor_acc(std::span<Byte> dst, std::span<const Byte> src);
+
+/// dst[i] ^= a[i] ^ b[i] -- absorbs a data delta (old ^ new) into parity
+/// without materializing the delta strip.
+void xor_delta(std::span<Byte> dst, std::span<const Byte> a, std::span<const Byte> b);
+
+/// dst[i] ^= coeff * (a[i] ^ b[i]) -- the Reed-Solomon form of xor_delta.
+void mul_add_delta(std::span<Byte> dst, std::span<const Byte> a,
+                   std::span<const Byte> b, Byte coeff);
+
+/// Fused multi-source accumulate: dst[i] ^= sum_s coeffs[s] * srcs[s][i],
+/// walked in cache-sized blocks so the destination is loaded and stored once
+/// per block instead of once per source. Zero coefficients are skipped, unit
+/// coefficients degrade to XOR. Every source must match dst.size().
+void mul_add_multi(std::span<Byte> dst, std::span<const std::span<const Byte>> srcs,
+                   std::span<const Byte> coeffs);
 
 }  // namespace oi::gf

@@ -1,0 +1,495 @@
+#include "codes/kernels.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define OI_GF_X86 1
+#include <immintrin.h>
+#endif
+
+namespace oi::gf {
+
+namespace detail {
+
+const GfTables& gf_tables() {
+  static const GfTables tables = [] {
+    GfTables t{};
+    constexpr unsigned kPoly = 0x11d;  // x^8 + x^4 + x^3 + x^2 + 1
+    unsigned x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      t.exp[i] = static_cast<Byte>(x);
+      t.log[x] = static_cast<Byte>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= kPoly;
+    }
+    for (unsigned i = 255; i < 512; ++i) t.exp[i] = t.exp[i - 255];
+    t.log[0] = 0;  // never consulted: zero operands are branched around
+    return t;
+  }();
+  return tables;
+}
+
+}  // namespace detail
+
+const MulTable& mul_table(Byte coeff) {
+  static const std::array<MulTable, 256> tables = [] {
+    const auto& g = detail::gf_tables();
+    const auto mul = [&](unsigned a, unsigned b) -> Byte {
+      if (a == 0 || b == 0) return 0;
+      return g.exp[static_cast<unsigned>(g.log[a]) + g.log[b]];
+    };
+    std::array<MulTable, 256> out{};
+    for (unsigned c = 0; c < 256; ++c) {
+      out[c].coeff = static_cast<Byte>(c);
+      for (unsigned x = 0; x < 16; ++x) {
+        out[c].lo[x] = mul(c, x);
+        out[c].hi[x] = mul(c, x << 4);
+      }
+    }
+    return out;
+  }();
+  return tables[coeff];
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// scalar: the original per-byte loops, byte-for-byte the reference semantics.
+// The coeff is never 0 here (the span layer in gf256.cpp strips that case).
+// ---------------------------------------------------------------------------
+
+void xor_acc_scalar(Byte* dst, const Byte* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+}
+
+void xor_delta_scalar(Byte* dst, const Byte* a, const Byte* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= a[i] ^ b[i];
+}
+
+void mul_add_scalar(Byte* dst, const Byte* src, std::size_t n, const MulTable& t) {
+  const auto& g = detail::gf_tables();
+  const unsigned log_c = g.log[t.coeff];
+  for (std::size_t i = 0; i < n; ++i) {
+    const Byte s = src[i];
+    if (s != 0) dst[i] ^= g.exp[static_cast<unsigned>(g.log[s]) + log_c];
+  }
+}
+
+void mul_assign_scalar(Byte* dst, const Byte* src, std::size_t n, const MulTable& t) {
+  const auto& g = detail::gf_tables();
+  const unsigned log_c = g.log[t.coeff];
+  for (std::size_t i = 0; i < n; ++i) {
+    const Byte s = src[i];
+    dst[i] = s == 0 ? 0 : g.exp[static_cast<unsigned>(g.log[s]) + log_c];
+  }
+}
+
+void mul_add_delta_scalar(Byte* dst, const Byte* a, const Byte* b, std::size_t n,
+                          const MulTable& t) {
+  const auto& g = detail::gf_tables();
+  const unsigned log_c = g.log[t.coeff];
+  for (std::size_t i = 0; i < n; ++i) {
+    const Byte s = static_cast<Byte>(a[i] ^ b[i]);
+    if (s != 0) dst[i] ^= g.exp[static_cast<unsigned>(g.log[s]) + log_c];
+  }
+}
+
+constexpr KernelOps kScalarOps = {xor_acc_scalar, xor_delta_scalar, mul_add_scalar,
+                                  mul_assign_scalar, mul_add_delta_scalar};
+
+// ---------------------------------------------------------------------------
+// word64: portable widening. XOR moves 8-byte words (memcpy keeps it free of
+// aliasing UB and compiles to plain loads/stores); multiplication swaps the
+// log/exp walk for two branch-free nibble lookups per byte, unrolled.
+// ---------------------------------------------------------------------------
+
+inline std::uint64_t load64(const Byte* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+inline void store64(Byte* p, std::uint64_t v) { std::memcpy(p, &v, sizeof v); }
+
+void xor_acc_word64(Byte* dst, const Byte* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    store64(dst + i, load64(dst + i) ^ load64(src + i));
+    store64(dst + i + 8, load64(dst + i + 8) ^ load64(src + i + 8));
+    store64(dst + i + 16, load64(dst + i + 16) ^ load64(src + i + 16));
+    store64(dst + i + 24, load64(dst + i + 24) ^ load64(src + i + 24));
+  }
+  for (; i + 8 <= n; i += 8) store64(dst + i, load64(dst + i) ^ load64(src + i));
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void xor_delta_word64(Byte* dst, const Byte* a, const Byte* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    store64(dst + i, load64(dst + i) ^ load64(a + i) ^ load64(b + i));
+    store64(dst + i + 8, load64(dst + i + 8) ^ load64(a + i + 8) ^ load64(b + i + 8));
+  }
+  for (; i + 8 <= n; i += 8) {
+    store64(dst + i, load64(dst + i) ^ load64(a + i) ^ load64(b + i));
+  }
+  for (; i < n; ++i) dst[i] ^= a[i] ^ b[i];
+}
+
+inline Byte nib_mul(const MulTable& t, Byte s) {
+  return static_cast<Byte>(t.lo[s & 0x0f] ^ t.hi[s >> 4]);
+}
+
+void mul_add_word64(Byte* dst, const Byte* src, std::size_t n, const MulTable& t) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    dst[i] ^= nib_mul(t, src[i]);
+    dst[i + 1] ^= nib_mul(t, src[i + 1]);
+    dst[i + 2] ^= nib_mul(t, src[i + 2]);
+    dst[i + 3] ^= nib_mul(t, src[i + 3]);
+  }
+  for (; i < n; ++i) dst[i] ^= nib_mul(t, src[i]);
+}
+
+void mul_assign_word64(Byte* dst, const Byte* src, std::size_t n, const MulTable& t) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    dst[i] = nib_mul(t, src[i]);
+    dst[i + 1] = nib_mul(t, src[i + 1]);
+    dst[i + 2] = nib_mul(t, src[i + 2]);
+    dst[i + 3] = nib_mul(t, src[i + 3]);
+  }
+  for (; i < n; ++i) dst[i] = nib_mul(t, src[i]);
+}
+
+void mul_add_delta_word64(Byte* dst, const Byte* a, const Byte* b, std::size_t n,
+                          const MulTable& t) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    dst[i] ^= nib_mul(t, static_cast<Byte>(a[i] ^ b[i]));
+    dst[i + 1] ^= nib_mul(t, static_cast<Byte>(a[i + 1] ^ b[i + 1]));
+    dst[i + 2] ^= nib_mul(t, static_cast<Byte>(a[i + 2] ^ b[i + 2]));
+    dst[i + 3] ^= nib_mul(t, static_cast<Byte>(a[i + 3] ^ b[i + 3]));
+  }
+  for (; i < n; ++i) dst[i] ^= nib_mul(t, static_cast<Byte>(a[i] ^ b[i]));
+}
+
+constexpr KernelOps kWord64Ops = {xor_acc_word64, xor_delta_word64, mul_add_word64,
+                                  mul_assign_word64, mul_add_delta_word64};
+
+// ---------------------------------------------------------------------------
+// pshufb: ISA-L-style split-nibble shuffles. The 16-byte lo/hi halves of a
+// MulTable are exactly the operand format of [v]pshufb: product = lo-table
+// shuffled by the low nibbles XOR hi-table shuffled by the high nibbles,
+// 16 (SSSE3) or 32 (AVX2) bytes per instruction pair. Target attributes keep
+// the rest of the build free of -mssse3/-mavx2; CPUID gates selection.
+// ---------------------------------------------------------------------------
+
+#ifdef OI_GF_X86
+
+__attribute__((target("ssse3"))) void xor_acc_sse(Byte* dst, const Byte* src,
+                                                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    for (std::size_t j = 0; j < 64; j += 16) {
+      const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i + j));
+      const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i + j));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + j), _mm_xor_si128(d, s));
+    }
+  }
+  for (; i + 16 <= n; i += 16) {
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(d, s));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+__attribute__((target("ssse3"))) void xor_delta_sse(Byte* dst, const Byte* a,
+                                                    const Byte* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i y = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, _mm_xor_si128(x, y)));
+  }
+  for (; i < n; ++i) dst[i] ^= a[i] ^ b[i];
+}
+
+__attribute__((target("ssse3"))) inline __m128i nib_mul_sse(__m128i s, __m128i lo,
+                                                            __m128i hi, __m128i mask) {
+  const __m128i l = _mm_shuffle_epi8(lo, _mm_and_si128(s, mask));
+  const __m128i h =
+      _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi16(s, 4), mask));
+  return _mm_xor_si128(l, h);
+}
+
+__attribute__((target("ssse3"))) void mul_add_sse(Byte* dst, const Byte* src,
+                                                  std::size_t n, const MulTable& t) {
+  const __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, nib_mul_sse(s, lo, hi, mask)));
+  }
+  for (; i < n; ++i) dst[i] ^= nib_mul(t, src[i]);
+}
+
+__attribute__((target("ssse3"))) void mul_assign_sse(Byte* dst, const Byte* src,
+                                                     std::size_t n, const MulTable& t) {
+  const __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), nib_mul_sse(s, lo, hi, mask));
+  }
+  for (; i < n; ++i) dst[i] = nib_mul(t, src[i]);
+}
+
+__attribute__((target("ssse3"))) void mul_add_delta_sse(Byte* dst, const Byte* a,
+                                                        const Byte* b, std::size_t n,
+                                                        const MulTable& t) {
+  const __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i y = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const __m128i s = _mm_xor_si128(x, y);
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, nib_mul_sse(s, lo, hi, mask)));
+  }
+  for (; i < n; ++i) dst[i] ^= nib_mul(t, static_cast<Byte>(a[i] ^ b[i]));
+}
+
+constexpr KernelOps kSseOps = {xor_acc_sse, xor_delta_sse, mul_add_sse, mul_assign_sse,
+                               mul_add_delta_sse};
+
+__attribute__((target("avx2"))) void xor_acc_avx2(Byte* dst, const Byte* src,
+                                                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i d0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    const __m256i s1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_xor_si256(d0, s0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32),
+                        _mm256_xor_si256(d1, s1));
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_xor_si256(d, s));
+  }
+  if (i < n) xor_acc_word64(dst + i, src + i, n - i);
+}
+
+__attribute__((target("avx2"))) void xor_delta_avx2(Byte* dst, const Byte* a,
+                                                    const Byte* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i y = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, _mm256_xor_si256(x, y)));
+  }
+  if (i < n) xor_delta_word64(dst + i, a + i, b + i, n - i);
+}
+
+__attribute__((target("avx2"))) inline __m256i nib_mul_avx2(__m256i s, __m256i lo,
+                                                            __m256i hi, __m256i mask) {
+  const __m256i l = _mm256_shuffle_epi8(lo, _mm256_and_si256(s, mask));
+  const __m256i h =
+      _mm256_shuffle_epi8(hi, _mm256_and_si256(_mm256_srli_epi16(s, 4), mask));
+  return _mm256_xor_si256(l, h);
+}
+
+__attribute__((target("avx2"))) void mul_add_avx2(Byte* dst, const Byte* src,
+                                                  std::size_t n, const MulTable& t) {
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi)));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, nib_mul_avx2(s, lo, hi, mask)));
+  }
+  if (i < n) mul_add_word64(dst + i, src + i, n - i, t);
+}
+
+__attribute__((target("avx2"))) void mul_assign_avx2(Byte* dst, const Byte* src,
+                                                     std::size_t n, const MulTable& t) {
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi)));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        nib_mul_avx2(s, lo, hi, mask));
+  }
+  if (i < n) mul_assign_word64(dst + i, src + i, n - i, t);
+}
+
+__attribute__((target("avx2"))) void mul_add_delta_avx2(Byte* dst, const Byte* a,
+                                                        const Byte* b, std::size_t n,
+                                                        const MulTable& t) {
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi)));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i y = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i s = _mm256_xor_si256(x, y);
+    const __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, nib_mul_avx2(s, lo, hi, mask)));
+  }
+  if (i < n) mul_add_delta_word64(dst + i, a + i, b + i, n - i, t);
+}
+
+constexpr KernelOps kAvx2Ops = {xor_acc_avx2, xor_delta_avx2, mul_add_avx2,
+                                mul_assign_avx2, mul_add_delta_avx2};
+
+#endif  // OI_GF_X86
+
+// ---------------------------------------------------------------------------
+// Selection. Chosen once at startup (OI_GF_KERNEL, else CPUID best); tools
+// may re-select via set_kernel / set_kernel_by_name before heavy work.
+// ---------------------------------------------------------------------------
+
+const KernelOps* ops_for(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar:
+      return &kScalarOps;
+    case Kernel::kWord64:
+      return &kWord64Ops;
+    case Kernel::kPshufb:
+#ifdef OI_GF_X86
+      if (__builtin_cpu_supports("avx2")) return &kAvx2Ops;
+      if (__builtin_cpu_supports("ssse3")) return &kSseOps;
+#endif
+      return nullptr;
+  }
+  return nullptr;
+}
+
+std::atomic<const KernelOps*> g_ops{nullptr};
+std::atomic<int> g_kind{-1};
+
+Kernel best_available() {
+  return kernel_available(Kernel::kPshufb) ? Kernel::kPshufb : Kernel::kWord64;
+}
+
+Kernel startup_default() {
+  if (const char* env = std::getenv("OI_GF_KERNEL"); env != nullptr && *env != '\0') {
+    const std::string_view name(env);
+    if (name != "auto") {
+      const auto parsed = parse_kernel(name);
+      if (parsed.has_value() && kernel_available(*parsed)) return *parsed;
+      OI_LOG_WARN << "OI_GF_KERNEL='" << env << "' is "
+                  << (parsed.has_value() ? "unavailable on this CPU" : "unknown")
+                  << "; falling back to " << kernel_name(best_available());
+    }
+  }
+  return best_available();
+}
+
+void ensure_selected() {
+  static const bool once = [] {
+    set_kernel(startup_default());
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace
+
+bool kernel_available(Kernel k) { return ops_for(k) != nullptr; }
+
+std::vector<Kernel> available_kernels() {
+  std::vector<Kernel> out;
+  for (const Kernel k : {Kernel::kScalar, Kernel::kWord64, Kernel::kPshufb}) {
+    if (kernel_available(k)) out.push_back(k);
+  }
+  return out;
+}
+
+Kernel active_kernel() {
+  ensure_selected();
+  return static_cast<Kernel>(g_kind.load(std::memory_order_relaxed));
+}
+
+void set_kernel(Kernel k) {
+  const KernelOps* o = ops_for(k);
+  OI_ENSURE(o != nullptr,
+            "GF kernel '" + kernel_name(k) + "' is not available on this CPU/build");
+  mul_table(0);  // build the nibble tables before any op can race the init
+  g_kind.store(static_cast<int>(k), std::memory_order_relaxed);
+  g_ops.store(o, std::memory_order_release);
+}
+
+std::string kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar:
+      return "scalar";
+    case Kernel::kWord64:
+      return "word64";
+    case Kernel::kPshufb:
+      return "pshufb";
+  }
+  return "unknown";
+}
+
+std::optional<Kernel> parse_kernel(std::string_view name) {
+  if (name == "scalar") return Kernel::kScalar;
+  if (name == "word64") return Kernel::kWord64;
+  if (name == "pshufb") return Kernel::kPshufb;
+  return std::nullopt;
+}
+
+void set_kernel_by_name(const std::string& name) {
+  if (name.empty() || name == "auto") {
+    set_kernel(startup_default());
+    return;
+  }
+  const auto parsed = parse_kernel(name);
+  OI_ENSURE(parsed.has_value(),
+            "unknown GF kernel '" + name + "' (expected scalar|word64|pshufb|auto)");
+  set_kernel(*parsed);
+}
+
+const KernelOps& ops() {
+  ensure_selected();
+  return *g_ops.load(std::memory_order_acquire);
+}
+
+}  // namespace oi::gf

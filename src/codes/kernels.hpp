@@ -1,0 +1,112 @@
+// Vectorized GF(2^8) codec kernels with runtime dispatch.
+//
+// Every byte moved by encode, decode, scrub, parity update, and rebuild goes
+// through the bulk primitives in gf256.hpp; this header is the engine behind
+// them. Three implementations live behind one function-pointer table:
+//
+//   scalar  -- the original per-byte log/exp loops, kept bit-for-bit as the
+//              reference implementation every other variant is tested against.
+//   word64  -- portable widening: XOR in 8-byte words, multiplication through
+//              branch-free split-nibble table lookups, unrolled.
+//   pshufb  -- x86 split low/high-nibble 16-byte lookup tables applied with
+//              SSSE3 _mm_shuffle_epi8 (or the AVX2 256-bit form when the CPU
+//              has it). Compiled only on x86 toolchains; selected only when
+//              CPUID reports the feature.
+//
+// The active kernel is chosen once at startup: the OI_GF_KERNEL environment
+// variable if set ("scalar" | "word64" | "pshufb"), otherwise the best variant
+// CPUID allows. Tools expose the same override as --gf-kernel. All variants
+// produce byte-identical output -- GF(256) arithmetic is exact -- so switching
+// kernels is purely a performance decision.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oi::gf {
+
+using Byte = std::uint8_t;
+
+enum class Kernel {
+  kScalar = 0,
+  kWord64 = 1,
+  kPshufb = 2,
+};
+
+/// Split-nibble product table for one coefficient c. Any byte product
+/// factors as c*s = c*(s & 0x0f) ^ c*(s & 0xf0), so two 16-entry lookups
+/// (one per nibble) replace the log/exp walk; the pshufb kernel feeds the
+/// same 16-byte halves straight into byte-shuffle instructions.
+struct alignas(64) MulTable {
+  Byte lo[16];  // lo[x] = c * x
+  Byte hi[16];  // hi[x] = c * (x << 4)
+  Byte coeff;   // c itself, for kernels that prefer the log/exp route
+};
+
+/// The 256-entry table of split-nibble tables (16 KiB, built once on first
+/// use). ReedSolomon touches it at construction so encode/decode hot loops
+/// only ever index it.
+const MulTable& mul_table(Byte coeff);
+
+/// Raw bulk primitives of one kernel variant. Sizes are in bytes; buffers
+/// may be arbitrarily aligned. dst may equal src exactly (full overlap);
+/// partial overlap is not supported.
+struct KernelOps {
+  void (*xor_acc)(Byte* dst, const Byte* src, std::size_t n);
+  // dst[i] ^= a[i] ^ b[i] -- the fused delta-absorb used by parity updates.
+  void (*xor_delta)(Byte* dst, const Byte* a, const Byte* b, std::size_t n);
+  void (*mul_add)(Byte* dst, const Byte* src, std::size_t n, const MulTable& t);
+  void (*mul_assign)(Byte* dst, const Byte* src, std::size_t n, const MulTable& t);
+  // dst[i] ^= c * (a[i] ^ b[i]) without materializing the delta.
+  void (*mul_add_delta)(Byte* dst, const Byte* a, const Byte* b, std::size_t n,
+                        const MulTable& t);
+};
+
+/// True when the variant can run on this CPU and build (scalar and word64
+/// always can; pshufb needs an x86 build and SSSE3 at runtime).
+bool kernel_available(Kernel k);
+
+/// All variants available on this machine, scalar first.
+std::vector<Kernel> available_kernels();
+
+/// The variant currently routing gf::xor_acc / gf::mul_add / ... calls.
+Kernel active_kernel();
+
+/// Forces a variant. Throws std::invalid_argument when it is unavailable.
+/// Selection is process-wide; do not switch while codec calls are in flight
+/// on other threads.
+void set_kernel(Kernel k);
+
+/// "scalar" | "word64" | "pshufb".
+std::string kernel_name(Kernel k);
+
+/// Inverse of kernel_name; nullopt for unknown spellings ("auto" included --
+/// callers resolve that through set_kernel_by_name).
+std::optional<Kernel> parse_kernel(std::string_view name);
+
+/// Sets the kernel from a user-facing spelling. "" and "auto" re-run the
+/// startup default (OI_GF_KERNEL if valid, else best available). A concrete
+/// name that is unavailable on this CPU throws std::invalid_argument.
+void set_kernel_by_name(const std::string& name);
+
+/// The active variant's function table (initializes selection on first use).
+const KernelOps& ops();
+
+namespace detail {
+
+/// The classic log/exp tables over 0x11d, shared by the element-wise ops in
+/// gf256.cpp and the scalar reference kernel. exp is doubled so a product of
+/// two logs needs no modulo.
+struct GfTables {
+  Byte exp[512];
+  Byte log[256];
+};
+
+const GfTables& gf_tables();
+
+}  // namespace detail
+
+}  // namespace oi::gf

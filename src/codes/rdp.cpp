@@ -41,10 +41,12 @@ void RdpCode::encode(std::span<const Strip> data, std::span<Strip> parity) const
 
   Strip& row_parity = parity[0];
   Strip& diag_parity = parity[1];
-  row_parity.assign(size, 0);
+  // Row parity seeds from the first strip (no zero-fill pass); the diagonal
+  // grid accumulates cell-wise, so it stays zero-seeded.
+  row_parity.assign(data[0].begin(), data[0].end());
   diag_parity.assign(size, 0);
 
-  for (const auto& strip : data) gf::xor_acc(row_parity, strip);
+  for (std::size_t j = 1; j + 1 < p_; ++j) gf::xor_acc(row_parity, data[j]);
 
   auto cell = [&](const Strip& s, std::size_t row) {
     return std::span<const std::uint8_t>(s.data() + row * row_size, row_size);
@@ -173,10 +175,8 @@ void RdpCode::update_parity(Strip& parity, std::size_t parity_index,
   OI_ENSURE(parity.size() % (p_ - 1) == 0, "RDP strip size must be divisible by p-1");
   const std::size_t row_size = parity.size() / (p_ - 1);
   if (parity_index == 0) {
-    // Row parity: plain XOR of the delta.
-    for (std::size_t i = 0; i < parity.size(); ++i) {
-      parity[i] ^= old_data[i] ^ new_data[i];
-    }
+    // Row parity: plain XOR of the delta, fused (no delta strip).
+    gf::xor_delta(parity, old_data, new_data);
     return;
   }
   // Diagonal parity. Two contributions per row i of the delta: the data
@@ -194,9 +194,7 @@ void RdpCode::update_parity(Strip& parity, std::size_t parity_index,
       const std::size_t d = (i + disk) % p_;
       if (d == p_ - 1) continue;  // the unstored diagonal
       auto dst = std::span<std::uint8_t>(parity.data() + d * row_size, row_size);
-      for (std::size_t b = 0; b < row_size; ++b) {
-        dst[b] ^= old_row(i)[b] ^ new_row(i)[b];
-      }
+      gf::xor_delta(dst, old_row(i), new_row(i));
     }
   }
 }

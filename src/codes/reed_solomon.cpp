@@ -1,5 +1,6 @@
 #include "codes/reed_solomon.hpp"
 
+#include "codes/kernels.hpp"
 #include "util/assert.hpp"
 
 namespace oi::codes {
@@ -10,8 +11,15 @@ ReedSolomon::ReedSolomon(std::size_t k, std::size_t m) : k_(k), m_(m) {
   generator_ = gf::Matrix(k + m, k);
   for (std::size_t i = 0; i < k; ++i) generator_.at(i, i) = 1;
   const gf::Matrix parity = gf::Matrix::cauchy(m, k);
+  parity_coeffs_.resize(m);
   for (std::size_t r = 0; r < m; ++r) {
-    for (std::size_t c = 0; c < k; ++c) generator_.at(k + r, c) = parity.at(r, c);
+    parity_coeffs_[r].resize(k);
+    for (std::size_t c = 0; c < k; ++c) {
+      const gf::Byte coeff = parity.at(r, c);
+      generator_.at(k + r, c) = coeff;
+      gf::mul_table(coeff);  // precompute the split-nibble table per coefficient
+      parity_coeffs_[r][c] = coeff;
+    }
   }
 }
 
@@ -22,11 +30,16 @@ void ReedSolomon::encode(std::span<const Strip> data, std::span<Strip> parity) c
   for (const auto& strip : data) {
     OI_ENSURE(strip.size() == size, "data strips must have equal sizes");
   }
+  std::vector<std::span<const gf::Byte>> srcs(k_);
+  for (std::size_t d = 0; d < k_; ++d) srcs[d] = data[d];
+  const std::span<const std::span<const gf::Byte>> src_view(srcs);
   for (std::size_t p = 0; p < m_; ++p) {
-    parity[p].assign(size, 0);
-    for (std::size_t d = 0; d < k_; ++d) {
-      gf::mul_add(parity[p], data[d], generator_.at(k_ + p, d));
-    }
+    parity[p].resize(size);
+    const std::span<const gf::Byte> coeffs(parity_coeffs_[p]);
+    // The first source seeds the destination outright -- no zero-fill pass --
+    // and the rest accumulate in one cache-blocked sweep.
+    gf::mul_assign(parity[p], srcs[0], coeffs[0]);
+    gf::mul_add_multi(parity[p], src_view.subspan(1), coeffs.subspan(1));
   }
 }
 
@@ -51,23 +64,31 @@ bool ReedSolomon::decode(std::vector<Strip>& strips, const std::vector<bool>& pr
 
   const std::size_t size = strips[survivors[0]].size();
 
-  // data[d] = sum_j inverse[d][j] * survivor_strip[j]
-  std::vector<Strip> data(k_);
-  for (std::size_t d = 0; d < k_; ++d) {
-    data[d].assign(size, 0);
-    for (std::size_t j = 0; j < k_; ++j) {
-      gf::mul_add(data[d], strips[survivors[j]], inverse->at(d, j));
-    }
+  // Only the erased data strips are recomputed (a single data erasure costs
+  // one row, not k): strips[d] = sum_j inverse[d][j] * survivor_strip[j],
+  // written straight into place since d is never a survivor.
+  std::vector<std::span<const gf::Byte>> srcs(k_);
+  for (std::size_t j = 0; j < k_; ++j) srcs[j] = strips[survivors[j]];
+  const std::span<const std::span<const gf::Byte>> src_view(srcs);
+  std::vector<gf::Byte> coeffs(k_);
+  for (const std::size_t idx : erased) {
+    if (idx >= k_) continue;
+    for (std::size_t j = 0; j < k_; ++j) coeffs[j] = inverse->at(idx, j);
+    strips[idx].resize(size);
+    gf::mul_assign(strips[idx], srcs[0], coeffs[0]);
+    gf::mul_add_multi(strips[idx], src_view.subspan(1),
+                      std::span<const gf::Byte>(coeffs).subspan(1));
   }
-  for (std::size_t d = 0; d < k_; ++d) {
-    if (!present[d]) strips[d] = data[d];
-  }
-  for (std::size_t p = 0; p < m_; ++p) {
-    if (present[k_ + p]) continue;
-    strips[k_ + p].assign(size, 0);
-    for (std::size_t d = 0; d < k_; ++d) {
-      gf::mul_add(strips[k_ + p], data[d], generator_.at(k_ + p, d));
-    }
+  // Every data strip is valid now; erased parity re-encodes from them.
+  std::vector<std::span<const gf::Byte>> data_view(k_);
+  for (std::size_t d = 0; d < k_; ++d) data_view[d] = strips[d];
+  const std::span<const std::span<const gf::Byte>> data_srcs(data_view);
+  for (const std::size_t idx : erased) {
+    if (idx < k_) continue;
+    const std::span<const gf::Byte> row(parity_coeffs_[idx - k_]);
+    strips[idx].resize(size);
+    gf::mul_assign(strips[idx], data_view[0], row[0]);
+    gf::mul_add_multi(strips[idx], data_srcs.subspan(1), row.subspan(1));
   }
   return true;
 }
@@ -79,10 +100,10 @@ void ReedSolomon::update_parity(Strip& parity, std::size_t parity_index,
   OI_ENSURE(data_index < k_, "data index out of range");
   OI_ENSURE(old_data.size() == new_data.size() && parity.size() == old_data.size(),
             "delta strips must have equal sizes");
-  // parity += G[k+p][d] * (old ^ new): linearity over GF(256).
-  Strip delta(old_data.size());
-  for (std::size_t i = 0; i < delta.size(); ++i) delta[i] = old_data[i] ^ new_data[i];
-  gf::mul_add(parity, delta, generator_.at(k_ + parity_index, data_index));
+  // parity += G[k+p][d] * (old ^ new): linearity over GF(256). The delta is
+  // fused into the kernel pass instead of materialized as a strip.
+  gf::mul_add_delta(parity, old_data, new_data,
+                    generator_.at(k_ + parity_index, data_index));
 }
 
 std::string ReedSolomon::name() const {

@@ -30,6 +30,10 @@ class ReedSolomon final : public ErasureCode {
   std::size_t k_;
   std::size_t m_;
   gf::Matrix generator_;
+  /// Parity rows of the generator, flattened for the fused multi-source
+  /// kernel path; the matching split-nibble tables are forced at
+  /// construction so encode/decode hot loops only index them.
+  std::vector<std::vector<gf::Byte>> parity_coeffs_;
 };
 
 }  // namespace oi::codes

@@ -58,8 +58,10 @@ void XorCode::encode(std::span<const Strip> data, std::span<Strip> parity) const
   for (const auto& strip : data) {
     OI_ENSURE(strip.size() == size, "data strips must have equal sizes");
   }
-  parity[0].assign(size, 0);
-  for (const auto& strip : data) gf::xor_acc(parity[0], strip);
+  // Seed the parity with the first strip instead of zero-filling, then
+  // accumulate the rest through the wide-XOR kernel.
+  parity[0].assign(data[0].begin(), data[0].end());
+  for (std::size_t d = 1; d < k_; ++d) gf::xor_acc(parity[0], data[d]);
 }
 
 bool XorCode::decode(std::vector<Strip>& strips, const std::vector<bool>& present) const {
@@ -67,16 +69,17 @@ bool XorCode::decode(std::vector<Strip>& strips, const std::vector<bool>& presen
   if (erased.empty()) return true;
   if (erased.size() > 1) return false;
   const std::size_t missing = erased[0];
-  // The missing strip (data or parity alike) is the XOR of all others.
-  std::size_t size = 0;
+  // The missing strip (data or parity alike) is the XOR of all others; the
+  // first survivor seeds the buffer so no zero-fill pass is needed.
+  std::size_t first = strips.size();
   for (std::size_t i = 0; i < strips.size(); ++i) {
-    if (present[i]) {
-      size = strips[i].size();
+    if (i != missing) {
+      first = i;
       break;
     }
   }
-  strips[missing].assign(size, 0);
-  for (std::size_t i = 0; i < strips.size(); ++i) {
+  strips[missing].assign(strips[first].begin(), strips[first].end());
+  for (std::size_t i = first + 1; i < strips.size(); ++i) {
     if (i != missing) gf::xor_acc(strips[missing], strips[i]);
   }
   return true;
@@ -95,9 +98,8 @@ std::string XorCode::name() const { return "raid5(k=" + std::to_string(k_) + ")"
 void XorCode::apply_delta(Strip& parity, const Strip& old_data, const Strip& new_data) {
   OI_ENSURE(parity.size() == old_data.size() && parity.size() == new_data.size(),
             "parity delta strips must have equal sizes");
-  for (std::size_t i = 0; i < parity.size(); ++i) {
-    parity[i] ^= old_data[i] ^ new_data[i];
-  }
+  // Fused three-operand XOR: no temporary delta strip, one pass over parity.
+  gf::xor_delta(parity, old_data, new_data);
 }
 
 }  // namespace oi::codes

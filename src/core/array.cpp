@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "codes/gf256.hpp"
 #include "layout/stripe_map.hpp"
 #include "util/assert.hpp"
 
@@ -55,8 +56,7 @@ std::optional<std::vector<std::uint8_t>> Array::reconstruct(
       }
       if (!failed_.contains(map.disk_of(member))) {
         ++counters_.strip_reads;
-        const auto src = strip(map.strip_loc(member));
-        for (std::size_t i = 0; i < strip_bytes_; ++i) value[i] ^= src[i];
+        gf::xor_acc(value, strip(map.strip_loc(member)));
         continue;
       }
       // Member is lost too: decode it first through another relation (the
@@ -66,7 +66,7 @@ std::optional<std::vector<std::uint8_t>> Array::reconstruct(
         ok = false;
         break;
       }
-      for (std::size_t i = 0; i < strip_bytes_; ++i) value[i] ^= (*sub)[i];
+      gf::xor_acc(value, *sub);
     }
     if (ok) {
       in_progress[strip_id] = 0;
@@ -111,8 +111,7 @@ void Array::write(std::size_t logical, std::span<const std::uint8_t> data) {
   // delta (for a mirror copy, old-copy ^ delta == new data).
   std::vector<std::uint8_t> delta(strip_bytes_);
   if (!failed_.contains(data_loc.disk)) {
-    const auto old = strip(data_loc);
-    for (std::size_t i = 0; i < strip_bytes_; ++i) delta[i] = old[i] ^ data[i];
+    gf::xor_delta(delta, strip(data_loc), data);  // delta starts zeroed
     auto dst = strip(data_loc);
     std::copy(data.begin(), data.end(), dst.begin());
     ++counters_.strip_writes;
@@ -128,13 +127,12 @@ void Array::write(std::size_t logical, std::span<const std::uint8_t> data) {
       throw std::runtime_error(
           "degraded write unrecoverable: old value cannot be reconstructed");
     }
-    for (std::size_t i = 0; i < strip_bytes_; ++i) delta[i] = (*old)[i] ^ data[i];
+    gf::xor_delta(delta, *old, data);  // delta starts zeroed
   }
   for (std::size_t w = 1; w < plan.writes.size(); ++w) {
     const layout::StripLoc parity = plan.writes[w];
     if (failed_.contains(parity.disk)) continue;  // lost anyway; rebuilt later
-    auto dst = strip(parity);
-    for (std::size_t i = 0; i < strip_bytes_; ++i) dst[i] ^= delta[i];
+    gf::xor_acc(strip(parity), delta);
     ++counters_.strip_writes;
     ++counters_.parity_strip_writes;
   }
@@ -211,8 +209,7 @@ RebuildReport Array::rebuild() {
     for (const auto& read : step.reads) {
       // Reads of strips rebuilt by earlier steps see the freshly written
       // bytes because rebuild writes in place (replacement disk semantics).
-      const auto src = strip(read);
-      for (std::size_t i = 0; i < strip_bytes_; ++i) value[i] ^= src[i];
+      gf::xor_acc(value, strip(read));
       ++report.strip_reads;
       ++counters_.strip_reads;
     }
@@ -273,8 +270,7 @@ std::string Array::scrub() const {
     }
     std::fill(acc.begin(), acc.end(), 0);
     for (const std::uint32_t member : members) {
-      const auto src = strip(map.strip_loc(member));
-      for (std::size_t i = 0; i < strip_bytes_; ++i) acc[i] ^= src[i];
+      gf::xor_acc(acc, strip(map.strip_loc(member)));
     }
     if (std::any_of(acc.begin(), acc.end(), [](std::uint8_t b) { return b != 0; })) {
       const layout::StripLoc first = map.strip_loc(members.front());

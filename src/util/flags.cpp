@@ -118,6 +118,8 @@ std::size_t Flags::get_threads(std::size_t fallback) const {
   return ThreadPool::resolve_threads(static_cast<std::size_t>(requested));
 }
 
+std::string Flags::get_gf_kernel() const { return get_string("gf-kernel", "auto"); }
+
 std::vector<std::string> Flags::unused() const {
   std::vector<std::string> out;
   for (const auto& [name, value] : values_) {

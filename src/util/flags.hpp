@@ -33,6 +33,13 @@ class Flags {
   /// positive worker count. N = 0 (and a fallback of 0) means "all cores".
   std::size_t get_threads(std::size_t fallback = 1) const;
 
+  /// The `--gf-kernel NAME` convention: which GF(256) codec kernel variant to
+  /// use ("scalar" | "word64" | "pshufb" | "auto"). Returns "auto" when the
+  /// flag is absent; "auto" defers to the OI_GF_KERNEL environment variable
+  /// and then to CPUID selection (see codes/kernels.hpp). Callers pass the
+  /// result to gf::set_kernel_by_name.
+  std::string get_gf_kernel() const;
+
   const std::vector<std::string>& positional() const { return positional_; }
 
   /// Flags that were provided but never read by any getter -- callers can

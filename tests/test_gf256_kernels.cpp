@@ -1,0 +1,358 @@
+// Kernel-equivalence battery: every available GF(256) kernel variant must
+// produce byte-identical output to the scalar reference -- across all 256
+// coefficients, odd lengths, misaligned sub-spans, aliased buffers, the fused
+// primitives, and full codec round-trips. GF arithmetic is exact, so any
+// divergence is a kernel bug, not tolerance noise.
+#include "codes/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "codes/gf256.hpp"
+#include "codes/rdp.hpp"
+#include "codes/reed_solomon.hpp"
+#include "codes/xor_code.hpp"
+#include "util/rng.hpp"
+
+namespace oi::gf {
+namespace {
+
+class ScopedKernel {
+ public:
+  explicit ScopedKernel(Kernel k) : prev_(active_kernel()) { set_kernel(k); }
+  ~ScopedKernel() { set_kernel(prev_); }
+  ScopedKernel(const ScopedKernel&) = delete;
+  ScopedKernel& operator=(const ScopedKernel&) = delete;
+
+ private:
+  Kernel prev_;
+};
+
+// The exact lengths the issue calls out: empty, sub-word, one-off-the-vector
+// widths on both sides, and a page-plus-tail.
+const std::vector<std::size_t> kLengths = {0, 1, 15, 16, 17, 63, 64, 65, 4096 + 7};
+
+std::vector<Byte> random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Byte> out(n);
+  for (auto& b : out) b = static_cast<Byte>(rng.uniform_u64(256));
+  return out;
+}
+
+// Scalar-computed expectation for dst ^= c * src.
+std::vector<Byte> ref_mul_add(std::vector<Byte> dst, const std::vector<Byte>& src,
+                              Byte c) {
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= mul(c, src[i]);
+  return dst;
+}
+
+TEST(Gf256Kernels, ScalarAlwaysAvailableAndFirst) {
+  const auto kernels = available_kernels();
+  ASSERT_FALSE(kernels.empty());
+  EXPECT_EQ(kernels.front(), Kernel::kScalar);
+  EXPECT_TRUE(kernel_available(Kernel::kScalar));
+  EXPECT_TRUE(kernel_available(Kernel::kWord64));
+}
+
+TEST(Gf256Kernels, NamesRoundTrip) {
+  for (const Kernel k : {Kernel::kScalar, Kernel::kWord64, Kernel::kPshufb}) {
+    const auto parsed = parse_kernel(kernel_name(k));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(parse_kernel("avx9000").has_value());
+  EXPECT_FALSE(parse_kernel("auto").has_value());  // resolved by set_kernel_by_name
+}
+
+TEST(Gf256Kernels, SetKernelByNameRejectsUnknown) {
+  EXPECT_THROW(set_kernel_by_name("not-a-kernel"), std::invalid_argument);
+}
+
+TEST(Gf256Kernels, EnvOverrideRespectedWhenAvailable) {
+  // The CI matrix runs this binary under OI_GF_KERNEL=<variant>; when the
+  // variant exists on this CPU the startup selection must honor it (an
+  // unavailable variant falls back, which "auto" re-derives).
+  const char* env = std::getenv("OI_GF_KERNEL");
+  if (env == nullptr || *env == '\0' || std::string_view(env) == "auto") {
+    GTEST_SKIP() << "OI_GF_KERNEL not forced";
+  }
+  const auto requested = parse_kernel(env);
+  if (!requested.has_value()) {
+    GTEST_SKIP() << "unknown OI_GF_KERNEL=" << env << " (library warns and falls back)";
+  }
+  if (!kernel_available(*requested)) {
+    GTEST_SKIP() << "kernel '" << env << "' unavailable on this CPU";
+  }
+  set_kernel_by_name("auto");  // re-run startup selection: env wins
+  EXPECT_EQ(active_kernel(), *requested);
+}
+
+TEST(Gf256Kernels, MulTableMatchesFieldMultiplication) {
+  for (unsigned c = 0; c < 256; ++c) {
+    const MulTable& t = mul_table(static_cast<Byte>(c));
+    EXPECT_EQ(t.coeff, c);
+    for (unsigned x = 0; x < 16; ++x) {
+      EXPECT_EQ(t.lo[x], mul(static_cast<Byte>(c), static_cast<Byte>(x)));
+      EXPECT_EQ(t.hi[x], mul(static_cast<Byte>(c), static_cast<Byte>(x << 4)));
+    }
+    // Split-nibble recombination covers every byte value.
+    for (unsigned s = 0; s < 256; ++s) {
+      EXPECT_EQ(static_cast<Byte>(t.lo[s & 0x0f] ^ t.hi[s >> 4]),
+                mul(static_cast<Byte>(c), static_cast<Byte>(s)));
+    }
+  }
+}
+
+TEST(Gf256Kernels, AllCoefficientsAllLengthsMatchScalar) {
+  for (const Kernel kernel : available_kernels()) {
+    ScopedKernel scoped(kernel);
+    std::uint64_t seed = 100;
+    for (unsigned c = 0; c < 256; ++c) {
+      const Byte coeff = static_cast<Byte>(c);
+      for (const std::size_t n : kLengths) {
+        const auto src = random_bytes(n, ++seed);
+        const auto dst0 = random_bytes(n, ++seed);
+        const auto want_add = ref_mul_add(dst0, src, coeff);
+
+        auto got = dst0;
+        mul_add(got, src, coeff);
+        ASSERT_EQ(got, want_add)
+            << kernel_name(kernel) << " mul_add c=" << c << " n=" << n;
+
+        got = dst0;
+        mul_assign(got, src, coeff);
+        std::vector<Byte> want_assign(n);
+        for (std::size_t i = 0; i < n; ++i) want_assign[i] = mul(coeff, src[i]);
+        ASSERT_EQ(got, want_assign)
+            << kernel_name(kernel) << " mul_assign c=" << c << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Gf256Kernels, MisalignedSubSpansMatchScalar) {
+  // Offsets 1..3 into an allocation defeat any accidental reliance on
+  // vector-width alignment; kernels must use unaligned loads throughout.
+  for (const Kernel kernel : available_kernels()) {
+    ScopedKernel scoped(kernel);
+    std::uint64_t seed = 9000;
+    for (std::size_t offset = 1; offset <= 3; ++offset) {
+      for (const std::size_t n : kLengths) {
+        auto dst_buf = random_bytes(n + 8, ++seed);
+        const auto src_buf = random_bytes(n + 8, ++seed);
+        const std::span<Byte> dst(dst_buf.data() + offset, n);
+        const std::span<const Byte> src(src_buf.data() + offset, n);
+        std::vector<Byte> want(dst.begin(), dst.end());
+        for (std::size_t i = 0; i < n; ++i) want[i] ^= mul(0x53, src[i]);
+
+        mul_add(dst, src, 0x53);
+        ASSERT_TRUE(std::equal(want.begin(), want.end(), dst.begin()))
+            << kernel_name(kernel) << " offset=" << offset << " n=" << n;
+
+        // Bytes outside the span must be untouched.
+        auto fresh = random_bytes(n + 8, seed - 1);  // same seed as dst_buf
+        for (std::size_t i = 0; i < offset; ++i) ASSERT_EQ(dst_buf[i], fresh[i]);
+        for (std::size_t i = offset + n; i < dst_buf.size(); ++i) {
+          ASSERT_EQ(dst_buf[i], fresh[i]);
+        }
+      }
+    }
+  }
+}
+
+TEST(Gf256Kernels, AliasedDstEqualsSrc) {
+  for (const Kernel kernel : available_kernels()) {
+    ScopedKernel scoped(kernel);
+    for (const std::size_t n : kLengths) {
+      // xor_acc with dst == src zeroes the buffer.
+      auto buf = random_bytes(n, 42 + n);
+      xor_acc(buf, buf);
+      EXPECT_TRUE(std::all_of(buf.begin(), buf.end(), [](Byte b) { return b == 0; }))
+          << kernel_name(kernel) << " n=" << n;
+
+      // mul_assign with dst == src scales in place.
+      auto buf2 = random_bytes(n, 43 + n);
+      const auto orig = buf2;
+      mul_assign(buf2, buf2, 0xA7);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(buf2[i], mul(0xA7, orig[i])) << kernel_name(kernel) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Gf256Kernels, FusedDeltaPrimitivesMatchScalar) {
+  for (const Kernel kernel : available_kernels()) {
+    ScopedKernel scoped(kernel);
+    std::uint64_t seed = 5000;
+    for (const std::size_t n : kLengths) {
+      const auto a = random_bytes(n, ++seed);
+      const auto b = random_bytes(n, ++seed);
+      const auto dst0 = random_bytes(n, ++seed);
+
+      auto got = dst0;
+      xor_delta(got, a, b);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(got[i], static_cast<Byte>(dst0[i] ^ a[i] ^ b[i]))
+            << kernel_name(kernel) << " n=" << n;
+      }
+
+      for (const Byte coeff : {Byte{0}, Byte{1}, Byte{0x1d}, Byte{0xff}}) {
+        got = dst0;
+        mul_add_delta(got, a, b, coeff);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(got[i], static_cast<Byte>(
+                                dst0[i] ^ mul(coeff, static_cast<Byte>(a[i] ^ b[i]))))
+              << kernel_name(kernel) << " c=" << unsigned(coeff) << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(Gf256Kernels, MulAddMultiMatchesSequential) {
+  for (const Kernel kernel : available_kernels()) {
+    ScopedKernel scoped(kernel);
+    std::uint64_t seed = 7000;
+    for (const std::size_t n : {std::size_t{0}, std::size_t{65}, std::size_t{4096 + 7},
+                                std::size_t{3 * 8192 + 5}}) {
+      std::vector<std::vector<Byte>> sources;
+      // Coefficients cover the special-cased values (0, 1) and generic ones.
+      const std::vector<Byte> coeffs = {0x00, 0x01, 0x02, 0xfe, 0x8e};
+      for (std::size_t s = 0; s < coeffs.size(); ++s) {
+        sources.push_back(random_bytes(n, ++seed));
+      }
+      const auto dst0 = random_bytes(n, ++seed);
+
+      auto want = dst0;
+      for (std::size_t s = 0; s < coeffs.size(); ++s) {
+        mul_add(want, sources[s], coeffs[s]);
+      }
+
+      auto got = dst0;
+      std::vector<std::span<const Byte>> views(sources.begin(), sources.end());
+      mul_add_multi(got, views, coeffs);
+      ASSERT_EQ(got, want) << kernel_name(kernel) << " n=" << n;
+    }
+  }
+}
+
+// Seeded randomized encode/decode round-trips under each forced variant, for
+// each codec family. Outputs must also be identical across variants.
+template <typename MakeCode>
+void round_trip_all_kernels(MakeCode make_code, std::size_t strip_bytes,
+                            std::uint64_t seed) {
+  std::vector<std::vector<codes::Strip>> encoded_by_kernel;
+  for (const Kernel kernel : available_kernels()) {
+    ScopedKernel scoped(kernel);
+    const auto code = make_code();
+    const std::size_t k = code->data_strips();
+    const std::size_t m = code->parity_strips();
+
+    Rng rng(seed);
+    std::vector<codes::Strip> data(k);
+    for (auto& s : data) {
+      s.resize(strip_bytes);
+      for (auto& b : s) b = static_cast<Byte>(rng.uniform_u64(256));
+    }
+    std::vector<codes::Strip> parity(m);
+    code->encode(data, parity);
+
+    std::vector<codes::Strip> strips = data;
+    strips.insert(strips.end(), parity.begin(), parity.end());
+    encoded_by_kernel.push_back(strips);
+
+    // Every erasure count up to the tolerance, randomized positions.
+    for (std::size_t erase = 1; erase <= code->fault_tolerance(); ++erase) {
+      auto work = strips;
+      std::vector<bool> present(k + m, true);
+      std::size_t erased = 0;
+      while (erased < erase) {
+        const auto idx = static_cast<std::size_t>(rng.uniform_u64(k + m));
+        if (!present[idx]) continue;
+        present[idx] = false;
+        work[idx].assign(strip_bytes, 0xDD);
+        ++erased;
+      }
+      ASSERT_TRUE(code->decode(work, present))
+          << code->name() << " kernel=" << kernel_name(kernel) << " erase=" << erase;
+      ASSERT_EQ(work, strips)
+          << code->name() << " kernel=" << kernel_name(kernel) << " erase=" << erase;
+    }
+
+    // update_parity consistency: a small write must equal a full re-encode.
+    codes::Strip new_data = data[0];
+    for (auto& b : new_data) b ^= static_cast<Byte>(1 + rng.uniform_u64(255));
+    std::vector<codes::Strip> updated_parity = parity;
+    for (std::size_t p = 0; p < m; ++p) {
+      code->update_parity(updated_parity[p], p, 0, data[0], new_data);
+    }
+    auto changed = data;
+    changed[0] = new_data;
+    std::vector<codes::Strip> full_parity(m);
+    code->encode(changed, full_parity);
+    ASSERT_EQ(updated_parity, full_parity)
+        << code->name() << " kernel=" << kernel_name(kernel);
+  }
+  for (std::size_t i = 1; i < encoded_by_kernel.size(); ++i) {
+    ASSERT_EQ(encoded_by_kernel[i], encoded_by_kernel[0])
+        << "kernel " << kernel_name(available_kernels()[i])
+        << " encodes differently from scalar";
+  }
+}
+
+TEST(Gf256Kernels, ReedSolomonRoundTripEachKernel) {
+  round_trip_all_kernels(
+      [] { return std::make_unique<codes::ReedSolomon>(6, 3); }, 1031, 11);
+}
+
+TEST(Gf256Kernels, RdpRoundTripEachKernel) {
+  // p=5: strip size must be divisible by p-1.
+  round_trip_all_kernels(
+      [] { return std::make_unique<codes::RdpCode>(5); }, 4 * 257, 12);
+}
+
+TEST(Gf256Kernels, XorRoundTripEachKernel) {
+  round_trip_all_kernels(
+      [] { return std::make_unique<codes::XorCode>(5); }, 1031, 13);
+}
+
+TEST(Gf256Kernels, ReedSolomonSingleDataErasureDecodesOnlyThatStrip) {
+  // The erased-only decode restriction: with one data strip lost, decode must
+  // restore exactly that strip and leave survivors untouched (same storage).
+  codes::ReedSolomon code(6, 3);
+  Rng rng(21);
+  std::vector<codes::Strip> data(6);
+  for (auto& s : data) {
+    s.resize(512);
+    for (auto& b : s) b = static_cast<Byte>(rng.uniform_u64(256));
+  }
+  std::vector<codes::Strip> parity(3);
+  code.encode(data, parity);
+  std::vector<codes::Strip> strips = data;
+  strips.insert(strips.end(), parity.begin(), parity.end());
+
+  auto work = strips;
+  std::vector<bool> present(9, true);
+  present[3] = false;
+  work[3].clear();
+  std::vector<const Byte*> survivor_storage;
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    if (i != 3) survivor_storage.push_back(work[i].data());
+  }
+  ASSERT_TRUE(code.decode(work, present));
+  EXPECT_EQ(work, strips);
+  // Survivor vectors were not reallocated or rewritten.
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    if (i != 3) {
+      EXPECT_EQ(work[i].data(), survivor_storage[j++]) << "strip " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oi::gf

@@ -18,7 +18,9 @@
 //       print the superblock (restorable layout description) to stdout
 //
 // Layout-taking commands also accept --superblock <file> instead of
-// --v/--k/--m/--height.
+// --v/--k/--m/--height. Every command accepts --gf-kernel
+// <scalar|word64|pshufb|auto> to force a GF(256) codec kernel variant
+// (default: OI_GF_KERNEL env var, else the best the CPU supports).
 //
 // Every command prints its inputs so output files are self-describing.
 #include <fstream>
@@ -26,6 +28,7 @@
 #include <string>
 
 #include "bibd/registry.hpp"
+#include "codes/kernels.hpp"
 #include "core/fault_analysis.hpp"
 #include "layout/analysis.hpp"
 #include "layout/oi_raid.hpp"
@@ -264,6 +267,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Flags flags(argc - 1, argv + 1);
+    oi::gf::set_kernel_by_name(flags.get_gf_kernel());
     int code = 2;
     if (command == "designs") {
       code = cmd_designs(flags);
