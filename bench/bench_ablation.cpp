@@ -13,6 +13,8 @@
 #include "bench_json.hpp"
 #include "layout/analysis.hpp"
 #include "sim/rebuild.hpp"
+#include "util/flags.hpp"
+#include "util/observability.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -45,7 +47,9 @@ double imbalance_of(const layout::Layout& layout,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const oi::Flags flags(argc, argv);
+  const oi::obs::Session obs(flags);  // --trace-out / --metrics-out
   const Geometry fano = geometry_sweep(false)[0];
   const Geometry pg3 = geometry_sweep(false)[4];  // 52 disks
   BenchJson json("ablation");

@@ -9,6 +9,8 @@
 #include "bench_common.hpp"
 #include "bench_json.hpp"
 #include "sim/rebuild.hpp"
+#include "util/flags.hpp"
+#include "util/observability.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -49,7 +51,9 @@ LatencySummary run(const layout::Layout& layout, const std::vector<std::size_t>&
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const oi::Flags flags(argc, argv);
+  const oi::obs::Session obs(flags);  // --trace-out / --metrics-out
   print_experiment_header("E8", "foreground latency healthy vs during rebuild");
   Table table({"workload", "scheme", "state", "ops", "mean", "p95", "p99",
                "rebuild window"});

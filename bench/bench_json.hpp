@@ -2,6 +2,9 @@
 // human-oriented tables on stdout and additionally appends flat records to
 // BENCH_<name>.json in the working directory, so plotting and regression
 // scripts never scrape tables. One record = (bench, geometry, metric, value).
+//
+// The file format is versioned via a top-level "schema_version" field; see
+// docs/BENCH_JSON.md for the schema history and the compatibility contract.
 #pragma once
 
 #include <cmath>
@@ -16,6 +19,11 @@ namespace oi::bench {
 
 class BenchJson {
  public:
+  /// Version of the BENCH_<name>.json format. v1 was the implicit,
+  /// unversioned layout (bench + results only); v2 adds this field. Consumers
+  /// should treat a missing field as 1.
+  static constexpr int kSchemaVersion = 2;
+
   explicit BenchJson(std::string name) : name_(std::move(name)) {}
   BenchJson(const BenchJson&) = delete;
   BenchJson& operator=(const BenchJson&) = delete;
@@ -29,19 +37,21 @@ class BenchJson {
     records_.push_back({geometry, metric, value});
   }
 
+  /// The exact bytes flush() writes. Lets tests (and the tracing determinism
+  /// check) compare whole result sets without touching the filesystem.
+  std::string to_string() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream out;
+    write(out);
+    return out.str();
+  }
+
   /// Writes BENCH_<name>.json; called by the destructor, but callable early
   /// so a crash after the measurement phase still leaves the file behind.
   void flush() {
     std::lock_guard<std::mutex> lock(mutex_);
     std::ofstream out("BENCH_" + name_ + ".json");
-    out << "{\n  \"bench\": \"" << escape(name_) << "\",\n  \"results\": [";
-    for (std::size_t i = 0; i < records_.size(); ++i) {
-      out << (i == 0 ? "\n" : ",\n");
-      out << "    {\"geometry\": \"" << escape(records_[i].geometry)
-          << "\", \"metric\": \"" << escape(records_[i].metric)
-          << "\", \"value\": " << number(records_[i].value) << "}";
-    }
-    out << "\n  ]\n}\n";
+    write(out);
   }
 
  private:
@@ -50,6 +60,18 @@ class BenchJson {
     std::string metric;
     double value;
   };
+
+  void write(std::ostream& out) const {
+    out << "{\n  \"schema_version\": " << kSchemaVersion << ",\n  \"bench\": \""
+        << escape(name_) << "\",\n  \"results\": [";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n");
+      out << "    {\"geometry\": \"" << escape(records_[i].geometry)
+          << "\", \"metric\": \"" << escape(records_[i].metric)
+          << "\", \"value\": " << number(records_[i].value) << "}";
+    }
+    out << "\n  ]\n}\n";
+  }
 
   static std::string escape(const std::string& s) {
     std::string out;
@@ -71,7 +93,7 @@ class BenchJson {
   }
 
   std::string name_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::vector<Record> records_;
 };
 

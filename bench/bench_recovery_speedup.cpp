@@ -18,6 +18,7 @@
 #include "codes/reed_solomon.hpp"
 #include "sim/rebuild.hpp"
 #include "util/flags.hpp"
+#include "util/observability.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "util/units.hpp"
@@ -104,6 +105,7 @@ GeometryRows measure_geometry(const Geometry& g) {
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   gf::set_kernel_by_name(flags.get_gf_kernel());
+  const obs::Session obs(flags);  // --trace-out / --metrics-out
   const std::size_t threads = flags.get_threads(0);  // default: all cores
 
   print_experiment_header("E2", "single-failure rebuild time vs array size");

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation set.
+
+Validates every inline markdown link ``[text](target)`` in the given files
+(or the default doc set):
+
+* relative targets must exist on disk (anchors are stripped; checked
+  relative to the linking file's directory);
+* absolute http(s) URLs are only checked for obvious malformation -- CI
+  must not depend on external sites being up;
+* bare ``docs/FOO.md``-style path mentions in backticks are also verified,
+  since the docs cross-reference each other that way.
+
+Exit code 0 when everything resolves, 1 otherwise (one line per broken
+link). No dependencies beyond the standard library.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_FILES = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "docs/OBSERVABILITY.md",
+    "docs/BENCH_JSON.md",
+]
+
+# [text](target) -- non-greedy text, target up to the closing paren.
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# `docs/NAME.md` / `src/...` style backticked path mentions.
+BACKTICK_PATH = re.compile(r"`((?:docs|src|bench|tests|tools|examples|scripts)/[A-Za-z0-9_./-]+)`")
+URL = re.compile(r"^https?://[^\s/$.?#].[^\s]*$")
+
+
+def check_file(md: Path) -> list[str]:
+    errors = []
+    text = md.read_text(encoding="utf-8")
+    # Strip fenced code blocks: their contents are commands, not links.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+    for match in INLINE_LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://")):
+            if not URL.match(target):
+                errors.append(f"{md}: malformed URL {target!r}")
+            continue
+        if target.startswith(("#", "mailto:")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (md.parent / path).resolve()
+        if not resolved.exists():
+            errors.append(f"{md}: broken relative link {target!r}")
+
+    for match in BACKTICK_PATH.finditer(text):
+        mention = match.group(1).rstrip("/")
+        # Mentions may use <placeholders> or globs; only literal paths are
+        # checkable.
+        if any(c in mention for c in "<>*"):
+            continue
+        # Docs refer to built binaries (`tools/oiraidctl`) and to
+        # extension-less module pairs (`util/trace`); accept a mention when
+        # the path or a source file it names exists.
+        candidates = [mention, mention + ".cpp", mention + ".hpp"]
+        if not any((REPO_ROOT / c).exists() for c in candidates):
+            errors.append(f"{md}: backticked path {mention!r} does not exist")
+
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(a) for a in argv[1:]] or [REPO_ROOT / f for f in DEFAULT_FILES]
+    errors = []
+    for md in files:
+        if not md.exists():
+            errors.append(f"{md}: file not found")
+            continue
+        errors.extend(check_file(md))
+    for line in errors:
+        print(line, file=sys.stderr)
+    print(f"checked {len(files)} files: "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

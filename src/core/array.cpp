@@ -5,8 +5,39 @@
 #include "codes/gf256.hpp"
 #include "layout/stripe_map.hpp"
 #include "util/assert.hpp"
+#include "util/metrics.hpp"
 
 namespace oi::core {
+namespace {
+
+// Process-wide mirrors of the per-array IoCounters, plus the degraded-read
+// and scrub signals the per-array counters cannot express. All additions are
+// guarded on metrics::enabled() by the metric classes themselves.
+struct ArrayMetrics {
+  metrics::Counter& strip_reads;
+  metrics::Counter& strip_writes;
+  metrics::Counter& parity_writes;
+  metrics::Counter& degraded_reads;
+  metrics::FixedHistogram& degraded_read_depth;
+  metrics::Counter& scrub_relations;
+  metrics::Counter& scrub_errors;
+
+  static ArrayMetrics& get() {
+    static ArrayMetrics m{
+        metrics::Registry::instance().counter("core.array.strip_reads"),
+        metrics::Registry::instance().counter("core.array.strip_writes"),
+        metrics::Registry::instance().counter("core.array.parity_writes"),
+        metrics::Registry::instance().counter("core.array.degraded_reads"),
+        metrics::Registry::instance().histogram("core.array.degraded_read_depth",
+                                                0.0, 16.0, 16),
+        metrics::Registry::instance().counter("core.array.scrub_relations"),
+        metrics::Registry::instance().counter("core.array.scrub_errors"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 IoCounters IoCounters::operator-(const IoCounters& rhs) const {
   return {strip_reads - rhs.strip_reads, strip_writes - rhs.strip_writes,
@@ -35,8 +66,28 @@ std::span<const std::uint8_t> Array::strip(layout::StripLoc loc) const {
   return {store_[loc.disk].data() + loc.offset * strip_bytes_, strip_bytes_};
 }
 
+void Array::count_strip_read() const {
+  ++counters_.strip_reads;
+  if (metrics::enabled()) ArrayMetrics::get().strip_reads.increment();
+}
+
+void Array::count_strip_write(bool parity) {
+  ++counters_.strip_writes;
+  if (parity) ++counters_.parity_strip_writes;
+  if (metrics::enabled()) {
+    ArrayMetrics& m = ArrayMetrics::get();
+    m.strip_writes.increment();
+    if (parity) m.parity_writes.increment();
+  }
+}
+
 std::optional<std::vector<std::uint8_t>> Array::reconstruct(
-    std::uint32_t strip_id, std::vector<char>& in_progress) const {
+    std::uint32_t strip_id, std::vector<char>& in_progress, std::size_t depth) const {
+  if (metrics::enabled()) {
+    ArrayMetrics& m = ArrayMetrics::get();
+    if (depth == 0) m.degraded_reads.increment();
+    m.degraded_read_depth.record(static_cast<double>(depth));
+  }
   const layout::StripeMap& map = layout_->stripe_map();
   in_progress[strip_id] = 1;
   // preferred_occurrences lists relations that avoid the lost strip's own
@@ -55,13 +106,13 @@ std::optional<std::vector<std::uint8_t>> Array::reconstruct(
         break;
       }
       if (!failed_.contains(map.disk_of(member))) {
-        ++counters_.strip_reads;
+        count_strip_read();
         gf::xor_acc(value, strip(map.strip_loc(member)));
         continue;
       }
       // Member is lost too: decode it first through another relation (the
       // staged-repair pattern).
-      const auto sub = reconstruct(member, in_progress);
+      const auto sub = reconstruct(member, in_progress, depth + 1);
       if (!sub.has_value()) {
         ok = false;
         break;
@@ -81,7 +132,7 @@ std::vector<std::uint8_t> Array::read(std::size_t logical) const {
   OI_ENSURE(logical < capacity_strips(), "logical address out of range");
   const layout::StripLoc loc = layout_->locate(logical);
   if (!failed_.contains(loc.disk)) {
-    ++counters_.strip_reads;
+    count_strip_read();
     const auto src = strip(loc);
     return {src.begin(), src.end()};
   }
@@ -105,7 +156,7 @@ void Array::write(std::size_t logical, std::span<const std::uint8_t> data) {
   // RMW reads are whatever the plan lists (old data + old parities; mirror
   // copies need none).
   for (const layout::StripLoc& read : plan.reads) {
-    if (!failed_.contains(read.disk)) ++counters_.strip_reads;
+    if (!failed_.contains(read.disk)) count_strip_read();
   }
   // delta = old ^ new; every covering redundancy strip absorbs the same
   // delta (for a mirror copy, old-copy ^ delta == new data).
@@ -114,7 +165,7 @@ void Array::write(std::size_t logical, std::span<const std::uint8_t> data) {
     gf::xor_delta(delta, strip(data_loc), data);  // delta starts zeroed
     auto dst = strip(data_loc);
     std::copy(data.begin(), data.end(), dst.begin());
-    ++counters_.strip_writes;
+    count_strip_write();
   } else {
     // Reconstruct-on-write: the strip's disk is down, but the write is still
     // accepted -- the old value is decoded from redundancy and the surviving
@@ -133,8 +184,7 @@ void Array::write(std::size_t logical, std::span<const std::uint8_t> data) {
     const layout::StripLoc parity = plan.writes[w];
     if (failed_.contains(parity.disk)) continue;  // lost anyway; rebuilt later
     gf::xor_acc(strip(parity), delta);
-    ++counters_.strip_writes;
-    ++counters_.parity_strip_writes;
+    count_strip_write(/*parity=*/true);
   }
 }
 
@@ -211,11 +261,11 @@ RebuildReport Array::rebuild() {
       // bytes because rebuild writes in place (replacement disk semantics).
       gf::xor_acc(value, strip(read));
       ++report.strip_reads;
-      ++counters_.strip_reads;
+      count_strip_read();
     }
     auto dst = strip(step.lost);
     std::copy(value.begin(), value.end(), dst.begin());
-    ++counters_.strip_writes;
+    count_strip_write();
     ++report.strips_rebuilt;
   }
   failed_.clear();
@@ -250,7 +300,7 @@ bool Array::repair_strip(layout::StripLoc loc) {
   if (!value.has_value()) return false;
   auto dst = strip(loc);
   std::copy(value->begin(), value->end(), dst.begin());
-  ++counters_.strip_writes;
+  count_strip_write();
   return true;
 }
 
@@ -272,7 +322,9 @@ std::string Array::scrub() const {
     for (const std::uint32_t member : members) {
       gf::xor_acc(acc, strip(map.strip_loc(member)));
     }
+    if (metrics::enabled()) ArrayMetrics::get().scrub_relations.increment();
     if (std::any_of(acc.begin(), acc.end(), [](std::uint8_t b) { return b != 0; })) {
+      if (metrics::enabled()) ArrayMetrics::get().scrub_errors.increment();
       const layout::StripLoc first = map.strip_loc(members.front());
       return "relation starting at disk=" + std::to_string(first.disk) +
              " offset=" + std::to_string(first.offset) + " does not XOR to zero";

@@ -113,6 +113,10 @@ class Array {
  private:
   std::span<std::uint8_t> strip(layout::StripLoc loc);
   std::span<const std::uint8_t> strip(layout::StripLoc loc) const;
+  /// Bump the per-array IoCounters and their process-wide metrics mirrors
+  /// (`core.array.strip_reads` / `strip_writes` / `parity_writes`).
+  void count_strip_read() const;
+  void count_strip_write(bool parity = false);
   /// Reconstructs a lost strip's content by XOR over a relation, recursively
   /// resolving members that are themselves lost (staged repair, as in the
   /// 2+1 failure case where the peer group must be decoded first). Runs on
@@ -120,7 +124,8 @@ class Array {
   /// strip table and `in_progress` (one flag per strip) breaks cycles.
   /// nullopt when no relation chain resolves.
   std::optional<std::vector<std::uint8_t>> reconstruct(
-      std::uint32_t strip_id, std::vector<char>& in_progress) const;
+      std::uint32_t strip_id, std::vector<char>& in_progress,
+      std::size_t depth = 0) const;
 
   std::shared_ptr<const layout::Layout> layout_;
   std::size_t strip_bytes_;

@@ -6,8 +6,10 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace oi::reliability {
 namespace {
@@ -163,6 +165,9 @@ MonteCarloResult monte_carlo_reliability(const layout::Layout& layout,
   // Trials are independent (own RNG stream each); the outcome array plus a
   // sequential reduce in trial order makes the result bit-identical whatever
   // the thread count or scheduling.
+  // The WallSpan measures host wall-clock throughput of the fan-out (the only
+  // real time in this module -- everything else is event-driven model time).
+  trace::WallSpan span("monte_carlo_reliability");
   std::vector<TrialOutcome> outcomes(config.trials);
   const std::size_t threads = ThreadPool::resolve_threads(config.threads);
   if (threads <= 1 || config.trials == 1) {
@@ -185,6 +190,11 @@ MonteCarloResult monte_carlo_reliability(const layout::Layout& layout,
     if (!outcome.lost) continue;
     result.time_to_loss.add(outcome.time);
     ++result.losses;
+  }
+  if (metrics::enabled()) {
+    metrics::Registry& reg = metrics::Registry::instance();
+    reg.counter("reliability.mc.trials").add(result.trials);
+    reg.counter("reliability.mc.losses").add(result.losses);
   }
 
   result.loss_probability =

@@ -1,8 +1,41 @@
 #include "sim/disk.hpp"
 
+#include <cmath>
+
 #include "util/assert.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace oi::sim {
+namespace {
+
+struct DiskMetrics {
+  metrics::Counter& reads;
+  metrics::Counter& writes;
+  metrics::Counter& busy_us;
+  metrics::Counter& sequential_hits;
+  metrics::FixedHistogram& queue_depth;
+
+  static DiskMetrics& get() {
+    static DiskMetrics m{
+        metrics::Registry::instance().counter("sim.disk.reads"),
+        metrics::Registry::instance().counter("sim.disk.writes"),
+        metrics::Registry::instance().counter("sim.disk.busy_us"),
+        metrics::Registry::instance().counter("sim.disk.sequential_hits"),
+        metrics::Registry::instance().histogram("sim.disk.queue_depth", 0.0, 64.0, 64),
+    };
+    return m;
+  }
+};
+
+const char* service_name(const DiskRequest& request) {
+  if (request.priority == Priority::kForeground) {
+    return request.is_write ? "fg write" : "fg read";
+  }
+  return request.is_write ? "rebuild write" : "rebuild read";
+}
+
+}  // namespace
 
 Disk::Disk(Engine& engine, DiskParams params, std::size_t id)
     : engine_(engine), params_(params), id_(id) {
@@ -13,9 +46,15 @@ Disk::Disk(Engine& engine, DiskParams params, std::size_t id)
   OI_ENSURE(params.service_multiplier > 0, "service multiplier must be positive");
 }
 
+void Disk::trace_queue_depth() const {
+  trace::Tracer::instance().counter(*trace_pid_, "queue.d" + std::to_string(id_),
+                                    engine_.now(), static_cast<double>(queued()));
+}
+
 void Disk::submit(DiskRequest request) {
   OI_ENSURE(request.on_complete != nullptr, "request needs a completion callback");
   (request.priority == Priority::kForeground ? high_ : low_).push_back(std::move(request));
+  if (trace_pid_ && trace::enabled()) trace_queue_depth();
   if (!busy_) start_next();
 }
 
@@ -63,14 +102,45 @@ void Disk::start_next() {
   } else {
     ++reads_;
   }
+  if (metrics::enabled()) {
+    DiskMetrics& m = DiskMetrics::get();
+    (request.is_write ? m.writes : m.reads).increment();
+    m.busy_us.add(static_cast<std::uint64_t>(std::llround(service * 1e6)));
+    if (sequential) m.sequential_hits.increment();
+    m.queue_depth.record(static_cast<double>(queued()));
+  }
 
-  engine_.schedule_after(service, [this, done = std::move(request.on_complete)]() {
-    busy_ = false;
-    // Completion first, so a dependent request submitted by the callback can
-    // be picked up by the immediately following start_next.
-    done();
-    if (!busy_) start_next();
-  });
+  const char* span = nullptr;
+  if (trace_pid_ && trace::enabled()) {
+    span = service_name(request);
+    trace::Tracer& tracer = trace::Tracer::instance();
+    const double start = engine_.now();
+    tracer.begin(*trace_pid_, id_, span, start, "disk");
+    // The service split is known up front, so the nested position/transfer
+    // sub-spans are emitted immediately with computed timestamps; viewers
+    // sort by ts, file order does not matter.
+    const double position =
+        (sequential ? 0.0 : params_.positioning_seconds()) * params_.service_multiplier;
+    if (position > 0.0) {
+      tracer.begin(*trace_pid_, id_, "position", start);
+      tracer.end(*trace_pid_, id_, "position", start + position);
+    }
+    tracer.begin(*trace_pid_, id_, "transfer", start + position);
+    tracer.end(*trace_pid_, id_, "transfer", start + service);
+  }
+
+  engine_.schedule_after(
+      service, [this, span, done = std::move(request.on_complete)]() {
+        busy_ = false;
+        if (span != nullptr && trace_pid_ && trace::enabled()) {
+          trace::Tracer::instance().end(*trace_pid_, id_, span, engine_.now());
+          trace_queue_depth();
+        }
+        // Completion first, so a dependent request submitted by the callback
+        // can be picked up by the immediately following start_next.
+        done();
+        if (!busy_) start_next();
+      });
 }
 
 double Disk::utilization(double end_time) const {

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "sim/engine.hpp"
@@ -64,8 +65,15 @@ class Disk {
   /// busy_seconds / elapsed; pass the simulation end time.
   double utilization(double end_time) const;
 
+  /// Observability: attach this disk to trace run `pid`. Every service then
+  /// emits B/E busy spans (with nested position/transfer sub-spans) on lane
+  /// tid = disk id, plus queue-depth counter samples. No-op while the global
+  /// tracer is disabled; never affects simulated timing.
+  void set_trace_run(std::uint64_t pid) { trace_pid_ = pid; }
+
  private:
   void start_next();
+  void trace_queue_depth() const;
 
   Engine& engine_;
   DiskParams params_;
@@ -78,6 +86,7 @@ class Disk {
   double busy_seconds_ = 0.0;
   std::size_t reads_ = 0;
   std::size_t writes_ = 0;
+  std::optional<std::uint64_t> trace_pid_;
 };
 
 }  // namespace oi::sim

@@ -1,8 +1,20 @@
 #include "sim/engine.hpp"
 
 #include "util/assert.hpp"
+#include "util/metrics.hpp"
 
 namespace oi::sim {
+namespace {
+
+// Dispatched-event count is accumulated once per run loop (not per event) so
+// the hot loop carries no instrumentation at all.
+void count_dispatched(std::size_t events) {
+  static metrics::Counter& counter =
+      metrics::Registry::instance().counter("sim.engine.events");
+  counter.add(events);
+}
+
+}  // namespace
 
 void Engine::schedule_at(double time, Callback callback) {
   OI_ENSURE(time >= now_, "cannot schedule an event in the past");
@@ -25,18 +37,24 @@ void Engine::pop_and_run() {
 }
 
 double Engine::run() {
+  const std::size_t before = processed_;
   while (!queue_.empty()) pop_and_run();
+  count_dispatched(processed_ - before);
   return now_;
 }
 
 double Engine::run_bounded(std::size_t max_events) {
+  const std::size_t before = processed_;
   for (std::size_t i = 0; i < max_events && !queue_.empty(); ++i) pop_and_run();
+  count_dispatched(processed_ - before);
   return now_;
 }
 
 double Engine::run_until(double horizon) {
   OI_ENSURE(horizon >= now_, "horizon must not be in the past");
+  const std::size_t before = processed_;
   while (!queue_.empty() && queue_.top().time <= horizon) pop_and_run();
+  count_dispatched(processed_ - before);
   now_ = horizon;
   return now_;
 }

@@ -9,13 +9,39 @@
 #include "layout/stripe_map.hpp"
 #include "sim/engine.hpp"
 #include "util/assert.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace oi::sim {
 namespace {
 
 using layout::RecoveryStep;
 using layout::StripLoc;
+
+struct RebuildMetrics {
+  metrics::Counter& steps;
+  metrics::Counter& disk_reads;
+  metrics::Counter& disk_writes;
+  metrics::Counter& buffer_reads;
+  metrics::FixedHistogram& step_us;
+  metrics::FixedHistogram& foreground_latency_us;
+  metrics::Counter& foreground_ops;
+
+  static RebuildMetrics& get() {
+    static RebuildMetrics m{
+        metrics::Registry::instance().counter("sim.rebuild.steps"),
+        metrics::Registry::instance().counter("sim.rebuild.disk_reads"),
+        metrics::Registry::instance().counter("sim.rebuild.disk_writes"),
+        metrics::Registry::instance().counter("sim.rebuild.buffer_reads"),
+        metrics::Registry::instance().histogram("sim.rebuild.step_us", 0.0, 1e6, 100),
+        metrics::Registry::instance().histogram("sim.foreground.latency_us", 0.0,
+                                                2e5, 100),
+        metrics::Registry::instance().counter("sim.foreground.ops"),
+    };
+    return m;
+  }
+};
 
 /// Everything a single simulation run needs, wired together. Lives on the
 /// stack of simulate(); all callbacks complete before simulate() returns
@@ -60,6 +86,12 @@ struct SimState {
   std::size_t foreground_completed = 0;
   std::vector<double> foreground_latencies;
 
+  // --- observability (read-only observers; never affects simulated time) ---
+  std::uint64_t trace_pid = 0;  ///< 0 = this run is untraced
+  std::vector<double> step_start;  ///< per step, for the step-latency histogram
+
+  bool traced() const { return trace_pid != 0 && trace::enabled(); }
+
   SimState(const layout::Layout& l, const std::vector<std::size_t>& f,
            const SimConfig& c)
       : layout(l), config(c), failed(f), failed_set(f.begin(), f.end()), rng(c.seed) {}
@@ -88,11 +120,25 @@ struct SimState {
       OI_ENSURE(disk < n, "fail-slow injection targets a disk outside the array");
       OI_ENSURE(factor > 0, "fail-slow factor must be positive");
     }
+    if (trace::enabled()) {
+      trace::Tracer& tracer = trace::Tracer::instance();
+      trace_pid = tracer.next_run_id();
+      tracer.process_name(trace_pid, layout.name() + (failed.empty()
+                                                          ? " healthy"
+                                                          : " rebuild"));
+    }
     for (std::size_t d = 0; d < total; ++d) {
       DiskParams params = config.disk;
       const auto slow = config.slow_disks.find(d);
       if (slow != config.slow_disks.end()) params.service_multiplier *= slow->second;
       disks.push_back(std::make_unique<Disk>(engine, params, d));
+      if (trace_pid != 0) {
+        disks.back()->set_trace_run(trace_pid);
+        const std::string label =
+            (d >= n ? "replacement " : disk_failed(d) ? "failed " : "disk ") +
+            std::to_string(d);
+        trace::Tracer::instance().thread_name(trace_pid, d, label);
+      }
     }
     for (std::size_t d = 0; d < n; ++d) {
       if (!disk_failed(d)) survivors.push_back(d);
@@ -128,6 +174,7 @@ struct SimState {
     for (std::size_t i = 0; i < plan.size(); ++i) {
       if (unmet_deps[i] == 0) ready.push_back(i);
     }
+    if (traced() || metrics::enabled()) step_start.assign(plan.size(), 0.0);
     rebuild_active = true;
     issue_ready_steps();
   }
@@ -139,15 +186,28 @@ struct SimState {
       ++inflight;
       start_step(step);
     }
+    if (traced()) {
+      trace::Tracer::instance().counter(trace_pid, "rebuild.inflight", engine.now(),
+                                        static_cast<double>(inflight));
+    }
   }
 
   void start_step(std::size_t step) {
+    if (!step_start.empty()) step_start[step] = engine.now();
+    if (traced()) {
+      trace::Tracer::instance().async_begin(trace_pid, "rebuild", step, "step",
+                                            engine.now());
+    }
     // Reads of strips that earlier steps rebuilt are served from the rebuild
     // buffer -- no disk I/O.
     const layout::StripeMap& map = layout.stripe_map();
     std::vector<StripLoc> disk_reads;
     for (const StripLoc& read : plan[step].reads) {
       if (lost_step[map.strip_id(read)] == kNoStep) disk_reads.push_back(read);
+    }
+    if (metrics::enabled()) {
+      RebuildMetrics::get().buffer_reads.add(plan[step].reads.size() -
+                                             disk_reads.size());
     }
     if (disk_reads.empty()) {
       write_step(step);
@@ -182,6 +242,12 @@ struct SimState {
       offset = layout.strips_per_disk() + spare_fill[target]++;
       if (copy_back_enabled()) spare_location[step] = {target, offset};
     }
+    if (traced()) {
+      // The write phase overlaps other steps' reads, so it is its own async
+      // span under the same id as the covering "step" span.
+      trace::Tracer::instance().async_begin(trace_pid, "rebuild", step, "write",
+                                            engine.now());
+    }
     ++rebuild_disk_writes;
     disks[target]->submit({.offset = offset,
                            .is_write = true,
@@ -193,6 +259,18 @@ struct SimState {
   void finish_step(std::size_t step) {
     --inflight;
     ++steps_done;
+    if (traced()) {
+      trace::Tracer& tracer = trace::Tracer::instance();
+      tracer.async_end(trace_pid, "rebuild", step, "write", engine.now());
+      tracer.async_end(trace_pid, "rebuild", step, "step", engine.now());
+    }
+    if (metrics::enabled()) {
+      RebuildMetrics& m = RebuildMetrics::get();
+      m.steps.increment();
+      if (!step_start.empty()) {
+        m.step_us.record((engine.now() - step_start[step]) * 1e6);
+      }
+    }
     for (std::size_t dependent : dependents[step]) {
       OI_ASSERT(unmet_deps[dependent] > 0, "dependency accounting corrupt");
       if (--unmet_deps[dependent] == 0) ready.push_back(dependent);
@@ -221,6 +299,10 @@ struct SimState {
       const std::size_t step = copyback_next++;
       ++copyback_inflight;
       const StripLoc parked = spare_location[step];
+      if (traced()) {
+        trace::Tracer::instance().async_begin(trace_pid, "copyback", step, "copy",
+                                              engine.now());
+      }
       disks[parked.disk]->submit(
           {.offset = parked.offset,
            .is_write = false,
@@ -233,7 +315,13 @@ struct SimState {
                   .is_write = true,
                   .priority = Priority::kRebuild,
                   .bytes = 0,
-                  .on_complete = [this] { finish_copy_back_step(); }});
+                  .on_complete = [this, step] {
+                    if (traced()) {
+                      trace::Tracer::instance().async_end(trace_pid, "copyback",
+                                                          step, "copy", engine.now());
+                    }
+                    finish_copy_back_step();
+                  }});
            }});
     }
   }
@@ -288,8 +376,14 @@ struct SimState {
   using Op = std::shared_ptr<OpTracker>;
 
   void complete_op(const Op& op) {
-    foreground_latencies.push_back(engine.now() - op->start);
+    const double latency = engine.now() - op->start;
+    foreground_latencies.push_back(latency);
     ++foreground_completed;
+    if (metrics::enabled()) {
+      RebuildMetrics& m = RebuildMetrics::get();
+      m.foreground_ops.increment();
+      m.foreground_latency_us.record(latency * 1e6);
+    }
   }
 
   void issue_op_writes(const Op& op, std::vector<StripLoc> writes) {
@@ -422,6 +516,11 @@ SimResult simulate(const layout::Layout& layout,
   result.rebuild_strips = state.plan.size();
   result.rebuild_disk_reads = state.rebuild_disk_reads;
   result.rebuild_disk_writes = state.rebuild_disk_writes;
+  if (metrics::enabled()) {
+    RebuildMetrics& m = RebuildMetrics::get();
+    m.disk_reads.add(state.rebuild_disk_reads);
+    m.disk_writes.add(state.rebuild_disk_writes);
+  }
   result.end_time = end;
   result.disk_busy_seconds.reserve(state.disks.size());
   for (const auto& disk : state.disks) {

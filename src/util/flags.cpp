@@ -129,4 +129,38 @@ std::vector<std::string> Flags::unused() const {
   return out;
 }
 
+FlagRegistry& FlagRegistry::instance() {
+  static FlagRegistry registry;
+  return registry;
+}
+
+void FlagRegistry::declare(const std::string& name, const std::string& help) {
+  OI_ENSURE(!name.empty(), "flag declaration needs a name");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = declared_.emplace(name, help);
+  (void)it;
+  OI_ENSURE(inserted, "flag --" + name +
+                          " is declared twice; a repeated registration always "
+                          "means two call sites claim the same flag");
+}
+
+bool FlagRegistry::declared(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return declared_.contains(name);
+}
+
+std::string FlagRegistry::usage() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, help] : declared_) {
+    out += "  --" + name + "  " + help + "\n";
+  }
+  return out;
+}
+
+void FlagRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  declared_.clear();
+}
+
 }  // namespace oi

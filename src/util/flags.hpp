@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -53,6 +54,32 @@ class Flags {
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
   mutable std::map<std::string, bool> touched_;
+};
+
+/// Process-wide declaration registry for flags, used to build `--help`-style
+/// usage text and to catch conflicting wiring. Repeated registration of the
+/// same flag name is a *hard error* (std::invalid_argument), not silent
+/// shadowing: several binaries wire the same shared helpers (bench_common,
+/// obs::Session), and a later declare() quietly replacing an earlier one hid
+/// two call sites claiming `--trace-out` with different semantics.
+class FlagRegistry {
+ public:
+  static FlagRegistry& instance();
+
+  /// Registers `--name` with one line of help text. Throws on a duplicate
+  /// name, even with identical help -- the second registration is always a
+  /// wiring bug.
+  void declare(const std::string& name, const std::string& help);
+  bool declared(const std::string& name) const;
+  /// One "  --name  help" line per declared flag, sorted by name.
+  std::string usage() const;
+  /// Drops all declarations (test isolation between wiring scenarios).
+  void clear();
+
+ private:
+  FlagRegistry() = default;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string> declared_;
 };
 
 }  // namespace oi

@@ -1,0 +1,154 @@
+#include "util/metrics.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace oi::metrics {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+bool valid_name(const std::string& name) {
+  if (name.empty() || name.front() == '.' || name.back() == '.') return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '.' ||
+                    c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string format_double(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no inf/nan
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  return os.str();
+}
+
+}  // namespace
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+FixedHistogram::FixedHistogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets) {
+  OI_ENSURE(buckets >= 1, "histogram needs at least one bucket");
+  OI_ENSURE(hi > lo, "histogram range must be non-empty");
+}
+
+void FixedHistogram::record(double x) {
+  if (!enabled()) return;
+  std::size_t index = 0;
+  if (x >= lo_) {
+    index = static_cast<std::size_t>((x - lo_) / width_);
+    if (index >= counts_.size()) index = counts_.size() - 1;
+  }
+  counts_[index].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FixedHistogram::reset() {
+  for (auto& count : counts_) count.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  OI_ENSURE(valid_name(name), "invalid metric name: '" + name + "'");
+  std::lock_guard<std::mutex> lock(mutex_);
+  OI_ENSURE(!gauges_.contains(name) && !histograms_.contains(name),
+            "metric '" + name + "' is already registered as a different kind");
+  auto& slot = counters_[name];
+  if (!slot) slot = std::unique_ptr<Counter>(new Counter());
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  OI_ENSURE(valid_name(name), "invalid metric name: '" + name + "'");
+  std::lock_guard<std::mutex> lock(mutex_);
+  OI_ENSURE(!counters_.contains(name) && !histograms_.contains(name),
+            "metric '" + name + "' is already registered as a different kind");
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::unique_ptr<Gauge>(new Gauge());
+  return *slot;
+}
+
+FixedHistogram& Registry::histogram(const std::string& name, double lo, double hi,
+                                    std::size_t buckets) {
+  OI_ENSURE(valid_name(name), "invalid metric name: '" + name + "'");
+  std::lock_guard<std::mutex> lock(mutex_);
+  OI_ENSURE(!counters_.contains(name) && !gauges_.contains(name),
+            "metric '" + name + "' is already registered as a different kind");
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::unique_ptr<FixedHistogram>(new FixedHistogram(lo, hi, buckets));
+  } else {
+    OI_ENSURE(slot->low() == lo && slot->buckets() == buckets &&
+                  slot->bucket_width() == (hi - lo) / static_cast<double>(buckets),
+              "histogram '" + name + "' re-registered with different bounds");
+  }
+  return *slot;
+}
+
+void Registry::write_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\n  \"schema_version\": 1,\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << counter->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name
+        << "\": " << format_double(gauge->value());
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": {\"low\": "
+        << format_double(hist->low()) << ", \"bucket_width\": "
+        << format_double(hist->bucket_width()) << ", \"total\": " << hist->total()
+        << ", \"counts\": [";
+    for (std::size_t i = 0; i < hist->buckets(); ++i) {
+      out << (i == 0 ? "" : ", ") << hist->bucket(i);
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+std::string Registry::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+std::vector<std::string> Registry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [name, counter] : counters_) out.push_back(name);
+  for (const auto& [name, gauge] : gauges_) out.push_back(name);
+  for (const auto& [name, hist] : histograms_) out.push_back(name);
+  return out;
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, hist] : histograms_) hist->reset();
+}
+
+}  // namespace oi::metrics

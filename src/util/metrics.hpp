@@ -1,0 +1,118 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms shared by the simulator, the data-bearing array and the
+// reliability models. Collection is off by default and every update site
+// guards on one relaxed atomic-bool load, so instrumented hot paths cost a
+// predicted branch when metrics are disabled (the "near-zero when off"
+// contract; see docs/OBSERVABILITY.md for the naming convention and the
+// output schema).
+//
+// Handles returned by the registry are valid for the life of the process, so
+// instrumented code resolves a metric once (typically via a function-local
+// static) and updates through the reference afterwards. Updates are atomic
+// and thread-safe; registration is mutex-guarded.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace oi::metrics {
+
+/// Global collection switch. Updates are dropped while disabled; registration
+/// and reads work regardless.
+void set_enabled(bool on);
+bool enabled();
+
+/// Monotonically increasing event count (reads issued, steps finished, ...).
+class Counter {
+ public:
+  void add(std::uint64_t delta) {
+    if (enabled()) value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written point-in-time value (queue depth, progress fraction, ...).
+class Gauge {
+ public:
+  void set(double value) {
+    if (enabled()) value_.store(value, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: buckets [lo + i*width, lo + (i+1)*width), values
+/// outside the range clamped to the edge buckets. Bucket bounds are fixed at
+/// registration so recording is one index computation plus an atomic add.
+class FixedHistogram {
+ public:
+  void record(double x);
+  std::uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  std::size_t buckets() const { return counts_.size(); }
+  double low() const { return lo_; }
+  double bucket_width() const { return width_; }
+
+ private:
+  friend class Registry;
+  FixedHistogram(double lo, double hi, std::size_t buckets);
+  void reset();
+  double lo_;
+  double width_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> total_{0};
+};
+
+/// The process-wide registry. Metric names follow `<layer>.<object>.<what>`
+/// in lowercase with `_us` / `_bytes` unit suffixes (e.g. `sim.disk.busy_us`,
+/// `core.array.parity_writes`); malformed names throw std::invalid_argument.
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Returns the existing metric of that name or registers a new one.
+  /// Registering the same name as a different metric kind throws.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Histogram parameters are fixed by the first registration; a repeat with
+  /// different bounds throws.
+  FixedHistogram& histogram(const std::string& name, double lo, double hi,
+                            std::size_t buckets);
+
+  /// Snapshot of every registered metric as a single JSON object, keys sorted
+  /// by name (see docs/OBSERVABILITY.md for the schema).
+  void write_json(std::ostream& out) const;
+  std::string to_json() const;
+
+  std::vector<std::string> names() const;
+
+  /// Zeroes every metric's value but keeps registrations (test isolation).
+  void reset_values();
+
+ private:
+  Registry() = default;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<FixedHistogram>> histograms_;
+};
+
+}  // namespace oi::metrics

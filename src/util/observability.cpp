@@ -1,0 +1,47 @@
+#include "util/observability.hpp"
+
+#include <fstream>
+
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace oi::obs {
+
+Session::Session(const Flags& flags) {
+  FlagRegistry::instance().declare(
+      "trace-out", "write a Chrome trace-event JSON of this run to FILE");
+  FlagRegistry::instance().declare(
+      "metrics-out", "write the metrics registry as JSON to FILE at exit");
+  trace_path_ = flags.get_string("trace-out", "");
+  metrics_path_ = flags.get_string("metrics-out", "");
+  if (tracing()) trace::Tracer::instance().start();
+  if (metrics()) metrics::set_enabled(true);
+}
+
+void Session::flush() const {
+  if (tracing()) {
+    std::ofstream out(trace_path_);
+    if (!out) {
+      OI_LOG_ERROR << "cannot open trace output file " << trace_path_;
+    } else {
+      trace::Tracer::instance().write_json(out);
+    }
+  }
+  if (metrics()) {
+    std::ofstream out(metrics_path_);
+    if (!out) {
+      OI_LOG_ERROR << "cannot open metrics output file " << metrics_path_;
+    } else {
+      metrics::Registry::instance().write_json(out);
+    }
+  }
+}
+
+Session::~Session() {
+  if (tracing()) trace::Tracer::instance().stop();
+  flush();
+  if (metrics()) metrics::set_enabled(false);
+}
+
+}  // namespace oi::obs

@@ -1,0 +1,35 @@
+// Shared `--trace-out` / `--metrics-out` wiring for the tools and experiment
+// binaries. One obs::Session at the top of main() declares both flags (via
+// FlagRegistry, so double-wiring is a hard error), enables the global tracer
+// and/or metrics registry when the flags are present, and writes the
+// requested files on destruction. With neither flag given the session is
+// inert and instrumented code stays on its disabled fast path.
+#pragma once
+
+#include <string>
+
+#include "util/flags.hpp"
+
+namespace oi::obs {
+
+class Session {
+ public:
+  explicit Session(const Flags& flags);
+  /// Writes the trace / metrics files (if requested) and disables collection.
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  bool tracing() const { return !trace_path_.empty(); }
+  bool metrics() const { return !metrics_path_.empty(); }
+
+  /// Writes any requested files now (crash safety for long runs); the
+  /// destructor rewrites them with the final state.
+  void flush() const;
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+};
+
+}  // namespace oi::obs

@@ -1,0 +1,170 @@
+#include "util/trace.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace oi::trace {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // names are plain text
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string format_double(double value) {
+  if (!std::isfinite(value)) return "0";
+  std::ostringstream os;
+  os.precision(15);
+  os << value;
+  return os.str();
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::start() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+  }
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop() { g_enabled.store(false, std::memory_order_relaxed); }
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::uint64_t Tracer::next_run_id() {
+  return run_ids_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void Tracer::push(Event event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::begin(std::uint64_t pid, std::uint64_t tid, std::string_view name,
+                   double ts_seconds, std::string_view category) {
+  if (!enabled()) return;
+  push({'B', pid, tid, 0, ts_seconds * 1e6, 0.0, std::string(name),
+        std::string(category)});
+}
+
+void Tracer::end(std::uint64_t pid, std::uint64_t tid, std::string_view name,
+                 double ts_seconds) {
+  if (!enabled()) return;
+  push({'E', pid, tid, 0, ts_seconds * 1e6, 0.0, std::string(name), {}});
+}
+
+void Tracer::counter(std::uint64_t pid, std::string_view name, double ts_seconds,
+                     double value) {
+  if (!enabled()) return;
+  push({'C', pid, 0, 0, ts_seconds * 1e6, value, std::string(name), {}});
+}
+
+void Tracer::async_begin(std::uint64_t pid, std::string_view category,
+                         std::uint64_t id, std::string_view name, double ts_seconds) {
+  if (!enabled()) return;
+  push({'b', pid, 0, id, ts_seconds * 1e6, 0.0, std::string(name),
+        std::string(category)});
+}
+
+void Tracer::async_end(std::uint64_t pid, std::string_view category, std::uint64_t id,
+                       std::string_view name, double ts_seconds) {
+  if (!enabled()) return;
+  push({'e', pid, 0, id, ts_seconds * 1e6, 0.0, std::string(name),
+        std::string(category)});
+}
+
+void Tracer::thread_name(std::uint64_t pid, std::uint64_t tid, std::string_view name) {
+  if (!enabled()) return;
+  push({'M', pid, tid, 0, 0.0, 0.0, std::string(name), "thread_name"});
+}
+
+void Tracer::process_name(std::uint64_t pid, std::string_view name) {
+  if (!enabled()) return;
+  push({'M', pid, 0, 0, 0.0, 0.0, std::string(name), "process_name"});
+}
+
+void Tracer::write_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "  {\"ph\": \"" << e.phase << "\", \"pid\": " << e.pid;
+    switch (e.phase) {
+      case 'M':
+        // Metadata: category holds the kind, the label travels in args.
+        if (e.category == "thread_name") out << ", \"tid\": " << e.tid;
+        out << ", \"name\": \"" << e.category << "\", \"args\": {\"name\": \""
+            << escape(e.name) << "\"}";
+        break;
+      case 'C':
+        out << ", \"tid\": 0, \"name\": \"" << escape(e.name)
+            << "\", \"ts\": " << format_double(e.ts_us)
+            << ", \"args\": {\"value\": " << format_double(e.value) << "}";
+        break;
+      case 'b':
+      case 'e':
+        out << ", \"tid\": 0, \"name\": \"" << escape(e.name) << "\", \"cat\": \""
+            << escape(e.category) << "\", \"id\": " << e.id
+            << ", \"ts\": " << format_double(e.ts_us);
+        break;
+      default:  // 'B' / 'E'
+        out << ", \"tid\": " << e.tid << ", \"name\": \"" << escape(e.name) << "\"";
+        if (!e.category.empty()) out << ", \"cat\": \"" << escape(e.category) << "\"";
+        out << ", \"ts\": " << format_double(e.ts_us);
+        break;
+    }
+    out << "}";
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+std::string Tracer::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+double wall_seconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+WallSpan::WallSpan(std::string_view name, std::uint64_t tid)
+    : active_(enabled()), tid_(tid), name_(name) {
+  if (active_) Tracer::instance().begin(0, tid_, name_, wall_seconds());
+}
+
+WallSpan::~WallSpan() {
+  if (active_ && enabled()) Tracer::instance().end(0, tid_, name_, wall_seconds());
+}
+
+}  // namespace oi::trace

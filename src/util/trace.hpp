@@ -1,0 +1,115 @@
+// Scoped event tracer emitting Chrome trace-event-format JSON, loadable in
+// chrome://tracing or https://ui.perfetto.dev. One trace mixes two kinds of
+// timelines:
+//
+//  * Simulated time. Each sim::simulate() run claims a fresh `pid` (a
+//    Perfetto "process" groups its lanes) and emits events stamped with the
+//    engine's virtual clock -- one `tid` lane per simulated disk, `B`/`E`
+//    duration events for disk services, `C` counter events for queue depths
+//    and async `b`/`e` pairs for rebuild steps that span several disks.
+//  * Wall time. Host-side phases (a Monte-Carlo sweep, a bench section) use
+//    WallSpan, an RAII scope on the reserved pid 0 ("host") stamped with
+//    monotonic time since process start.
+//
+// Emission is mutex-buffered and thread-safe; every call no-ops after one
+// relaxed atomic-bool load while tracing is disabled, so instrumented hot
+// paths satisfy the same "near-zero when off" contract as util/metrics.
+// Tracing must never perturb simulation results: the tracer only *observes*
+// timestamps, and tests/test_trace.cpp proves bit-identical sim output with
+// tracing on vs off. Schema details: docs/OBSERVABILITY.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oi::trace {
+
+bool enabled();
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Clears the buffer and enables collection.
+  void start();
+  /// Disables collection; the buffer stays readable until the next start().
+  void stop();
+  void clear();
+  std::size_t event_count() const;
+
+  /// Distinct pid per traced simulation run, starting at 1 (0 is the
+  /// wall-clock "host" process).
+  std::uint64_t next_run_id();
+
+  /// Writes {"traceEvents": [...], "displayTimeUnit": "ms"}.
+  void write_json(std::ostream& out) const;
+  std::string to_json() const;
+
+  // --- emission; timestamps in seconds on the caller's clock ---
+
+  /// `B` duration-begin on lane (pid, tid). Spans on one lane must nest.
+  void begin(std::uint64_t pid, std::uint64_t tid, std::string_view name,
+             double ts_seconds, std::string_view category = {});
+  /// `E` duration-end matching the innermost open begin on (pid, tid).
+  void end(std::uint64_t pid, std::uint64_t tid, std::string_view name,
+           double ts_seconds);
+  /// `C` counter sample. Chrome keys counter tracks by (pid, name), so
+  /// per-disk series encode the disk in the name (e.g. "queue.d3").
+  void counter(std::uint64_t pid, std::string_view name, double ts_seconds,
+               double value);
+  /// Async `b`/`e` pair: a span that may overlap others (rebuild steps touch
+  /// several disks at once). Matched by (category, id, name).
+  void async_begin(std::uint64_t pid, std::string_view category, std::uint64_t id,
+                   std::string_view name, double ts_seconds);
+  void async_end(std::uint64_t pid, std::string_view category, std::uint64_t id,
+                 std::string_view name, double ts_seconds);
+  /// `M` metadata: label a lane / process group in the viewer.
+  void thread_name(std::uint64_t pid, std::uint64_t tid, std::string_view name);
+  void process_name(std::uint64_t pid, std::string_view name);
+
+ private:
+  Tracer() = default;
+
+  struct Event {
+    char phase;  ///< 'B','E','C','b','e','M'
+    std::uint64_t pid = 0;
+    std::uint64_t tid = 0;
+    std::uint64_t id = 0;      ///< async pair id ('b'/'e' only)
+    double ts_us = 0.0;
+    double value = 0.0;        ///< counter sample ('C' only)
+    std::string name;
+    std::string category;      ///< doubles as the metadata kind for 'M'
+  };
+
+  void push(Event event);
+
+  std::atomic<std::uint64_t> run_ids_{0};
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+};
+
+/// Monotonic seconds since the first call in this process -- the wall clock
+/// used by WallSpan and host-side counter samples.
+double wall_seconds();
+
+/// RAII duration span on the wall clock (pid 0). Safe to construct whether or
+/// not tracing is enabled.
+class WallSpan {
+ public:
+  explicit WallSpan(std::string_view name, std::uint64_t tid = 0);
+  ~WallSpan();
+  WallSpan(const WallSpan&) = delete;
+  WallSpan& operator=(const WallSpan&) = delete;
+
+ private:
+  bool active_;
+  std::uint64_t tid_;
+  std::string name_;
+};
+
+}  // namespace oi::trace

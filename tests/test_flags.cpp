@@ -77,5 +77,41 @@ TEST(FlagsTest, UnusedDetection) {
   EXPECT_EQ(flags.unused(), std::vector<std::string>{"typo"});
 }
 
+class FlagRegistryTest : public ::testing::Test {
+ protected:
+  // The registry is process-wide; isolate every scenario.
+  void SetUp() override { FlagRegistry::instance().clear(); }
+  void TearDown() override { FlagRegistry::instance().clear(); }
+};
+
+TEST_F(FlagRegistryTest, DeclareAndQuery) {
+  FlagRegistry& reg = FlagRegistry::instance();
+  EXPECT_FALSE(reg.declared("trace-out"));
+  reg.declare("trace-out", "write a Chrome trace to FILE");
+  EXPECT_TRUE(reg.declared("trace-out"));
+  EXPECT_NE(reg.usage().find("--trace-out"), std::string::npos);
+}
+
+TEST_F(FlagRegistryTest, DuplicateDeclarationIsHardError) {
+  FlagRegistry& reg = FlagRegistry::instance();
+  reg.declare("threads", "worker count");
+  // Identical help text does not make it legal: a repeated registration
+  // always means two call sites claim the same flag.
+  EXPECT_THROW(reg.declare("threads", "worker count"), std::invalid_argument);
+  EXPECT_THROW(reg.declare("threads", "different help"), std::invalid_argument);
+}
+
+TEST_F(FlagRegistryTest, EmptyNameRejected) {
+  EXPECT_THROW(FlagRegistry::instance().declare("", "no name"), std::invalid_argument);
+}
+
+TEST_F(FlagRegistryTest, UsageSortedByName) {
+  FlagRegistry& reg = FlagRegistry::instance();
+  reg.declare("zeta", "last");
+  reg.declare("alpha", "first");
+  const std::string usage = reg.usage();
+  EXPECT_LT(usage.find("--alpha"), usage.find("--zeta"));
+}
+
 }  // namespace
 }  // namespace oi

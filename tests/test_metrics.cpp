@@ -1,0 +1,141 @@
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "json_lint.hpp"
+
+namespace oi::metrics {
+namespace {
+
+/// Every test runs against the process-wide registry; reset values and the
+/// enable switch around each case so ordering does not matter. Registrations
+/// themselves persist for the process (by design), so tests use unique names.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::instance().reset_values();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    Registry::instance().reset_values();
+  }
+};
+
+TEST_F(MetricsTest, CounterMonotonicAndIdentityStable) {
+  Counter& c = Registry::instance().counter("test.metrics.counter_a");
+  EXPECT_EQ(c.value(), 0u);
+  c.increment();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Same name resolves to the same object; the handle never moves.
+  EXPECT_EQ(&Registry::instance().counter("test.metrics.counter_a"), &c);
+
+  std::uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    c.increment();
+    const std::uint64_t now = c.value();
+    EXPECT_GT(now, last);  // counters only go up
+    last = now;
+  }
+}
+
+TEST_F(MetricsTest, DisabledUpdatesAreDropped) {
+  Counter& c = Registry::instance().counter("test.metrics.counter_off");
+  Gauge& g = Registry::instance().gauge("test.metrics.gauge_off");
+  FixedHistogram& h =
+      Registry::instance().histogram("test.metrics.hist_off", 0.0, 10.0, 5);
+  set_enabled(false);
+  c.add(7);
+  g.set(3.5);
+  h.record(2.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.total(), 0u);
+  set_enabled(true);
+  c.add(7);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST_F(MetricsTest, HistogramBucketsAndEdgeClamping) {
+  FixedHistogram& h =
+      Registry::instance().histogram("test.metrics.hist_edges", 0.0, 10.0, 5);
+  h.record(0.0);    // bucket 0
+  h.record(3.0);    // bucket 1
+  h.record(9.999);  // bucket 4
+  h.record(-5.0);   // below range -> bucket 0
+  h.record(50.0);   // above range -> bucket 4
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(4), 2u);
+  EXPECT_EQ(h.buckets(), 5u);
+  EXPECT_DOUBLE_EQ(h.low(), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_width(), 2.0);
+}
+
+TEST_F(MetricsTest, NameValidation) {
+  Registry& reg = Registry::instance();
+  EXPECT_NO_THROW(reg.counter("sim.disk.busy_us"));
+  EXPECT_THROW(reg.counter(""), std::invalid_argument);
+  EXPECT_THROW(reg.counter("Sim.Disk.Reads"), std::invalid_argument);  // uppercase
+  EXPECT_THROW(reg.counter("sim disk reads"), std::invalid_argument);  // space
+  EXPECT_THROW(reg.counter(".leading.dot"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("trailing.dot."), std::invalid_argument);
+}
+
+TEST_F(MetricsTest, KindConflictsAreErrors) {
+  Registry& reg = Registry::instance();
+  reg.counter("test.metrics.kind_taken");
+  EXPECT_THROW(reg.gauge("test.metrics.kind_taken"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("test.metrics.kind_taken", 0.0, 1.0, 2),
+               std::invalid_argument);
+  // A histogram re-registered with different bounds is a wiring bug.
+  reg.histogram("test.metrics.hist_fixed", 0.0, 10.0, 5);
+  EXPECT_NO_THROW(reg.histogram("test.metrics.hist_fixed", 0.0, 10.0, 5));
+  EXPECT_THROW(reg.histogram("test.metrics.hist_fixed", 0.0, 20.0, 5),
+               std::invalid_argument);
+}
+
+TEST_F(MetricsTest, JsonSnapshotIsWellFormedAndComplete) {
+  Registry& reg = Registry::instance();
+  reg.counter("test.metrics.json_counter").add(3);
+  reg.gauge("test.metrics.json_gauge").set(1.25);
+  reg.histogram("test.metrics.json_hist", 0.0, 4.0, 4).record(1.0);
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(oi::testing::JsonLint::well_formed(json)) << json;
+  EXPECT_NE(json.find("\"schema_version\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.metrics.json_counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.metrics.json_gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.metrics.json_hist\""), std::string::npos);
+}
+
+TEST_F(MetricsTest, ResetValuesKeepsRegistrations) {
+  Registry& reg = Registry::instance();
+  Counter& c = reg.counter("test.metrics.reset_me");
+  c.add(9);
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(&reg.counter("test.metrics.reset_me"), &c);
+}
+
+TEST_F(MetricsTest, ConcurrentUpdatesDoNotLoseCounts) {
+  Counter& c = Registry::instance().counter("test.metrics.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.increment();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace oi::metrics

@@ -1,0 +1,192 @@
+#include "util/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "bibd/constructions.hpp"
+#include "json_lint.hpp"
+#include "layout/oi_raid.hpp"
+#include "sim/rebuild.hpp"
+#include "util/metrics.hpp"
+
+namespace oi::trace {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Tracer::instance().start(); }
+  void TearDown() override {
+    Tracer::instance().stop();
+    Tracer::instance().clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledEmissionIsDropped) {
+  Tracer& tracer = Tracer::instance();
+  tracer.stop();
+  tracer.begin(1, 0, "span", 0.0);
+  tracer.end(1, 0, "span", 1.0);
+  tracer.counter(1, "q", 0.5, 3.0);
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_FALSE(enabled());
+  tracer.start();
+  EXPECT_TRUE(enabled());
+  tracer.begin(1, 0, "span", 0.0);
+  EXPECT_EQ(tracer.event_count(), 1u);
+}
+
+TEST_F(TraceTest, JsonIsWellFormedWithEveryPhase) {
+  Tracer& tracer = Tracer::instance();
+  tracer.process_name(1, "run \"one\"");  // quote must be escaped
+  tracer.thread_name(1, 3, "disk 3");
+  tracer.begin(1, 3, "fg read", 0.001, "disk");
+  tracer.counter(1, "queue.d3", 0.001, 2.0);
+  tracer.async_begin(1, "rebuild", 7, "step", 0.001);
+  tracer.async_end(1, "rebuild", 7, "step", 0.004);
+  tracer.end(1, 3, "fg read", 0.002);
+  const std::string json = tracer.to_json();
+  EXPECT_TRUE(oi::testing::JsonLint::well_formed(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"one\\\""), std::string::npos);
+  // Timestamps are converted to microseconds.
+  EXPECT_NE(json.find("\"ts\": 1000"), std::string::npos);
+}
+
+TEST_F(TraceTest, WallSpanUsesHostPid) {
+  {
+    WallSpan span("bench phase");
+  }
+  const std::string json = Tracer::instance().to_json();
+  EXPECT_NE(json.find("\"pid\": 0"), std::string::npos);
+  EXPECT_NE(json.find("bench phase"), std::string::npos);
+}
+
+TEST_F(TraceTest, RunIdsAreDistinct) {
+  Tracer& tracer = Tracer::instance();
+  const std::uint64_t a = tracer.next_run_id();
+  const std::uint64_t b = tracer.next_run_id();
+  EXPECT_GE(a, 1u);  // 0 is reserved for the wall-clock host process
+  EXPECT_NE(a, b);
+}
+
+// Replays the emitted JSON and checks B/E spans nest properly per (pid, tid)
+// lane -- the invariant Chrome's viewer needs to draw a flame graph.
+void expect_spans_nest(const std::string& json) {
+  // The serialized events carry one '"ph": "X"' per record; walk records in
+  // file order (the tracer buffers in emission order; sim time is
+  // monotonic within a lane).
+  std::map<std::pair<std::string, std::string>, std::vector<std::string>> stacks;
+  std::size_t at = 0;
+  while ((at = json.find("{\"ph\": \"", at)) != std::string::npos) {
+    const auto field = [&](const char* key) {
+      const std::size_t k = json.find(key, at);
+      const std::size_t start = k + std::strlen(key);
+      return json.substr(start, json.find_first_of(",}", start) - start);
+    };
+    const std::string ph = json.substr(at + 8, 1);
+    if (ph == "B" || ph == "E") {
+      const auto lane = std::make_pair(field("\"pid\": "), field("\"tid\": "));
+      const std::string name = field("\"name\": ");
+      auto& stack = stacks[lane];
+      if (ph == "B") {
+        stack.push_back(name);
+      } else {
+        ASSERT_FALSE(stack.empty()) << "E without open B on lane";
+        EXPECT_EQ(stack.back(), name) << "E does not match innermost B";
+        stack.pop_back();
+      }
+    }
+    ++at;
+  }
+  for (const auto& [lane, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "unclosed span on pid/tid " << lane.first << "/"
+                               << lane.second;
+  }
+}
+
+TEST_F(TraceTest, SimulatedRebuildTraceNestsAndLabelsEveryDisk) {
+  layout::OiRaidLayout layout(layout::OiRaidParams{bibd::fano(), 3, 6});
+  sim::SimConfig config;
+  config.max_inflight_steps = 32;
+  sim::simulate(layout, {0}, config);
+
+  const std::string json = Tracer::instance().to_json();
+  EXPECT_TRUE(oi::testing::JsonLint::well_formed(json)) << json.substr(0, 400);
+  expect_spans_nest(json);
+
+  // One labeled lane per simulated disk (21 for the Fano geometry).
+  std::size_t lanes = 0;
+  for (std::size_t at = 0; (at = json.find("thread_name", at)) != std::string::npos;
+       ++at) {
+    ++lanes;
+  }
+  EXPECT_EQ(lanes, layout.disks());
+  EXPECT_NE(json.find("failed 0"), std::string::npos);
+}
+
+// The observability contract: tracing observes, never perturbs. Simulated
+// clocks and all derived numbers must be bit-identical with tracing on or
+// off. Guards against instrumentation that accidentally feeds back into
+// scheduling (e.g. ordering containers by pointer, consuming RNG draws).
+TEST(TraceDeterminism, SimulationResultsBitIdenticalTracedVsUntraced) {
+  layout::OiRaidLayout layout(layout::OiRaidParams{bibd::fano(), 3, 10});
+  sim::SimConfig config;
+  config.max_inflight_steps = 32;
+  config.foreground = sim::ForegroundConfig{};
+  config.seed = 11;
+
+  Tracer::instance().stop();
+  metrics::set_enabled(false);
+  const sim::SimResult plain = sim::simulate(layout, {0}, config);
+
+  Tracer::instance().start();
+  metrics::set_enabled(true);
+  const sim::SimResult traced = sim::simulate(layout, {0}, config);
+  const std::size_t events = Tracer::instance().event_count();
+  Tracer::instance().stop();
+  Tracer::instance().clear();
+  metrics::set_enabled(false);
+
+  EXPECT_GT(events, 0u) << "tracing was supposed to be on for the second run";
+
+  // Bit-identical doubles: memcmp, not EXPECT_DOUBLE_EQ.
+  const auto same_bits = [](double a, double b) {
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+  };
+  EXPECT_TRUE(same_bits(plain.rebuild_seconds, traced.rebuild_seconds));
+  EXPECT_TRUE(same_bits(plain.copy_back_seconds, traced.copy_back_seconds));
+  EXPECT_EQ(plain.rebuild_strips, traced.rebuild_strips);
+  EXPECT_EQ(plain.rebuild_disk_reads, traced.rebuild_disk_reads);
+  EXPECT_EQ(plain.rebuild_disk_writes, traced.rebuild_disk_writes);
+  EXPECT_EQ(plain.foreground_completed, traced.foreground_completed);
+  ASSERT_EQ(plain.foreground_latencies.size(), traced.foreground_latencies.size());
+  for (std::size_t i = 0; i < plain.foreground_latencies.size(); ++i) {
+    EXPECT_TRUE(
+        same_bits(plain.foreground_latencies[i], traced.foreground_latencies[i]))
+        << "latency " << i << " diverged";
+  }
+  ASSERT_EQ(plain.disk_busy_seconds.size(), traced.disk_busy_seconds.size());
+  for (std::size_t d = 0; d < plain.disk_busy_seconds.size(); ++d) {
+    EXPECT_TRUE(same_bits(plain.disk_busy_seconds[d], traced.disk_busy_seconds[d]))
+        << "disk " << d << " busy time diverged";
+  }
+
+  // And the serialized bench records (precision(17) doubles) match byte for
+  // byte -- the form the BENCH JSON regression scripts actually consume.
+  const auto record_all = [](const sim::SimResult& r) {
+    bench::BenchJson json("trace_determinism_check");
+    json.record("fano", "rebuild_seconds", r.rebuild_seconds);
+    for (std::size_t d = 0; d < r.disk_busy_seconds.size(); ++d) {
+      json.record("fano", "busy_" + std::to_string(d), r.disk_busy_seconds[d]);
+    }
+    return json.to_string();
+  };
+  EXPECT_EQ(record_all(plain), record_all(traced));
+}
+
+}  // namespace
+}  // namespace oi::trace

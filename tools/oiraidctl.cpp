@@ -36,8 +36,10 @@
 #include "reliability/models.hpp"
 #include "sim/rebuild.hpp"
 #include "util/flags.hpp"
+#include "util/observability.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/trace.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -140,6 +142,9 @@ int cmd_recover(const Flags& flags) {
     std::cerr << "recover: --fail d0,d1,... is required\n";
     return 2;
   }
+  // Planning is host-side work (no simulation), so the trace shows it as a
+  // wall-clock span rather than per-disk lanes.
+  const trace::WallSpan span("recovery_plan");
   const auto plan = layout.recovery_plan(failed);
   if (!plan) {
     std::cout << "pattern is UNRECOVERABLE (beyond iterative decoding)\n";
@@ -268,6 +273,9 @@ int main(int argc, char** argv) {
   try {
     const Flags flags(argc - 1, argv + 1);
     oi::gf::set_kernel_by_name(flags.get_gf_kernel());
+    // --trace-out/--metrics-out: observability files are flushed when the
+    // session leaves scope, after the command has run.
+    const oi::obs::Session obs(flags);
     int code = 2;
     if (command == "designs") {
       code = cmd_designs(flags);
