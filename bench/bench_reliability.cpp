@@ -11,6 +11,8 @@
 // Monte-Carlo runs) fan out over a thread pool (--threads N, 0 = all
 // cores); tables are emitted in fixed order afterwards, and results land in
 // BENCH_reliability.json as well.
+#include <chrono>
+#include <cstdio>
 #include <functional>
 #include <iostream>
 
@@ -20,6 +22,7 @@
 #include "core/fault_analysis.hpp"
 #include "reliability/models.hpp"
 #include "reliability/monte_carlo.hpp"
+#include "reliability/oracle.hpp"
 #include "sim/rebuild.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -53,6 +56,29 @@ double scaled_rebuild_hours(const layout::Layout& layout) {
 /// its own output slot, so ordering stays deterministic.
 void fan_out(ThreadPool& pool, const std::vector<std::function<void()>>& jobs) {
   pool.parallel_for(0, jobs.size(), [&](std::size_t i) { jobs[i](); });
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Human form of a 95% interval: an honest upper bound when no loss was seen.
+std::string format_ci(const reliability::MonteCarloResult& r) {
+  char buf[64];
+  if (r.losses == 0) {
+    std::snprintf(buf, sizeof buf, "<= %.3g at 95%%", r.ci95_hi);
+  } else {
+    std::snprintf(buf, sizeof buf, "[%.3g, %.3g]", r.ci95_lo, r.ci95_hi);
+  }
+  return buf;
+}
+
+std::string format_relerr(const reliability::MonteCarloResult& r) {
+  if (r.losses == 0) return "inf";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", 100.0 * r.relative_error);
+  return buf;
 }
 
 }  // namespace
@@ -151,12 +177,16 @@ int main(int argc, char** argv) {
   print_experiment_header(
       "E7c", "structural Monte-Carlo cross-check (stressed parameters)");
   // Stressed so that losses are observable in reasonable trial counts; the
-  // *ordering* is the result.
+  // *ordering* is the result. Losses are common here, so plain MC with
+  // Wilson intervals is the right estimator (see E7f for the rare-event
+  // regime where importance sampling takes over).
+  const std::size_t mc_trials = flags.get_mc_trials(100'000);
+  const double mc_bias = flags.get_mc_bias(16.0);
   reliability::MonteCarloConfig mc;
   mc.mttf_hours = 10'000;
   mc.rebuild_hours = 200;
   mc.mission_hours = 20'000;
-  mc.trials = 1500;
+  mc.trials = mc_trials;
   mc.seed = 31;
   {
     std::vector<const layout::Layout*> schemes;
@@ -169,18 +199,27 @@ int main(int argc, char** argv) {
     schemes.push_back(&compact);
 
     std::vector<reliability::MonteCarloResult> results(schemes.size());
+    std::vector<double> wall(schemes.size(), 0.0);
     pool.parallel_for(0, schemes.size(), [&](std::size_t i) {
+      const auto start = std::chrono::steady_clock::now();
       results[i] = reliability::monte_carlo_reliability(*schemes[i], mc);
+      wall[i] = seconds_since(start);
     });
 
-    Table mc_table({"scheme", "disks", "losses/trials", "P(loss)", "ci95"});
+    Table mc_table({"scheme", "disks", "losses/trials", "P(loss)", "wilson 95%",
+                    "rel.err"});
     for (std::size_t i = 0; i < schemes.size(); ++i) {
       const auto& r = results[i];
       mc_table.row().cell(schemes[i]->name()).cell(schemes[i]->disks())
           .cell(std::to_string(r.losses) + "/" + std::to_string(r.trials))
-          .cell(r.loss_probability, 4).cell(r.ci95, 4);
-      json.record(fano.label, schemes[i]->name() + "_mc_loss_probability",
-                  r.loss_probability);
+          .cell(r.loss_probability, 4).cell(format_ci(r)).cell(format_relerr(r));
+      const std::string& name = schemes[i]->name();
+      json.record(fano.label, name + "_mc_loss_probability", r.loss_probability);
+      json.record(fano.label, name + "_mc_ci95_lo", r.ci95_lo);
+      json.record(fano.label, name + "_mc_ci95_hi", r.ci95_hi);
+      json.record(fano.label, name + "_mc_wall_seconds", wall[i]);
+      json.record(fano.label, name + "_mc_trials_per_second",
+                  wall[i] > 0.0 ? static_cast<double>(r.trials) / wall[i] : 0.0);
     }
     mc_table.print(std::cout);
   }
@@ -227,7 +266,7 @@ int main(int argc, char** argv) {
     rack.mttf_hours = 1.2e6;
     rack.rebuild_hours = 24;
     rack.mission_hours = 10 * 24 * 365.25;
-    rack.trials = 1200;
+    rack.trials = mc_trials;
     rack.seed = 37;
     rack.disks_per_domain = 3;
     rack.domain_mttf_hours = 200'000;  // one rack outage every ~23 years
@@ -239,21 +278,128 @@ int main(int argc, char** argv) {
     schemes.push_back(&raid50_small);
     if (pd_small) schemes.push_back(&*pd_small);
 
+    // At real parameters OI-RAID's loss probability is far below what plain
+    // MC resolves; an importance-sampled run pins it down.
+    reliability::BiasedMonteCarloConfig rack_biased;
+    static_cast<reliability::MonteCarloConfig&>(rack_biased) = rack;
+    rack_biased.failure_bias = mc_bias;
+
     std::vector<reliability::MonteCarloResult> results(schemes.size());
-    pool.parallel_for(0, schemes.size(), [&](std::size_t i) {
-      results[i] = reliability::monte_carlo_reliability(*schemes[i], rack);
+    reliability::MonteCarloResult oi_biased;
+    pool.parallel_for(0, schemes.size() + 1, [&](std::size_t i) {
+      if (i < schemes.size()) {
+        results[i] = reliability::monte_carlo_reliability(*schemes[i], rack);
+      } else {
+        oi_biased = reliability::monte_carlo_reliability(compact, rack_biased);
+      }
     });
 
-    Table rack_table({"scheme", "losses/trials", "P(loss in 10y)", "ci95"});
+    Table rack_table({"scheme", "losses/trials", "P(loss in 10y)", "95% interval",
+                      "ESS", "rel.err"});
     for (std::size_t i = 0; i < schemes.size(); ++i) {
       const auto& r = results[i];
       rack_table.row().cell(schemes[i]->name())
           .cell(std::to_string(r.losses) + "/" + std::to_string(r.trials))
-          .cell(r.loss_probability, 4).cell(r.ci95, 4);
+          .cell(r.loss_probability, 4).cell(format_ci(r)).cell(r.ess, 0)
+          .cell(format_relerr(r));
       json.record(fano.label, schemes[i]->name() + "_rack_loss_probability",
                   r.loss_probability);
+      json.record(fano.label, schemes[i]->name() + "_rack_ci95_hi",
+                  results[i].ci95_hi);
+    }
+    {
+      char label[48];
+      std::snprintf(label, sizeof label, "oi-raid biased b=%g", mc_bias);
+      rack_table.row().cell(label)
+          .cell(std::to_string(oi_biased.losses) + "/" +
+                std::to_string(oi_biased.trials))
+          .cell(oi_biased.loss_probability, 6).cell(format_ci(oi_biased))
+          .cell(oi_biased.ess, 0).cell(format_relerr(oi_biased));
+      json.record(fano.label, "oi-raid_rack_biased_loss_probability",
+                  oi_biased.loss_probability);
+      json.record(fano.label, "oi-raid_rack_biased_ci95_lo", oi_biased.ci95_lo);
+      json.record(fano.label, "oi-raid_rack_biased_ci95_hi", oi_biased.ci95_hi);
+      json.record(fano.label, "oi-raid_rack_biased_ess", oi_biased.ess);
     }
     rack_table.print(std::cout);
+  }
+
+  print_experiment_header(
+      "E7f", "rare-event engine: plain vs importance-sampled (reference parameters)");
+  {
+    // Reference rare-event configuration for the compact OI-RAID geometry:
+    // the loss probability is ~4e-7 per mission, so plain MC at any sane
+    // trial count reports zero losses while the failure-biased estimator
+    // resolves it in well under a second. Both runs share one oracle.
+    reliability::RecoverabilityOracle oracle(compact);
+    reliability::MonteCarloConfig ref;
+    ref.mttf_hours = 200'000;
+    ref.rebuild_hours = 500;
+    ref.mission_hours = 20'000;
+    ref.trials = mc_trials;
+    ref.seed = 31;
+    ref.threads = threads;
+    ref.oracle = &oracle;
+
+    reliability::BiasedMonteCarloConfig ref_biased;
+    static_cast<reliability::MonteCarloConfig&>(ref_biased) = ref;
+    ref_biased.failure_bias = mc_bias;
+
+    auto start = std::chrono::steady_clock::now();
+    const auto plain = reliability::monte_carlo_reliability(compact, ref);
+    const double plain_sec = seconds_since(start);
+    start = std::chrono::steady_clock::now();
+    const auto biased = reliability::monte_carlo_reliability(compact, ref_biased);
+    const double biased_sec = seconds_since(start);
+
+    Table ref_table({"estimator", "losses/trials", "P(loss)", "95% interval",
+                     "ESS", "rel.err", "trials/s"});
+    auto ref_row = [&](const std::string& name,
+                       const reliability::MonteCarloResult& r, double sec) {
+      char p_cell[32];
+      std::snprintf(p_cell, sizeof p_cell, "%.4g", r.loss_probability);
+      ref_table.row().cell(name)
+          .cell(std::to_string(r.losses) + "/" + std::to_string(r.trials))
+          .cell(p_cell).cell(format_ci(r)).cell(r.ess, 0)
+          .cell(format_relerr(r))
+          .cell(sec > 0.0 ? static_cast<double>(r.trials) / sec : 0.0, 0);
+    };
+    ref_row("plain", plain, plain_sec);
+    char label[32];
+    std::snprintf(label, sizeof label, "biased b=%g", mc_bias);
+    ref_row(label, biased, biased_sec);
+    ref_table.print(std::cout);
+
+    // Time to reach 10% relative error on P(loss), using the biased point
+    // estimate for the plain-MC requirement (losses needed ~ 1/relerr^2).
+    const double p_hat = biased.loss_probability;
+    const double plain_tps =
+        plain_sec > 0.0 ? static_cast<double>(plain.trials) / plain_sec : 0.0;
+    const double biased_tps =
+        biased_sec > 0.0 ? static_cast<double>(biased.trials) / biased_sec : 0.0;
+    if (p_hat > 0.0 && plain_tps > 0.0 && biased.relative_error > 0.0 &&
+        std::isfinite(biased.relative_error)) {
+      const double plain_to_10pct =
+          (1.0 - p_hat) / (p_hat * 0.1 * 0.1) / plain_tps;
+      const double biased_to_10pct =
+          biased_sec * (biased.relative_error / 0.1) * (biased.relative_error / 0.1);
+      std::cout << "time to 10% relative error: plain " << plain_to_10pct
+                << " s, biased " << biased_to_10pct << " s (biasing speedup "
+                << plain_to_10pct / biased_to_10pct << "x)\n";
+      std::cout << "oracle traffic: " << (plain.oracle_hits + biased.oracle_hits)
+                << " hits / " << (plain.oracle_misses + biased.oracle_misses)
+                << " decodes\n";
+      json.record(fano.label, "ref_biased_loss_probability", p_hat);
+      json.record(fano.label, "ref_biased_ci95_lo", biased.ci95_lo);
+      json.record(fano.label, "ref_biased_ci95_hi", biased.ci95_hi);
+      json.record(fano.label, "ref_biased_ess", biased.ess);
+      json.record(fano.label, "ref_plain_trials_per_second", plain_tps);
+      json.record(fano.label, "ref_biased_trials_per_second", biased_tps);
+      json.record(fano.label, "ref_plain_seconds_to_10pct_wall_seconds",
+                  plain_to_10pct);
+      json.record(fano.label, "ref_biased_seconds_to_10pct_wall_seconds",
+                  biased_to_10pct);
+    }
   }
 
   std::cout << "\nExpected shape: MTTDL ordering oi-raid >> raid6 >> pd ~ raid5 >\n"

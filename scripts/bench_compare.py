@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<name>.json files (docs/BENCH_JSON.md, schema v2).
+
+Usage:
+    bench_compare.py baseline.json current.json [--threshold 0.05]
+                     [--ignore REGEX]... [--keep-timing]
+
+Every (geometry, metric) record in the baseline must exist in the current
+file, and its value must lie within ``--threshold`` relative deviation of
+the baseline value (direction-agnostic: estimates drifting *down* can be as
+wrong as drifting up for reliability numbers). Exit code 1 lists every
+violation; 0 means the current run is compatible with the baseline.
+
+Wall-clock metrics (``*_wall_seconds``, ``*_seconds``, ``*_per_second``)
+are ignored by default -- they measure the host, not the code under test.
+Pass ``--keep-timing`` to include them, or add ``--ignore`` regexes for
+further metrics (matched against ``geometry/metric``).
+
+Metrics present only in the current file are reported informationally and
+never fail the comparison: new code may add metrics, but silently dropping
+one is treated as a regression.
+
+No dependencies beyond the standard library.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+# Host-speed metrics: excluded unless --keep-timing.
+TIMING_PATTERNS = [
+    r"_wall_seconds$",
+    r"_seconds$",
+    r"_per_second$",
+]
+
+
+def load_records(path: Path) -> dict[tuple[str, str], float | None]:
+    """Parse a schema-v2 bench file into {(geometry, metric): value}."""
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    version = doc.get("schema_version", 1)
+    if version > 2:
+        sys.exit(f"error: {path}: unsupported schema_version {version}")
+    records: dict[tuple[str, str], float | None] = {}
+    for rec in doc.get("results", []):
+        key = (rec["geometry"], rec["metric"])
+        records[key] = rec["value"]  # null for non-finite values
+    return records
+
+
+def relative_deviation(base: float, cur: float) -> float:
+    scale = max(abs(base), abs(cur), 1e-300)
+    return abs(cur - base) / scale
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="max relative deviation per metric (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="REGEX",
+        help="skip metrics whose 'geometry/metric' matches (repeatable)",
+    )
+    parser.add_argument(
+        "--keep-timing",
+        action="store_true",
+        help="also compare wall-clock / throughput metrics",
+    )
+    args = parser.parse_args()
+    if args.threshold < 0:
+        parser.error("--threshold must be non-negative")
+
+    ignore = list(args.ignore)
+    if not args.keep_timing:
+        ignore += TIMING_PATTERNS
+    ignore_res = [re.compile(pattern) for pattern in ignore]
+
+    base = load_records(args.baseline)
+    cur = load_records(args.current)
+
+    failures: list[str] = []
+    compared = skipped = 0
+    for (geometry, metric), base_value in sorted(base.items()):
+        label = f"{geometry}/{metric}"
+        if any(rx.search(label) for rx in ignore_res):
+            skipped += 1
+            continue
+        if (geometry, metric) not in cur:
+            failures.append(f"MISSING  {label} (baseline {base_value})")
+            continue
+        cur_value = cur[(geometry, metric)]
+        compared += 1
+        if base_value is None or cur_value is None:
+            # null encodes inf/nan (docs/BENCH_JSON.md); both-null is a match.
+            if base_value is not cur_value:
+                failures.append(
+                    f"CHANGED  {label}: {base_value} -> {cur_value}"
+                )
+            continue
+        deviation = relative_deviation(base_value, cur_value)
+        if deviation > args.threshold:
+            failures.append(
+                f"DEVIATES {label}: {base_value:.6g} -> {cur_value:.6g} "
+                f"({deviation:+.1%} > {args.threshold:.1%})"
+            )
+
+    new_metrics = sorted(set(cur) - set(base))
+    if new_metrics:
+        print(f"note: {len(new_metrics)} metric(s) only in current "
+              "(not compared):")
+        for geometry, metric in new_metrics[:10]:
+            print(f"  NEW      {geometry}/{metric}")
+        if len(new_metrics) > 10:
+            print(f"  ... and {len(new_metrics) - 10} more")
+
+    print(f"compared {compared} metric(s), skipped {skipped} "
+          f"(timing/ignored), threshold {args.threshold:.1%}")
+    if failures:
+        print(f"{len(failures)} regression(s):", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,7 @@ DEFAULT_FILES = [
     "EXPERIMENTS.md",
     "docs/OBSERVABILITY.md",
     "docs/BENCH_JSON.md",
+    "docs/RELIABILITY.md",
 ]
 
 # [text](target) -- non-greedy text, target up to the closing paren.

@@ -1,10 +1,15 @@
 #include "reliability/monte_carlo.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
-#include <queue>
-#include <set>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <span>
 #include <vector>
 
+#include "reliability/oracle.hpp"
 #include "util/assert.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
@@ -14,133 +19,603 @@
 namespace oi::reliability {
 namespace {
 
-enum class EventKind { kDiskFailure, kRepair, kDomainFailure };
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
-struct Event {
-  double time;
-  EventKind kind;
-  std::size_t target;  ///< disk id, or domain id for kDomainFailure
-  /// Per-disk generation stamp: a disk-failure event is valid only while the
-  /// disk is in the same lifetime epoch it was scheduled in. Repairs and
-  /// domain failures bump the epoch, invalidating stale lifetimes (a disk
-  /// must never carry two pending lifetime draws).
-  std::uint64_t epoch;
-};
-
-struct Later {
-  bool operator()(const Event& a, const Event& b) const { return a.time > b.time; }
-};
+/// Time-axis resolution of the overlap prefilter (see run_trial_chain).
+constexpr std::size_t kFilterBuckets = 128;
 
 struct TrialOutcome {
   bool lost = false;
   double time = 0.0;  ///< time of the loss event (hours); meaningless if !lost
+  double logw = 0.0;  ///< log likelihood-ratio weight (biased runs, lost trials)
 };
 
-/// One independent mission. Each trial owns an RNG stream seeded by
-/// config.seed ^ trial, so trials are reproducible in isolation and the
-/// aggregate result does not depend on which thread ran which trial.
-TrialOutcome run_trial(const layout::Layout& layout, const MonteCarloConfig& config,
-                       std::size_t domains, double weibull_scale,
-                       std::size_t trial) {
-  Rng rng(config.seed ^ static_cast<std::uint64_t>(trial));
-  const std::size_t n = layout.disks();
-  const std::size_t tolerance = layout.fault_tolerance();
+/// One down interval of one disk: [fail, repair_end).
+struct ChainEvent {
+  double fail;
+  double repair_end;
+  std::uint32_t disk;
+};
 
-  auto draw_lifetime = [&](Rng& r) {
-    return config.weibull_shape == 1.0
-               ? r.exponential(1.0 / config.mttf_hours)
-               : r.weibull(config.weibull_shape, weibull_scale);
-  };
+/// Per-thread slot arrays, reused across trials and across calls so the
+/// steady-state trial loop performs zero heap allocations (pinned by
+/// tests/test_mc_alloc.cpp). Vectors only ever grow.
+struct TrialScratch {
+  std::vector<double> slot;       ///< per-disk next event time
+  std::vector<double> aux;        ///< fast: repair end; biased: segment start
+  std::vector<double> domain_slot;
+  std::vector<double> domain_aux;
+  std::vector<std::uint64_t> mask_words;  ///< failure bitmask when disks > 64
+  std::vector<ChainEvent> chain;          ///< pre-generated renewal chains
+  std::vector<std::uint16_t> buckets;     ///< overlap prefilter counts
 
-  std::priority_queue<Event, std::vector<Event>, Later> events;
-  std::vector<std::uint64_t> epoch(n, 0);
-  for (std::size_t d = 0; d < n; ++d) {
-    events.push({draw_lifetime(rng), EventKind::kDiskFailure, d, epoch[d]});
+  void reserve(std::size_t disks, std::size_t domains) {
+    if (slot.size() < disks) {
+      slot.resize(disks);
+      aux.resize(disks);
+      mask_words.resize((disks + 63) / 64);
+    }
+    if (domain_slot.size() < domains) {
+      domain_slot.resize(domains);
+      domain_aux.resize(domains);
+    }
+    if (buckets.size() < kFilterBuckets) buckets.resize(kFilterBuckets);
   }
-  for (std::size_t dom = 0; dom < domains; ++dom) {
-    events.push({rng.exponential(1.0 / config.domain_mttf_hours),
-                 EventKind::kDomainFailure, dom, 0});
+};
+
+TrialScratch& trial_scratch() {
+  thread_local TrialScratch scratch;
+  return scratch;
+}
+
+/// Failure set as a single machine word (disks <= 64): the hot representation
+/// for every bench geometry. Mask value doubles as the oracle cache key.
+struct SmallMask {
+  std::uint64_t bits = 0;
+
+  void reset(std::size_t) { bits = 0; }
+  bool test(std::size_t d) const { return (bits >> d) & 1U; }
+  void set(std::size_t d) { bits |= std::uint64_t{1} << d; }
+  void clear(std::size_t d) { bits &= ~(std::uint64_t{1} << d); }
+
+  /// Visits every set bit; the callback may clear bits (iteration runs on a
+  /// snapshot).
+  template <typename F>
+  void for_each_set(F&& f) {
+    std::uint64_t b = bits;
+    while (b != 0) {
+      f(static_cast<std::size_t>(std::countr_zero(b)));
+      b &= b - 1;
+    }
   }
-  std::set<std::size_t> failed;
-  TrialOutcome outcome;
 
-  auto recoverable = [&](const std::set<std::size_t>& pattern) {
-    if (pattern.size() <= tolerance) return true;
-    if (pattern.size() >= n) return false;
-    return layout
-        .recovery_plan(std::vector<std::size_t>(pattern.begin(), pattern.end()))
-        .has_value();
-  };
-
-  auto fail_disk = [&](std::size_t disk, double now) {
-    if (failed.contains(disk)) return;
-    failed.insert(disk);
-    ++epoch[disk];  // cancels any pending lifetime event
-    events.push({now + rng.exponential(1.0 / config.rebuild_hours),
-                 EventKind::kRepair, disk, epoch[disk]});
-  };
-
-  while (!events.empty() && !outcome.lost) {
-    const Event event = events.top();
-    events.pop();
-    if (event.time > config.mission_hours) break;
-
-    switch (event.kind) {
-      case EventKind::kDiskFailure: {
-        if (event.epoch != epoch[event.target]) break;  // stale lifetime
-        fail_disk(event.target, event.time);
-        if (!recoverable(failed)) outcome.lost = true;
-        break;
-      }
-      case EventKind::kDomainFailure: {
-        const std::size_t first = event.target * config.disks_per_domain;
-        for (std::size_t j = 0; j < config.disks_per_domain; ++j) {
-          fail_disk(first + j, event.time);
-        }
-        if (!recoverable(failed)) outcome.lost = true;
-        // The (replaced) domain can fail again later.
-        events.push({event.time + rng.exponential(1.0 / config.domain_mttf_hours),
-                     EventKind::kDomainFailure, event.target, 0});
-        break;
-      }
-      case EventKind::kRepair: {
-        if (event.epoch != epoch[event.target]) break;  // superseded
-        if (!failed.contains(event.target)) break;
-        // Latent sector error during the rebuild's reads: one surviving
-        // disk momentarily contributes nothing for some stripe; that
-        // stripe survives only if the pattern including it still decodes.
-        if (config.lse_probability_per_repair > 0.0 &&
-            rng.bernoulli(config.lse_probability_per_repair)) {
-          std::vector<std::size_t> survivors;
-          survivors.reserve(n - failed.size());
-          for (std::size_t d = 0; d < n; ++d) {
-            if (!failed.contains(d)) survivors.push_back(d);
-          }
-          if (!survivors.empty()) {
-            std::set<std::size_t> with_lse = failed;
-            with_lse.insert(survivors[rng.uniform_u64(survivors.size())]);
-            if (!recoverable(with_lse)) {
-              outcome.lost = true;
-              break;
-            }
-          }
-        }
-        failed.erase(event.target);
-        ++epoch[event.target];
-        events.push({event.time + draw_lifetime(rng), EventKind::kDiskFailure,
-                     event.target, epoch[event.target]});
-        break;
+  /// Index of the k-th clear bit among positions [0, disks).
+  std::size_t nth_clear(std::size_t disks, std::size_t k) const {
+    for (std::size_t d = 0; d < disks; ++d) {
+      if (!test(d)) {
+        if (k == 0) return d;
+        --k;
       }
     }
-    if (outcome.lost) outcome.time = event.time;
+    OI_ENSURE(false, "nth_clear ran past the disk count");
+    return disks;
+  }
+
+  bool query(RecoverabilityOracle& oracle, std::size_t count) const {
+    return oracle.recoverable(bits, count);
+  }
+};
+
+/// Failure set as a word array (disks > 64), backed by TrialScratch storage.
+struct WideMask {
+  std::uint64_t* words = nullptr;
+  std::size_t nwords = 0;
+
+  void reset(std::size_t) { std::memset(words, 0, nwords * sizeof(std::uint64_t)); }
+  bool test(std::size_t d) const { return (words[d / 64] >> (d % 64)) & 1U; }
+  void set(std::size_t d) { words[d / 64] |= std::uint64_t{1} << (d % 64); }
+  void clear(std::size_t d) { words[d / 64] &= ~(std::uint64_t{1} << (d % 64)); }
+
+  template <typename F>
+  void for_each_set(F&& f) {
+    for (std::size_t w = 0; w < nwords; ++w) {
+      std::uint64_t b = words[w];
+      while (b != 0) {
+        f(w * 64 + static_cast<std::size_t>(std::countr_zero(b)));
+        b &= b - 1;
+      }
+    }
+  }
+
+  std::size_t nth_clear(std::size_t disks, std::size_t k) const {
+    for (std::size_t d = 0; d < disks; ++d) {
+      if (!test(d)) {
+        if (k == 0) return d;
+        --k;
+      }
+    }
+    OI_ENSURE(false, "nth_clear ran past the disk count");
+    return disks;
+  }
+
+  bool query(RecoverabilityOracle& oracle, std::size_t count) const {
+    return oracle.recoverable(std::span<const std::uint64_t>(words, nwords), count);
+  }
+};
+
+/// Per-run constants shared by every trial.
+struct TrialContext {
+  const MonteCarloConfig* config;
+  RecoverabilityOracle* oracle;
+  std::size_t disks;
+  std::size_t domains;
+  std::size_t tolerance;
+  double weibull_scale;
+  double bias;      ///< failure-hazard inflation factor (1.0 = plain)
+  double log_bias;  ///< precomputed log(bias)
+  /// Chain-path binomial shortcut (see run_trial_chain). `first_fail_q` is
+  /// the probability that a disk's first lifetime ends inside the mission;
+  /// `binom_cdf` is the CDF of Binomial(disks, first_fail_q) over [0, disks].
+  bool use_binomial = false;
+  double first_fail_q = 0.0;
+  const double* binom_cdf = nullptr;
+};
+
+/// Branch-light argmin over the disk and domain slot arrays. Returns the
+/// event time; `idx`/`is_domain` identify the owning entity.
+inline double next_event(const double* slot, std::size_t n,
+                         const double* domain_slot, std::size_t domains,
+                         std::size_t& idx, bool& is_domain) {
+  double t = slot[0];
+  std::size_t best = 0;
+  for (std::size_t d = 1; d < n; ++d) {
+    const double v = slot[d];
+    const bool lt = v < t;
+    t = lt ? v : t;
+    best = lt ? d : best;
+  }
+  is_domain = false;
+  for (std::size_t dom = 0; dom < domains; ++dom) {
+    const double v = domain_slot[dom];
+    const bool lt = v < t;
+    t = lt ? v : t;
+    if (lt) {
+      best = dom;
+      is_domain = true;
+    }
+  }
+  idx = best;
+  return t;
+}
+
+/// Fastest path: plain MC, no LSEs, no failure domains -- the configuration
+/// the rare-event benchmarks hammer with 10^5..10^7 trials.
+///
+/// Disks fail and repair independently here, so each disk's whole renewal
+/// chain (failure time, repair completion, next failure, ...) is generated
+/// up front with no event queue at all, as a flat list of down intervals.
+/// Three increasingly rare tiers then decide the trial:
+///
+///  1. Count check: a loss needs more than `tolerance` down intervals, so a
+///     trial with <= tolerance intervals total returns immediately. With the
+///     binomial shortcut below this makes the common rare-event trial a
+///     handful of draws and one comparison.
+///  2. Overlap prefilter: the mission is cut into kFilterBuckets equal time
+///     buckets and every interval increments the buckets it intersects. Any
+///     instant's concurrent-failure count is bounded by its bucket's count,
+///     so if no bucket exceeds `tolerance` the trial provably cannot lose.
+///  3. Full sweep: the *same* intervals (no fresh draws, so tiers 1-2 never
+///     change a trial's trajectory, only short-circuit its evaluation) are
+///     sorted by failure time and replayed with lazy repair retirement,
+///     asking the oracle at every depth > tolerance.
+///
+/// Lifetime generation (<= 64 disks, per-disk first-failure probability
+/// q < 25%): the number of disks whose first lifetime ends inside the
+/// mission is Binomial(n, q); conditioned on that count the affected set is
+/// uniform and each first-failure time follows the truncated lifetime law.
+/// Sampling (count, set, times) directly replaces n ziggurat draws per trial
+/// with one table walk plus ~n*q truncated-inversion draws.
+template <typename Mask>
+TrialOutcome run_trial_chain(const TrialContext& ctx, std::size_t trial,
+                             Mask mask, TrialScratch& scratch) {
+  const MonteCarloConfig& config = *ctx.config;
+  Rng rng(config.seed ^ static_cast<std::uint64_t>(trial));
+  const std::size_t n = ctx.disks;
+  const double mission = config.mission_hours;
+  const bool exp_life = config.weibull_shape == 1.0;
+  const double inv_shape = 1.0 / config.weibull_shape;
+  const std::size_t tolerance = ctx.tolerance;
+
+  auto& chain = scratch.chain;
+  chain.clear();
+
+  // Extends one disk's renewal chain from its first in-mission failure,
+  // recording every down interval.
+  auto extend_chain = [&](std::uint32_t d, double fail) {
+    for (;;) {
+      const double repair_end =
+          fail + rng.exponential_std() * config.rebuild_hours;
+      chain.push_back({fail, repair_end, d});
+      if (repair_end >= mission) return;
+      const double e = rng.exponential_std();
+      fail = repair_end + (exp_life ? config.mttf_hours * e
+                                    : ctx.weibull_scale * std::pow(e, inv_shape));
+      if (fail >= mission) return;
+    }
+  };
+
+  if (ctx.use_binomial) {
+    const double u = rng.uniform01();
+    std::size_t k = 0;
+    while (k < n && u > ctx.binom_cdf[k]) ++k;
+    std::uint64_t used = 0;
+    const double q = ctx.first_fail_q;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::uint64_t d;
+      do {
+        d = rng.uniform_u64(n);
+      } while ((used >> d) & 1U);
+      used |= std::uint64_t{1} << d;
+      // Inverse CDF of the lifetime conditioned on ending before the
+      // mission: h is the conditional cumulative hazard.
+      const double h = -std::log1p(-rng.uniform01() * q);
+      const double fail = exp_life ? config.mttf_hours * h
+                                   : ctx.weibull_scale * std::pow(h, inv_shape);
+      extend_chain(static_cast<std::uint32_t>(d), fail);
+    }
+  } else {
+    for (std::size_t d = 0; d < n; ++d) {
+      const double e = rng.exponential_std();
+      const double fail = exp_life ? config.mttf_hours * e
+                                   : ctx.weibull_scale * std::pow(e, inv_shape);
+      if (fail < mission) extend_chain(static_cast<std::uint32_t>(d), fail);
+    }
+  }
+
+  // Tier 1: fewer intervals than a loss needs.
+  if (chain.size() <= tolerance) return {};
+
+  // Tier 2: bucketed overlap prefilter.
+  std::uint16_t* bucket = scratch.buckets.data();
+  std::memset(bucket, 0, kFilterBuckets * sizeof(std::uint16_t));
+  const double inv_width = static_cast<double>(kFilterBuckets) / mission;
+  bool suspicious = false;
+  for (const ChainEvent& ev : chain) {
+    auto b0 = static_cast<std::size_t>(ev.fail * inv_width);
+    if (b0 >= kFilterBuckets) b0 = kFilterBuckets - 1;
+    auto b1 = static_cast<std::size_t>(std::min(ev.repair_end, mission) * inv_width);
+    if (b1 >= kFilterBuckets) b1 = kFilterBuckets - 1;
+    for (std::size_t b = b0; b <= b1; ++b) {
+      suspicious |= ++bucket[b] > tolerance;
+    }
+  }
+  if (!suspicious) return {};  // depth <= tolerance everywhere: cannot lose
+
+  // Tier 3: replay the intervals in global time order. Repairs are folded
+  // into `down_until` and failed-mask bits retired lazily; a disk's own
+  // later intervals start after its repair completes, so its bit is always
+  // clear again by the time its next failure is processed.
+  double* down_until = scratch.aux.data();
+  for (const ChainEvent& ev : chain) down_until[ev.disk] = 0.0;
+  std::sort(chain.begin(), chain.end(),
+            [](const ChainEvent& a, const ChainEvent& b) { return a.fail < b.fail; });
+  mask.reset(n);
+  std::size_t count = 0;
+  TrialOutcome outcome;
+  for (const ChainEvent& ev : chain) {
+    const double t = ev.fail;
+    mask.for_each_set([&](std::size_t d) {
+      if (down_until[d] <= t) {
+        mask.clear(d);
+        --count;
+      }
+    });
+    down_until[ev.disk] = ev.repair_end;
+    mask.set(ev.disk);
+    ++count;
+    if (count > tolerance && !mask.query(*ctx.oracle, count)) {
+      outcome.lost = true;
+      outcome.time = t;
+      break;
+    }
   }
   return outcome;
 }
 
-}  // namespace
+/// Plain MC with failure domains and/or latent sector errors: the slot-based
+/// engine. Each disk and each domain owns one slot with its next event's
+/// absolute time; the next event is the argmin over the slot arrays -- no
+/// priority queue, no epoch invalidation, no allocation.
+///
+/// kLse == false: the only events are failures. Repair completion is folded
+/// into `down_until` and failed-mask bits are retired lazily when a later
+/// event observes down_until <= now; a disk's post-repair lifetime is drawn
+/// at failure time, or skipped outright (slot = inf) when the repair already
+/// completes past the mission.
+///
+/// kLse == true: repairs must fire as events (a rebuild's reads can trip a
+/// latent sector error), so each slot alternates between failure and repair
+/// according to the disk's mask bit.
+template <typename Mask, bool kLse>
+TrialOutcome run_trial_slot(const TrialContext& ctx, std::size_t trial,
+                            Mask mask, TrialScratch& scratch) {
+  const MonteCarloConfig& config = *ctx.config;
+  Rng rng(config.seed ^ static_cast<std::uint64_t>(trial));
+  const std::size_t n = ctx.disks;
+  const std::size_t domains = ctx.domains;
+  const double mission = config.mission_hours;
+  const bool exp_life = config.weibull_shape == 1.0;
+  const double inv_shape = 1.0 / config.weibull_shape;
 
-MonteCarloResult monte_carlo_reliability(const layout::Layout& layout,
-                                         const MonteCarloConfig& config) {
+  double* slot = scratch.slot.data();
+  double* down_until = scratch.aux.data();
+  double* domain_slot = scratch.domain_slot.data();
+
+  auto lifetime = [&]() {
+    const double e = rng.exponential_std();
+    return exp_life ? config.mttf_hours * e
+                    : ctx.weibull_scale * std::pow(e, inv_shape);
+  };
+
+  for (std::size_t d = 0; d < n; ++d) {
+    slot[d] = lifetime();
+    down_until[d] = 0.0;
+  }
+  for (std::size_t dom = 0; dom < domains; ++dom) {
+    domain_slot[dom] = rng.exponential_std() * config.domain_mttf_hours;
+  }
+  mask.reset(n);
+  std::size_t count = 0;
+  TrialOutcome outcome;
+
+  // Fails an up disk at time t: schedules its repair and pre-draws the
+  // post-repair lifetime (fast mode) or arms the repair event (LSE mode).
+  auto fail_disk = [&](std::size_t d, double t) {
+    mask.set(d);
+    ++count;
+    const double repair_end = t + rng.exponential_std() * config.rebuild_hours;
+    if constexpr (kLse) {
+      slot[d] = repair_end;  // repair fires as an event
+    } else {
+      down_until[d] = repair_end;
+      // Skip the post-repair lifetime draw when it cannot matter.
+      slot[d] = repair_end >= mission ? kInf : repair_end + lifetime();
+    }
+  };
+
+  for (;;) {
+    std::size_t idx;
+    bool is_domain;
+    const double t = next_event(slot, n, domain_slot, domains, idx, is_domain);
+    if (t > mission) break;  // mission survived
+
+    if constexpr (!kLse) {
+      // Lazily retire finished repairs before interpreting this event.
+      mask.for_each_set([&](std::size_t d) {
+        if (down_until[d] <= t) {
+          mask.clear(d);
+          --count;
+        }
+      });
+    }
+
+    if (is_domain) {
+      // The (replaced) domain can fail again later.
+      domain_slot[idx] = t + rng.exponential_std() * config.domain_mttf_hours;
+      const std::size_t first = idx * config.disks_per_domain;
+      for (std::size_t j = 0; j < config.disks_per_domain; ++j) {
+        const std::size_t d = first + j;
+        if (!mask.test(d)) fail_disk(d, t);  // already-down disks keep repairs
+      }
+    } else if (kLse && mask.test(idx)) {
+      // Repair completes. A latent sector error during the rebuild's reads
+      // makes one surviving disk momentarily contribute nothing for some
+      // stripe; that stripe survives only if the pattern including it still
+      // decodes.
+      if (config.lse_probability_per_repair > 0.0 &&
+          rng.bernoulli(config.lse_probability_per_repair)) {
+        const std::size_t survivors = n - count;
+        if (survivors > 0) {
+          const std::size_t pick = mask.nth_clear(n, rng.uniform_u64(survivors));
+          Mask with_lse = mask;
+          with_lse.set(pick);
+          if (!with_lse.query(*ctx.oracle, count + 1)) {
+            outcome.lost = true;
+            outcome.time = t;
+            break;
+          }
+        }
+      }
+      mask.clear(idx);
+      --count;
+      slot[idx] = t + lifetime();
+      continue;
+    } else {
+      fail_disk(idx, t);
+    }
+
+    if (count > ctx.tolerance && !mask.query(*ctx.oracle, count)) {
+      outcome.lost = true;
+      outcome.time = t;
+      break;
+    }
+  }
+  return outcome;
+}
+
+/// Importance sampling by dynamic failure biasing (exponential lifetimes
+/// only). While at least one disk is down -- the only periods in which a
+/// data loss can develop -- every failure hazard (disk and domain) runs
+/// inflated by `bias`; while the array is fully healthy all draws follow the
+/// true distributions. The trial accumulates the exact log likelihood ratio
+/// of its trajectory: a biased failure firing after exposure c contributes
+/// -log(bias) + (bias-1)*c/mttf, and when a biased window closes (or the
+/// trial stops) every surviving exposure is censored and contributes
+/// (bias-1)*c/mttf. Unbiased segments contribute exactly 0, so weights stay
+/// near b^-k for a loss that needed k biased failures -- bounded, instead of
+/// degenerating with the per-trial event count as whole-mission biasing
+/// does (see docs/RELIABILITY.md).
+///
+/// Window transitions re-scale pending draws instead of redrawing them: an
+/// exponential's remaining life is memoryless, so multiplying the remaining
+/// time by m_old/m_new converts a rate-m_old draw into a rate-m_new one
+/// deterministically. Repairs always fire as events here (a window closes at
+/// a repair completion), which also serves the LSE check.
+template <typename Mask>
+TrialOutcome run_trial_biased(const TrialContext& ctx, std::size_t trial,
+                              Mask mask, TrialScratch& scratch) {
+  const MonteCarloConfig& config = *ctx.config;
+  Rng rng(config.seed ^ static_cast<std::uint64_t>(trial));
+  const std::size_t n = ctx.disks;
+  const std::size_t domains = ctx.domains;
+  const double mission = config.mission_hours;
+  const double bias = ctx.bias;
+  const double bias_m1 = bias - 1.0;
+  const double disk_rate = 1.0 / config.mttf_hours;
+  const double domain_rate =
+      domains > 0 ? 1.0 / config.domain_mttf_hours : 0.0;
+
+  double* slot = scratch.slot.data();
+  double* seg_start = scratch.aux.data();  // start of current exposure segment
+  double* domain_slot = scratch.domain_slot.data();
+  double* domain_seg = scratch.domain_aux.data();
+
+  for (std::size_t d = 0; d < n; ++d) {
+    slot[d] = rng.exponential_std() * config.mttf_hours;
+    seg_start[d] = 0.0;
+  }
+  for (std::size_t dom = 0; dom < domains; ++dom) {
+    domain_slot[dom] = rng.exponential_std() * config.domain_mttf_hours;
+    domain_seg[dom] = 0.0;
+  }
+  mask.reset(n);
+  std::size_t count = 0;
+  double logw = 0.0;
+  TrialOutcome outcome;
+
+  // Closes every open exposure segment at time t (weight for degraded
+  // segments, none for healthy ones) and re-scales the pending draws to the
+  // new hazard multiplier.
+  auto flip_window = [&](double t, bool was_degraded) {
+    const double scale = was_degraded ? bias : 1.0 / bias;
+    for (std::size_t d = 0; d < n; ++d) {
+      if (mask.test(d)) continue;  // down: slot holds a repair, not a lifetime
+      if (was_degraded) logw += bias_m1 * (t - seg_start[d]) * disk_rate;
+      seg_start[d] = t;
+      slot[d] = t + (slot[d] - t) * scale;
+    }
+    for (std::size_t dom = 0; dom < domains; ++dom) {
+      if (was_degraded) logw += bias_m1 * (t - domain_seg[dom]) * domain_rate;
+      domain_seg[dom] = t;
+      domain_slot[dom] = t + (domain_slot[dom] - t) * scale;
+    }
+  };
+
+  for (;;) {
+    std::size_t idx;
+    bool is_domain;
+    const double t = next_event(slot, n, domain_slot, domains, idx, is_domain);
+    if (t > mission) break;  // mission survived; its weight is never used
+
+    const bool was_degraded = count > 0;
+    if (is_domain) {
+      if (was_degraded) {
+        logw += -ctx.log_bias + bias_m1 * (t - domain_seg[idx]) * domain_rate;
+      }
+      domain_seg[idx] = t;
+      domain_slot[idx] =
+          t + rng.exponential_std() * config.domain_mttf_hours /
+                  (was_degraded ? bias : 1.0);
+      const std::size_t first = idx * config.disks_per_domain;
+      for (std::size_t j = 0; j < config.disks_per_domain; ++j) {
+        const std::size_t d = first + j;
+        if (mask.test(d)) continue;  // already down: keeps its repair
+        if (was_degraded) logw += bias_m1 * (t - seg_start[d]) * disk_rate;
+        mask.set(d);
+        ++count;
+        slot[d] = t + rng.exponential_std() * config.rebuild_hours;
+      }
+    } else if (mask.test(idx)) {
+      // Repair completes; see run_trial_slot for the LSE semantics.
+      if (config.lse_probability_per_repair > 0.0 &&
+          rng.bernoulli(config.lse_probability_per_repair)) {
+        const std::size_t survivors = n - count;
+        if (survivors > 0) {
+          const std::size_t pick = mask.nth_clear(n, rng.uniform_u64(survivors));
+          Mask with_lse = mask;
+          with_lse.set(pick);
+          if (!with_lse.query(*ctx.oracle, count + 1)) {
+            outcome.lost = true;
+            outcome.time = t;
+            break;
+          }
+        }
+      }
+      mask.clear(idx);
+      --count;
+      seg_start[idx] = t;
+      slot[idx] = t + rng.exponential_std() * config.mttf_hours /
+                          (was_degraded ? bias : 1.0);
+    } else {
+      // Disk failure fires after (t - seg_start) hours of exposure at the
+      // current multiplier.
+      if (was_degraded) {
+        logw += -ctx.log_bias + bias_m1 * (t - seg_start[idx]) * disk_rate;
+      }
+      mask.set(idx);
+      ++count;
+      slot[idx] = t + rng.exponential_std() * config.rebuild_hours;
+    }
+
+    const bool now_degraded = count > 0;
+    if (now_degraded != was_degraded) flip_window(t, was_degraded);
+
+    if (count > ctx.tolerance && !mask.query(*ctx.oracle, count)) {
+      outcome.lost = true;
+      outcome.time = t;
+      break;
+    }
+  }
+
+  if (outcome.lost) {
+    // Censor every exposure still open at the stop time. A loss implies the
+    // array is degraded, so every up entity is accruing biased hazard.
+    const double t_stop = outcome.time;
+    for (std::size_t d = 0; d < n; ++d) {
+      if (!mask.test(d)) logw += bias_m1 * (t_stop - seg_start[d]) * disk_rate;
+    }
+    for (std::size_t dom = 0; dom < domains; ++dom) {
+      logw += bias_m1 * (t_stop - domain_seg[dom]) * domain_rate;
+    }
+    outcome.logw = logw;
+  }
+  return outcome;
+}
+
+template <typename Mask>
+TrialOutcome dispatch_masked(const TrialContext& ctx, std::size_t trial,
+                             Mask mask, TrialScratch& scratch) {
+  if (ctx.bias != 1.0) return run_trial_biased(ctx, trial, mask, scratch);
+  const bool lse = ctx.config->lse_probability_per_repair > 0.0;
+  if (!lse && ctx.domains == 0) {
+    return run_trial_chain(ctx, trial, mask, scratch);
+  }
+  return lse ? run_trial_slot<Mask, true>(ctx, trial, mask, scratch)
+             : run_trial_slot<Mask, false>(ctx, trial, mask, scratch);
+}
+
+TrialOutcome dispatch_trial(const TrialContext& ctx, std::size_t trial) {
+  TrialScratch& scratch = trial_scratch();
+  scratch.reserve(ctx.disks, ctx.domains);
+  if (ctx.disks <= 64) {
+    return dispatch_masked(ctx, trial, SmallMask{}, scratch);
+  }
+  WideMask mask{scratch.mask_words.data(), (ctx.disks + 63) / 64};
+  return dispatch_masked(ctx, trial, mask, scratch);
+}
+
+MonteCarloResult run_monte_carlo(const layout::Layout& layout,
+                                 const MonteCarloConfig& config, double bias) {
   OI_ENSURE(config.mttf_hours > 0 && config.rebuild_hours > 0,
             "reliability parameters must be positive");
   OI_ENSURE(config.mission_hours > 0, "mission time must be positive");
@@ -149,6 +624,10 @@ MonteCarloResult monte_carlo_reliability(const layout::Layout& layout,
   OI_ENSURE(config.lse_probability_per_repair >= 0.0 &&
                 config.lse_probability_per_repair <= 1.0,
             "LSE probability must be in [0,1]");
+  OI_ENSURE(bias >= 1.0, "failure_bias must be >= 1");
+  OI_ENSURE(bias == 1.0 || config.weibull_shape == 1.0,
+            "failure biasing requires exponential lifetimes (weibull_shape == 1): "
+            "window re-scaling relies on the memoryless property");
   const std::size_t n = layout.disks();
   std::size_t domains = 0;
   if (config.disks_per_domain > 0) {
@@ -159,8 +638,57 @@ MonteCarloResult monte_carlo_reliability(const layout::Layout& layout,
     domains = n / config.disks_per_domain;
   }
 
+  std::optional<RecoverabilityOracle> local_oracle;
+  RecoverabilityOracle* oracle = config.oracle;
+  if (oracle == nullptr) {
+    local_oracle.emplace(layout);
+    oracle = &*local_oracle;
+  } else {
+    OI_ENSURE(oracle->disks() == n, "oracle was built for a different layout");
+  }
+  const RecoverabilityOracle::Stats oracle_before = oracle->stats();
+
+  TrialContext ctx;
+  ctx.config = &config;
+  ctx.oracle = oracle;
+  ctx.disks = n;
+  ctx.domains = domains;
+  ctx.tolerance = layout.fault_tolerance();
   // Scale so the Weibull mean equals MTTF: mean = scale * Gamma(1 + 1/shape).
-  const double scale = config.mttf_hours / std::tgamma(1.0 + 1.0 / config.weibull_shape);
+  ctx.weibull_scale =
+      config.mttf_hours / std::tgamma(1.0 + 1.0 / config.weibull_shape);
+  ctx.bias = bias;
+  ctx.log_bias = std::log(bias);
+
+  // Arm the chain path's binomial first-failure shortcut when it applies
+  // (see run_trial_chain). The CDF table is built once per run.
+  std::vector<double> binom_cdf;
+  const bool chain_path =
+      bias == 1.0 && config.lse_probability_per_repair == 0.0 && domains == 0;
+  if (chain_path && n <= 64) {
+    const double hazard_end =
+        config.weibull_shape == 1.0
+            ? config.mission_hours / config.mttf_hours
+            : std::pow(config.mission_hours / ctx.weibull_scale,
+                       config.weibull_shape);
+    const double q = -std::expm1(-hazard_end);
+    if (q < 0.25) {
+      ctx.use_binomial = true;
+      ctx.first_fail_q = q;
+      binom_cdf.resize(n + 1);
+      double pmf = std::pow(1.0 - q, static_cast<double>(n));
+      double cdf = pmf;
+      binom_cdf[0] = cdf;
+      for (std::size_t i = 0; i < n; ++i) {
+        pmf *= (static_cast<double>(n - i) / static_cast<double>(i + 1)) *
+               (q / (1.0 - q));
+        cdf += pmf;
+        binom_cdf[i + 1] = cdf;
+      }
+      binom_cdf[n] = 1.0;  // absorb accumulated rounding
+      ctx.binom_cdf = binom_cdf.data();
+    }
+  }
 
   // Trials are independent (own RNG stream each); the outcome array plus a
   // sequential reduce in trial order makes the result bit-identical whatever
@@ -172,7 +700,7 @@ MonteCarloResult monte_carlo_reliability(const layout::Layout& layout,
   const std::size_t threads = ThreadPool::resolve_threads(config.threads);
   if (threads <= 1 || config.trials == 1) {
     for (std::size_t trial = 0; trial < config.trials; ++trial) {
-      outcomes[trial] = run_trial(layout, config, domains, scale, trial);
+      outcomes[trial] = dispatch_trial(ctx, trial);
     }
   } else {
     // Force the layout's StripeMap to compile before the fan-out so workers
@@ -180,28 +708,73 @@ MonteCarloResult monte_carlo_reliability(const layout::Layout& layout,
     layout.stripe_map();
     ThreadPool pool(threads);
     pool.parallel_for(0, config.trials, [&](std::size_t trial) {
-      outcomes[trial] = run_trial(layout, config, domains, scale, trial);
+      outcomes[trial] = dispatch_trial(ctx, trial);
     });
   }
 
   MonteCarloResult result;
   result.trials = config.trials;
+  result.failure_bias = bias;
+  const auto trials_d = static_cast<double>(config.trials);
+  double sum_w = 0.0;   // sum of weights over loss trials
+  double sum_w2 = 0.0;  // sum of squared weights over loss trials
   for (const TrialOutcome& outcome : outcomes) {
     if (!outcome.lost) continue;
     result.time_to_loss.add(outcome.time);
     ++result.losses;
+    const double w = bias == 1.0 ? 1.0 : std::exp(outcome.logw);
+    sum_w += w;
+    sum_w2 += w * w;
   }
+
+  result.loss_probability = sum_w / trials_d;
+  const double p = result.loss_probability;
+  if (bias == 1.0) {
+    result.ci95 = 1.96 * std::sqrt(p * (1.0 - p) / trials_d);
+    const BinomialCi wilson = wilson_interval(result.losses, config.trials);
+    result.ci95_lo = wilson.lo;
+    result.ci95_hi = wilson.hi;
+    result.ess = static_cast<double>(result.losses);
+  } else {
+    // Sample variance of the weighted loss indicators x_i = w_i * I_i
+    // (survivors contribute x_i = 0): var = (sum w^2 - (sum w)^2 / N)/(N-1).
+    const double var =
+        config.trials < 2
+            ? 0.0
+            : (sum_w2 - sum_w * sum_w / trials_d) / (trials_d - 1.0);
+    result.ci95 = 1.96 * std::sqrt(std::max(0.0, var) / trials_d);
+    result.ci95_lo = std::max(0.0, p - result.ci95);
+    result.ci95_hi = std::min(1.0, p + result.ci95);
+    result.ess = sum_w2 > 0.0 ? sum_w * sum_w / sum_w2 : 0.0;
+  }
+  result.relative_error =
+      p > 0.0 ? (result.ci95 / 1.96) / p : std::numeric_limits<double>::infinity();
+
+  const RecoverabilityOracle::Stats oracle_after = oracle->stats();
+  result.oracle_hits = oracle_after.hits - oracle_before.hits;
+  result.oracle_misses = oracle_after.misses - oracle_before.misses;
+
   if (metrics::enabled()) {
     metrics::Registry& reg = metrics::Registry::instance();
     reg.counter("reliability.mc.trials").add(result.trials);
     reg.counter("reliability.mc.losses").add(result.losses);
+    reg.counter("reliability.oracle.hits").add(result.oracle_hits);
+    reg.counter("reliability.oracle.misses").add(result.oracle_misses);
+    reg.gauge("reliability.mc.ess").set(result.ess);
   }
-
-  result.loss_probability =
-      static_cast<double>(result.losses) / static_cast<double>(result.trials);
-  const double p = result.loss_probability;
-  result.ci95 = 1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(result.trials));
   return result;
+}
+
+}  // namespace
+
+MonteCarloResult monte_carlo_reliability(const layout::Layout& layout,
+                                         const MonteCarloConfig& config) {
+  return run_monte_carlo(layout, config, 1.0);
+}
+
+MonteCarloResult monte_carlo_reliability(const layout::Layout& layout,
+                                         const BiasedMonteCarloConfig& config) {
+  return run_monte_carlo(layout, config, config.failure_bias);
 }
 
 }  // namespace oi::reliability

@@ -4,6 +4,17 @@
 // with the layout's own recovery procedure. This captures what the Markov
 // models approximate away -- e.g. that many 4-disk failures do not hurt
 // OI-RAID, or that any 2-disk failure kills parity declustering.
+//
+// Two estimators are provided:
+//  - plain MC (MonteCarloConfig): unweighted trials, binomial statistics.
+//    Unbeatable as ground truth, but at realistic parameters data loss is so
+//    rare that millions of trials observe zero events.
+//  - failure-biased MC (BiasedMonteCarloConfig): importance sampling. Every
+//    failure hazard (disk and domain) is inflated by `failure_bias`; each
+//    trial carries a likelihood-ratio weight, accumulated in log space, that
+//    exactly undoes the distortion in expectation. Losses become common in
+//    simulation while the weighted estimate stays unbiased for the true loss
+//    probability. See docs/RELIABILITY.md for the estimator math.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +23,8 @@
 #include "util/stats.hpp"
 
 namespace oi::reliability {
+
+class RecoverabilityOracle;
 
 struct MonteCarloConfig {
   double mttf_hours = 1.2e6;
@@ -37,20 +50,61 @@ struct MonteCarloConfig {
   /// from its own RNG stream seeded by seed ^ trial index and outcomes are
   /// reduced in trial order, so the result is bit-identical at any count.
   std::size_t threads = 1;
+  /// Optional shared recoverability cache. When null, the run builds a
+  /// private one internally; pass a long-lived oracle to share decode work
+  /// across multiple runs on the same layout (e.g. a bias sweep).
+  RecoverabilityOracle* oracle = nullptr;
+};
+
+/// Importance-sampled variant: all failure hazards (disk lifetimes, domain
+/// failures) are multiplied by `failure_bias`; repairs and LSE draws are left
+/// untouched. failure_bias = 1 degenerates to plain MC (but prefer the plain
+/// overload, which also reports exact binomial intervals).
+struct BiasedMonteCarloConfig : MonteCarloConfig {
+  double failure_bias = 8.0;
 };
 
 struct MonteCarloResult {
   std::size_t trials = 0;
+  /// Simulated trials that lost data (raw count, not weighted).
   std::size_t losses = 0;
-  /// Estimated P(data loss within the mission time).
+  /// Estimated P(data loss within the mission time). For biased runs this is
+  /// the importance-sampling estimate (mean of weight * loss indicator).
   double loss_probability = 0.0;
-  /// Normal-approximation 95% half-width on loss_probability.
+  /// Normal-approximation 95% half-width on loss_probability. For biased
+  /// runs this is derived from the sample variance of the weighted
+  /// indicators, so it stays meaningful when every loss carries a tiny
+  /// weight.
   double ci95 = 0.0;
+  /// Two-sided 95% interval on loss_probability. Plain runs use the Wilson
+  /// score interval (non-degenerate even at 0 losses: "p <= hi" is an honest
+  /// bound); biased runs clamp the normal interval to [0, 1].
+  double ci95_lo = 0.0;
+  double ci95_hi = 1.0;
+  /// Effective sample size of the loss events: (sum w)^2 / sum w^2 over the
+  /// loss trials. Plain runs report the raw loss count. A biased run whose
+  /// ESS is tiny relative to `losses` is dominated by a few heavy weights
+  /// and its interval should not be trusted.
+  double ess = 0.0;
+  /// stderr / loss_probability; infinity when no losses were observed. The
+  /// natural convergence target for rare-event runs ("stop at 10%").
+  double relative_error = 0.0;
+  /// The bias factor the run used (1.0 for plain MC).
+  double failure_bias = 1.0;
+  /// Recoverability-oracle traffic attributable to this run (cache hits vs
+  /// patterns that required a full recovery_plan decode).
+  std::uint64_t oracle_hits = 0;
+  std::uint64_t oracle_misses = 0;
   /// Times of the observed loss events (hours), for distribution plots.
+  /// Unweighted -- a diagnostic of what the simulation saw, not an estimate
+  /// of the true time-to-loss distribution under biasing.
   RunningStats time_to_loss;
 };
 
 MonteCarloResult monte_carlo_reliability(const layout::Layout& layout,
                                          const MonteCarloConfig& config);
+
+MonteCarloResult monte_carlo_reliability(const layout::Layout& layout,
+                                         const BiasedMonteCarloConfig& config);
 
 }  // namespace oi::reliability

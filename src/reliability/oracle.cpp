@@ -1,0 +1,151 @@
+#include "reliability/oracle.hpp"
+
+#include <bit>
+#include <mutex>
+
+#include "util/assert.hpp"
+
+namespace oi::reliability {
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  // SplitMix64 finalizer -- good avalanche for shard selection and hashing.
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t hash_words(std::span<const std::uint64_t> words) {
+  std::uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (std::uint64_t w : words) h = mix64(h ^ w);
+  return h;
+}
+
+}  // namespace
+
+std::size_t RecoverabilityOracle::WordsHash::operator()(
+    std::span<const std::uint64_t> words) const {
+  return static_cast<std::size_t>(hash_words(words));
+}
+
+std::size_t RecoverabilityOracle::WordsHash::operator()(
+    const std::vector<std::uint64_t>& words) const {
+  return static_cast<std::size_t>(hash_words(words));
+}
+
+bool RecoverabilityOracle::WordsEq::operator()(
+    const std::vector<std::uint64_t>& a, std::span<const std::uint64_t> b) const {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+
+bool RecoverabilityOracle::WordsEq::operator()(
+    std::span<const std::uint64_t> a, const std::vector<std::uint64_t>& b) const {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+
+bool RecoverabilityOracle::WordsEq::operator()(
+    const std::vector<std::uint64_t>& a, const std::vector<std::uint64_t>& b) const {
+  return a == b;
+}
+
+RecoverabilityOracle::RecoverabilityOracle(const layout::Layout& layout)
+    : layout_(layout), disks_(layout.disks()), tolerance_(layout.fault_tolerance()) {}
+
+bool RecoverabilityOracle::decode(std::span<const std::uint64_t> words) const {
+  std::vector<std::size_t> failed;
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint64_t bits = words[w];
+    while (bits != 0) {
+      const auto b = static_cast<std::size_t>(std::countr_zero(bits));
+      failed.push_back(w * 64 + b);
+      bits &= bits - 1;
+    }
+  }
+  return layout_.recovery_plan(failed).has_value();
+}
+
+bool RecoverabilityOracle::recoverable(std::uint64_t pattern, std::size_t count) {
+  if (count <= tolerance_) {
+    trivial_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (count >= disks_) {
+    trivial_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Shard& shard = shards_[mix64(pattern) % kShards];
+  {
+    std::shared_lock lock(shard.mutex);
+    auto it = shard.small.find(pattern);
+    if (it != shard.small.end()) {
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Miss: decode outside any lock (recovery_plan on a const Layout is safe to
+  // run concurrently), then publish. Two threads racing on the same new
+  // pattern compute the same verdict; the loser's emplace is a no-op.
+  const bool verdict = decode({&pattern, 1});
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock lock(shard.mutex);
+  shard.small.emplace(pattern, verdict);
+  return verdict;
+}
+
+bool RecoverabilityOracle::recoverable(std::span<const std::uint64_t> words,
+                                       std::size_t count) {
+  if (count <= tolerance_) {
+    trivial_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (count >= disks_) {
+    trivial_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Shard& shard = shards_[hash_words(words) % kShards];
+  {
+    std::shared_lock lock(shard.mutex);
+    // Heterogeneous lookup: the span probes the map without materializing a
+    // vector key, keeping cache hits allocation-free.
+    auto it = shard.wide.find(words);
+    if (it != shard.wide.end()) {
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  const bool verdict = decode(words);
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock lock(shard.mutex);
+  shard.wide.emplace(std::vector<std::uint64_t>(words.begin(), words.end()), verdict);
+  return verdict;
+}
+
+bool RecoverabilityOracle::recoverable(const std::vector<std::size_t>& failed) {
+  const std::size_t nwords = (disks_ + 63) / 64;
+  std::vector<std::uint64_t> words(nwords, 0);
+  for (std::size_t d : failed) {
+    OI_ENSURE(d < disks_, "failed disk id out of range");
+    words[d / 64] |= std::uint64_t{1} << (d % 64);
+  }
+  std::size_t count = 0;
+  for (std::uint64_t w : words) count += static_cast<std::size_t>(std::popcount(w));
+  if (nwords == 1) return recoverable(words[0], count);
+  return recoverable(std::span<const std::uint64_t>(words), count);
+}
+
+RecoverabilityOracle::Stats RecoverabilityOracle::stats() const {
+  Stats out;
+  out.trivial = trivial_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    out.hits += shard.hits.load(std::memory_order_relaxed);
+    out.misses += shard.misses.load(std::memory_order_relaxed);
+    std::shared_lock lock(shard.mutex);
+    out.entries += shard.small.size() + shard.wide.size();
+  }
+  return out;
+}
+
+}  // namespace oi::reliability

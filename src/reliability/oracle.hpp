@@ -1,0 +1,105 @@
+// Memoized recoverability oracle: a shared, thread-safe cache mapping
+// canonicalized failure-pattern bitmasks to "does Layout::recovery_plan()
+// find a plan for this pattern". Monte-Carlo reliability runs evaluate the
+// same small failure patterns millions of times -- across a whole run only a
+// few thousand *distinct* patterns ever exceed the guaranteed tolerance --
+// so the exact peeling decoder needs to run once per distinct pattern, not
+// once per event.
+//
+// Keying: a failure pattern is canonically the set of failed disk ids, i.e.
+// exactly its bitmask. Arrays with <= 64 disks use a single uint64_t key
+// (the hot path for every bench geometry up to pg3_m4); larger arrays fall
+// back to multi-word keys, queried allocation-free via heterogeneous lookup
+// on a word span.
+//
+// Concurrency: the table is sharded 16 ways by mask hash; each shard is a
+// read-mostly std::shared_mutex map. Trials on all worker threads share one
+// oracle; a miss computes the verdict *outside* any lock (recovery_plan is
+// const and safe to run concurrently) and then publishes it, so two threads
+// racing on the same new pattern at worst both decode it -- the verdicts are
+// identical and the second insert is a no-op.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "layout/layout.hpp"
+
+namespace oi::reliability {
+
+class RecoverabilityOracle {
+ public:
+  /// The oracle keeps a reference; the layout must outlive it.
+  explicit RecoverabilityOracle(const layout::Layout& layout);
+
+  RecoverabilityOracle(const RecoverabilityOracle&) = delete;
+  RecoverabilityOracle& operator=(const RecoverabilityOracle&) = delete;
+
+  std::size_t disks() const { return disks_; }
+  std::size_t tolerance() const { return tolerance_; }
+
+  /// Single-word fast path (disks() <= 64). `pattern` has bit d set for each
+  /// failed disk d; `count` must equal popcount(pattern). Patterns at or
+  /// below the guaranteed tolerance / at or beyond the disk count are
+  /// answered inline without touching the cache.
+  bool recoverable(std::uint64_t pattern, std::size_t count);
+
+  /// Multi-word path (any disk count): `words[w]` holds bits for disks
+  /// [64w, 64w+63]. Lookup is allocation-free; only a miss materializes the
+  /// key.
+  bool recoverable(std::span<const std::uint64_t> words, std::size_t count);
+
+  /// Convenience form for tests and cold callers (allocates; canonicalizes
+  /// duplicates). Matches recovery_plan(failed).has_value() semantics
+  /// exactly.
+  bool recoverable(const std::vector<std::size_t>& failed);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;   ///< distinct-pattern decodes (cache fills)
+    std::uint64_t trivial = 0;  ///< answered by the tolerance/total bounds
+    std::size_t entries = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct WordsHash {
+    using is_transparent = void;
+    std::size_t operator()(std::span<const std::uint64_t> words) const;
+    std::size_t operator()(const std::vector<std::uint64_t>& words) const;
+  };
+  struct WordsEq {
+    using is_transparent = void;
+    bool operator()(const std::vector<std::uint64_t>& a,
+                    std::span<const std::uint64_t> b) const;
+    bool operator()(std::span<const std::uint64_t> a,
+                    const std::vector<std::uint64_t>& b) const;
+    bool operator()(const std::vector<std::uint64_t>& a,
+                    const std::vector<std::uint64_t>& b) const;
+  };
+
+  static constexpr std::size_t kShards = 16;
+
+  struct alignas(64) Shard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<std::uint64_t, bool> small;
+    std::unordered_map<std::vector<std::uint64_t>, bool, WordsHash, WordsEq> wide;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+  };
+
+  bool decode(std::span<const std::uint64_t> words) const;
+
+  const layout::Layout& layout_;
+  std::size_t disks_;
+  std::size_t tolerance_;
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::uint64_t> trivial_{0};
+};
+
+}  // namespace oi::reliability

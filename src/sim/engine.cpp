@@ -28,8 +28,10 @@ void Engine::schedule_after(double delay, Callback callback) {
 }
 
 void Engine::pop_and_run() {
-  // Move the callback out before popping so the event may schedule others.
-  Event event = queue_.top();
+  // Take the event out before popping so the callback may schedule others.
+  // top() is const&, but the slot is destroyed by the pop() that follows, so
+  // moving from it is safe and skips copying the std::function's state.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
   now_ = event.time;
   ++processed_;

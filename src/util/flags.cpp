@@ -120,6 +120,19 @@ std::size_t Flags::get_threads(std::size_t fallback) const {
 
 std::string Flags::get_gf_kernel() const { return get_string("gf-kernel", "auto"); }
 
+std::size_t Flags::get_mc_trials(std::size_t fallback) const {
+  const std::int64_t trials =
+      get_int("mc-trials", static_cast<std::int64_t>(fallback));
+  OI_ENSURE(trials >= 1, "flag --mc-trials expects a positive trial count");
+  return static_cast<std::size_t>(trials);
+}
+
+double Flags::get_mc_bias(double fallback) const {
+  const double bias = get_double("mc-bias", fallback);
+  OI_ENSURE(bias >= 1.0, "flag --mc-bias expects a factor >= 1 (1 = plain MC)");
+  return bias;
+}
+
 std::vector<std::string> Flags::unused() const {
   std::vector<std::string> out;
   for (const auto& [name, value] : values_) {

@@ -41,6 +41,14 @@ class Flags {
   /// result to gf::set_kernel_by_name.
   std::string get_gf_kernel() const;
 
+  /// The `--mc-trials N` convention for Monte-Carlo reliability runs:
+  /// returns a positive trial count (>= 1 enforced).
+  std::size_t get_mc_trials(std::size_t fallback) const;
+
+  /// The `--mc-bias B` convention: failure-hazard inflation factor for
+  /// importance-sampled reliability runs. B >= 1; B = 1 means plain MC.
+  double get_mc_bias(double fallback) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
 
   /// Flags that were provided but never read by any getter -- callers can

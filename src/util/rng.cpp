@@ -17,6 +17,46 @@ std::uint64_t splitmix64(std::uint64_t& x) {
 
 std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
+/// Tables for the 256-layer exponential ziggurat (Marsaglia & Tsang, "The
+/// Ziggurat Method for Generating Random Variables", 2000). Layer right
+/// edges x_i satisfy equal areas v = x_i (f(x_i) - f(x_{i+1})) + tail; the
+/// published constants r (rightmost edge) and v (layer area) make the 256
+/// layers tile e^-x exactly. k_[i] is the pre-scaled acceptance threshold
+/// for a 32-bit mantissa draw, w_[i] = x_i / 2^32 converts the draw to a
+/// coordinate, f_[i] = e^{-x_i}.
+struct ExpZigguratTables {
+  static constexpr double kTailStart = 7.697117470131487;
+  std::uint32_t k_[256];
+  double w_[256];
+  double f_[256];
+
+  ExpZigguratTables() {
+    constexpr double v = 3.949659822581572e-3;
+    constexpr double m = 4294967296.0;  // 2^32
+    double d = kTailStart;
+    double t = d;
+    const double q = v / std::exp(-d);
+    k_[0] = static_cast<std::uint32_t>((d / q) * m);
+    k_[1] = 0;
+    w_[0] = q / m;
+    w_[255] = d / m;
+    f_[0] = 1.0;
+    f_[255] = std::exp(-d);
+    for (int i = 254; i >= 1; --i) {
+      d = -std::log(v / d + std::exp(-d));
+      k_[i + 1] = static_cast<std::uint32_t>((d / t) * m);
+      t = d;
+      f_[i] = std::exp(-d);
+      w_[i] = d / m;
+    }
+  }
+};
+
+const ExpZigguratTables& exp_tables() {
+  static const ExpZigguratTables tables;
+  return tables;
+}
+
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) {
@@ -77,6 +117,34 @@ double Rng::exponential(double rate) {
   OI_ENSURE(rate > 0, "exponential rate must be positive");
   // -log(1-U) with U in [0,1) never evaluates log(0).
   return -std::log1p(-uniform01()) / rate;
+}
+
+double Rng::exponential_std() {
+  const ExpZigguratTables& tab = exp_tables();
+  for (;;) {
+    // One 64-bit draw feeds both the layer index (low 8 bits) and the
+    // 32-bit coordinate mantissa (high 32 bits); the two are independent,
+    // which is strictly cleaner than the classic iz = jz & 255 reuse.
+    const std::uint64_t u = (*this)();
+    const auto jz = static_cast<std::uint32_t>(u >> 32);
+    const auto iz = static_cast<std::size_t>(u & 255);
+    if (jz < tab.k_[iz]) return jz * tab.w_[iz];  // inside the layer: done
+    if (iz == 0) {
+      // Base layer overflow = the analytic tail beyond r: memorylessness
+      // gives r + Exp(1).
+      return ExpZigguratTables::kTailStart - std::log1p(-uniform01());
+    }
+    // Wedge between layer iz and the one above: accept against the density.
+    const double x = jz * tab.w_[iz];
+    if (tab.f_[iz] + uniform01() * (tab.f_[iz - 1] - tab.f_[iz]) < std::exp(-x)) {
+      return x;
+    }
+  }
+}
+
+double Rng::exponential_fast(double rate) {
+  OI_ENSURE(rate > 0, "exponential rate must be positive");
+  return exponential_std() / rate;
 }
 
 double Rng::weibull(double shape, double scale) {

@@ -59,12 +59,31 @@ double RunningStats::ci95_halfwidth() const {
 double percentile(std::vector<double> samples, double q) {
   OI_ENSURE(q >= 0.0 && q <= 1.0, "percentile q must be in [0,1]");
   if (samples.empty()) return 0.0;
-  std::sort(samples.begin(), samples.end());
   const auto n = samples.size();
   auto rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
   if (rank == 0) rank = 1;
   if (rank > n) rank = n;
+  // Partial selection: only the rank-th order statistic is needed, never the
+  // full sorted order.
+  std::nth_element(samples.begin(), samples.begin() + (rank - 1), samples.end());
   return samples[rank - 1];
+}
+
+BinomialCi wilson_interval(std::size_t successes, std::size_t trials, double z) {
+  OI_ENSURE(trials >= 1, "wilson_interval needs at least one trial");
+  OI_ENSURE(successes <= trials, "successes cannot exceed trials");
+  OI_ENSURE(z > 0, "wilson_interval z must be positive");
+  const auto n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double halfwidth =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  BinomialCi ci;
+  ci.lo = std::max(0.0, center - halfwidth);
+  ci.hi = std::min(1.0, center + halfwidth);
+  return ci;
 }
 
 double coefficient_of_variation(const std::vector<double>& samples) {

@@ -37,9 +37,24 @@ class RunningStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/// Batch percentile over a copy of the samples (nearest-rank method).
-/// q in [0,1]; q=0.5 is the median.
+/// Batch percentile over a copy of the samples (nearest-rank method: the
+/// value at rank ceil(q*n) of the sorted samples, clamped to [1, n]).
+/// q in [0,1]; q=0.5 is the median. Selects via std::nth_element -- O(n)
+/// instead of a full O(n log n) sort.
 double percentile(std::vector<double> samples, double q);
+
+/// Two-sided confidence interval for a binomial proportion.
+struct BinomialCi {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Wilson score interval for successes/trials at normal quantile z (1.96 =
+/// 95%). Unlike the Wald/normal approximation it never collapses to a
+/// zero-width interval at 0 or n successes -- for 0 losses in n Monte-Carlo
+/// trials it reports the honest "p <= z^2/(n + z^2) at this confidence"
+/// upper bound instead of ci = 0. trials must be >= 1.
+BinomialCi wilson_interval(std::size_t successes, std::size_t trials, double z = 1.96);
 
 /// Coefficient of variation (stddev/mean) of the samples; 0 for empty input
 /// or zero mean.

@@ -1,0 +1,125 @@
+// Proves the Monte-Carlo trial loop is allocation-free in steady state: a
+// counting global operator new/delete wraps a full run, and after a warmup
+// run (thread-local scratch grown, oracle populated, ziggurat tables built)
+// a second identical run may allocate only a small constant amount -- the
+// outcomes array and per-run bookkeeping -- never O(trials).
+//
+// This lives in its own test binary because replacing the global allocator
+// affects every test in the process.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "bibd/constructions.hpp"
+#include "layout/oi_raid.hpp"
+#include "reliability/monte_carlo.hpp"
+#include "reliability/oracle.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace oi::reliability {
+namespace {
+
+std::uint64_t allocations_during(const layout::Layout& layout,
+                                 const MonteCarloConfig& config) {
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  const auto result = monte_carlo_reliability(layout, config);
+  (void)result;
+  return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+std::uint64_t biased_allocations_during(const layout::Layout& layout,
+                                        const BiasedMonteCarloConfig& config) {
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  const auto result = monte_carlo_reliability(layout, config);
+  (void)result;
+  return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+TEST(MonteCarloAllocation, SteadyStateTrialLoopDoesNotAllocate) {
+  layout::OiRaidLayout oi({bibd::fano(), 3, 2, true});
+  RecoverabilityOracle oracle(oi);
+
+  // Stressed parameters: plenty of failures, repairs, oracle queries and
+  // loss events per trial, on the non-binomial chain path.
+  MonteCarloConfig config;
+  config.mttf_hours = 10'000;
+  config.rebuild_hours = 200.0;
+  config.mission_hours = 20'000;
+  config.trials = 20'000;
+  config.seed = 31;
+  config.threads = 1;
+  config.oracle = &oracle;
+
+  // Warmup: grows the thread-local scratch, fills the oracle, compiles the
+  // stripe map.
+  (void)allocations_during(oi, config);
+
+  const std::uint64_t steady = allocations_during(oi, config);
+  // Per-run bookkeeping (outcomes array, oracle stats snapshots, trace span)
+  // is allowed; per-trial allocation is not. 20k trials with even one
+  // allocation per trial would show up as >= 20000.
+  EXPECT_LT(steady, 100u) << "trial loop allocates per trial";
+}
+
+TEST(MonteCarloAllocation, BinomialFastPathDoesNotAllocate) {
+  layout::OiRaidLayout oi({bibd::fano(), 3, 2, true});
+  RecoverabilityOracle oracle(oi);
+
+  // Rare-event parameters: the binomial shortcut + bucket prefilter path.
+  MonteCarloConfig config;
+  config.mttf_hours = 200'000;
+  config.rebuild_hours = 500.0;
+  config.mission_hours = 20'000;
+  config.trials = 50'000;
+  config.seed = 31;
+  config.threads = 1;
+  config.oracle = &oracle;
+
+  (void)allocations_during(oi, config);
+  EXPECT_LT(allocations_during(oi, config), 100u);
+}
+
+TEST(MonteCarloAllocation, BiasedTrialLoopDoesNotAllocate) {
+  layout::OiRaidLayout oi({bibd::fano(), 3, 2, true});
+  RecoverabilityOracle oracle(oi);
+
+  BiasedMonteCarloConfig config;
+  config.mttf_hours = 200'000;
+  config.rebuild_hours = 500.0;
+  config.mission_hours = 20'000;
+  config.trials = 20'000;
+  config.seed = 31;
+  config.threads = 1;
+  config.oracle = &oracle;
+  config.failure_bias = 20.0;
+
+  (void)biased_allocations_during(oi, config);
+  EXPECT_LT(biased_allocations_during(oi, config), 100u);
+}
+
+}  // namespace
+}  // namespace oi::reliability

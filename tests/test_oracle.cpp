@@ -1,0 +1,150 @@
+#include "reliability/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bibd/constructions.hpp"
+#include "layout/oi_raid.hpp"
+#include "layout/raid5.hpp"
+#include "util/rng.hpp"
+
+namespace oi::reliability {
+namespace {
+
+layout::OiRaidLayout fano_oi() {
+  return layout::OiRaidLayout({bibd::fano(), 3, 2, true});
+}
+
+/// Every failure pattern of size <= max_size over `disks`, in colex order.
+std::vector<std::vector<std::size_t>> patterns_up_to(std::size_t disks,
+                                                     std::size_t max_size) {
+  std::vector<std::vector<std::size_t>> out;
+  std::vector<std::size_t> current;
+  // Iterative enumeration of all subsets of size 1..max_size.
+  auto recurse = [&](auto&& self, std::size_t start) -> void {
+    for (std::size_t d = start; d < disks; ++d) {
+      current.push_back(d);
+      out.push_back(current);
+      if (current.size() < max_size) self(self, d + 1);
+      current.pop_back();
+    }
+  };
+  recurse(recurse, 0);
+  return out;
+}
+
+TEST(RecoverabilityOracle, MatchesDirectDecodeExhaustively) {
+  // Every failure pattern up to one past the guaranteed tolerance, checked
+  // against recovery_plan() directly: 21 + C(21,2) + C(21,3) + C(21,4)
+  // patterns on the compact Fano OI-RAID.
+  const auto layout = fano_oi();
+  RecoverabilityOracle oracle(layout);
+  EXPECT_EQ(oracle.disks(), layout.disks());
+  EXPECT_EQ(oracle.tolerance(), layout.fault_tolerance());
+
+  std::size_t checked = 0;
+  std::size_t unrecoverable = 0;
+  for (const auto& pattern : patterns_up_to(layout.disks(), 4)) {
+    const bool expected = layout.recovery_plan(pattern).has_value();
+    EXPECT_EQ(oracle.recoverable(pattern), expected)
+        << "pattern size " << pattern.size() << " first disk " << pattern[0];
+    ++checked;
+    if (!expected) ++unrecoverable;
+  }
+  EXPECT_EQ(checked, 21u + 210u + 1330u + 5985u);
+  // The paper's point: only a small fraction of 4-failure patterns is fatal.
+  EXPECT_GT(unrecoverable, 0u);
+  EXPECT_LT(unrecoverable, 5985u / 10);
+
+  // Everything at or below tolerance was answered by the trivial bound; the
+  // 4-failure patterns each decoded exactly once.
+  const auto stats = oracle.stats();
+  EXPECT_EQ(stats.trivial, 21u + 210u + 1330u);
+  EXPECT_EQ(stats.misses, 5985u);
+  EXPECT_EQ(stats.entries, 5985u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST(RecoverabilityOracle, RepeatQueriesHitTheCache) {
+  const auto layout = fano_oi();
+  RecoverabilityOracle oracle(layout);
+  const std::vector<std::size_t> pattern{0, 1, 2, 3};
+  const bool first = oracle.recoverable(pattern);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(oracle.recoverable(pattern), first);
+  const auto stats = oracle.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 10u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(RecoverabilityOracle, ConcurrentHammeringStaysConsistent) {
+  // Many threads querying overlapping random 4-failure patterns must agree
+  // with the single-threaded truth; exercises shard locking and the
+  // decode-outside-lock race (run under TSan in CI).
+  const auto layout = fano_oi();
+  RecoverabilityOracle truth(layout);
+  RecoverabilityOracle oracle(layout);
+  const std::size_t n = layout.disks();
+
+  std::vector<std::vector<std::size_t>> queries;
+  std::vector<bool> expected;
+  Rng rng(71);
+  for (int i = 0; i < 2000; ++i) {
+    const auto pattern = rng.sample_without_replacement(n, 4);
+    queries.push_back(pattern);
+    expected.push_back(truth.recoverable(pattern));
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = t % 7; i < queries.size(); ++i) {
+        if (oracle.recoverable(queries[i]) != expected[i]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Distinct patterns decode at most once each even under contention; the
+  // benign publish race allows the occasional duplicate decode but the
+  // cache itself stays deduplicated.
+  const auto stats = oracle.stats();
+  EXPECT_LE(stats.entries, queries.size());
+  EXPECT_GE(stats.hits, 1u);
+}
+
+TEST(RecoverabilityOracle, WideMaskPathBeyond64Disks) {
+  // 70 disks forces the multi-word key path. RAID5: any 2 failures fatal.
+  layout::Raid5Layout layout(70, 2);
+  RecoverabilityOracle oracle(layout);
+  EXPECT_EQ(oracle.tolerance(), 1u);
+  EXPECT_TRUE(oracle.recoverable({69}));          // trivial: <= tolerance
+  EXPECT_FALSE(oracle.recoverable({0, 69}));      // crosses the word boundary
+  EXPECT_FALSE(oracle.recoverable({64, 65}));     // second word only
+  EXPECT_FALSE(oracle.recoverable({0, 69}));      // cached
+  const auto stats = oracle.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.trivial, 1u);
+
+  // Direct word-span form agrees with the vector form.
+  const std::uint64_t words[2] = {1ULL | (1ULL << 63), 0};
+  EXPECT_FALSE(oracle.recoverable({words, 2}, 2));
+}
+
+TEST(RecoverabilityOracle, RejectsOutOfRangeDisk) {
+  const auto layout = fano_oi();
+  RecoverabilityOracle oracle(layout);
+  EXPECT_THROW(oracle.recoverable({0, 99}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oi::reliability

@@ -10,6 +10,7 @@
 #include "reliability/ctmc.hpp"
 #include "reliability/models.hpp"
 #include "reliability/monte_carlo.hpp"
+#include "reliability/oracle.hpp"
 
 namespace oi::reliability {
 namespace {
@@ -332,6 +333,134 @@ TEST(MonteCarloTest, Validation) {
   MonteCarloConfig config;
   config.trials = 0;
   EXPECT_THROW(monte_carlo_reliability(layout, config), std::invalid_argument);
+}
+
+TEST(MonteCarloTest, ZeroLossRunReportsWilsonUpperBound) {
+  // Reliable parameters: no losses, yet the interval must stay informative.
+  layout::Raid5Layout layout(5, 2);
+  MonteCarloConfig config;
+  config.mttf_hours = 1e9;
+  config.rebuild_hours = 1.0;
+  config.mission_hours = 1000.0;
+  config.trials = 2000;
+  config.seed = 41;
+  const auto result = monte_carlo_reliability(layout, config);
+  EXPECT_EQ(result.losses, 0u);
+  EXPECT_DOUBLE_EQ(result.loss_probability, 0.0);
+  EXPECT_DOUBLE_EQ(result.ci95_lo, 0.0);
+  EXPECT_GT(result.ci95_hi, 0.0);  // Wilson: "p <= hi at 95%"
+  EXPECT_LT(result.ci95_hi, 0.01);
+  EXPECT_TRUE(std::isinf(result.relative_error));
+}
+
+// RAID5 with exponential lifetimes and per-disk repairs is exactly the CTMC
+// behind loss_probability_t_tolerant, so the structural simulation can be
+// validated against a closed form -- and the importance-sampled estimator
+// against both. One shared config keeps the three comparable.
+MonteCarloConfig exactly_solvable_config() {
+  MonteCarloConfig config;
+  config.mttf_hours = 1e5;
+  config.rebuild_hours = 100.0;
+  config.mission_hours = 2e4;
+  config.seed = 43;
+  return config;
+}
+
+TEST(BiasedMonteCarlo, PlainBiasedAndCtmcAgreeWithinIntervals) {
+  layout::Raid5Layout layout(6, 4);
+  MonteCarloConfig plain_config = exactly_solvable_config();
+  plain_config.trials = 100'000;
+
+  DiskReliabilityParams params;
+  params.mttf_hours = plain_config.mttf_hours;
+  params.rebuild_hours = plain_config.rebuild_hours;
+  const double exact = loss_probability_t_tolerant(
+      layout.disks(), 1, params, plain_config.mission_hours);
+
+  const auto plain = monte_carlo_reliability(layout, plain_config);
+  EXPECT_GE(exact, plain.ci95_lo);
+  EXPECT_LE(exact, plain.ci95_hi);
+
+  for (const double bias : {5.0, 20.0}) {
+    BiasedMonteCarloConfig biased_config;
+    static_cast<MonteCarloConfig&>(biased_config) = exactly_solvable_config();
+    biased_config.trials = 50'000;
+    biased_config.failure_bias = bias;
+    const auto biased = monte_carlo_reliability(layout, biased_config);
+    // Within its own interval of the exact value...
+    EXPECT_GE(exact, biased.ci95_lo) << "bias=" << bias;
+    EXPECT_LE(exact, biased.ci95_hi) << "bias=" << bias;
+    // ...and consistent with the plain estimate (intervals overlap).
+    EXPECT_GE(biased.ci95_hi, plain.ci95_lo) << "bias=" << bias;
+    EXPECT_LE(biased.ci95_lo, plain.ci95_hi) << "bias=" << bias;
+    // Biasing must actually concentrate simulation effort on losses.
+    EXPECT_GT(biased.losses, plain.losses) << "bias=" << bias;
+    EXPECT_GT(biased.ess, 100.0) << "bias=" << bias;
+    EXPECT_LT(biased.relative_error, 0.05) << "bias=" << bias;
+    EXPECT_DOUBLE_EQ(biased.failure_bias, bias);
+  }
+}
+
+TEST(BiasedMonteCarlo, BiasOneMatchesPlainEstimator) {
+  layout::Raid5Layout layout(6, 4);
+  MonteCarloConfig plain_config = exactly_solvable_config();
+  plain_config.trials = 5000;
+  BiasedMonteCarloConfig biased_config;
+  static_cast<MonteCarloConfig&>(biased_config) = plain_config;
+  biased_config.failure_bias = 1.0;
+  const auto plain = monte_carlo_reliability(layout, plain_config);
+  const auto biased = monte_carlo_reliability(layout, biased_config);
+  EXPECT_EQ(plain.losses, biased.losses);
+  EXPECT_DOUBLE_EQ(plain.loss_probability, biased.loss_probability);
+}
+
+TEST(BiasedMonteCarlo, DeterministicAcrossThreadCounts) {
+  layout::OiRaidLayout oi({bibd::fano(), 3, 2});
+  BiasedMonteCarloConfig config;
+  config.mttf_hours = 20'000;
+  config.rebuild_hours = 200.0;
+  config.mission_hours = 20'000;
+  config.trials = 4000;
+  config.seed = 47;
+  config.failure_bias = 10.0;
+  config.threads = 1;
+  const auto one = monte_carlo_reliability(oi, config);
+  config.threads = 4;
+  const auto four = monte_carlo_reliability(oi, config);
+  EXPECT_EQ(one.losses, four.losses);
+  EXPECT_DOUBLE_EQ(one.loss_probability, four.loss_probability);
+  EXPECT_DOUBLE_EQ(one.ess, four.ess);
+}
+
+TEST(BiasedMonteCarlo, Validation) {
+  layout::Raid5Layout layout(4, 2);
+  BiasedMonteCarloConfig config;
+  config.trials = 100;
+  config.failure_bias = 0.5;  // de-biasing is not supported
+  EXPECT_THROW(monte_carlo_reliability(layout, config), std::invalid_argument);
+  config.failure_bias = 4.0;
+  config.weibull_shape = 1.2;  // window re-scaling needs memorylessness
+  EXPECT_THROW(monte_carlo_reliability(layout, config), std::invalid_argument);
+}
+
+TEST(BiasedMonteCarlo, SharedOracleIsReusedAcrossRuns) {
+  layout::OiRaidLayout oi({bibd::fano(), 3, 2});
+  RecoverabilityOracle oracle(oi);
+  BiasedMonteCarloConfig config;
+  config.mttf_hours = 20'000;
+  config.rebuild_hours = 200.0;
+  config.mission_hours = 20'000;
+  config.trials = 3000;
+  config.seed = 53;
+  config.failure_bias = 8.0;
+  config.oracle = &oracle;
+  const auto first = monte_carlo_reliability(oi, config);
+  const auto second = monte_carlo_reliability(oi, config);
+  // The second (identical) run finds every pattern already cached.
+  EXPECT_GT(first.oracle_misses, 0u);
+  EXPECT_EQ(second.oracle_misses, 0u);
+  EXPECT_EQ(second.oracle_hits, first.oracle_hits + first.oracle_misses);
+  EXPECT_DOUBLE_EQ(first.loss_probability, second.loss_probability);
 }
 
 }  // namespace

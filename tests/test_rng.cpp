@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <vector>
 
@@ -82,6 +83,61 @@ TEST(Rng, ExponentialMeanMatchesRate) {
   const int n = 200000;
   for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
   EXPECT_NEAR(sum / n, 1.0 / rate, 0.05);
+}
+
+TEST(Rng, ZigguratExponentialMomentsAndTail) {
+  Rng rng(123);
+  const int n = 1'000'000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  int tail = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential_std();
+    ASSERT_GE(x, 0.0);
+    sum += x;
+    sum2 += x * x;
+    if (x > 7.0) ++tail;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  // Exp(1): mean = 1, variance = 1.
+  EXPECT_NEAR(mean, 1.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.05);
+  // Tail mass beyond x = 7 (close to the ziggurat's base layer boundary at
+  // ~7.697, where the algorithm switches to the analytic tail): e^-7 of all
+  // draws. A wrong tail handler misses this by orders of magnitude.
+  const double expected_tail = std::exp(-7.0) * n;  // ~912
+  EXPECT_NEAR(static_cast<double>(tail), expected_tail, 0.25 * expected_tail);
+}
+
+TEST(Rng, ZigguratExponentialCdfMatches) {
+  // Empirical CDF against 1 - e^-x at several points, within 5 standard
+  // errors -- catches layer-table mistakes that leave the moments intact.
+  Rng rng(7);
+  const int n = 500'000;
+  const double points[] = {0.1, 0.5, 1.0, 2.5, 5.0};
+  int counts[5] = {0, 0, 0, 0, 0};
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential_std();
+    for (int j = 0; j < 5; ++j) {
+      if (x <= points[j]) ++counts[j];
+    }
+  }
+  for (int j = 0; j < 5; ++j) {
+    const double expected = 1.0 - std::exp(-points[j]);
+    const double se = std::sqrt(expected * (1.0 - expected) / n);
+    EXPECT_NEAR(static_cast<double>(counts[j]) / n, expected, 5.0 * se)
+        << "x=" << points[j];
+  }
+}
+
+TEST(Rng, ExponentialFastScalesRate) {
+  Rng rng(31);
+  const double rate = 0.25;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential_fast(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.1);
 }
 
 TEST(Rng, WeibullShapeOneIsExponential) {

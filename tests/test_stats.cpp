@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -96,6 +97,77 @@ TEST(Percentile, EmptyReturnsZero) {
 
 TEST(Percentile, RejectsBadQ) {
   EXPECT_THROW(percentile({1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(Percentile, EdgeCasesPinnedToSortedRankDefinition) {
+  // Single element: every q selects it.
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(percentile({42.0}, q), 42.0) << "q=" << q;
+  }
+  // Ties: rank = ceil(q*n) (clamped to >= 1) into the sorted order.
+  const std::vector<double> ties{2.0, 2.0, 1.0, 1.0};  // sorted: 1 1 2 2
+  EXPECT_DOUBLE_EQ(percentile(ties, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(ties, 0.5), 1.0);   // rank 2
+  EXPECT_DOUBLE_EQ(percentile(ties, 0.75), 2.0);  // rank 3
+  EXPECT_DOUBLE_EQ(percentile(ties, 1.0), 2.0);   // rank 4
+  // Unsorted input with duplicates and negatives.
+  const std::vector<double> xs{5.0, -1.0, 5.0, 3.0, -1.0};  // sorted: -1 -1 3 5 5
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.2), -1.0);  // rank 1
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.4), -1.0);  // rank 2
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.6), 3.0);   // rank 3
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.8), 5.0);   // rank 4
+}
+
+TEST(Percentile, MatchesFullSortReference) {
+  // nth_element selection must agree with the sort-based nearest-rank
+  // reference on random data for every rank.
+  Rng rng(97);
+  std::vector<double> xs;
+  for (int i = 0; i < 257; ++i) xs.push_back(rng.uniform(-100.0, 100.0));
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.0, 0.001, 0.25, 0.5, 0.9, 0.95, 0.999, 1.0}) {
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(xs.size())));
+    if (rank == 0) rank = 1;
+    EXPECT_DOUBLE_EQ(percentile(xs, q), sorted[rank - 1]) << "q=" << q;
+  }
+}
+
+TEST(WilsonInterval, MatchesTextbookValues) {
+  // 5/10 at 95%: the classic worked example, (0.2366, 0.7634).
+  const BinomialCi ci = wilson_interval(5, 10);
+  EXPECT_NEAR(ci.lo, 0.2366, 2e-4);
+  EXPECT_NEAR(ci.hi, 0.7634, 2e-4);
+}
+
+TEST(WilsonInterval, ZeroSuccessesGivesHonestUpperBound) {
+  // At 0 successes the interval is [0, z^2/(n+z^2)] -- non-degenerate, unlike
+  // the normal approximation.
+  const BinomialCi ci = wilson_interval(0, 100);
+  EXPECT_DOUBLE_EQ(ci.lo, 0.0);
+  const double z2 = 1.96 * 1.96;
+  EXPECT_NEAR(ci.hi, z2 / (100.0 + z2), 1e-12);
+  // Symmetric at all successes.
+  const BinomialCi all = wilson_interval(100, 100);
+  EXPECT_NEAR(all.lo, 1.0 - z2 / (100.0 + z2), 1e-12);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+}
+
+TEST(WilsonInterval, ShrinksWithTrialsAndCoversPointEstimate) {
+  const BinomialCi small = wilson_interval(5, 50);
+  const BinomialCi large = wilson_interval(500, 5000);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+  for (const auto& ci : {small, large}) {
+    EXPECT_LE(ci.lo, 0.1);
+    EXPECT_GE(ci.hi, 0.1);
+  }
+}
+
+TEST(WilsonInterval, Validation) {
+  EXPECT_THROW(wilson_interval(1, 0), std::invalid_argument);
+  EXPECT_THROW(wilson_interval(5, 4), std::invalid_argument);
+  EXPECT_THROW(wilson_interval(1, 10, 0.0), std::invalid_argument);
 }
 
 TEST(LoadMetrics, MaxOverMean) {

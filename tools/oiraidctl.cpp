@@ -14,6 +14,10 @@
 //       survival fraction of f-failure patterns (peel + exact)
 //   oiraidctl mttdl     --disks 21 --mttf-hours 1.2e6 --rebuild-hours 12
 //       Markov MTTDL for a t-fault-tolerant array
+//   oiraidctl mc        --v 7 --k 3 --m 3 --height 2 --mc-trials 100000 --mc-bias 16
+//       structural Monte-Carlo P(loss): layout-aware trials against the
+//       actual recovery procedure; --mc-bias > 1 turns on importance
+//       sampling (failure biasing) for rare-event estimates
 //   oiraidctl export    --v 7 --k 3 --m 3 --height 6
 //       print the superblock (restorable layout description) to stdout
 //
@@ -34,6 +38,7 @@
 #include "layout/oi_raid.hpp"
 #include "layout/superblock.hpp"
 #include "reliability/models.hpp"
+#include "reliability/monte_carlo.hpp"
 #include "sim/rebuild.hpp"
 #include "util/flags.hpp"
 #include "util/observability.hpp"
@@ -47,7 +52,7 @@ namespace {
 using namespace oi;
 
 int usage() {
-  std::cerr << "usage: oiraidctl <designs|plan|map|recover|simulate|tolerance|mttdl|export> "
+  std::cerr << "usage: oiraidctl <designs|plan|map|recover|simulate|tolerance|mttdl|mc|export> "
                "[--flags]\n       see the header of tools/oiraidctl.cpp for details\n";
   return 2;
 }
@@ -265,6 +270,61 @@ int cmd_mttdl(const Flags& flags) {
   return 0;
 }
 
+int cmd_mc(const Flags& flags) {
+  const auto layout = layout_from_flags(flags);
+  reliability::MonteCarloConfig base;
+  base.mttf_hours = flags.get_double("mttf-hours", base.mttf_hours);
+  base.rebuild_hours = flags.get_double("rebuild-hours", base.rebuild_hours);
+  base.mission_hours =
+      flags.get_double("mission-years", 10.0) * 24.0 * 365.25;
+  base.trials = flags.get_mc_trials(100'000);
+  base.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  base.weibull_shape = flags.get_double("weibull-shape", 1.0);
+  base.lse_probability_per_repair = flags.get_double("lse-prob", 0.0);
+  base.disks_per_domain =
+      static_cast<std::size_t>(flags.get_int("disks-per-domain", 0));
+  base.domain_mttf_hours = flags.get_double("domain-mttf-hours", 0.0);
+  base.threads = flags.get_threads(0);
+  const double bias = flags.get_mc_bias(1.0);
+
+  reliability::MonteCarloResult result;
+  if (bias > 1.0) {
+    reliability::BiasedMonteCarloConfig biased;
+    static_cast<reliability::MonteCarloConfig&>(biased) = base;
+    biased.failure_bias = bias;
+    result = reliability::monte_carlo_reliability(layout, biased);
+  } else {
+    result = reliability::monte_carlo_reliability(layout, base);
+  }
+
+  std::cout << "layout:          " << layout.name() << "  (" << layout.disks()
+            << " disks, tolerance " << layout.fault_tolerance() << ")\n"
+            << "mission:         " << format_seconds(base.mission_hours * 3600)
+            << "  mttf " << format_seconds(base.mttf_hours * 3600) << "  rebuild "
+            << format_seconds(base.rebuild_hours * 3600) << "\n"
+            << "estimator:       " << (bias > 1.0 ? "failure-biased b=" : "plain");
+  if (bias > 1.0) std::cout << bias;
+  std::cout << "  (" << result.trials << " trials)\n"
+            << "losses:          " << result.losses << "\n"
+            << "P(loss):         " << result.loss_probability << "\n";
+  if (result.losses == 0 && bias > 1.0) {
+    // The weighted estimator has no honest interval without any loss trial.
+    std::cout << "95% interval:    n/a (no losses observed; raise --mc-trials "
+                 "or adjust --mc-bias)\n";
+  } else {
+    std::cout << "95% interval:    [" << result.ci95_lo << ", "
+              << result.ci95_hi << "]"
+              << (result.losses == 0 ? "  (no losses: Wilson upper bound)" : "")
+              << "\n";
+  }
+  std::cout
+            << "ESS:             " << result.ess << "\n"
+            << "relative error:  " << result.relative_error << "\n"
+            << "oracle traffic:  " << result.oracle_hits << " hits / "
+            << result.oracle_misses << " decodes\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -291,6 +351,8 @@ int main(int argc, char** argv) {
       code = cmd_tolerance(flags);
     } else if (command == "mttdl") {
       code = cmd_mttdl(flags);
+    } else if (command == "mc") {
+      code = cmd_mc(flags);
     } else if (command == "export") {
       code = cmd_export(flags);
     } else {
