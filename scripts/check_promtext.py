@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format 0.0.4 exposition (e.g. a /metrics scrape).
+
+Usage:
+    check_promtext.py scrape.txt [more.txt ...]
+    some-command | check_promtext.py -          # read stdin
+    check_promtext.py scrape.txt --require-metric oi_reliability_mc_ess ...
+    check_promtext.py first.txt --advances-over second.txt \
+                      --metric oi_reliability_mc_trials_done
+
+Checks, per file:
+  * every line is a sample, a ``# HELP``/``# TYPE`` comment, or rejected;
+  * metric names match ``[a-zA-Z_:][a-zA-Z0-9_:]*``;
+  * every sample belongs to a family announced by ``# TYPE`` (and ``# HELP``)
+    earlier in the file, with ``_total``/``_bucket``/``_sum``/``_count``
+    suffixes resolving to their base family;
+  * ``# TYPE`` values are counter / gauge / histogram, at most one per family;
+  * sample values parse as floats (``+Inf``/``-Inf``/``NaN`` accepted);
+  * histogram families have increasing ``le`` bounds, monotone cumulative
+    bucket counts, a ``+Inf`` bucket equal to ``_count``, and a ``_sum``.
+
+``--require-metric NAME`` (repeatable) additionally fails unless an
+unlabelled sample NAME is present.  ``--advances-over LATER_FILE`` with
+``--metric NAME`` (repeatable) checks NAME strictly increased between the
+first file and LATER_FILE -- the mid-run liveness check CI runs against two
+scrapes of a working Monte-Carlo campaign.
+
+Exit code 1 lists every violation; 0 means the exposition is valid.
+No dependencies beyond the standard library.
+"""
+
+import argparse
+import math
+import re
+import sys
+from pathlib import Path
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# name, optional {labels}, value (timestamps are legal in 0.0.4 but this
+# repo's exporter never emits them, so a trailing field is rejected).
+SAMPLE_RE = re.compile(r"^([^\s{]+)(\{[^}]*\})?\s+(\S+)$")
+TYPES = {"counter", "gauge", "histogram"}
+SUFFIXES = ("_total", "_bucket", "_sum", "_count")
+
+
+def parse_value(text: str) -> float:
+    if text == "+Inf" or text == "Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def resolve_family(name: str, type_of: dict[str, str]) -> str:
+    """Map a sample name to its announced family (stripping known suffixes)."""
+    if name in type_of:
+        return name
+    for suffix in SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in type_of:
+            return name[: -len(suffix)]
+    return name
+
+
+def lint(text: str, label: str) -> tuple[list[str], dict[str, float]]:
+    """Return (violations, unlabelled-sample values) for one exposition."""
+    errors: list[str] = []
+    type_of: dict[str, str] = {}
+    helped: set[str] = set()
+    values: dict[str, float] = {}
+    # family -> list of (le, cumulative count); plus _sum/_count presence.
+    buckets: dict[str, list[tuple[float, float]]] = {}
+    hist_count: dict[str, float] = {}
+    hist_sum: dict[str, bool] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        where = f"{label}:{lineno}"
+        if not line:
+            errors.append(f"{where}: blank line in exposition")
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            fields = line[7:].split(None, 1)
+            if len(fields) != 2 or not fields[1].strip():
+                errors.append(f"{where}: empty HELP/TYPE payload: {line!r}")
+                continue
+            family, payload = fields
+            if not NAME_RE.match(family):
+                errors.append(f"{where}: bad family name {family!r}")
+            if line.startswith("# TYPE "):
+                if payload not in TYPES:
+                    errors.append(f"{where}: unknown TYPE {payload!r}")
+                if family in type_of:
+                    errors.append(f"{where}: duplicate TYPE for {family}")
+                type_of[family] = payload
+            else:
+                helped.add(family)
+            continue
+        if line.startswith("#"):
+            errors.append(f"{where}: unknown comment form: {line!r}")
+            continue
+
+        match = SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"{where}: malformed sample line: {line!r}")
+            continue
+        name, labels, value_text = match.groups()
+        if not NAME_RE.match(name):
+            errors.append(f"{where}: bad metric name {name!r}")
+            continue
+        try:
+            value = parse_value(value_text)
+        except ValueError:
+            errors.append(f"{where}: unparsable value: {line!r}")
+            continue
+
+        family = resolve_family(name, type_of)
+        if family not in type_of:
+            errors.append(f"{where}: sample before/without TYPE: {name}")
+        if family not in helped:
+            errors.append(f"{where}: sample without HELP: {name}")
+
+        if labels is None:
+            values[name] = value
+        if name == family + "_bucket":
+            le_match = re.match(r'^\{le="([^"]*)"\}$', labels or "")
+            if not le_match:
+                errors.append(f"{where}: bucket without le label: {line!r}")
+                continue
+            buckets.setdefault(family, []).append(
+                (parse_value(le_match.group(1)), value)
+            )
+        elif name == family + "_count":
+            hist_count[family] = value
+        elif name == family + "_sum":
+            hist_sum[family] = True
+
+    for family, kind in type_of.items():
+        if kind != "histogram":
+            continue
+        series = buckets.get(family, [])
+        prev_le, prev_count = -math.inf, 0.0
+        inf_bucket = None
+        for le, count in series:
+            if le <= prev_le:
+                errors.append(f"{label}: {family} bucket bounds must increase")
+            if count < prev_count:
+                errors.append(f"{label}: {family} buckets must be cumulative")
+            prev_le, prev_count = le, count
+            if le == math.inf:
+                inf_bucket = count
+        if inf_bucket is None:
+            errors.append(f"{label}: {family} is missing the +Inf bucket")
+        elif inf_bucket != hist_count.get(family):
+            errors.append(f"{label}: {family} +Inf bucket != _count")
+        if family not in hist_sum:
+            errors.append(f"{label}: {family} is missing _sum")
+    return errors, values
+
+
+def read_input(arg: str) -> tuple[str, str]:
+    if arg == "-":
+        return sys.stdin.read(), "<stdin>"
+    return Path(arg).read_text(), arg
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("files", nargs="+", help="exposition files ('-' = stdin)")
+    parser.add_argument(
+        "--require-metric",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless an unlabelled sample NAME exists (repeatable)",
+    )
+    parser.add_argument(
+        "--advances-over",
+        metavar="LATER_FILE",
+        help="a later scrape; --metric names must strictly increase into it",
+    )
+    parser.add_argument(
+        "--metric",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="metric checked by --advances-over (repeatable)",
+    )
+    args = parser.parse_args()
+    if args.advances_over and not args.metric:
+        parser.error("--advances-over requires at least one --metric")
+    if args.metric and not args.advances_over:
+        parser.error("--metric only makes sense with --advances-over")
+
+    errors: list[str] = []
+    first_values: dict[str, float] | None = None
+    for arg in args.files:
+        text, label = read_input(arg)
+        file_errors, values = lint(text, label)
+        errors.extend(file_errors)
+        if first_values is None:
+            first_values = values
+        for name in args.require_metric:
+            if name not in values:
+                errors.append(f"{label}: required metric missing: {name}")
+
+    if args.advances_over:
+        text, label = read_input(args.advances_over)
+        file_errors, later = lint(text, label)
+        errors.extend(file_errors)
+        assert first_values is not None
+        for name in args.metric:
+            before = first_values.get(name)
+            after = later.get(name)
+            if before is None or after is None:
+                errors.append(f"advance check: {name} missing from a scrape")
+            elif not after > before:
+                errors.append(
+                    f"advance check: {name} did not advance "
+                    f"({before} -> {after})"
+                )
+
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"ok: {len(args.files)} exposition(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

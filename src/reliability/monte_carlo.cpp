@@ -1,7 +1,9 @@
 #include "reliability/monte_carlo.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -614,6 +616,129 @@ TrialOutcome dispatch_trial(const TrialContext& ctx, std::size_t trial) {
   return dispatch_masked(ctx, trial, mask, scratch);
 }
 
+/// Live progress gauges for a running campaign (reliability.mc.trials_done,
+/// trials_per_second, percent_complete, eta_seconds, losses_seen, ess,
+/// relative_error), consumed by the sampler / exporter / `oiraidctl top`.
+///
+/// The per-trial cost must not disturb the engine's two contracts: results
+/// are bit-identical with instrumentation on or off (tick() never touches
+/// the RNG or the outcome), and the steady-state loop stays allocation-free
+/// (tests/test_mc_alloc.cpp). Workers therefore batch into a thread_local
+/// pending count and only touch shared state -- a handful of relaxed
+/// fetch_adds plus the gauge stores -- every kFlushEvery trials. Losses are
+/// rare by construction, so those flush immediately (a loss-probability
+/// campaign with stale loss gauges would be pointless).
+class LiveProgress {
+ public:
+  LiveProgress(std::size_t total_trials, double bias)
+      : total_(static_cast<double>(total_trials)),
+        bias_(bias),
+        start_(std::chrono::steady_clock::now()) {
+    metrics::Registry& reg = metrics::Registry::instance();
+    trials_done_ = &reg.gauge("reliability.mc.trials_done");
+    trials_per_second_ = &reg.gauge("reliability.mc.trials_per_second");
+    percent_complete_ = &reg.gauge("reliability.mc.percent_complete");
+    eta_seconds_ = &reg.gauge("reliability.mc.eta_seconds");
+    losses_seen_ = &reg.gauge("reliability.mc.losses_seen");
+    ess_ = &reg.gauge("reliability.mc.ess");
+    relative_error_ = &reg.gauge("reliability.mc.relative_error");
+    refresh();
+  }
+
+  /// Called once per finished trial, from any worker thread.
+  void tick(const TrialOutcome& outcome) {
+    if (outcome.lost) {
+      losses_.fetch_add(1, std::memory_order_relaxed);
+      const double w = bias_ == 1.0 ? 1.0 : std::exp(outcome.logw);
+      atomic_add(sum_w_, w);
+      atomic_add(sum_w2_, w * w);
+    }
+    thread_local LiveProgress* owner = nullptr;
+    thread_local std::uint32_t pending = 0;
+    if (owner != this) {
+      // First trial this worker runs for this campaign; any residue belongs
+      // to a previous (already finalized) run and is deliberately dropped.
+      owner = this;
+      pending = 0;
+    }
+    if (++pending >= kFlushEvery || outcome.lost) {
+      done_.fetch_add(pending, std::memory_order_relaxed);
+      pending = 0;
+      refresh();
+    }
+  }
+
+  /// Publishes the exact end-of-run state (flushes nothing: the final
+  /// numbers come from the deterministic reduce, not the counters).
+  void finish(const MonteCarloResult& result) {
+    done_.store(result.trials, std::memory_order_relaxed);
+    losses_.store(result.losses, std::memory_order_relaxed);
+    refresh();
+    trials_done_->set(static_cast<double>(result.trials));
+    percent_complete_->set(100.0);
+    eta_seconds_->set(0.0);
+    losses_seen_->set(static_cast<double>(result.losses));
+    ess_->set(result.ess);
+    relative_error_->set(result.relative_error);
+  }
+
+ private:
+  static constexpr std::uint32_t kFlushEvery = 1024;
+
+  static void atomic_add(std::atomic<double>& target, double delta) {
+    double expected = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(expected, expected + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Recomputes every gauge from the shared counters. Racy reads across the
+  /// counters are fine: each gauge is a monitoring estimate, and finish()
+  /// overwrites them all with exact values.
+  void refresh() {
+    const auto done_u = done_.load(std::memory_order_relaxed);
+    const auto done = static_cast<double>(done_u);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    const double rate = elapsed > 0.0 ? done / elapsed : 0.0;
+    trials_done_->set(done);
+    trials_per_second_->set(rate);
+    percent_complete_->set(total_ > 0.0 ? 100.0 * done / total_ : 100.0);
+    eta_seconds_->set(rate > 0.0 ? (total_ - done) / rate : kInf);
+    losses_seen_->set(
+        static_cast<double>(losses_.load(std::memory_order_relaxed)));
+
+    // Same estimators as the end-of-run reduce, over the trials seen so far.
+    const double sum_w = sum_w_.load(std::memory_order_relaxed);
+    const double sum_w2 = sum_w2_.load(std::memory_order_relaxed);
+    ess_->set(sum_w2 > 0.0 ? sum_w * sum_w / sum_w2 : 0.0);
+    if (done_u >= 2 && sum_w > 0.0) {
+      const double p = sum_w / done;
+      const double var =
+          std::max(0.0, (sum_w2 - sum_w * sum_w / done) / (done - 1.0));
+      relative_error_->set(std::sqrt(var / done) / p);
+    } else {
+      relative_error_->set(kInf);
+    }
+  }
+
+  const double total_;
+  const double bias_;
+  const std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<std::uint64_t> losses_{0};
+  std::atomic<double> sum_w_{0.0};
+  std::atomic<double> sum_w2_{0.0};
+  metrics::Gauge* trials_done_;
+  metrics::Gauge* trials_per_second_;
+  metrics::Gauge* percent_complete_;
+  metrics::Gauge* eta_seconds_;
+  metrics::Gauge* losses_seen_;
+  metrics::Gauge* ess_;
+  metrics::Gauge* relative_error_;
+};
+
 MonteCarloResult run_monte_carlo(const layout::Layout& layout,
                                  const MonteCarloConfig& config, double bias) {
   OI_ENSURE(config.mttf_hours > 0 && config.rebuild_hours > 0,
@@ -697,10 +822,17 @@ MonteCarloResult run_monte_carlo(const layout::Layout& layout,
   // real time in this module -- everything else is event-driven model time).
   trace::WallSpan span("monte_carlo_reliability");
   std::vector<TrialOutcome> outcomes(config.trials);
+  // One enabled() check for the whole fan-out: live progress exists either
+  // for every trial or for none, and the disabled path costs a null check on
+  // a stack variable per trial instead of an atomic load.
+  std::optional<LiveProgress> progress;
+  if (metrics::enabled()) progress.emplace(config.trials, bias);
+  LiveProgress* live = progress ? &*progress : nullptr;
   const std::size_t threads = ThreadPool::resolve_threads(config.threads);
   if (threads <= 1 || config.trials == 1) {
     for (std::size_t trial = 0; trial < config.trials; ++trial) {
       outcomes[trial] = dispatch_trial(ctx, trial);
+      if (live) live->tick(outcomes[trial]);
     }
   } else {
     // Force the layout's StripeMap to compile before the fan-out so workers
@@ -709,6 +841,7 @@ MonteCarloResult run_monte_carlo(const layout::Layout& layout,
     ThreadPool pool(threads);
     pool.parallel_for(0, config.trials, [&](std::size_t trial) {
       outcomes[trial] = dispatch_trial(ctx, trial);
+      if (live) live->tick(outcomes[trial]);
     });
   }
 
@@ -754,6 +887,7 @@ MonteCarloResult run_monte_carlo(const layout::Layout& layout,
   result.oracle_hits = oracle_after.hits - oracle_before.hits;
   result.oracle_misses = oracle_after.misses - oracle_before.misses;
 
+  if (live) live->finish(result);
   if (metrics::enabled()) {
     metrics::Registry& reg = metrics::Registry::instance();
     reg.counter("reliability.mc.trials").add(result.trials);

@@ -27,6 +27,7 @@ struct RebuildMetrics {
   metrics::FixedHistogram& step_us;
   metrics::FixedHistogram& foreground_latency_us;
   metrics::Counter& foreground_ops;
+  metrics::Gauge& inflight;
 
   static RebuildMetrics& get() {
     static RebuildMetrics m{
@@ -38,6 +39,7 @@ struct RebuildMetrics {
         metrics::Registry::instance().histogram("sim.foreground.latency_us", 0.0,
                                                 2e5, 100),
         metrics::Registry::instance().counter("sim.foreground.ops"),
+        metrics::Registry::instance().gauge("sim.rebuild.inflight"),
     };
     return m;
   }
@@ -184,6 +186,9 @@ struct SimState {
       const std::size_t step = ready.front();
       ready.pop_front();
       ++inflight;
+      // Real up/down gauge (concurrent runs aggregate); the trace counter
+      // below stays per-run, on the simulated clock.
+      if (metrics::enabled()) RebuildMetrics::get().inflight.add(1.0);
       start_step(step);
     }
     if (traced()) {
@@ -258,6 +263,7 @@ struct SimState {
 
   void finish_step(std::size_t step) {
     --inflight;
+    if (metrics::enabled()) RebuildMetrics::get().inflight.add(-1.0);
     ++steps_done;
     if (traced()) {
       trace::Tracer& tracer = trace::Tracer::instance();

@@ -12,11 +12,32 @@
 // release builds are not acceptable.
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
 namespace oi::detail {
+
+/// Best-effort last-gasp callback fired just before an OI_ASSERT violation
+/// throws -- the flight-recorder trace ring (util/trace) registers a dump
+/// here so a crashing long run still leaves its last N events on disk. The
+/// hook must be noexcept and re-entrancy-safe; OI_ENSURE (caller error,
+/// recoverable) deliberately does not fire it.
+using FailureHook = void (*)() noexcept;
+
+inline std::atomic<FailureHook>& failure_hook() {
+  static std::atomic<FailureHook> hook{nullptr};
+  return hook;
+}
+
+inline void set_failure_hook(FailureHook hook) {
+  failure_hook().store(hook, std::memory_order_release);
+}
+
+inline void notify_failure() noexcept {
+  if (FailureHook hook = failure_hook().load(std::memory_order_acquire)) hook();
+}
 
 [[noreturn]] inline void throw_ensure(const char* expr, const std::string& msg,
                                       const char* file, int line) {
@@ -27,6 +48,7 @@ namespace oi::detail {
 
 [[noreturn]] inline void throw_assert(const char* expr, const std::string& msg,
                                       const char* file, int line) {
+  notify_failure();
   std::ostringstream os;
   os << "OI_ASSERT failed (library bug): " << msg << " [" << expr << "] at " << file << ':'
      << line;

@@ -1,0 +1,201 @@
+#include "util/http_exporter.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/metrics.hpp"
+
+namespace oi::telemetry {
+namespace {
+
+/// First line of "GET /path HTTP/1.1" -> "/path"; empty on anything else.
+std::string request_path(const std::string& request) {
+  if (request.rfind("GET ", 0) != 0) return {};
+  const std::size_t end = request.find(' ', 4);
+  if (end == std::string::npos) return {};
+  return request.substr(4, end - 4);
+}
+
+std::string make_response(int status, const char* reason,
+                          const std::string& content_type,
+                          const std::string& body) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << status << ' ' << reason << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  return os.str();
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; nothing useful to do
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter(std::uint16_t port, const std::string& host) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  OI_ENSURE(listen_fd_ >= 0, "metrics exporter: cannot create socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::invalid_argument("metrics exporter: invalid bind address '" +
+                                host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::invalid_argument("metrics exporter: cannot listen on " + host +
+                                ":" + std::to_string(port) + ": " + reason);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+  thread_ = std::thread([this] { serve(); });
+}
+
+HttpExporter::~HttpExporter() {
+  stopping_.store(true, std::memory_order_release);
+  // shutdown() wakes the acceptor out of poll/accept; close() releases the fd.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpExporter::serve() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200 /*ms*/);
+    if (stopping_.load(std::memory_order_acquire)) return;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpExporter::handle_connection(int fd) {
+  // Read until the header terminator (we never accept request bodies). A
+  // slow-loris peer gives up after the poll timeout.
+  std::string request;
+  char buf[2048];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < 16 * 1024) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 1000 /*ms*/) <= 0) return;
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) return;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::string path = request_path(request);
+  std::string response;
+  if (path == "/metrics") {
+    response = make_response(200, "OK",
+                             "text/plain; version=0.0.4; charset=utf-8",
+                             metrics::Registry::instance().to_prometheus());
+  } else if (path == "/vars") {
+    response = make_response(200, "OK", "application/json",
+                             metrics::Registry::instance().to_json());
+  } else if (path == "/healthz") {
+    response = make_response(200, "OK", "text/plain", "ok\n");
+  } else if (path.empty()) {
+    response = make_response(400, "Bad Request", "text/plain",
+                             "only GET is supported\n");
+  } else {
+    response = make_response(404, "Not Found", "text/plain",
+                             "try /metrics, /vars or /healthz\n");
+  }
+  send_all(fd, response);
+}
+
+std::string http_get(const std::string& host, std::uint16_t port,
+                     const std::string& path, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  OI_ENSURE(fd >= 0, "http_get: cannot create socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("http_get: invalid address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("http_get: cannot connect to " + host + ":" +
+                             std::to_string(port) + ": " + reason);
+  }
+
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  send_all(fd, request);
+
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, timeout_ms) <= 0) {
+      ::close(fd);
+      throw std::runtime_error("http_get: timeout reading from " + host + ":" +
+                               std::to_string(port) + path);
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      ::close(fd);
+      throw std::runtime_error("http_get: recv failed");
+    }
+    if (n == 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (response.rfind("HTTP/1.", 0) != 0 || header_end == std::string::npos) {
+    throw std::runtime_error("http_get: malformed response from " + host + ":" +
+                             std::to_string(port) + path);
+  }
+  const std::size_t status_at = response.find(' ');
+  const int status = std::stoi(response.substr(status_at + 1));
+  if (status != 200) {
+    throw std::runtime_error("http_get: " + host + ":" + std::to_string(port) +
+                             path + " returned status " + std::to_string(status));
+  }
+  return response.substr(header_end + 4);
+}
+
+}  // namespace oi::telemetry

@@ -1,0 +1,60 @@
+// Minimal dependency-free HTTP/1.1 metrics exporter (POSIX sockets only):
+// one acceptor thread serving, loopback-bound by default,
+//
+//   GET /metrics  -> Prometheus text exposition 0.0.4 of the registry
+//   GET /vars     -> the JSON snapshot (same bytes as --metrics-out)
+//   GET /healthz  -> "ok\n" (liveness probe for scripts and CI)
+//
+// anything else is a 404. Requests are served one at a time (a scrape takes
+// microseconds; this is a diagnostics port, not a web server), each
+// connection is closed after its response, and the exporter only *reads* the
+// registry -- it can never perturb results. Pass port 0 to bind an ephemeral
+// port and read the real one back with port() (tests do this).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace oi::telemetry {
+
+class HttpExporter {
+ public:
+  /// Binds and starts serving immediately. Throws std::invalid_argument when
+  /// the port cannot be bound (already in use, privileged, ...). `host` is
+  /// the bind address; keep the loopback default unless you really mean to
+  /// expose the port.
+  explicit HttpExporter(std::uint16_t port, const std::string& host = "127.0.0.1");
+  /// Stops accepting, closes the socket, joins the thread.
+  ~HttpExporter();
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// The actually bound port (resolves port 0 to the kernel's pick).
+  std::uint16_t port() const { return port_; }
+  /// Requests served so far (any status).
+  std::uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve();
+  void handle_connection(int fd);
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+/// Tiny blocking HTTP/1.1 GET client for the exporter's own endpoints (used
+/// by `oiraidctl top` and the exporter tests; not a general HTTP client).
+/// Returns the response body; throws std::runtime_error on connect/protocol
+/// failure or a non-200 status.
+std::string http_get(const std::string& host, std::uint16_t port,
+                     const std::string& path, int timeout_ms = 2000);
+
+}  // namespace oi::telemetry

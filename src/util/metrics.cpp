@@ -49,11 +49,16 @@ void FixedHistogram::record(double x) {
   }
   counts_[index].fetch_add(1, std::memory_order_relaxed);
   total_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + x,
+                                     std::memory_order_relaxed)) {
+  }
 }
 
 void FixedHistogram::reset() {
   for (auto& count : counts_) count.store(0, std::memory_order_relaxed);
   total_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
 }
 
 Registry& Registry::instance() {
@@ -100,7 +105,8 @@ FixedHistogram& Registry::histogram(const std::string& name, double lo, double h
 
 void Registry::write_json(std::ostream& out) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  out << "{\n  \"schema_version\": 1,\n  \"counters\": {";
+  // schema_version 2: histograms carry a running "sum" (docs/OBSERVABILITY.md).
+  out << "{\n  \"schema_version\": 2,\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
     out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << counter->value();
@@ -119,7 +125,7 @@ void Registry::write_json(std::ostream& out) const {
     out << (first ? "\n" : ",\n") << "    \"" << name << "\": {\"low\": "
         << format_double(hist->low()) << ", \"bucket_width\": "
         << format_double(hist->bucket_width()) << ", \"total\": " << hist->total()
-        << ", \"counts\": [";
+        << ", \"sum\": " << format_double(hist->sum()) << ", \"counts\": [";
     for (std::size_t i = 0; i < hist->buckets(); ++i) {
       out << (i == 0 ? "" : ", ") << hist->bucket(i);
     }
@@ -133,6 +139,97 @@ std::string Registry::to_json() const {
   std::ostringstream os;
   write_json(os);
   return os.str();
+}
+
+namespace {
+
+/// Prometheus metric-name mangling: `sim.disk.reads` -> `oi_sim_disk_reads`.
+/// Registry names are already `[a-z0-9._]`, so replacing dots keeps the
+/// result inside the exposition grammar `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+std::string prom_name(const std::string& name) {
+  std::string out = "oi_";
+  out.reserve(name.size() + 3);
+  for (char c : name) out.push_back(c == '.' ? '_' : c);
+  return out;
+}
+
+/// Prometheus sample values: plain decimal, `+Inf`/`-Inf`/`NaN` spelled out.
+std::string prom_double(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  return os.str();
+}
+
+}  // namespace
+
+void Registry::write_prometheus(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    const std::string p = prom_name(name) + "_total";
+    out << "# HELP " << p << " oi-raid counter " << name << "\n"
+        << "# TYPE " << p << " counter\n"
+        << p << " " << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string p = prom_name(name);
+    out << "# HELP " << p << " oi-raid gauge " << name << "\n"
+        << "# TYPE " << p << " gauge\n"
+        << p << " " << prom_double(gauge->value()) << "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const std::string p = prom_name(name);
+    out << "# HELP " << p << " oi-raid histogram " << name << "\n"
+        << "# TYPE " << p << " histogram\n";
+    // One pass over the live bucket array; `_count` and the `+Inf` bucket are
+    // the same cumulative total, so the series is consistent even while
+    // recorders run concurrently (total_ may momentarily disagree).
+    std::uint64_t cumulative = 0;
+    const std::size_t buckets = hist->buckets();
+    for (std::size_t i = 0; i < buckets; ++i) {
+      cumulative += hist->bucket(i);
+      const double upper = hist->low() + static_cast<double>(i + 1) * hist->bucket_width();
+      out << p << "_bucket{le=\""
+          << (i + 1 == buckets ? "+Inf" : prom_double(upper)) << "\"} "
+          << cumulative << "\n";
+    }
+    out << p << "_sum " << prom_double(hist->sum()) << "\n"
+        << p << "_count " << cumulative << "\n";
+  }
+}
+
+std::string Registry::to_prometheus() const {
+  std::ostringstream os;
+  write_prometheus(os);
+  return os.str();
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, hist] : histograms_) {
+    Snapshot::Histogram h;
+    h.low = hist->low();
+    h.bucket_width = hist->bucket_width();
+    h.sum = hist->sum();
+    h.counts.resize(hist->buckets());
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      h.counts[i] = hist->bucket(i);
+      cumulative += h.counts[i];
+    }
+    h.total = cumulative;  // derived from the counts so the copy is coherent
+    snap.histograms.emplace(name, std::move(h));
+  }
+  return snap;
 }
 
 std::vector<std::string> Registry::names() const {

@@ -44,10 +44,22 @@ class Counter {
 };
 
 /// Last-written point-in-time value (queue depth, progress fraction, ...).
+/// Supports both set() (absolute sample) and add() (up/down delta) semantics;
+/// a gauge that aggregates contributions from several concurrent owners --
+/// e.g. `sim.rebuild.inflight` across parallel simulation runs -- uses add()
+/// so the process-wide value stays the sum of every owner's share.
 class Gauge {
  public:
   void set(double value) {
     if (enabled()) value_.store(value, std::memory_order_relaxed);
+  }
+  /// Atomic up/down adjustment (CAS loop; doubles have no fetch_add).
+  void add(double delta) {
+    if (!enabled()) return;
+    double expected = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(expected, expected + delta,
+                                         std::memory_order_relaxed)) {
+    }
   }
   double value() const { return value_.load(std::memory_order_relaxed); }
 
@@ -64,6 +76,9 @@ class FixedHistogram {
  public:
   void record(double x);
   std::uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+  /// Running sum of every recorded value (CAS-accumulated), so means and the
+  /// Prometheus `_sum` series are derivable from a snapshot.
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
   std::uint64_t bucket(std::size_t i) const {
     return counts_[i].load(std::memory_order_relaxed);
   }
@@ -79,6 +94,26 @@ class FixedHistogram {
   double width_;
   std::vector<std::atomic<std::uint64_t>> counts_;
   std::atomic<std::uint64_t> total_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of every registered metric, decoupled from the live
+/// atomics. The telemetry sampler diffs consecutive snapshots to emit
+/// delta-compressed JSONL records; the HTTP exporter renders one per scrape.
+struct Snapshot {
+  struct Histogram {
+    double low = 0.0;
+    double bucket_width = 0.0;
+    double sum = 0.0;
+    std::uint64_t total = 0;
+    std::vector<std::uint64_t> counts;
+
+    bool operator==(const Histogram&) const = default;
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram> histograms;
 };
 
 /// The process-wide registry. Metric names follow `<layer>.<object>.<what>`
@@ -101,6 +136,18 @@ class Registry {
   /// by name (see docs/OBSERVABILITY.md for the schema).
   void write_json(std::ostream& out) const;
   std::string to_json() const;
+
+  /// Prometheus text exposition format 0.0.4: every metric mangled to
+  /// `oi_<name with dots as underscores>` with `# HELP` / `# TYPE` lines,
+  /// counters suffixed `_total`, histograms as cumulative `_bucket{le=...}`
+  /// series plus `_sum` / `_count`. `_count` and the `+Inf` bucket are
+  /// derived from one read of the bucket array so a scrape is always
+  /// internally consistent.
+  void write_prometheus(std::ostream& out) const;
+  std::string to_prometheus() const;
+
+  /// Structured point-in-time copy (names sorted by map order).
+  Snapshot snapshot() const;
 
   std::vector<std::string> names() const;
 

@@ -1,22 +1,101 @@
 #include "util/observability.hpp"
 
 #include <fstream>
+#include <stdexcept>
 
+#include "util/http_exporter.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
+#include "util/telemetry_sampler.hpp"
 #include "util/trace.hpp"
 
 namespace oi::obs {
+namespace {
+
+/// Output paths must be writable *before* the run starts: discovering at exit
+/// that a long campaign's trace or metrics can't be written loses the data
+/// with no recourse. Append mode probes writability without clobbering an
+/// existing file.
+void require_writable(const std::string& path, const char* flag) {
+  std::ofstream probe(path, std::ios::app);
+  if (!probe.good()) {
+    throw std::invalid_argument(std::string("--") + flag + ": cannot open '" +
+                                path + "' for writing");
+  }
+}
+
+}  // namespace
 
 Session::Session(const Flags& flags) {
   FlagRegistry::instance().declare(
       "trace-out", "write a Chrome trace-event JSON of this run to FILE");
   FlagRegistry::instance().declare(
+      "trace-ring",
+      "flight recorder: keep only the last N trace events (requires "
+      "--trace-out); dumps the ring on OI_ASSERT failure or fatal signal");
+  FlagRegistry::instance().declare(
       "metrics-out", "write the metrics registry as JSON to FILE at exit");
+  FlagRegistry::instance().declare(
+      "metrics-stream-out",
+      "append a live JSONL metrics time series to FILE while running");
+  FlagRegistry::instance().declare(
+      "metrics-interval-ms",
+      "sampling cadence for --metrics-stream-out (default 250)");
+  FlagRegistry::instance().declare(
+      "metrics-port",
+      "serve /metrics, /vars and /healthz over HTTP on 127.0.0.1:PORT "
+      "(0 = ephemeral port)");
+
   trace_path_ = flags.get_string("trace-out", "");
   metrics_path_ = flags.get_string("metrics-out", "");
-  if (tracing()) trace::Tracer::instance().start();
-  if (metrics()) metrics::set_enabled(true);
+  const std::string stream_path = flags.get_string("metrics-stream-out", "");
+  const std::int64_t interval_ms = flags.get_int("metrics-interval-ms", 250);
+  const std::int64_t ring = flags.get_int("trace-ring", 0);
+  const bool want_exporter = flags.has("metrics-port");
+  const std::int64_t port = flags.get_int("metrics-port", 0);
+
+  if (ring < 0) throw std::invalid_argument("--trace-ring must be positive");
+  if (ring > 0 && !tracing()) {
+    throw std::invalid_argument(
+        "--trace-ring needs --trace-out to know where to dump the ring");
+  }
+  if (interval_ms < 1) {
+    throw std::invalid_argument("--metrics-interval-ms must be at least 1");
+  }
+  if (want_exporter && (port < 0 || port > 65535)) {
+    throw std::invalid_argument("--metrics-port must be in 0..65535");
+  }
+
+  if (tracing()) require_writable(trace_path_, "trace-out");
+  if (metrics()) require_writable(metrics_path_, "metrics-out");
+
+  if (tracing()) {
+    if (ring > 0) {
+      trace::Tracer::instance().set_ring_capacity(static_cast<std::size_t>(ring));
+      trace::arm_crash_dump(trace_path_);
+      crash_dump_armed_ = true;
+    }
+    trace::Tracer::instance().start();
+  }
+
+  metrics_enabled_ = metrics() || !stream_path.empty() || want_exporter;
+  if (metrics_enabled_) metrics::set_enabled(true);
+
+  if (!stream_path.empty()) {
+    // The Sampler probes its own path (it throws before starting the thread).
+    sampler_ = std::make_unique<telemetry::Sampler>(
+        stream_path, static_cast<std::size_t>(interval_ms));
+  }
+  if (want_exporter) {
+    exporter_ = std::make_unique<telemetry::HttpExporter>(
+        static_cast<std::uint16_t>(port));
+    OI_LOG_INFO << "metrics exporter listening on 127.0.0.1:"
+                << exporter_->port() << " (/metrics /vars /healthz)";
+  }
+}
+
+std::uint16_t Session::exporter_port() const {
+  return exporter_ ? exporter_->port() : 0;
 }
 
 void Session::flush() const {
@@ -39,9 +118,17 @@ void Session::flush() const {
 }
 
 Session::~Session() {
+  // Teardown order matters: the sampler's destructor writes one terminal
+  // record, so the registry must still be enabled; the exporter must stop
+  // serving before collection is disabled so a racing scrape never sees a
+  // half-torn-down registry.
+  sampler_.reset();
+  exporter_.reset();
   if (tracing()) trace::Tracer::instance().stop();
   flush();
-  if (metrics()) metrics::set_enabled(false);
+  // The files are written; a crash after this point has nothing to save.
+  if (crash_dump_armed_) trace::disarm_crash_dump();
+  if (metrics_enabled_) metrics::set_enabled(false);
 }
 
 }  // namespace oi::obs

@@ -1,27 +1,57 @@
-// Shared `--trace-out` / `--metrics-out` wiring for the tools and experiment
-// binaries. One obs::Session at the top of main() declares both flags (via
-// FlagRegistry, so double-wiring is a hard error), enables the global tracer
-// and/or metrics registry when the flags are present, and writes the
-// requested files on destruction. With neither flag given the session is
-// inert and instrumented code stays on its disabled fast path.
+// Shared observability wiring for the tools and experiment binaries. One
+// obs::Session at the top of main() declares the flags (via FlagRegistry, so
+// double-wiring is a hard error), enables the requested facilities, and tears
+// them down -- writing the requested files -- on destruction. With no flags
+// given the session is inert and instrumented code stays on its disabled
+// fast path.
+//
+//   --trace-out FILE          Chrome trace-event JSON at exit
+//   --trace-ring N            flight recorder: keep only the last N trace
+//                             events; also dumps the ring if the process dies
+//                             on an OI_ASSERT failure or a fatal signal
+//                             (requires --trace-out)
+//   --metrics-out FILE        metrics registry JSON snapshot at exit
+//   --metrics-stream-out FILE live delta-compressed JSONL time series,
+//                             sampled every --metrics-interval-ms (default
+//                             250) by a background thread
+//   --metrics-port PORT       HTTP exporter on 127.0.0.1:PORT serving
+//                             /metrics (Prometheus), /vars (JSON), /healthz;
+//                             PORT 0 binds an ephemeral port
+//
+// Any of the metrics surfaces enables the registry. Unwritable output paths
+// fail *loudly* at session construction (std::invalid_argument -> nonzero
+// exit in every tool), not silently at exit after the run burned its CPU
+// budget.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "util/flags.hpp"
+
+namespace oi::telemetry {
+class Sampler;
+class HttpExporter;
+}  // namespace oi::telemetry
 
 namespace oi::obs {
 
 class Session {
  public:
   explicit Session(const Flags& flags);
-  /// Writes the trace / metrics files (if requested) and disables collection.
+  /// Stops the sampler/exporter, writes the trace / metrics files (if
+  /// requested) and disables collection.
   ~Session();
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
   bool tracing() const { return !trace_path_.empty(); }
   bool metrics() const { return !metrics_path_.empty(); }
+  bool streaming() const { return sampler_ != nullptr; }
+  bool exporting() const { return exporter_ != nullptr; }
+  /// Actually bound exporter port (resolves --metrics-port 0); 0 when no
+  /// exporter is running.
+  std::uint16_t exporter_port() const;
 
   /// Writes any requested files now (crash safety for long runs); the
   /// destructor rewrites them with the final state.
@@ -30,6 +60,10 @@ class Session {
  private:
   std::string trace_path_;
   std::string metrics_path_;
+  bool metrics_enabled_ = false;
+  bool crash_dump_armed_ = false;
+  std::unique_ptr<telemetry::Sampler> sampler_;
+  std::unique_ptr<telemetry::HttpExporter> exporter_;
 };
 
 }  // namespace oi::obs

@@ -1,0 +1,255 @@
+#include "util/telemetry_client.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace oi::telemetry {
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& where) {
+  throw std::runtime_error("telemetry parse error: " + what + " near '" +
+                           where.substr(0, 40) + "'");
+}
+
+/// Accepts everything strtod does plus Prometheus' "+Inf"/"-Inf"/"NaN".
+double parse_sample_value(const std::string& text) {
+  if (text == "+Inf" || text == "Inf") return std::numeric_limits<double>::infinity();
+  if (text == "-Inf") return -std::numeric_limits<double>::infinity();
+  if (text == "NaN") return std::numeric_limits<double>::quiet_NaN();
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') fail("bad sample value", text);
+  return value;
+}
+
+std::string prom_mangle(const std::string& dotted) {
+  std::string out = "oi_";
+  for (char c : dotted) out += (c == '.') ? '_' : c;
+  return out;
+}
+
+// ---- minimal JSON cursor for the sampler's own stream records ----------
+//
+// This is not a general JSON parser: it handles exactly the value shapes the
+// Sampler emits (flat objects of numbers, one level of histogram objects with
+// a numeric array) plus enough generic skipping to survive additive schema
+// growth in future stream versions.
+
+struct Cursor {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  void expect(char c) {
+    if (!eat(c)) fail(std::string("expected '") + c + "'", s.substr(i));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\' && i + 1 < s.size()) ++i;  // keep escaped char verbatim
+      out += s[i++];
+    }
+    expect('"');
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    // The sampler writes non-finite doubles as null.
+    if (s.compare(i, 4, "null") == 0) {
+      i += 4;
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    const char* begin = s.c_str() + i;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) fail("expected number", s.substr(i));
+    i += static_cast<std::size_t>(end - begin);
+    return value;
+  }
+
+  /// Skips any well-formed JSON value (used for keys we don't care about).
+  void skip_value() {
+    skip_ws();
+    if (i >= s.size()) fail("unexpected end of record", s);
+    const char c = s[i];
+    if (c == '"') {
+      parse_string();
+    } else if (c == '{' || c == '[') {
+      const char close = (c == '{') ? '}' : ']';
+      ++i;
+      skip_ws();
+      if (eat(close)) return;
+      for (;;) {
+        if (c == '{') {
+          parse_string();
+          expect(':');
+        }
+        skip_value();
+        if (eat(close)) return;
+        expect(',');
+      }
+    } else if (s.compare(i, 4, "true") == 0) {
+      i += 4;
+    } else if (s.compare(i, 5, "false") == 0) {
+      i += 5;
+    } else if (s.compare(i, 4, "null") == 0) {
+      i += 4;
+    } else {
+      parse_number();
+    }
+  }
+};
+
+}  // namespace
+
+MetricMap parse_prometheus_text(const std::string& body) {
+  MetricMap out;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    const std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+
+    if (line.empty() || line[0] == '#') continue;
+    // Labelled series (histogram buckets) carry per-bucket detail `top`
+    // doesn't display; the unlabelled _sum/_count aggregates cover them.
+    if (line.find('{') != std::string::npos) continue;
+
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos || space == 0) fail("bad sample line", line);
+    const std::string name = line.substr(0, space);
+    for (char c : name) {
+      const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                      c == ':';
+      if (!ok) fail("bad metric name", line);
+    }
+    out[name] = parse_sample_value(line.substr(space + 1));
+  }
+  return out;
+}
+
+std::optional<double> find_metric(const MetricMap& map,
+                                  const std::string& dotted) {
+  if (const auto it = map.find(dotted); it != map.end()) return it->second;
+
+  // Histogram aggregates: `<name>.count` / `<name>.sum` (stream keying)
+  // correspond to `oi_<mangled name>_count` / `_sum` in a scrape.
+  for (const char* suffix : {".count", ".sum"}) {
+    const std::size_t len = std::string(suffix).size();
+    if (dotted.size() > len &&
+        dotted.compare(dotted.size() - len, len, suffix) == 0) {
+      const std::string base = dotted.substr(0, dotted.size() - len);
+      const std::string prom = prom_mangle(base) + (suffix[1] == 'c' ? "_count" : "_sum");
+      if (const auto it = map.find(prom); it != map.end()) return it->second;
+    }
+  }
+
+  const std::string prom = prom_mangle(dotted);
+  if (const auto it = map.find(prom); it != map.end()) return it->second;
+  if (const auto it = map.find(prom + "_total"); it != map.end()) return it->second;
+  return std::nullopt;
+}
+
+StreamFollower::StreamFollower(std::string path) : path_(std::move(path)) {}
+
+std::size_t StreamFollower::poll() {
+  if (!in_.is_open()) {
+    in_.open(path_);
+    if (!in_.is_open()) return 0;  // producer hasn't created the file yet
+  }
+  // A previous read may have hit EOF; clear the flag so appended data shows.
+  in_.clear();
+
+  const std::uint64_t before = records_;
+  char buf[4096];
+  for (;;) {
+    in_.read(buf, sizeof buf);
+    const std::streamsize n = in_.gcount();
+    if (n <= 0) break;
+    partial_.append(buf, static_cast<std::size_t>(n));
+    std::size_t eol;
+    while ((eol = partial_.find('\n')) != std::string::npos) {
+      const std::string line = partial_.substr(0, eol);
+      partial_.erase(0, eol + 1);
+      if (!line.empty()) apply_line(line);  // header lines don't count
+    }
+  }
+  return static_cast<std::size_t>(records_ - before);
+}
+
+void StreamFollower::apply_line(const std::string& line) {
+  Cursor c{line};
+  c.expect('{');
+  if (c.eat('}')) return;
+  bool is_header = false;
+  for (;;) {
+    const std::string key = c.parse_string();
+    c.expect(':');
+    if (key == "schema") {
+      c.skip_value();
+      is_header = true;
+    } else if (key == "t") {
+      t_ = c.parse_number();
+    } else if (key == "counters" || key == "gauges") {
+      c.expect('{');
+      if (!c.eat('}')) {
+        for (;;) {
+          const std::string name = c.parse_string();
+          c.expect(':');
+          values_[name] = c.parse_number();
+          if (c.eat('}')) break;
+          c.expect(',');
+        }
+      }
+    } else if (key == "histograms") {
+      c.expect('{');
+      if (!c.eat('}')) {
+        for (;;) {
+          const std::string name = c.parse_string();
+          c.expect(':');
+          c.expect('{');
+          if (!c.eat('}')) {
+            for (;;) {
+              const std::string field = c.parse_string();
+              c.expect(':');
+              if (field == "total") {
+                values_[name + ".count"] = c.parse_number();
+              } else if (field == "sum") {
+                values_[name + ".sum"] = c.parse_number();
+              } else {
+                c.skip_value();  // counts[], low, bucket_width
+              }
+              if (c.eat('}')) break;
+              c.expect(',');
+            }
+          }
+          if (c.eat('}')) break;
+          c.expect(',');
+        }
+      }
+    } else {
+      c.skip_value();  // forward compatibility with additive schema growth
+    }
+    if (c.eat('}')) break;
+    c.expect(',');
+  }
+  if (!is_header) ++records_;
+}
+
+}  // namespace oi::telemetry

@@ -1,0 +1,62 @@
+// Consumer-side helpers for the live telemetry surfaces: parse a Prometheus
+// /metrics scrape back into (name, value) pairs, and incrementally follow
+// the delta-compressed JSONL stream written by telemetry::Sampler. Both feed
+// `oiraidctl top`; the exporter tests use the parser as a format oracle.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace oi::telemetry {
+
+/// Flat live view of a metric source. Keys are whatever the source uses:
+/// registry-dotted names (`reliability.mc.ess`) for the JSONL stream,
+/// mangled Prometheus names (`oi_reliability_mc_ess`) for a scrape;
+/// histograms appear as `<name>.count` / `<name>.sum` (stream) or
+/// `<prom>_count` / `<prom>_sum` (scrape). Use find_metric() to look a
+/// dotted name up in either keying.
+using MetricMap = std::map<std::string, double>;
+
+/// Parses Prometheus text exposition 0.0.4 (comment lines skipped, labelled
+/// series such as `_bucket{le=...}` skipped, `+Inf`/`NaN` honoured). Throws
+/// std::runtime_error on a line that is neither a comment nor `name value`.
+MetricMap parse_prometheus_text(const std::string& body);
+
+/// Looks up a registry-dotted metric name in a MetricMap regardless of which
+/// source filled it: tries the dotted name itself, then its Prometheus
+/// manglings (`oi_<underscored>`, `..._total` for counters, `..._count` /
+/// `..._sum` for histogram aggregates).
+std::optional<double> find_metric(const MetricMap& map, const std::string& dotted);
+
+/// Incrementally tails a telemetry::Sampler JSONL stream, folding the delta
+/// records into a cumulative MetricMap. Tolerates the file not existing yet
+/// (a `top` started before the producer) and partial trailing lines.
+class StreamFollower {
+ public:
+  explicit StreamFollower(std::string path);
+
+  /// Reads any newly appended complete records; returns how many were
+  /// applied. Throws std::runtime_error on a structurally broken record.
+  std::size_t poll();
+
+  const MetricMap& values() const { return values_; }
+  /// Wall-clock stamp of the newest record (seconds since producer start).
+  double last_t() const { return t_; }
+  std::uint64_t records() const { return records_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void apply_line(const std::string& line);
+
+  std::string path_;
+  std::ifstream in_;
+  std::string partial_;
+  MetricMap values_;
+  double t_ = 0.0;
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace oi::telemetry

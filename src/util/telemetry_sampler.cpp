@@ -1,0 +1,129 @@
+#include "util/telemetry_sampler.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/trace.hpp"
+
+namespace oi::telemetry {
+namespace {
+
+std::string json_double(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no inf/nan
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  return os.str();
+}
+
+}  // namespace
+
+Sampler::Sampler(std::string path, std::size_t interval_ms)
+    : path_(std::move(path)), interval_ms_(interval_ms) {
+  OI_ENSURE(!path_.empty(), "telemetry sampler needs an output path");
+  OI_ENSURE(interval_ms_ >= 1, "telemetry interval must be at least 1 ms");
+  out_.open(path_, std::ios::trunc);
+  OI_ENSURE(out_.good(), "cannot open metrics stream output file '" + path_ +
+                             "' for writing");
+  out_ << "{\"schema\": \"oi-metrics-stream\", \"version\": 1, \"interval_ms\": "
+       << interval_ms_ << "}\n";
+  out_.flush();
+  thread_ = std::thread([this] { run(); });
+}
+
+Sampler::~Sampler() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Terminal sample: the stream always ends with the final state, so a
+  // consumer that only tails the file sees the run's conclusion.
+  sample_now();
+}
+
+std::uint64_t Sampler::samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+void Sampler::run() {
+  std::unique_lock<std::mutex> lock(wake_mutex_);
+  while (!stopping_) {
+    wake_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                   [this] { return stopping_; });
+    if (stopping_) break;
+    lock.unlock();
+    sample_now();
+    lock.lock();
+  }
+}
+
+void Sampler::sample_now() {
+  const metrics::Snapshot snap = metrics::Registry::instance().snapshot();
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_record(snap);
+}
+
+void Sampler::write_record(const metrics::Snapshot& snap) {
+  // Each section collects only the entries that changed since the previous
+  // record (every entry on the first record); empty sections are omitted.
+  std::string counters, gauges, hists;
+  const auto append = [](std::string& section, const std::string& name,
+                         const std::string& value) {
+    if (!section.empty()) section += ", ";
+    section += "\"" + name + "\": " + value;
+  };
+
+  for (const auto& [name, value] : snap.counters) {
+    const auto prev = last_.counters.find(name);
+    if (!first_sample_ && prev != last_.counters.end() && prev->second == value) {
+      continue;
+    }
+    append(counters, name, std::to_string(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const auto prev = last_.gauges.find(name);
+    if (!first_sample_ && prev != last_.gauges.end() && prev->second == value) {
+      continue;
+    }
+    append(gauges, name, json_double(value));
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    const auto prev = last_.histograms.find(name);
+    const bool is_new = first_sample_ || prev == last_.histograms.end();
+    if (!is_new && prev->second == hist) continue;
+    std::ostringstream h;
+    h << "{";
+    if (is_new) {
+      // Static bucket geometry travels once per histogram.
+      h << "\"low\": " << json_double(hist.low)
+        << ", \"bucket_width\": " << json_double(hist.bucket_width) << ", ";
+    }
+    h << "\"total\": " << hist.total << ", \"sum\": " << json_double(hist.sum)
+      << ", \"counts\": [";
+    for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+      h << (i == 0 ? "" : ", ") << hist.counts[i];
+    }
+    h << "]}";
+    append(hists, name, h.str());
+  }
+
+  std::ostringstream os;
+  os << "{\"t\": " << json_double(trace::wall_seconds());
+  if (!counters.empty()) os << ", \"counters\": {" << counters << "}";
+  if (!gauges.empty()) os << ", \"gauges\": {" << gauges << "}";
+  if (!hists.empty()) os << ", \"histograms\": {" << hists << "}";
+  os << "}\n";
+
+  out_ << os.str();
+  out_.flush();
+  last_ = snap;
+  first_sample_ = false;
+  ++samples_;
+}
+
+}  // namespace oi::telemetry

@@ -1,0 +1,72 @@
+// Online time-series sampler for the metrics registry: a background thread
+// snapshots every registered metric on a fixed cadence and appends
+// delta-compressed JSONL records to a stream file, so a long reliability
+// campaign or simulation is observable *while it runs* (tail the file, point
+// `oiraidctl top --stream` at it) instead of only via the exit snapshot.
+//
+// Stream format (docs/OBSERVABILITY.md, "Live telemetry"):
+//   line 1   {"schema": "oi-metrics-stream", "version": 1, "interval_ms": N}
+//   line 2+  {"t": <wall seconds>, "counters": {...}, "gauges": {...},
+//             "histograms": {...}}
+// Every record after the first carries only the metrics whose values changed
+// since the previous record (delta compression); a record with just "t" is a
+// liveness heartbeat. Histogram records are cumulative state (total, sum,
+// counts[]), never per-interval deltas; static bucket geometry (low,
+// bucket_width) is emitted only the first time a histogram appears.
+//
+// The sampler only *reads* the registry, so it can never perturb results;
+// the writer thread owns the output stream exclusively.
+#pragma once
+
+#include <condition_variable>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/metrics.hpp"
+
+namespace oi::telemetry {
+
+class Sampler {
+ public:
+  /// Opens `path` (truncating) and starts the sampling thread. Throws
+  /// std::invalid_argument when the path is unwritable -- losing a long
+  /// run's stream silently is never acceptable.
+  Sampler(std::string path, std::size_t interval_ms);
+  /// Writes one final sample (so the stream always ends with the terminal
+  /// state) and joins the thread.
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::size_t interval_ms() const { return interval_ms_; }
+  /// Records written so far (header line excluded).
+  std::uint64_t samples() const;
+
+  /// Takes one sample immediately (also used internally by the thread).
+  /// Thread-safe.
+  void sample_now();
+
+ private:
+  void run();
+  void write_record(const metrics::Snapshot& snap);
+
+  std::string path_;
+  std::size_t interval_ms_;
+  std::ofstream out_;
+
+  mutable std::mutex mutex_;          // guards out_, last_, samples_
+  metrics::Snapshot last_;
+  bool first_sample_ = true;
+  std::uint64_t samples_ = 0;
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace oi::telemetry

@@ -2,13 +2,40 @@
 
 #include <chrono>
 #include <cmath>
+#include <csignal>
+#include <fstream>
+#include <map>
 #include <ostream>
 #include <sstream>
 
+#include "util/assert.hpp"
+
 namespace oi::trace {
+
+void dump_flight_recorder() noexcept;
+
 namespace {
 
 std::atomic<bool> g_enabled{false};
+
+// --- flight-recorder crash dump state (see arm_crash_dump) ---
+std::atomic<bool> g_dump_armed{false};
+std::atomic<bool> g_dump_done{false};
+std::mutex g_dump_mutex;              // guards g_dump_path / g_old_handlers
+std::string g_dump_path;              // NOLINT: set before arming, read at dump
+std::map<int, void (*)(int)> g_old_handlers;
+
+constexpr int kCrashSignals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT};
+
+void crash_signal_handler(int sig) {
+  dump_flight_recorder();
+  // Restore the default disposition and re-raise so the normal fatal path
+  // (core dump, nonzero exit) still happens.
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void assert_failure_hook() noexcept { dump_flight_recorder(); }
 
 std::string escape(std::string_view s) {
   std::string out;
@@ -42,6 +69,8 @@ void Tracer::start() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     events_.clear();
+    ring_head_ = 0;
+    dropped_ = 0;
   }
   g_enabled.store(true, std::memory_order_relaxed);
 }
@@ -51,6 +80,29 @@ void Tracer::stop() { g_enabled.store(false, std::memory_order_relaxed); }
 void Tracer::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   events_.clear();
+  ring_head_ = 0;
+  dropped_ = 0;
+}
+
+void Tracer::set_ring_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_capacity_ = capacity;
+  events_.clear();
+  events_.shrink_to_fit();
+  // Pre-size the ring so steady-state emission never reallocates.
+  if (capacity > 0) events_.reserve(capacity);
+  ring_head_ = 0;
+  dropped_ = 0;
+}
+
+std::size_t Tracer::ring_capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_capacity_;
+}
+
+std::uint64_t Tracer::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
 }
 
 std::size_t Tracer::event_count() const {
@@ -64,6 +116,13 @@ std::uint64_t Tracer::next_run_id() {
 
 void Tracer::push(Event event) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_capacity_ > 0 && events_.size() == ring_capacity_) {
+    // Flight recorder: overwrite the oldest slot and advance the head.
+    events_[ring_head_] = std::move(event);
+    ring_head_ = (ring_head_ + 1) % ring_capacity_;
+    ++dropped_;
+    return;
+  }
   events_.push_back(std::move(event));
 }
 
@@ -112,9 +171,16 @@ void Tracer::process_name(std::uint64_t pid, std::string_view name) {
 
 void Tracer::write_json(std::ostream& out) const {
   std::lock_guard<std::mutex> lock(mutex_);
+  write_json_locked(out);
+}
+
+void Tracer::write_json_locked(std::ostream& out) const {
   out << "{\"traceEvents\": [";
   for (std::size_t i = 0; i < events_.size(); ++i) {
-    const Event& e = events_[i];
+    // Chronological order: a wrapped ring's oldest event sits at ring_head_
+    // (ring_head_ stays 0 until the ring wraps, so this is the identity for
+    // unbounded buffers and partially filled rings).
+    const Event& e = events_[(ring_head_ + i) % events_.size()];
     out << (i == 0 ? "\n" : ",\n");
     out << "  {\"ph\": \"" << e.phase << "\", \"pid\": " << e.pid;
     switch (e.phase) {
@@ -150,6 +216,54 @@ std::string Tracer::to_json() const {
   std::ostringstream os;
   write_json(os);
   return os.str();
+}
+
+void dump_flight_recorder() noexcept {
+  if (!g_dump_armed.load(std::memory_order_acquire)) return;
+  if (g_dump_done.exchange(true, std::memory_order_acq_rel)) return;  // once
+  try {
+    std::string path;
+    {
+      std::lock_guard<std::mutex> lock(g_dump_mutex);
+      path = g_dump_path;
+    }
+    if (path.empty()) return;
+    Tracer& tracer = Tracer::instance();
+    // try_lock: if the fatal signal interrupted a thread holding the buffer
+    // mutex, serialize anyway -- a possibly torn dump beats a deadlock in a
+    // process that is dying regardless.
+    const bool locked = tracer.mutex_.try_lock();
+    std::ofstream out(path);
+    if (out) tracer.write_json_locked(out);
+    if (locked) tracer.mutex_.unlock();
+  } catch (...) {
+    // Last-gasp path: swallow everything.
+  }
+}
+
+void arm_crash_dump(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(g_dump_mutex);
+    g_dump_path = path;
+    g_old_handlers.clear();
+    for (int sig : kCrashSignals) {
+      g_old_handlers[sig] = std::signal(sig, crash_signal_handler);
+    }
+  }
+  g_dump_done.store(false, std::memory_order_release);
+  g_dump_armed.store(true, std::memory_order_release);
+  detail::set_failure_hook(&assert_failure_hook);
+}
+
+void disarm_crash_dump() {
+  g_dump_armed.store(false, std::memory_order_release);
+  detail::set_failure_hook(nullptr);
+  std::lock_guard<std::mutex> lock(g_dump_mutex);
+  for (const auto& [sig, handler] : g_old_handlers) {
+    std::signal(sig, handler == SIG_ERR ? SIG_DFL : handler);
+  }
+  g_old_handlers.clear();
+  g_dump_path.clear();
 }
 
 double wall_seconds() {

@@ -42,6 +42,16 @@ class Tracer {
   void clear();
   std::size_t event_count() const;
 
+  /// Flight-recorder mode: bound the buffer to the last `capacity` events
+  /// (0 = unbounded, the default). Once full, each new event overwrites the
+  /// oldest; write_json() always emits chronological order. Metadata events
+  /// age out like any other, so arm the ring before long runs and accept
+  /// that lane labels from the distant past may be gone. Clears the buffer.
+  void set_ring_capacity(std::size_t capacity);
+  std::size_t ring_capacity() const;
+  /// Events overwritten since the last start()/set_ring_capacity().
+  std::uint64_t dropped_events() const;
+
   /// Distinct pid per traced simulation run, starting at 1 (0 is the
   /// wall-clock "host" process).
   std::uint64_t next_run_id();
@@ -87,11 +97,27 @@ class Tracer {
   };
 
   void push(Event event);
+  void write_json_locked(std::ostream& out) const;
 
   std::atomic<std::uint64_t> run_ids_{0};
   mutable std::mutex mutex_;
   std::vector<Event> events_;
+  std::size_t ring_capacity_ = 0;  ///< 0 = unbounded
+  std::size_t ring_head_ = 0;      ///< oldest event once the ring wrapped
+  std::uint64_t dropped_ = 0;
+
+  friend void dump_flight_recorder() noexcept;
 };
+
+/// Arms the flight-recorder crash dump: on an OI_ASSERT violation (library
+/// bug) or a fatal signal (SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT) the current
+/// trace buffer -- typically a bounded ring -- is written to `path` before
+/// the process unwinds, so a long always-on-tracing run never loses its last
+/// events. Best-effort: the signal path serializes JSON from the handler,
+/// which is not strictly async-signal-safe but is the accepted flight-
+/// recorder trade-off. disarm restores the previous signal dispositions.
+void arm_crash_dump(const std::string& path);
+void disarm_crash_dump();
 
 /// Monotonic seconds since the first call in this process -- the wall clock
 /// used by WallSpan and host-side counter samples.

@@ -1,0 +1,263 @@
+// HTTP metrics exporter: live end-to-end scrapes against a real socket plus
+// a Prometheus text-exposition lint. The lint enforces the format contract a
+// real Prometheus server needs (metric-name grammar, HELP/TYPE preceding the
+// samples, cumulative monotone histogram buckets, _sum/_count consistency) on
+// the exact bytes a scrape returns -- not on a unit-level string.
+#include "util/http_exporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_lint.hpp"
+#include "util/metrics.hpp"
+#include "util/telemetry_client.hpp"
+
+namespace oi::telemetry {
+namespace {
+
+class ExporterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics::Registry::instance().reset_values();
+    metrics::set_enabled(true);
+  }
+  void TearDown() override {
+    metrics::set_enabled(false);
+    metrics::Registry::instance().reset_values();
+  }
+};
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  const auto head = static_cast<unsigned char>(name[0]);
+  if (!std::isalpha(head) && name[0] != '_' && name[0] != ':') return false;
+  for (char c : name) {
+    const auto u = static_cast<unsigned char>(c);
+    if (!std::isalnum(u) && c != '_' && c != ':') return false;
+  }
+  return true;
+}
+
+struct PromSample {
+  std::string name;
+  std::string labels;  // raw text between {} (empty if none)
+  double value = 0.0;
+};
+
+/// Structure-level lint of a text-format 0.0.4 exposition. Fails the current
+/// test on any violation; returns the parsed samples for value checks.
+std::vector<PromSample> lint_prometheus(const std::string& body) {
+  std::vector<PromSample> samples;
+  std::map<std::string, std::string> type_of;  // family -> counter|gauge|histogram
+  std::map<std::string, bool> help_of;
+  std::istringstream in(body);
+  std::string line;
+  while (std::getline(in, line)) {
+    EXPECT_FALSE(line.empty()) << "exposition must not contain blank lines";
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      const bool is_type = line[2] == 'T';
+      std::istringstream fields(line.substr(7));
+      std::string family, rest;
+      fields >> family >> rest;
+      EXPECT_TRUE(valid_metric_name(family)) << line;
+      EXPECT_FALSE(rest.empty()) << "empty HELP/TYPE payload: " << line;
+      if (is_type) {
+        EXPECT_TRUE(rest == "counter" || rest == "gauge" || rest == "histogram")
+            << line;
+        EXPECT_EQ(type_of.count(family), 0u) << "duplicate TYPE for " << family;
+        type_of[family] = rest;
+      } else {
+        help_of[family] = true;
+      }
+      continue;
+    }
+    EXPECT_NE(line[0], '#') << "unknown comment form: " << line;
+
+    PromSample s;
+    std::size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) {
+      ADD_FAILURE() << "malformed sample line: " << line;
+      continue;
+    }
+    s.name = line.substr(0, name_end);
+    EXPECT_TRUE(valid_metric_name(s.name)) << line;
+    std::size_t value_at = name_end + 1;
+    if (line[name_end] == '{') {
+      const std::size_t close = line.find('}', name_end);
+      if (close == std::string::npos || close + 1 >= line.size() ||
+          line[close + 1] != ' ') {
+        ADD_FAILURE() << "malformed label block: " << line;
+        continue;
+      }
+      s.labels = line.substr(name_end + 1, close - name_end - 1);
+      value_at = close + 2;
+    }
+    const std::string value_text = line.substr(value_at);
+    if (value_text == "+Inf") {
+      s.value = std::numeric_limits<double>::infinity();
+    } else {
+      char* end = nullptr;
+      s.value = std::strtod(value_text.c_str(), &end);
+      EXPECT_TRUE(end != value_text.c_str() && *end == '\0')
+          << "unparsable value: " << line;
+    }
+
+    // Every sample must belong to a family announced by TYPE (and HELP).
+    std::string family = s.name;
+    for (const char* suffix : {"_total", "_bucket", "_sum", "_count"}) {
+      const std::string sfx(suffix);
+      if (family.size() > sfx.size() &&
+          family.compare(family.size() - sfx.size(), sfx.size(), sfx) == 0) {
+        const std::string base = family.substr(0, family.size() - sfx.size());
+        if (type_of.count(base) != 0) {
+          family = base;
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(type_of.count(family), 1u)
+        << "sample before/without TYPE: " << s.name;
+    EXPECT_TRUE(help_of[family]) << "sample without HELP: " << s.name;
+    samples.push_back(std::move(s));
+  }
+
+  // Histogram families: cumulative monotone buckets ending at +Inf, with the
+  // +Inf bucket equal to _count.
+  for (const auto& [family, type] : type_of) {
+    if (type != "histogram") continue;
+    double prev_le = -std::numeric_limits<double>::infinity();
+    double prev_count = 0.0;
+    double inf_bucket = -1.0;
+    double count = -1.0;
+    bool saw_sum = false;
+    for (const PromSample& s : samples) {
+      if (s.name == family + "_bucket") {
+        if (s.labels.rfind("le=\"", 0) != 0) {
+          ADD_FAILURE() << family << " bucket without le label";
+          continue;
+        }
+        const std::string le_text =
+            s.labels.substr(4, s.labels.size() - 5);  // strip le="..."
+        const double le = le_text == "+Inf"
+                              ? std::numeric_limits<double>::infinity()
+                              : std::strtod(le_text.c_str(), nullptr);
+        EXPECT_GT(le, prev_le) << family << " bucket bounds must increase";
+        EXPECT_GE(s.value, prev_count)
+            << family << " cumulative buckets must be monotone";
+        prev_le = le;
+        prev_count = s.value;
+        if (le == std::numeric_limits<double>::infinity()) inf_bucket = s.value;
+      } else if (s.name == family + "_count") {
+        count = s.value;
+      } else if (s.name == family + "_sum") {
+        saw_sum = true;
+      }
+    }
+    EXPECT_GE(inf_bucket, 0.0) << family << " is missing the +Inf bucket";
+    EXPECT_TRUE(saw_sum) << family << " is missing _sum";
+    EXPECT_EQ(inf_bucket, count) << family << ": +Inf bucket != _count";
+  }
+  return samples;
+}
+
+TEST_F(ExporterTest, LiveScrapePassesFormatLintAndCarriesValues) {
+  metrics::Registry& reg = metrics::Registry::instance();
+  reg.counter("test.exporter.requests").add(41);
+  reg.gauge("test.exporter.queue_depth").set(2.5);
+  metrics::FixedHistogram& h =
+      reg.histogram("test.exporter.latency_us", 0.0, 100.0, 4);
+  h.record(10.0);
+  h.record(30.0);
+  h.record(250.0);  // clamped into the last bucket
+
+  HttpExporter exporter(0);  // ephemeral port
+  ASSERT_GT(exporter.port(), 0);
+  const std::string body = http_get("127.0.0.1", exporter.port(), "/metrics");
+  const std::vector<PromSample> samples = lint_prometheus(body);
+
+  const auto value_of = [&](const std::string& name) {
+    for (const PromSample& s : samples) {
+      if (s.name == name && s.labels.empty()) return s.value;
+    }
+    ADD_FAILURE() << "sample missing: " << name;
+    return -1.0;
+  };
+  EXPECT_EQ(value_of("oi_test_exporter_requests_total"), 41.0);
+  EXPECT_EQ(value_of("oi_test_exporter_queue_depth"), 2.5);
+  EXPECT_EQ(value_of("oi_test_exporter_latency_us_count"), 3.0);
+  EXPECT_EQ(value_of("oi_test_exporter_latency_us_sum"), 10.0 + 30.0 + 250.0);
+}
+
+TEST_F(ExporterTest, VarsServesTheJsonSnapshotAndHealthzAnswers) {
+  metrics::Registry::instance().counter("test.exporter.vars_counter").add(7);
+  HttpExporter exporter(0);
+  const std::string json = http_get("127.0.0.1", exporter.port(), "/vars");
+  EXPECT_TRUE(oi::testing::JsonLint::well_formed(json)) << json;
+  EXPECT_NE(json.find("\"test.exporter.vars_counter\": 7"), std::string::npos);
+  EXPECT_EQ(json, metrics::Registry::instance().to_json());
+
+  EXPECT_EQ(http_get("127.0.0.1", exporter.port(), "/healthz"), "ok\n");
+  EXPECT_GE(exporter.requests(), 2u);
+}
+
+TEST_F(ExporterTest, UnknownPathIsA404) {
+  HttpExporter exporter(0);
+  EXPECT_THROW(http_get("127.0.0.1", exporter.port(), "/nope"),
+               std::runtime_error);
+  // The listener survives an error response.
+  EXPECT_EQ(http_get("127.0.0.1", exporter.port(), "/healthz"), "ok\n");
+}
+
+TEST_F(ExporterTest, ScrapeAdvancesBetweenPolls) {
+  metrics::Counter& c =
+      metrics::Registry::instance().counter("test.exporter.advancing");
+  HttpExporter exporter(0);
+  c.add(1);
+  const MetricMap first =
+      parse_prometheus_text(http_get("127.0.0.1", exporter.port(), "/metrics"));
+  c.add(5);
+  const MetricMap second =
+      parse_prometheus_text(http_get("127.0.0.1", exporter.port(), "/metrics"));
+  const auto a = find_metric(first, "test.exporter.advancing");
+  const auto b = find_metric(second, "test.exporter.advancing");
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, 1.0);
+  EXPECT_EQ(*b, 6.0);
+}
+
+TEST_F(ExporterTest, ParsePrometheusTextHandlesCommentsLabelsAndInf) {
+  const MetricMap map = parse_prometheus_text(
+      "# HELP oi_x x\n# TYPE oi_x gauge\noi_x 1.5\n"
+      "oi_h_bucket{le=\"+Inf\"} 4\noi_h_count 4\noi_nan NaN\noi_inf +Inf\n");
+  EXPECT_EQ(map.at("oi_x"), 1.5);
+  EXPECT_EQ(map.count("oi_h_bucket"), 0u);  // labelled series are skipped
+  EXPECT_EQ(map.at("oi_h_count"), 4.0);
+  EXPECT_TRUE(std::isnan(map.at("oi_nan")));
+  EXPECT_TRUE(std::isinf(map.at("oi_inf")));
+  EXPECT_THROW(parse_prometheus_text("not a metric line"), std::runtime_error);
+}
+
+TEST_F(ExporterTest, FindMetricResolvesBothKeyings) {
+  MetricMap stream{{"sim.rebuild.steps", 9.0}, {"sim.rebuild.step_us.count", 3.0}};
+  MetricMap scrape{{"oi_sim_rebuild_steps_total", 9.0},
+                   {"oi_sim_rebuild_step_us_count", 3.0},
+                   {"oi_reliability_mc_ess", 40.0}};
+  EXPECT_EQ(find_metric(stream, "sim.rebuild.steps"), 9.0);
+  EXPECT_EQ(find_metric(scrape, "sim.rebuild.steps"), 9.0);
+  EXPECT_EQ(find_metric(stream, "sim.rebuild.step_us.count"), 3.0);
+  EXPECT_EQ(find_metric(scrape, "sim.rebuild.step_us.count"), 3.0);
+  EXPECT_EQ(find_metric(scrape, "reliability.mc.ess"), 40.0);
+  EXPECT_FALSE(find_metric(scrape, "no.such.metric").has_value());
+}
+
+}  // namespace
+}  // namespace oi::telemetry

@@ -122,6 +122,107 @@ TEST_F(MetricsTest, ResetValuesKeepsRegistrations) {
   EXPECT_EQ(&reg.counter("test.metrics.reset_me"), &c);
 }
 
+TEST_F(MetricsTest, GaugeAddIsAnUpDownDelta) {
+  Gauge& g = Registry::instance().gauge("test.metrics.gauge_updown");
+  g.add(1.0);
+  g.add(1.0);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+  g.set(10.0);  // set() still overwrites
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 10.5);
+}
+
+TEST_F(MetricsTest, ConcurrentGaugeAddsBalanceToZero) {
+  Gauge& g = Registry::instance().gauge("test.metrics.gauge_concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) {
+        g.add(1.0);
+        g.add(-1.0);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);  // CAS loop: no lost updates
+}
+
+TEST_F(MetricsTest, HistogramKeepsARunningSum) {
+  FixedHistogram& h =
+      Registry::instance().histogram("test.metrics.hist_sum", 0.0, 10.0, 5);
+  h.record(1.5);
+  h.record(2.5);
+  h.record(50.0);  // clamped into the last bucket but summed exactly
+  EXPECT_DOUBLE_EQ(h.sum(), 54.0);
+  Registry::instance().reset_values();
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST_F(MetricsTest, JsonSchemaV2CarriesHistogramSums) {
+  Registry& reg = Registry::instance();
+  reg.histogram("test.metrics.json_sum_hist", 0.0, 4.0, 4).record(1.5);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\": 1.5"), std::string::npos);
+}
+
+TEST_F(MetricsTest, SnapshotIsADecoupledPointInTimeCopy) {
+  Registry& reg = Registry::instance();
+  Counter& c = reg.counter("test.metrics.snap_counter");
+  Gauge& g = reg.gauge("test.metrics.snap_gauge");
+  FixedHistogram& h = reg.histogram("test.metrics.snap_hist", 0.0, 10.0, 2);
+  c.add(5);
+  g.set(-2.5);
+  h.record(1.0);
+  h.record(8.0);
+
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("test.metrics.snap_counter"), 5u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test.metrics.snap_gauge"), -2.5);
+  const Snapshot::Histogram& hs = snap.histograms.at("test.metrics.snap_hist");
+  EXPECT_EQ(hs.total, 2u);
+  EXPECT_DOUBLE_EQ(hs.sum, 9.0);
+  ASSERT_EQ(hs.counts.size(), 2u);
+  EXPECT_EQ(hs.counts[0], 1u);
+  EXPECT_EQ(hs.counts[1], 1u);
+  EXPECT_DOUBLE_EQ(hs.bucket_width, 5.0);
+
+  // Later updates do not leak into an already-taken snapshot.
+  c.add(100);
+  EXPECT_EQ(snap.counters.at("test.metrics.snap_counter"), 5u);
+}
+
+TEST_F(MetricsTest, PrometheusExpositionCoversEveryMetricKind) {
+  Registry& reg = Registry::instance();
+  reg.counter("test.metrics.prom_counter").add(3);
+  reg.gauge("test.metrics.prom_gauge").set(1.25);
+  FixedHistogram& h = reg.histogram("test.metrics.prom_hist", 0.0, 2.0, 2);
+  h.record(0.5);
+  h.record(1.5);
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("# TYPE oi_test_metrics_prom_counter_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("oi_test_metrics_prom_counter_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE oi_test_metrics_prom_gauge gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("oi_test_metrics_prom_gauge 1.25"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE oi_test_metrics_prom_hist histogram"),
+            std::string::npos);
+  // Cumulative buckets: le="1" holds 1; the top bucket is a clamp edge
+  // (values above the range land in it), so it is labelled +Inf rather than
+  // its finite bound, and _count matches it.
+  EXPECT_NE(text.find("oi_test_metrics_prom_hist_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("oi_test_metrics_prom_hist_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("oi_test_metrics_prom_hist_sum 2"), std::string::npos);
+  EXPECT_NE(text.find("oi_test_metrics_prom_hist_count 2"), std::string::npos);
+}
+
 TEST_F(MetricsTest, ConcurrentUpdatesDoNotLoseCounts) {
   Counter& c = Registry::instance().counter("test.metrics.concurrent");
   constexpr int kThreads = 8;

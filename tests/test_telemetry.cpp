@@ -1,0 +1,410 @@
+// Live telemetry subsystem: the JSONL time-series sampler, the flight-
+// recorder crash dump, obs::Session wiring of the new surfaces, and the
+// extension of the observability contract -- a Monte-Carlo campaign must be
+// bit-identical with the full telemetry stack (sampler + exporter + trace
+// ring) on vs off.
+#include "util/telemetry_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bibd/constructions.hpp"
+#include "json_lint.hpp"
+#include "layout/oi_raid.hpp"
+#include "reliability/monte_carlo.hpp"
+#include "util/assert.hpp"
+#include "util/http_exporter.hpp"
+#include "util/metrics.hpp"
+#include "util/observability.hpp"
+#include "util/telemetry_client.hpp"
+#include "util/trace.hpp"
+
+namespace oi::telemetry {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "oi_telemetry_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics::Registry::instance().reset_values();
+    metrics::set_enabled(true);
+  }
+  void TearDown() override {
+    metrics::set_enabled(false);
+    metrics::Registry::instance().reset_values();
+  }
+};
+
+// Long interval: the background thread never fires during the test, so the
+// records written are exactly the explicit sample_now() calls plus the
+// destructor's terminal sample.
+constexpr std::size_t kNeverMs = 60'000;
+
+TEST_F(TelemetryTest, SamplerWritesHeaderAndDeltaCompressedRecords) {
+  const std::string path = tmp_path("sampler.jsonl");
+  metrics::Counter& c = metrics::Registry::instance().counter("test.tel.count");
+  metrics::Gauge& g = metrics::Registry::instance().gauge("test.tel.gauge");
+  {
+    Sampler sampler(path, kNeverMs);
+    c.add(3);
+    g.set(1.5);
+    sampler.sample_now();  // both metrics appear (first record carries all)
+    sampler.sample_now();  // nothing changed: heartbeat record, "t" only
+    c.add(2);
+    sampler.sample_now();  // only the counter appears
+    EXPECT_EQ(sampler.samples(), 3u);
+  }  // terminal sample: nothing changed again -> heartbeat
+
+  std::istringstream in(slurp(path));
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"schema\": \"oi-metrics-stream\""), std::string::npos);
+  EXPECT_NE(line.find("\"version\": 1"), std::string::npos);
+
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_TRUE(oi::testing::JsonLint::well_formed(line)) << line;
+  EXPECT_NE(line.find("\"test.tel.count\": 3"), std::string::npos);
+  EXPECT_NE(line.find("\"test.tel.gauge\""), std::string::npos);
+
+  ASSERT_TRUE(std::getline(in, line));  // heartbeat: no metric payload
+  EXPECT_EQ(line.find("test.tel"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"t\": "), std::string::npos);
+
+  ASSERT_TRUE(std::getline(in, line));  // delta: counter only
+  EXPECT_NE(line.find("\"test.tel.count\": 5"), std::string::npos);
+  EXPECT_EQ(line.find("test.tel.gauge"), std::string::npos) << line;
+
+  ASSERT_TRUE(std::getline(in, line));  // terminal heartbeat
+  EXPECT_FALSE(std::getline(in, line)) << "unexpected extra record: " << line;
+  std::remove(path.c_str());
+}
+
+TEST_F(TelemetryTest, SamplerEmitsHistogramGeometryOnceAndCumulativeState) {
+  const std::string path = tmp_path("sampler_hist.jsonl");
+  metrics::FixedHistogram& h =
+      metrics::Registry::instance().histogram("test.tel.hist", 0.0, 10.0, 2);
+  {
+    Sampler sampler(path, kNeverMs);
+    h.record(1.0);
+    sampler.sample_now();
+    h.record(7.0);
+    sampler.sample_now();
+  }
+  std::istringstream in(slurp(path));
+  std::string header, first, second;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, first));
+  ASSERT_TRUE(std::getline(in, second));
+  // Geometry (low / bucket_width) only on first appearance; state cumulative.
+  EXPECT_NE(first.find("\"bucket_width\": 5"), std::string::npos) << first;
+  EXPECT_NE(first.find("\"counts\": [1, 0]"), std::string::npos) << first;
+  EXPECT_EQ(second.find("bucket_width"), std::string::npos) << second;
+  EXPECT_NE(second.find("\"counts\": [1, 1]"), std::string::npos) << second;
+  EXPECT_NE(second.find("\"sum\": 8"), std::string::npos) << second;
+  std::remove(path.c_str());
+}
+
+TEST_F(TelemetryTest, SamplerThrowsOnUnwritablePath) {
+  EXPECT_THROW(Sampler("/nonexistent-dir/stream.jsonl", 100),
+               std::invalid_argument);
+  EXPECT_THROW(Sampler("", 100), std::invalid_argument);
+  EXPECT_THROW(Sampler(tmp_path("x.jsonl"), 0), std::invalid_argument);
+}
+
+TEST_F(TelemetryTest, StreamFollowerTailsIncrementallyAcrossPartialLines) {
+  const std::string path = tmp_path("follow.jsonl");
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\"schema\": \"oi-metrics-stream\", \"version\": 1, \"interval_ms\": 50}\n";
+  out.flush();
+
+  StreamFollower follower(path);
+  EXPECT_EQ(follower.poll(), 0u);  // header is not a record
+
+  out << "{\"t\": 0.5, \"counters\": {\"a.b.c\": 2}, \"gauges\": {\"g.x.y\": -1.5}}\n";
+  out << "{\"t\": 1.0, \"counters\"";  // partial record: must not be consumed
+  out.flush();
+  EXPECT_EQ(follower.poll(), 1u);
+  EXPECT_EQ(follower.values().at("a.b.c"), 2.0);
+  EXPECT_EQ(follower.values().at("g.x.y"), -1.5);
+  EXPECT_EQ(follower.last_t(), 0.5);
+
+  out << ": {\"a.b.c\": 9}, \"histograms\": {\"h.q.r\": {\"low\": 0, "
+         "\"bucket_width\": 1, \"total\": 4, \"sum\": 3.5, \"counts\": [4]}}}\n";
+  out.flush();
+  EXPECT_EQ(follower.poll(), 1u);
+  EXPECT_EQ(follower.values().at("a.b.c"), 9.0);
+  EXPECT_EQ(follower.values().at("g.x.y"), -1.5);  // delta folding keeps old
+  EXPECT_EQ(follower.values().at("h.q.r.count"), 4.0);
+  EXPECT_EQ(follower.values().at("h.q.r.sum"), 3.5);
+  EXPECT_EQ(follower.last_t(), 1.0);
+  EXPECT_EQ(follower.records(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(TelemetryTest, StreamFollowerToleratesMissingFileUntilItAppears) {
+  const std::string path = tmp_path("late.jsonl");
+  std::remove(path.c_str());
+  StreamFollower follower(path);
+  EXPECT_EQ(follower.poll(), 0u);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"t\": 2.0, \"gauges\": {\"x.y.z\": 7}}\n";
+  }
+  EXPECT_EQ(follower.poll(), 1u);
+  EXPECT_EQ(follower.values().at("x.y.z"), 7.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(TelemetryTest, SamplerRoundTripsThroughTheFollower) {
+  const std::string path = tmp_path("roundtrip.jsonl");
+  metrics::Registry& reg = metrics::Registry::instance();
+  reg.counter("test.tel.rt_counter").add(11);
+  reg.gauge("test.tel.rt_gauge").set(0.25);
+  reg.histogram("test.tel.rt_hist", 0.0, 4.0, 4).record(1.0);
+  {
+    Sampler sampler(path, kNeverMs);
+    sampler.sample_now();
+  }
+  StreamFollower follower(path);
+  follower.poll();
+  EXPECT_EQ(find_metric(follower.values(), "test.tel.rt_counter"), 11.0);
+  EXPECT_EQ(find_metric(follower.values(), "test.tel.rt_gauge"), 0.25);
+  EXPECT_EQ(find_metric(follower.values(), "test.tel.rt_hist.count"), 1.0);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------ flight recorder dump ----
+
+TEST(FlightRecorder, AssertFailureDumpsTheRingToDisk) {
+  const std::string path = tmp_path("crash_dump.json");
+  std::remove(path.c_str());
+  trace::Tracer& tracer = trace::Tracer::instance();
+  tracer.set_ring_capacity(3);
+  tracer.start();
+  trace::arm_crash_dump(path);
+  for (int i = 0; i < 5; ++i) {
+    tracer.counter(0, "crash.series", 0.001 * i, static_cast<double>(i));
+  }
+  EXPECT_EQ(tracer.event_count(), 3u);
+  EXPECT_EQ(tracer.dropped_events(), 2u);
+
+  // An OI_ASSERT violation (library bug) fires the failure hook on its way
+  // to throwing; the armed dump must land even though the exception is
+  // caught and the process keeps running.
+  EXPECT_THROW(OI_ASSERT(false, "synthetic failure for the flight recorder"),
+               std::logic_error);
+
+  const std::string dump = slurp(path);
+  EXPECT_TRUE(oi::testing::JsonLint::well_formed(dump)) << dump.substr(0, 200);
+  // Ring semantics: the two oldest samples were overwritten, the last three
+  // survive in chronological order.
+  EXPECT_EQ(dump.find("\"args\": {\"value\": 0}"), std::string::npos);
+  EXPECT_EQ(dump.find("\"args\": {\"value\": 1}"), std::string::npos);
+  const std::size_t at2 = dump.find("\"args\": {\"value\": 2}");
+  const std::size_t at3 = dump.find("\"args\": {\"value\": 3}");
+  const std::size_t at4 = dump.find("\"args\": {\"value\": 4}");
+  EXPECT_NE(at2, std::string::npos);
+  EXPECT_NE(at3, std::string::npos);
+  EXPECT_NE(at4, std::string::npos);
+  EXPECT_LT(at2, at3);
+  EXPECT_LT(at3, at4);
+
+  trace::disarm_crash_dump();
+  tracer.stop();
+  tracer.set_ring_capacity(0);  // restore unbounded mode for other tests
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------------- obs::Session wiring ----
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Each Session declares the observability flags; isolate registrations.
+    FlagRegistry::instance().clear();
+    metrics::Registry::instance().reset_values();
+  }
+  void TearDown() override {
+    FlagRegistry::instance().clear();
+    metrics::set_enabled(false);
+    metrics::Registry::instance().reset_values();
+    trace::Tracer::instance().stop();
+    trace::Tracer::instance().set_ring_capacity(0);
+    trace::Tracer::instance().clear();
+  }
+};
+
+TEST_F(SessionTest, UnwritableOutputPathsFailLoudlyAtConstruction) {
+  const std::vector<std::string> flags_to_try = {"trace-out", "metrics-out",
+                                                 "metrics-stream-out"};
+  for (const std::string& flag : flags_to_try) {
+    FlagRegistry::instance().clear();
+    const Flags flags(
+        std::vector<std::string>{"--" + flag, "/nonexistent-dir/out.json"});
+    EXPECT_THROW(obs::Session{flags}, std::invalid_argument)
+        << "--" << flag << " accepted an unwritable path";
+  }
+}
+
+TEST_F(SessionTest, TraceRingRequiresTraceOut) {
+  const Flags flags(std::vector<std::string>{"--trace-ring", "128"});
+  EXPECT_THROW(obs::Session{flags}, std::invalid_argument);
+}
+
+TEST_F(SessionTest, InvalidIntervalAndPortAreRejected) {
+  {
+    const Flags flags(std::vector<std::string>{
+        "--metrics-stream-out", tmp_path("s.jsonl"), "--metrics-interval-ms", "0"});
+    EXPECT_THROW(obs::Session{flags}, std::invalid_argument);
+  }
+  FlagRegistry::instance().clear();
+  {
+    const Flags flags(std::vector<std::string>{"--metrics-port", "70000"});
+    EXPECT_THROW(obs::Session{flags}, std::invalid_argument);
+  }
+}
+
+TEST_F(SessionTest, FullStackLifecycleProducesEverySurface) {
+  const std::string trace_path = tmp_path("session_trace.json");
+  const std::string metrics_path = tmp_path("session_metrics.json");
+  const std::string stream_path = tmp_path("session_stream.jsonl");
+  const Flags flags(std::vector<std::string>{
+      "--trace-out", trace_path, "--trace-ring", "4096", "--metrics-out",
+      metrics_path, "--metrics-stream-out", stream_path,
+      "--metrics-interval-ms", "60000", "--metrics-port", "0"});
+  {
+    obs::Session session(flags);
+    EXPECT_TRUE(session.tracing());
+    EXPECT_TRUE(session.metrics());
+    EXPECT_TRUE(session.streaming());
+    EXPECT_TRUE(session.exporting());
+    EXPECT_TRUE(metrics::enabled());
+    EXPECT_TRUE(trace::enabled());
+    metrics::Registry::instance().counter("test.tel.session_counter").add(4);
+
+    // The exporter is live while the session runs.
+    ASSERT_GT(session.exporter_port(), 0);
+    const MetricMap scraped = parse_prometheus_text(
+        http_get("127.0.0.1", session.exporter_port(), "/metrics"));
+    EXPECT_EQ(find_metric(scraped, "test.tel.session_counter"), 4.0);
+  }
+  EXPECT_FALSE(metrics::enabled());
+  EXPECT_FALSE(trace::enabled());
+
+  EXPECT_TRUE(oi::testing::JsonLint::well_formed(slurp(trace_path)));
+  const std::string metrics_json = slurp(metrics_path);
+  EXPECT_TRUE(oi::testing::JsonLint::well_formed(metrics_json));
+  EXPECT_NE(metrics_json.find("test.tel.session_counter"), std::string::npos);
+
+  StreamFollower follower(stream_path);
+  follower.poll();
+  EXPECT_GE(follower.records(), 1u);  // the sampler's terminal sample
+  EXPECT_EQ(find_metric(follower.values(), "test.tel.session_counter"), 4.0);
+
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+  std::remove(stream_path.c_str());
+}
+
+// ------------------------------------------- determinism with stack on ----
+
+// Extends the TraceDeterminism gate (tests/test_trace.cpp) to the full live
+// telemetry stack: a Monte-Carlo campaign with sampler + exporter + trace
+// ring + live progress gauges running must produce bit-identical results to
+// an uninstrumented one. Guards against instrumentation that consumes RNG
+// draws, reorders trials, or feeds back into the estimators.
+TEST(TelemetryDeterminism, McResultsBitIdenticalWithFullStackOnVsOff) {
+  layout::OiRaidLayout layout({bibd::fano(), 3, 2, true});
+  reliability::MonteCarloConfig config;
+  config.mttf_hours = 20'000;
+  config.rebuild_hours = 300.0;
+  config.mission_hours = 20'000;
+  config.trials = 6'000;  // enough for several LiveProgress flushes + losses
+  config.seed = 7;
+  config.threads = 4;
+
+  metrics::set_enabled(false);
+  trace::Tracer::instance().stop();
+  const reliability::MonteCarloResult plain =
+      reliability::monte_carlo_reliability(layout, config);
+
+  const std::string stream_path = tmp_path("determinism.jsonl");
+  reliability::MonteCarloResult instrumented;
+  {
+    trace::Tracer::instance().set_ring_capacity(512);
+    trace::Tracer::instance().start();
+    metrics::set_enabled(true);
+    Sampler sampler(stream_path, 1);  // aggressive cadence: sample constantly
+    HttpExporter exporter(0);
+    instrumented = reliability::monte_carlo_reliability(layout, config);
+    // Scrape mid-teardown too -- reads must never perturb.
+    (void)http_get("127.0.0.1", exporter.port(), "/metrics");
+  }
+  metrics::set_enabled(false);
+  trace::Tracer::instance().stop();
+  trace::Tracer::instance().set_ring_capacity(0);
+  trace::Tracer::instance().clear();
+  std::remove(stream_path.c_str());
+
+  const auto same_bits = [](double a, double b) {
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+  };
+  EXPECT_EQ(plain.trials, instrumented.trials);
+  EXPECT_EQ(plain.losses, instrumented.losses);
+  EXPECT_GT(plain.losses, 0u) << "stress parameters were supposed to lose";
+  EXPECT_TRUE(same_bits(plain.loss_probability, instrumented.loss_probability));
+  EXPECT_TRUE(same_bits(plain.ci95, instrumented.ci95));
+  EXPECT_TRUE(same_bits(plain.ci95_lo, instrumented.ci95_lo));
+  EXPECT_TRUE(same_bits(plain.ci95_hi, instrumented.ci95_hi));
+  EXPECT_TRUE(same_bits(plain.ess, instrumented.ess));
+  EXPECT_TRUE(same_bits(plain.relative_error, instrumented.relative_error));
+  EXPECT_TRUE(same_bits(plain.time_to_loss.mean(), instrumented.time_to_loss.mean()));
+}
+
+// Live gauges advance during a campaign and settle on the exact final state.
+TEST(TelemetryDeterminism, LiveProgressGaugesSettleOnExactFinals) {
+  layout::OiRaidLayout layout({bibd::fano(), 3, 2, true});
+  reliability::MonteCarloConfig config;
+  config.mttf_hours = 20'000;
+  config.rebuild_hours = 300.0;
+  config.mission_hours = 20'000;
+  config.trials = 6'000;
+  config.seed = 7;
+  config.threads = 2;
+
+  metrics::Registry::instance().reset_values();
+  metrics::set_enabled(true);
+  const reliability::MonteCarloResult result =
+      reliability::monte_carlo_reliability(layout, config);
+  metrics::Registry& reg = metrics::Registry::instance();
+  EXPECT_EQ(reg.gauge("reliability.mc.trials_done").value(),
+            static_cast<double>(result.trials));
+  EXPECT_EQ(reg.gauge("reliability.mc.percent_complete").value(), 100.0);
+  EXPECT_EQ(reg.gauge("reliability.mc.eta_seconds").value(), 0.0);
+  EXPECT_EQ(reg.gauge("reliability.mc.losses_seen").value(),
+            static_cast<double>(result.losses));
+  EXPECT_EQ(reg.gauge("reliability.mc.ess").value(), result.ess);
+  EXPECT_EQ(reg.gauge("reliability.mc.relative_error").value(),
+            result.relative_error);
+  EXPECT_GT(reg.gauge("reliability.mc.trials_per_second").value(), 0.0);
+  metrics::set_enabled(false);
+  metrics::Registry::instance().reset_values();
+}
+
+}  // namespace
+}  // namespace oi::telemetry

@@ -128,6 +128,46 @@ TEST_F(TraceTest, SimulatedRebuildTraceNestsAndLabelsEveryDisk) {
   EXPECT_NE(json.find("failed 0"), std::string::npos);
 }
 
+// Flight-recorder mode: a bounded ring that keeps only the newest events.
+TEST_F(TraceTest, RingModeKeepsTheLastNEventsInChronologicalOrder) {
+  Tracer& tracer = Tracer::instance();
+  tracer.set_ring_capacity(3);
+  tracer.start();
+  for (int i = 0; i < 7; ++i) {
+    tracer.counter(0, "ring.series", 0.001 * i, static_cast<double>(i));
+  }
+  EXPECT_EQ(tracer.ring_capacity(), 3u);
+  EXPECT_EQ(tracer.event_count(), 3u);
+  EXPECT_EQ(tracer.dropped_events(), 4u);
+
+  const std::string json = tracer.to_json();
+  EXPECT_TRUE(oi::testing::JsonLint::well_formed(json)) << json;
+  EXPECT_EQ(json.find("\"value\": 3}"), std::string::npos) << "aged out";
+  const std::size_t at4 = json.find("\"value\": 4}");
+  const std::size_t at5 = json.find("\"value\": 5}");
+  const std::size_t at6 = json.find("\"value\": 6}");
+  ASSERT_NE(at4, std::string::npos);
+  ASSERT_NE(at5, std::string::npos);
+  ASSERT_NE(at6, std::string::npos);
+  EXPECT_LT(at4, at5);
+  EXPECT_LT(at5, at6);
+
+  tracer.set_ring_capacity(0);  // restore unbounded mode
+}
+
+TEST_F(TraceTest, RingBelowCapacityBehavesLikeUnbounded) {
+  Tracer& tracer = Tracer::instance();
+  tracer.set_ring_capacity(10);
+  tracer.start();
+  tracer.counter(0, "ring.partial", 0.001, 1.0);
+  tracer.counter(0, "ring.partial", 0.002, 2.0);
+  EXPECT_EQ(tracer.event_count(), 2u);
+  EXPECT_EQ(tracer.dropped_events(), 0u);
+  const std::string json = tracer.to_json();
+  EXPECT_LT(json.find("\"value\": 1}"), json.find("\"value\": 2}"));
+  tracer.set_ring_capacity(0);
+}
+
 // The observability contract: tracing observes, never perturbs. Simulated
 // clocks and all derived numbers must be bit-identical with tracing on or
 // off. Guards against instrumentation that accidentally feeds back into

@@ -20,6 +20,12 @@
 //       sampling (failure biasing) for rare-event estimates
 //   oiraidctl export    --v 7 --k 3 --m 3 --height 6
 //       print the superblock (restorable layout description) to stdout
+//   oiraidctl top       --port 9464 | --stream metrics.jsonl
+//       live metrics console: polls a running process's /metrics exporter
+//       (--metrics-port on the producer) or tails its --metrics-stream-out
+//       JSONL file, and redraws a metric table plus a Monte-Carlo progress
+//       summary every --interval-ms (default 1000). --count N stops after N
+//       refreshes; --no-clear appends instead of redrawing (for logs/CI)
 //
 // Layout-taking commands also accept --superblock <file> instead of
 // --v/--k/--m/--height. Every command accepts --gf-kernel
@@ -27,9 +33,14 @@
 // (default: OI_GF_KERNEL env var, else the best the CPU supports).
 //
 // Every command prints its inputs so output files are self-describing.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "bibd/registry.hpp"
 #include "codes/kernels.hpp"
@@ -41,8 +52,10 @@
 #include "reliability/monte_carlo.hpp"
 #include "sim/rebuild.hpp"
 #include "util/flags.hpp"
+#include "util/http_exporter.hpp"
 #include "util/observability.hpp"
 #include "util/stats.hpp"
+#include "util/telemetry_client.hpp"
 #include "util/table.hpp"
 #include "util/trace.hpp"
 #include "util/units.hpp"
@@ -52,7 +65,7 @@ namespace {
 using namespace oi;
 
 int usage() {
-  std::cerr << "usage: oiraidctl <designs|plan|map|recover|simulate|tolerance|mttdl|mc|export> "
+  std::cerr << "usage: oiraidctl <designs|plan|map|recover|simulate|tolerance|mttdl|mc|export|top> "
                "[--flags]\n       see the header of tools/oiraidctl.cpp for details\n";
   return 2;
 }
@@ -325,6 +338,112 @@ int cmd_mc(const Flags& flags) {
   return 0;
 }
 
+// ---------------------------------------------------------------- top ----
+
+std::string top_value(double v) {
+  std::ostringstream os;
+  if (!std::isfinite(v)) {
+    os << (std::isnan(v) ? "nan" : (v > 0 ? "inf" : "-inf"));
+  } else if (v == std::floor(v) && std::abs(v) < 1e15) {
+    os.precision(0);
+    os << std::fixed << v;
+  } else {
+    os.precision(4);
+    os << v;
+  }
+  return os.str();
+}
+
+void render_top(std::ostream& out, const telemetry::MetricMap& values,
+                const std::string& source) {
+  out << "oiraidctl top -- " << source << "\n";
+
+  // Curated Monte-Carlo campaign summary when one is (or was) running.
+  const auto pct =
+      telemetry::find_metric(values, "reliability.mc.percent_complete");
+  if (pct.has_value()) {
+    const double frac = std::clamp(*pct / 100.0, 0.0, 1.0);
+    constexpr int kBar = 40;
+    const int filled = static_cast<int>(frac * kBar + 0.5);
+    out << "\nmc campaign  [" << std::string(filled, '#')
+        << std::string(kBar - filled, '.') << "] " << top_value(*pct) << "%\n";
+    const auto row = [&](const char* label, const char* metric,
+                         bool seconds = false) {
+      const auto v = telemetry::find_metric(values, metric);
+      if (!v.has_value()) return;
+      out << "  " << label
+          << (seconds && std::isfinite(*v) ? format_seconds(*v)
+                                           : top_value(*v))
+          << "\n";
+    };
+    row("trials done:    ", "reliability.mc.trials_done");
+    row("trials/s:       ", "reliability.mc.trials_per_second");
+    row("eta:            ", "reliability.mc.eta_seconds", /*seconds=*/true);
+    row("losses seen:    ", "reliability.mc.losses_seen");
+    row("ESS:            ", "reliability.mc.ess");
+    row("relative error: ", "reliability.mc.relative_error");
+  }
+
+  out << "\n";
+  Table table({"metric", "value"});
+  for (const auto& [name, value] : values) {
+    table.row().cell(name).cell(top_value(value));
+  }
+  table.print(out);
+}
+
+int cmd_top(const Flags& flags) {
+  const std::string stream = flags.get_string("stream", "");
+  const bool use_http = flags.has("port");
+  if (stream.empty() && !use_http) {
+    std::cerr << "top: provide --port PORT (poll a /metrics exporter) or "
+                 "--stream FILE (tail a --metrics-stream-out file)\n";
+    return 2;
+  }
+  const std::string host = flags.get_string("host", "127.0.0.1");
+  const std::int64_t port = flags.get_int("port", 0);
+  if (use_http && (port < 1 || port > 65535)) {
+    std::cerr << "top: --port must be in 1..65535\n";
+    return 2;
+  }
+  const std::int64_t interval_ms = flags.get_int("interval-ms", 1000);
+  const std::int64_t count = flags.get_int("count", 0);
+  const bool clear = !flags.get_bool("no-clear", false);
+
+  telemetry::StreamFollower follower(stream);
+  for (std::int64_t i = 0; count == 0 || i < count; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    telemetry::MetricMap values;
+    std::string source;
+    if (use_http) {
+      try {
+        values = telemetry::parse_prometheus_text(telemetry::http_get(
+            host, static_cast<std::uint16_t>(port), "/metrics"));
+      } catch (const std::exception& error) {
+        // The producer may not be up yet (or just exited); keep polling.
+        std::cout << "oiraidctl top -- waiting for " << host << ":" << port
+                  << "/metrics (" << error.what() << ")\n";
+        continue;
+      }
+      source = host + ":" + std::to_string(port) + "/metrics";
+    } else {
+      follower.poll();
+      values = follower.values();
+      std::ostringstream s;
+      s << stream << "  (" << follower.records() << " records, t="
+        << top_value(follower.last_t()) << "s)";
+      source = s.str();
+    }
+    std::ostringstream frame;
+    if (clear) frame << "\x1b[2J\x1b[H";  // redraw in place
+    render_top(frame, values, source);
+    std::cout << frame.str() << std::flush;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -355,6 +474,8 @@ int main(int argc, char** argv) {
       code = cmd_mc(flags);
     } else if (command == "export") {
       code = cmd_export(flags);
+    } else if (command == "top") {
+      code = cmd_top(flags);
     } else {
       return usage();
     }
