@@ -37,6 +37,8 @@ struct ArrayMetrics {
   }
 };
 
+constexpr std::uint8_t kPoisonFill = 0xDD;
+
 }  // namespace
 
 IoCounters IoCounters::operator-(const IoCounters& rhs) const {
@@ -50,20 +52,44 @@ Array::Array(std::shared_ptr<const layout::Layout> layout, std::size_t strip_byt
   OI_ENSURE(layout_->xor_semantics(),
             "core::Array decodes by XOR; use core::CodedArray for RS-style layouts");
   OI_ENSURE(strip_bytes >= 1, "strip size must be positive");
-  store_.resize(layout_->disks());
-  for (auto& disk : store_) {
-    disk.assign(layout_->strips_per_disk() * strip_bytes_, 0);
-  }
+  store_ = std::make_unique<MemBlockStore>(layout_->disks(),
+                                           layout_->strips_per_disk(), strip_bytes_);
 }
 
-std::span<std::uint8_t> Array::strip(layout::StripLoc loc) {
-  OI_ASSERT(loc.disk < store_.size(), "strip disk out of range");
-  return {store_[loc.disk].data() + loc.offset * strip_bytes_, strip_bytes_};
+Array::Array(std::shared_ptr<const layout::Layout> layout,
+             std::unique_ptr<BlockStore> store)
+    : layout_(std::move(layout)), store_(std::move(store)) {
+  OI_ENSURE(layout_ != nullptr, "array needs a layout");
+  OI_ENSURE(layout_->xor_semantics(),
+            "core::Array decodes by XOR; use core::CodedArray for RS-style layouts");
+  OI_ENSURE(store_ != nullptr, "array needs a block store");
+  OI_ENSURE(store_->disks() == layout_->disks() &&
+                store_->strips_per_disk() == layout_->strips_per_disk(),
+            "block store geometry does not match the layout");
+  strip_bytes_ = store_->strip_bytes();
+  OI_ENSURE(strip_bytes_ >= 1, "strip size must be positive");
 }
 
-std::span<const std::uint8_t> Array::strip(layout::StripLoc loc) const {
-  OI_ASSERT(loc.disk < store_.size(), "strip disk out of range");
-  return {store_[loc.disk].data() + loc.offset * strip_bytes_, strip_bytes_};
+std::vector<std::uint8_t> Array::load(layout::StripLoc loc) const {
+  std::vector<std::uint8_t> out(strip_bytes_);
+  store_->read(loc.disk, loc.offset, out);
+  return out;
+}
+
+void Array::store_strip(layout::StripLoc loc, std::span<const std::uint8_t> data) {
+  store_->write(loc.disk, loc.offset, data);
+}
+
+void Array::xor_strip(layout::StripLoc loc, std::span<std::uint8_t> acc,
+                      std::vector<std::uint8_t>& scratch) const {
+  scratch.resize(strip_bytes_);
+  store_->read(loc.disk, loc.offset, scratch);
+  gf::xor_acc(acc, scratch);
+}
+
+bool Array::available(layout::StripLoc loc) const {
+  if (!failed_.contains(loc.disk)) return true;
+  return !rebuilt_.empty() && rebuilt_[strip_index(loc)] != 0;
 }
 
 void Array::count_strip_read() const {
@@ -90,6 +116,7 @@ std::optional<std::vector<std::uint8_t>> Array::reconstruct(
   }
   const layout::StripeMap& map = layout_->stripe_map();
   in_progress[strip_id] = 1;
+  std::vector<std::uint8_t> scratch;
   // preferred_occurrences lists relations that avoid the lost strip's own
   // group first (outer, then composite); fall back to anything that resolves.
   for (const std::uint32_t occ : map.preferred_occurrences(strip_id)) {
@@ -105,9 +132,9 @@ std::optional<std::vector<std::uint8_t>> Array::reconstruct(
         ok = false;
         break;
       }
-      if (!failed_.contains(map.disk_of(member))) {
+      if (available(map.strip_loc(member))) {
         count_strip_read();
-        gf::xor_acc(value, strip(map.strip_loc(member)));
+        xor_strip(map.strip_loc(member), value, scratch);
         continue;
       }
       // Member is lost too: decode it first through another relation (the
@@ -131,10 +158,9 @@ std::optional<std::vector<std::uint8_t>> Array::reconstruct(
 std::vector<std::uint8_t> Array::read(std::size_t logical) const {
   OI_ENSURE(logical < capacity_strips(), "logical address out of range");
   const layout::StripLoc loc = layout_->locate(logical);
-  if (!failed_.contains(loc.disk)) {
+  if (available(loc)) {
     count_strip_read();
-    const auto src = strip(loc);
-    return {src.begin(), src.end()};
+    return load(loc);
   }
   const layout::StripeMap& map = layout_->stripe_map();
   std::vector<char> in_progress(map.total_strips(), 0);
@@ -156,15 +182,15 @@ void Array::write(std::size_t logical, std::span<const std::uint8_t> data) {
   // RMW reads are whatever the plan lists (old data + old parities; mirror
   // copies need none).
   for (const layout::StripLoc& read : plan.reads) {
-    if (!failed_.contains(read.disk)) count_strip_read();
+    if (available(read)) count_strip_read();
   }
   // delta = old ^ new; every covering redundancy strip absorbs the same
   // delta (for a mirror copy, old-copy ^ delta == new data).
   std::vector<std::uint8_t> delta(strip_bytes_);
-  if (!failed_.contains(data_loc.disk)) {
-    gf::xor_delta(delta, strip(data_loc), data);  // delta starts zeroed
-    auto dst = strip(data_loc);
-    std::copy(data.begin(), data.end(), dst.begin());
+  if (available(data_loc)) {
+    const auto old = load(data_loc);
+    gf::xor_delta(delta, old, data);  // delta starts zeroed
+    store_strip(data_loc, data);
     count_strip_write();
   } else {
     // Reconstruct-on-write: the strip's disk is down, but the write is still
@@ -180,10 +206,14 @@ void Array::write(std::size_t logical, std::span<const std::uint8_t> data) {
     }
     gf::xor_delta(delta, *old, data);  // delta starts zeroed
   }
+  std::vector<std::uint8_t> parity_buf;
   for (std::size_t w = 1; w < plan.writes.size(); ++w) {
     const layout::StripLoc parity = plan.writes[w];
-    if (failed_.contains(parity.disk)) continue;  // lost anyway; rebuilt later
-    gf::xor_acc(strip(parity), delta);
+    if (!available(parity)) continue;  // lost anyway; rebuilt later
+    parity_buf.resize(strip_bytes_);
+    store_->read(parity.disk, parity.offset, parity_buf);
+    gf::xor_acc(parity_buf, delta);
+    store_strip(parity, parity_buf);
     count_strip_write(/*parity=*/true);
   }
 }
@@ -232,10 +262,18 @@ void Array::write_bytes(std::uint64_t offset, std::span<const std::uint8_t> data
 void Array::fail_disk(std::size_t disk) {
   OI_ENSURE(disk < layout_->disks(), "disk id out of range");
   if (failed_.contains(disk)) return;
+  // A new failure invalidates any in-progress stepwise rebuild: the plan no
+  // longer covers the new disk, and strips it already rebuilt go back to
+  // being served by reconstruction until the replanned rebuild rewrites
+  // them (their on-store bytes stay valid; treating them as lost is merely
+  // conservative).
+  plan_.clear();
+  rebuilt_.clear();
+  watermark_ = 0;
   failed_.insert(disk);
   // The data is gone: model it so that nothing can accidentally read stale
   // bytes through a bug.
-  std::fill(store_[disk].begin(), store_[disk].end(), 0xDD);
+  store_->trim_disk(disk, kPoisonFill);
 }
 
 std::vector<std::size_t> Array::failed_disks() const {
@@ -247,59 +285,115 @@ bool Array::recoverable() const {
   return layout_->recovery_plan(failed_disks()).has_value();
 }
 
-RebuildReport Array::rebuild() {
-  RebuildReport report;
-  if (failed_.empty()) return report;
-  const auto plan = layout_->recovery_plan(failed_disks());
+std::size_t Array::rebuild_begin() {
+  if (rebuild_active()) return plan_.size();
+  if (failed_.empty()) return 0;
+  auto plan = layout_->recovery_plan(failed_disks());
   if (!plan.has_value()) {
     throw std::runtime_error("failure pattern is unrecoverable; data lost");
   }
-  for (const auto& step : *plan) {
+  plan_ = std::move(*plan);
+  watermark_ = 0;
+  rebuilt_.assign(layout_->disks() * layout_->strips_per_disk(), 0);
+  return plan_.size();
+}
+
+RebuildReport Array::rebuild_step(std::size_t max_steps) {
+  RebuildReport report;
+  std::vector<std::uint8_t> scratch;
+  while (max_steps > 0 && watermark_ < plan_.size()) {
+    const layout::RecoveryStep& step = plan_[watermark_];
     std::vector<std::uint8_t> value(strip_bytes_, 0);
-    for (const auto& read : step.reads) {
+    for (const layout::StripLoc& read : step.reads) {
       // Reads of strips rebuilt by earlier steps see the freshly written
       // bytes because rebuild writes in place (replacement disk semantics).
-      gf::xor_acc(value, strip(read));
+      xor_strip(read, value, scratch);
       ++report.strip_reads;
       count_strip_read();
     }
-    auto dst = strip(step.lost);
-    std::copy(value.begin(), value.end(), dst.begin());
+    store_strip(step.lost, value);
     count_strip_write();
     ++report.strips_rebuilt;
+    rebuilt_[strip_index(step.lost)] = 1;
+    ++watermark_;
+    --max_steps;
   }
-  failed_.clear();
+  if (!plan_.empty() && watermark_ == plan_.size()) {
+    failed_.clear();
+    plan_.clear();
+    rebuilt_.clear();
+    watermark_ = 0;
+  }
   return report;
 }
 
-std::span<const std::uint8_t> Array::peek(layout::StripLoc loc) const {
+RebuildReport Array::rebuild() {
+  if (failed_.empty()) return {};
+  rebuild_begin();
+  return rebuild_step(plan_.size() - watermark_);
+}
+
+void Array::restore(const std::vector<std::size_t>& disks, std::size_t watermark) {
+  OI_ENSURE(failed_.empty() && !rebuild_active(),
+            "restore() requires a fresh array (no failures, no active rebuild)");
+  for (std::size_t disk : disks) {
+    OI_ENSURE(disk < layout_->disks(), "restored disk id out of range");
+    failed_.insert(disk);
+  }
+  if (failed_.empty()) {
+    OI_ENSURE(watermark == 0, "watermark without failed disks in restored state");
+    return;
+  }
+  // The plan is a pure function of (layout, failure set), so the restored
+  // instance re-derives exactly the plan the crashed instance was executing.
+  auto plan = layout_->recovery_plan(failed_disks());
+  OI_ENSURE(plan.has_value(), "persisted failure set is unrecoverable");
+  OI_ENSURE(watermark <= plan->size(), "persisted watermark exceeds the plan");
+  plan_ = std::move(*plan);
+  watermark_ = watermark;
+  rebuilt_.assign(layout_->disks() * layout_->strips_per_disk(), 0);
+  for (std::size_t i = 0; i < watermark_; ++i) {
+    rebuilt_[strip_index(plan_[i].lost)] = 1;
+  }
+  if (watermark_ == plan_.size()) {
+    // Crash landed between the last rebuild write and the superblock update
+    // that would have cleared the failure set: every strip is durable, so
+    // finish the bookkeeping.
+    failed_.clear();
+    plan_.clear();
+    rebuilt_.clear();
+    watermark_ = 0;
+  }
+}
+
+std::vector<std::uint8_t> Array::peek(layout::StripLoc loc) const {
   OI_ENSURE(loc.disk < layout_->disks() && loc.offset < layout_->strips_per_disk(),
             "strip location out of range");
-  return strip(loc);
+  return load(loc);
 }
 
 void Array::inject_corruption(layout::StripLoc loc, std::uint8_t xor_mask) {
   OI_ENSURE(loc.disk < layout_->disks() && loc.offset < layout_->strips_per_disk(),
             "strip location out of range");
   OI_ENSURE(xor_mask != 0, "a zero mask would be a no-op corruption");
-  auto dst = strip(loc);
-  for (auto& byte : dst) byte ^= xor_mask;
+  auto buf = load(loc);
+  for (auto& byte : buf) byte ^= xor_mask;
+  store_strip(loc, buf);
 }
 
 bool Array::repair_strip(layout::StripLoc loc) {
   OI_ENSURE(loc.disk < layout_->disks() && loc.offset < layout_->strips_per_disk(),
             "strip location out of range");
-  OI_ENSURE(!failed_.contains(loc.disk),
-            "repair_strip fixes silent corruption on healthy disks; use rebuild() "
-            "for failed disks");
+  OI_ENSURE(available(loc),
+            "repair_strip fixes silent corruption on available strips; use "
+            "rebuild() for failed disks");
   const layout::StripeMap& map = layout_->stripe_map();
   std::vector<char> in_progress(map.total_strips(), 0);
   // reconstruct() reads only *other* strips of loc's relations, so the
   // corrupt content never contaminates the repair.
   const auto value = reconstruct(map.strip_id(loc), in_progress);
   if (!value.has_value()) return false;
-  auto dst = strip(loc);
-  std::copy(value->begin(), value->end(), dst.begin());
+  store_strip(loc, *value);
   count_strip_write();
   return true;
 }
@@ -310,17 +404,18 @@ std::string Array::scrub() const {
   // combinations of inner+outer ones, so checking those two kinds suffices.
   const layout::StripeMap& map = layout_->stripe_map();
   std::vector<std::uint8_t> acc(strip_bytes_);
+  std::vector<std::uint8_t> scratch;
   for (std::uint32_t rel = 0; rel < map.relations(); ++rel) {
     if (map.relation_kind(rel) == layout::RelationKind::kOuterComposite) continue;
     const auto members = map.relation_members(rel);
     if (std::any_of(members.begin(), members.end(), [&](std::uint32_t m) {
-          return failed_.contains(map.disk_of(m));
+          return !available(map.strip_loc(m));
         })) {
       continue;
     }
     std::fill(acc.begin(), acc.end(), 0);
     for (const std::uint32_t member : members) {
-      gf::xor_acc(acc, strip(map.strip_loc(member)));
+      xor_strip(map.strip_loc(member), acc, scratch);
     }
     if (metrics::enabled()) ArrayMetrics::get().scrub_relations.increment();
     if (std::any_of(acc.begin(), acc.end(), [](std::uint8_t b) { return b != 0; })) {

@@ -1,12 +1,22 @@
 // A data-bearing array: the layout decides placement and parity relations;
-// this class holds the actual bytes, implements the user-facing read/write
-// path (read-modify-write parity maintenance), failure injection, degraded
-// reads, and data-verified rebuild. It works over *any* layout in the
-// library because every scheme here uses single-XOR-parity relations; the
-// OI-RAID instantiation is the paper's system, the others are baselines.
+// this class implements the user-facing read/write path (read-modify-write
+// parity maintenance), failure injection, degraded reads, and data-verified
+// rebuild over an injected BlockStore backend. It works over *any* layout in
+// the library because every scheme here uses single-XOR-parity relations;
+// the OI-RAID instantiation is the paper's system, the others are baselines.
 //
-// The backing store is in-memory -- the class models a disk array's
-// *contents and consistency*, while src/sim models its *timing*.
+// The backing store is pluggable (core/block_store.hpp): MemBlockStore
+// models a disk array's *contents and consistency* in memory (src/sim models
+// its *timing*), FileBlockStore puts the same bytes on one backing file per
+// disk -- the real data path under the `oiraidd` server.
+//
+// Rebuild is stepwise: rebuild_begin() plans once (deterministically, from
+// the layout and the failure set), rebuild_step() applies a bounded number
+// of steps, and the watermark -- the count of applied steps -- is what the
+// persistence layer checkpoints so a restarted array resumes mid-rebuild.
+// Strips already rebuilt are served directly again (reads, writes and parity
+// updates all treat them as healthy), which is what makes *online* rebuild
+// under client traffic consistent.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "core/block_store.hpp"
 #include "layout/layout.hpp"
 
 namespace oi::core {
@@ -28,19 +39,31 @@ struct IoCounters {
   std::size_t parity_strip_writes = 0;
 
   IoCounters operator-(const IoCounters& rhs) const;
+  bool operator==(const IoCounters&) const = default;
 };
 
 struct RebuildReport {
   std::size_t strips_rebuilt = 0;
   std::size_t strip_reads = 0;
+
+  bool operator==(const RebuildReport&) const = default;
 };
 
 class Array {
  public:
-  /// strip_bytes >= 1. All strips start zeroed, which is parity-consistent.
+  /// strip_bytes >= 1. Builds an in-memory backend (historical behavior);
+  /// all strips start zeroed, which is parity-consistent.
   Array(std::shared_ptr<const layout::Layout> layout, std::size_t strip_bytes);
+  /// Operates over an injected backend whose geometry must match the layout
+  /// (disks x strips_per_disk). The store's existing contents are *trusted*
+  /// (reopening a persisted array); a fresh store must be zero-filled.
+  Array(std::shared_ptr<const layout::Layout> layout,
+        std::unique_ptr<BlockStore> store);
 
   const layout::Layout& layout() const { return *layout_; }
+  const BlockStore& store() const { return *store_; }
+  /// Durability barrier on the backing store (fdatasync for file backends).
+  void flush() { store_->flush(); }
   std::size_t strip_bytes() const { return strip_bytes_; }
   std::size_t capacity_strips() const { return layout_->data_strips(); }
 
@@ -73,6 +96,9 @@ class Array {
   /// read-modify-write of the containing strip, so parity stays exact.
   void write_bytes(std::uint64_t offset, std::span<const std::uint8_t> data);
 
+  /// Marks a disk failed and poisons its contents. Aborts any in-progress
+  /// stepwise rebuild (the plan no longer covers the new failure); the next
+  /// rebuild_begin()/rebuild() replans over the full failure set.
   void fail_disk(std::size_t disk);
   bool is_failed(std::size_t disk) const { return failed_.contains(disk); }
   std::vector<std::size_t> failed_disks() const;
@@ -82,11 +108,38 @@ class Array {
 
   /// Repairs every failed disk in place (models replacement disks that take
   /// the failed disks' identities) and clears the failure set. Throws
-  /// std::runtime_error when unrecoverable.
+  /// std::runtime_error when unrecoverable. Equivalent to rebuild_begin()
+  /// followed by rebuild_step() over every remaining step.
   RebuildReport rebuild();
 
-  /// Verifies every (inner/outer) relation XORs to zero over the healthy
-  /// strips; skips relations touching failed disks. Returns an empty string
+  // --- stepwise rebuild (online serving + persistence support) ---
+
+  /// Plans a rebuild of the current failure set and arms the step cursor;
+  /// returns the total step count (0 when nothing is failed). Idempotent
+  /// while a rebuild is in progress. Throws std::runtime_error when the
+  /// pattern is unrecoverable.
+  std::size_t rebuild_begin();
+  bool rebuild_active() const { return !plan_.empty(); }
+  /// Steps already applied (the persistence watermark). Strips written by
+  /// those steps are served directly again.
+  std::size_t rebuild_watermark() const { return watermark_; }
+  std::size_t rebuild_total_steps() const { return plan_.size(); }
+  /// Applies up to `max_steps` pending plan steps in order. When the last
+  /// step lands, the failure set clears and the plan is discarded. Returns
+  /// the I/O performed by this call.
+  RebuildReport rebuild_step(std::size_t max_steps = 1);
+
+  /// Reopen support: marks `disks` failed *without* poisoning their contents
+  /// (the backing store already holds whatever was persisted), re-plans the
+  /// rebuild, and fast-forwards the watermark -- strips written by plan
+  /// steps [0, watermark) are trusted on-store and served directly; strips
+  /// from later steps are treated as lost (their on-store bytes may be a
+  /// torn write from the crash, so they are never read). Requires a fresh
+  /// array (no failures yet) and watermark <= the plan's length.
+  void restore(const std::vector<std::size_t>& disks, std::size_t watermark);
+
+  /// Verifies every (inner/outer) relation XORs to zero over the available
+  /// strips; skips relations touching lost strips. Returns an empty string
   /// or a description of the first violation.
   std::string scrub() const;
 
@@ -106,13 +159,23 @@ class Array {
   void reset_counters() { counters_ = {}; }
 
   /// Raw physical strip contents (no decoding, no counters) -- forensic
-  /// inspection for tests and debugging tools. Reading a failed disk
-  /// returns its poisoned fill pattern.
-  std::span<const std::uint8_t> peek(layout::StripLoc loc) const;
+  /// inspection for tests and debugging tools. Reading a lost strip returns
+  /// its poisoned fill pattern (or stale bytes on a reopened store).
+  std::vector<std::uint8_t> peek(layout::StripLoc loc) const;
 
  private:
-  std::span<std::uint8_t> strip(layout::StripLoc loc);
-  std::span<const std::uint8_t> strip(layout::StripLoc loc) const;
+  /// Raw store I/O on one strip (no counters).
+  std::vector<std::uint8_t> load(layout::StripLoc loc) const;
+  void store_strip(layout::StripLoc loc, std::span<const std::uint8_t> data);
+  /// acc ^= strip contents at loc, via a reused scratch buffer.
+  void xor_strip(layout::StripLoc loc, std::span<std::uint8_t> acc,
+                 std::vector<std::uint8_t>& scratch) const;
+  /// A strip is available when its disk is healthy or the strip has already
+  /// been rebuilt by the in-progress stepwise rebuild.
+  bool available(layout::StripLoc loc) const;
+  std::size_t strip_index(layout::StripLoc loc) const {
+    return loc.disk * layout_->strips_per_disk() + loc.offset;
+  }
   /// Bump the per-array IoCounters and their process-wide metrics mirrors
   /// (`core.array.strip_reads` / `strip_writes` / `parity_writes`).
   void count_strip_read() const;
@@ -129,8 +192,13 @@ class Array {
 
   std::shared_ptr<const layout::Layout> layout_;
   std::size_t strip_bytes_;
-  std::vector<std::vector<std::uint8_t>> store_;  ///< per disk, strips concatenated
+  std::unique_ptr<BlockStore> store_;
   std::set<std::size_t> failed_;
+  /// In-progress stepwise rebuild: the plan, the applied-step watermark, and
+  /// one availability flag per physical strip for the rebuilt ones.
+  std::vector<layout::RecoveryStep> plan_;
+  std::size_t watermark_ = 0;
+  std::vector<char> rebuilt_;
   mutable IoCounters counters_;
 };
 

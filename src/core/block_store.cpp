@@ -1,0 +1,160 @@
+#include "core/block_store.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace oi::core {
+
+// ------------------------------------------------------------------ mem ----
+
+MemBlockStore::MemBlockStore(std::size_t disks, std::size_t strips_per_disk,
+                             std::size_t strip_bytes)
+    : strips_(strips_per_disk), strip_bytes_(strip_bytes) {
+  OI_ENSURE(disks >= 1, "block store needs at least one disk");
+  OI_ENSURE(strips_per_disk >= 1, "block store needs at least one strip per disk");
+  OI_ENSURE(strip_bytes >= 1, "strip size must be positive");
+  store_.resize(disks);
+  for (auto& disk : store_) disk.assign(strips_ * strip_bytes_, 0);
+}
+
+void MemBlockStore::read(std::size_t disk, std::size_t offset,
+                         std::span<std::uint8_t> out) const {
+  OI_ASSERT(disk < store_.size() && offset < strips_, "strip out of range");
+  OI_ASSERT(out.size() == strip_bytes_, "read buffer must be one strip");
+  const std::uint8_t* src = store_[disk].data() + offset * strip_bytes_;
+  std::copy(src, src + strip_bytes_, out.begin());
+}
+
+void MemBlockStore::write(std::size_t disk, std::size_t offset,
+                          std::span<const std::uint8_t> data) {
+  OI_ASSERT(disk < store_.size() && offset < strips_, "strip out of range");
+  OI_ASSERT(data.size() == strip_bytes_, "write must be one strip");
+  std::copy(data.begin(), data.end(), store_[disk].begin() +
+                                          static_cast<std::ptrdiff_t>(offset * strip_bytes_));
+}
+
+void MemBlockStore::trim_disk(std::size_t disk, std::uint8_t fill) {
+  OI_ASSERT(disk < store_.size(), "disk out of range");
+  std::fill(store_[disk].begin(), store_[disk].end(), fill);
+}
+
+// ----------------------------------------------------------------- file ----
+
+namespace {
+
+constexpr std::size_t kSlotAlign = 512;
+
+std::size_t round_up(std::size_t n, std::size_t quantum) {
+  return (n + quantum - 1) / quantum * quantum;
+}
+
+}  // namespace
+
+FileBlockStore::FileBlockStore(std::string dir, std::size_t disks,
+                               std::size_t strips_per_disk, std::size_t strip_bytes)
+    : dir_(std::move(dir)),
+      strips_(strips_per_disk),
+      strip_bytes_(strip_bytes),
+      slot_bytes_(round_up(strip_bytes, kSlotAlign)) {
+  OI_ENSURE(disks >= 1, "block store needs at least one disk");
+  OI_ENSURE(strips_per_disk >= 1, "block store needs at least one strip per disk");
+  OI_ENSURE(strip_bytes >= 1, "strip size must be positive");
+  OI_ENSURE(!dir_.empty(), "file block store needs a directory");
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw std::invalid_argument("file block store: cannot create directory '" +
+                                dir_ + "': " + std::strerror(errno));
+  }
+  const off_t file_bytes = static_cast<off_t>(strips_ * slot_bytes_);
+  fds_.reserve(disks);
+  for (std::size_t d = 0; d < disks; ++d) {
+    const std::string path = disk_path(d);
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0) {
+      const std::string reason = std::strerror(errno);
+      for (int open_fd : fds_) ::close(open_fd);
+      throw std::invalid_argument("file block store: cannot open '" + path +
+                                  "': " + reason);
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || (st.st_size != 0 && st.st_size != file_bytes) ||
+        (st.st_size == 0 && ::ftruncate(fd, file_bytes) != 0)) {
+      ::close(fd);
+      for (int open_fd : fds_) ::close(open_fd);
+      throw std::invalid_argument(
+          "file block store: '" + path + "' exists with the wrong size (" +
+          std::to_string(st.st_size) + " vs " + std::to_string(file_bytes) +
+          " expected); geometry mismatch or truncated disk image");
+    }
+    fds_.push_back(fd);
+  }
+  dirty_.assign(disks, 0);
+}
+
+FileBlockStore::~FileBlockStore() {
+  for (int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+std::string FileBlockStore::disk_path(std::size_t disk) const {
+  return dir_ + "/disk-" + std::to_string(disk) + ".img";
+}
+
+void FileBlockStore::read(std::size_t disk, std::size_t offset,
+                          std::span<std::uint8_t> out) const {
+  OI_ASSERT(disk < fds_.size() && offset < strips_, "strip out of range");
+  OI_ASSERT(out.size() == strip_bytes_, "read buffer must be one strip");
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n = ::pread(fds_[disk], out.data() + done, out.size() - done,
+                              static_cast<off_t>(offset * slot_bytes_ + done));
+    if (n < 0 && errno == EINTR) continue;
+    OI_ENSURE(n > 0, "file block store: pread failed on disk " +
+                         std::to_string(disk) + ": " +
+                         (n == 0 ? "unexpected EOF" : std::strerror(errno)));
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void FileBlockStore::write(std::size_t disk, std::size_t offset,
+                           std::span<const std::uint8_t> data) {
+  OI_ASSERT(disk < fds_.size() && offset < strips_, "strip out of range");
+  OI_ASSERT(data.size() == strip_bytes_, "write must be one strip");
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::pwrite(fds_[disk], data.data() + done, data.size() - done,
+                               static_cast<off_t>(offset * slot_bytes_ + done));
+    if (n < 0 && errno == EINTR) continue;
+    OI_ENSURE(n > 0, "file block store: pwrite failed on disk " +
+                         std::to_string(disk) + ": " + std::strerror(errno));
+    done += static_cast<std::size_t>(n);
+  }
+  dirty_[disk] = 1;
+}
+
+void FileBlockStore::trim_disk(std::size_t disk, std::uint8_t fill) {
+  OI_ASSERT(disk < fds_.size(), "disk out of range");
+  std::vector<std::uint8_t> pattern(strip_bytes_, fill);
+  for (std::size_t offset = 0; offset < strips_; ++offset) {
+    write(disk, offset, pattern);
+  }
+}
+
+void FileBlockStore::flush() {
+  for (std::size_t d = 0; d < fds_.size(); ++d) {
+    if (!dirty_[d]) continue;
+    OI_ENSURE(::fdatasync(fds_[d]) == 0,
+              "file block store: fdatasync failed on disk " + std::to_string(d) +
+                  ": " + std::strerror(errno));
+    dirty_[d] = 0;
+  }
+}
+
+}  // namespace oi::core

@@ -1,0 +1,119 @@
+// The storage backend abstraction under the data-bearing arrays: a
+// BlockStore is a set of `disks()` independent per-disk strip spaces, each
+// `strips_per_disk()` strips of `strip_bytes()` bytes. core::Array and
+// core::CodedArray issue all physical I/O through this interface, so the
+// same parity/rebuild machinery runs over in-memory vectors (MemBlockStore,
+// the historical behavior) or over one backing file per simulated disk
+// (FileBlockStore, the real-bytes data plane under `oiraidd`).
+//
+// The contract is plain block-device semantics: reads return the last bytes
+// written (zero-fill for never-written strips), writes are atomic at strip
+// granularity only after flush(), and trim_disk() discards a disk's contents
+// by overwriting with a fill pattern (the arrays use it to poison failed
+// disks so stale bytes can never leak through a bug).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace oi::core {
+
+class BlockStore {
+ public:
+  virtual ~BlockStore() = default;
+
+  virtual std::size_t disks() const = 0;
+  virtual std::size_t strips_per_disk() const = 0;
+  virtual std::size_t strip_bytes() const = 0;
+
+  /// Reads one strip into `out` (must be exactly strip_bytes() long).
+  virtual void read(std::size_t disk, std::size_t offset,
+                    std::span<std::uint8_t> out) const = 0;
+  /// Writes one strip from `data` (must be exactly strip_bytes() long).
+  virtual void write(std::size_t disk, std::size_t offset,
+                     std::span<const std::uint8_t> data) = 0;
+  /// Overwrites every strip of `disk` with `fill` (discard/poison).
+  virtual void trim_disk(std::size_t disk, std::uint8_t fill) = 0;
+  /// Durability point: all writes accepted so far reach the backing medium
+  /// before flush() returns. A no-op for memory backends.
+  virtual void flush() {}
+  /// One-line description for logs and status output ("mem", "file:<dir>").
+  virtual std::string describe() const = 0;
+};
+
+/// The historical in-memory backend, extracted verbatim from core::Array:
+/// one contiguous byte vector per disk, strips concatenated.
+class MemBlockStore final : public BlockStore {
+ public:
+  MemBlockStore(std::size_t disks, std::size_t strips_per_disk,
+                std::size_t strip_bytes);
+
+  std::size_t disks() const override { return store_.size(); }
+  std::size_t strips_per_disk() const override { return strips_; }
+  std::size_t strip_bytes() const override { return strip_bytes_; }
+
+  void read(std::size_t disk, std::size_t offset,
+            std::span<std::uint8_t> out) const override;
+  void write(std::size_t disk, std::size_t offset,
+             std::span<const std::uint8_t> data) override;
+  void trim_disk(std::size_t disk, std::uint8_t fill) override;
+  std::string describe() const override { return "mem"; }
+
+ private:
+  std::size_t strips_;
+  std::size_t strip_bytes_;
+  std::vector<std::vector<std::uint8_t>> store_;
+};
+
+/// One backing file per simulated disk (`disk-<N>.img` under `dir`),
+/// accessed with pread/pwrite. Each strip occupies a slot rounded up to a
+/// 512-byte multiple so every file offset stays O_DIRECT-compatible (the
+/// store itself opens buffered -- tmpfs has no O_DIRECT -- but nothing in
+/// the on-disk geometry would have to change to switch). Existing files are
+/// reopened with their contents intact, which is what makes an array
+/// restartable; missing files are created zero-filled (zeroes are
+/// parity-consistent for every layout here).
+class FileBlockStore final : public BlockStore {
+ public:
+  /// Creates `dir` (one level) when absent. Throws std::invalid_argument
+  /// when a backing file cannot be opened or an existing file's size does
+  /// not match the geometry.
+  FileBlockStore(std::string dir, std::size_t disks, std::size_t strips_per_disk,
+                 std::size_t strip_bytes);
+  ~FileBlockStore() override;
+
+  FileBlockStore(const FileBlockStore&) = delete;
+  FileBlockStore& operator=(const FileBlockStore&) = delete;
+
+  std::size_t disks() const override { return fds_.size(); }
+  std::size_t strips_per_disk() const override { return strips_; }
+  std::size_t strip_bytes() const override { return strip_bytes_; }
+
+  void read(std::size_t disk, std::size_t offset,
+            std::span<std::uint8_t> out) const override;
+  void write(std::size_t disk, std::size_t offset,
+             std::span<const std::uint8_t> data) override;
+  void trim_disk(std::size_t disk, std::uint8_t fill) override;
+  /// fdatasync on every disk file that was written since the last flush.
+  void flush() override;
+  std::string describe() const override { return "file:" + dir_; }
+
+  /// Bytes one strip occupies in the backing file (strip_bytes rounded up to
+  /// the 512-byte alignment quantum).
+  std::size_t slot_bytes() const { return slot_bytes_; }
+  /// Backing file path for `disk` (tests inspect/corrupt files directly).
+  std::string disk_path(std::size_t disk) const;
+
+ private:
+  std::string dir_;
+  std::size_t strips_;
+  std::size_t strip_bytes_;
+  std::size_t slot_bytes_;
+  std::vector<int> fds_;
+  std::vector<char> dirty_;  ///< per-disk "written since last flush" flag
+};
+
+}  // namespace oi::core

@@ -16,11 +16,24 @@ CodedArray::CodedArray(std::shared_ptr<const codes::ErasureCode> code,
   OI_ENSURE(code_ != nullptr, "coded array needs a codec");
   OI_ENSURE(strips_per_disk >= 1, "need at least one strip per disk");
   OI_ENSURE(strip_bytes >= 1, "strip size must be positive");
-  store_.resize(disks());
-  for (auto& disk : store_) disk.assign(strips_ * strip_bytes_, 0);
+  store_ = std::make_unique<MemBlockStore>(disks(), strips_, strip_bytes_);
   // Zero data encodes to zero parity for every linear code here, so a fresh
   // array is consistent; scrub() verifies rather than assumes.
   OI_ASSERT(scrub().empty(), "fresh coded array must be consistent");
+}
+
+CodedArray::CodedArray(std::shared_ptr<const codes::ErasureCode> code,
+                       std::unique_ptr<BlockStore> store, bool rotate)
+    : code_(std::move(code)), rotate_(rotate) {
+  OI_ENSURE(code_ != nullptr, "coded array needs a codec");
+  OI_ENSURE(store != nullptr, "coded array needs a block store");
+  OI_ENSURE(store->disks() == code_->total_strips(),
+            "block store disk count must equal the code width");
+  strips_ = store->strips_per_disk();
+  strip_bytes_ = store->strip_bytes();
+  store_ = std::move(store);
+  OI_ENSURE(strips_ >= 1, "need at least one strip per disk");
+  OI_ENSURE(strip_bytes_ >= 1, "strip size must be positive");
 }
 
 double CodedArray::data_fraction() const {
@@ -38,15 +51,12 @@ std::size_t CodedArray::disk_of(std::size_t slot, std::size_t offset) const {
   return rotate_ ? (slot + offset) % n : slot;
 }
 
-std::span<std::uint8_t> CodedArray::strip(std::size_t disk, std::size_t offset) {
-  OI_ASSERT(disk < store_.size() && offset < strips_, "strip out of range");
-  return {store_[disk].data() + offset * strip_bytes_, strip_bytes_};
-}
-
-std::span<const std::uint8_t> CodedArray::strip(std::size_t disk,
-                                                std::size_t offset) const {
-  OI_ASSERT(disk < store_.size() && offset < strips_, "strip out of range");
-  return {store_[disk].data() + offset * strip_bytes_, strip_bytes_};
+std::vector<std::uint8_t> CodedArray::load(std::size_t disk,
+                                           std::size_t offset) const {
+  OI_ASSERT(disk < disks() && offset < strips_, "strip out of range");
+  std::vector<std::uint8_t> out(strip_bytes_);
+  store_->read(disk, offset, out);
+  return out;
 }
 
 std::vector<bool> CodedArray::gather(std::size_t offset,
@@ -60,8 +70,7 @@ std::vector<bool> CodedArray::gather(std::size_t offset,
       present[slot] = false;
       continue;
     }
-    const auto src = strip(disk, offset);
-    strips[slot].assign(src.begin(), src.end());
+    strips[slot] = load(disk, offset);
     ++counters_.strip_reads;
   }
   return present;
@@ -74,8 +83,7 @@ std::vector<std::uint8_t> CodedArray::read(std::size_t logical) const {
   const std::size_t disk = disk_of(slot, offset);
   if (!failed_.contains(disk)) {
     ++counters_.strip_reads;
-    const auto src = strip(disk, offset);
-    return {src.begin(), src.end()};
+    return load(disk, offset);
   }
   std::vector<codes::Strip> strips;
   const auto present = gather(offset, strips);
@@ -95,26 +103,18 @@ void CodedArray::write(std::size_t logical, std::span<const std::uint8_t> data) 
   if (failed_.contains(disk)) {
     throw std::runtime_error("cannot write a strip whose disk has failed");
   }
-  codes::Strip old_data;
-  {
-    const auto src = strip(disk, offset);
-    old_data.assign(src.begin(), src.end());
-    ++counters_.strip_reads;
-  }
+  codes::Strip old_data = load(disk, offset);
+  ++counters_.strip_reads;
   codes::Strip new_data(data.begin(), data.end());
-  {
-    auto dst = strip(disk, offset);
-    std::copy(data.begin(), data.end(), dst.begin());
-    ++counters_.strip_writes;
-  }
+  store_->write(disk, offset, data);
+  ++counters_.strip_writes;
   for (std::size_t p = 0; p < code_->parity_strips(); ++p) {
     const std::size_t parity_disk = disk_of(k + p, offset);
     if (failed_.contains(parity_disk)) continue;
     ++counters_.strip_reads;  // RMW read of the old parity
-    const auto span = strip(parity_disk, offset);
-    codes::Strip parity(span.begin(), span.end());
+    codes::Strip parity = load(parity_disk, offset);
     code_->update_parity(parity, p, slot, old_data, new_data);
-    std::copy(parity.begin(), parity.end(), strip(parity_disk, offset).begin());
+    store_->write(parity_disk, offset, parity);
     ++counters_.strip_writes;
     ++counters_.parity_strip_writes;
   }
@@ -124,7 +124,7 @@ void CodedArray::fail_disk(std::size_t disk) {
   OI_ENSURE(disk < disks(), "disk id out of range");
   if (failed_.contains(disk)) return;
   failed_.insert(disk);
-  std::fill(store_[disk].begin(), store_[disk].end(), 0xDD);
+  store_->trim_disk(disk, 0xDD);
 }
 
 CodedRebuildReport CodedArray::rebuild() {
@@ -144,8 +144,7 @@ CodedRebuildReport CodedArray::rebuild() {
     for (std::size_t slot = 0; slot < disks(); ++slot) {
       if (present[slot]) continue;
       const std::size_t disk = disk_of(slot, offset);
-      auto dst = strip(disk, offset);
-      std::copy(strips[slot].begin(), strips[slot].end(), dst.begin());
+      store_->write(disk, offset, strips[slot]);
       ++counters_.strip_writes;
       ++report.strips_rebuilt;
     }
@@ -169,8 +168,7 @@ std::string CodedArray::scrub() const {
         stripe_touched_failure = true;
         break;
       }
-      const auto src = strip(disk, offset);
-      data[slot].assign(src.begin(), src.end());
+      data[slot] = load(disk, offset);
     }
     if (stripe_touched_failure) continue;
     code_->encode(data, parity);
@@ -178,7 +176,7 @@ std::string CodedArray::scrub() const {
     for (std::size_t p = 0; p < parity.size() && !mismatch; ++p) {
       const std::size_t disk = disk_of(code_->data_strips() + p, offset);
       if (failed_.contains(disk)) continue;
-      const auto stored = strip(disk, offset);
+      const auto stored = load(disk, offset);
       mismatch = !std::equal(parity[p].begin(), parity[p].end(), stored.begin());
     }
     if (mismatch) {

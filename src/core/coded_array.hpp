@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "codes/erasure_code.hpp"
+#include "core/block_store.hpp"
 
 namespace oi::core {
 
@@ -30,6 +31,11 @@ class CodedArray {
   /// within the flat array, as RAID5 does).
   CodedArray(std::shared_ptr<const codes::ErasureCode> code,
              std::size_t strips_per_disk, std::size_t strip_bytes, bool rotate = true);
+  /// Operates over an injected backend; its geometry must be
+  /// code->total_strips() disks x strips_per_disk strips. Existing store
+  /// contents are trusted (a fresh store must be zero-filled).
+  CodedArray(std::shared_ptr<const codes::ErasureCode> code,
+             std::unique_ptr<BlockStore> store, bool rotate = true);
 
   const codes::ErasureCode& code() const { return *code_; }
   std::size_t disks() const { return code_->total_strips(); }
@@ -70,8 +76,7 @@ class CodedArray {
   std::size_t slot_of(std::size_t disk, std::size_t offset) const;
   /// Disk holding stripe `slot` at `offset` (inverse of slot_of).
   std::size_t disk_of(std::size_t slot, std::size_t offset) const;
-  std::span<std::uint8_t> strip(std::size_t disk, std::size_t offset);
-  std::span<const std::uint8_t> strip(std::size_t disk, std::size_t offset) const;
+  std::vector<std::uint8_t> load(std::size_t disk, std::size_t offset) const;
   /// Gathers a full stripe into decode layout; returns present flags.
   std::vector<bool> gather(std::size_t offset, std::vector<codes::Strip>& strips) const;
 
@@ -79,7 +84,7 @@ class CodedArray {
   std::size_t strips_;
   std::size_t strip_bytes_;
   bool rotate_;
-  std::vector<std::vector<std::uint8_t>> store_;
+  std::unique_ptr<BlockStore> store_;
   std::set<std::size_t> failed_;
   mutable Counters counters_;
 };

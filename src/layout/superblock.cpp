@@ -1,6 +1,12 @@
 #include "layout/superblock.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -90,6 +96,180 @@ OiRaidLayout load_superblock(std::istream& is) {
   OI_ENSURE(problem.empty(), "superblock design invalid: " + problem);
   // The OiRaidLayout constructor re-validates everything else (m, height).
   return OiRaidLayout(std::move(params));
+}
+
+// ------------------------------------------------------------------- v2 ----
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+namespace {
+
+std::string to_hex64(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+void save_superblock_v2(const OiRaidLayout& layout, const ArrayState& state,
+                        std::ostream& os) {
+  std::ostringstream body;
+  body << "oi-raid-superblock v2\n"
+       << "epoch " << state.epoch << '\n'
+       << "strip_bytes " << state.strip_bytes << '\n'
+       << "watermark " << state.rebuild_watermark << '\n'
+       << "failed " << state.failed_disks.size();
+  std::vector<std::size_t> failed = state.failed_disks;
+  std::sort(failed.begin(), failed.end());
+  for (std::size_t d : failed) body << ' ' << d;
+  body << '\n' << "layout\n";
+  save_superblock(layout, body);
+  const std::string text = body.str();
+  os << text << "checksum " << to_hex64(fnv1a64(text)) << '\n';
+}
+
+std::string superblock_v2_string(const OiRaidLayout& layout, const ArrayState& state) {
+  std::ostringstream os;
+  save_superblock_v2(layout, state, os);
+  return os.str();
+}
+
+LoadedSuperblock load_superblock_v2(std::istream& is) {
+  const std::string content{std::istreambuf_iterator<char>(is),
+                            std::istreambuf_iterator<char>()};
+  const auto pos = content.rfind("checksum ");
+  OI_ENSURE(pos != std::string::npos && (pos == 0 || content[pos - 1] == '\n'),
+            "superblock v2 missing checksum line");
+  const std::string body = content.substr(0, pos);
+  std::istringstream cs(content.substr(pos));
+  std::string word, hex;
+  OI_ENSURE(static_cast<bool>(cs >> word >> hex) && hex.size() == 16,
+            "malformed superblock checksum line");
+  std::uint64_t stored = 0;
+  for (const char c : hex) {
+    const bool digit = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    OI_ENSURE(digit, "malformed superblock checksum line");
+    stored = stored << 4 | static_cast<std::uint64_t>(
+                               c <= '9' ? c - '0' : c - 'a' + 10);
+  }
+  OI_ENSURE(stored == fnv1a64(body),
+            "superblock checksum mismatch (torn write or corruption)");
+
+  std::istringstream ps(body);
+  std::string line;
+  auto next_line = [&]() {
+    OI_ENSURE(static_cast<bool>(std::getline(ps, line)), "superblock truncated");
+    return line;
+  };
+  OI_ENSURE(next_line() == "oi-raid-superblock v2",
+            "unrecognized superblock header: " + line);
+  ArrayState state;
+  auto read_u64 = [&](const std::string& key) {
+    std::istringstream ls(next_line());
+    std::string kw;
+    std::uint64_t value = 0;
+    OI_ENSURE(static_cast<bool>(ls >> kw >> value) && kw == key,
+              "superblock expects '" + key + " <n>', got: " + line);
+    return value;
+  };
+  state.epoch = read_u64("epoch");
+  state.strip_bytes = static_cast<std::size_t>(read_u64("strip_bytes"));
+  state.rebuild_watermark = static_cast<std::size_t>(read_u64("watermark"));
+  {
+    std::istringstream ls(next_line());
+    std::string kw;
+    std::size_t count = 0;
+    OI_ENSURE(static_cast<bool>(ls >> kw >> count) && kw == "failed",
+              "superblock expects 'failed <count> <disks...>', got: " + line);
+    std::size_t disk = 0;
+    while (ls >> disk) state.failed_disks.push_back(disk);
+    OI_ENSURE(state.failed_disks.size() == count,
+              "superblock failed-disk count mismatch: " + line);
+  }
+  OI_ENSURE(next_line() == "layout", "superblock expects 'layout', got: " + line);
+  OiRaidLayout layout = load_superblock(ps);
+  return LoadedSuperblock{std::move(layout), std::move(state)};
+}
+
+namespace {
+
+std::string slot_path(const std::string& dir, std::uint64_t epoch) {
+  return dir + "/superblock." + std::to_string(epoch % 2);
+}
+
+struct FdGuard {
+  int fd = -1;
+  ~FdGuard() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+void write_all(int fd, const char* data, std::size_t size, const std::string& path) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      throw std::runtime_error("superblock write failed on '" + path +
+                               "': " + std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void write_superblock_slot(const std::string& dir, const OiRaidLayout& layout,
+                           const ArrayState& state, const CrashHook& hook) {
+  const std::string text = superblock_v2_string(layout, state);
+  const std::string path = slot_path(dir, state.epoch);
+  FdGuard guard{::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644)};
+  if (guard.fd < 0) {
+    throw std::runtime_error("cannot open superblock slot '" + path +
+                             "': " + std::strerror(errno));
+  }
+  if (hook) hook("slot-open");
+  // Two half-writes with a hook between them: a test hook that throws at
+  // "slot-partial" leaves a torn slot on disk, exactly like a power cut.
+  const std::size_t half = text.size() / 2;
+  write_all(guard.fd, text.data(), half, path);
+  if (hook) hook("slot-partial");
+  write_all(guard.fd, text.data() + half, text.size() - half, path);
+  if (::fsync(guard.fd) != 0) {
+    throw std::runtime_error("superblock fsync failed on '" + path +
+                             "': " + std::strerror(errno));
+  }
+  if (hook) hook("slot-synced");
+}
+
+std::optional<LoadedSuperblock> load_newest_superblock(const std::string& dir) {
+  std::optional<LoadedSuperblock> best;
+  for (std::uint64_t slot = 0; slot < 2; ++slot) {
+    std::ifstream in(dir + "/superblock." + std::to_string(slot));
+    if (!in) continue;
+    try {
+      LoadedSuperblock loaded = load_superblock_v2(in);
+      if (!best || loaded.state.epoch > best->state.epoch) {
+        best.emplace(std::move(loaded));
+      }
+    } catch (const std::exception&) {
+      // A torn or corrupt slot is expected after a crash; the other slot
+      // (if any) carries the last durable state.
+    }
+  }
+  return best;
 }
 
 }  // namespace oi::layout

@@ -14,10 +14,35 @@
 // Loading verifies the design (every pair covered exactly lambda times), so
 // a corrupted or hand-edited superblock fails loudly instead of quietly
 // scrambling the address map.
+//
+// v2 wraps the v1 layout description with mutable *array state* -- the
+// metadata a persistent array must recover after a restart:
+//
+//   oi-raid-superblock v2
+//   epoch <n>              (monotonic; bumped on every state change)
+//   strip_bytes <n>
+//   watermark <n>          (rebuild steps already applied; 0 = no rebuild)
+//   failed <count> <d...>  (disk ids currently failed, ascending)
+//   layout
+//   <v1 superblock text>
+//   checksum <fnv1a64-hex> (over every byte above this line)
+//
+// The checksum makes a torn write detectable, and `write_superblock_slot` /
+// `load_newest_superblock` implement the classic double-buffer protocol on
+// top: state with epoch E goes to file `superblock.<E%2>`, so a crash mid-
+// write corrupts at most the slot being written while the other slot still
+// holds the previous epoch intact. The loader picks the valid slot with the
+// highest epoch. Durability ordering is the caller's job: flush the data
+// strips *before* publishing the superblock that refers to them.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "layout/oi_raid.hpp"
 
@@ -28,5 +53,53 @@ std::string superblock_string(const OiRaidLayout& layout);
 
 /// Throws std::invalid_argument on malformed input or an invalid design.
 OiRaidLayout load_superblock(std::istream& is);
+
+/// Mutable per-array metadata persisted alongside the (immutable) layout.
+struct ArrayState {
+  std::uint64_t epoch = 0;
+  std::size_t strip_bytes = 0;
+  /// Disks currently failed (ascending). Empty means fully healthy.
+  std::vector<std::size_t> failed_disks;
+  /// Rebuild-plan steps already applied and durable on the data store. The
+  /// plan itself is not persisted: it is a deterministic function of the
+  /// layout and `failed_disks`, so a reopened array re-derives it and fast-
+  /// forwards to this step count.
+  std::size_t rebuild_watermark = 0;
+
+  bool operator==(const ArrayState&) const = default;
+};
+
+struct LoadedSuperblock {
+  OiRaidLayout layout;
+  ArrayState state;
+};
+
+/// FNV-1a 64-bit -- the superblock's integrity check (not cryptographic;
+/// it guards against torn writes and bit rot, not adversaries).
+std::uint64_t fnv1a64(std::string_view bytes);
+
+void save_superblock_v2(const OiRaidLayout& layout, const ArrayState& state,
+                        std::ostream& os);
+std::string superblock_v2_string(const OiRaidLayout& layout, const ArrayState& state);
+
+/// Throws std::invalid_argument on malformed input, checksum mismatch, or an
+/// invalid design.
+LoadedSuperblock load_superblock_v2(std::istream& is);
+
+/// Crash-injection hook for tests: called at named points inside the slot
+/// write ("slot-open" after the slot file is truncated, "slot-partial" after
+/// roughly half the bytes landed, "slot-synced" after fsync). A hook that
+/// throws simulates a crash at that point; the slot file is left exactly as
+/// the interrupted write would leave it.
+using CrashHook = std::function<void(const std::string& point)>;
+
+/// Writes `state` (+ layout) to slot file `<dir>/superblock.<epoch%2>`,
+/// fsyncing before returning. Throws std::runtime_error on I/O failure.
+void write_superblock_slot(const std::string& dir, const OiRaidLayout& layout,
+                           const ArrayState& state, const CrashHook& hook = {});
+
+/// Scans both slot files and returns the valid superblock with the highest
+/// epoch; nullopt when neither slot parses (fresh directory or total loss).
+std::optional<LoadedSuperblock> load_newest_superblock(const std::string& dir);
 
 }  // namespace oi::layout

@@ -1,0 +1,318 @@
+#include "server/block_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/metrics.hpp"
+
+namespace oi::server {
+
+namespace {
+
+struct ServerMetrics {
+  metrics::Counter& connections;
+  metrics::Counter& requests;
+  metrics::Counter& errors;
+  metrics::Counter& read_bytes;
+  metrics::Counter& write_bytes;
+  metrics::Counter& rebuild_steps;
+  metrics::Gauge& rebuild_active;
+  metrics::Gauge& watermark;
+  metrics::Gauge& total_steps;
+  metrics::Gauge& failed_disks;
+
+  static ServerMetrics& instance() {
+    auto& reg = metrics::Registry::instance();
+    static ServerMetrics m{reg.counter("server.net.connections"),
+                           reg.counter("server.net.requests"),
+                           reg.counter("server.net.errors"),
+                           reg.counter("server.io.read_bytes"),
+                           reg.counter("server.io.write_bytes"),
+                           reg.counter("server.rebuild.steps"),
+                           reg.gauge("server.rebuild.active"),
+                           reg.gauge("rebuild.watermark"),
+                           reg.gauge("server.rebuild.total_steps"),
+                           reg.gauge("server.disks.failed")};
+    return m;
+  }
+};
+
+bool send_all(int fd, const std::vector<std::uint8_t>& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+Frame error_frame(Op op, const std::string& reason) {
+  Frame out{op, Status::kError};
+  out.payload.assign(reason.begin(), reason.end());
+  return out;
+}
+
+}  // namespace
+
+BlockServer::BlockServer(PersistentArray& array, BlockServerConfig config)
+    : array_(array),
+      config_(std::move(config)),
+      governor_(config_.client_bytes_per_second,
+                config_.rebuild_bytes_per_second) {
+  OI_ENSURE(config_.rebuild_batch_steps >= 1,
+            "rebuild batch must be at least one step");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  OI_ENSURE(listen_fd_ >= 0, "oiraidd: cannot create socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::invalid_argument("oiraidd: invalid bind address '" +
+                                config_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::invalid_argument("oiraidd: cannot listen on " + config_.host +
+                                ":" + std::to_string(config_.port) + ": " +
+                                reason);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = config_.port;
+  }
+  acceptor_ = std::thread([this] { serve(); });
+  rebuilder_ = std::thread([this] { rebuild_loop(); });
+}
+
+BlockServer::~BlockServer() {
+  stop();
+  if (acceptor_.joinable()) acceptor_.join();
+  if (rebuilder_.joinable()) rebuilder_.join();
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    for (auto& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+    workers_.clear();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  std::lock_guard<std::mutex> lock(array_mutex_);
+  array_.sync();
+}
+
+void BlockServer::stop() {
+  stopping_.store(true, std::memory_order_release);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  stop_cv_.notify_all();
+}
+
+void BlockServer::wait() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  stop_cv_.wait(lock, [this] {
+    return stopping_.load(std::memory_order_acquire);
+  });
+}
+
+void BlockServer::serve() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200 /*ms*/);
+    if (stopping_.load(std::memory_order_acquire)) return;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    ServerMetrics::instance().connections.increment();
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers_.emplace_back([this, fd] {
+      handle_connection(fd);
+      ::close(fd);
+    });
+  }
+}
+
+void BlockServer::handle_connection(int fd) {
+  std::uint8_t header[kHeaderBytes];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Read one full header; the 200ms poll bounds how long a worker lingers
+    // after stop() flips.
+    std::size_t got = 0;
+    while (got < kHeaderBytes) {
+      pollfd pfd{fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 200 /*ms*/);
+      if (stopping_.load(std::memory_order_acquire)) return;
+      if (ready <= 0) {
+        if (got > 0) continue;  // mid-header: keep waiting
+        got = 0;
+        continue;  // idle connection: keep polling
+      }
+      const ssize_t n = ::recv(fd, header + got, kHeaderBytes - got, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;  // peer closed
+      got += static_cast<std::size_t>(n);
+    }
+    Frame request;
+    const auto payload_len = decode_header({header, kHeaderBytes}, request);
+    if (!payload_len) return;  // protocol violation: drop the connection
+    request.payload.resize(*payload_len);
+    got = 0;
+    while (got < *payload_len) {
+      pollfd pfd{fd, POLLIN, 0};
+      if (::poll(&pfd, 1, 1000 /*ms*/) <= 0) {
+        if (stopping_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      const ssize_t n = ::recv(fd, request.payload.data() + got,
+                               *payload_len - got, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;
+      got += static_cast<std::size_t>(n);
+    }
+    ServerMetrics::instance().requests.increment();
+    const Frame response = handle_request(request);
+    if (!send_all(fd, encode_frame(response))) return;
+    if (request.op == Op::kStop) return;
+  }
+}
+
+Frame BlockServer::handle_request(const Frame& request) {
+  auto& m = ServerMetrics::instance();
+  try {
+    switch (request.op) {
+      case Op::kPing:
+        return Frame{Op::kPing};
+      case Op::kRead: {
+        if (request.payload.size() != 4) {
+          throw std::invalid_argument("read expects a 4-byte length payload");
+        }
+        std::uint32_t length = 0;
+        for (std::size_t i = 4; i-- > 0;) {
+          length = length << 8 | request.payload[i];
+        }
+        if (length > kMaxPayload) {
+          throw std::invalid_argument("read length exceeds the frame limit");
+        }
+        governor_.acquire_client(length);
+        Frame response{Op::kRead};
+        {
+          std::lock_guard<std::mutex> lock(array_mutex_);
+          response.payload = array_.array().read_bytes(request.arg, length);
+        }
+        m.read_bytes.add(length);
+        return response;
+      }
+      case Op::kWrite: {
+        governor_.acquire_client(request.payload.size());
+        {
+          std::lock_guard<std::mutex> lock(array_mutex_);
+          array_.array().write_bytes(request.arg, request.payload);
+        }
+        m.write_bytes.add(request.payload.size());
+        return Frame{Op::kWrite};
+      }
+      case Op::kFailDisk: {
+        std::lock_guard<std::mutex> lock(array_mutex_);
+        array_.fail_disk(static_cast<std::size_t>(request.arg));
+        m.failed_disks.set(
+            static_cast<double>(array_.array().failed_disks().size()));
+        return Frame{Op::kFailDisk};
+      }
+      case Op::kStatus: {
+        Frame response{Op::kStatus};
+        const std::string text = status_text();
+        response.payload.assign(text.begin(), text.end());
+        return response;
+      }
+      case Op::kStop: {
+        stop();
+        return Frame{Op::kStop};
+      }
+    }
+    throw std::invalid_argument("unknown opcode");
+  } catch (const std::exception& error) {
+    m.errors.increment();
+    return error_frame(request.op, error.what());
+  }
+}
+
+std::string BlockServer::status_text() {
+  std::lock_guard<std::mutex> lock(array_mutex_);
+  const core::Array& array = array_.array();
+  std::ostringstream os;
+  os << "disks " << array.layout().disks() << '\n'
+     << "strips_per_disk " << array.layout().strips_per_disk() << '\n'
+     << "strip_bytes " << array.strip_bytes() << '\n'
+     << "capacity_bytes " << array.capacity_bytes() << '\n'
+     << "epoch " << array_.state().epoch << '\n';
+  os << "failed " << array.failed_disks().size();
+  for (std::size_t d : array.failed_disks()) os << ' ' << d;
+  os << '\n'
+     << "rebuild_active " << (array.rebuild_active() ? 1 : 0) << '\n'
+     << "rebuild_watermark " << array.rebuild_watermark() << '\n'
+     << "rebuild_total_steps " << array.rebuild_total_steps() << '\n';
+  return os.str();
+}
+
+void BlockServer::rebuild_loop() {
+  auto& m = ServerMetrics::instance();
+  while (!stopping_.load(std::memory_order_acquire)) {
+    core::RebuildReport report;
+    bool active = false;
+    std::size_t watermark = 0;
+    std::size_t total = 0;
+    {
+      std::lock_guard<std::mutex> lock(array_mutex_);
+      if (!array_.array().failed_disks().empty()) {
+        report = array_.rebuild_step(config_.rebuild_batch_steps);
+        active = array_.array().rebuild_active();
+        watermark = array_.array().rebuild_watermark();
+        total = array_.array().rebuild_total_steps();
+      }
+      m.failed_disks.set(
+          static_cast<double>(array_.array().failed_disks().size()));
+    }
+    m.rebuild_active.set(active ? 1.0 : 0.0);
+    m.watermark.set(static_cast<double>(watermark));
+    m.total_steps.set(static_cast<double>(total));
+    if (report.strips_rebuilt == 0) {
+      // Healthy (or just finished): poll for new failures.
+      std::unique_lock<std::mutex> lock(stop_mutex_);
+      stop_cv_.wait_for(lock, std::chrono::milliseconds(config_.rebuild_idle_ms),
+                        [this] {
+                          return stopping_.load(std::memory_order_acquire);
+                        });
+      continue;
+    }
+    m.rebuild_steps.add(report.strips_rebuilt);
+    // Pace the *next* batch by what this one cost, outside the array lock so
+    // clients run while the rebuild waits for budget.
+    const std::size_t bytes =
+        (report.strip_reads + report.strips_rebuilt) * array_.array().strip_bytes();
+    governor_.acquire_rebuild(bytes);
+  }
+}
+
+}  // namespace oi::server

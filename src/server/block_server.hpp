@@ -1,0 +1,89 @@
+// oiraidd's serving core: a loopback TCP server exposing one PersistentArray
+// as a byte-addressable block device over the OIRD frame protocol, with a
+// background rebuild thread that brings failed disks back online *while
+// clients keep reading and writing*.
+//
+// Concurrency model: one acceptor thread, one thread per client connection,
+// one rebuild thread. The array itself is not thread-safe, so every array
+// operation -- a client read/write, a fail-disk, one batch of rebuild steps
+// -- serializes on a single mutex; the rebuild thread takes the lock in
+// *batches* of plan steps and the token-bucket governor (taken outside the
+// lock) paces it, so client requests interleave between batches instead of
+// starving behind a monolithic rebuild. Online consistency comes from the
+// array's stepwise-rebuild semantics: strips below the watermark are served
+// like healthy ones, and client writes during a rebuild go through the same
+// parity machinery, so nothing the rebuild produces is ever stale.
+//
+// Progress is visible in the metrics registry (`server.*` counters, the
+// `rebuild.watermark` gauge) -- point `oiraidctl top` at the daemon's
+// --metrics-port to watch a rebuild race client traffic live.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/governor.hpp"
+#include "server/persistent_array.hpp"
+#include "server/protocol.hpp"
+
+namespace oi::server {
+
+struct BlockServerConfig {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back with port().
+  std::uint16_t port = 0;
+  /// Rebuild-plan steps applied per lock acquisition (the granularity at
+  /// which client requests can interleave with an active rebuild).
+  std::size_t rebuild_batch_steps = 8;
+  /// Token-bucket rates; 0 = unthrottled.
+  double client_bytes_per_second = 0.0;
+  double rebuild_bytes_per_second = 0.0;
+  /// Rebuild thread's poll interval while the array is healthy.
+  int rebuild_idle_ms = 20;
+};
+
+class BlockServer {
+ public:
+  /// Binds, starts the acceptor and rebuild threads. The array must outlive
+  /// the server. Throws std::invalid_argument when the port cannot be bound.
+  BlockServer(PersistentArray& array, BlockServerConfig config = {});
+  /// Stops serving, joins every thread, syncs the array.
+  ~BlockServer();
+
+  BlockServer(const BlockServer&) = delete;
+  BlockServer& operator=(const BlockServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  /// Blocks until stop() is called or a client sends kStop.
+  void wait();
+  void stop();
+
+ private:
+  void serve();
+  void handle_connection(int fd);
+  /// One request -> one response; never throws (errors become kError frames).
+  Frame handle_request(const Frame& request);
+  void rebuild_loop();
+  std::string status_text();
+
+  PersistentArray& array_;
+  BlockServerConfig config_;
+  IoGovernor governor_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::mutex array_mutex_;
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+  std::thread acceptor_;
+  std::thread rebuilder_;
+};
+
+}  // namespace oi::server

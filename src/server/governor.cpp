@@ -1,0 +1,41 @@
+#include "server/governor.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace oi::server {
+
+TokenBucket::TokenBucket(double bytes_per_second, double burst_bytes)
+    : rate_(bytes_per_second),
+      burst_(burst_bytes > 0.0 ? burst_bytes : std::max(bytes_per_second, 1.0)),
+      tokens_(burst_),
+      last_(Clock::now()) {}
+
+void TokenBucket::refill(Clock::time_point now) {
+  const std::chrono::duration<double> elapsed = now - last_;
+  last_ = now;
+  tokens_ = std::min(burst_, tokens_ + elapsed.count() * rate_);
+}
+
+void TokenBucket::acquire(std::size_t bytes) {
+  if (unlimited()) return;
+  double want = static_cast<double>(bytes);
+  while (want > 0.0) {
+    // Oversized requests drain the bucket burst by burst.
+    const double chunk = std::min(want, burst_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    refill(Clock::now());
+    if (tokens_ >= chunk) {
+      tokens_ -= chunk;
+      want -= chunk;
+      continue;
+    }
+    const double deficit = chunk - tokens_;
+    lock.unlock();
+    // Sleep exactly long enough for the deficit to refill; no busy wait and
+    // no condition variable needed because nothing *adds* tokens but time.
+    std::this_thread::sleep_for(std::chrono::duration<double>(deficit / rate_));
+  }
+}
+
+}  // namespace oi::server

@@ -1,0 +1,62 @@
+// I/O bandwidth arbitration between client traffic and background rebuild.
+//
+// A classic token bucket per traffic class: tokens are bytes, refilled at a
+// configured rate up to one burst's worth, and an acquire() blocks the caller
+// until the bucket can cover the request. The server gives the client path
+// and the rebuild path separate buckets, so operators can cap how hard the
+// rebuild competes with foreground I/O (the paper's fast-recovery claim is
+// about *disk* parallelism; the governor is what keeps the recovery traffic
+// from starving clients on the way there). A rate of 0 disables throttling
+// for that class -- acquires return immediately.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+
+namespace oi::server {
+
+class TokenBucket {
+ public:
+  /// `bytes_per_second` = sustained rate (0 disables throttling);
+  /// `burst_bytes` = bucket capacity (defaults to one second's worth).
+  explicit TokenBucket(double bytes_per_second, double burst_bytes = 0.0);
+
+  /// Blocks until `bytes` tokens are available, then takes them. Requests
+  /// larger than the burst are admitted one burst at a time rather than
+  /// deadlocking. Immediate when the bucket is unthrottled.
+  void acquire(std::size_t bytes);
+
+  double rate() const { return rate_; }
+  bool unlimited() const { return rate_ <= 0.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  void refill(Clock::time_point now);
+
+  const double rate_;
+  const double burst_;
+  double tokens_;
+  Clock::time_point last_;
+  std::mutex mutex_;
+};
+
+/// The server's two traffic classes. Shared by every client-connection
+/// thread and the rebuild thread; TokenBucket is internally synchronized.
+class IoGovernor {
+ public:
+  IoGovernor(double client_bytes_per_second, double rebuild_bytes_per_second)
+      : client_(client_bytes_per_second), rebuild_(rebuild_bytes_per_second) {}
+
+  void acquire_client(std::size_t bytes) { client_.acquire(bytes); }
+  void acquire_rebuild(std::size_t bytes) { rebuild_.acquire(bytes); }
+
+  const TokenBucket& client_bucket() const { return client_; }
+  const TokenBucket& rebuild_bucket() const { return rebuild_; }
+
+ private:
+  TokenBucket client_;
+  TokenBucket rebuild_;
+};
+
+}  // namespace oi::server

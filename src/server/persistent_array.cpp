@@ -1,0 +1,86 @@
+#include "server/persistent_array.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace oi::server {
+
+PersistentArray::PersistentArray(std::string dir, layout::OiRaidLayout layout,
+                                 std::size_t strip_bytes)
+    : dir_(std::move(dir)),
+      layout_(std::make_shared<layout::OiRaidLayout>(std::move(layout))) {
+  OI_ENSURE(!exists(dir_),
+            "directory '" + dir_ + "' already holds an array; open it instead");
+  state_.strip_bytes = strip_bytes;
+  // FileBlockStore creates the directory and zero-filled images (ftruncate
+  // extends with zeros), which is parity-consistent for every XOR layout.
+  auto store = std::make_unique<core::FileBlockStore>(
+      dir_, layout_->disks(), layout_->strips_per_disk(), strip_bytes);
+  array_ = std::make_unique<core::Array>(layout_, std::move(store));
+  persist();
+}
+
+PersistentArray::PersistentArray(std::string dir) : dir_(std::move(dir)) {
+  auto loaded = layout::load_newest_superblock(dir_);
+  OI_ENSURE(loaded.has_value(),
+            "no valid superblock in '" + dir_ + "' (not an array directory?)");
+  layout_ = std::make_shared<layout::OiRaidLayout>(std::move(loaded->layout));
+  state_ = std::move(loaded->state);
+  auto store = std::make_unique<core::FileBlockStore>(
+      dir_, layout_->disks(), layout_->strips_per_disk(), state_.strip_bytes);
+  array_ = std::make_unique<core::Array>(layout_, std::move(store));
+  if (!state_.failed_disks.empty()) {
+    array_->restore(state_.failed_disks, state_.rebuild_watermark);
+  }
+}
+
+bool PersistentArray::exists(const std::string& dir) {
+  return layout::load_newest_superblock(dir).has_value();
+}
+
+void PersistentArray::persist() {
+  layout::write_superblock_slot(dir_, *layout_, state_, hook_);
+}
+
+void PersistentArray::fail_disk(std::size_t disk) {
+  OI_ENSURE(disk < layout_->disks(), "disk id out of range");
+  if (array_->is_failed(disk)) return;
+  // Publish the failure before poisoning: a crash in between leaves a disk
+  // recorded as failed with intact bytes (safe -- rebuild rewrites it). The
+  // reverse order could reopen with a poisoned disk believed healthy.
+  layout::ArrayState next = state_;
+  next.epoch = state_.epoch + 1;
+  next.failed_disks = array_->failed_disks();
+  next.failed_disks.push_back(disk);
+  std::sort(next.failed_disks.begin(), next.failed_disks.end());
+  next.rebuild_watermark = 0;  // a new failure invalidates any old plan
+  state_ = std::move(next);
+  persist();
+  array_->fail_disk(disk);
+}
+
+core::RebuildReport PersistentArray::rebuild_step(std::size_t max_steps) {
+  if (array_->failed_disks().empty()) return {};
+  array_->rebuild_begin();
+  const core::RebuildReport report = array_->rebuild_step(max_steps);
+  // Data first, watermark second: a persisted watermark must only ever point
+  // at strips that are durable on the backing files.
+  array_->flush();
+  state_.epoch += 1;
+  state_.rebuild_watermark = array_->rebuild_watermark();
+  state_.failed_disks = array_->failed_disks();
+  if (state_.failed_disks.empty()) state_.rebuild_watermark = 0;  // completed
+  persist();
+  return report;
+}
+
+void PersistentArray::sync() {
+  array_->flush();
+  state_.epoch += 1;
+  state_.rebuild_watermark = array_->rebuild_watermark();
+  state_.failed_disks = array_->failed_disks();
+  persist();
+}
+
+}  // namespace oi::server

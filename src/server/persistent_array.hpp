@@ -1,0 +1,81 @@
+// A core::Array bound to a directory: one backing file per disk
+// (core::FileBlockStore) plus double-buffered v2 superblocks
+// (layout::superblock) carrying the mutable state -- epoch, failed disks,
+// rebuild watermark. This is the durability contract the server relies on:
+//
+//   * fail_disk persists the new failure set *before* the array poisons the
+//     disk, so a crash in between leaves a disk marked failed but intact
+//     (rebuild rewrites it; never the reverse, which would serve stale data);
+//   * rebuild checkpoints flush the data store *before* publishing the
+//     advanced watermark, so a persisted watermark only ever points at
+//     durable strips;
+//   * reopening re-derives the rebuild plan (it is a deterministic function
+//     of layout + failure set) and fast-forwards to the persisted watermark
+//     -- strips from later steps are treated as lost even though bytes exist
+//     on disk, because a torn rebuild write may have left them stale.
+//
+// Epochs only grow; the loader picks the valid slot with the highest epoch,
+// so a torn superblock write falls back to the previous state, which is
+// always a safe (merely older) description of the same bytes.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "core/array.hpp"
+#include "layout/oi_raid.hpp"
+#include "layout/superblock.hpp"
+
+namespace oi::server {
+
+class PersistentArray {
+ public:
+  /// Creates a fresh array at `dir` (created if missing): zero-filled disk
+  /// images and an epoch-0 superblock. Throws std::invalid_argument when the
+  /// directory already holds a superblock.
+  PersistentArray(std::string dir, layout::OiRaidLayout layout,
+                  std::size_t strip_bytes);
+
+  /// Reopens the array persisted at `dir` from its newest valid superblock,
+  /// resuming any half-finished rebuild at the persisted watermark. Throws
+  /// std::invalid_argument when no valid superblock exists.
+  explicit PersistentArray(std::string dir);
+
+  /// True when `dir` holds at least one loadable superblock slot.
+  static bool exists(const std::string& dir);
+
+  core::Array& array() { return *array_; }
+  const core::Array& array() const { return *array_; }
+  const layout::OiRaidLayout& layout() const { return *layout_; }
+  const std::string& dir() const { return dir_; }
+  const layout::ArrayState& state() const { return state_; }
+
+  /// Marks a disk failed, durably: superblock first (failure recorded,
+  /// watermark reset), then the in-memory/poisoning transition.
+  void fail_disk(std::size_t disk);
+
+  /// Plans (if needed) and applies up to `max_steps` rebuild steps, then
+  /// checkpoints: data flush followed by a superblock carrying the advanced
+  /// watermark. When the rebuild completes, the persisted failure set clears.
+  /// Returns the I/O report of the applied steps.
+  core::RebuildReport rebuild_step(std::size_t max_steps);
+
+  /// Flushes data and persists the current state (close-time tidy-up; also
+  /// useful before deliberately killing a process in tests).
+  void sync();
+
+  /// Test-only crash injection, forwarded to every superblock slot write.
+  void set_crash_hook(layout::CrashHook hook) { hook_ = std::move(hook); }
+
+ private:
+  void persist();
+
+  std::string dir_;
+  std::shared_ptr<const layout::OiRaidLayout> layout_;
+  layout::ArrayState state_;
+  std::unique_ptr<core::Array> array_;
+  layout::CrashHook hook_;
+};
+
+}  // namespace oi::server

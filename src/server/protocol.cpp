@@ -1,0 +1,179 @@
+#include "server/protocol.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace oi::server {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v));
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint64_t get_le(std::span<const std::uint8_t> bytes) {
+  std::uint64_t v = 0;
+  for (std::size_t i = bytes.size(); i-- > 0;) v = v << 8 | bytes[i];
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + frame.payload.size());
+  out.insert(out.end(), kMagic, kMagic + 4);
+  out.push_back(static_cast<std::uint8_t>(frame.op));
+  out.push_back(static_cast<std::uint8_t>(frame.status));
+  put_u16(out, 0);
+  put_u64(out, frame.arg);
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+std::optional<std::uint32_t> decode_header(std::span<const std::uint8_t> header,
+                                           Frame& out) {
+  if (header.size() != kHeaderBytes ||
+      std::memcmp(header.data(), kMagic, 4) != 0) {
+    return std::nullopt;
+  }
+  out.op = static_cast<Op>(header[4]);
+  out.status = static_cast<Status>(header[5]);
+  out.arg = get_le(header.subspan(8, 8));
+  const auto len = static_cast<std::uint32_t>(get_le(header.subspan(16, 4)));
+  if (len > kMaxPayload) return std::nullopt;
+  out.payload.clear();
+  return len;
+}
+
+// --------------------------------------------------------------- client ----
+
+namespace {
+
+void send_frame(int fd, const Frame& frame, int timeout_ms) {
+  const auto bytes = encode_frame(frame);
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    pollfd pfd{fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, timeout_ms) <= 0) {
+      throw std::runtime_error("oiraidd client: send timeout");
+    }
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) throw std::runtime_error("oiraidd client: connection lost");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void recv_exact(int fd, std::uint8_t* out, std::size_t size, int timeout_ms) {
+  std::size_t got = 0;
+  while (got < size) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, timeout_ms) <= 0) {
+      throw std::runtime_error("oiraidd client: receive timeout");
+    }
+    const ssize_t n = ::recv(fd, out + got, size - got, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) throw std::runtime_error("oiraidd client: connection lost");
+    got += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+Client::Client(const std::string& host, std::uint16_t port, int timeout_ms)
+    : timeout_ms_(timeout_ms) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("oiraidd client: cannot create socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("oiraidd client: invalid address '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("oiraidd client: cannot connect to " + host + ":" +
+                             std::to_string(port) + ": " + reason);
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Frame Client::roundtrip(const Frame& request) {
+  send_frame(fd_, request, timeout_ms_);
+  std::uint8_t header[kHeaderBytes];
+  recv_exact(fd_, header, kHeaderBytes, timeout_ms_);
+  Frame response;
+  const auto len = decode_header({header, kHeaderBytes}, response);
+  if (!len) throw std::runtime_error("oiraidd client: malformed response");
+  response.payload.resize(*len);
+  if (*len > 0) recv_exact(fd_, response.payload.data(), *len, timeout_ms_);
+  if (response.status != Status::kOk) {
+    throw std::runtime_error(std::string(response.payload.begin(),
+                                         response.payload.end()));
+  }
+  return response;
+}
+
+void Client::ping() { roundtrip(Frame{Op::kPing}); }
+
+std::vector<std::uint8_t> Client::read(std::uint64_t offset,
+                                       std::uint32_t length) {
+  Frame request{Op::kRead};
+  request.arg = offset;
+  put_u32(request.payload, length);
+  Frame response = roundtrip(request);
+  if (response.payload.size() != length) {
+    throw std::runtime_error("oiraidd client: short read response");
+  }
+  return std::move(response.payload);
+}
+
+void Client::write(std::uint64_t offset, std::span<const std::uint8_t> data) {
+  Frame request{Op::kWrite};
+  request.arg = offset;
+  request.payload.assign(data.begin(), data.end());
+  roundtrip(request);
+}
+
+void Client::fail_disk(std::size_t disk) {
+  Frame request{Op::kFailDisk};
+  request.arg = disk;
+  roundtrip(request);
+}
+
+std::string Client::status() {
+  const Frame response = roundtrip(Frame{Op::kStatus});
+  return std::string(response.payload.begin(), response.payload.end());
+}
+
+void Client::stop() { roundtrip(Frame{Op::kStop}); }
+
+}  // namespace oi::server

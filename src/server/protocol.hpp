@@ -1,0 +1,93 @@
+// The oiraidd wire protocol: fixed 20-byte frames ("OIRD" magic) with an
+// optional payload, little-endian integers, one request -> one response per
+// frame, many frames per connection. Deliberately minimal -- a loopback
+// block-device control protocol, not a network filesystem:
+//
+//   request:  magic[4] op u8  pad u8  pad u16  arg u64  payload_len u32  payload
+//   response: magic[4] op u8  status  pad u16  arg u64  payload_len u32  payload
+//
+//   kPing      -> status only (liveness)
+//   kRead      arg = byte offset, payload = "<length u32>"; response payload = data
+//   kWrite     arg = byte offset, payload = data; writes through the parity path
+//   kFailDisk  arg = disk id; marks it failed (durably) -- the server's
+//              rebuild thread then brings it back online
+//   kStatus    response payload = "key value" lines (disks, failed disks,
+//              rebuild watermark/total, epoch); stable for scripts to parse
+//   kStop      asks the server to shut down after responding
+//
+// Status kError responses carry the human-readable reason as payload.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace oi::server {
+
+inline constexpr char kMagic[4] = {'O', 'I', 'R', 'D'};
+inline constexpr std::size_t kHeaderBytes = 20;
+/// Upper bound on a frame payload; a frame beyond it is a protocol error
+/// (keeps a garbage or hostile length field from allocating gigabytes).
+inline constexpr std::uint32_t kMaxPayload = 64u << 20;
+
+enum class Op : std::uint8_t {
+  kPing = 0,
+  kRead = 1,
+  kWrite = 2,
+  kFailDisk = 3,
+  kStatus = 4,
+  kStop = 5,
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kError = 1,
+};
+
+struct Frame {
+  Op op = Op::kPing;
+  Status status = Status::kOk;  // meaningful in responses only
+  std::uint64_t arg = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serializes header + payload into one contiguous buffer.
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+/// Parses a header; returns the payload length still to be read, or nullopt
+/// on a bad magic/oversized length (protocol error -- drop the connection).
+std::optional<std::uint32_t> decode_header(std::span<const std::uint8_t> header,
+                                           Frame& out);
+
+/// Blocking client for one oiraidd connection. Methods throw
+/// std::runtime_error on connection loss, protocol errors, or kError
+/// responses (with the server's reason as the exception message).
+class Client {
+ public:
+  Client(const std::string& host, std::uint16_t port, int timeout_ms = 5000);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept
+      : fd_(other.fd_), timeout_ms_(other.timeout_ms_) {
+    other.fd_ = -1;
+  }
+  Client& operator=(Client&&) = delete;
+
+  void ping();
+  std::vector<std::uint8_t> read(std::uint64_t offset, std::uint32_t length);
+  void write(std::uint64_t offset, std::span<const std::uint8_t> data);
+  void fail_disk(std::size_t disk);
+  /// "key value" lines; see protocol comment.
+  std::string status();
+  void stop();
+
+ private:
+  Frame roundtrip(const Frame& request);
+
+  int fd_ = -1;
+  int timeout_ms_;
+};
+
+}  // namespace oi::server

@@ -1,0 +1,142 @@
+// BlockStore backend contract: geometry, strip round trips, trim fill,
+// flush, and -- for the file backend -- real persistence across close/reopen
+// plus loud rejection of geometry mismatches (a resized image means the
+// superblock and the data files disagree; trusting either would scramble
+// the address map).
+#include "core/block_store.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <memory>
+
+namespace oi::core {
+namespace {
+
+std::string make_tmpdir() {
+  char tmpl[] = "/tmp/oi-blockstore-XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return std::string(dir);
+}
+
+struct BackendCase {
+  std::string label;
+  std::function<std::unique_ptr<BlockStore>(std::size_t disks, std::size_t strips,
+                                            std::size_t strip_bytes)>
+      make;
+};
+
+class BlockStoreContract : public ::testing::TestWithParam<BackendCase> {};
+
+TEST_P(BlockStoreContract, GeometryAndZeroInitialContents) {
+  const auto store = GetParam().make(3, 4, 64);
+  EXPECT_EQ(store->disks(), 3u);
+  EXPECT_EQ(store->strips_per_disk(), 4u);
+  EXPECT_EQ(store->strip_bytes(), 64u);
+  std::vector<std::uint8_t> buf(64, 0xAA);
+  store->read(2, 3, buf);
+  EXPECT_EQ(buf, std::vector<std::uint8_t>(64, 0));
+}
+
+TEST_P(BlockStoreContract, WriteReadRoundTripPerStrip) {
+  const auto store = GetParam().make(2, 3, 32);
+  std::vector<std::uint8_t> a(32), b(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    a[i] = static_cast<std::uint8_t>(i);
+    b[i] = static_cast<std::uint8_t>(255 - i);
+  }
+  store->write(0, 1, a);
+  store->write(1, 2, b);
+  std::vector<std::uint8_t> out(32);
+  store->read(0, 1, out);
+  EXPECT_EQ(out, a);
+  store->read(1, 2, out);
+  EXPECT_EQ(out, b);
+  // Neighbors stay untouched (no slot bleed, even with 512-byte file slots).
+  store->read(0, 0, out);
+  EXPECT_EQ(out, std::vector<std::uint8_t>(32, 0));
+  store->read(0, 2, out);
+  EXPECT_EQ(out, std::vector<std::uint8_t>(32, 0));
+}
+
+TEST_P(BlockStoreContract, TrimFillsWholeDiskOnly) {
+  const auto store = GetParam().make(2, 2, 16);
+  std::vector<std::uint8_t> data(16, 0x11);
+  store->write(0, 0, data);
+  store->write(1, 1, data);
+  store->trim_disk(0, 0xDD);
+  std::vector<std::uint8_t> out(16);
+  for (std::size_t o = 0; o < 2; ++o) {
+    store->read(0, o, out);
+    EXPECT_EQ(out, std::vector<std::uint8_t>(16, 0xDD)) << "offset " << o;
+  }
+  store->read(1, 1, out);
+  EXPECT_EQ(out, data);
+  store->flush();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, BlockStoreContract,
+    ::testing::Values(
+        BackendCase{"mem",
+                    [](std::size_t d, std::size_t s, std::size_t b) {
+                      return std::make_unique<MemBlockStore>(d, s, b);
+                    }},
+        BackendCase{"file",
+                    [](std::size_t d, std::size_t s,
+                       std::size_t b) -> std::unique_ptr<BlockStore> {
+                      return std::make_unique<FileBlockStore>(
+                          make_tmpdir() + "/disks", d, s, b);
+                    }}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(FileBlockStore, PersistsAcrossReopen) {
+  const std::string dir = make_tmpdir() + "/disks";
+  std::vector<std::uint8_t> data(40);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  {
+    FileBlockStore store(dir, 2, 3, 40);
+    store.write(1, 2, data);
+    store.flush();
+  }
+  FileBlockStore reopened(dir, 2, 3, 40);
+  std::vector<std::uint8_t> out(40);
+  reopened.read(1, 2, out);
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(reopened.describe(), "file:" + dir);
+}
+
+TEST(FileBlockStore, RejectsGeometryMismatchOnReopen) {
+  const std::string dir = make_tmpdir() + "/disks";
+  { FileBlockStore store(dir, 2, 3, 40); }
+  // Same dir, different strips_per_disk -> different file size -> reject.
+  EXPECT_THROW(FileBlockStore(dir, 2, 5, 40), std::invalid_argument);
+  // A truncated image (simulated partial copy) is rejected too.
+  ASSERT_EQ(::truncate((dir + "/disk-0.img").c_str(), 100), 0);
+  EXPECT_THROW(FileBlockStore(dir, 2, 3, 40), std::invalid_argument);
+}
+
+TEST(FileBlockStore, SlotAlignmentPadsOddStripSizes) {
+  const std::string dir = make_tmpdir() + "/disks";
+  FileBlockStore store(dir, 1, 3, 17);  // 17 -> one 512-byte slot per strip
+  struct stat st{};
+  ASSERT_EQ(::stat((dir + "/disk-0.img").c_str(), &st), 0);
+  EXPECT_EQ(st.st_size, 3 * 512);
+}
+
+TEST(BlockStoreValidation, RejectsDegenerateGeometry) {
+  EXPECT_THROW(MemBlockStore(0, 1, 16), std::invalid_argument);
+  EXPECT_THROW(MemBlockStore(1, 0, 16), std::invalid_argument);
+  EXPECT_THROW(MemBlockStore(1, 1, 0), std::invalid_argument);
+  EXPECT_THROW(FileBlockStore("", 1, 1, 16), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oi::core

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
 
 #include "bibd/constructions.hpp"
@@ -79,6 +81,122 @@ TEST(Superblock, RejectsTampering) {
     std::stringstream s(truncated);
     EXPECT_THROW(load_superblock(s), std::invalid_argument);
   }
+}
+
+TEST(SuperblockV2, RoundTripPreservesStateAndLayout) {
+  const OiRaidLayout layout = sample_layout();
+  ArrayState state;
+  state.epoch = 42;
+  state.strip_bytes = 4096;
+  state.failed_disks = {3, 11};
+  state.rebuild_watermark = 17;
+
+  std::stringstream buffer(superblock_v2_string(layout, state));
+  const LoadedSuperblock loaded = load_superblock_v2(buffer);
+  EXPECT_EQ(loaded.state, state);
+  EXPECT_EQ(loaded.layout.disks(), layout.disks());
+  for (std::size_t l = 0; l < layout.data_strips(); l += 13) {
+    EXPECT_EQ(loaded.layout.locate(l), layout.locate(l));
+  }
+}
+
+TEST(SuperblockV2, ChecksumCatchesEveryKindOfDamage) {
+  ArrayState state;
+  state.epoch = 7;
+  state.strip_bytes = 512;
+  const std::string good = superblock_v2_string(sample_layout(), state);
+
+  {
+    // Flip one byte in the body: checksum no longer matches.
+    std::string flipped = good;
+    flipped[good.find("epoch 7") + 6] = '8';
+    std::stringstream s(flipped);
+    EXPECT_THROW(load_superblock_v2(s), std::invalid_argument);
+  }
+  {
+    // Torn write: truncated before the checksum line.
+    std::string torn = good.substr(0, good.rfind("checksum"));
+    std::stringstream s(torn);
+    EXPECT_THROW(load_superblock_v2(s), std::invalid_argument);
+  }
+  {
+    // Empty file (slot created but nothing landed).
+    std::stringstream s("");
+    EXPECT_THROW(load_superblock_v2(s), std::invalid_argument);
+  }
+  {
+    // v1 text is not a v2 superblock.
+    std::stringstream s(superblock_string(sample_layout()));
+    EXPECT_THROW(load_superblock_v2(s), std::invalid_argument);
+  }
+}
+
+TEST(SuperblockV2, Fnv1a64MatchesReferenceVectors) {
+  // Published FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+class SuperblockSlots : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/oi-superblock-XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+
+  std::string slot_path(std::uint64_t epoch) const {
+    return dir_ + "/superblock." + std::to_string(epoch % 2);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(SuperblockSlots, LoaderPicksTheHighestValidEpoch) {
+  const OiRaidLayout layout = sample_layout();
+  EXPECT_FALSE(load_newest_superblock(dir_).has_value());
+
+  ArrayState state;
+  state.strip_bytes = 256;
+  for (std::uint64_t epoch = 0; epoch < 3; ++epoch) {
+    state.epoch = epoch;
+    state.rebuild_watermark = epoch * 5;
+    write_superblock_slot(dir_, layout, state);
+    const auto loaded = load_newest_superblock(dir_);
+    ASSERT_TRUE(loaded.has_value()) << "epoch " << epoch;
+    EXPECT_EQ(loaded->state, state) << "epoch " << epoch;
+  }
+}
+
+TEST_F(SuperblockSlots, TornSlotFallsBackToThePreviousEpoch) {
+  const OiRaidLayout layout = sample_layout();
+  ArrayState state;
+  state.strip_bytes = 256;
+  state.epoch = 4;
+  write_superblock_slot(dir_, layout, state);
+
+  // Epoch 5 goes to the other slot and tears mid-write: the hook throws at
+  // "slot-partial", leaving a half-written file behind.
+  state.epoch = 5;
+  EXPECT_THROW(
+      write_superblock_slot(dir_, layout, state,
+                            [](const std::string& point) {
+                              if (point == "slot-partial") {
+                                throw std::runtime_error("injected crash");
+                              }
+                            }),
+      std::runtime_error);
+
+  const auto loaded = load_newest_superblock(dir_);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->state.epoch, 4u);
+
+  // Garbage in a slot file is equally survivable.
+  std::ofstream(slot_path(5)) << "total garbage\n";
+  const auto after_garbage = load_newest_superblock(dir_);
+  ASSERT_TRUE(after_garbage.has_value());
+  EXPECT_EQ(after_garbage->state.epoch, 4u);
 }
 
 }  // namespace

@@ -27,6 +27,21 @@
 //       summary every --interval-ms (default 1000). --count N stops after N
 //       refreshes; --no-clear appends instead of redrawing (for logs/CI)
 //
+// Client commands against a running `oiraidd` daemon (all take --port PORT
+// and optionally --host, default 127.0.0.1):
+//
+//   oiraidctl ping      --port 9500
+//   oiraidctl status    --port 9500
+//       daemon state as "key value" lines (failed disks, rebuild watermark)
+//   oiraidctl read      --port 9500 --offset 0 --length 64 [--out FILE]
+//       read bytes; hex to stdout, or raw bytes to --out FILE
+//   oiraidctl write     --port 9500 --offset 0 --data STR | --in FILE |
+//                       --fill BYTE --length N
+//       write bytes through the parity path
+//   oiraidctl fail      --port 9500 --disk 4
+//       durably fail a disk; the daemon rebuilds it online
+//   oiraidctl stop      --port 9500
+//
 // Layout-taking commands also accept --superblock <file> instead of
 // --v/--k/--m/--height. Every command accepts --gf-kernel
 // <scalar|word64|pshufb|auto> to force a GF(256) codec kernel variant
@@ -50,6 +65,7 @@
 #include "layout/superblock.hpp"
 #include "reliability/models.hpp"
 #include "reliability/monte_carlo.hpp"
+#include "server/protocol.hpp"
 #include "sim/rebuild.hpp"
 #include "util/flags.hpp"
 #include "util/http_exporter.hpp"
@@ -65,7 +81,8 @@ namespace {
 using namespace oi;
 
 int usage() {
-  std::cerr << "usage: oiraidctl <designs|plan|map|recover|simulate|tolerance|mttdl|mc|export|top> "
+  std::cerr << "usage: oiraidctl <designs|plan|map|recover|simulate|tolerance|mttdl|mc|export|top"
+               "|ping|status|read|write|fail|stop> "
                "[--flags]\n       see the header of tools/oiraidctl.cpp for details\n";
   return 2;
 }
@@ -444,6 +461,103 @@ int cmd_top(const Flags& flags) {
   return 0;
 }
 
+// ---------------------------------------------------- oiraidd client ----
+
+server::Client daemon_client(const Flags& flags) {
+  const std::int64_t port = flags.get_int("port", 0);
+  if (port < 1 || port > 65535) {
+    throw std::invalid_argument("--port PORT (1..65535) is required");
+  }
+  return server::Client(flags.get_string("host", "127.0.0.1"),
+                        static_cast<std::uint16_t>(port));
+}
+
+int cmd_ping(const Flags& flags) {
+  daemon_client(flags).ping();
+  std::cout << "ok\n";
+  return 0;
+}
+
+int cmd_status(const Flags& flags) {
+  std::cout << daemon_client(flags).status();
+  return 0;
+}
+
+int cmd_read(const Flags& flags) {
+  const auto offset = static_cast<std::uint64_t>(flags.get_int("offset", 0));
+  const std::int64_t length = flags.get_int("length", -1);
+  if (length < 0) {
+    std::cerr << "read: --length N is required\n";
+    return 2;
+  }
+  auto client = daemon_client(flags);
+  const auto data = client.read(offset, static_cast<std::uint32_t>(length));
+  const std::string out_path = flags.get_string("out", "");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) throw std::invalid_argument("cannot open --out file");
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    return 0;
+  }
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string hex;
+  hex.reserve(data.size() * 2);
+  for (const std::uint8_t b : data) {
+    hex.push_back(kHex[b >> 4]);
+    hex.push_back(kHex[b & 0xF]);
+  }
+  std::cout << hex << "\n";
+  return 0;
+}
+
+int cmd_write(const Flags& flags) {
+  const auto offset = static_cast<std::uint64_t>(flags.get_int("offset", 0));
+  std::vector<std::uint8_t> data;
+  if (flags.has("data")) {
+    const std::string text = flags.get_string("data", "");
+    data.assign(text.begin(), text.end());
+  } else if (flags.has("in")) {
+    std::ifstream in(flags.get_string("in", ""), std::ios::binary);
+    if (!in) throw std::invalid_argument("cannot open --in file");
+    data.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  } else if (flags.has("fill")) {
+    const auto fill = static_cast<std::uint8_t>(flags.get_int("fill", 0));
+    const std::int64_t length = flags.get_int("length", 0);
+    if (length <= 0) {
+      std::cerr << "write: --fill needs --length N\n";
+      return 2;
+    }
+    data.assign(static_cast<std::size_t>(length), fill);
+  } else {
+    std::cerr << "write: provide --data STR, --in FILE, or --fill BYTE --length N\n";
+    return 2;
+  }
+  auto client = daemon_client(flags);
+  client.write(offset, data);
+  std::cout << "wrote " << data.size() << " bytes at offset " << offset << "\n";
+  return 0;
+}
+
+int cmd_fail(const Flags& flags) {
+  const std::int64_t disk = flags.get_int("disk", -1);
+  if (disk < 0) {
+    std::cerr << "fail: --disk D is required\n";
+    return 2;
+  }
+  auto client = daemon_client(flags);
+  client.fail_disk(static_cast<std::size_t>(disk));
+  std::cout << "disk " << disk << " failed; rebuild starts online\n";
+  return 0;
+}
+
+int cmd_stop(const Flags& flags) {
+  daemon_client(flags).stop();
+  std::cout << "stop requested\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -476,6 +590,18 @@ int main(int argc, char** argv) {
       code = cmd_export(flags);
     } else if (command == "top") {
       code = cmd_top(flags);
+    } else if (command == "ping") {
+      code = cmd_ping(flags);
+    } else if (command == "status") {
+      code = cmd_status(flags);
+    } else if (command == "read") {
+      code = cmd_read(flags);
+    } else if (command == "write") {
+      code = cmd_write(flags);
+    } else if (command == "fail") {
+      code = cmd_fail(flags);
+    } else if (command == "stop") {
+      code = cmd_stop(flags);
     } else {
       return usage();
     }
