@@ -54,6 +54,7 @@ Array::Array(std::shared_ptr<const layout::Layout> layout, std::size_t strip_byt
   OI_ENSURE(strip_bytes >= 1, "strip size must be positive");
   store_ = std::make_unique<MemBlockStore>(layout_->disks(),
                                            layout_->strips_per_disk(), strip_bytes_);
+  failed_flag_ = std::make_unique<std::atomic<unsigned char>[]>(layout_->disks());
 }
 
 Array::Array(std::shared_ptr<const layout::Layout> layout,
@@ -68,6 +69,7 @@ Array::Array(std::shared_ptr<const layout::Layout> layout,
             "block store geometry does not match the layout");
   strip_bytes_ = store_->strip_bytes();
   OI_ENSURE(strip_bytes_ >= 1, "strip size must be positive");
+  failed_flag_ = std::make_unique<std::atomic<unsigned char>[]>(layout_->disks());
 }
 
 std::vector<std::uint8_t> Array::load(layout::StripLoc loc) const {
@@ -88,18 +90,21 @@ void Array::xor_strip(layout::StripLoc loc, std::span<std::uint8_t> acc,
 }
 
 bool Array::available(layout::StripLoc loc) const {
-  if (!failed_.contains(loc.disk)) return true;
+  if (failed_flag_[loc.disk].load(std::memory_order_acquire) == 0) return true;
+  // A stale failed flag after rebuild completion lands here; rebuilt_ stays
+  // allocated across completion precisely so this read stays valid, and the
+  // element was published under the strip's domain lock.
   return !rebuilt_.empty() && rebuilt_[strip_index(loc)] != 0;
 }
 
 void Array::count_strip_read() const {
-  ++counters_.strip_reads;
+  counters_.strip_reads.fetch_add(1, std::memory_order_relaxed);
   if (metrics::enabled()) ArrayMetrics::get().strip_reads.increment();
 }
 
 void Array::count_strip_write(bool parity) {
-  ++counters_.strip_writes;
-  if (parity) ++counters_.parity_strip_writes;
+  counters_.strip_writes.fetch_add(1, std::memory_order_relaxed);
+  if (parity) counters_.parity_strip_writes.fetch_add(1, std::memory_order_relaxed);
   if (metrics::enabled()) {
     ArrayMetrics& m = ArrayMetrics::get();
     m.strip_writes.increment();
@@ -261,48 +266,62 @@ void Array::write_bytes(std::uint64_t offset, std::span<const std::uint8_t> data
 
 void Array::fail_disk(std::size_t disk) {
   OI_ENSURE(disk < layout_->disks(), "disk id out of range");
-  if (failed_.contains(disk)) return;
+  if (is_failed(disk)) return;
   // A new failure invalidates any in-progress stepwise rebuild: the plan no
   // longer covers the new disk, and strips it already rebuilt go back to
   // being served by reconstruction until the replanned rebuild rewrites
   // them (their on-store bytes stay valid; treating them as lost is merely
-  // conservative).
+  // conservative). Runs under the all-domain barrier, so the non-atomic
+  // plan_/rebuilt_ swaps are safe.
   plan_.clear();
   rebuilt_.clear();
-  watermark_ = 0;
-  failed_.insert(disk);
+  watermark_.store(0, std::memory_order_relaxed);
+  rebuild_total_.store(0, std::memory_order_relaxed);
+  rebuild_active_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(failed_mutex_);
+    failed_.insert(disk);
+  }
+  failed_flag_[disk].store(1, std::memory_order_release);
+  failed_count_.fetch_add(1, std::memory_order_release);
   // The data is gone: model it so that nothing can accidentally read stale
   // bytes through a bug.
   store_->trim_disk(disk, kPoisonFill);
 }
 
 std::vector<std::size_t> Array::failed_disks() const {
+  std::lock_guard<std::mutex> lock(failed_mutex_);
   return {failed_.begin(), failed_.end()};
 }
 
 bool Array::recoverable() const {
-  if (failed_.empty()) return true;
+  if (!any_failed()) return true;
   return layout_->recovery_plan(failed_disks()).has_value();
 }
 
 std::size_t Array::rebuild_begin() {
   if (rebuild_active()) return plan_.size();
-  if (failed_.empty()) return 0;
+  if (!any_failed()) return 0;
   auto plan = layout_->recovery_plan(failed_disks());
   if (!plan.has_value()) {
     throw std::runtime_error("failure pattern is unrecoverable; data lost");
   }
   plan_ = std::move(*plan);
-  watermark_ = 0;
+  watermark_.store(0, std::memory_order_relaxed);
   rebuilt_.assign(layout_->disks() * layout_->strips_per_disk(), 0);
+  rebuild_total_.store(plan_.size(), std::memory_order_relaxed);
+  rebuild_active_.store(true, std::memory_order_release);
   return plan_.size();
 }
 
 RebuildReport Array::rebuild_step(std::size_t max_steps) {
   RebuildReport report;
   std::vector<std::uint8_t> scratch;
-  while (max_steps > 0 && watermark_ < plan_.size()) {
-    const layout::RecoveryStep& step = plan_[watermark_];
+  // Only the stepping thread advances the watermark, so a relaxed local copy
+  // is exact; the store below publishes each step for status readers.
+  std::size_t wm = watermark_.load(std::memory_order_relaxed);
+  while (max_steps > 0 && wm < plan_.size()) {
+    const layout::RecoveryStep& step = plan_[wm];
     std::vector<std::uint8_t> value(strip_bytes_, 0);
     for (const layout::StripLoc& read : step.reads) {
       // Reads of strips rebuilt by earlier steps see the freshly written
@@ -315,32 +334,64 @@ RebuildReport Array::rebuild_step(std::size_t max_steps) {
     count_strip_write();
     ++report.strips_rebuilt;
     rebuilt_[strip_index(step.lost)] = 1;
-    ++watermark_;
+    watermark_.store(++wm, std::memory_order_release);
     --max_steps;
   }
-  if (!plan_.empty() && watermark_ == plan_.size()) {
-    failed_.clear();
+  if (!plan_.empty() && wm == plan_.size()) {
+    // Completion runs under only the *last batch's* domain locks, so order
+    // matters: clear the failure flags first, and keep rebuilt_ allocated.
+    // A concurrent reader either sees its disk healthy (reads directly --
+    // every strip is rebuilt and its domain's writes are ordered before the
+    // reader's shared acquisition) or sees a stale failed flag and falls
+    // through to rebuilt_[idx]==1, which reads directly too. plan_ may be
+    // cleared: only this thread and barrier holders touch it.
+    {
+      std::lock_guard<std::mutex> lock(failed_mutex_);
+      for (const std::size_t disk : failed_) {
+        failed_flag_[disk].store(0, std::memory_order_release);
+      }
+      failed_.clear();
+    }
+    failed_count_.store(0, std::memory_order_release);
     plan_.clear();
-    rebuilt_.clear();
-    watermark_ = 0;
+    watermark_.store(0, std::memory_order_relaxed);
+    rebuild_total_.store(0, std::memory_order_relaxed);
+    rebuild_active_.store(false, std::memory_order_release);
   }
   return report;
 }
 
+std::vector<layout::RecoveryStep> Array::peek_rebuild_steps(
+    std::size_t max_steps) const {
+  const std::size_t wm =
+      std::min(watermark_.load(std::memory_order_relaxed), plan_.size());
+  // Subtract-then-min: `wm + max_steps` would overflow for SIZE_MAX callers.
+  const std::size_t count = std::min(max_steps, plan_.size() - wm);
+  return {plan_.begin() + static_cast<std::ptrdiff_t>(wm),
+          plan_.begin() + static_cast<std::ptrdiff_t>(wm + count)};
+}
+
 RebuildReport Array::rebuild() {
-  if (failed_.empty()) return {};
+  if (!any_failed()) return {};
   rebuild_begin();
-  return rebuild_step(plan_.size() - watermark_);
+  return rebuild_step(plan_.size() - watermark_.load(std::memory_order_relaxed));
 }
 
 void Array::restore(const std::vector<std::size_t>& disks, std::size_t watermark) {
-  OI_ENSURE(failed_.empty() && !rebuild_active(),
+  OI_ENSURE(!any_failed() && !rebuild_active(),
             "restore() requires a fresh array (no failures, no active rebuild)");
-  for (std::size_t disk : disks) {
-    OI_ENSURE(disk < layout_->disks(), "restored disk id out of range");
-    failed_.insert(disk);
+  {
+    std::lock_guard<std::mutex> lock(failed_mutex_);
+    for (std::size_t disk : disks) {
+      OI_ENSURE(disk < layout_->disks(), "restored disk id out of range");
+      failed_.insert(disk);
+    }
+    for (const std::size_t disk : failed_) {
+      failed_flag_[disk].store(1, std::memory_order_release);
+    }
+    failed_count_.store(failed_.size(), std::memory_order_release);
   }
-  if (failed_.empty()) {
+  if (!any_failed()) {
     OI_ENSURE(watermark == 0, "watermark without failed disks in restored state");
     return;
   }
@@ -350,19 +401,30 @@ void Array::restore(const std::vector<std::size_t>& disks, std::size_t watermark
   OI_ENSURE(plan.has_value(), "persisted failure set is unrecoverable");
   OI_ENSURE(watermark <= plan->size(), "persisted watermark exceeds the plan");
   plan_ = std::move(*plan);
-  watermark_ = watermark;
+  watermark_.store(watermark, std::memory_order_relaxed);
   rebuilt_.assign(layout_->disks() * layout_->strips_per_disk(), 0);
-  for (std::size_t i = 0; i < watermark_; ++i) {
+  for (std::size_t i = 0; i < watermark; ++i) {
     rebuilt_[strip_index(plan_[i].lost)] = 1;
   }
-  if (watermark_ == plan_.size()) {
+  rebuild_total_.store(plan_.size(), std::memory_order_relaxed);
+  rebuild_active_.store(true, std::memory_order_release);
+  if (watermark == plan_.size()) {
     // Crash landed between the last rebuild write and the superblock update
     // that would have cleared the failure set: every strip is durable, so
     // finish the bookkeeping.
-    failed_.clear();
+    {
+      std::lock_guard<std::mutex> lock(failed_mutex_);
+      for (const std::size_t disk : failed_) {
+        failed_flag_[disk].store(0, std::memory_order_release);
+      }
+      failed_.clear();
+    }
+    failed_count_.store(0, std::memory_order_release);
     plan_.clear();
     rebuilt_.clear();
-    watermark_ = 0;
+    watermark_.store(0, std::memory_order_relaxed);
+    rebuild_total_.store(0, std::memory_order_relaxed);
+    rebuild_active_.store(false, std::memory_order_release);
   }
 }
 

@@ -17,10 +17,29 @@
 // Strips already rebuilt are served directly again (reads, writes and parity
 // updates all treat them as healthy), which is what makes *online* rebuild
 // under client traffic consistent.
+// Concurrency contract (the striped data plane, core/striped_lock.hpp):
+// the array itself takes no locks -- callers serialize through a
+// DomainLockTable derived from the layout's ConcurrencyMap. The rules:
+//
+//   * read/read_bytes: hold the touched domains *shared*.
+//   * write/write_bytes/repair_strip: hold the touched domains *exclusive*.
+//   * rebuild_step: hold the stepped steps' domains *exclusive* (use
+//     peek_rebuild_steps + domains_of_steps to learn them first).
+//   * fail_disk, rebuild_begin, restore, rebuild, scrub, inject_corruption:
+//     hold *all* domains exclusive -- these reshape whole-array bookkeeping
+//     (failure set, plan, rebuilt map) that the per-domain paths read.
+//
+// Status accessors (is_failed, rebuild_active, rebuild_watermark,
+// rebuild_total_steps, counters) are lock-free atomics and may be called
+// with no locks held; they are individually coherent, not mutually so.
+// Single-threaded use needs none of this -- with no concurrent callers every
+// rule above is vacuously satisfied.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <span>
@@ -100,7 +119,12 @@ class Array {
   /// stepwise rebuild (the plan no longer covers the new failure); the next
   /// rebuild_begin()/rebuild() replans over the full failure set.
   void fail_disk(std::size_t disk);
-  bool is_failed(std::size_t disk) const { return failed_.contains(disk); }
+  bool is_failed(std::size_t disk) const {
+    return failed_flag_[disk].load(std::memory_order_acquire) != 0;
+  }
+  bool any_failed() const {
+    return failed_count_.load(std::memory_order_acquire) != 0;
+  }
   std::vector<std::size_t> failed_disks() const;
 
   /// True when the current failure set is repairable by iterative decoding.
@@ -119,15 +143,28 @@ class Array {
   /// while a rebuild is in progress. Throws std::runtime_error when the
   /// pattern is unrecoverable.
   std::size_t rebuild_begin();
-  bool rebuild_active() const { return !plan_.empty(); }
+  bool rebuild_active() const {
+    return rebuild_active_.load(std::memory_order_acquire);
+  }
   /// Steps already applied (the persistence watermark). Strips written by
   /// those steps are served directly again.
-  std::size_t rebuild_watermark() const { return watermark_; }
-  std::size_t rebuild_total_steps() const { return plan_.size(); }
+  std::size_t rebuild_watermark() const {
+    return watermark_.load(std::memory_order_acquire);
+  }
+  std::size_t rebuild_total_steps() const {
+    return rebuild_total_.load(std::memory_order_acquire);
+  }
   /// Applies up to `max_steps` pending plan steps in order. When the last
   /// step lands, the failure set clears and the plan is discarded. Returns
   /// the I/O performed by this call.
   RebuildReport rebuild_step(std::size_t max_steps = 1);
+  /// Copies the next up-to-`max_steps` pending plan steps without applying
+  /// them -- the rebuild scheduler uses this to compute the lock domains a
+  /// batch will touch *before* taking them (core/domains_of_steps). Must be
+  /// called by the stepping thread (or under the all-domain barrier): the
+  /// plan is stable between barrier operations, but fail_disk/restore
+  /// replace it.
+  std::vector<layout::RecoveryStep> peek_rebuild_steps(std::size_t max_steps) const;
 
   /// Reopen support: marks `disks` failed *without* poisoning their contents
   /// (the backing store already holds whatever was persisted), re-plans the
@@ -155,8 +192,17 @@ class Array {
   /// run scrub() first to locate the corrupt one.
   bool repair_strip(layout::StripLoc loc);
 
-  const IoCounters& counters() const { return counters_; }
-  void reset_counters() { counters_ = {}; }
+  /// Snapshot of the I/O counters (atomics; callable with no locks held).
+  IoCounters counters() const {
+    return {counters_.strip_reads.load(std::memory_order_relaxed),
+            counters_.strip_writes.load(std::memory_order_relaxed),
+            counters_.parity_strip_writes.load(std::memory_order_relaxed)};
+  }
+  void reset_counters() {
+    counters_.strip_reads.store(0, std::memory_order_relaxed);
+    counters_.strip_writes.store(0, std::memory_order_relaxed);
+    counters_.parity_strip_writes.store(0, std::memory_order_relaxed);
+  }
 
   /// Raw physical strip contents (no decoding, no counters) -- forensic
   /// inspection for tests and debugging tools. Reading a lost strip returns
@@ -193,13 +239,32 @@ class Array {
   std::shared_ptr<const layout::Layout> layout_;
   std::size_t strip_bytes_;
   std::unique_ptr<BlockStore> store_;
+  /// Failure bookkeeping, split for the two access patterns: the per-disk
+  /// atomic flags are the hot-path check (available()), the mutex-guarded
+  /// set is for enumeration (failed_disks). Both are written only by
+  /// barrier-holding operations -- except rebuild completion, which clears
+  /// the *flags* first so readers with a stale flag fall through to
+  /// rebuilt_[idx]==1 and still read directly (rebuilt_ stays allocated).
+  std::unique_ptr<std::atomic<unsigned char>[]> failed_flag_;
+  std::atomic<std::size_t> failed_count_{0};
+  mutable std::mutex failed_mutex_;
   std::set<std::size_t> failed_;
   /// In-progress stepwise rebuild: the plan, the applied-step watermark, and
-  /// one availability flag per physical strip for the rebuilt ones.
+  /// one availability flag per physical strip for the rebuilt ones. plan_
+  /// and rebuilt_ are (re)allocated only under the all-domain barrier;
+  /// rebuilt_ elements are written per-step under that step's domain lock
+  /// (readers of the element hold the same domain, so plain char suffices).
   std::vector<layout::RecoveryStep> plan_;
-  std::size_t watermark_ = 0;
+  std::atomic<std::size_t> watermark_{0};
+  std::atomic<std::size_t> rebuild_total_{0};
+  std::atomic<bool> rebuild_active_{false};
   std::vector<char> rebuilt_;
-  mutable IoCounters counters_;
+  struct AtomicIoCounters {
+    std::atomic<std::size_t> strip_reads{0};
+    std::atomic<std::size_t> strip_writes{0};
+    std::atomic<std::size_t> parity_strip_writes{0};
+  };
+  mutable AtomicIoCounters counters_;
 };
 
 }  // namespace oi::core

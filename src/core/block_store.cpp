@@ -94,7 +94,7 @@ FileBlockStore::FileBlockStore(std::string dir, std::size_t disks,
     }
     fds_.push_back(fd);
   }
-  dirty_.assign(disks, 0);
+  dirty_ = std::make_unique<std::atomic<unsigned char>[]>(disks);
 }
 
 FileBlockStore::~FileBlockStore() {
@@ -136,7 +136,7 @@ void FileBlockStore::write(std::size_t disk, std::size_t offset,
                          std::to_string(disk) + ": " + std::strerror(errno));
     done += static_cast<std::size_t>(n);
   }
-  dirty_[disk] = 1;
+  dirty_[disk].store(1, std::memory_order_release);
 }
 
 void FileBlockStore::trim_disk(std::size_t disk, std::uint8_t fill) {
@@ -149,11 +149,12 @@ void FileBlockStore::trim_disk(std::size_t disk, std::uint8_t fill) {
 
 void FileBlockStore::flush() {
   for (std::size_t d = 0; d < fds_.size(); ++d) {
-    if (!dirty_[d]) continue;
+    // Clear-then-sync: a write racing with the fdatasync re-marks the disk,
+    // so its bytes are covered by the *next* flush instead of never.
+    if (dirty_[d].exchange(0, std::memory_order_acq_rel) == 0) continue;
     OI_ENSURE(::fdatasync(fds_[d]) == 0,
               "file block store: fdatasync failed on disk " + std::to_string(d) +
                   ": " + std::strerror(errno));
-    dirty_[d] = 0;
   }
 }
 

@@ -11,8 +11,14 @@
 // granularity only after flush(), and trim_disk() discards a disk's contents
 // by overwriting with a fill pattern (the arrays use it to poison failed
 // disks so stale bytes can never leak through a bug).
+//
+// Thread-safety: both implementations support concurrent read()/write() as
+// long as no two calls touch the same strip at the same time -- exactly the
+// guarantee the striped data plane's domain locks provide. flush() and
+// trim_disk() may run concurrently with strip I/O on other strips.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -113,7 +119,11 @@ class FileBlockStore final : public BlockStore {
   std::size_t strip_bytes_;
   std::size_t slot_bytes_;
   std::vector<int> fds_;
-  std::vector<char> dirty_;  ///< per-disk "written since last flush" flag
+  /// Per-disk "written since last flush" flags. Atomic because writers to
+  /// *different* strips of one disk race on the flag; flush() clears each
+  /// flag *before* its fdatasync so a write landing mid-sync re-marks the
+  /// disk rather than getting its durability silently skipped.
+  std::unique_ptr<std::atomic<unsigned char>[]> dirty_;
 };
 
 }  // namespace oi::core

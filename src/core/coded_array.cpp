@@ -17,6 +17,7 @@ CodedArray::CodedArray(std::shared_ptr<const codes::ErasureCode> code,
   OI_ENSURE(strips_per_disk >= 1, "need at least one strip per disk");
   OI_ENSURE(strip_bytes >= 1, "strip size must be positive");
   store_ = std::make_unique<MemBlockStore>(disks(), strips_, strip_bytes_);
+  failed_flag_ = std::make_unique<std::atomic<unsigned char>[]>(disks());
   // Zero data encodes to zero parity for every linear code here, so a fresh
   // array is consistent; scrub() verifies rather than assumes.
   OI_ASSERT(scrub().empty(), "fresh coded array must be consistent");
@@ -34,6 +35,7 @@ CodedArray::CodedArray(std::shared_ptr<const codes::ErasureCode> code,
   store_ = std::move(store);
   OI_ENSURE(strips_ >= 1, "need at least one strip per disk");
   OI_ENSURE(strip_bytes_ >= 1, "strip size must be positive");
+  failed_flag_ = std::make_unique<std::atomic<unsigned char>[]>(disks());
 }
 
 double CodedArray::data_fraction() const {
@@ -71,7 +73,7 @@ std::vector<bool> CodedArray::gather(std::size_t offset,
       continue;
     }
     strips[slot] = load(disk, offset);
-    ++counters_.strip_reads;
+    counters_.strip_reads.fetch_add(1, std::memory_order_relaxed);
   }
   return present;
 }
@@ -82,7 +84,7 @@ std::vector<std::uint8_t> CodedArray::read(std::size_t logical) const {
   const std::size_t slot = logical % code_->data_strips();
   const std::size_t disk = disk_of(slot, offset);
   if (!failed_.contains(disk)) {
-    ++counters_.strip_reads;
+    counters_.strip_reads.fetch_add(1, std::memory_order_relaxed);
     return load(disk, offset);
   }
   std::vector<codes::Strip> strips;
@@ -104,19 +106,19 @@ void CodedArray::write(std::size_t logical, std::span<const std::uint8_t> data) 
     throw std::runtime_error("cannot write a strip whose disk has failed");
   }
   codes::Strip old_data = load(disk, offset);
-  ++counters_.strip_reads;
+  counters_.strip_reads.fetch_add(1, std::memory_order_relaxed);
   codes::Strip new_data(data.begin(), data.end());
   store_->write(disk, offset, data);
-  ++counters_.strip_writes;
+  counters_.strip_writes.fetch_add(1, std::memory_order_relaxed);
   for (std::size_t p = 0; p < code_->parity_strips(); ++p) {
     const std::size_t parity_disk = disk_of(k + p, offset);
     if (failed_.contains(parity_disk)) continue;
-    ++counters_.strip_reads;  // RMW read of the old parity
+    counters_.strip_reads.fetch_add(1, std::memory_order_relaxed);  // RMW read of the old parity
     codes::Strip parity = load(parity_disk, offset);
     code_->update_parity(parity, p, slot, old_data, new_data);
     store_->write(parity_disk, offset, parity);
-    ++counters_.strip_writes;
-    ++counters_.parity_strip_writes;
+    counters_.strip_writes.fetch_add(1, std::memory_order_relaxed);
+    counters_.parity_strip_writes.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -124,6 +126,7 @@ void CodedArray::fail_disk(std::size_t disk) {
   OI_ENSURE(disk < disks(), "disk id out of range");
   if (failed_.contains(disk)) return;
   failed_.insert(disk);
+  failed_flag_[disk].store(1, std::memory_order_release);
   store_->trim_disk(disk, 0xDD);
 }
 
@@ -133,7 +136,7 @@ CodedRebuildReport CodedArray::rebuild() {
   if (!recoverable()) {
     throw std::runtime_error("failure pattern exceeds the code's tolerance; data lost");
   }
-  const auto before_reads = counters_.strip_reads;
+  const auto before_reads = counters_.strip_reads.load(std::memory_order_relaxed);
   // One stripe buffer reused across offsets: gather() reassigns every slot,
   // so nothing leaks between stripes and the per-stripe allocations vanish.
   std::vector<codes::Strip> strips;
@@ -145,11 +148,15 @@ CodedRebuildReport CodedArray::rebuild() {
       if (present[slot]) continue;
       const std::size_t disk = disk_of(slot, offset);
       store_->write(disk, offset, strips[slot]);
-      ++counters_.strip_writes;
+      counters_.strip_writes.fetch_add(1, std::memory_order_relaxed);
       ++report.strips_rebuilt;
     }
   }
-  report.strip_reads = counters_.strip_reads - before_reads;
+  report.strip_reads =
+      counters_.strip_reads.load(std::memory_order_relaxed) - before_reads;
+  for (const std::size_t disk : failed_) {
+    failed_flag_[disk].store(0, std::memory_order_release);
+  }
   failed_.clear();
   return report;
 }

@@ -5,10 +5,18 @@
 // in the update-cost and overhead experiments, and its rebuild reads k
 // strips per lost strip from the *same* k disks, which is exactly the
 // contrast with OI-RAID's declustered recovery.
+//
+// Concurrency: the flat geometry makes every stripe (= one offset across all
+// disks) its own lock domain -- there is no cross-stripe relation, so
+// callers that serialize per offset (shared for reads, exclusive for writes)
+// get the same guarantees the DomainLockTable gives core::Array. Status
+// accessors (is_failed, counters) are lock-free atomics.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <span>
 #include <string>
@@ -53,7 +61,9 @@ class CodedArray {
   void write(std::size_t logical, std::span<const std::uint8_t> data);
 
   void fail_disk(std::size_t disk);
-  bool is_failed(std::size_t disk) const { return failed_.contains(disk); }
+  bool is_failed(std::size_t disk) const {
+    return failed_flag_[disk].load(std::memory_order_acquire) != 0;
+  }
   bool recoverable() const { return failed_.size() <= code_->fault_tolerance(); }
 
   /// Decodes every stripe and restores all failed disks in place.
@@ -68,8 +78,17 @@ class CodedArray {
     std::size_t strip_writes = 0;
     std::size_t parity_strip_writes = 0;
   };
-  const Counters& counters() const { return counters_; }
-  void reset_counters() { counters_ = {}; }
+  /// Snapshot of the I/O counters (atomics; callable with no locks held).
+  Counters counters() const {
+    return {counters_.strip_reads.load(std::memory_order_relaxed),
+            counters_.strip_writes.load(std::memory_order_relaxed),
+            counters_.parity_strip_writes.load(std::memory_order_relaxed)};
+  }
+  void reset_counters() {
+    counters_.strip_reads.store(0, std::memory_order_relaxed);
+    counters_.strip_writes.store(0, std::memory_order_relaxed);
+    counters_.parity_strip_writes.store(0, std::memory_order_relaxed);
+  }
 
  private:
   /// Stripe slot (0..k-1 data, k..k+m-1 parity) of `disk` at `offset`.
@@ -85,8 +104,16 @@ class CodedArray {
   std::size_t strip_bytes_;
   bool rotate_;
   std::unique_ptr<BlockStore> store_;
+  /// The set is the source of truth (mutated only by the barrier-level
+  /// fail_disk/rebuild); the atomic flags mirror it for lock-free is_failed.
   std::set<std::size_t> failed_;
-  mutable Counters counters_;
+  std::unique_ptr<std::atomic<unsigned char>[]> failed_flag_;
+  struct AtomicCounters {
+    std::atomic<std::size_t> strip_reads{0};
+    std::atomic<std::size_t> strip_writes{0};
+    std::atomic<std::size_t> parity_strip_writes{0};
+  };
+  mutable AtomicCounters counters_;
 };
 
 }  // namespace oi::core

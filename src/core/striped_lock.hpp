@@ -1,0 +1,84 @@
+// The striped-lock layer between the request execution plane and a
+// core::Array: one shared_mutex per lock domain (layout/concurrency_map.hpp),
+// acquired shared for reads and exclusive for writes, always in ascending
+// domain order so any mix of multi-domain acquisitions is deadlock-free.
+//
+// The table knows nothing about the array; callers translate their operation
+// into a domain set first (domains_of_range for byte-addressed client I/O,
+// domains_of_steps for a rebuild batch) and hold the returned Guard for the
+// operation's duration. Whole-array transitions -- fail_disk, rebuild
+// (re)planning, restore -- take lock_all_exclusive(), which is also the
+// ordering barrier that makes the Array's plain (non-atomic) rebuild
+// bookkeeping safe to rewrite.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <vector>
+
+#include "layout/concurrency_map.hpp"
+
+namespace oi::core {
+
+class DomainLockTable {
+ public:
+  explicit DomainLockTable(const layout::ConcurrencyMap& map);
+
+  std::size_t domains() const { return count_; }
+
+  /// RAII hold on a set of domains. Move-only; unlocks on destruction.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& other) noexcept { *this = std::move(other); }
+    Guard& operator=(Guard&& other) noexcept;
+    ~Guard() { release(); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+    void release();
+    bool held() const { return table_ != nullptr; }
+
+   private:
+    friend class DomainLockTable;
+    Guard(DomainLockTable* table, std::vector<std::uint32_t> domains, bool exclusive)
+        : table_(table), domains_(std::move(domains)), exclusive_(exclusive) {}
+
+    DomainLockTable* table_ = nullptr;
+    std::vector<std::uint32_t> domains_;
+    bool exclusive_ = false;
+  };
+
+  /// `domains` may be unsorted and contain duplicates; the guard locks each
+  /// distinct domain once, in ascending order.
+  Guard lock_shared(std::span<const std::uint32_t> domains);
+  Guard lock_exclusive(std::span<const std::uint32_t> domains);
+  /// Every domain exclusive -- the whole-array barrier.
+  Guard lock_all_exclusive();
+
+ private:
+  friend class Guard;
+  std::size_t count_ = 0;
+  std::unique_ptr<std::shared_mutex[]> locks_;
+};
+
+/// Domains covered by the byte range [offset, offset + length) of an array
+/// with `strip_bytes`-sized strips: one entry per touched logical strip's
+/// domain, deduplicated, ascending. An empty range locks nothing.
+std::vector<std::uint32_t> domains_of_range(const layout::StripeMap& map,
+                                            const layout::ConcurrencyMap& domains,
+                                            std::uint64_t offset,
+                                            std::size_t length,
+                                            std::size_t strip_bytes);
+
+/// Domains touched by a slice of rebuild-plan steps (each step's lost strip
+/// and reads -- by relation closure these land in the lost strip's domain,
+/// but the reads are folded in anyway so the function is correct for any
+/// step list). Deduplicated, ascending.
+std::vector<std::uint32_t> domains_of_steps(
+    const layout::StripeMap& map, const layout::ConcurrencyMap& domains,
+    std::span<const layout::RecoveryStep> steps);
+
+}  // namespace oi::core

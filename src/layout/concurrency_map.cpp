@@ -1,0 +1,63 @@
+#include "layout/concurrency_map.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace oi::layout {
+
+namespace {
+
+std::uint32_t find_root(std::vector<std::uint32_t>& parent, std::uint32_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];  // path halving
+    x = parent[x];
+  }
+  return x;
+}
+
+}  // namespace
+
+ConcurrencyMap::ConcurrencyMap(const StripeMap& map) {
+  const auto strips = static_cast<std::uint32_t>(map.total_strips());
+  OI_ENSURE(strips >= 1, "concurrency map needs at least one strip");
+  std::vector<std::uint32_t> parent(strips);
+  std::iota(parent.begin(), parent.end(), 0u);
+
+  // The canonical relation table covers every occurrence (composites
+  // included), so merging along it is exactly the relation closure.
+  for (std::uint32_t rel = 0; rel < map.relations(); ++rel) {
+    const auto members = map.relation_members(rel);
+    const std::uint32_t first = find_root(parent, members.front());
+    for (const std::uint32_t member : members.subspan(1)) {
+      parent[find_root(parent, member)] = first;
+    }
+  }
+
+  // Dense domain ids in order of the component's smallest strip id: strip 0's
+  // component is domain 0, the next unseen root gets the next id, and so on.
+  domain_of_.assign(strips, UINT32_MAX);
+  std::vector<std::uint32_t> root_domain(strips, UINT32_MAX);
+  std::uint32_t next = 0;
+  for (std::uint32_t s = 0; s < strips; ++s) {
+    const std::uint32_t root = find_root(parent, s);
+    if (root_domain[root] == UINT32_MAX) root_domain[root] = next++;
+    domain_of_[s] = root_domain[root];
+  }
+
+  // CSR: counting sort by domain keeps each domain's strip list ascending.
+  domain_begin_.assign(next + 1, 0);
+  for (const std::uint32_t d : domain_of_) ++domain_begin_[d + 1];
+  for (std::uint32_t d = 0; d < next; ++d) {
+    largest_domain_ = std::max<std::size_t>(largest_domain_, domain_begin_[d + 1]);
+    domain_begin_[d + 1] += domain_begin_[d];
+  }
+  strips_.resize(strips);
+  std::vector<std::uint32_t> cursor(domain_begin_.begin(), domain_begin_.end() - 1);
+  for (std::uint32_t s = 0; s < strips; ++s) {
+    strips_[cursor[domain_of_[s]]++] = s;
+  }
+}
+
+}  // namespace oi::layout

@@ -1,0 +1,68 @@
+// Lock-domain derivation for the concurrent data plane. A *domain* is a
+// connected component of the strip/relation graph: two strips share a domain
+// exactly when a chain of XOR relations links them. Every single operation
+// the data plane performs on one logical strip -- a healthy read, a degraded
+// read (which walks relations recursively), a read-modify-write with its
+// parity updates, one rebuild plan step -- touches only strips inside one
+// domain, because each of those walks moves strictly along relations. That
+// closure property is what makes a domain the natural locking granule:
+//
+//   * reads take the domain *shared* (non-overlapping reads, healthy or
+//     degraded, run fully in parallel);
+//   * writes take the domain *exclusive* (a write only excludes readers and
+//     writers of its own parity group, never the rest of the array);
+//   * whole-array transitions (fail_disk, rebuild (re)planning, restore)
+//     take *every* domain exclusive.
+//
+// For OI-RAID the components work out to one "stripe row" per (BIBD block,
+// row-in-region) pair -- the k groups of the block, one inner row each, tied
+// together by the block's outer stripes -- so a fano/m=3/h=6 array splits
+// into dozens of independent domains rather than one global lock. The map
+// makes no layout-specific assumptions, though: it is derived purely from
+// the compiled StripeMap, so a layout whose relations happen to connect
+// everything simply yields one domain (correct, just not concurrent).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "layout/stripe_map.hpp"
+
+namespace oi::layout {
+
+class ConcurrencyMap {
+ public:
+  /// Union-find over the StripeMap's canonical relations; linear in total
+  /// relation size. Domain ids are dense and ordered by each domain's
+  /// smallest strip id, so they are deterministic for a given layout.
+  explicit ConcurrencyMap(const StripeMap& map);
+
+  std::size_t domains() const { return domain_begin_.size() - 1; }
+  std::size_t total_strips() const { return domain_of_.size(); }
+
+  std::uint32_t domain_of(std::uint32_t strip_id) const {
+    return domain_of_[strip_id];
+  }
+
+  /// Strip ids of one domain, ascending (CSR view; tests and diagnostics).
+  std::span<const std::uint32_t> domain_strips(std::uint32_t domain) const {
+    return {strips_.data() + domain_begin_[domain],
+            strips_.data() + domain_begin_[domain + 1]};
+  }
+
+  std::size_t domain_size(std::uint32_t domain) const {
+    return domain_begin_[domain + 1] - domain_begin_[domain];
+  }
+
+  /// Size of the biggest domain -- the concurrency-limiting granule.
+  std::size_t largest_domain() const { return largest_domain_; }
+
+ private:
+  std::vector<std::uint32_t> domain_of_;     ///< strip id -> domain id
+  std::vector<std::uint32_t> domain_begin_;  ///< CSR offsets into strips_
+  std::vector<std::uint32_t> strips_;        ///< strip ids grouped by domain
+  std::size_t largest_domain_ = 0;
+};
+
+}  // namespace oi::layout

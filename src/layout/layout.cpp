@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "layout/concurrency_map.hpp"
 #include "layout/stripe_map.hpp"
 #include "util/assert.hpp"
 
@@ -16,6 +17,18 @@ const StripeMap& Layout::stripe_map() const {
   std::lock_guard<std::mutex> lock(stripe_map_mutex_);
   if (!stripe_map_) stripe_map_ = std::make_shared<const StripeMap>(*this);
   return *stripe_map_;
+}
+
+const ConcurrencyMap& Layout::concurrency_map() const {
+  // stripe_map() first, outside our own critical section use of the shared
+  // mutex would self-deadlock -- both caches share stripe_map_mutex_, so
+  // resolve the StripeMap before taking it.
+  const StripeMap& map = stripe_map();
+  std::lock_guard<std::mutex> lock(stripe_map_mutex_);
+  if (!concurrency_map_) {
+    concurrency_map_ = std::make_shared<const ConcurrencyMap>(map);
+  }
+  return *concurrency_map_;
 }
 
 std::optional<std::vector<RecoveryStep>> Layout::recovery_plan(

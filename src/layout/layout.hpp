@@ -26,6 +26,7 @@
 namespace oi::layout {
 
 class StripeMap;
+class ConcurrencyMap;
 
 struct StripLoc {
   std::size_t disk = 0;
@@ -145,8 +146,15 @@ class Layout {
   /// once. The reference stays valid for the layout's lifetime.
   const StripeMap& stripe_map() const;
 
+  /// The lock-domain partition derived from the compiled StripeMap (see
+  /// layout/concurrency_map.hpp): strips connected by relation closure share
+  /// a domain. Built on first use, cached, shared by reference; thread-safe
+  /// like stripe_map().
+  const ConcurrencyMap& concurrency_map() const;
+
  private:
   mutable std::shared_ptr<const StripeMap> stripe_map_;
+  mutable std::shared_ptr<const ConcurrencyMap> concurrency_map_;
   mutable std::mutex stripe_map_mutex_;
 };
 

@@ -2,12 +2,17 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <future>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -20,6 +25,7 @@ namespace {
 
 struct ServerMetrics {
   metrics::Counter& connections;
+  metrics::Counter& disconnects;
   metrics::Counter& requests;
   metrics::Counter& errors;
   metrics::Counter& read_bytes;
@@ -29,10 +35,14 @@ struct ServerMetrics {
   metrics::Gauge& watermark;
   metrics::Gauge& total_steps;
   metrics::Gauge& failed_disks;
+  metrics::FixedHistogram& read_latency_us;
+  metrics::FixedHistogram& write_latency_us;
+  metrics::FixedHistogram& status_latency_us;
 
   static ServerMetrics& instance() {
     auto& reg = metrics::Registry::instance();
     static ServerMetrics m{reg.counter("server.net.connections"),
+                           reg.counter("server.net.disconnects"),
                            reg.counter("server.net.requests"),
                            reg.counter("server.net.errors"),
                            reg.counter("server.io.read_bytes"),
@@ -41,10 +51,25 @@ struct ServerMetrics {
                            reg.gauge("server.rebuild.active"),
                            reg.gauge("rebuild.watermark"),
                            reg.gauge("server.rebuild.total_steps"),
-                           reg.gauge("server.disks.failed")};
+                           reg.gauge("server.disks.failed"),
+                           reg.histogram("server.req.read.latency_us", 0.0,
+                                         20000.0, 40),
+                           reg.histogram("server.req.write.latency_us", 0.0,
+                                         20000.0, 40),
+                           reg.histogram("server.req.status.latency_us", 0.0,
+                                         20000.0, 40)};
     return m;
   }
 };
+
+using Clock = std::chrono::steady_clock;
+
+void record_latency(metrics::FixedHistogram& hist, Clock::time_point start) {
+  if (!metrics::enabled()) return;
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+      Clock::now() - start);
+  hist.record(static_cast<double>(us.count()));
+}
 
 bool send_all(int fd, const std::vector<std::uint8_t>& data) {
   std::size_t sent = 0;
@@ -64,15 +89,26 @@ Frame error_frame(Op op, const std::string& reason) {
   return out;
 }
 
+std::size_t resolve_request_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return std::min<std::size_t>(hw > 0 ? hw : 1, 8);
+}
+
 }  // namespace
 
 BlockServer::BlockServer(PersistentArray& array, BlockServerConfig config)
     : array_(array),
       config_(std::move(config)),
+      map_(array.array().layout().stripe_map()),
+      concurrency_(array.array().layout().concurrency_map()),
+      locks_(concurrency_),
       governor_(config_.client_bytes_per_second,
                 config_.rebuild_bytes_per_second) {
   OI_ENSURE(config_.rebuild_batch_steps >= 1,
             "rebuild batch must be at least one step");
+  pool_ = std::make_unique<ThreadPool>(
+      resolve_request_threads(config_.request_threads));
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   OI_ENSURE(listen_fd_ >= 0, "oiraidd: cannot create socket");
   const int one = 1;
@@ -118,9 +154,9 @@ BlockServer::~BlockServer() {
     }
     workers_.clear();
   }
+  pool_.reset();  // drains any queued requests before the sync below
   if (listen_fd_ >= 0) ::close(listen_fd_);
   listen_fd_ = -1;
-  std::lock_guard<std::mutex> lock(array_mutex_);
   array_.sync();
 }
 
@@ -145,16 +181,22 @@ void BlockServer::serve() {
     if (ready <= 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    // Request/response round-trips are latency-bound on loopback; never
+    // batch them behind Nagle.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     ServerMetrics::instance().connections.increment();
     std::lock_guard<std::mutex> lock(workers_mutex_);
     workers_.emplace_back([this, fd] {
       handle_connection(fd);
       ::close(fd);
+      ServerMetrics::instance().disconnects.increment();
     });
   }
 }
 
 void BlockServer::handle_connection(int fd) {
+  auto& m = ServerMetrics::instance();
   std::uint8_t header[kHeaderBytes];
   while (!stopping_.load(std::memory_order_acquire)) {
     // Read one full header; the 200ms poll bounds how long a worker lingers
@@ -176,7 +218,12 @@ void BlockServer::handle_connection(int fd) {
     }
     Frame request;
     const auto payload_len = decode_header({header, kHeaderBytes}, request);
-    if (!payload_len) return;  // protocol violation: drop the connection
+    if (!payload_len) {
+      // Protocol violation (bad magic or hostile length): count it, drop the
+      // connection.
+      m.errors.increment();
+      return;
+    }
     request.payload.resize(*payload_len);
     got = 0;
     while (got < *payload_len) {
@@ -191,11 +238,28 @@ void BlockServer::handle_connection(int fd) {
       if (n <= 0) return;
       got += static_cast<std::size_t>(n);
     }
-    ServerMetrics::instance().requests.increment();
-    const Frame response = handle_request(request);
-    if (!send_all(fd, encode_frame(response))) return;
+    m.requests.increment();
+    const Frame response = execute_on_pool(request);
+    if (!send_all(fd, encode_frame(response))) {
+      // The peer vanished with a response in flight; unlike a clean close
+      // this loses an acknowledged-side effect, so count it as an error.
+      m.errors.increment();
+      return;
+    }
     if (request.op == Op::kStop) return;
   }
+}
+
+Frame BlockServer::execute_on_pool(const Frame& request) {
+  // Per-request handoff: the connection thread blocks on its own response,
+  // preserving per-connection ordering, while total array concurrency is
+  // bounded by the pool width.
+  std::promise<Frame> done;
+  std::future<Frame> response = done.get_future();
+  pool_->submit([this, &request, &done] {
+    done.set_value(handle_request(request));
+  });
+  return response.get();
 }
 
 Frame BlockServer::handle_request(const Frame& request) {
@@ -215,35 +279,55 @@ Frame BlockServer::handle_request(const Frame& request) {
         if (length > kMaxPayload) {
           throw std::invalid_argument("read length exceeds the frame limit");
         }
+        if (request.arg + length > array_.array().capacity_bytes()) {
+          throw std::invalid_argument("read range exceeds the array capacity");
+        }
         governor_.acquire_client(length);
+        const auto start = Clock::now();
         Frame response{Op::kRead};
         {
-          std::lock_guard<std::mutex> lock(array_mutex_);
+          const auto domains = core::domains_of_range(
+              map_, concurrency_, request.arg, length,
+              array_.array().strip_bytes());
+          auto guard = locks_.lock_shared(domains);
           response.payload = array_.array().read_bytes(request.arg, length);
         }
+        record_latency(m.read_latency_us, start);
         m.read_bytes.add(length);
         return response;
       }
       case Op::kWrite: {
+        if (request.arg + request.payload.size() >
+            array_.array().capacity_bytes()) {
+          throw std::invalid_argument("write range exceeds the array capacity");
+        }
         governor_.acquire_client(request.payload.size());
+        const auto start = Clock::now();
         {
-          std::lock_guard<std::mutex> lock(array_mutex_);
+          const auto domains = core::domains_of_range(
+              map_, concurrency_, request.arg, request.payload.size(),
+              array_.array().strip_bytes());
+          auto guard = locks_.lock_exclusive(domains);
           array_.array().write_bytes(request.arg, request.payload);
         }
+        record_latency(m.write_latency_us, start);
         m.write_bytes.add(request.payload.size());
         return Frame{Op::kWrite};
       }
       case Op::kFailDisk: {
-        std::lock_guard<std::mutex> lock(array_mutex_);
+        // Whole-array transition: every domain, exclusively.
+        auto barrier = locks_.lock_all_exclusive();
         array_.fail_disk(static_cast<std::size_t>(request.arg));
         m.failed_disks.set(
             static_cast<double>(array_.array().failed_disks().size()));
         return Frame{Op::kFailDisk};
       }
       case Op::kStatus: {
+        const auto start = Clock::now();
         Frame response{Op::kStatus};
         const std::string text = status_text();
         response.payload.assign(text.begin(), text.end());
+        record_latency(m.status_latency_us, start);
         return response;
       }
       case Op::kStop: {
@@ -259,16 +343,19 @@ Frame BlockServer::handle_request(const Frame& request) {
 }
 
 std::string BlockServer::status_text() {
-  std::lock_guard<std::mutex> lock(array_mutex_);
+  // Built entirely from lock-free status atomics and the mutex-guarded
+  // superblock snapshot -- no domain locks, so status stays responsive under
+  // full data-path load.
   const core::Array& array = array_.array();
+  const auto failed = array.failed_disks();
   std::ostringstream os;
   os << "disks " << array.layout().disks() << '\n'
      << "strips_per_disk " << array.layout().strips_per_disk() << '\n'
      << "strip_bytes " << array.strip_bytes() << '\n'
      << "capacity_bytes " << array.capacity_bytes() << '\n'
-     << "epoch " << array_.state().epoch << '\n';
-  os << "failed " << array.failed_disks().size();
-  for (std::size_t d : array.failed_disks()) os << ' ' << d;
+     << "epoch " << array_.state_snapshot().epoch << '\n';
+  os << "failed " << failed.size();
+  for (std::size_t d : failed) os << ' ' << d;
   os << '\n'
      << "rebuild_active " << (array.rebuild_active() ? 1 : 0) << '\n'
      << "rebuild_watermark " << array.rebuild_watermark() << '\n'
@@ -279,25 +366,26 @@ std::string BlockServer::status_text() {
 void BlockServer::rebuild_loop() {
   auto& m = ServerMetrics::instance();
   while (!stopping_.load(std::memory_order_acquire)) {
-    core::RebuildReport report;
-    bool active = false;
-    std::size_t watermark = 0;
-    std::size_t total = 0;
-    {
-      std::lock_guard<std::mutex> lock(array_mutex_);
-      if (!array_.array().failed_disks().empty()) {
-        report = array_.rebuild_step(config_.rebuild_batch_steps);
-        active = array_.array().rebuild_active();
-        watermark = array_.array().rebuild_watermark();
-        total = array_.array().rebuild_total_steps();
+    // Plan (or resume) under the all-domain barrier, and snapshot the
+    // remaining steps: the plan is only ever replaced under this barrier, so
+    // the local copy stays accurate until a mid-flight fail_disk -- which
+    // the per-batch invalidation check below detects.
+    std::vector<layout::RecoveryStep> pending;
+    std::size_t base = 0;
+    if (array_.array().any_failed()) {
+      auto barrier = locks_.lock_all_exclusive();
+      if (array_.array().any_failed()) {
+        array_.array().rebuild_begin();
+        base = array_.array().rebuild_watermark();
+        pending = array_.array().peek_rebuild_steps(
+            std::numeric_limits<std::size_t>::max());
       }
-      m.failed_disks.set(
-          static_cast<double>(array_.array().failed_disks().size()));
     }
-    m.rebuild_active.set(active ? 1.0 : 0.0);
-    m.watermark.set(static_cast<double>(watermark));
-    m.total_steps.set(static_cast<double>(total));
-    if (report.strips_rebuilt == 0) {
+    m.rebuild_active.set(array_.array().rebuild_active() ? 1.0 : 0.0);
+    m.watermark.set(static_cast<double>(array_.array().rebuild_watermark()));
+    m.total_steps.set(static_cast<double>(array_.array().rebuild_total_steps()));
+    m.failed_disks.set(static_cast<double>(array_.array().failed_disks().size()));
+    if (pending.empty()) {
       // Healthy (or just finished): poll for new failures.
       std::unique_lock<std::mutex> lock(stop_mutex_);
       stop_cv_.wait_for(lock, std::chrono::milliseconds(config_.rebuild_idle_ms),
@@ -306,12 +394,40 @@ void BlockServer::rebuild_loop() {
                         });
       continue;
     }
-    m.rebuild_steps.add(report.strips_rebuilt);
-    // Pace the *next* batch by what this one cost, outside the array lock so
-    // clients run while the rebuild waits for budget.
-    const std::size_t bytes =
-        (report.strip_reads + report.strips_rebuilt) * array_.array().strip_bytes();
-    governor_.acquire_rebuild(bytes);
+    std::size_t idx = 0;
+    while (idx < pending.size() && !stopping_.load(std::memory_order_acquire)) {
+      const std::size_t count =
+          std::min(config_.rebuild_batch_steps, pending.size() - idx);
+      const auto domains = core::domains_of_steps(
+          map_, concurrency_,
+          std::span<const layout::RecoveryStep>(pending.data() + idx, count));
+      core::RebuildReport report;
+      {
+        // Claim only this batch's domains: clients in other domains keep
+        // running while these steps execute. Holding any domain blocks the
+        // all-exclusive barrier, so the checks below cannot go stale before
+        // the step executes.
+        auto guard = locks_.lock_exclusive(domains);
+        if (!array_.array().rebuild_active() ||
+            array_.array().rebuild_watermark() != base + idx) {
+          break;  // a new failure replanned the rebuild: restart from the top
+        }
+        report = array_.rebuild_step(count);
+      }
+      idx += count;
+      m.rebuild_steps.add(report.strips_rebuilt);
+      m.rebuild_active.set(array_.array().rebuild_active() ? 1.0 : 0.0);
+      m.watermark.set(static_cast<double>(array_.array().rebuild_watermark()));
+      m.total_steps.set(
+          static_cast<double>(array_.array().rebuild_total_steps()));
+      m.failed_disks.set(
+          static_cast<double>(array_.array().failed_disks().size()));
+      // Pace the *next* batch by what this one cost, outside every lock so
+      // clients run while the rebuild waits for budget.
+      const std::size_t bytes = (report.strip_reads + report.strips_rebuilt) *
+                                array_.array().strip_bytes();
+      governor_.acquire_rebuild(bytes);
+    }
   }
 }
 

@@ -4,32 +4,45 @@
 // clients keep reading and writing*.
 //
 // Concurrency model: one acceptor thread, one thread per client connection,
-// one rebuild thread. The array itself is not thread-safe, so every array
-// operation -- a client read/write, a fail-disk, one batch of rebuild steps
-// -- serializes on a single mutex; the rebuild thread takes the lock in
-// *batches* of plan steps and the token-bucket governor (taken outside the
-// lock) paces it, so client requests interleave between batches instead of
-// starving behind a monolithic rebuild. Online consistency comes from the
-// array's stepwise-rebuild semantics: strips below the watermark are served
-// like healthy ones, and client writes during a rebuild go through the same
-// parity machinery, so nothing the rebuild produces is ever stale.
+// a shared worker pool executing decoded frames, one rebuild thread. There
+// is no array-wide mutex -- the array is striped into lock domains (the
+// layout's ConcurrencyMap; see core/striped_lock.hpp), and every request
+// acquires only the domains its byte range touches: reads shared, writes
+// exclusive, so non-overlapping operations run fully in parallel. Connection
+// threads decode frames and hand them to the pool (waiting per request, so
+// per-connection response ordering is preserved and total array concurrency
+// is bounded by the pool size); fail-disk takes every domain exclusively
+// (the whole-array barrier). The rebuild thread snapshots the plan under
+// that same barrier once, then claims only the domains each batch of steps
+// touches -- client traffic in other domains proceeds *during* rebuild
+// batches, not just between them -- with the token-bucket governor pacing
+// batches outside any lock. Online consistency comes from the array's
+// stepwise-rebuild semantics: strips below the watermark are served like
+// healthy ones, and client writes during a rebuild go through the same
+// parity machinery, so nothing the rebuild produces is ever stale. The
+// superblock flush inside PersistentArray is the one remaining global
+// serialization point.
 //
 // Progress is visible in the metrics registry (`server.*` counters, the
-// `rebuild.watermark` gauge) -- point `oiraidctl top` at the daemon's
-// --metrics-port to watch a rebuild race client traffic live.
+// per-op `server.req.*.latency_us` histograms, the `rebuild.watermark`
+// gauge) -- point `oiraidctl top` at the daemon's --metrics-port to watch a
+// rebuild race client traffic live.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/striped_lock.hpp"
 #include "server/governor.hpp"
 #include "server/persistent_array.hpp"
 #include "server/protocol.hpp"
+#include "util/thread_pool.hpp"
 
 namespace oi::server {
 
@@ -37,9 +50,12 @@ struct BlockServerConfig {
   std::string host = "127.0.0.1";
   /// 0 binds an ephemeral port; read it back with port().
   std::uint16_t port = 0;
-  /// Rebuild-plan steps applied per lock acquisition (the granularity at
-  /// which client requests can interleave with an active rebuild).
+  /// Rebuild-plan steps applied per domain-lock acquisition (the granularity
+  /// at which overlapping client requests can interleave with a rebuild).
   std::size_t rebuild_batch_steps = 8;
+  /// Worker threads executing request frames against the array; 0 picks
+  /// min(hardware_concurrency, 8).
+  std::size_t request_threads = 0;
   /// Token-bucket rates; 0 = unthrottled.
   double client_bytes_per_second = 0.0;
   double rebuild_bytes_per_second = 0.0;
@@ -66,18 +82,24 @@ class BlockServer {
  private:
   void serve();
   void handle_connection(int fd);
-  /// One request -> one response; never throws (errors become kError frames).
+  /// One request -> one response, executed on the worker pool under the
+  /// request's domain locks; never throws (errors become kError frames).
   Frame handle_request(const Frame& request);
+  /// Submits the request to the pool and waits for its response.
+  Frame execute_on_pool(const Frame& request);
   void rebuild_loop();
   std::string status_text();
 
   PersistentArray& array_;
   BlockServerConfig config_;
+  const layout::StripeMap& map_;
+  const layout::ConcurrencyMap& concurrency_;
+  core::DomainLockTable locks_;
   IoGovernor governor_;
+  std::unique_ptr<ThreadPool> pool_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
-  std::mutex array_mutex_;
   std::mutex stop_mutex_;
   std::condition_variable stop_cv_;
   std::mutex workers_mutex_;

@@ -18,6 +18,7 @@ PersistentArray::PersistentArray(std::string dir, layout::OiRaidLayout layout,
   auto store = std::make_unique<core::FileBlockStore>(
       dir_, layout_->disks(), layout_->strips_per_disk(), strip_bytes);
   array_ = std::make_unique<core::Array>(layout_, std::move(store));
+  std::lock_guard<std::mutex> lock(state_mutex_);
   persist();
 }
 
@@ -49,24 +50,28 @@ void PersistentArray::fail_disk(std::size_t disk) {
   // Publish the failure before poisoning: a crash in between leaves a disk
   // recorded as failed with intact bytes (safe -- rebuild rewrites it). The
   // reverse order could reopen with a poisoned disk believed healthy.
-  layout::ArrayState next = state_;
-  next.epoch = state_.epoch + 1;
-  next.failed_disks = array_->failed_disks();
-  next.failed_disks.push_back(disk);
-  std::sort(next.failed_disks.begin(), next.failed_disks.end());
-  next.rebuild_watermark = 0;  // a new failure invalidates any old plan
-  state_ = std::move(next);
-  persist();
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    layout::ArrayState next = state_;
+    next.epoch = state_.epoch + 1;
+    next.failed_disks = array_->failed_disks();
+    next.failed_disks.push_back(disk);
+    std::sort(next.failed_disks.begin(), next.failed_disks.end());
+    next.rebuild_watermark = 0;  // a new failure invalidates any old plan
+    state_ = std::move(next);
+    persist();
+  }
   array_->fail_disk(disk);
 }
 
 core::RebuildReport PersistentArray::rebuild_step(std::size_t max_steps) {
-  if (array_->failed_disks().empty()) return {};
+  if (!array_->any_failed()) return {};
   array_->rebuild_begin();
   const core::RebuildReport report = array_->rebuild_step(max_steps);
   // Data first, watermark second: a persisted watermark must only ever point
   // at strips that are durable on the backing files.
   array_->flush();
+  std::lock_guard<std::mutex> lock(state_mutex_);
   state_.epoch += 1;
   state_.rebuild_watermark = array_->rebuild_watermark();
   state_.failed_disks = array_->failed_disks();
@@ -77,6 +82,7 @@ core::RebuildReport PersistentArray::rebuild_step(std::size_t max_steps) {
 
 void PersistentArray::sync() {
   array_->flush();
+  std::lock_guard<std::mutex> lock(state_mutex_);
   state_.epoch += 1;
   state_.rebuild_watermark = array_->rebuild_watermark();
   state_.failed_disks = array_->failed_disks();

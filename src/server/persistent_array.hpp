@@ -17,10 +17,18 @@
 // Epochs only grow; the loader picks the valid slot with the highest epoch,
 // so a torn superblock write falls back to the previous state, which is
 // always a safe (merely older) description of the same bytes.
+//
+// Concurrency: the wrapped core::Array follows the striped-domain contract
+// (core/array.hpp); the superblock state has its own internal mutex, making
+// fail_disk/rebuild_step/sync mutually safe and the superblock flush the
+// only serialization the persistence layer itself imposes. Callers still owe
+// the *array* its locking: fail_disk under the all-domain barrier,
+// rebuild_step under the stepped batch's domains.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/array.hpp"
@@ -49,7 +57,16 @@ class PersistentArray {
   const core::Array& array() const { return *array_; }
   const layout::OiRaidLayout& layout() const { return *layout_; }
   const std::string& dir() const { return dir_; }
+  /// Direct view of the superblock state; safe only while no other thread is
+  /// mutating (tests, startup, post-join shutdown). Concurrent readers use
+  /// state_snapshot().
   const layout::ArrayState& state() const { return state_; }
+  /// Mutex-guarded copy of the superblock state, safe against a concurrent
+  /// fail_disk/rebuild_step/sync.
+  layout::ArrayState state_snapshot() const {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    return state_;
+  }
 
   /// Marks a disk failed, durably: superblock first (failure recorded,
   /// watermark reset), then the in-memory/poisoning transition.
@@ -69,10 +86,12 @@ class PersistentArray {
   void set_crash_hook(layout::CrashHook hook) { hook_ = std::move(hook); }
 
  private:
+  /// Caller holds state_mutex_.
   void persist();
 
   std::string dir_;
   std::shared_ptr<const layout::OiRaidLayout> layout_;
+  mutable std::mutex state_mutex_;
   layout::ArrayState state_;
   std::unique_ptr<core::Array> array_;
   layout::CrashHook hook_;

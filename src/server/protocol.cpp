@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -105,6 +106,10 @@ Client::Client(const std::string& host, std::uint16_t port, int timeout_ms)
     : timeout_ms_(timeout_ms) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) throw std::runtime_error("oiraidd client: cannot create socket");
+  // One frame per round-trip: Nagle would hold the 20-byte header hostage to
+  // the delayed-ack timer on every request.
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);

@@ -1,0 +1,166 @@
+// The lock-domain derivation (layout/concurrency_map.hpp) is what makes the
+// striped data plane *correct*, not just fast: every claim the server's
+// locking discipline relies on -- domains partition the strips, relations
+// never cross domains, write plans and recovery steps stay inside one domain
+// -- is checked here over the same layout family the arrays run.
+#include "layout/concurrency_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <set>
+
+#include "bibd/constructions.hpp"
+#include "core/striped_lock.hpp"
+#include "layout/oi_raid.hpp"
+#include "layout/parity_declustering.hpp"
+#include "layout/raid5.hpp"
+#include "layout/raid50.hpp"
+#include "layout/stripe_map.hpp"
+
+namespace oi::layout {
+namespace {
+
+std::shared_ptr<const Layout> oi_fano(std::size_t m = 3, std::size_t h = 6) {
+  return std::make_shared<OiRaidLayout>(OiRaidParams{bibd::fano(), m, h});
+}
+
+TEST(ConcurrencyMap, DomainsPartitionTheStrips) {
+  for (const auto& layout :
+       {oi_fano(), std::shared_ptr<const Layout>(
+                       std::make_shared<Raid5Layout>(5, 8))}) {
+    const ConcurrencyMap& map = layout->concurrency_map();
+    ASSERT_EQ(map.total_strips(), layout->total_strips());
+    ASSERT_GE(map.domains(), 1u);
+    // Every strip in exactly one domain, and the CSR view agrees with
+    // domain_of.
+    std::vector<char> seen(map.total_strips(), 0);
+    std::size_t covered = 0;
+    for (std::uint32_t d = 0; d < map.domains(); ++d) {
+      for (const std::uint32_t strip : map.domain_strips(d)) {
+        EXPECT_EQ(map.domain_of(strip), d);
+        EXPECT_EQ(seen[strip], 0) << "strip " << strip << " in two domains";
+        seen[strip] = 1;
+        ++covered;
+      }
+      EXPECT_EQ(map.domain_strips(d).size(), map.domain_size(d));
+    }
+    EXPECT_EQ(covered, map.total_strips());
+  }
+}
+
+TEST(ConcurrencyMap, RelationsNeverCrossDomains) {
+  const auto layout = oi_fano();
+  const StripeMap& stripes = layout->stripe_map();
+  const ConcurrencyMap& map = layout->concurrency_map();
+  for (std::uint32_t rel = 0; rel < stripes.relations(); ++rel) {
+    const auto members = stripes.relation_members(rel);
+    const std::uint32_t domain = map.domain_of(members.front());
+    for (const std::uint32_t member : members) {
+      EXPECT_EQ(map.domain_of(member), domain);
+    }
+  }
+}
+
+TEST(ConcurrencyMap, OiRaidSplitsIntoManyDomains) {
+  // The whole point of striping: OI-RAID's relation graph decomposes into
+  // many independent stripe rows, so the plane is actually concurrent.
+  const auto layout = oi_fano();
+  const ConcurrencyMap& map = layout->concurrency_map();
+  EXPECT_GT(map.domains(), 4u);
+  EXPECT_LT(map.largest_domain(), map.total_strips());
+  // Deterministic dense ids, ordered by smallest strip id: domain 0 owns
+  // strip 0.
+  EXPECT_EQ(map.domain_of(0), 0u);
+}
+
+TEST(ConcurrencyMap, WritePlansStayInsideOneDomain) {
+  for (const auto& layout :
+       {oi_fano(), oi_fano(3, 4),
+        std::shared_ptr<const Layout>(std::make_shared<Raid50Layout>(4, 3, 6)),
+        std::shared_ptr<const Layout>(
+            std::make_shared<ParityDeclusteredLayout>(bibd::fano(), 2))}) {
+    const StripeMap& stripes = layout->stripe_map();
+    const ConcurrencyMap& map = layout->concurrency_map();
+    for (std::size_t logical = 0; logical < layout->data_strips(); ++logical) {
+      const WritePlan plan = layout->small_write_plan(logical);
+      const std::uint32_t domain =
+          map.domain_of(stripes.strip_id(plan.writes.front()));
+      for (const StripLoc& loc : plan.writes) {
+        EXPECT_EQ(map.domain_of(stripes.strip_id(loc)), domain);
+      }
+      for (const StripLoc& loc : plan.reads) {
+        EXPECT_EQ(map.domain_of(stripes.strip_id(loc)), domain);
+      }
+    }
+  }
+}
+
+TEST(ConcurrencyMap, RecoveryStepsStayInsideOneDomain) {
+  const auto layout = oi_fano();
+  const StripeMap& stripes = layout->stripe_map();
+  const ConcurrencyMap& map = layout->concurrency_map();
+  for (std::size_t disk = 0; disk < layout->disks(); ++disk) {
+    const auto plan = layout->recovery_plan({disk});
+    ASSERT_TRUE(plan.has_value());
+    for (const RecoveryStep& step : *plan) {
+      const std::uint32_t domain = map.domain_of(stripes.strip_id(step.lost));
+      for (const StripLoc& read : step.reads) {
+        EXPECT_EQ(map.domain_of(stripes.strip_id(read)), domain);
+      }
+      // domains_of_steps therefore resolves each step to exactly one domain.
+      const auto domains = core::domains_of_steps(
+          stripes, map, std::span<const RecoveryStep>(&step, 1));
+      ASSERT_EQ(domains.size(), 1u);
+      EXPECT_EQ(domains.front(), domain);
+    }
+  }
+}
+
+TEST(ConcurrencyMap, DomainsOfRangeCoversTouchedStrips) {
+  const auto layout = oi_fano();
+  const StripeMap& stripes = layout->stripe_map();
+  const ConcurrencyMap& map = layout->concurrency_map();
+  const std::size_t strip_bytes = 64;
+  // A range spanning logical strips 2..5 must contain exactly their domains,
+  // sorted and deduplicated.
+  const auto domains =
+      core::domains_of_range(stripes, map, 2 * strip_bytes + 7,
+                             3 * strip_bytes, strip_bytes);
+  std::set<std::uint32_t> expected;
+  for (std::size_t logical = 2; logical <= 5; ++logical) {
+    expected.insert(map.domain_of(stripes.locate(logical)));
+  }
+  EXPECT_EQ(std::vector<std::uint32_t>(expected.begin(), expected.end()),
+            domains);
+  EXPECT_TRUE(core::domains_of_range(stripes, map, 0, 0, strip_bytes).empty());
+}
+
+TEST(DomainLockTable, SharedAndExclusiveGuardsCompose) {
+  const auto layout = oi_fano();
+  core::DomainLockTable table(layout->concurrency_map());
+  ASSERT_GE(table.domains(), 2u);
+  const std::uint32_t ids[] = {1, 0, 1, 0};  // unsorted, duplicated on purpose
+  {
+    auto shared_a = table.lock_shared(ids);
+    auto shared_b = table.lock_shared(std::span<const std::uint32_t>(ids, 2));
+    EXPECT_TRUE(shared_a.held());
+    EXPECT_TRUE(shared_b.held());  // shared locks coexist
+  }
+  {
+    auto exclusive = table.lock_exclusive(std::span<const std::uint32_t>(ids, 1));
+    EXPECT_TRUE(exclusive.held());
+    exclusive.release();
+    EXPECT_FALSE(exclusive.held());
+    auto again = table.lock_all_exclusive();  // released above, so no deadlock
+    EXPECT_TRUE(again.held());
+  }
+  auto moved_from = table.lock_all_exclusive();
+  auto moved_to = std::move(moved_from);
+  EXPECT_FALSE(moved_from.held());
+  EXPECT_TRUE(moved_to.held());
+}
+
+}  // namespace
+}  // namespace oi::layout

@@ -401,6 +401,32 @@ void render_top(std::ostream& out, const telemetry::MetricMap& values,
     row("relative error: ", "reliability.mc.relative_error");
   }
 
+  // Curated data-plane summary when the producer is an oiraidd: request
+  // traffic plus per-op service latency as count + mean, derived from the
+  // histograms' count/sum aggregates (the per-bucket series are labelled
+  // and not part of the flat metric map).
+  const auto requests = telemetry::find_metric(values, "server.net.requests");
+  if (requests.has_value()) {
+    out << "\nserver requests: " << top_value(*requests);
+    const auto counter = [&](const char* label, const char* metric) {
+      const auto v = telemetry::find_metric(values, metric);
+      if (v.has_value() && *v > 0) out << "  " << label << " " << top_value(*v);
+    };
+    counter("errors:", "server.net.errors");
+    counter("disconnects:", "server.net.disconnects");
+    out << "\n";
+    for (const char* op : {"read", "write", "status"}) {
+      const std::string base = std::string("server.req.") + op + ".latency_us";
+      const auto count = telemetry::find_metric(values, base + ".count");
+      const auto sum = telemetry::find_metric(values, base + ".sum");
+      if (!count.has_value() || !sum.has_value() || *count <= 0) continue;
+      const std::string label = std::string(op) + ":";
+      out << "  " << label << std::string(8 - label.size(), ' ')
+          << top_value(*count) << " ops, mean "
+          << top_value(*sum / *count) << " us\n";
+    }
+  }
+
   out << "\n";
   Table table({"metric", "value"});
   for (const auto& [name, value] : values) {

@@ -17,6 +17,8 @@
 //   --client-mbps X     token-bucket cap on client I/O (0 = unthrottled)
 //   --rebuild-mbps X    token-bucket cap on rebuild I/O (0 = unthrottled)
 //   --rebuild-batch N   plan steps per rebuild batch (default 8)
+//   --request-threads N worker threads executing client requests against the
+//                       striped array (default 0 = min(cores, 8))
 //
 // plus the standard observability flags (--metrics-port, --metrics-stream-out,
 // --trace-out, ...; see util/observability.hpp). Watch a live rebuild with
@@ -98,6 +100,8 @@ int run(const Flags& flags) {
   config.rebuild_bytes_per_second = flags.get_double("rebuild-mbps", 0.0) * 1e6;
   config.rebuild_batch_steps =
       static_cast<std::size_t>(flags.get_int("rebuild-batch", 8));
+  config.request_threads =
+      static_cast<std::size_t>(flags.get_int("request-threads", 0));
   server::BlockServer server(*array, config);
 
   const std::string port_file = flags.get_string("port-file", "");
