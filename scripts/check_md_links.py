@@ -27,6 +27,7 @@ DEFAULT_FILES = [
     "docs/OBSERVABILITY.md",
     "docs/BENCH_JSON.md",
     "docs/RELIABILITY.md",
+    "docs/QOS.md",
 ]
 
 # [text](target) -- non-greedy text, target up to the closing paren.

@@ -64,11 +64,15 @@ struct ServerMetrics {
 
 using Clock = std::chrono::steady_clock;
 
-void record_latency(metrics::FixedHistogram& hist, Clock::time_point start) {
-  if (!metrics::enabled()) return;
+double elapsed_us(Clock::time_point start) {
   const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
       Clock::now() - start);
-  hist.record(static_cast<double>(us.count()));
+  return static_cast<double>(us.count());
+}
+
+void record_latency(metrics::FixedHistogram& hist, Clock::time_point start) {
+  if (!metrics::enabled()) return;
+  hist.record(elapsed_us(start));
 }
 
 bool send_all(int fd, const std::vector<std::uint8_t>& data) {
@@ -104,9 +108,14 @@ BlockServer::BlockServer(PersistentArray& array, BlockServerConfig config)
       concurrency_(array.array().layout().concurrency_map()),
       locks_(concurrency_),
       governor_(config_.client_bytes_per_second,
-                config_.rebuild_bytes_per_second) {
+                config_.rebuild_bytes_per_second),
+      tenants_(config_.tenants) {
   OI_ENSURE(config_.rebuild_batch_steps >= 1,
             "rebuild batch must be at least one step");
+  if (config_.qos_controller) {
+    controller_ =
+        std::make_unique<RebuildController>(config_.controller, tenants_);
+  }
   pool_ = std::make_unique<ThreadPool>(
       resolve_request_threads(config_.request_threads));
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -256,13 +265,17 @@ Frame BlockServer::execute_on_pool(const Frame& request) {
   // bounded by the pool width.
   std::promise<Frame> done;
   std::future<Frame> response = done.get_future();
-  pool_->submit([this, &request, &done] {
-    done.set_value(handle_request(request));
+  const auto arrival = Clock::now();
+  pool_->submit([this, &request, &done, arrival] {
+    done.set_value(handle_request(request, arrival));
   });
-  return response.get();
+  Frame out = response.get();
+  out.tenant = request.tenant;  // responses echo the request's tenant tag
+  return out;
 }
 
-Frame BlockServer::handle_request(const Frame& request) {
+Frame BlockServer::handle_request(const Frame& request,
+                                  Clock::time_point arrival) {
   auto& m = ServerMetrics::instance();
   try {
     switch (request.op) {
@@ -292,7 +305,12 @@ Frame BlockServer::handle_request(const Frame& request) {
           auto guard = locks_.lock_shared(domains);
           response.payload = array_.array().read_bytes(request.arg, length);
         }
-        record_latency(m.read_latency_us, start);
+        if (metrics::enabled()) m.read_latency_us.record(elapsed_us(start));
+        // SLO latency spans queueing too -- measured from frame arrival, not
+        // from dispatch, so pool backlog under rebuild pressure is visible to
+        // the controller.
+        tenants_.sensors(request.tenant)
+            .record(elapsed_us(arrival), /*is_write=*/false, length);
         m.read_bytes.add(length);
         return response;
       }
@@ -310,7 +328,10 @@ Frame BlockServer::handle_request(const Frame& request) {
           auto guard = locks_.lock_exclusive(domains);
           array_.array().write_bytes(request.arg, request.payload);
         }
-        record_latency(m.write_latency_us, start);
+        if (metrics::enabled()) m.write_latency_us.record(elapsed_us(start));
+        tenants_.sensors(request.tenant)
+            .record(elapsed_us(arrival), /*is_write=*/true,
+                    request.payload.size());
         m.write_bytes.add(request.payload.size());
         return Frame{Op::kWrite};
       }
@@ -360,7 +381,31 @@ std::string BlockServer::status_text() {
      << "rebuild_active " << (array.rebuild_active() ? 1 : 0) << '\n'
      << "rebuild_watermark " << array.rebuild_watermark() << '\n'
      << "rebuild_total_steps " << array.rebuild_total_steps() << '\n';
+  os << "qos_controller " << (controller_ ? 1 : 0) << '\n'
+     << "qos_rebuild_rate_bytes_per_second " << rebuild_rate() << '\n';
+  if (controller_) {
+    os << "qos_decisions " << controller_->decisions() << '\n'
+       << "qos_slo_violations " << controller_->violations() << '\n';
+  }
+  os << "tenants " << tenants_.size() << '\n';
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    const TenantSensors& t = tenants_.at(i);
+    // Cumulative (since server start) p99 -- the controller acts on interval
+    // p99s; this line is for operators eyeballing a run.
+    const auto snap = t.snapshot();
+    const double p99 =
+        TenantSensors::interval_quantile(snap, TenantSensors::Snapshot{}, 0.99);
+    os << "tenant " << t.config().id << ' ' << t.config().name << " ops "
+       << t.ops() << " read_bytes " << t.read_bytes() << " write_bytes "
+       << t.write_bytes() << " p99_us " << p99 << " slo_p99_us "
+       << t.config().slo_p99_us << '\n';
+  }
   return os.str();
+}
+
+double BlockServer::rebuild_rate() const {
+  if (controller_) return controller_->rate();
+  return governor_.rebuild_bucket().rate();
 }
 
 void BlockServer::rebuild_loop() {
@@ -386,7 +431,10 @@ void BlockServer::rebuild_loop() {
     m.total_steps.set(static_cast<double>(array_.array().rebuild_total_steps()));
     m.failed_disks.set(static_cast<double>(array_.array().failed_disks().size()));
     if (pending.empty()) {
-      // Healthy (or just finished): poll for new failures.
+      // Healthy (or just finished): poll for new failures. Keep the control
+      // loop ticking so per-tenant violation gauges stay live and the rate
+      // recovers toward max while there is nothing to pace.
+      if (controller_) controller_->maybe_tick();
       std::unique_lock<std::mutex> lock(stop_mutex_);
       stop_cv_.wait_for(lock, std::chrono::milliseconds(config_.rebuild_idle_ms),
                         [this] {
@@ -426,7 +474,11 @@ void BlockServer::rebuild_loop() {
       // clients run while the rebuild waits for budget.
       const std::size_t bytes = (report.strip_reads + report.strips_rebuilt) *
                                 array_.array().strip_bytes();
-      governor_.acquire_rebuild(bytes);
+      if (controller_) {
+        controller_->pace(bytes, stopping_);
+      } else {
+        governor_.acquire_rebuild(bytes, &stopping_);
+      }
     }
   }
 }

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -42,6 +43,7 @@
 #include "server/governor.hpp"
 #include "server/persistent_array.hpp"
 #include "server/protocol.hpp"
+#include "server/qos.hpp"
 #include "util/thread_pool.hpp"
 
 namespace oi::server {
@@ -61,6 +63,15 @@ struct BlockServerConfig {
   double rebuild_bytes_per_second = 0.0;
   /// Rebuild thread's poll interval while the array is healthy.
   int rebuild_idle_ms = 20;
+  /// Declared tenants for per-tenant accounting (requests tagged with an
+  /// undeclared id fall into the untagged default slot). Empty = just the
+  /// default slot.
+  std::vector<TenantConfig> tenants;
+  /// Replace the static rebuild token bucket with the AIMD
+  /// RebuildController (see server/qos.hpp); rebuild_bytes_per_second is
+  /// then ignored.
+  bool qos_controller = false;
+  RebuildControllerConfig controller;
 };
 
 class BlockServer {
@@ -75,6 +86,11 @@ class BlockServer {
   BlockServer& operator=(const BlockServer&) = delete;
 
   std::uint16_t port() const { return port_; }
+  /// Current rebuild pacing rate in bytes/second (the controller's live rate,
+  /// or the static bucket's configured rate; 0 = unthrottled static).
+  double rebuild_rate() const;
+  const TenantTable& tenants() const { return tenants_; }
+  const RebuildController* controller() const { return controller_.get(); }
   /// Blocks until stop() is called or a client sends kStop.
   void wait();
   void stop();
@@ -84,7 +100,11 @@ class BlockServer {
   void handle_connection(int fd);
   /// One request -> one response, executed on the worker pool under the
   /// request's domain locks; never throws (errors become kError frames).
-  Frame handle_request(const Frame& request);
+  /// `arrival` is when the frame came off the wire: per-tenant SLO latency is
+  /// arrival -> completion (queueing included -- what the client experiences),
+  /// while the `server.req.*.latency_us` histograms stay pure service time.
+  Frame handle_request(const Frame& request,
+                       std::chrono::steady_clock::time_point arrival);
   /// Submits the request to the pool and waits for its response.
   Frame execute_on_pool(const Frame& request);
   void rebuild_loop();
@@ -96,6 +116,8 @@ class BlockServer {
   const layout::ConcurrencyMap& concurrency_;
   core::DomainLockTable locks_;
   IoGovernor governor_;
+  TenantTable tenants_;
+  std::unique_ptr<RebuildController> controller_;
   std::unique_ptr<ThreadPool> pool_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

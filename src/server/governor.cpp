@@ -17,10 +17,13 @@ void TokenBucket::refill(Clock::time_point now) {
   tokens_ = std::min(burst_, tokens_ + elapsed.count() * rate_);
 }
 
-void TokenBucket::acquire(std::size_t bytes) {
-  if (unlimited()) return;
+bool TokenBucket::acquire(std::size_t bytes, const std::atomic<bool>* cancel) {
+  if (unlimited()) return true;
   double want = static_cast<double>(bytes);
   while (want > 0.0) {
+    if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
+      return false;
+    }
     // Oversized requests drain the bucket burst by burst.
     const double chunk = std::min(want, burst_);
     std::unique_lock<std::mutex> lock(mutex_);
@@ -32,10 +35,15 @@ void TokenBucket::acquire(std::size_t bytes) {
     }
     const double deficit = chunk - tokens_;
     lock.unlock();
-    // Sleep exactly long enough for the deficit to refill; no busy wait and
-    // no condition variable needed because nothing *adds* tokens but time.
-    std::this_thread::sleep_for(std::chrono::duration<double>(deficit / rate_));
+    // Sleep toward the deficit; no busy wait and no condition variable
+    // needed because nothing *adds* tokens but time. Capped at 50ms per
+    // slice so cancellation stays responsive at arbitrarily small rates.
+    const double deficit_s = deficit / rate_;
+    const double slice_s = cancel != nullptr ? std::min(deficit_s, 0.05)
+                                             : deficit_s;
+    std::this_thread::sleep_for(std::chrono::duration<double>(slice_s));
   }
+  return true;
 }
 
 }  // namespace oi::server

@@ -10,6 +10,7 @@
 // for that class -- acquires return immediately.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <mutex>
@@ -24,8 +25,12 @@ class TokenBucket {
 
   /// Blocks until `bytes` tokens are available, then takes them. Requests
   /// larger than the burst are admitted one burst at a time rather than
-  /// deadlocking. Immediate when the bucket is unthrottled.
-  void acquire(std::size_t bytes);
+  /// deadlocking. Immediate when the bucket is unthrottled. Waiting happens
+  /// in bounded sleep slices so a flipped `cancel` flag (e.g. server
+  /// shutdown) interrupts even a deficit that would take minutes to refill
+  /// at a crawling rate; returns false when cancelled short of the full
+  /// acquisition.
+  bool acquire(std::size_t bytes, const std::atomic<bool>* cancel = nullptr);
 
   double rate() const { return rate_; }
   bool unlimited() const { return rate_ <= 0.0; }
@@ -49,7 +54,10 @@ class IoGovernor {
       : client_(client_bytes_per_second), rebuild_(rebuild_bytes_per_second) {}
 
   void acquire_client(std::size_t bytes) { client_.acquire(bytes); }
-  void acquire_rebuild(std::size_t bytes) { rebuild_.acquire(bytes); }
+  bool acquire_rebuild(std::size_t bytes,
+                       const std::atomic<bool>* cancel = nullptr) {
+    return rebuild_.acquire(bytes, cancel);
+  }
 
   const TokenBucket& client_bucket() const { return client_; }
   const TokenBucket& rebuild_bucket() const { return rebuild_; }

@@ -44,7 +44,7 @@ std::vector<std::uint8_t> encode_frame(const Frame& frame) {
   out.insert(out.end(), kMagic, kMagic + 4);
   out.push_back(static_cast<std::uint8_t>(frame.op));
   out.push_back(static_cast<std::uint8_t>(frame.status));
-  put_u16(out, 0);
+  put_u16(out, frame.tenant);
   put_u64(out, frame.arg);
   put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
   out.insert(out.end(), frame.payload.begin(), frame.payload.end());
@@ -59,6 +59,7 @@ std::optional<std::uint32_t> decode_header(std::span<const std::uint8_t> header,
   }
   out.op = static_cast<Op>(header[4]);
   out.status = static_cast<Status>(header[5]);
+  out.tenant = static_cast<std::uint16_t>(get_le(header.subspan(6, 2)));
   out.arg = get_le(header.subspan(8, 8));
   const auto len = static_cast<std::uint32_t>(get_le(header.subspan(16, 4)));
   if (len > kMaxPayload) return std::nullopt;
@@ -131,7 +132,8 @@ Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Frame Client::roundtrip(const Frame& request) {
+Frame Client::roundtrip(Frame request) {
+  request.tenant = tenant_;
   send_frame(fd_, request, timeout_ms_);
   std::uint8_t header[kHeaderBytes];
   recv_exact(fd_, header, kHeaderBytes, timeout_ms_);

@@ -3,8 +3,13 @@
 // frame, many frames per connection. Deliberately minimal -- a loopback
 // block-device control protocol, not a network filesystem:
 //
-//   request:  magic[4] op u8  pad u8  pad u16  arg u64  payload_len u32  payload
-//   response: magic[4] op u8  status  pad u16  arg u64  payload_len u32  payload
+//   request:  magic[4] op u8  pad u8  tenant u16  arg u64  payload_len u32  payload
+//   response: magic[4] op u8  status  tenant u16  arg u64  payload_len u32  payload
+//
+// The tenant field (header bytes 6-7, previously reserved padding that was
+// always written as zero) tags the request for per-tenant QoS accounting on
+// the server; 0 means "untagged" and maps to the default tenant, so pre-QoS
+// clients interoperate unchanged. Responses echo the request's tenant.
 //
 //   kPing      -> status only (liveness)
 //   kRead      arg = byte offset, payload = "<length u32>"; response payload = data
@@ -49,6 +54,8 @@ enum class Status : std::uint8_t {
 struct Frame {
   Op op = Op::kPing;
   Status status = Status::kOk;  // meaningful in responses only
+  /// QoS accounting id; 0 = untagged (the default tenant).
+  std::uint16_t tenant = 0;
   std::uint64_t arg = 0;
   std::vector<std::uint8_t> payload;
 };
@@ -70,10 +77,14 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
   Client(Client&& other) noexcept
-      : fd_(other.fd_), timeout_ms_(other.timeout_ms_) {
+      : fd_(other.fd_), timeout_ms_(other.timeout_ms_), tenant_(other.tenant_) {
     other.fd_ = -1;
   }
   Client& operator=(Client&&) = delete;
+
+  /// Tags every subsequent request with this tenant id (0 = untagged).
+  void set_tenant(std::uint16_t tenant) { tenant_ = tenant; }
+  std::uint16_t tenant() const { return tenant_; }
 
   void ping();
   std::vector<std::uint8_t> read(std::uint64_t offset, std::uint32_t length);
@@ -83,11 +94,16 @@ class Client {
   std::string status();
   void stop();
 
- private:
-  Frame roundtrip(const Frame& request);
+  /// One raw request -> response exchange (the primitive the helpers above
+  /// are built on). The request is stamped with the client's tenant id before
+  /// encoding; kError responses throw like the helpers do. Public for tests
+  /// and tools that exercise the wire format directly.
+  Frame roundtrip(Frame request);
 
+ private:
   int fd_ = -1;
   int timeout_ms_;
+  std::uint16_t tenant_ = 0;
 };
 
 }  // namespace oi::server

@@ -1,0 +1,220 @@
+#include "server/qos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace oi::server {
+
+namespace {
+
+std::string tenant_metric(std::uint16_t id, const char* what) {
+  return "server.tenant." + std::to_string(id) + "." + what;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- sensors ----
+
+TenantSensors::TenantSensors(TenantConfig config)
+    : config_(std::move(config)),
+      ops_metric_(metrics::Registry::instance().counter(
+          tenant_metric(config_.id, "ops"))),
+      read_bytes_metric_(metrics::Registry::instance().counter(
+          tenant_metric(config_.id, "read_bytes"))),
+      write_bytes_metric_(metrics::Registry::instance().counter(
+          tenant_metric(config_.id, "write_bytes"))),
+      latency_metric_(metrics::Registry::instance().histogram(
+          tenant_metric(config_.id, "latency_us"), 0.0,
+          kBucketWidthUs * kBuckets, kBuckets)) {
+  // The SLO is configuration, but exporting it as a gauge lets dashboards
+  // draw the target line next to the latency series.
+  metrics::Registry::instance()
+      .gauge(tenant_metric(config_.id, "slo_p99_us"))
+      .set(config_.slo_p99_us);
+}
+
+void TenantSensors::record(double latency_us, bool is_write, std::size_t bytes) {
+  const double clamped = std::max(latency_us, 0.0);
+  auto bucket = static_cast<std::size_t>(clamped / kBucketWidthUs);
+  bucket = std::min(bucket, kBuckets - 1);
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(static_cast<std::uint64_t>(clamped),
+                    std::memory_order_relaxed);
+  if (is_write) {
+    write_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  } else {
+    read_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  ops_metric_.increment();
+  (is_write ? write_bytes_metric_ : read_bytes_metric_).add(bytes);
+  latency_metric_.record(clamped);
+}
+
+TenantSensors::Snapshot TenantSensors::snapshot() const {
+  Snapshot snap;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  snap.total = total_.load(std::memory_order_relaxed);
+  snap.sum_us = sum_us_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double TenantSensors::interval_quantile(const Snapshot& cur,
+                                        const Snapshot& prev, double q) {
+  std::uint64_t samples = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    samples += cur.counts[i] - prev.counts[i];
+  }
+  if (samples == 0) return 0.0;
+  const double target = q * static_cast<double>(samples);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t in_bucket = cur.counts[i] - prev.counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      // Linear interpolation inside the bucket.
+      const double within =
+          (target - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return (static_cast<double>(i) + within) * kBucketWidthUs;
+    }
+    seen += in_bucket;
+  }
+  return kBucketWidthUs * kBuckets;
+}
+
+// --------------------------------------------------------------- table ----
+
+TenantTable::TenantTable(std::vector<TenantConfig> configs) {
+  bool has_default = false;
+  for (const auto& config : configs) has_default |= config.id == 0;
+  if (!has_default) slots_.push_back(std::make_unique<TenantSensors>(TenantConfig{}));
+  for (auto& config : configs) {
+    slots_.push_back(std::make_unique<TenantSensors>(std::move(config)));
+  }
+}
+
+TenantSensors& TenantTable::sensors(std::uint16_t id) {
+  for (auto& slot : slots_) {
+    if (slot->config().id == id) return *slot;
+  }
+  return *slots_.front();  // untagged / undeclared -> default slot
+}
+
+// ---------------------------------------------------------- controller ----
+
+RebuildController::RebuildController(RebuildControllerConfig config,
+                                     TenantTable& table)
+    : config_(config),
+      table_(table),
+      rate_(config.initial_bytes_per_second),
+      last_tick_(Clock::now()),
+      last_refill_(Clock::now()),
+      rate_metric_(metrics::Registry::instance().gauge(
+          "server.qos.rebuild_rate_bytes_per_second")),
+      active_metric_(
+          metrics::Registry::instance().gauge("server.qos.controller_active")),
+      violations_metric_(
+          metrics::Registry::instance().counter("server.qos.slo_violations")) {
+  OI_ENSURE(config_.min_bytes_per_second > 0.0,
+            "controller needs a positive rate floor");
+  OI_ENSURE(config_.max_bytes_per_second >= config_.min_bytes_per_second,
+            "controller rate ceiling below its floor");
+  OI_ENSURE(config_.decrease_factor > 0.0 && config_.decrease_factor < 1.0,
+            "multiplicative decrease must be in (0,1)");
+  OI_ENSURE(config_.headroom > 0.0 && config_.headroom <= 1.0,
+            "headroom must be in (0,1]");
+  OI_ENSURE(config_.interval_ms >= 1, "control interval must be positive");
+  rate_.store(std::clamp(config_.initial_bytes_per_second,
+                         config_.min_bytes_per_second,
+                         config_.max_bytes_per_second));
+  prev_.resize(table_.size());
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    prev_[i] = table_.at(i).snapshot();
+    const auto id = table_.at(i).config().id;
+    violated_metrics_.push_back(&metrics::Registry::instance().gauge(
+        tenant_metric(id, "slo_violated")));
+    slo_metrics_.push_back(&metrics::Registry::instance().gauge(
+        tenant_metric(id, "slo_p99_us")));
+  }
+  active_metric_.set(1.0);
+  rate_metric_.set(rate_.load());
+}
+
+double RebuildController::update(
+    const std::vector<TenantObservation>& observations) {
+  bool violated = false;
+  bool headroom_everywhere = true;
+  for (const auto& obs : observations) {
+    if (obs.slo_p99_us <= 0.0 || obs.ops == 0) continue;  // best effort / idle
+    if (obs.p99_us > obs.slo_p99_us) violated = true;
+    if (obs.p99_us > config_.headroom * obs.slo_p99_us) {
+      headroom_everywhere = false;
+    }
+  }
+  double rate = rate_.load(std::memory_order_relaxed);
+  if (violated) {
+    rate = std::max(config_.min_bytes_per_second, rate * config_.decrease_factor);
+    violations_.fetch_add(1, std::memory_order_relaxed);
+    violations_metric_.increment();
+  } else if (headroom_everywhere) {
+    rate = std::min(config_.max_bytes_per_second,
+                    rate + config_.increase_bytes_per_second);
+  }
+  // Neither violated nor comfortable: hold (the hysteresis band).
+  rate_.store(rate, std::memory_order_relaxed);
+  decisions_.fetch_add(1, std::memory_order_relaxed);
+  rate_metric_.set(rate);
+  return rate;
+}
+
+void RebuildController::maybe_tick() {
+  const auto now = Clock::now();
+  if (now - last_tick_ < std::chrono::milliseconds(config_.interval_ms)) return;
+  last_tick_ = now;
+  std::vector<TenantObservation> observations;
+  observations.reserve(table_.size());
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    const auto snap = table_.at(i).snapshot();
+    TenantObservation obs;
+    obs.slo_p99_us = table_.at(i).config().slo_p99_us;
+    obs.ops = snap.total - prev_[i].total;
+    obs.p99_us = TenantSensors::interval_quantile(snap, prev_[i], 0.99);
+    prev_[i] = snap;
+    const bool over = obs.slo_p99_us > 0.0 && obs.ops > 0 &&
+                      obs.p99_us > obs.slo_p99_us;
+    violated_metrics_[i]->set(over ? 1.0 : 0.0);
+    observations.push_back(obs);
+  }
+  update(observations);
+}
+
+void RebuildController::pace(std::size_t bytes, const std::atomic<bool>& cancel) {
+  double want = static_cast<double>(bytes);
+  while (want > 0.0 && !cancel.load(std::memory_order_acquire)) {
+    maybe_tick();
+    const double rate = rate_.load(std::memory_order_relaxed);
+    const auto now = Clock::now();
+    const std::chrono::duration<double> elapsed = now - last_refill_;
+    last_refill_ = now;
+    // Cap accrual at 100ms of budget so an idle stretch cannot bank a burst
+    // that then blows through a fresh SLO violation.
+    tokens_ = std::min(rate * 0.1, tokens_ + elapsed.count() * rate);
+    if (tokens_ >= want) {
+      tokens_ -= want;
+      return;
+    }
+    want -= tokens_;
+    tokens_ = 0.0;
+    // Sleep toward the deficit, but never past ~20ms: the control loop must
+    // keep ticking (and cancellation must stay responsive) while we wait.
+    const double sleep_s = std::min(want / rate, 0.02);
+    std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+  }
+}
+
+}  // namespace oi::server

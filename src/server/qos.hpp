@@ -1,0 +1,196 @@
+// Per-tenant QoS accounting and the closed-loop rebuild-rate controller.
+//
+// Two pieces, deliberately separable:
+//
+//  * TenantTable -- always-on per-tenant sensors. Every tagged request lands
+//    in its tenant's fixed-bucket latency histogram and byte counters. These
+//    atomics are the *control input*, not observability: the metrics
+//    registry's "observe; nothing reads them back" contract (DESIGN §8)
+//    means the controller must not feed on registry metrics -- they are off
+//    by default and switching them on must never change behaviour. So the
+//    sensors live here, always hot, and are additionally *mirrored* into
+//    `server.tenant.<id>.*` registry metrics so `oiraidctl top` and the
+//    Prometheus exporter see the same numbers when metrics are on.
+//
+//  * RebuildController -- an AIMD feedback loop replacing the static rebuild
+//    token bucket. Each control interval it takes the per-tenant *interval*
+//    p99 (histogram count deltas between consecutive snapshots, interpolated
+//    within the bucket): any tenant over its SLO halves the rebuild rate
+//    (multiplicative decrease, floored at min so rebuild always finishes);
+//    every SLO'd tenant under `headroom * slo` (or idle) adds a fixed
+//    increment (additive increase, capped at max). In between: hold. The
+//    decision core `update()` is a pure function of the observations, so
+//    tests drive convergence without a server or a clock.
+//
+// See docs/QOS.md for the full model, parameter guidance and stability notes.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/metrics.hpp"
+
+namespace oi::server {
+
+/// Server-side view of one tenant (oiraidd parses workload::TenantSpec and
+/// keeps only what the server needs to account and enforce).
+struct TenantConfig {
+  std::uint16_t id = 0;
+  std::string name = "default";
+  /// p99 latency target in microseconds; 0 = best effort (never throttles
+  /// the rebuild on this tenant's behalf).
+  double slo_p99_us = 0.0;
+};
+
+/// Always-on latency/throughput sensors for one tenant. Lock-free recording
+/// (relaxed atomics), consistent-enough snapshots for control purposes.
+class TenantSensors {
+ public:
+  /// 100 us buckets spanning 0..25.6 ms; slower requests clamp into the last
+  /// bucket, which only ever *overstates* a violation (safe direction: the
+  /// controller backs off).
+  static constexpr std::size_t kBuckets = 256;
+  static constexpr double kBucketWidthUs = 100.0;
+
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> counts{};
+    std::uint64_t total = 0;
+    std::uint64_t sum_us = 0;
+  };
+
+  explicit TenantSensors(TenantConfig config);
+
+  void record(double latency_us, bool is_write, std::size_t bytes);
+  Snapshot snapshot() const;
+
+  /// Interpolated quantile of the count *delta* between two snapshots (the
+  /// interval distribution). `prev` all-zeroes gives the cumulative quantile.
+  /// Returns 0 when the interval holds no samples.
+  static double interval_quantile(const Snapshot& cur, const Snapshot& prev,
+                                  double q);
+
+  const TenantConfig& config() const { return config_; }
+  std::uint64_t ops() const { return total_.load(std::memory_order_relaxed); }
+  std::uint64_t read_bytes() const {
+    return read_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t write_bytes() const {
+    return write_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  TenantConfig config_;
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> sum_us_{0};
+  std::atomic<std::uint64_t> read_bytes_{0};
+  std::atomic<std::uint64_t> write_bytes_{0};
+
+  // Registry mirrors (self-gated; no-ops while metrics are off).
+  metrics::Counter& ops_metric_;
+  metrics::Counter& read_bytes_metric_;
+  metrics::Counter& write_bytes_metric_;
+  metrics::FixedHistogram& latency_metric_;
+};
+
+/// The server's tenant registry: fixed at construction (ids come from the
+/// --tenants flag), plus a default slot for untagged traffic. Requests with
+/// a tenant id nobody declared are accounted to the default slot rather than
+/// dropped -- a stray client must not crash accounting.
+class TenantTable {
+ public:
+  explicit TenantTable(std::vector<TenantConfig> configs);
+
+  TenantSensors& sensors(std::uint16_t id);
+  std::size_t size() const { return slots_.size(); }
+  TenantSensors& at(std::size_t index) { return *slots_[index]; }
+  const TenantSensors& at(std::size_t index) const { return *slots_[index]; }
+
+ private:
+  std::vector<std::unique_ptr<TenantSensors>> slots_;
+};
+
+struct RebuildControllerConfig {
+  /// Rate floor: rebuild always makes progress, however loud the tenants.
+  double min_bytes_per_second = 1.0 * (1u << 20);
+  /// Rate ceiling (the "unthrottled" rebuild speed to recover toward).
+  double max_bytes_per_second = 1024.0 * (1u << 20);
+  double initial_bytes_per_second = 256.0 * (1u << 20);
+  /// Additive increase per control interval when every tenant has headroom.
+  double increase_bytes_per_second = 32.0 * (1u << 20);
+  /// Multiplicative decrease on any SLO violation.
+  double decrease_factor = 0.5;
+  /// Increase only while p99 <= headroom * slo; between headroom and the SLO
+  /// the rate holds (hysteresis band against limit cycling).
+  double headroom = 0.8;
+  int interval_ms = 100;
+};
+
+/// One tenant's contribution to a control decision.
+struct TenantObservation {
+  double p99_us = 0.0;
+  double slo_p99_us = 0.0;
+  /// Requests observed in the interval; 0 = idle (counts as headroom).
+  std::uint64_t ops = 0;
+};
+
+/// AIMD rebuild-rate controller. maybe_tick()/pace() are called from the
+/// rebuild thread only; rate() and counters are safe to read from anywhere
+/// (status text, tests).
+class RebuildController {
+ public:
+  RebuildController(RebuildControllerConfig config, TenantTable& table);
+
+  /// The deterministic AIMD core: one control decision from one interval's
+  /// observations. Mutates and returns the rate. Exposed for tests.
+  double update(const std::vector<TenantObservation>& observations);
+
+  /// Samples interval deltas from the tenant table and applies update() when
+  /// a control interval has elapsed; cheap no-op otherwise.
+  void maybe_tick();
+
+  /// Blocks until `bytes` of rebuild budget accrue at the adaptive rate,
+  /// ticking the control loop while it waits. Returns early (without the
+  /// remaining budget) when `cancel` flips -- shutdown must not wait out a
+  /// throttled bucket.
+  void pace(std::size_t bytes, const std::atomic<bool>& cancel);
+
+  double rate() const { return rate_.load(std::memory_order_relaxed); }
+  std::uint64_t decisions() const {
+    return decisions_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t violations() const {
+    return violations_.load(std::memory_order_relaxed);
+  }
+  const RebuildControllerConfig& config() const { return config_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  RebuildControllerConfig config_;
+  TenantTable& table_;
+  std::atomic<double> rate_;
+  std::atomic<std::uint64_t> decisions_{0};
+  std::atomic<std::uint64_t> violations_{0};
+
+  // Control-interval state (rebuild thread only).
+  std::vector<TenantSensors::Snapshot> prev_;
+  Clock::time_point last_tick_;
+  // Pacing state (rebuild thread only).
+  double tokens_ = 0.0;
+  Clock::time_point last_refill_;
+
+  // Registry mirrors.
+  metrics::Gauge& rate_metric_;
+  metrics::Gauge& active_metric_;
+  metrics::Counter& violations_metric_;
+  std::vector<metrics::Gauge*> violated_metrics_;
+  std::vector<metrics::Gauge*> slo_metrics_;
+};
+
+}  // namespace oi::server

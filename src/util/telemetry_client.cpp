@@ -144,6 +144,125 @@ MetricMap parse_prometheus_text(const std::string& body) {
   return out;
 }
 
+double HistogramData::quantile(double q) const {
+  std::uint64_t samples = 0;
+  for (std::uint64_t c : counts) samples += c;
+  if (samples == 0) return 0.0;
+  const double target = q * static_cast<double>(samples);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (static_cast<double>(seen + counts[i]) >= target) {
+      if (i + 1 == counts.size()) {
+        // Open-ended last bucket: clamp to its lower edge.
+        return low + static_cast<double>(i) * bucket_width;
+      }
+      const double within = (target - static_cast<double>(seen)) /
+                            static_cast<double>(counts[i]);
+      return low + (static_cast<double>(i) + within) * bucket_width;
+    }
+    seen += counts[i];
+  }
+  return low + static_cast<double>(counts.size()) * bucket_width;
+}
+
+HistogramMap parse_prometheus_histograms(const std::string& body) {
+  // Cumulative counts per histogram, in exposition order ("+Inf" last); the
+  // finite `le` values recover the bucket geometry.
+  struct Partial {
+    std::vector<double> uppers;          // finite le values, in order
+    std::vector<std::uint64_t> cumulative;  // one per series line, +Inf last
+    double sum = 0.0;
+    std::uint64_t count = 0;
+  };
+  std::map<std::string, Partial> partials;
+
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    const std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+
+    const std::size_t brace = line.find('{');
+    if (brace != std::string::npos) {
+      // Only our exporter's `<name>_bucket{le="..."} <cumulative>` shape.
+      const std::string name = line.substr(0, brace);
+      if (name.size() < 8 || name.compare(name.size() - 7, 7, "_bucket") != 0) {
+        continue;
+      }
+      const std::size_t le = line.find("le=\"", brace);
+      if (le == std::string::npos) fail("bucket line without le", line);
+      const std::size_t le_end = line.find('"', le + 4);
+      if (le_end == std::string::npos) fail("unterminated le label", line);
+      const std::string upper = line.substr(le + 4, le_end - (le + 4));
+      const std::size_t space = line.rfind(' ');
+      if (space == std::string::npos || space <= le_end) {
+        fail("bucket line without value", line);
+      }
+      auto& partial = partials[name.substr(0, name.size() - 7)];
+      if (upper != "+Inf") partial.uppers.push_back(parse_sample_value(upper));
+      partial.cumulative.push_back(static_cast<std::uint64_t>(
+          parse_sample_value(line.substr(space + 1))));
+      continue;
+    }
+
+    // Unlabelled `_sum` / `_count` aggregates for histograms we saw buckets
+    // for; everything else belongs to parse_prometheus_text().
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) continue;
+    const std::string name = line.substr(0, space);
+    for (const char* suffix : {"_sum", "_count"}) {
+      const std::size_t len = std::char_traits<char>::length(suffix);
+      if (name.size() > len &&
+          name.compare(name.size() - len, len, suffix) == 0) {
+        const std::string base = name.substr(0, name.size() - len);
+        const auto it = partials.find(base);
+        if (it == partials.end()) continue;
+        const double value = parse_sample_value(line.substr(space + 1));
+        if (suffix[1] == 's') {
+          it->second.sum = value;
+        } else {
+          it->second.count = static_cast<std::uint64_t>(value);
+        }
+      }
+    }
+  }
+
+  HistogramMap out;
+  for (auto& [name, partial] : partials) {
+    HistogramData data;
+    if (partial.uppers.size() >= 2) {
+      data.bucket_width = partial.uppers[1] - partial.uppers[0];
+      data.low = partial.uppers[0] - data.bucket_width;
+    } else if (partial.uppers.size() == 1) {
+      data.bucket_width = partial.uppers[0];
+      data.low = 0.0;
+    }
+    data.counts.resize(partial.cumulative.size());
+    std::uint64_t prev = 0;
+    for (std::size_t i = 0; i < partial.cumulative.size(); ++i) {
+      if (partial.cumulative[i] < prev) fail("non-monotonic buckets", name);
+      data.counts[i] = partial.cumulative[i] - prev;
+      prev = partial.cumulative[i];
+    }
+    data.total = partial.count > 0 ? partial.count : prev;
+    data.sum = partial.sum;
+    out[name] = std::move(data);
+  }
+  return out;
+}
+
+std::optional<HistogramData> find_histogram(const HistogramMap& map,
+                                            const std::string& dotted) {
+  if (const auto it = map.find(dotted); it != map.end()) return it->second;
+  if (const auto it = map.find(prom_mangle(dotted)); it != map.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
 std::optional<double> find_metric(const MetricMap& map,
                                   const std::string& dotted) {
   if (const auto it = map.find(dotted); it != map.end()) return it->second;
@@ -224,16 +343,37 @@ void StreamFollower::apply_line(const std::string& line) {
           const std::string name = c.parse_string();
           c.expect(':');
           c.expect('{');
+          HistogramData& hist = histograms_[name];
           if (!c.eat('}')) {
             for (;;) {
               const std::string field = c.parse_string();
               c.expect(':');
               if (field == "total") {
-                values_[name + ".count"] = c.parse_number();
+                const double total = c.parse_number();
+                values_[name + ".count"] = total;
+                hist.total = static_cast<std::uint64_t>(total);
               } else if (field == "sum") {
-                values_[name + ".sum"] = c.parse_number();
+                hist.sum = c.parse_number();
+                values_[name + ".sum"] = hist.sum;
+              } else if (field == "low") {
+                hist.low = c.parse_number();
+              } else if (field == "bucket_width") {
+                hist.bucket_width = c.parse_number();
+              } else if (field == "counts") {
+                // Full array on every change (the sampler never deltas
+                // inside a histogram), so replace wholesale.
+                hist.counts.clear();
+                c.expect('[');
+                if (!c.eat(']')) {
+                  for (;;) {
+                    hist.counts.push_back(
+                        static_cast<std::uint64_t>(c.parse_number()));
+                    if (c.eat(']')) break;
+                    c.expect(',');
+                  }
+                }
               } else {
-                c.skip_value();  // counts[], low, bucket_width
+                c.skip_value();  // additive schema growth
               }
               if (c.eat('}')) break;
               c.expect(',');

@@ -9,6 +9,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace oi::telemetry {
 
@@ -31,6 +32,42 @@ MetricMap parse_prometheus_text(const std::string& body);
 /// `..._sum` for histogram aggregates).
 std::optional<double> find_metric(const MetricMap& map, const std::string& dotted);
 
+/// Client-side reconstruction of a registry FixedHistogram, recovered either
+/// from a scrape's cumulative `_bucket{le=...}` series or from the JSONL
+/// stream's `counts` arrays. Per-bucket (non-cumulative) counts; quantile()
+/// interpolates linearly inside the bucket -- the same estimator the server's
+/// QoS controller applies to its own sensors, so `oiraidctl top` and the
+/// control loop agree on what "p99" means.
+struct HistogramData {
+  double low = 0.0;
+  double bucket_width = 0.0;
+  double sum = 0.0;
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> counts;
+
+  /// Interpolated value at quantile q in [0,1]; 0 when empty. The last
+  /// bucket is open-ended (the exporter labels it `+Inf`), so tail quantiles
+  /// landing there clamp to its lower edge -- an *under*-estimate, never an
+  /// invented latency.
+  double quantile(double q) const;
+  double mean() const { return total > 0 ? sum / static_cast<double>(total) : 0.0; }
+};
+
+/// Keyed like MetricMap: base metric name, dotted (stream) or Prometheus
+/// mangled (scrape).
+using HistogramMap = std::map<std::string, HistogramData>;
+
+/// Extracts every histogram from a Prometheus scrape: folds the cumulative
+/// `_bucket{le="..."}` series back into per-bucket counts (bucket width and
+/// low edge recovered from consecutive `le` values) and attaches `_sum` /
+/// `_count`. Lines parse_prometheus_text() skips are exactly the ones
+/// consumed here.
+HistogramMap parse_prometheus_histograms(const std::string& body);
+
+/// Looks up a dotted histogram name in either keying (dotted or mangled).
+std::optional<HistogramData> find_histogram(const HistogramMap& map,
+                                            const std::string& dotted);
+
 /// Incrementally tails a telemetry::Sampler JSONL stream, folding the delta
 /// records into a cumulative MetricMap. Tolerates the file not existing yet
 /// (a `top` started before the producer) and partial trailing lines.
@@ -43,6 +80,10 @@ class StreamFollower {
   std::size_t poll();
 
   const MetricMap& values() const { return values_; }
+  /// Histograms folded from the stream's full-`counts` records (the sampler
+  /// re-emits the whole array whenever a histogram changes, so the follower's
+  /// copy is always the latest complete state).
+  const HistogramMap& histograms() const { return histograms_; }
   /// Wall-clock stamp of the newest record (seconds since producer start).
   double last_t() const { return t_; }
   std::uint64_t records() const { return records_; }
@@ -55,6 +96,7 @@ class StreamFollower {
   std::ifstream in_;
   std::string partial_;
   MetricMap values_;
+  HistogramMap histograms_;
   double t_ = 0.0;
   std::uint64_t records_ = 0;
 };

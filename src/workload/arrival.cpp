@@ -1,0 +1,137 @@
+#include "workload/arrival.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace oi::workload {
+
+PoissonArrivals::PoissonArrivals(double rate_per_second) : rate_(rate_per_second) {
+  OI_ENSURE(rate_ > 0.0, "poisson arrivals need a positive rate");
+}
+
+double PoissonArrivals::next_seconds(Rng& rng) { return rng.exponential(rate_); }
+
+std::string PoissonArrivals::name() const {
+  std::ostringstream os;
+  os << "poisson(rate=" << rate_ << ")";
+  return os.str();
+}
+
+BurstyArrivals::BurstyArrivals(double mean_rate_per_second, double burst_multiplier,
+                               double burst_fraction, double burst_seconds) {
+  OI_ENSURE(mean_rate_per_second > 0.0, "bursty arrivals need a positive rate");
+  OI_ENSURE(burst_multiplier >= 1.0, "burst multiplier must be >= 1");
+  OI_ENSURE(burst_fraction > 0.0 && burst_fraction < 1.0,
+            "burst fraction must be in (0,1)");
+  OI_ENSURE(burst_seconds > 0.0, "burst sojourn must be positive");
+  // Solve for the per-state rates that yield the requested long-run mean:
+  // mean = f*high + (1-f)*low with high = multiplier*low.
+  low_rate_ = mean_rate_per_second /
+              ((1.0 - burst_fraction) + burst_fraction * burst_multiplier);
+  high_rate_ = low_rate_ * burst_multiplier;
+  high_sojourn_seconds_ = burst_seconds;
+  // Stationary fraction f = high_sojourn / (high_sojourn + low_sojourn).
+  low_sojourn_seconds_ = burst_seconds * (1.0 - burst_fraction) / burst_fraction;
+}
+
+double BurstyArrivals::next_seconds(Rng& rng) {
+  double gap = 0.0;
+  for (;;) {
+    if (state_left_seconds_ <= 0.0) {
+      state_left_seconds_ = rng.exponential(
+          1.0 / (in_burst_ ? high_sojourn_seconds_ : low_sojourn_seconds_));
+    }
+    const double candidate =
+        rng.exponential(in_burst_ ? high_rate_ : low_rate_);
+    if (candidate <= state_left_seconds_) {
+      // Arrival fires before the state flips.
+      state_left_seconds_ -= candidate;
+      return gap + candidate;
+    }
+    // State flips first: burn the sojourn, switch, keep accumulating. The
+    // rejected candidate is discarded -- exponential arrivals are memoryless,
+    // so restarting the draw in the new state preserves the MMPP law.
+    gap += state_left_seconds_;
+    state_left_seconds_ = 0.0;
+    in_burst_ = !in_burst_;
+  }
+}
+
+std::string BurstyArrivals::name() const {
+  std::ostringstream os;
+  os << "bursty(low=" << low_rate_ << ",high=" << high_rate_ << ")";
+  return os.str();
+}
+
+DiurnalArrivals::DiurnalArrivals(double mean_rate_per_second, double period_seconds,
+                                 double amplitude)
+    : rate_(mean_rate_per_second), period_(period_seconds), amplitude_(amplitude) {
+  OI_ENSURE(rate_ > 0.0, "diurnal arrivals need a positive rate");
+  OI_ENSURE(period_ > 0.0, "diurnal period must be positive");
+  OI_ENSURE(amplitude_ >= 0.0 && amplitude_ < 1.0,
+            "diurnal amplitude must be in [0,1)");
+}
+
+double DiurnalArrivals::rate_at(double t_seconds) const {
+  constexpr double kTwoPi = 6.283185307179586;
+  return rate_ * (1.0 + amplitude_ * std::sin(kTwoPi * t_seconds / period_));
+}
+
+double DiurnalArrivals::next_seconds(Rng& rng) {
+  const double peak = rate_ * (1.0 + amplitude_);
+  const double start = clock_;
+  // Thinning: propose homogeneous arrivals at the peak rate, accept each with
+  // probability rate(t)/peak. Deterministic given the Rng stream.
+  for (;;) {
+    clock_ += rng.exponential(peak);
+    if (rng.uniform01() * peak <= rate_at(clock_)) return clock_ - start;
+  }
+}
+
+std::string DiurnalArrivals::name() const {
+  std::ostringstream os;
+  os << "diurnal(rate=" << rate_ << ",period=" << period_ << "s,amp=" << amplitude_
+     << ")";
+  return os.str();
+}
+
+ClosedLoopArrivals::ClosedLoopArrivals(std::size_t thinkers, double think_seconds)
+    : thinkers_(thinkers), think_seconds_(think_seconds) {
+  OI_ENSURE(thinkers_ >= 1, "closed loop needs at least one thinker");
+  OI_ENSURE(think_seconds_ >= 0.0, "think time cannot be negative");
+}
+
+double ClosedLoopArrivals::next_seconds(Rng& rng) {
+  if (think_seconds_ <= 0.0) return 0.0;
+  return rng.exponential(1.0 / think_seconds_);
+}
+
+std::string ClosedLoopArrivals::name() const {
+  std::ostringstream os;
+  os << "closed(thinkers=" << thinkers_ << ",think=" << think_seconds_ << "s)";
+  return os.str();
+}
+
+std::unique_ptr<ArrivalProcess> make_arrival(const ArrivalSpec& spec) {
+  switch (spec.kind) {
+    case ArrivalSpec::Kind::kPoisson:
+      return std::make_unique<PoissonArrivals>(spec.rate_per_second);
+    case ArrivalSpec::Kind::kBursty:
+      return std::make_unique<BurstyArrivals>(spec.rate_per_second,
+                                              spec.burst_multiplier,
+                                              spec.burst_fraction,
+                                              spec.burst_seconds);
+    case ArrivalSpec::Kind::kDiurnal:
+      return std::make_unique<DiurnalArrivals>(spec.rate_per_second,
+                                               spec.period_seconds,
+                                               spec.amplitude);
+    case ArrivalSpec::Kind::kClosedLoop:
+      return std::make_unique<ClosedLoopArrivals>(spec.thinkers,
+                                                  spec.think_seconds);
+  }
+  OI_ASSERT(false, "unknown arrival kind");
+}
+
+}  // namespace oi::workload

@@ -1,0 +1,131 @@
+// Arrival processes for the multi-tenant QoS experiments: *when* requests
+// arrive, as opposed to generator.hpp's *where* they land. Open-loop models
+// (Poisson, bursty/MMPP-2, diurnal) emit an unbounded timestamped stream that
+// does not react to service times -- the production-realistic regime where a
+// slow server builds queues instead of slowing its clients. The closed-loop
+// model is the opposite contract: a fixed population of thinkers, each
+// waiting for its previous request *and* a think time before issuing the
+// next, so offered load self-throttles under pressure.
+//
+// Every process is deterministic from its own Rng: the sequence of gaps
+// returned by next_seconds() is a pure function of (spec, seed), independent
+// of wall clock, service times, and how many threads consume other tenants'
+// streams. That is what lets bench_qos commit arrival-stream properties to a
+// baseline and lets tests demand bit-identical streams per seed.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace oi::workload {
+
+struct ArrivalSpec {
+  enum class Kind { kPoisson, kBursty, kDiurnal, kClosedLoop } kind = Kind::kPoisson;
+  /// Long-run mean arrival rate (open-loop kinds). For kBursty this is the
+  /// time-weighted mean across both states; for kDiurnal the mean over one
+  /// full period.
+  double rate_per_second = 100.0;
+
+  // kBursty (two-state Markov-modulated Poisson process): the high state
+  // arrives at `burst_multiplier` times the low state's rate and holds
+  // `burst_fraction` of the time, with mean sojourn `burst_seconds`.
+  double burst_multiplier = 8.0;
+  double burst_fraction = 0.1;
+  double burst_seconds = 0.25;
+
+  // kDiurnal (non-homogeneous Poisson by thinning):
+  // rate(t) = rate_per_second * (1 + amplitude * sin(2*pi*t/period)).
+  double period_seconds = 60.0;
+  double amplitude = 0.8;
+
+  // kClosedLoop: population size and mean (exponential) think time. The
+  // *driver* owns the feedback -- next_seconds() returns one think-time draw.
+  std::size_t thinkers = 8;
+  double think_seconds = 0.01;
+};
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  /// Open loop: the gap between the previous arrival and the next one.
+  /// Closed loop: one think-time draw (the driver adds service time itself).
+  virtual double next_seconds(Rng& rng) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Memoryless arrivals: exponential gaps at a fixed rate.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate_per_second);
+  double next_seconds(Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  double rate_;
+};
+
+/// Two-state MMPP: exponential sojourns in a low- and a high-rate state,
+/// Poisson arrivals at the current state's rate. Parameterized by the
+/// long-run mean rate, so raising the burst multiplier sharpens the bursts
+/// without changing the offered load.
+class BurstyArrivals final : public ArrivalProcess {
+ public:
+  BurstyArrivals(double mean_rate_per_second, double burst_multiplier,
+                 double burst_fraction, double burst_seconds);
+  double next_seconds(Rng& rng) override;
+  std::string name() const override;
+
+  double low_rate() const { return low_rate_; }
+  double high_rate() const { return high_rate_; }
+
+ private:
+  double low_rate_;
+  double high_rate_;
+  double low_sojourn_seconds_;
+  double high_sojourn_seconds_;
+  bool in_burst_ = false;
+  /// Remaining sojourn in the current state, carried across arrivals.
+  double state_left_seconds_ = 0.0;
+};
+
+/// Sinusoidally modulated Poisson process via Lewis-Shedler thinning against
+/// the peak rate. Keeps an internal clock (seconds since stream start) so
+/// consecutive gaps trace the modulation deterministically.
+class DiurnalArrivals final : public ArrivalProcess {
+ public:
+  DiurnalArrivals(double mean_rate_per_second, double period_seconds,
+                  double amplitude);
+  double next_seconds(Rng& rng) override;
+  std::string name() const override;
+
+  double rate_at(double t_seconds) const;
+
+ private:
+  double rate_;
+  double period_;
+  double amplitude_;
+  double clock_ = 0.0;
+};
+
+/// Fixed-population thinking-time model. next_seconds() draws one think time;
+/// the driver issues the next request think + service after the previous
+/// completion, per thinker.
+class ClosedLoopArrivals final : public ArrivalProcess {
+ public:
+  ClosedLoopArrivals(std::size_t thinkers, double think_seconds);
+  double next_seconds(Rng& rng) override;
+  std::string name() const override;
+
+  std::size_t thinkers() const { return thinkers_; }
+
+ private:
+  std::size_t thinkers_;
+  double think_seconds_;
+};
+
+std::unique_ptr<ArrivalProcess> make_arrival(const ArrivalSpec& spec);
+
+}  // namespace oi::workload

@@ -1,0 +1,210 @@
+#include "workload/tenant.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace oi::workload {
+namespace {
+
+// Mixes the tenant id into the stream seed so tenants sharing one bench seed
+// still draw independent streams (splitmix64 finalizer).
+std::uint64_t mix_seed(std::uint64_t seed, std::uint16_t id) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (1 + id);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("tenant spec: bad number for '" + key +
+                                "': " + value);
+  }
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long parsed = std::stoull(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("tenant spec: bad integer for '" + key +
+                                "': " + value);
+  }
+}
+
+}  // namespace
+
+TenantStream::TenantStream(TenantSpec spec, std::size_t capacity_strips,
+                           std::uint64_t seed)
+    : spec_(std::move(spec)),
+      strips_(std::max<std::size_t>(
+          1, static_cast<std::size_t>(static_cast<double>(capacity_strips) *
+                                      spec_.working_set))),
+      arrival_(make_arrival(spec_.arrival)),
+      access_(make_generator(spec_.access, strips_)),
+      rng_(mix_seed(seed, spec_.id)) {
+  OI_ENSURE(spec_.working_set > 0.0 && spec_.working_set <= 1.0,
+            "tenant working set must be in (0,1]");
+  OI_ENSURE(capacity_strips >= 1, "tenant stream needs capacity");
+  strips_ = std::min(strips_, capacity_strips);
+}
+
+TenantOp TenantStream::next() {
+  clock_ += arrival_->next_seconds(rng_);
+  const Access access = access_->next(rng_);
+  return TenantOp{clock_, access.logical, access.is_write};
+}
+
+std::string TenantStream::describe() const {
+  std::ostringstream os;
+  os << spec_.name << "#" << spec_.id << " " << arrival_->name() << " "
+     << access_->name() << " ws=" << strips_ << " strips, "
+     << spec_.request_bytes << " B/req";
+  if (spec_.slo.p99_us > 0.0) os << ", slo p99<=" << spec_.slo.p99_us << "us";
+  return os.str();
+}
+
+TenantSpec parse_tenant_spec(const std::string& text) {
+  TenantSpec spec;
+  bool saw_id = false;
+  std::istringstream fields(text);
+  std::string field;
+  while (std::getline(fields, field, ',')) {
+    if (field.empty()) continue;
+    const auto eq = field.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("tenant spec: expected key=value, got '" +
+                                  field + "'");
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "name") {
+      if (value.empty()) throw std::invalid_argument("tenant spec: empty name");
+      spec.name = value;
+    } else if (key == "id") {
+      const std::uint64_t id = parse_u64(key, value);
+      if (id == 0 || id > 0xffff) {
+        throw std::invalid_argument("tenant spec: id must be in [1,65535]");
+      }
+      spec.id = static_cast<std::uint16_t>(id);
+      saw_id = true;
+    } else if (key == "arrival") {
+      if (value == "poisson") {
+        spec.arrival.kind = ArrivalSpec::Kind::kPoisson;
+      } else if (value == "bursty") {
+        spec.arrival.kind = ArrivalSpec::Kind::kBursty;
+      } else if (value == "diurnal") {
+        spec.arrival.kind = ArrivalSpec::Kind::kDiurnal;
+      } else if (value == "closed") {
+        spec.arrival.kind = ArrivalSpec::Kind::kClosedLoop;
+      } else {
+        throw std::invalid_argument("tenant spec: unknown arrival '" + value +
+                                    "' (poisson|bursty|diurnal|closed)");
+      }
+    } else if (key == "rate") {
+      spec.arrival.rate_per_second = parse_double(key, value);
+    } else if (key == "burst-mult") {
+      spec.arrival.burst_multiplier = parse_double(key, value);
+    } else if (key == "burst-frac") {
+      spec.arrival.burst_fraction = parse_double(key, value);
+    } else if (key == "burst-s") {
+      spec.arrival.burst_seconds = parse_double(key, value);
+    } else if (key == "period-s") {
+      spec.arrival.period_seconds = parse_double(key, value);
+    } else if (key == "amp") {
+      spec.arrival.amplitude = parse_double(key, value);
+    } else if (key == "thinkers") {
+      spec.arrival.thinkers = static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "think-ms") {
+      spec.arrival.think_seconds = parse_double(key, value) / 1000.0;
+    } else if (key == "access") {
+      if (value == "uniform") {
+        spec.access.kind = WorkloadSpec::Kind::kUniform;
+      } else if (value == "zipf") {
+        spec.access.kind = WorkloadSpec::Kind::kZipf;
+      } else if (value == "sequential") {
+        spec.access.kind = WorkloadSpec::Kind::kSequential;
+      } else {
+        throw std::invalid_argument("tenant spec: unknown access '" + value +
+                                    "' (uniform|zipf|sequential)");
+      }
+    } else if (key == "theta") {
+      spec.access.zipf_theta = parse_double(key, value);
+    } else if (key == "read") {
+      spec.access.read_fraction = parse_double(key, value);
+    } else if (key == "ws") {
+      spec.working_set = parse_double(key, value);
+    } else if (key == "bytes") {
+      spec.request_bytes =
+          static_cast<std::size_t>(std::max<std::uint64_t>(1, parse_u64(key, value)));
+    } else if (key == "slo-p99-us") {
+      spec.slo.p99_us = parse_double(key, value);
+    } else {
+      throw std::invalid_argument("tenant spec: unknown key '" + key + "'");
+    }
+  }
+  if (spec.access.read_fraction < 0.0 || spec.access.read_fraction > 1.0) {
+    throw std::invalid_argument("tenant spec: read fraction must be in [0,1]");
+  }
+  if (spec.working_set <= 0.0 || spec.working_set > 1.0) {
+    throw std::invalid_argument("tenant spec: ws must be in (0,1]");
+  }
+  if (spec.slo.p99_us < 0.0) {
+    throw std::invalid_argument("tenant spec: slo-p99-us cannot be negative");
+  }
+  // Preserve "no explicit id" for parse_tenant_list's auto-numbering.
+  if (!saw_id) spec.id = 0;
+  return spec;
+}
+
+std::vector<TenantSpec> parse_tenant_list(const std::string& text) {
+  std::vector<TenantSpec> specs;
+  std::istringstream entries(text);
+  std::string entry;
+  while (std::getline(entries, entry, ';')) {
+    if (entry.find_first_not_of(" \t") == std::string::npos) continue;
+    specs.push_back(parse_tenant_spec(entry));
+  }
+  if (specs.empty()) {
+    throw std::invalid_argument("tenant list: no tenants in '" + text + "'");
+  }
+  std::uint16_t next_id = 1;
+  std::set<std::uint16_t> used;
+  for (auto& spec : specs) {
+    if (spec.id != 0) used.insert(spec.id);
+  }
+  for (auto& spec : specs) {
+    if (spec.id == 0) {
+      while (used.count(next_id) != 0) ++next_id;
+      spec.id = next_id;
+      used.insert(next_id);
+    }
+  }
+  std::set<std::uint16_t> seen;
+  std::set<std::string> names;
+  for (const auto& spec : specs) {
+    if (!seen.insert(spec.id).second) {
+      throw std::invalid_argument("tenant list: duplicate id " +
+                                  std::to_string(spec.id));
+    }
+    if (!names.insert(spec.name).second) {
+      throw std::invalid_argument("tenant list: duplicate name '" + spec.name +
+                                  "'");
+    }
+  }
+  return specs;
+}
+
+}  // namespace oi::workload

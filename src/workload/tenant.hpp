@@ -1,0 +1,86 @@
+// Multi-tenant workload streams: one tenant = an arrival process (when), an
+// access generator over a working set (where), a read/write mix, a request
+// size, and an SLO target the server-side QoS controller enforces. A
+// TenantStream fuses those into a deterministic timestamped op stream -- the
+// unit bench_qos replays against a live oiraidd and tests pin bit-identical.
+//
+// Tenant ids are small integers carried in the OIRD frame header (0 = the
+// untagged legacy tenant); the server keys its per-tenant latency accounting
+// and SLO bookkeeping by this id (server/qos.hpp, docs/QOS.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/arrival.hpp"
+#include "workload/generator.hpp"
+
+namespace oi::workload {
+
+struct SloSpec {
+  /// p99 latency target in microseconds; 0 = no SLO (best-effort tenant).
+  double p99_us = 0.0;
+};
+
+struct TenantSpec {
+  std::string name = "tenant";
+  /// Wire id (OIRD header); 0 is reserved for untagged traffic.
+  std::uint16_t id = 1;
+  ArrivalSpec arrival;
+  WorkloadSpec access;
+  /// Leading fraction of the array's logical capacity this tenant touches.
+  double working_set = 1.0;
+  /// Bytes per request (rounded down to >= 1).
+  std::size_t request_bytes = 4096;
+  SloSpec slo;
+};
+
+struct TenantOp {
+  /// Scheduled arrival instant, seconds since stream start (open loop). For
+  /// closed-loop tenants this is the cumulative think time -- the driver adds
+  /// service feedback itself.
+  double at_seconds = 0.0;
+  std::size_t logical = 0;
+  bool is_write = false;
+};
+
+/// Deterministic per (spec, seed): the op sequence is independent of wall
+/// clock, service times, and of any other tenant's stream (each stream owns
+/// its Rng), so replaying N tenants from N threads cannot perturb any of
+/// them.
+class TenantStream {
+ public:
+  TenantStream(TenantSpec spec, std::size_t capacity_strips, std::uint64_t seed);
+
+  TenantOp next();
+  const TenantSpec& spec() const { return spec_; }
+  /// Strips this tenant's accesses stay within (working-set prefix).
+  std::size_t strips() const { return strips_; }
+  std::string describe() const;
+
+ private:
+  TenantSpec spec_;
+  std::size_t strips_;
+  std::unique_ptr<ArrivalProcess> arrival_;
+  std::unique_ptr<AccessGenerator> access_;
+  Rng rng_;
+  double clock_ = 0.0;
+};
+
+/// Parses one tenant spec from `key=value` pairs separated by commas:
+///
+///   name=lat,arrival=poisson,rate=400,access=zipf,theta=0.9,read=0.95,
+///   ws=0.5,bytes=4096,slo-p99-us=2000
+///
+/// Keys: name, id, arrival (poisson|bursty|diurnal|closed), rate,
+/// burst-mult, burst-frac, burst-s, period-s, amp, thinkers, think-ms,
+/// access (uniform|zipf|sequential), theta, read, ws, bytes, slo-p99-us.
+/// Unknown keys and malformed values throw std::invalid_argument.
+TenantSpec parse_tenant_spec(const std::string& text);
+
+/// Parses a `;`-separated list of tenant specs. Tenants without an explicit
+/// `id=` are numbered 1..N in order; duplicate ids throw.
+std::vector<TenantSpec> parse_tenant_list(const std::string& text);
+
+}  // namespace oi::workload

@@ -1,0 +1,242 @@
+// Per-tenant QoS sensors and the AIMD rebuild-rate controller
+// (server/qos.hpp): histogram recording and interval quantiles, the tenant
+// table's default-slot fallback, and the controller's convergence behaviour
+// driven through its deterministic update() core.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "server/qos.hpp"
+
+namespace oi::server {
+namespace {
+
+constexpr double kMiB = 1024.0 * 1024.0;
+
+TEST(TenantSensorsTest, RecordsIntoBucketsAndCounters) {
+  TenantSensors sensors({1, "t", 1000.0});
+  sensors.record(50.0, /*is_write=*/false, 4096);    // bucket 0
+  sensors.record(150.0, /*is_write=*/false, 4096);   // bucket 1
+  sensors.record(150.0, /*is_write=*/true, 8192);    // bucket 1
+  sensors.record(1e9, /*is_write=*/false, 1);        // clamps to last bucket
+  sensors.record(-5.0, /*is_write=*/false, 1);       // clamps to bucket 0
+  const auto snap = sensors.snapshot();
+  EXPECT_EQ(snap.total, 5u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 2u);
+  EXPECT_EQ(snap.counts[TenantSensors::kBuckets - 1], 1u);
+  EXPECT_EQ(sensors.ops(), 5u);
+  EXPECT_EQ(sensors.read_bytes(), 4096u + 4096u + 1u + 1u);
+  EXPECT_EQ(sensors.write_bytes(), 8192u);
+}
+
+TEST(TenantSensorsTest, IntervalQuantileUsesOnlyTheDelta) {
+  TenantSensors sensors({1, "t", 0.0});
+  // First interval: all fast.
+  for (int i = 0; i < 100; ++i) sensors.record(50.0, false, 1);
+  const auto first = sensors.snapshot();
+  // Second interval: all slow. The interval quantile must see only these.
+  for (int i = 0; i < 100; ++i) sensors.record(5050.0, false, 1);
+  const auto second = sensors.snapshot();
+  const double p99 = TenantSensors::interval_quantile(second, first, 0.99);
+  EXPECT_GE(p99, 5000.0);
+  EXPECT_LE(p99, 5200.0);
+  // Cumulative (prev = zeroes) sees both halves: the median sits in the fast
+  // bucket, the p99 in the slow one.
+  const double cumulative_p50 =
+      TenantSensors::interval_quantile(second, TenantSensors::Snapshot{}, 0.50);
+  EXPECT_LT(cumulative_p50, 200.0);
+  // Empty interval reports 0 (the controller treats it as idle/headroom).
+  EXPECT_EQ(TenantSensors::interval_quantile(second, second, 0.99), 0.0);
+}
+
+TEST(TenantSensorsTest, QuantileInterpolatesWithinBucket) {
+  TenantSensors sensors({1, "t", 0.0});
+  for (int i = 0; i < 100; ++i) sensors.record(150.0, false, 1);  // bucket 1
+  const auto snap = sensors.snapshot();
+  const double p50 =
+      TenantSensors::interval_quantile(snap, TenantSensors::Snapshot{}, 0.50);
+  // All mass in [100,200): any interpolated quantile stays inside the bucket.
+  EXPECT_GE(p50, 100.0);
+  EXPECT_LE(p50, 200.0);
+}
+
+TEST(TenantTableTest, DefaultSlotAndFallback) {
+  TenantTable table({{1, "lat", 1000.0}, {2, "bulk", 0.0}});
+  // Declared tenants plus the implicit untagged default slot.
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.sensors(1).config().name, "lat");
+  EXPECT_EQ(table.sensors(2).config().name, "bulk");
+  // Untagged and undeclared ids land in the default slot, not a crash.
+  TenantSensors& untagged = table.sensors(0);
+  TenantSensors& stray = table.sensors(4242);
+  EXPECT_EQ(&untagged, &stray);
+  stray.record(100.0, false, 1);
+  EXPECT_EQ(untagged.ops(), 1u);
+}
+
+TEST(TenantTableTest, ExplicitDefaultSlotIsNotDuplicated) {
+  TenantTable table({{0, "legacy", 500.0}, {1, "lat", 1000.0}});
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.sensors(0).config().name, "legacy");
+  EXPECT_EQ(table.sensors(0).config().slo_p99_us, 500.0);
+}
+
+RebuildControllerConfig test_config() {
+  RebuildControllerConfig config;
+  config.min_bytes_per_second = 1.0 * kMiB;
+  config.max_bytes_per_second = 1024.0 * kMiB;
+  config.initial_bytes_per_second = 256.0 * kMiB;
+  config.increase_bytes_per_second = 32.0 * kMiB;
+  config.decrease_factor = 0.5;
+  config.headroom = 0.8;
+  config.interval_ms = 10;
+  return config;
+}
+
+std::vector<TenantObservation> violated() {
+  return {{2000.0, 1000.0, 100}};  // p99 2x the SLO
+}
+
+std::vector<TenantObservation> comfortable() {
+  return {{300.0, 1000.0, 100}};  // p99 well under headroom * slo
+}
+
+TEST(RebuildControllerTest, ViolationDecreasesWithinFewIntervals) {
+  TenantTable table({{1, "lat", 1000.0}});
+  RebuildController controller(test_config(), table);
+  const double initial = controller.rate();
+  double rate = initial;
+  for (int i = 0; i < 3; ++i) rate = controller.update(violated());
+  // Multiplicative decrease: 3 violated intervals = rate / 8.
+  EXPECT_NEAR(rate, initial / 8.0, 1.0);
+  EXPECT_EQ(controller.violations(), 3u);
+  EXPECT_EQ(controller.decisions(), 3u);
+}
+
+TEST(RebuildControllerTest, DecreaseFloorsAtMin) {
+  TenantTable table({{1, "lat", 1000.0}});
+  RebuildController controller(test_config(), table);
+  for (int i = 0; i < 100; ++i) controller.update(violated());
+  EXPECT_EQ(controller.rate(), test_config().min_bytes_per_second);
+  // Rebuild always makes progress: the floor is positive.
+  EXPECT_GT(controller.rate(), 0.0);
+}
+
+TEST(RebuildControllerTest, HeadroomRecoversToMaxAdditively) {
+  TenantTable table({{1, "lat", 1000.0}});
+  RebuildController controller(test_config(), table);
+  for (int i = 0; i < 100; ++i) controller.update(violated());
+  const double floor = controller.rate();
+  double rate = floor;
+  rate = controller.update(comfortable());
+  EXPECT_NEAR(rate, floor + test_config().increase_bytes_per_second, 1.0);
+  for (int i = 0; i < 1000; ++i) rate = controller.update(comfortable());
+  EXPECT_EQ(rate, test_config().max_bytes_per_second);
+}
+
+TEST(RebuildControllerTest, HysteresisBandHolds) {
+  TenantTable table({{1, "lat", 1000.0}});
+  RebuildController controller(test_config(), table);
+  const double initial = controller.rate();
+  // p99 between headroom*slo (800) and slo (1000): neither violated nor
+  // comfortable -- the rate must hold, else the loop limit-cycles.
+  for (int i = 0; i < 50; ++i) controller.update({{900.0, 1000.0, 100}});
+  EXPECT_EQ(controller.rate(), initial);
+  EXPECT_EQ(controller.violations(), 0u);
+}
+
+TEST(RebuildControllerTest, BestEffortAndIdleTenantsCountAsHeadroom) {
+  TenantTable table({{1, "lat", 1000.0}, {2, "bulk", 0.0}});
+  RebuildController controller(test_config(), table);
+  const double initial = controller.rate();
+  // A best-effort tenant (slo 0) over any latency, and an idle SLO'd tenant:
+  // neither may block the additive increase.
+  const double rate =
+      controller.update({{50000.0, 0.0, 100}, {0.0, 1000.0, 0}});
+  EXPECT_NEAR(rate, initial + test_config().increase_bytes_per_second, 1.0);
+  EXPECT_EQ(controller.violations(), 0u);
+}
+
+TEST(RebuildControllerTest, ConvergesUnderProportionalPlant) {
+  // Synthetic plant: tenant p99 grows linearly with the rebuild rate. The
+  // loop must settle into a band around the SLO crossing and stay there.
+  TenantTable table({{1, "lat", 1000.0}});
+  RebuildController controller(test_config(), table);
+  const double us_per_mib = 1000.0 / 128.0;  // SLO crossed at 128 MiB/s
+  double rate = controller.rate();
+  for (int i = 0; i < 200; ++i) {
+    const double p99 = (rate / kMiB) * us_per_mib;
+    rate = controller.update({{p99, 1000.0, 100}});
+  }
+  // Settled: between the headroom edge and one decrease below the crossing.
+  EXPECT_GE(rate, 0.5 * 128.0 * kMiB * 0.8);
+  EXPECT_LE(rate, 160.0 * kMiB);
+  EXPECT_GT(controller.violations(), 0u);
+}
+
+TEST(RebuildControllerTest, InitialRateClampsAndConfigValidates) {
+  TenantTable table({{1, "lat", 1000.0}});
+  RebuildControllerConfig config = test_config();
+  config.initial_bytes_per_second = 4096.0 * kMiB;  // above max
+  RebuildController high(config, table);
+  EXPECT_EQ(high.rate(), config.max_bytes_per_second);
+  config.initial_bytes_per_second = 0.0;  // below min
+  RebuildController low(config, table);
+  EXPECT_EQ(low.rate(), config.min_bytes_per_second);
+
+  config = test_config();
+  config.min_bytes_per_second = 0.0;
+  EXPECT_THROW(RebuildController(config, table), std::invalid_argument);
+  config = test_config();
+  config.max_bytes_per_second = config.min_bytes_per_second / 2.0;
+  EXPECT_THROW(RebuildController(config, table), std::invalid_argument);
+  config = test_config();
+  config.decrease_factor = 1.0;
+  EXPECT_THROW(RebuildController(config, table), std::invalid_argument);
+  config = test_config();
+  config.headroom = 0.0;
+  EXPECT_THROW(RebuildController(config, table), std::invalid_argument);
+  config = test_config();
+  config.interval_ms = 0;
+  EXPECT_THROW(RebuildController(config, table), std::invalid_argument);
+}
+
+TEST(RebuildControllerTest, MaybeTickReadsLiveSensors) {
+  TenantTable table({{1, "lat", 1000.0}});
+  auto config = test_config();
+  config.interval_ms = 1;
+  RebuildController controller(config, table);
+  const double initial = controller.rate();
+  // Feed the sensors a violating interval, let the control interval elapse.
+  for (int i = 0; i < 100; ++i) table.sensors(1).record(5000.0, false, 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  controller.maybe_tick();
+  EXPECT_LT(controller.rate(), initial);
+  EXPECT_GE(controller.violations(), 1u);
+}
+
+TEST(RebuildControllerTest, PaceHonorsCancel) {
+  TenantTable table({{1, "lat", 1000.0}});
+  auto config = test_config();
+  config.min_bytes_per_second = 1024.0;  // 1 KiB/s: pacing 10 MiB would take hours
+  config.max_bytes_per_second = 1024.0;
+  config.initial_bytes_per_second = 1024.0;
+  RebuildController controller(config, table);
+  std::atomic<bool> cancel{false};
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    cancel.store(true, std::memory_order_release);
+  });
+  const auto start = std::chrono::steady_clock::now();
+  controller.pace(10u << 20, cancel);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  canceller.join();
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(),
+            2000);
+}
+
+}  // namespace
+}  // namespace oi::server

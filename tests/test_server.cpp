@@ -209,5 +209,128 @@ TEST_F(ServerTest, StopFrameShutsTheServerDown) {
   server_->wait();  // returns promptly once stop() ran
 }
 
+TEST_F(ServerTest, UntaggedRequestsLandInDefaultTenantSlot) {
+  Client client = connect();
+  client.write(0, std::vector<std::uint8_t>(kStripBytes, 7));
+  client.read(0, kStripBytes);
+  const TenantTable& tenants = server_->tenants();
+  ASSERT_EQ(tenants.size(), 1u);  // just the implicit default slot
+  EXPECT_EQ(tenants.at(0).config().id, 0);
+  EXPECT_EQ(tenants.at(0).ops(), 2u);
+  EXPECT_EQ(tenants.at(0).read_bytes(), kStripBytes);
+  EXPECT_EQ(tenants.at(0).write_bytes(), kStripBytes);
+}
+
+/// Same fixture shape but with declared tenants (and optionally the
+/// controller) in the server config.
+class TenantServerTest : public ServerTest {
+ protected:
+  void restart_with(BlockServerConfig config) {
+    server_.reset();
+    server_ = std::make_unique<BlockServer>(*array_, std::move(config));
+  }
+
+  static BlockServerConfig two_tenants() {
+    BlockServerConfig config;
+    config.tenants = {{1, "lat", 2000.0}, {2, "bulk", 0.0}};
+    return config;
+  }
+};
+
+TEST_F(TenantServerTest, TaggedRequestsAreAccountedPerTenant) {
+  restart_with(two_tenants());
+  Client lat = connect();
+  lat.set_tenant(1);
+  Client bulk = connect();
+  bulk.set_tenant(2);
+  lat.read(0, kStripBytes);
+  lat.read(kStripBytes, kStripBytes);
+  bulk.write(0, std::vector<std::uint8_t>(2 * kStripBytes, 9));
+  const TenantTable& tenants = server_->tenants();
+  ASSERT_EQ(tenants.size(), 3u);  // default + 2 declared
+  // Lookups are by wire id, independent of slot order.
+  auto& table = const_cast<TenantTable&>(tenants);
+  EXPECT_EQ(table.sensors(1).ops(), 2u);
+  EXPECT_EQ(table.sensors(1).read_bytes(), 2u * kStripBytes);
+  EXPECT_EQ(table.sensors(1).write_bytes(), 0u);
+  EXPECT_EQ(table.sensors(2).ops(), 1u);
+  EXPECT_EQ(table.sensors(2).write_bytes(), 2u * kStripBytes);
+  EXPECT_EQ(table.sensors(0).ops(), 0u);
+  // A tenant id nobody declared falls into the default slot.
+  Client stray = connect();
+  stray.set_tenant(999);
+  stray.read(0, 1);
+  EXPECT_EQ(table.sensors(0).ops(), 1u);
+}
+
+TEST_F(TenantServerTest, StatusReportsTenantAndQosLines) {
+  BlockServerConfig config = two_tenants();
+  config.qos_controller = true;
+  config.controller.interval_ms = 10;
+  restart_with(config);
+  Client client = connect();
+  client.set_tenant(1);
+  client.read(0, kStripBytes);
+  const std::string status = client.status();
+  const auto kv = parse_status(status);
+  EXPECT_EQ(kv.at("qos_controller"), "1");
+  EXPECT_EQ(kv.at("tenants"), "3");
+  EXPECT_NE(status.find("tenant 1 lat ops 1"), std::string::npos) << status;
+  EXPECT_NE(status.find("slo_p99_us 2000"), std::string::npos) << status;
+  EXPECT_NE(status.find("tenant 2 bulk ops 0"), std::string::npos) << status;
+  EXPECT_TRUE(kv.contains("qos_rebuild_rate_bytes_per_second"));
+  EXPECT_TRUE(kv.contains("qos_decisions"));
+  EXPECT_TRUE(kv.contains("qos_slo_violations"));
+}
+
+TEST_F(TenantServerTest, StaticModeReportsBucketRateAndNoControllerLines) {
+  BlockServerConfig config = two_tenants();
+  config.rebuild_bytes_per_second = 123456.0;
+  restart_with(config);
+  Client client = connect();
+  const auto kv = parse_status(client.status());
+  EXPECT_EQ(kv.at("qos_controller"), "0");
+  EXPECT_EQ(std::stod(kv.at("qos_rebuild_rate_bytes_per_second")), 123456.0);
+  EXPECT_FALSE(kv.contains("qos_decisions"));
+  EXPECT_EQ(server_->controller(), nullptr);
+}
+
+TEST_F(TenantServerTest, ControllerEnabledServerCompletesRebuildUnderTraffic) {
+  BlockServerConfig config = two_tenants();
+  config.qos_controller = true;
+  config.controller.interval_ms = 5;
+  // A tight floor so even a throttled-to-minimum rebuild finishes in test
+  // time on this tiny array.
+  config.controller.min_bytes_per_second = 64.0 * 1024;
+  config.controller.initial_bytes_per_second = 1024.0 * 1024;
+  config.controller.max_bytes_per_second = 16.0 * 1024 * 1024;
+  restart_with(config);
+  Client client = connect();
+  client.set_tenant(1);
+  const auto capacity = array_->array().capacity_bytes();
+  for (std::uint64_t off = 0; off + kStripBytes <= capacity;
+       off += 2 * kStripBytes) {
+    client.write(off, std::vector<std::uint8_t>(kStripBytes,
+                                                static_cast<std::uint8_t>(off)));
+  }
+  client.fail_disk(2);
+  // Keep tenant traffic flowing while the controller paces the rebuild.
+  for (int i = 0; i < 50; ++i) client.read(0, kStripBytes);
+  wait_for_rebuild(client);
+  EXPECT_EQ(array_->array().scrub(), "");
+  ASSERT_NE(server_->controller(), nullptr);
+  EXPECT_GT(server_->controller()->decisions(), 0u);
+  EXPECT_GT(server_->rebuild_rate(), 0.0);
+}
+
+TEST_F(TenantServerTest, ResponsesEchoTheRequestTenant) {
+  restart_with(two_tenants());
+  Client client = connect();
+  client.set_tenant(2);
+  Frame request{Op::kPing};
+  const Frame response = client.roundtrip(request);
+  EXPECT_EQ(response.tenant, 2);
+}
+
 }  // namespace
 }  // namespace oi::server

@@ -188,6 +188,88 @@ TEST_F(TelemetryTest, SamplerRoundTripsThroughTheFollower) {
   std::remove(path.c_str());
 }
 
+// ---------------------------------------- client-side histogram views ----
+
+TEST_F(TelemetryTest, HistogramDataQuantileInterpolates) {
+  HistogramData h;
+  h.low = 0.0;
+  h.bucket_width = 100.0;
+  h.counts = {50, 50, 0, 0};
+  h.total = 100;
+  h.sum = 100.0 * 50 + 150.0 * 50;  // unused by quantile
+  EXPECT_EQ(HistogramData{}.quantile(0.99), 0.0);  // empty
+  EXPECT_NEAR(h.quantile(0.50), 100.0, 1.0);  // boundary of the two buckets
+  EXPECT_NEAR(h.quantile(0.25), 50.0, 1.0);   // middle of the first bucket
+  EXPECT_NEAR(h.quantile(0.75), 150.0, 1.0);  // middle of the second
+  EXPECT_NEAR(h.mean(), 125.0, 1e-9);
+  // Mass in the open-ended last bucket clamps to its lower edge.
+  HistogramData tail;
+  tail.low = 0.0;
+  tail.bucket_width = 100.0;
+  tail.counts = {0, 0, 10};
+  tail.total = 10;
+  EXPECT_EQ(tail.quantile(0.99), 200.0);
+}
+
+TEST_F(TelemetryTest, ScrapeHistogramsRoundTripThroughTheParser) {
+  // Real exporter output for a real registry histogram: the cumulative
+  // `_bucket{le=...}` series (last finite bucket labelled +Inf) must fold
+  // back into the original per-bucket counts and geometry.
+  metrics::FixedHistogram& h = metrics::Registry::instance().histogram(
+      "test.tel.scrape_hist", 0.0, 400.0, 4);
+  h.record(50.0);    // bucket 0
+  h.record(150.0);   // bucket 1
+  h.record(150.0);   // bucket 1
+  h.record(9999.0);  // clamps into the last (+Inf) bucket
+  std::ostringstream os;
+  metrics::Registry::instance().write_prometheus(os);
+  const HistogramMap map = parse_prometheus_histograms(os.str());
+  const auto found = find_histogram(map, "test.tel.scrape_hist");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->low, 0.0);
+  EXPECT_EQ(found->bucket_width, 100.0);
+  ASSERT_EQ(found->counts.size(), 4u);
+  EXPECT_EQ(found->counts[0], 1u);
+  EXPECT_EQ(found->counts[1], 2u);
+  EXPECT_EQ(found->counts[2], 0u);
+  EXPECT_EQ(found->counts[3], 1u);
+  EXPECT_EQ(found->total, 4u);
+  EXPECT_GT(found->sum, 0.0);
+  // p50 of {50,150,150,9999}: interpolated inside the second bucket.
+  EXPECT_GE(found->quantile(0.50), 100.0);
+  EXPECT_LE(found->quantile(0.50), 200.0);
+  // Non-histogram lines are untouched; the map holds only histograms.
+  for (const auto& [name, data] : map) {
+    EXPECT_FALSE(data.counts.empty()) << name;
+  }
+}
+
+TEST_F(TelemetryTest, StreamFollowerReconstructsHistograms) {
+  const std::string path = tmp_path("follower_hist.jsonl");
+  metrics::FixedHistogram& h = metrics::Registry::instance().histogram(
+      "test.tel.fh", 0.0, 300.0, 3);
+  h.record(50.0);
+  {
+    Sampler sampler(path, kNeverMs);
+    sampler.sample_now();
+    h.record(250.0);
+    sampler.sample_now();  // re-emits the full counts array
+  }
+  StreamFollower follower(path);
+  follower.poll();
+  const auto found = find_histogram(follower.histograms(), "test.tel.fh");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->low, 0.0);
+  EXPECT_EQ(found->bucket_width, 100.0);
+  ASSERT_EQ(found->counts.size(), 3u);
+  EXPECT_EQ(found->counts[0], 1u);
+  EXPECT_EQ(found->counts[1], 0u);
+  EXPECT_EQ(found->counts[2], 1u);
+  EXPECT_EQ(found->total, 2u);
+  EXPECT_NEAR(found->sum, 300.0, 1e-9);
+  std::remove(path.c_str());
+}
+
 // ------------------------------------------------ flight recorder dump ----
 
 TEST(FlightRecorder, AssertFailureDumpsTheRingToDisk) {

@@ -38,6 +38,8 @@
 //   oiraidctl write     --port 9500 --offset 0 --data STR | --in FILE |
 //                       --fill BYTE --length N
 //       write bytes through the parity path
+//   (read/write also take --tenant N to tag requests for the daemon's
+//   per-tenant QoS accounting; see docs/QOS.md)
 //   oiraidctl fail      --port 9500 --disk 4
 //       durably fail a disk; the daemon rebuilds it online
 //   oiraidctl stop      --port 9500
@@ -51,8 +53,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -372,6 +376,7 @@ std::string top_value(double v) {
 }
 
 void render_top(std::ostream& out, const telemetry::MetricMap& values,
+                const telemetry::HistogramMap& histograms,
                 const std::string& source) {
   out << "oiraidctl top -- " << source << "\n";
 
@@ -402,9 +407,10 @@ void render_top(std::ostream& out, const telemetry::MetricMap& values,
   }
 
   // Curated data-plane summary when the producer is an oiraidd: request
-  // traffic plus per-op service latency as count + mean, derived from the
-  // histograms' count/sum aggregates (the per-bucket series are labelled
-  // and not part of the flat metric map).
+  // traffic plus per-op service latency. Columns: ops = requests recorded,
+  // mean/p50/p99/p999 in microseconds; the quantiles interpolate the full
+  // bucket series (see docs/OBSERVABILITY.md, "top columns"), so they need a
+  // histogram source -- count/sum alone only yield the mean.
   const auto requests = telemetry::find_metric(values, "server.net.requests");
   if (requests.has_value()) {
     out << "\nserver requests: " << top_value(*requests);
@@ -415,15 +421,77 @@ void render_top(std::ostream& out, const telemetry::MetricMap& values,
     counter("errors:", "server.net.errors");
     counter("disconnects:", "server.net.disconnects");
     out << "\n";
-    for (const char* op : {"read", "write", "status"}) {
-      const std::string base = std::string("server.req.") + op + ".latency_us";
+    const auto latency_row = [&](const std::string& label,
+                                 const std::string& base) {
       const auto count = telemetry::find_metric(values, base + ".count");
       const auto sum = telemetry::find_metric(values, base + ".sum");
-      if (!count.has_value() || !sum.has_value() || *count <= 0) continue;
-      const std::string label = std::string(op) + ":";
-      out << "  " << label << std::string(8 - label.size(), ' ')
-          << top_value(*count) << " ops, mean "
-          << top_value(*sum / *count) << " us\n";
+      if (!count.has_value() || !sum.has_value() || *count <= 0) return false;
+      const std::string head = label + ":";
+      out << "  " << head
+          << std::string(head.size() < 10 ? 10 - head.size() : 1, ' ')
+          << top_value(*count) << " ops, mean " << top_value(*sum / *count)
+          << " us";
+      if (const auto hist = telemetry::find_histogram(histograms, base)) {
+        out << ", p50 " << top_value(hist->quantile(0.50)) << " us, p99 "
+            << top_value(hist->quantile(0.99)) << " us, p999 "
+            << top_value(hist->quantile(0.999)) << " us";
+      }
+      out << "\n";
+      return true;
+    };
+    for (const char* op : {"read", "write", "status"}) {
+      latency_row(op, std::string("server.req.") + op + ".latency_us");
+    }
+
+    // Per-tenant QoS section (daemons started with --tenants). Tenants are
+    // discovered from their latency histograms; slo/violated ride along as
+    // gauges, and the controller's live rebuild rate heads the section.
+    const auto rate = telemetry::find_metric(
+        values, "server.qos.rebuild_rate_bytes_per_second");
+    // Discover tenant ids from the histogram keys in either keying
+    // (`server.tenant.<id>.latency_us` dotted, `oi_server_tenant_<id>_...`
+    // mangled); std::set keeps the section ordered and deduplicated.
+    std::set<long> tenant_ids;
+    for (const auto& [key, hist] : histograms) {
+      for (const std::string prefix :
+           {std::string("server.tenant."), std::string("oi_server_tenant_")}) {
+        if (key.size() > prefix.size() &&
+            key.compare(0, prefix.size(), prefix) == 0) {
+          tenant_ids.insert(std::strtol(key.c_str() + prefix.size(), nullptr, 10));
+        }
+      }
+    }
+    bool wrote_header = false;
+    for (const long id : tenant_ids) {
+      const std::string base =
+          "server.tenant." + std::to_string(id) + ".latency_us";
+      if (!telemetry::find_histogram(histograms, base).has_value() &&
+          !telemetry::find_metric(values, base + ".count").has_value()) {
+        continue;
+      }
+      if (!wrote_header) {
+        out << "tenants";
+        if (rate.has_value() && *rate > 0) {
+          out << "  (rebuild rate " << format_bandwidth(*rate);
+          const auto violations =
+              telemetry::find_metric(values, "server.qos.slo_violations");
+          if (violations.has_value() && *violations > 0) {
+            out << ", " << top_value(*violations) << " slo violations";
+          }
+          out << ")";
+        }
+        out << "\n";
+        wrote_header = true;
+      }
+      if (!latency_row("t" + std::to_string(id), base)) continue;
+      const auto slo = telemetry::find_metric(
+          values, "server.tenant." + std::to_string(id) + ".slo_p99_us");
+      const auto violated = telemetry::find_metric(
+          values, "server.tenant." + std::to_string(id) + ".slo_violated");
+      if (slo.has_value() && *slo > 0) {
+        out << "            slo p99<=" << top_value(*slo) << " us"
+            << (violated.value_or(0.0) > 0 ? "  VIOLATED" : "") << "\n";
+      }
     }
   }
 
@@ -459,11 +527,14 @@ int cmd_top(const Flags& flags) {
       std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
     }
     telemetry::MetricMap values;
+    telemetry::HistogramMap histograms;
     std::string source;
     if (use_http) {
       try {
-        values = telemetry::parse_prometheus_text(telemetry::http_get(
-            host, static_cast<std::uint16_t>(port), "/metrics"));
+        const std::string body = telemetry::http_get(
+            host, static_cast<std::uint16_t>(port), "/metrics");
+        values = telemetry::parse_prometheus_text(body);
+        histograms = telemetry::parse_prometheus_histograms(body);
       } catch (const std::exception& error) {
         // The producer may not be up yet (or just exited); keep polling.
         std::cout << "oiraidctl top -- waiting for " << host << ":" << port
@@ -474,6 +545,7 @@ int cmd_top(const Flags& flags) {
     } else {
       follower.poll();
       values = follower.values();
+      histograms = follower.histograms();
       std::ostringstream s;
       s << stream << "  (" << follower.records() << " records, t="
         << top_value(follower.last_t()) << "s)";
@@ -481,7 +553,7 @@ int cmd_top(const Flags& flags) {
     }
     std::ostringstream frame;
     if (clear) frame << "\x1b[2J\x1b[H";  // redraw in place
-    render_top(frame, values, source);
+    render_top(frame, values, histograms, source);
     std::cout << frame.str() << std::flush;
   }
   return 0;
@@ -494,8 +566,17 @@ server::Client daemon_client(const Flags& flags) {
   if (port < 1 || port > 65535) {
     throw std::invalid_argument("--port PORT (1..65535) is required");
   }
-  return server::Client(flags.get_string("host", "127.0.0.1"),
+  server::Client client(flags.get_string("host", "127.0.0.1"),
                         static_cast<std::uint16_t>(port));
+  // --tenant N tags every request for per-tenant QoS accounting (0 =
+  // untagged; ids beyond the daemon's --tenants list fall into the default
+  // slot server-side).
+  const std::int64_t tenant = flags.get_int("tenant", 0);
+  if (tenant < 0 || tenant > 0xffff) {
+    throw std::invalid_argument("--tenant must be in 0..65535");
+  }
+  client.set_tenant(static_cast<std::uint16_t>(tenant));
+  return client;
 }
 
 int cmd_ping(const Flags& flags) {

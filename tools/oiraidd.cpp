@@ -20,6 +20,24 @@
 //   --request-threads N worker threads executing client requests against the
 //                       striped array (default 0 = min(cores, 8))
 //
+// QoS (see docs/QOS.md):
+//   --tenants "SPEC;SPEC;..."   declare tenants for per-tenant accounting;
+//                       each SPEC is comma-separated key=value pairs, e.g.
+//                       "name=lat,arrival=poisson,rate=400,read=0.95,
+//                        slo-p99-us=2000". The daemon only uses name/id/
+//                       slo-p99-us (the arrival/access keys drive bench
+//                       clients), but accepts full specs so one string
+//                       serves both sides.
+//   --qos-controller    replace the static rebuild token bucket with the
+//                       AIMD RebuildController (--rebuild-mbps then ignored)
+//   --qos-min-mbps X    controller rate floor (default 1)
+//   --qos-max-mbps X    controller rate ceiling (default 1024)
+//   --qos-initial-mbps X  controller starting rate (default 256)
+//   --qos-increase-mbps X additive increase per interval (default 32)
+//   --qos-decrease X    multiplicative decrease on SLO violation (default 0.5)
+//   --qos-headroom X    increase only while p99 <= X * slo (default 0.8)
+//   --qos-interval-ms N control interval (default 100)
+//
 // plus the standard observability flags (--metrics-port, --metrics-stream-out,
 // --trace-out, ...; see util/observability.hpp). Watch a live rebuild with
 // `oiraidctl top --port <metrics-port>`: the `rebuild.watermark` gauge climbs
@@ -37,6 +55,7 @@
 #include "server/persistent_array.hpp"
 #include "util/flags.hpp"
 #include "util/observability.hpp"
+#include "workload/tenant.hpp"
 
 namespace {
 
@@ -102,6 +121,27 @@ int run(const Flags& flags) {
       static_cast<std::size_t>(flags.get_int("rebuild-batch", 8));
   config.request_threads =
       static_cast<std::size_t>(flags.get_int("request-threads", 0));
+  if (flags.has("tenants")) {
+    for (const auto& spec :
+         workload::parse_tenant_list(flags.get_string("tenants", ""))) {
+      config.tenants.push_back(
+          server::TenantConfig{spec.id, spec.name, spec.slo.p99_us});
+    }
+  }
+  config.qos_controller = flags.get_bool("qos-controller", false);
+  constexpr double kMiBps = 1024.0 * 1024.0;
+  config.controller.min_bytes_per_second =
+      flags.get_double("qos-min-mbps", 1.0) * kMiBps;
+  config.controller.max_bytes_per_second =
+      flags.get_double("qos-max-mbps", 1024.0) * kMiBps;
+  config.controller.initial_bytes_per_second =
+      flags.get_double("qos-initial-mbps", 256.0) * kMiBps;
+  config.controller.increase_bytes_per_second =
+      flags.get_double("qos-increase-mbps", 32.0) * kMiBps;
+  config.controller.decrease_factor = flags.get_double("qos-decrease", 0.5);
+  config.controller.headroom = flags.get_double("qos-headroom", 0.8);
+  config.controller.interval_ms =
+      static_cast<int>(flags.get_int("qos-interval-ms", 100));
   server::BlockServer server(*array, config);
 
   const std::string port_file = flags.get_string("port-file", "");
