@@ -1,0 +1,223 @@
+// E13 -- Layout-core scaling: stripe-map compilation, compact-IR footprint,
+// rebuild-plan construction and recovery speedup as the array grows from 21
+// to 3279 disks (v = 7 .. 1093). This is the measurement companion of the
+// large-BIBD + compact-StripeMap + sharded-planning work; DESIGN.md section
+// "Scaling the layout core" explains the encodings.
+//
+// Deterministic metrics (gated against bench/baselines/BENCH_scale.json):
+// geometry counts, compact vs flat resident bytes and their ratio (the
+// >= 2x criterion at v >= 365), plan step counts, sharded == sequential
+// plan equality, and the per-disk recovery speedup. Wall-clock metrics
+// (`*_seconds`, `*_per_second`) and thread-scaling speedups
+// (`*_speedup_t<N>`) measure the host and are ignored by the CI compare.
+//
+// The committed baseline is generated with --smoke (the subset CI can
+// afford); a full run is a strict superset, so the same baseline gates both.
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bench_json.hpp"
+#include "bibd/constructions.hpp"
+#include "bibd/registry.hpp"
+#include "layout/analysis.hpp"
+#include "layout/concurrency_map.hpp"
+#include "layout/oi_raid.hpp"
+#include "layout/sharded_plan.hpp"
+#include "layout/stripe_map.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace oi;
+using namespace oi::bench;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct ScalePoint {
+  std::string label;
+  bibd::Design design;
+  bool smoke;  ///< part of the CI smoke subset
+};
+
+std::vector<ScalePoint> scale_points(bool smoke_only) {
+  std::vector<ScalePoint> points;
+  auto add = [&](std::string label, std::optional<bibd::Design> design,
+                 bool smoke) {
+    if (!design) {
+      std::cerr << "warning: skipping " << label << " (no design)\n";
+      return;
+    }
+    if (smoke_only && !smoke) return;
+    points.push_back({std::move(label), std::move(*design), smoke});
+  };
+  add("fano_m3", bibd::fano(), true);                       // 21 disks
+  add("sts15_m3", bibd::bose_steiner_triple(15), false);    // 45
+  add("pg9_m3", bibd::projective_plane(9), true);           // 273
+  add("pg16_m3", bibd::projective_plane(16), false);        // 819
+  add("sts367_m3", bibd::find_design(367, 3), true);        // 1101
+  add("ag32_m3", bibd::affine_plane(32), false);            // 3072
+  add("sts1093_m3", bibd::find_design(1093, 3), false);     // 3279
+  return points;
+}
+
+bool plans_equal(const std::vector<layout::RecoveryStep>& a,
+                 const std::vector<layout::RecoveryStep>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].lost != b[i].lost || a[i].reads != b[i].reads) return false;
+  }
+  return true;
+}
+
+// The FastDiv satellite datapoint: decompose every strip id back into
+// (disk, offset) once with the reciprocal divide the StripeMap uses and once
+// with hardware div/mod, and report ids/second for both. The checksum forces
+// the work to happen and its comparison doubles as a correctness check.
+void fastdiv_microbench(const layout::StripeMap& map, BenchJson& json,
+                        const std::string& label) {
+  const auto total = static_cast<std::uint32_t>(map.total_strips());
+  const std::uint32_t spd = static_cast<std::uint32_t>(map.strips_per_disk());
+  const util::FastDiv32 div(spd);
+
+  std::uint64_t sum_fast = 0;
+  const auto fast_start = Clock::now();
+  for (std::uint32_t id = 0; id < total; ++id) {
+    const std::uint32_t disk = div.divide(id);
+    sum_fast += disk + (id - disk * spd);
+  }
+  const double fast_seconds = seconds_since(fast_start);
+
+  std::uint64_t sum_hw = 0;
+  const auto hw_start = Clock::now();
+  for (std::uint32_t id = 0; id < total; ++id) {
+    // The compiler may not hoist spd into a reciprocal here because spd is
+    // not a compile-time constant -- exactly the situation in StripeMap.
+    sum_hw += id / spd + id % spd;
+  }
+  const double hw_seconds = seconds_since(hw_start);
+
+  if (sum_fast != sum_hw) {
+    std::cerr << "FastDiv32 checksum mismatch\n";
+    std::exit(1);
+  }
+  json.record(label, "striploc_fastdiv_per_second", total / fast_seconds);
+  json.record(label, "striploc_hwdiv_per_second", total / hw_seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const bool smoke = flags.get_bool("smoke");
+  const std::size_t m = 3;
+  const std::size_t height = 2;
+
+  BenchJson json("scale");
+  print_experiment_header("E13", "layout-core scaling (compact IR, sharded planning)");
+
+  Table table({"geometry", "disks", "strips", "compact_MB", "flat_MB", "ratio",
+               "build_s", "plan_s", "plan_t4_s", "speedup"});
+
+  for (const ScalePoint& point : scale_points(smoke)) {
+    const std::string& g = point.label;
+    const std::size_t v = point.design.v;
+    const std::size_t k = point.design.k;
+    const auto layout = std::make_shared<layout::OiRaidLayout>(
+        layout::OiRaidParams{point.design, m, height});
+
+    const auto build_start = Clock::now();
+    const layout::StripeMap& map = layout->stripe_map();
+    const double build_seconds = seconds_since(build_start);
+    const layout::ConcurrencyMap& domains = layout->concurrency_map();
+
+    json.record(g, "disks", static_cast<double>(layout->disks()));
+    json.record(g, "v", static_cast<double>(v));
+    json.record(g, "k", static_cast<double>(k));
+    json.record(g, "m", static_cast<double>(m));
+    json.record(g, "strips_per_disk", static_cast<double>(map.strips_per_disk()));
+    json.record(g, "total_strips", static_cast<double>(map.total_strips()));
+    json.record(g, "relations", static_cast<double>(map.relations()));
+    json.record(g, "occurrences", static_cast<double>(map.occurrences_total()));
+    json.record(g, "compact_resident_bytes",
+                static_cast<double>(map.resident_bytes()));
+    json.record(g, "flat_resident_bytes",
+                static_cast<double>(map.uncompressed_resident_bytes()));
+    const double ratio = static_cast<double>(map.uncompressed_resident_bytes()) /
+                         static_cast<double>(map.resident_bytes());
+    json.record(g, "bytes_ratio", ratio);
+    json.record(g, "map_build_seconds", build_seconds);
+
+    // Single-disk failure: the paper's recovery scenario. Plan sequentially,
+    // then sharded at 2 and 4 workers, and require byte-identity.
+    const std::vector<std::size_t> failed = {0};
+    const auto plan_start = Clock::now();
+    const auto plan = layout::plan_by_peeling(map, failed);
+    const double plan_seconds = seconds_since(plan_start);
+    if (!plan) {
+      std::cerr << "unexpectedly unrecoverable at " << g << "\n";
+      return 1;
+    }
+    json.record(g, "plan_steps", static_cast<double>(plan->size()));
+    json.record(g, "plan_seconds", plan_seconds);
+
+    double plan_t4_seconds = 0.0;
+    bool sharded_equal = true;
+    for (const std::size_t threads : {2, 4}) {
+      ThreadPool pool(threads);
+      const auto sharded_start = Clock::now();
+      const auto sharded =
+          layout::plan_by_peeling_sharded(map, domains, pool, failed);
+      const double sharded_seconds = seconds_since(sharded_start);
+      if (threads == 4) plan_t4_seconds = sharded_seconds;
+      sharded_equal = sharded_equal && sharded && plans_equal(*plan, *sharded);
+      const std::string t = std::to_string(threads);
+      json.record(g, "sharded_plan_t" + t + "_seconds", sharded_seconds);
+      json.record(g, "plan_speedup_t" + t, plan_seconds / sharded_seconds);
+    }
+    json.record(g, "sharded_plan_equal", sharded_equal ? 1.0 : 0.0);
+    if (!sharded_equal) {
+      std::cerr << "sharded plan diverged at " << g << "\n";
+      return 1;
+    }
+
+    // Recovery speedup: a flat RAID rebuild reads strips_per_disk strips
+    // from its most loaded survivor; OI-RAID spreads that over many disks.
+    const auto loads = layout::per_disk_read_load(map, failed, *plan);
+    double max_load = 0.0;
+    for (const double load : loads) max_load = std::max(max_load, load);
+    const double speedup =
+        max_load > 0.0 ? static_cast<double>(map.strips_per_disk()) / max_load
+                       : 0.0;
+    json.record(g, "recovery_speedup", speedup);
+
+    fastdiv_microbench(map, json, g);
+
+    table.row()
+        .cell(g)
+        .cell(layout->disks())
+        .cell(map.total_strips())
+        .cell(map.resident_bytes() / 1048576.0, 2)
+        .cell(map.uncompressed_resident_bytes() / 1048576.0, 2)
+        .cell(ratio, 3)
+        .cell(build_seconds, 3)
+        .cell(plan_seconds, 4)
+        .cell(plan_t4_seconds, 4)
+        .cell(speedup, 1);
+  }
+
+  table.print(std::cout);
+  json.flush();
+  std::cout << "\nwrote BENCH_scale.json\n";
+  return 0;
+}

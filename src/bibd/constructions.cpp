@@ -4,22 +4,36 @@
 #include <map>
 #include <numeric>
 
+#include "bibd/gf.hpp"
 #include "util/assert.hpp"
 
 namespace oi::bibd {
 namespace {
 
-bool is_prime(std::size_t n) {
-  if (n < 2) return false;
-  for (std::size_t d = 2; d * d <= n; ++d) {
-    if (n % d == 0) return false;
-  }
-  return true;
-}
-
+/// Sorts members within blocks and blocks lexicographically; a resolution
+/// certificate, when present, is permuted alongside so labels keep tracking
+/// their blocks.
 void sort_blocks(Design& design) {
   for (auto& block : design.blocks) std::sort(block.begin(), block.end());
-  std::sort(design.blocks.begin(), design.blocks.end());
+  if (design.parallel_classes.empty()) {
+    std::sort(design.blocks.begin(), design.blocks.end());
+    return;
+  }
+  OI_ASSERT(design.parallel_classes.size() == design.blocks.size(),
+            "resolution certificate must label every block");
+  std::vector<std::size_t> order(design.blocks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return design.blocks[a] < design.blocks[b];
+  });
+  std::vector<std::vector<std::size_t>> blocks(design.blocks.size());
+  std::vector<std::size_t> classes(design.blocks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    blocks[i] = std::move(design.blocks[order[i]]);
+    classes[i] = design.parallel_classes[order[i]];
+  }
+  design.blocks = std::move(blocks);
+  design.parallel_classes = std::move(classes);
 }
 
 void check_verified(const Design& design) {
@@ -32,7 +46,9 @@ void check_verified(const Design& design) {
 Design fano() { return projective_plane(2); }
 
 Design projective_plane(std::size_t q) {
-  OI_ENSURE(is_prime(q), "projective_plane requires prime q (no GF(p^e) support)");
+  OI_ENSURE(SmallField::is_prime_power(q) && q <= SmallField::kMaxOrder,
+            "projective_plane requires a prime-power q <= 256");
+  const SmallField f(q);
   const std::size_t v = q * q + q + 1;
 
   // Normalized homogeneous coordinates over GF(q):
@@ -62,7 +78,8 @@ Design projective_plane(std::size_t q) {
     std::vector<std::size_t> block;
     for (std::size_t pi = 0; pi < points.size(); ++pi) {
       const P3& p = points[pi];
-      const std::size_t dot = (p.x * line.x + p.y * line.y + p.z * line.z) % q;
+      const std::size_t dot =
+          f.add(f.add(f.mul(p.x, line.x), f.mul(p.y, line.y)), f.mul(p.z, line.z));
       if (dot == 0) block.push_back(pi);
     }
     OI_ASSERT(block.size() == q + 1, "projective line must contain q+1 points");
@@ -74,7 +91,9 @@ Design projective_plane(std::size_t q) {
 }
 
 Design affine_plane(std::size_t q) {
-  OI_ENSURE(is_prime(q), "affine_plane requires prime q (no GF(p^e) support)");
+  OI_ENSURE(SmallField::is_prime_power(q) && q <= SmallField::kMaxOrder,
+            "affine_plane requires a prime-power q <= 256");
+  const SmallField f(q);
   Design design;
   design.v = q * q;
   design.k = q;
@@ -82,13 +101,17 @@ Design affine_plane(std::size_t q) {
   design.origin = "AG(2," + std::to_string(q) + ")";
 
   auto point = [q](std::size_t x, std::size_t y) { return x * q + y; };
-  // Sloped lines y = a x + b.
+  // Sloped lines y = a x + b; for each slope a the q intercepts partition the
+  // plane, so slopes are parallel classes (and the verticals are one more).
   for (std::size_t a = 0; a < q; ++a) {
     for (std::size_t b = 0; b < q; ++b) {
       std::vector<std::size_t> block;
       block.reserve(q);
-      for (std::size_t x = 0; x < q; ++x) block.push_back(point(x, (a * x + b) % q));
+      for (std::size_t x = 0; x < q; ++x) {
+        block.push_back(point(x, f.add(f.mul(a, x), b)));
+      }
       design.blocks.push_back(std::move(block));
+      design.parallel_classes.push_back(a);
     }
   }
   // Vertical lines x = c.
@@ -97,6 +120,7 @@ Design affine_plane(std::size_t q) {
     block.reserve(q);
     for (std::size_t y = 0; y < q; ++y) block.push_back(point(c, y));
     design.blocks.push_back(std::move(block));
+    design.parallel_classes.push_back(q);
   }
   sort_blocks(design);
   check_verified(design);
@@ -331,6 +355,132 @@ Design complete_design(std::size_t v, std::size_t k) {
     ++combo[i];
     for (std::size_t j = i + 1; j < k; ++j) combo[j] = combo[j - 1] + 1;
   }
+}
+
+namespace {
+
+// Blocks of a transversal design TD(k, n) in column-local form: each block
+// is k values in [0, n), one per column (group). Pair property: for any two
+// columns i != j and values x, y there is exactly one block with value x in
+// column i and y in column j.
+using TdBlocks = std::vector<std::vector<std::size_t>>;
+
+// TD(k, q) for prime-power q >= k, from the field plane: block (a, b) takes
+// value a*g_i + b in column i, with g_i = the i-th field element. Any two
+// columns determine (a, b) uniquely because g_i - g_j is invertible. For
+// fixed a the n blocks partition every column, so the TD is resolvable with
+// the slope a as the class -- the same certificate the affine plane carries.
+TdBlocks td_prime_power(std::size_t k, std::size_t q) {
+  const SmallField f(q);
+  TdBlocks blocks;
+  blocks.reserve(q * q);
+  for (std::size_t a = 0; a < q; ++a) {
+    for (std::size_t b = 0; b < q; ++b) {
+      std::vector<std::size_t> block(k);
+      for (std::size_t i = 0; i < k; ++i) block[i] = f.add(f.mul(a, i), b);
+      blocks.push_back(std::move(block));
+    }
+  }
+  return blocks;
+}
+
+// Direct product TD(k, n1) x TD(k, n2) -> TD(k, n1*n2): column i of the
+// product block carries the pair (x_i, y_i) encoded x_i*n2 + y_i. Two
+// columns determine both factor blocks uniquely, so the pair property holds.
+TdBlocks td_product(const TdBlocks& lhs, const TdBlocks& rhs, std::size_t k,
+                    std::size_t n2) {
+  TdBlocks blocks;
+  blocks.reserve(lhs.size() * rhs.size());
+  for (const auto& a : lhs) {
+    for (const auto& b : rhs) {
+      std::vector<std::size_t> block(k);
+      for (std::size_t i = 0; i < k; ++i) block[i] = a[i] * n2 + b[i];
+      blocks.push_back(std::move(block));
+    }
+  }
+  return blocks;
+}
+
+// TD(k, n) when every prime-power factor of n is >= k (MacNeish's bound):
+// field TDs on the factors, combined by direct product. Returns nullopt when
+// some factor is < k (e.g. TD(4, 6) -- the Euler case this route cannot
+// reach) or exceeds the field-table limit.
+std::optional<TdBlocks> transversal_blocks(std::size_t k, std::size_t n) {
+  if (n < k || k < 2) return std::nullopt;
+  std::vector<std::size_t> factors;  // prime-power factors of n
+  std::size_t rest = n;
+  for (std::size_t p = 2; p * p <= rest; ++p) {
+    if (rest % p != 0) continue;
+    std::size_t power = 1;
+    while (rest % p == 0) {
+      rest /= p;
+      power *= p;
+    }
+    factors.push_back(power);
+  }
+  if (rest > 1) factors.push_back(rest);
+  std::optional<TdBlocks> result;
+  std::size_t width = 1;
+  for (const std::size_t q : factors) {
+    if (q < k || q > SmallField::kMaxOrder) return std::nullopt;
+    TdBlocks factor = td_prime_power(k, q);
+    result = result ? td_product(*result, factor, k, q) : std::move(factor);
+    width *= q;
+  }
+  OI_ASSERT(width == n, "prime-power factors must multiply back to n");
+  return result;
+}
+
+}  // namespace
+
+std::optional<Design> composed_design(std::size_t v, std::size_t k,
+                                      const SubDesignFinder& sub) {
+  OI_ENSURE(k >= 2, "composed design needs k >= 2");
+  OI_ENSURE(v > k, "composed design needs v > k");
+  // v = k*n fills each TD group with an (n, k, 1) design; v = k*n + 1 adds
+  // one infinity point shared by every group and fills with (n+1, k, 1).
+  const bool pointed = v % k == 1;
+  if (v % k != 0 && !pointed) return std::nullopt;
+  const std::size_t n = pointed ? (v - 1) / k : v / k;
+  const auto td = transversal_blocks(k, n);
+  if (!td) return std::nullopt;
+  const std::size_t fill_v = pointed ? n + 1 : n;
+  auto fill = sub(fill_v, k);
+  if (!fill || fill->lambda != 1 || fill->v != fill_v || fill->k != k ||
+      !is_valid(*fill)) {
+    return std::nullopt;
+  }
+
+  Design design;
+  design.v = v;
+  design.k = k;
+  design.lambda = 1;
+  design.origin = "TD(" + std::to_string(k) + "," + std::to_string(n) + ")+" +
+                  fill->origin;
+  const std::size_t infinity = v - 1;  // only meaningful when pointed
+
+  // Cross-group pairs: exactly once via the TD blocks.
+  for (const auto& block : *td) {
+    std::vector<std::size_t> points(k);
+    for (std::size_t i = 0; i < k; ++i) points[i] = i * n + block[i];
+    design.blocks.push_back(std::move(points));
+  }
+  // In-group pairs (and infinity pairs): exactly once via the fill design
+  // placed on each group, with the fill's last point mapped to infinity in
+  // the pointed case.
+  for (std::size_t group = 0; group < k; ++group) {
+    for (const auto& block : fill->blocks) {
+      std::vector<std::size_t> points;
+      points.reserve(k);
+      for (const std::size_t p : block) {
+        points.push_back(pointed && p == n ? infinity : group * n + p);
+      }
+      design.blocks.push_back(std::move(points));
+    }
+  }
+  sort_blocks(design);
+  check_verified(design);
+  return design;
 }
 
 }  // namespace oi::bibd

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <optional>
 
 #include "bibd/design.hpp"
@@ -15,12 +16,15 @@ namespace oi::bibd {
 /// geometry (21 disks with m=3).
 Design fano();
 
-/// Projective plane PG(2,q) for prime q: v = q^2+q+1 points, blocks of size
-/// q+1, lambda = 1, b = v, r = q+1.
+/// Projective plane PG(2,q) for prime-power q (GF(p^e) via bibd::SmallField,
+/// q <= 256): v = q^2+q+1 points, blocks of size q+1, lambda = 1, b = v,
+/// r = q+1. Reaches v = 21, 91, 273, 757, 993, ... beyond the prime orders.
 Design projective_plane(std::size_t q);
 
-/// Affine plane AG(2,q) for prime q: v = q^2 points, blocks of size q,
-/// lambda = 1, b = q^2+q, r = q+1.
+/// Affine plane AG(2,q) for prime-power q (q <= 256): v = q^2 points, blocks
+/// of size q, lambda = 1, b = q^2+q, r = q+1. Resolvable -- the returned
+/// design carries a parallel-class certificate (q slope classes plus the
+/// verticals) checked by verify().
 Design affine_plane(std::size_t q);
 
 /// Bose's Steiner triple system for v = 6t+3: (v, 3, 1).
@@ -47,5 +51,22 @@ std::optional<Design> cyclic_difference_family(std::size_t v, std::size_t k);
 /// fallback; block count grows binomially, so callers should prefer the
 /// structured constructions.
 Design complete_design(std::size_t v, std::size_t k);
+
+/// Supplies the (v', k, 1) sub-designs a composition needs; returning
+/// nullopt makes the composition fail cleanly. The registry passes
+/// find_design here, closing the recursion.
+using SubDesignFinder =
+    std::function<std::optional<Design>(std::size_t v, std::size_t k)>;
+
+/// PBD-style fill-in composition for awkward v: writes v = k*n (or k*n + 1
+/// with a shared infinity point), lays a resolvable transversal design
+/// TD(k, n) across k groups of n points to cover every cross-group pair
+/// exactly once, then fills each group (plus infinity, in the pointed case)
+/// with a smaller (n, k, 1) or (n+1, k, 1) design from `sub`. Requires every
+/// prime-power factor of n to be >= k (MacNeish's bound for the TD) and the
+/// sub-design to exist; returns nullopt otherwise. Examples: (52,4,1) from
+/// TD(4,13) + PG(2,3), (64,4,1) from TD(4,16) + AG(2,4).
+std::optional<Design> composed_design(std::size_t v, std::size_t k,
+                                      const SubDesignFinder& sub);
 
 }  // namespace oi::bibd

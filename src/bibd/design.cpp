@@ -74,6 +74,36 @@ std::string verify(const Design& design) {
       }
     }
   }
+
+  if (!design.parallel_classes.empty()) {
+    if (design.parallel_classes.size() != design.blocks.size()) {
+      err << "resolution certificate labels " << design.parallel_classes.size()
+          << " blocks, design has " << design.blocks.size();
+      return err.str();
+    }
+    const std::size_t classes =
+        1 + *std::max_element(design.parallel_classes.begin(),
+                              design.parallel_classes.end());
+    if (classes != r) {
+      err << "resolution has " << classes << " parallel classes, expected r=" << r;
+      return err.str();
+    }
+    // Each class must partition the points: count per (class, point) == 1.
+    std::vector<std::size_t> coverage(classes * design.v, 0);
+    for (std::size_t bi = 0; bi < design.blocks.size(); ++bi) {
+      const std::size_t cls = design.parallel_classes[bi];
+      for (std::size_t point : design.blocks[bi]) ++coverage[cls * design.v + point];
+    }
+    for (std::size_t cls = 0; cls < classes; ++cls) {
+      for (std::size_t p = 0; p < design.v; ++p) {
+        if (coverage[cls * design.v + p] != 1) {
+          err << "parallel class " << cls << " covers point " << p << " "
+              << coverage[cls * design.v + p] << " times";
+          return err.str();
+        }
+      }
+    }
+  }
   return {};
 }
 

@@ -19,16 +19,28 @@ struct Design {
   std::string origin;      ///< human-readable construction name
   std::vector<std::vector<std::size_t>> blocks;  ///< each sorted, size k
 
+  /// Resolvability certificate, when the construction provides one:
+  /// parallel_classes[i] is the class of blocks[i], and each class's blocks
+  /// partition the point set (so there are exactly r classes of v/k blocks).
+  /// Empty means "no certificate", not "not resolvable". Resolvable outer
+  /// designs let an array grow or rebuild one parallel class at a time with
+  /// every group touched exactly once per class.
+  std::vector<std::size_t> parallel_classes;
+
   /// Number of blocks.
   std::size_t b() const { return blocks.size(); }
   /// Replication number r = lambda * (v-1) / (k-1); every point lies in
   /// exactly r blocks. Valid only for a verified design.
   std::size_t r() const;
+  /// True when a resolution certificate is attached.
+  bool resolvable() const { return !parallel_classes.empty(); }
 };
 
 /// Full structural check: block sizes, point range, sortedness/uniqueness,
 /// every pair covered exactly lambda times, every point in exactly r blocks,
-/// and the counting identities b*k = v*r, r*(k-1) = lambda*(v-1).
+/// and the counting identities b*k = v*r, r*(k-1) = lambda*(v-1). When a
+/// resolution certificate is present, additionally checks that each parallel
+/// class partitions the point set.
 /// Returns an empty string when valid, otherwise a description of the first
 /// violation found.
 std::string verify(const Design& design);

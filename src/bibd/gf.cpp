@@ -1,0 +1,178 @@
+#include "bibd/gf.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace oi::bibd {
+namespace {
+
+// Polynomials over GF(p) encoded base-p: digit i of the value is the
+// coefficient of x^i. All arithmetic below is on these encodings.
+std::vector<std::size_t> digits(std::size_t value, std::size_t p) {
+  std::vector<std::size_t> out;
+  while (value != 0) {
+    out.push_back(value % p);
+    value /= p;
+  }
+  return out;
+}
+
+std::size_t encode(const std::vector<std::size_t>& coeffs, std::size_t p) {
+  std::size_t value = 0;
+  for (std::size_t i = coeffs.size(); i > 0; --i) value = value * p + coeffs[i - 1];
+  return value;
+}
+
+// (a * b) mod modulus, all monic-or-lower polynomials encoded base-p.
+// modulus must be monic of degree e; the result has degree < e.
+std::size_t poly_mul_mod(std::size_t a, std::size_t b, std::size_t modulus,
+                         std::size_t p, std::size_t e) {
+  const auto da = digits(a, p);
+  const auto db = digits(b, p);
+  std::vector<std::size_t> prod(da.size() + db.size(), 0);
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    for (std::size_t j = 0; j < db.size(); ++j) {
+      prod[i + j] = (prod[i + j] + da[i] * db[j]) % p;
+    }
+  }
+  // Reduce: modulus is monic, so x^e = -(low-degree part of modulus).
+  const auto dm = digits(modulus, p);
+  for (std::size_t deg = prod.size(); deg-- > e;) {
+    const std::size_t coef = prod[deg];
+    if (coef == 0) continue;
+    prod[deg] = 0;
+    for (std::size_t i = 0; i < e; ++i) {
+      const std::size_t sub = coef * dm[i] % p;
+      prod[deg - e + i] = (prod[deg - e + i] + p - sub) % p;
+    }
+  }
+  prod.resize(e);
+  return encode(prod, p);
+}
+
+// A monic degree-e polynomial (encoded including its leading p^e digit) is
+// irreducible iff no monic polynomial of degree 1..e/2 divides it. At these
+// orders trial multiplication is cheaper to verify than division: f is
+// reducible iff it has a root (degree-1 factor) or factors g*h with
+// deg g <= e/2; we test by checking gcd-style via remainders using the same
+// digit arithmetic. Simpler still: f of degree e is irreducible over GF(p)
+// iff no product of two monic polynomials of degrees d and e-d (1 <= d <=
+// e/2) equals it; we search divisors directly with polynomial long division.
+bool divides(std::size_t divisor, std::size_t f, std::size_t p) {
+  auto rem = digits(f, p);
+  const auto dd = digits(divisor, p);
+  const std::size_t dd_deg = dd.size() - 1;
+  // Long division; divisor is monic.
+  while (rem.size() > dd_deg && !(rem.size() == 1 && rem[0] == 0)) {
+    while (!rem.empty() && rem.back() == 0) rem.pop_back();
+    if (rem.size() <= dd_deg) break;
+    const std::size_t shift = rem.size() - 1 - dd_deg;
+    const std::size_t coef = rem.back();
+    for (std::size_t i = 0; i < dd.size(); ++i) {
+      const std::size_t sub = coef * dd[i] % p;
+      rem[shift + i] = (rem[shift + i] + p - sub) % p;
+    }
+  }
+  while (!rem.empty() && rem.back() == 0) rem.pop_back();
+  return rem.empty();
+}
+
+std::size_t find_irreducible(std::size_t p, std::size_t e) {
+  const std::size_t qe = [&] {
+    std::size_t v = 1;
+    for (std::size_t i = 0; i < e; ++i) v *= p;
+    return v;
+  }();
+  // Candidates: monic degree-e polys, i.e. encodings in [p^e, 2*p^e) with
+  // leading digit 1. Scan in encoding order for determinism.
+  for (std::size_t candidate = qe; candidate < 2 * qe; ++candidate) {
+    bool reducible = false;
+    // Enough to test monic divisors of degree 1..e/2.
+    for (std::size_t ddeg = 1; !reducible && 2 * ddeg <= e; ++ddeg) {
+      std::size_t lo = 1;
+      for (std::size_t i = 0; i < ddeg; ++i) lo *= p;
+      for (std::size_t div = lo; div < 2 * lo; ++div) {
+        if (divides(div, candidate, p)) {
+          reducible = true;
+          break;
+        }
+      }
+    }
+    if (!reducible) return candidate;
+  }
+  throw std::logic_error("no irreducible polynomial found (impossible)");
+}
+
+}  // namespace
+
+bool SmallField::is_prime_power(std::size_t q, std::size_t* p_out,
+                                std::size_t* e_out) {
+  if (q < 2) return false;
+  for (std::size_t p = 2; p * p <= q; ++p) {
+    if (q % p != 0) continue;
+    std::size_t rest = q;
+    std::size_t e = 0;
+    while (rest % p == 0) {
+      rest /= p;
+      ++e;
+    }
+    if (rest != 1) return false;
+    if (p_out) *p_out = p;
+    if (e_out) *e_out = e;
+    return true;
+  }
+  // q itself is prime.
+  if (p_out) *p_out = q;
+  if (e_out) *e_out = 1;
+  return true;
+}
+
+SmallField::SmallField(std::size_t q) : q_(q) {
+  if (!is_prime_power(q, &p_, &e_) || q > kMaxOrder) {
+    throw std::invalid_argument("SmallField requires a prime power order <= " +
+                                std::to_string(kMaxOrder) + ", got " +
+                                std::to_string(q));
+  }
+  add_.resize(q * q);
+  mul_.resize(q * q);
+  neg_.resize(q);
+  if (e_ == 1) {
+    for (std::size_t a = 0; a < q; ++a) {
+      neg_[a] = (q - a) % q;
+      for (std::size_t b = 0; b < q; ++b) {
+        add_[a * q + b] = (a + b) % q;
+        mul_[a * q + b] = a * b % q;
+      }
+    }
+    return;
+  }
+  const std::size_t modulus = find_irreducible(p_, e_);
+  for (std::size_t a = 0; a < q; ++a) {
+    // Addition is digit-wise mod p; negation likewise.
+    const auto da = digits(a, p_);
+    std::vector<std::size_t> dn(da.size());
+    for (std::size_t i = 0; i < da.size(); ++i) dn[i] = (p_ - da[i]) % p_;
+    neg_[a] = encode(dn, p_);
+    for (std::size_t b = 0; b < q; ++b) {
+      const auto db = digits(b, p_);
+      std::vector<std::size_t> sum(std::max(da.size(), db.size()), 0);
+      for (std::size_t i = 0; i < sum.size(); ++i) {
+        const std::size_t ai = i < da.size() ? da[i] : 0;
+        const std::size_t bi = i < db.size() ? db[i] : 0;
+        sum[i] = (ai + bi) % p_;
+      }
+      add_[a * q + b] = encode(sum, p_);
+      mul_[a * q + b] = poly_mul_mod(a, b, modulus, p_, e_);
+    }
+  }
+}
+
+std::size_t SmallField::inv(std::size_t a) const {
+  if (a == 0) throw std::invalid_argument("SmallField::inv(0)");
+  for (std::size_t b = 1; b < q_; ++b) {
+    if (mul(a, b) == 1) return b;
+  }
+  throw std::logic_error("field element has no inverse (impossible)");
+}
+
+}  // namespace oi::bibd

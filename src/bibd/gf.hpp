@@ -1,0 +1,48 @@
+// Small finite fields GF(p^e) for the design constructions. The codec layer
+// has a specialized GF(256); this one trades speed for generality -- any
+// prime-power order up to kMaxOrder, with full add/mul tables built once at
+// construction -- which is what the projective/affine planes and transversal
+// designs need to cover orders like 4, 8, 9, 16, 25, 27, 32.
+//
+// Elements are encoded as integers in [0, q): the base-p digits of the value
+// are the coefficients of a polynomial over GF(p), reduced modulo a monic
+// irreducible polynomial of degree e found by exhaustive search (cheap at
+// these orders, and deterministic: the lexicographically smallest one wins,
+// so element encodings are stable across runs).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace oi::bibd {
+
+class SmallField {
+ public:
+  static constexpr std::size_t kMaxOrder = 256;
+
+  /// True iff q = p^e for a prime p and e >= 1. Outputs p and e when asked.
+  static bool is_prime_power(std::size_t q, std::size_t* p = nullptr,
+                             std::size_t* e = nullptr);
+
+  /// Throws std::invalid_argument unless q is a prime power <= kMaxOrder.
+  explicit SmallField(std::size_t q);
+
+  std::size_t order() const { return q_; }
+  std::size_t characteristic() const { return p_; }
+  std::size_t degree() const { return e_; }
+
+  std::size_t add(std::size_t a, std::size_t b) const { return add_[a * q_ + b]; }
+  std::size_t sub(std::size_t a, std::size_t b) const { return add(a, neg(b)); }
+  std::size_t neg(std::size_t a) const { return neg_[a]; }
+  std::size_t mul(std::size_t a, std::size_t b) const { return mul_[a * q_ + b]; }
+  /// Multiplicative inverse; a must be nonzero.
+  std::size_t inv(std::size_t a) const;
+
+ private:
+  std::size_t q_ = 0, p_ = 0, e_ = 0;
+  std::vector<std::size_t> add_;  ///< q*q addition table
+  std::vector<std::size_t> mul_;  ///< q*q multiplication table
+  std::vector<std::size_t> neg_;  ///< additive inverses
+};
+
+}  // namespace oi::bibd

@@ -3,34 +3,37 @@
 #include <cmath>
 
 #include "bibd/constructions.hpp"
+#include "bibd/gf.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
 namespace oi::bibd {
 namespace {
 
-bool is_prime(std::size_t n) {
-  if (n < 2) return false;
-  for (std::size_t d = 2; d * d <= n; ++d) {
-    if (n % d == 0) return false;
-  }
-  return true;
+bool plane_order(std::size_t q) {
+  return SmallField::is_prime_power(q) && q <= SmallField::kMaxOrder;
 }
 
 std::optional<std::size_t> projective_order(std::size_t v, std::size_t k) {
-  // v = q^2 + q + 1 and k = q + 1 for prime q.
+  // v = q^2 + q + 1 and k = q + 1 for prime-power q.
   if (k < 3) return std::nullopt;
   const std::size_t q = k - 1;
-  if (!is_prime(q)) return std::nullopt;
+  if (!plane_order(q)) return std::nullopt;
   if (q * q + q + 1 != v) return std::nullopt;
   return q;
 }
 
 std::optional<std::size_t> affine_order(std::size_t v, std::size_t k) {
-  // v = q^2 and k = q for prime q.
-  if (!is_prime(k)) return std::nullopt;
+  // v = q^2 and k = q for prime-power q.
+  if (!plane_order(k)) return std::nullopt;
   if (k * k != v) return std::nullopt;
   return k;
+}
+
+/// The two counting conditions every (v, k, 1) BIBD must satisfy; used to
+/// prune the sweep in known_parameters before paying for find_design.
+bool admissible(std::size_t v, std::size_t k) {
+  return (v - 1) % (k - 1) == 0 && v * (v - 1) % (k * (k - 1)) == 0;
 }
 
 }  // namespace
@@ -38,15 +41,35 @@ std::optional<std::size_t> affine_order(std::size_t v, std::size_t k) {
 std::optional<Design> find_design(std::size_t v, std::size_t k, FindOptions options) {
   OI_ENSURE(k >= 2, "find_design needs k >= 2");
   OI_ENSURE(v >= k, "find_design needs v >= k");
+  // Stage 1-2: field planes. Exact parameter matches, cannot fail.
   if (projective_order(v, k)) return projective_plane(*projective_order(v, k));
   if (affine_order(v, k)) return affine_plane(*affine_order(v, k));
+  // Stage 3: Steiner triple systems, constructive for every admissible order.
   if (k == 3 && v % 6 == 3 && v >= 9) return bose_steiner_triple(v);
   if (k == 3 && v % 6 == 1 && v >= 7) return skolem_steiner_triple(v);
-  if (v % (k * (k - 1)) == 1) {
+  // Stage 4: budgeted difference-family search; log and fall through on
+  // exhaustion so exotic (v, k) still reach the later stages.
+  if (options.allow_search && v % (k * (k - 1)) == 1) {
     if (auto design = cyclic_difference_family(v, k)) return design;
-    OI_LOG_WARN << "difference-family search failed for v=" << v << " k=" << k;
+    OI_LOG_WARN << "difference-family search failed for v=" << v << " k=" << k
+                << "; falling through to composition";
   }
+  // Stage 5: TD + fill-in composition, recursing for the group sub-design.
+  // The recursion never re-enters the complete-design fallback: a lambda > 1
+  // fill would break the composed pair count.
+  if (options.allow_composed && v > k) {
+    FindOptions sub_options = options;
+    sub_options.allow_complete = false;
+    if (auto design = composed_design(v, k, [&](std::size_t sub_v, std::size_t sub_k) {
+          return find_design(sub_v, sub_k, sub_options);
+        })) {
+      return design;
+    }
+    OI_LOG_DEBUG << "no composition for v=" << v << " k=" << k;
+  }
+  // Stage 6: complete design (lambda > 1), strictly opt-in.
   if (options.allow_complete) return complete_design(v, k);
+  OI_LOG_DEBUG << "find_design exhausted every stage for v=" << v << " k=" << k;
   return std::nullopt;
 }
 
@@ -54,10 +77,7 @@ std::vector<std::pair<std::size_t, std::size_t>> known_parameters(std::size_t v_
                                                                   std::size_t k) {
   std::vector<std::pair<std::size_t, std::size_t>> params;
   for (std::size_t v = k + 1; v <= v_max; ++v) {
-    const bool fisher_ok = v % (k * (k - 1)) == 1 || (k == 3 && v % 6 == 3) ||
-                           projective_order(v, k).has_value() ||
-                           affine_order(v, k).has_value();
-    if (!fisher_ok) continue;
+    if (!admissible(v, k)) continue;
     if (find_design(v, k)) params.emplace_back(v, k);
   }
   return params;
@@ -70,6 +90,8 @@ std::vector<Design> standard_catalog() {
   if (auto d = cyclic_difference_family(13, 3)) catalog.push_back(*d);  // r=6
   catalog.push_back(bose_steiner_triple(15));              // (15,3,1) r=7
   catalog.push_back(projective_plane(3));                  // (13,4,1) r=4
+  catalog.push_back(affine_plane(4));                      // (16,4,1) r=5, GF(4)
+  catalog.push_back(projective_plane(4));                  // (21,5,1) r=5, GF(4)
   if (auto d = cyclic_difference_family(25, 3)) catalog.push_back(*d);
   catalog.push_back(affine_plane(5));                      // (25,5,1) r=6
   catalog.push_back(projective_plane(5));                  // (31,6,1) r=6

@@ -1,6 +1,6 @@
 // Lookup layer: given (v, k), pick a construction that yields a lambda = 1
 // BIBD, preferring the structured families over search and search over the
-// complete-design fallback.
+// composition / complete-design fallbacks.
 #pragma once
 
 #include <cstddef>
@@ -16,11 +16,32 @@ struct FindOptions {
   /// Allow falling back to the complete design (lambda > 1, binomially many
   /// blocks). Off by default because OI-RAID wants lambda = 1.
   bool allow_complete = false;
+  /// Allow the budgeted cyclic difference-family backtracking search. On by
+  /// default; turn off to keep find_design strictly constructive (bounded
+  /// time) for latency-sensitive callers.
+  bool allow_search = true;
+  /// Allow the TD + fill-in composition, which recurses into find_design for
+  /// the per-group sub-design. On by default.
+  bool allow_composed = true;
 };
 
-/// Finds a (v, k, 1) BIBD. Tries, in order: projective plane, affine plane,
-/// Bose STS, cyclic difference family, then (optionally) the complete
-/// design. Returns nullopt if nothing applies.
+/// Finds a (v, k, 1) BIBD. The fallback order is fixed and every
+/// inapplicable-or-failed stage logs and falls through to the next:
+///
+///   1. projective plane PG(2, k-1)        when v = (k-1)^2 + (k-1) + 1 and
+///                                         k-1 is a prime power
+///   2. affine plane AG(2, k)              when v = k^2 and k is a prime power
+///   3. Steiner triple system (Bose/Skolem) when k = 3 and v = 3 or 1 (mod 6)
+///   4. cyclic difference-family search    when v = 1 (mod k(k-1)); budgeted,
+///                                         so it can fail and fall through
+///   5. TD + fill-in composition           when v = k*n or k*n + 1 and the
+///                                         pieces exist (recursive)
+///   6. complete design                    only with options.allow_complete
+///                                         (lambda > 1)
+///
+/// Returns nullopt when every stage is inapplicable or fails -- e.g. exotic
+/// (v, k) like (365, 3) that violate the necessary divisibility conditions,
+/// or admissible parameters none of the implemented families reach.
 std::optional<Design> find_design(std::size_t v, std::size_t k, FindOptions options = {});
 
 /// The admissible (v, k) pairs with v <= v_max for which find_design is

@@ -3,9 +3,11 @@
 #include <algorithm>
 
 #include "codes/gf256.hpp"
+#include "layout/concurrency_map.hpp"
 #include "layout/stripe_map.hpp"
 #include "util/assert.hpp"
 #include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
 
 namespace oi::core {
 namespace {
@@ -488,6 +490,45 @@ std::string Array::scrub() const {
     }
   }
   return {};
+}
+
+std::string Array::scrub(ThreadPool& pool) const {
+  const layout::StripeMap& map = layout_->stripe_map();
+  const layout::ConcurrencyMap& domains = layout_->concurrency_map();
+  // Shards sweep whole domains; the winner is the smallest failing relation
+  // id (= the relation the sequential scrub would have reported first).
+  std::atomic<std::uint32_t> first_bad{map.relations()};
+  pool.parallel_for(0, domains.domains(), [&](std::size_t domain) {
+    std::vector<std::uint8_t> acc(strip_bytes_);
+    std::vector<std::uint8_t> scratch;
+    for (const std::uint32_t rel : domains.domain_relations(domain)) {
+      if (map.relation_kind(rel) == layout::RelationKind::kOuterComposite) continue;
+      const auto members = map.relation_members(rel);
+      if (std::any_of(members.begin(), members.end(), [&](std::uint32_t m) {
+            return !available(map.strip_loc(m));
+          })) {
+        continue;
+      }
+      std::fill(acc.begin(), acc.end(), 0);
+      for (const std::uint32_t member : members) {
+        xor_strip(map.strip_loc(member), acc, scratch);
+      }
+      if (metrics::enabled()) ArrayMetrics::get().scrub_relations.increment();
+      if (std::any_of(acc.begin(), acc.end(), [](std::uint8_t b) { return b != 0; })) {
+        std::uint32_t seen = first_bad.load(std::memory_order_relaxed);
+        while (rel < seen &&
+               !first_bad.compare_exchange_weak(seen, rel,
+                                                std::memory_order_relaxed)) {
+        }
+      }
+    }
+  });
+  const std::uint32_t bad = first_bad.load();
+  if (bad == map.relations()) return {};
+  if (metrics::enabled()) ArrayMetrics::get().scrub_errors.increment();
+  const layout::StripLoc first = map.strip_loc(map.relation_members(bad).front());
+  return "relation starting at disk=" + std::to_string(first.disk) +
+         " offset=" + std::to_string(first.offset) + " does not XOR to zero";
 }
 
 }  // namespace oi::core

@@ -180,6 +180,14 @@ class Array {
   /// or a description of the first violation.
   std::string scrub() const;
 
+  /// scrub() with the relation sweep sharded across `pool` by lock domain
+  /// (relations never cross ConcurrencyMap domains). Verifies the same
+  /// relations and reports the same first violation as the sequential scrub
+  /// -- shards keep scanning until done, then the smallest failing relation
+  /// id wins -- so the result string is deterministic regardless of thread
+  /// count.
+  std::string scrub(ThreadPool& pool) const;
+
   /// Fault injection for testing and fire drills: flips bits of a physical
   /// strip behind the parity machinery's back (silent corruption, as a
   /// misdirected write or bit rot would). scrub() will flag it.

@@ -73,6 +73,11 @@ WritePlan CodedFlatLayout::small_write_plan(std::size_t logical) const {
   return plan;
 }
 
+std::optional<std::vector<RecoveryStep>> CodedFlatLayout::recovery_plan_parallel(
+    const std::vector<std::size_t>& failed_disks, ThreadPool&) const {
+  return recovery_plan(failed_disks);
+}
+
 std::optional<std::vector<RecoveryStep>> CodedFlatLayout::recovery_plan(
     const std::vector<std::size_t>& failed_disks) const {
   std::set<std::size_t> failed(failed_disks.begin(), failed_disks.end());

@@ -42,6 +42,12 @@ class CodedFlatLayout final : public Layout {
   std::optional<std::vector<RecoveryStep>> recovery_plan(
       const std::vector<std::size_t>& failed_disks) const override;
 
+  /// The MDS planner above is not peeling-based, so the parallel entry
+  /// point defers to it instead of the sharded peeler.
+  std::optional<std::vector<RecoveryStep>> recovery_plan_parallel(
+      const std::vector<std::size_t>& failed_disks,
+      ThreadPool& pool) const override;
+
   const codes::ErasureCode& code() const { return *code_; }
 
  private:

@@ -58,6 +58,24 @@ ConcurrencyMap::ConcurrencyMap(const StripeMap& map) {
   for (std::uint32_t s = 0; s < strips; ++s) {
     strips_[cursor[domain_of_[s]]++] = s;
   }
+
+  // Relation CSR, same counting sort: a relation lives in its members'
+  // (shared) domain. Ascending relation ids within each domain, so sharded
+  // sweeps visit relations in the same order the sequential ones do.
+  const auto rels = static_cast<std::uint32_t>(map.relations());
+  rel_domain_of_.resize(rels);
+  rel_begin_.assign(next + 1, 0);
+  for (std::uint32_t rel = 0; rel < rels; ++rel) {
+    const std::uint32_t d = domain_of_[map.relation_members(rel).front()];
+    rel_domain_of_[rel] = d;
+    ++rel_begin_[d + 1];
+  }
+  for (std::uint32_t d = 0; d < next; ++d) rel_begin_[d + 1] += rel_begin_[d];
+  relations_.resize(rels);
+  cursor.assign(rel_begin_.begin(), rel_begin_.end() - 1);
+  for (std::uint32_t rel = 0; rel < rels; ++rel) {
+    relations_[cursor[rel_domain_of_[rel]]++] = rel;
+  }
 }
 
 }  // namespace oi::layout

@@ -58,10 +58,26 @@ class ConcurrencyMap {
   /// Size of the biggest domain -- the concurrency-limiting granule.
   std::size_t largest_domain() const { return largest_domain_; }
 
+  /// Domain of a canonical relation (all of a relation's members share one
+  /// domain by construction, so this is single-valued).
+  std::uint32_t domain_of_relation(std::uint32_t rel) const {
+    return rel_domain_of_[rel];
+  }
+
+  /// Canonical relation ids of one domain, ascending. The sharded planner
+  /// and scrub partition their sweeps along these.
+  std::span<const std::uint32_t> domain_relations(std::uint32_t domain) const {
+    return {relations_.data() + rel_begin_[domain],
+            relations_.data() + rel_begin_[domain + 1]};
+  }
+
  private:
   std::vector<std::uint32_t> domain_of_;     ///< strip id -> domain id
   std::vector<std::uint32_t> domain_begin_;  ///< CSR offsets into strips_
   std::vector<std::uint32_t> strips_;        ///< strip ids grouped by domain
+  std::vector<std::uint32_t> rel_domain_of_; ///< relation id -> domain id
+  std::vector<std::uint32_t> rel_begin_;     ///< CSR offsets into relations_
+  std::vector<std::uint32_t> relations_;     ///< relation ids grouped by domain
   std::size_t largest_domain_ = 0;
 };
 

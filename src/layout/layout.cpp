@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "layout/concurrency_map.hpp"
+#include "layout/sharded_plan.hpp"
 #include "layout/stripe_map.hpp"
 #include "util/assert.hpp"
 
@@ -34,6 +35,12 @@ const ConcurrencyMap& Layout::concurrency_map() const {
 std::optional<std::vector<RecoveryStep>> Layout::recovery_plan(
     const std::vector<std::size_t>& failed_disks) const {
   return plan_by_peeling(stripe_map(), failed_disks);
+}
+
+std::optional<std::vector<RecoveryStep>> Layout::recovery_plan_parallel(
+    const std::vector<std::size_t>& failed_disks, ThreadPool& pool) const {
+  return plan_by_peeling_sharded(stripe_map(), concurrency_map(), pool,
+                                 failed_disks);
 }
 
 double Layout::data_fraction() const {

@@ -23,6 +23,10 @@
 #include <string>
 #include <vector>
 
+namespace oi {
+class ThreadPool;
+}  // namespace oi
+
 namespace oi::layout {
 
 class StripeMap;
@@ -135,6 +139,13 @@ class Layout {
   /// plan_by_peeling.
   virtual std::optional<std::vector<RecoveryStep>> recovery_plan(
       const std::vector<std::size_t>& failed_disks) const;
+
+  /// recovery_plan with plan construction sharded across `pool` by lock
+  /// domain (layout/sharded_plan.hpp). The returned plan is byte-identical
+  /// to recovery_plan's; layouts that override recovery_plan with a
+  /// non-peeling planner also override this to stay consistent.
+  virtual std::optional<std::vector<RecoveryStep>> recovery_plan_parallel(
+      const std::vector<std::size_t>& failed_disks, ThreadPool& pool) const;
 
   std::size_t total_strips() const { return disks() * strips_per_disk(); }
   /// data_strips / total_strips.

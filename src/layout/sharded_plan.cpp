@@ -1,0 +1,133 @@
+#include "layout/sharded_plan.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace oi::layout {
+
+std::optional<std::vector<RecoveryStep>> plan_by_peeling_sharded(
+    const StripeMap& map, const ConcurrencyMap& domains, ThreadPool& pool,
+    const std::vector<std::size_t>& failed_disks, bool prefer_outer) {
+  const std::size_t strips = map.strips_per_disk();
+  for (std::size_t disk : failed_disks) {
+    OI_ENSURE(disk < map.disks(), "failed disk id out of range");
+  }
+  const std::set<std::size_t> failed(failed_disks.begin(), failed_disks.end());
+  OI_ENSURE(failed.size() == failed_disks.size(), "duplicate failed disk ids");
+
+  std::vector<char> failed_disk(map.disks(), 0);
+  for (std::size_t disk : failed) failed_disk[disk] = 1;
+
+  // Global pending order, identical to the sequential planner: failed disks
+  // ascending, offsets ascending. Plans are tagged with indices into this.
+  std::vector<std::uint32_t> pending;
+  pending.reserve(failed.size() * strips);
+  for (std::size_t disk : failed) {
+    for (std::size_t offset = 0; offset < strips; ++offset) {
+      pending.push_back(map.strip_id({disk, offset}));
+    }
+  }
+  if (pending.empty()) return std::vector<RecoveryStep>{};
+
+  // Shard by lock domain: sort pending *indices* by (domain, index) so each
+  // shard is a contiguous run whose indices stay in global pending order.
+  std::vector<std::uint32_t> order(pending.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const std::uint32_t da = domains.domain_of(pending[a]);
+    const std::uint32_t db = domains.domain_of(pending[b]);
+    return da != db ? da < db : a < b;
+  });
+  std::vector<std::size_t> shard_begin{0};
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (domains.domain_of(pending[order[i]]) !=
+        domains.domain_of(pending[order[i - 1]])) {
+      shard_begin.push_back(i);
+    }
+  }
+  shard_begin.push_back(order.size());
+  const std::size_t shards = shard_begin.size() - 1;
+
+  // Shared across shards: rebuilt[] is only ever written for strips of the
+  // writing shard's own domain (relation members never leave the domain), so
+  // distinct shards touch distinct elements.
+  std::vector<char> rebuilt(map.total_strips(), 0);
+  std::vector<std::uint32_t> step_round(pending.size(), 0);
+  std::vector<RecoveryStep> steps(pending.size());
+  std::atomic<bool> unrecoverable{false};
+
+  pool.parallel_for(0, shards, [&](std::size_t shard) {
+    if (unrecoverable.load(std::memory_order_relaxed)) return;
+    // Local pending list: global indices, ascending (= subsequence of the
+    // global pending order). The loop below is the sequential planner's,
+    // restricted to this domain.
+    std::vector<std::uint32_t> local(order.begin() + shard_begin[shard],
+                                     order.begin() + shard_begin[shard + 1]);
+    auto available = [&](std::uint32_t id) {
+      return !failed_disk[map.disk_of(id)] || rebuilt[id];
+    };
+
+    std::uint32_t round = 0;
+    bool progress = true;
+    while (!local.empty() && progress) {
+      progress = false;
+      std::vector<std::uint32_t> still_pending;
+      still_pending.reserve(local.size());
+      for (const std::uint32_t index : local) {
+        const std::uint32_t lost = pending[index];
+        const auto occs =
+            prefer_outer ? map.preferred_occurrences(lost) : map.occurrences(lost);
+        OI_ASSERT(!occs.empty(), "every strip must belong to a relation");
+        bool planned = false;
+        for (const std::uint32_t occ : occs) {
+          const auto members = map.occurrence_members(occ);
+          std::vector<StripLoc> reads;
+          reads.reserve(members.size() - 1);
+          bool ready = true;
+          for (const std::uint32_t member : members) {
+            if (member == lost) continue;
+            if (!available(member)) {
+              ready = false;
+              break;
+            }
+            reads.push_back(map.strip_loc(member));
+          }
+          if (!ready) continue;
+          OI_ASSERT(reads.size() + 1 == members.size(),
+                    "lost strip must be in relation");
+          step_round[index] = round;
+          steps[index] = {map.strip_loc(lost), std::move(reads)};
+          rebuilt[lost] = 1;
+          planned = true;
+          progress = true;
+          break;
+        }
+        if (!planned) still_pending.push_back(index);
+      }
+      local = std::move(still_pending);
+      ++round;
+    }
+    if (!local.empty()) unrecoverable.store(true, std::memory_order_relaxed);
+  });
+  if (unrecoverable.load()) return std::nullopt;
+
+  // Merge: the sequential planner emits round by round, pending order within
+  // each round. A stable sort of the indices by round reproduces exactly
+  // that sequence.
+  std::vector<std::uint32_t> merged(pending.size());
+  std::iota(merged.begin(), merged.end(), 0u);
+  std::stable_sort(merged.begin(), merged.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return step_round[a] < step_round[b];
+                   });
+  std::vector<RecoveryStep> plan;
+  plan.reserve(pending.size());
+  for (const std::uint32_t index : merged) plan.push_back(std::move(steps[index]));
+  return plan;
+}
+
+}  // namespace oi::layout

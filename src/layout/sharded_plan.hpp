@@ -1,0 +1,30 @@
+// Sharded rebuild planning. Relations never cross ConcurrencyMap domains,
+// so the peeling planner's state for a lost strip depends only on its own
+// domain: the global sequential sweep and a per-domain sweep make identical
+// decisions in identical rounds. That lets plan construction fan out across
+// a ThreadPool by lock-domain shard and still merge back into the *exact*
+// sequence the sequential planner emits -- within a round the sequential
+// planner appends steps in pending order, so tagging every sharded step with
+// (round, global pending index) and ordering by that pair reconstructs the
+// plan byte for byte. The equivalence is enforced by tests across the
+// geometry sweep and at v >= 1000.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "layout/concurrency_map.hpp"
+#include "layout/stripe_map.hpp"
+#include "util/thread_pool.hpp"
+
+namespace oi::layout {
+
+/// Sharded equivalent of plan_by_peeling(map, failed_disks, prefer_outer):
+/// same plan (same step order, same read order) or the same nullopt, with
+/// per-domain peeling running on `pool`. Near-linear scaling in threads for
+/// large arrays, where the lost strips spread over many independent domains.
+std::optional<std::vector<RecoveryStep>> plan_by_peeling_sharded(
+    const StripeMap& map, const ConcurrencyMap& domains, ThreadPool& pool,
+    const std::vector<std::size_t>& failed_disks, bool prefer_outer = true);
+
+}  // namespace oi::layout

@@ -1,26 +1,61 @@
 #include "layout/stripe_map.hpp"
 
 #include <algorithm>
-#include <map>
 #include <set>
 #include <sstream>
+#include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "util/assert.hpp"
 
 namespace oi::layout {
+namespace {
+
+// Intern key: a member sequence together with its relation kind (the kind is
+// part of the canonical identity, so an inner and a composite relation over
+// the same strips never share a list).
+struct ListKey {
+  int kind;
+  std::vector<std::uint32_t> members;
+
+  bool operator==(const ListKey& other) const = default;
+};
+
+struct ListKeyHash {
+  std::size_t operator()(const ListKey& key) const {
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+    auto mix = [&h](std::uint64_t value) {
+      h ^= value;
+      h *= 1099511628211ull;
+    };
+    mix(static_cast<std::uint64_t>(key.kind));
+    for (const std::uint32_t m : key.members) mix(m);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
 
 StripeMap::StripeMap(const Layout& layout)
     : disks_(layout.disks()),
       strips_per_disk_(layout.strips_per_disk()),
       fault_tolerance_(layout.fault_tolerance()),
       xor_semantics_(layout.xor_semantics()) {
+  OI_ENSURE(strips_per_disk_ >= 1 && strips_per_disk_ < (1u << 31),
+            "strips_per_disk out of range");
   const std::size_t total = disks_ * strips_per_disk_;
-  strips_.resize(total);
+  OI_ENSURE(total < UINT32_MAX, "strip ids must fit in 32 bits");
+  spd_div_ = util::FastDiv32(static_cast<std::uint32_t>(strips_per_disk_));
+
+  role_.resize(total);
+  logical_.resize(total);
   for (std::size_t disk = 0; disk < disks_; ++disk) {
     for (std::size_t offset = 0; offset < strips_per_disk_; ++offset) {
       const StripLoc loc{disk, offset};
-      strips_[strip_id(loc)] = layout.inspect(loc);
+      const StripInfo info = layout.inspect(loc);
+      role_[strip_id(loc)] = static_cast<std::uint8_t>(info.role);
+      logical_[strip_id(loc)] = static_cast<std::uint32_t>(info.logical);
     }
   }
   locate_.resize(layout.data_strips());
@@ -31,17 +66,19 @@ StripeMap::StripeMap(const Layout& layout)
     locate_[logical] = strip_id(loc);
   }
 
-  // One relations_of per strip; canonical dedup by (kind, sorted members).
-  std::map<std::pair<int, std::vector<std::uint32_t>>, std::uint32_t> canonical;
-  occ_begin_.assign(total + 1, 0);
-  occ_members_begin_.push_back(0);
+  // One relations_of per strip. The sorted member sequence is the canonical
+  // relation identity and is stored exactly once; when the reported order
+  // differs from sorted (composite relations, which lead with the covered
+  // parity strip), the occurrence carries an interned byte permutation that
+  // restores it.
+  std::unordered_map<ListKey, std::uint32_t, ListKeyHash> intern;
+  std::unordered_map<std::string, std::uint32_t> perm_intern;
   rel_begin_.push_back(0);
+
+  occ_begin_.assign(total + 1, 0);
   for (std::uint32_t s = 0; s < total; ++s) {
     const auto relations = layout.relations_of(strip_loc(s));
     for (const Relation& rel : relations) {
-      const auto occ = static_cast<std::uint32_t>(occ_kind_.size());
-      occ_ids_.push_back(occ);
-      occ_kind_.push_back(rel.kind);
       std::vector<std::uint32_t> ids;
       ids.reserve(rel.strips.size());
       for (const StripLoc& member : rel.strips) {
@@ -49,45 +86,110 @@ StripeMap::StripeMap(const Layout& layout)
                   "relation member outside the array");
         ids.push_back(strip_id(member));
       }
-      members_.insert(members_.end(), ids.begin(), ids.end());
-      occ_members_begin_.push_back(static_cast<std::uint32_t>(members_.size()));
+      verbatim_members_total_ += ids.size();
 
-      std::sort(ids.begin(), ids.end());
-      const std::pair<int, std::vector<std::uint32_t>> key{
-          static_cast<int>(rel.kind), std::move(ids)};
-      auto it = canonical.find(key);
-      if (it == canonical.end()) {
-        const auto id = static_cast<std::uint32_t>(rel_kind_.size());
-        rel_kind_.push_back(rel.kind);
-        rel_members_.insert(rel_members_.end(), key.second.begin(), key.second.end());
-        rel_begin_.push_back(static_cast<std::uint32_t>(rel_members_.size()));
-        it = canonical.emplace(std::move(key), id).first;
+      ListKey sorted_key{static_cast<int>(rel.kind), ids};
+      std::sort(sorted_key.members.begin(), sorted_key.members.end());
+      const bool verbatim_is_sorted = sorted_key.members == ids;
+
+      auto it = intern.find(sorted_key);
+      if (it == intern.end()) {
+        const auto rel_id = static_cast<std::uint32_t>(rel_kind_.size());
+        pool_.insert(pool_.end(), sorted_key.members.begin(),
+                     sorted_key.members.end());
+        rel_begin_.push_back(static_cast<std::uint32_t>(pool_.size()));
+        rel_kind_.push_back(static_cast<std::uint8_t>(rel.kind));
+        it = intern.emplace(std::move(sorted_key), rel_id).first;
       }
-      occ_canonical_.push_back(it->second);
+      occ_rel_.push_back(it->second);
+
+      if (verbatim_is_sorted) {
+        occ_perm_.push_back(kIdentityPerm);
+      } else {
+        OI_ENSURE(ids.size() <= 256,
+                  "reordered relation wider than 256 members");
+        // perm[i] = canonical (sorted) index of reported member i; the stable
+        // argsort keeps duplicate values round-trippable.
+        std::vector<std::uint32_t> argsort(ids.size());
+        for (std::uint32_t i = 0; i < argsort.size(); ++i) argsort[i] = i;
+        std::stable_sort(argsort.begin(), argsort.end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                           return ids[a] < ids[b];
+                         });
+        std::string perm(ids.size(), '\0');
+        for (std::uint32_t j = 0; j < argsort.size(); ++j) {
+          perm[argsort[j]] = static_cast<char>(j);
+        }
+        auto pit = perm_intern.find(perm);
+        if (pit == perm_intern.end()) {
+          const auto offset = static_cast<std::uint32_t>(perm_pool_.size());
+          perm_pool_.insert(perm_pool_.end(), perm.begin(), perm.end());
+          pit = perm_intern.emplace(std::move(perm), offset).first;
+        }
+        occ_perm_.push_back(pit->second);
+      }
     }
-    occ_begin_[s + 1] = static_cast<std::uint32_t>(occ_ids_.size());
+    occ_begin_[s + 1] = static_cast<std::uint32_t>(occ_rel_.size());
   }
 
   // Preference order: stable sort by kind descending (outer-type relations
   // first), exactly the comparator every recovery path used on the virtual
-  // relations_of result.
-  pref_ids_ = occ_ids_;
+  // relations_of result. Stored as per-strip local permutations, one byte
+  // per occurrence.
+  pref_local_.resize(occ_rel_.size());
+  std::vector<std::uint8_t> slots;
   for (std::uint32_t s = 0; s < total; ++s) {
-    std::stable_sort(pref_ids_.begin() + occ_begin_[s],
-                     pref_ids_.begin() + occ_begin_[s + 1],
-                     [this](std::uint32_t a, std::uint32_t b) {
-                       return static_cast<int>(occ_kind_[a]) >
-                              static_cast<int>(occ_kind_[b]);
+    const std::uint32_t base = occ_begin_[s];
+    const std::uint32_t count = occ_begin_[s + 1] - base;
+    OI_ENSURE(count <= 255, "more than 255 relations on one strip");
+    slots.resize(count);
+    for (std::uint32_t i = 0; i < count; ++i) slots[i] = static_cast<std::uint8_t>(i);
+    std::stable_sort(slots.begin(), slots.end(),
+                     [&](std::uint8_t a, std::uint8_t b) {
+                       return static_cast<int>(occurrence_kind(base + a)) >
+                              static_cast<int>(occurrence_kind(base + b));
                      });
+    std::copy(slots.begin(), slots.end(), pref_local_.begin() + base);
   }
 }
 
 Relation StripeMap::materialize(std::uint32_t occ) const {
-  Relation rel{occ_kind_[occ], {}};
+  Relation rel{occurrence_kind(occ), {}};
   const auto members = occurrence_members(occ);
   rel.strips.reserve(members.size());
   for (std::uint32_t id : members) rel.strips.push_back(strip_loc(id));
   return rel;
+}
+
+std::size_t StripeMap::resident_bytes() const {
+  auto bytes = [](const auto& vec) { return vec.size() * sizeof(vec[0]); };
+  return bytes(role_) + bytes(logical_) + bytes(locate_) + bytes(occ_begin_) +
+         bytes(occ_rel_) + bytes(occ_perm_) + bytes(pref_local_) +
+         bytes(perm_pool_) + bytes(pool_) + bytes(rel_kind_) + bytes(rel_begin_);
+}
+
+std::size_t StripeMap::uncompressed_resident_bytes() const {
+  // The flat IR this representation replaced: 16-byte StripInfo per strip;
+  // per occurrence an id, a preferred id, a 4-byte kind, a canonical id and
+  // a members-CSR offset; every occurrence's member list stored verbatim;
+  // plus the canonical-relation CSR (4-byte kind, offsets, sorted members).
+  const std::size_t u32 = sizeof(std::uint32_t);
+  const std::size_t occs = occ_rel_.size();
+  std::size_t rel_members = 0;
+  for (std::uint32_t rel = 0; rel < relations(); ++rel) {
+    rel_members += relation_members(rel).size();
+  }
+  std::size_t bytes = 0;
+  bytes += total_strips() * sizeof(StripInfo);        // strips_
+  bytes += locate_.size() * u32;                      // locate_
+  bytes += occ_begin_.size() * u32;                   // occ_begin_
+  bytes += occs * u32 * 4;                            // ids, pref, kind, canonical
+  bytes += (occs + 1) * u32;                          // occ_members_begin_
+  bytes += verbatim_members_total_ * u32;             // members_
+  bytes += relations() * sizeof(RelationKind);        // rel_kind_
+  bytes += (relations() + 1) * u32;                   // rel_begin_
+  bytes += rel_members * u32;                         // rel_members_
+  return bytes;
 }
 
 std::optional<std::vector<RecoveryStep>> plan_by_peeling(

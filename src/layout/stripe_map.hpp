@@ -13,22 +13,149 @@
 //     verbatim order is what makes the IR-backed planner produce plans
 //     byte-identical to the virtual-dispatch reference implementation.
 //   * deduplicated *canonical relations* (kind + sorted member ids), with a
-//     CSR member table. Scrub, the GF(2) rank checker and the linear
+//     shared member pool. Scrub, the GF(2) rank checker and the linear
 //     check_relations iterate these; the one-sided composite relations are
 //     canonicalized too (their key includes the kind, so an inner and a
 //     composite over the same strips never merge).
 //
-// Strips are addressed by a dense id = disk * strips_per_disk + offset.
+// The representation is offset-compressed so thousand-disk arrays stay
+// resident-cache friendly (measured by bench_scale, gated >= 2x smaller than
+// the original seven-parallel-uint32-array IR at v >= 365):
+//
+//   * occurrence ids are dense and contiguous per strip, so the per-strip
+//     view is just a base offset + count -- no id array at all, and the
+//     preferred (kind-descending) order is a per-strip permutation stored as
+//     one byte per occurrence;
+//   * member storage is canonical-only: each deduplicated relation stores its
+//     sorted member ids once in a shared pool. An occurrence references its
+//     relation id plus -- only when the layout's reported member order
+//     differs from sorted -- a one-byte-per-member permutation, itself
+//     interned in a byte pool so occurrences with the same reordering share
+//     one entry. A layout repeats each relation once per member strip, so
+//     this collapses the quadratic sum-of-relation-sizes member storage to
+//     the linear sum over distinct relations;
+//   * an occurrence's kind is derived through its relation, not stored per
+//     occurrence;
+//   * strip metadata is one role byte + one logical u32 instead of a 16-byte
+//     StripInfo, rebuilt on demand by strip_info() (lazy materialization,
+//     like materialize() for relations).
+//
+// Strips are addressed by a dense id = disk * strips_per_disk + offset; the
+// id -> (disk, offset) decomposition uses a precomputed reciprocal divide
+// (util::FastDiv32) instead of runtime div/mod.
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "layout/layout.hpp"
+#include "util/fast_div.hpp"
 
 namespace oi::layout {
+
+/// Occurrence ids of one strip: either the natural contiguous range
+/// [base, base+count) or, for the preferred view, that range permuted by a
+/// byte table. Iterates and indexes like the span it replaced.
+class OccurrenceView {
+ public:
+  OccurrenceView(std::uint32_t base, std::uint32_t count, const std::uint8_t* perm)
+      : base_(base), count_(count), perm_(perm) {}
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  std::uint32_t operator[](std::size_t i) const {
+    return base_ + (perm_ ? perm_[i] : static_cast<std::uint32_t>(i));
+  }
+
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = std::uint32_t;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    using reference = std::uint32_t;
+
+    iterator(const OccurrenceView* view, std::size_t i) : view_(view), i_(i) {}
+    std::uint32_t operator*() const { return (*view_)[i_]; }
+    iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator old = *this;
+      ++i_;
+      return old;
+    }
+    bool operator==(const iterator& other) const { return i_ == other.i_; }
+    bool operator!=(const iterator& other) const { return i_ != other.i_; }
+
+   private:
+    const OccurrenceView* view_;
+    std::size_t i_;
+  };
+
+  iterator begin() const { return {this, 0}; }
+  iterator end() const { return {this, count_}; }
+
+ private:
+  std::uint32_t base_;
+  std::uint32_t count_;
+  const std::uint8_t* perm_;  ///< nullptr = identity (verbatim order)
+};
+
+/// Member strip ids of one occurrence: the canonical (sorted) member array
+/// read through an optional byte permutation that restores the order the
+/// layout reported. Iterates and indexes like the span it replaced.
+class MemberView {
+ public:
+  MemberView(const std::uint32_t* members, std::uint32_t count,
+             const std::uint8_t* perm)
+      : members_(members), count_(count), perm_(perm) {}
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  std::uint32_t operator[](std::size_t i) const {
+    return members_[perm_ ? perm_[i] : i];
+  }
+
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = std::uint32_t;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    using reference = std::uint32_t;
+
+    iterator(const MemberView* view, std::size_t i) : view_(view), i_(i) {}
+    std::uint32_t operator*() const { return (*view_)[i_]; }
+    iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator old = *this;
+      ++i_;
+      return old;
+    }
+    bool operator==(const iterator& other) const { return i_ == other.i_; }
+    bool operator!=(const iterator& other) const { return i_ != other.i_; }
+
+   private:
+    const MemberView* view_;
+    std::size_t i_;
+  };
+
+  iterator begin() const { return {this, 0}; }
+  iterator end() const { return {this, count_}; }
+
+ private:
+  const std::uint32_t* members_;
+  std::uint32_t count_;
+  const std::uint8_t* perm_;  ///< nullptr = members are already in order
+};
 
 class StripeMap {
  public:
@@ -41,7 +168,7 @@ class StripeMap {
 
   std::size_t disks() const { return disks_; }
   std::size_t strips_per_disk() const { return strips_per_disk_; }
-  std::size_t total_strips() const { return strips_.size(); }
+  std::size_t total_strips() const { return role_.size(); }
   std::size_t data_strips() const { return locate_.size(); }
   std::size_t fault_tolerance() const { return fault_tolerance_; }
   bool xor_semantics() const { return xor_semantics_; }
@@ -50,38 +177,45 @@ class StripeMap {
     return static_cast<std::uint32_t>(loc.disk * strips_per_disk_ + loc.offset);
   }
   StripLoc strip_loc(std::uint32_t id) const {
-    return {id / strips_per_disk_, id % strips_per_disk_};
+    const std::uint32_t disk = spd_div_.divide(id);
+    return {disk, id - disk * static_cast<std::uint32_t>(strips_per_disk_)};
   }
-  std::size_t disk_of(std::uint32_t id) const { return id / strips_per_disk_; }
+  std::size_t disk_of(std::uint32_t id) const { return spd_div_.divide(id); }
 
-  const StripInfo& strip_info(std::uint32_t id) const { return strips_[id]; }
+  /// Strip metadata, materialized from the packed role/logical arrays.
+  StripInfo strip_info(std::uint32_t id) const {
+    return {static_cast<StripRole>(role_[id]), logical_[id]};
+  }
   /// Strip id of the given logical address (the materialized locate()).
   std::uint32_t locate(std::size_t logical) const { return locate_[logical]; }
 
   // --- per-strip relation occurrences (verbatim relations_of view) ---
 
   /// Occurrence ids of `strip`, in the exact order relations_of returned.
-  std::span<const std::uint32_t> occurrences(std::uint32_t strip) const {
-    return {occ_ids_.data() + occ_begin_[strip],
-            occ_ids_.data() + occ_begin_[strip + 1]};
+  OccurrenceView occurrences(std::uint32_t strip) const {
+    return {occ_begin_[strip], occ_begin_[strip + 1] - occ_begin_[strip], nullptr};
   }
   /// Occurrence ids of `strip`, stable-sorted by kind descending (outer and
   /// composite before inner) -- the preference order every recovery path in
   /// this library uses. Precomputed so consumers never sort.
-  std::span<const std::uint32_t> preferred_occurrences(std::uint32_t strip) const {
-    return {pref_ids_.data() + occ_begin_[strip],
-            pref_ids_.data() + occ_begin_[strip + 1]};
+  OccurrenceView preferred_occurrences(std::uint32_t strip) const {
+    return {occ_begin_[strip], occ_begin_[strip + 1] - occ_begin_[strip],
+            pref_local_.data() + occ_begin_[strip]};
   }
-  RelationKind occurrence_kind(std::uint32_t occ) const { return occ_kind_[occ]; }
+  RelationKind occurrence_kind(std::uint32_t occ) const {
+    return static_cast<RelationKind>(rel_kind_[occ_rel_[occ]]);
+  }
   /// Member strip ids in the layout's reported order (includes the strip the
   /// occurrence belongs to).
-  std::span<const std::uint32_t> occurrence_members(std::uint32_t occ) const {
-    return {members_.data() + occ_members_begin_[occ],
-            members_.data() + occ_members_begin_[occ + 1]};
+  MemberView occurrence_members(std::uint32_t occ) const {
+    const std::uint32_t rel = occ_rel_[occ];
+    const std::uint32_t perm = occ_perm_[occ];
+    return {pool_.data() + rel_begin_[rel], rel_begin_[rel + 1] - rel_begin_[rel],
+            perm == kIdentityPerm ? nullptr : perm_pool_.data() + perm};
   }
   /// Canonical relation id this occurrence maps to.
   std::uint32_t occurrence_relation(std::uint32_t occ) const {
-    return occ_canonical_[occ];
+    return occ_rel_[occ];
   }
   /// Reconstructs the Relation value as the layout reported it.
   Relation materialize(std::uint32_t occ) const;
@@ -89,36 +223,60 @@ class StripeMap {
   // --- canonical (deduplicated) relations ---
 
   std::size_t relations() const { return rel_kind_.size(); }
-  RelationKind relation_kind(std::uint32_t rel) const { return rel_kind_[rel]; }
+  RelationKind relation_kind(std::uint32_t rel) const {
+    return static_cast<RelationKind>(rel_kind_[rel]);
+  }
   /// Member strip ids, sorted ascending.
   std::span<const std::uint32_t> relation_members(std::uint32_t rel) const {
-    return {rel_members_.data() + rel_begin_[rel],
-            rel_members_.data() + rel_begin_[rel + 1]};
+    return {pool_.data() + rel_begin_[rel], pool_.data() + rel_begin_[rel + 1]};
   }
 
+  // --- footprint accounting (bench_scale and the compression gate) ---
+
+  /// Total occurrences across all strips.
+  std::size_t occurrences_total() const { return occ_rel_.size(); }
+  /// Bytes held by this compact representation's arrays.
+  std::size_t resident_bytes() const;
+  /// Bytes the original flat IR (per-occurrence id/kind/canonical/member
+  /// arrays, 16-byte StripInfo records) would hold for the same layout --
+  /// the baseline for the compression ratio reported by bench_scale.
+  std::size_t uncompressed_resident_bytes() const;
+
  private:
+  /// occ_perm_ sentinel: the occurrence's reported order is the sorted order.
+  static constexpr std::uint32_t kIdentityPerm = UINT32_MAX;
+
   std::size_t disks_ = 0;
   std::size_t strips_per_disk_ = 0;
   std::size_t fault_tolerance_ = 0;
   bool xor_semantics_ = true;
+  util::FastDiv32 spd_div_;  ///< reciprocal divide by strips_per_disk_
 
-  std::vector<StripInfo> strips_;        ///< indexed by strip id
-  std::vector<std::uint32_t> locate_;    ///< logical -> strip id
+  std::vector<std::uint8_t> role_;      ///< strip id -> StripRole
+  std::vector<std::uint32_t> logical_;  ///< strip id -> logical (data strips)
+  std::vector<std::uint32_t> locate_;   ///< logical -> strip id
 
-  // Occurrence CSR: strip -> [occ_begin_[s], occ_begin_[s+1]) into occ_ids_
-  // (and pref_ids_ for the kind-sorted view). Occurrence ids are dense.
+  // Occurrences: strip s owns the dense contiguous id range
+  // [occ_begin_[s], occ_begin_[s+1]); per occurrence its canonical relation
+  // id, an offset into perm_pool_ (or kIdentityPerm when the reported order
+  // is already sorted) and its one-byte slot in the preferred permutation.
   std::vector<std::uint32_t> occ_begin_;
-  std::vector<std::uint32_t> occ_ids_;
-  std::vector<std::uint32_t> pref_ids_;
-  std::vector<RelationKind> occ_kind_;
-  std::vector<std::uint32_t> occ_members_begin_;
-  std::vector<std::uint32_t> members_;
-  std::vector<std::uint32_t> occ_canonical_;
+  std::vector<std::uint32_t> occ_rel_;
+  std::vector<std::uint32_t> occ_perm_;
+  std::vector<std::uint8_t> pref_local_;
 
-  // Canonical relation CSR (members sorted ascending).
-  std::vector<RelationKind> rel_kind_;
+  // Interned reported-order permutations: occ_perm_ points at |members|
+  // bytes; byte j is the canonical index of the j-th reported member.
+  // Occurrences with identical reorderings share one entry.
+  std::vector<std::uint8_t> perm_pool_;
+
+  // Canonical relations: kind byte + sorted members in the shared pool
+  // (relation r spans pool_[rel_begin_[r], rel_begin_[r+1])).
+  std::vector<std::uint8_t> rel_kind_;
   std::vector<std::uint32_t> rel_begin_;
-  std::vector<std::uint32_t> rel_members_;
+  std::vector<std::uint32_t> pool_;
+
+  std::size_t verbatim_members_total_ = 0;  ///< sum of occurrence list sizes
 };
 
 /// IR-backed peeling planner. Produces plans identical to the

@@ -11,6 +11,7 @@
 #include "util/assert.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "util/trace.hpp"
 
 namespace oi::sim {
@@ -153,7 +154,9 @@ struct SimState {
 
   void setup_rebuild() {
     const layout::StripeMap& map = layout.stripe_map();
-    auto maybe_plan = layout.recovery_plan(failed);
+    auto maybe_plan = config.plan_pool
+                          ? layout.recovery_plan_parallel(failed, *config.plan_pool)
+                          : layout.recovery_plan(failed);
     OI_ENSURE(maybe_plan.has_value(), "failure pattern is unrecoverable");
     plan = std::move(*maybe_plan);
     if (copy_back_enabled()) spare_location.assign(plan.size(), {});

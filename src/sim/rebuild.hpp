@@ -18,6 +18,10 @@
 #include "workload/generator.hpp"
 #include "workload/trace.hpp"
 
+namespace oi {
+class ThreadPool;
+}  // namespace oi
+
 namespace oi::sim {
 
 struct ForegroundConfig {
@@ -58,6 +62,10 @@ struct SimConfig {
   /// already back during copy-back, so it does not extend the vulnerable
   /// window -- the result reports it separately.
   bool copy_back = false;
+  /// When set, rebuild-plan construction is sharded across this pool by lock
+  /// domain (Layout::recovery_plan_parallel) -- same plan, built in parallel.
+  /// Null keeps the sequential planner.
+  ThreadPool* plan_pool = nullptr;
 };
 
 struct SimResult {

@@ -1,5 +1,6 @@
 #include "bibd/constructions.hpp"
 #include "bibd/design.hpp"
+#include "bibd/gf.hpp"
 #include "bibd/registry.hpp"
 
 #include <gtest/gtest.h>
@@ -61,10 +62,33 @@ INSTANTIATE_TEST_SUITE_P(Orders, AffinePlaneTest,
                            return "q" + std::to_string(info.param.q);
                          });
 
-TEST(Planes, RejectNonPrimeOrders) {
-  EXPECT_THROW(projective_plane(4), std::invalid_argument);
+TEST(Planes, RejectNonPrimePowerOrders) {
   EXPECT_THROW(projective_plane(6), std::invalid_argument);
-  EXPECT_THROW(affine_plane(9), std::invalid_argument);
+  EXPECT_THROW(projective_plane(10), std::invalid_argument);
+  EXPECT_THROW(affine_plane(12), std::invalid_argument);
+  EXPECT_THROW(affine_plane(0), std::invalid_argument);
+  EXPECT_THROW(affine_plane(1), std::invalid_argument);
+}
+
+TEST(Planes, PrimePowerOrders) {
+  for (const std::size_t q : {4u, 8u, 9u, 16u, 27u}) {
+    const Design pg = projective_plane(q);
+    EXPECT_EQ(pg.v, q * q + q + 1);
+    EXPECT_EQ(pg.k, q + 1);
+    EXPECT_EQ(pg.r(), q + 1);
+    EXPECT_TRUE(is_valid(pg)) << verify(pg);
+    EXPECT_FALSE(pg.resolvable());
+
+    const Design ag = affine_plane(q);
+    EXPECT_EQ(ag.v, q * q);
+    EXPECT_EQ(ag.k, q);
+    EXPECT_EQ(ag.r(), q + 1);
+    EXPECT_TRUE(is_valid(ag)) << verify(ag);
+    // Affine planes ship a resolution certificate; verify() above already
+    // checked that each of the r = q+1 classes partitions the points.
+    EXPECT_TRUE(ag.resolvable());
+    EXPECT_EQ(ag.parallel_classes.size(), ag.b());
+  }
 }
 
 class BoseTest : public ::testing::TestWithParam<std::size_t> {};
@@ -261,6 +285,154 @@ TEST(Registry, StandardCatalogAllValid) {
     origins.insert(d.origin);
   }
   EXPECT_EQ(origins.size(), catalog.size()) << "duplicate catalog entries";
+}
+
+TEST(SmallFieldTest, DetectsPrimePowers) {
+  std::size_t p = 0, e = 0;
+  EXPECT_TRUE(SmallField::is_prime_power(9, &p, &e));
+  EXPECT_EQ(p, 3u);
+  EXPECT_EQ(e, 2u);
+  EXPECT_TRUE(SmallField::is_prime_power(32, &p, &e));
+  EXPECT_EQ(p, 2u);
+  EXPECT_EQ(e, 5u);
+  EXPECT_TRUE(SmallField::is_prime_power(13, &p, &e));
+  EXPECT_EQ(e, 1u);
+  EXPECT_FALSE(SmallField::is_prime_power(1));
+  EXPECT_FALSE(SmallField::is_prime_power(6));
+  EXPECT_FALSE(SmallField::is_prime_power(12));
+  EXPECT_FALSE(SmallField::is_prime_power(100));
+}
+
+TEST(SmallFieldTest, FieldAxioms) {
+  for (const std::size_t q : {4u, 8u, 9u, 16u, 25u, 27u}) {
+    const SmallField f(q);
+    for (std::size_t a = 0; a < q; ++a) {
+      EXPECT_EQ(f.add(a, 0), a);
+      EXPECT_EQ(f.add(a, f.neg(a)), 0u);
+      EXPECT_EQ(f.mul(a, 1), a);
+      EXPECT_EQ(f.mul(a, 0), 0u);
+      if (a != 0) EXPECT_EQ(f.mul(a, f.inv(a)), 1u) << "q=" << q << " a=" << a;
+      for (std::size_t b = 0; b < q; ++b) {
+        EXPECT_EQ(f.add(a, b), f.add(b, a));
+        EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+        // No zero divisors: the hallmark of a field vs. Z_q for composite q.
+        if (a != 0 && b != 0) EXPECT_NE(f.mul(a, b), 0u);
+        for (std::size_t c = 0; c < std::min<std::size_t>(q, 8); ++c) {
+          EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+        }
+      }
+    }
+  }
+  EXPECT_THROW(SmallField(6), std::invalid_argument);
+  EXPECT_THROW(SmallField(1000), std::invalid_argument);
+}
+
+TEST(ComposedDesign, TdFillConstructions) {
+  const auto sub = [](std::size_t v, std::size_t k) { return find_design(v, k); };
+  // v = k*n: (52,4) = TD(4,13) + PG(2,3) on each group.
+  const auto d52 = composed_design(52, 4, sub);
+  ASSERT_TRUE(d52.has_value());
+  EXPECT_EQ(d52->v, 52u);
+  EXPECT_EQ(d52->k, 4u);
+  EXPECT_EQ(d52->lambda, 1u);
+  EXPECT_EQ(d52->r(), 17u);
+  EXPECT_TRUE(is_valid(*d52)) << verify(*d52);
+
+  // v = k*n with prime-power n: (64,4) = TD(4,16) + AG(2,4).
+  const auto d64 = composed_design(64, 4, sub);
+  ASSERT_TRUE(d64.has_value());
+  EXPECT_EQ(d64->r(), 21u);
+  EXPECT_TRUE(is_valid(*d64)) << verify(*d64);
+
+  // v = k*n + 1: (40,3) = TD(3,13) + a (14,3) fill -- no (14,3,1) exists, so
+  // this must fail cleanly; (39,3) = TD(3,13) + STS(13) succeeds.
+  EXPECT_FALSE(composed_design(40, 3, sub).has_value());
+  const auto d39 = composed_design(39, 3, sub);
+  ASSERT_TRUE(d39.has_value());
+  EXPECT_TRUE(is_valid(*d39)) << verify(*d39);
+
+  // The pointed form: (85,4) = TD(4,21) + (22,4)? 22 inadmissible -> fail;
+  // (25,4) = TD(4,6) blocked by MacNeish (6 = 2*3, factor < k).
+  EXPECT_FALSE(composed_design(24, 4, sub).has_value());
+}
+
+TEST(ComposedDesign, PointedFormSharesInfinity) {
+  const auto sub = [](std::size_t v, std::size_t k) { return find_design(v, k); };
+  // v = k*n + 1 with n = 9, k = 3: fills are (10,3)? inadmissible. Use
+  // (3*7)+1 = 22 -> (8,3) fill inadmissible too. k=4, n=13: v = 53,
+  // fill (14,4) inadmissible. k=5, n=25: v = 126, fill (26,5)? r=25/4 no.
+  // The smallest pointed hit with this catalog: k=4, n=36 -> v=145, fill
+  // (37,4,1) via difference family. Keep it cheap: probe and accept either
+  // outcome for exotic fills, but require correctness when it succeeds.
+  const auto d = composed_design(145, 4, sub);
+  if (d.has_value()) {
+    EXPECT_EQ(d->v, 145u);
+    EXPECT_TRUE(is_valid(*d)) << verify(*d);
+  }
+}
+
+TEST(Registry, FallbackOrderIsDocumentedOrder) {
+  // Stage 1: projective plane wins when parameters match, prime powers
+  // included.
+  EXPECT_EQ(find_design(21, 5)->origin, "PG(2,4)");
+  EXPECT_EQ(find_design(91, 10)->origin, "PG(2,9)");
+  // Stage 2: affine plane (prime-power k), ahead of any STS/DF route.
+  EXPECT_EQ(find_design(16, 4)->origin, "AG(2,4)");
+  EXPECT_EQ(find_design(9, 3)->origin, "AG(2,3)");
+  // Stage 3: STS for k=3 orders the planes don't cover.
+  EXPECT_EQ(find_design(15, 3)->origin, "Bose-STS(15)");
+  EXPECT_EQ(find_design(19, 3)->origin, "Skolem-STS(19)");
+  // Stage 4: difference-family search (v = 1 mod k(k-1), no plane match).
+  EXPECT_EQ(find_design(37, 4)->origin, "cyclic-DF(37,4)");
+  // Stage 5: composition for awkward v none of the families reach.
+  EXPECT_EQ(find_design(52, 4)->origin, "TD(4,13)+PG(2,3)");
+  EXPECT_EQ(find_design(64, 4)->origin, "TD(4,16)+AG(2,4)");
+  // Options gate the optional stages.
+  EXPECT_FALSE(find_design(52, 4, {.allow_composed = false}).has_value());
+  EXPECT_FALSE(find_design(37, 4, {.allow_search = false, .allow_composed = false})
+                   .has_value());
+}
+
+TEST(Registry, ExoticParametersFallThroughToNullopt) {
+  // (365, k) violates the counting conditions for k = 3 and 4: every stage
+  // is inapplicable and find_design must return nullopt, not throw.
+  EXPECT_FALSE(find_design(365, 3).has_value());
+  EXPECT_FALSE(find_design(365, 4).has_value());
+  // Admissible but unreachable-by-construction parameters also land on
+  // nullopt: (46, 6) passes divisibility (r = 9, b = 69) but no implemented
+  // family covers it.
+  EXPECT_FALSE(find_design(46, 6).has_value());
+  // Inadmissible residues never reach the complete design unless asked.
+  EXPECT_FALSE(find_design(365, 3, {.allow_search = false}).has_value());
+  EXPECT_TRUE(find_design(8, 3, {.allow_complete = true}).has_value());
+}
+
+TEST(LargeOrders, InvariantsAtScale) {
+  // The catalog families at v >= 91: parameters, r-consistency, and the full
+  // pair-coverage verifier.
+  struct Case {
+    std::size_t v, k;
+    const char* origin;
+  };
+  const Case cases[] = {
+      {91, 10, "PG(2,9)"},
+      {273, 17, "PG(2,16)"},
+      {367, 3, "Skolem-STS(367)"},
+      {369, 3, "Bose-STS(369)"},
+      {1024, 32, "AG(2,32)"},
+      {1093, 3, "Skolem-STS(1093)"},
+  };
+  for (const auto& c : cases) {
+    const auto d = find_design(c.v, c.k);
+    ASSERT_TRUE(d.has_value()) << c.origin;
+    EXPECT_EQ(d->origin, c.origin);
+    EXPECT_EQ(d->v, c.v);
+    EXPECT_EQ(d->k, c.k);
+    EXPECT_EQ(d->lambda, 1u);
+    EXPECT_EQ(d->r(), (c.v - 1) / (c.k - 1));
+    EXPECT_EQ(d->b() * d->k, d->v * d->r()) << "b*k = v*r must hold";
+    EXPECT_TRUE(is_valid(*d)) << c.origin << ": " << verify(*d);
+  }
 }
 
 }  // namespace

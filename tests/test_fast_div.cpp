@@ -1,0 +1,66 @@
+#include "util/fast_div.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using oi::util::FastDiv32;
+
+TEST(FastDiv, MatchesHardwareDivisionOnEdgeValues) {
+  const std::uint32_t divisors[] = {
+      1,       2,       3,      4,      5,     6,    7,    9,   10,
+      11,      12,      13,     42,     63,    64,   65,   91,  100,
+      127,     128,     129,    365,    1000,  1093, 4096, 4097,
+      65535,   65536,   65537,  1000003,
+      0x7FFFFFFEu, 0x7FFFFFFFu};
+  const std::uint32_t values[] = {
+      0, 1, 2, 3, 41, 42, 43, 63, 64, 65, 4095, 4096, 4097, 65535, 65536,
+      1000002, 1000003, 1000004, 0x7FFFFFFFu, 0x80000000u, 0xFFFFFFFEu,
+      0xFFFFFFFFu};
+  for (const std::uint32_t d : divisors) {
+    const FastDiv32 div(d);
+    EXPECT_EQ(div.divisor(), d);
+    for (const std::uint32_t x : values) {
+      EXPECT_EQ(div.divide(x), x / d) << "x=" << x << " d=" << d;
+      EXPECT_EQ(div.modulo(x), x % d) << "x=" << x << " d=" << d;
+    }
+  }
+}
+
+TEST(FastDiv, ExhaustiveSmallDivisorSweep) {
+  // Every divisor up to 1024 against a dense low range plus the values that
+  // straddle each multiple of the divisor near the top of the u32 range --
+  // the places a wrong magic constant would first go off by one.
+  for (std::uint32_t d = 1; d <= 1024; ++d) {
+    const FastDiv32 div(d);
+    for (std::uint32_t x = 0; x < 2 * d + 2; ++x) {
+      ASSERT_EQ(div.divide(x), x / d) << "x=" << x << " d=" << d;
+    }
+    const std::uint32_t top = std::numeric_limits<std::uint32_t>::max();
+    for (std::uint32_t x = top - 2 * d - 2; x < top; ++x) {
+      ASSERT_EQ(div.divide(x), x / d) << "x=" << x << " d=" << d;
+      ASSERT_EQ(div.modulo(x), x % d) << "x=" << x << " d=" << d;
+    }
+  }
+}
+
+TEST(FastDiv, DefaultConstructedDividesByOne) {
+  const FastDiv32 div;
+  EXPECT_EQ(div.divisor(), 1u);
+  EXPECT_EQ(div.divide(12345u), 12345u);
+  EXPECT_EQ(div.modulo(12345u), 0u);
+}
+
+TEST(FastDiv, RejectsUnsupportedDivisors) {
+  EXPECT_THROW(FastDiv32(0), std::invalid_argument);
+  EXPECT_THROW(FastDiv32(0x80000000u), std::invalid_argument);
+  EXPECT_THROW(FastDiv32(std::numeric_limits<std::uint32_t>::max()),
+               std::invalid_argument);
+  EXPECT_NO_THROW(FastDiv32(0x7FFFFFFFu));
+}
+
+}  // namespace

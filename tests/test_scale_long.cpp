@@ -1,0 +1,85 @@
+// Thousand-disk scaling gates (ctest label `long`): the compact StripeMap
+// and the sharded planner at the geometries the quick suite cannot afford.
+// Each point checks the full chain: virtual reference == compact planner ==
+// sharded planner (byte for byte), plan validity, and the compact IR's
+// headline footprint criterion (>= 2x smaller than the flat encoding at
+// v >= 365).
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bibd/constructions.hpp"
+#include "bibd/registry.hpp"
+#include "layout/concurrency_map.hpp"
+#include "layout/oi_raid.hpp"
+#include "layout/sharded_plan.hpp"
+#include "layout/stripe_map.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace oi;
+using namespace oi::layout;
+
+void expect_plans_identical(
+    const std::optional<std::vector<RecoveryStep>>& expected,
+    const std::optional<std::vector<RecoveryStep>>& actual) {
+  ASSERT_EQ(expected.has_value(), actual.has_value());
+  if (!expected.has_value()) return;
+  ASSERT_EQ(expected->size(), actual->size());
+  for (std::size_t i = 0; i < expected->size(); ++i) {
+    ASSERT_EQ((*expected)[i].lost, (*actual)[i].lost) << "step " << i;
+    ASSERT_EQ((*expected)[i].reads, (*actual)[i].reads) << "step " << i;
+  }
+}
+
+void check_scale_point(bibd::Design design, std::size_t m, std::size_t h,
+                       const std::vector<std::vector<std::size_t>>& patterns,
+                       bool expect_halved) {
+  const std::size_t v = design.v;
+  const auto layout =
+      std::make_shared<OiRaidLayout>(OiRaidParams{std::move(design), m, h});
+  SCOPED_TRACE("v=" + std::to_string(v) +
+               " disks=" + std::to_string(layout->disks()));
+  const StripeMap& map = layout->stripe_map();
+  const ConcurrencyMap& domains = layout->concurrency_map();
+  if (expect_halved) {
+    EXPECT_GE(map.uncompressed_resident_bytes(), 2 * map.resident_bytes());
+  }
+  ThreadPool pool(4);
+  for (const auto& failed : patterns) {
+    const auto reference = plan_by_peeling_virtual(*layout, failed);
+    const auto compact = plan_by_peeling(map, failed);
+    expect_plans_identical(reference, compact);
+    expect_plans_identical(reference, plan_by_peeling_sharded(
+                                          map, domains, pool, failed));
+    ASSERT_TRUE(reference.has_value());
+    EXPECT_EQ(check_recovery_plan(map, failed, *reference), "");
+  }
+}
+
+// v = 367 (Skolem STS): 1101 disks -- the smallest admissible point past the
+// issue's v >= 365 footprint bar.
+TEST(ScaleLong, Sts367ElevenHundredDisks) {
+  const auto design = bibd::find_design(367, 3);
+  ASSERT_TRUE(design.has_value());
+  check_scale_point(*design, 3, 2, {{0}, {0, 550, 1100}}, true);
+}
+
+// v = 1024 (AG(2,32), k = 32): 3072 disks with wide outer relations.
+TEST(ScaleLong, Ag32ThreeThousandDisks) {
+  const auto design = bibd::affine_plane(32);
+  ASSERT_EQ(design.v, 1024u);
+  check_scale_point(design, 3, 2, {{0}, {1, 2048}}, true);
+}
+
+// v = 1093 (STS): 3279 disks, the thousand-point Steiner system.
+TEST(ScaleLong, Sts1093ThreeThousandDisks) {
+  const auto design = bibd::find_design(1093, 3);
+  ASSERT_TRUE(design.has_value());
+  check_scale_point(*design, 3, 2, {{0}}, true);
+}
+
+}  // namespace
