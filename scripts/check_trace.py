@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Lints a Chrome trace-event JSON produced by the oi-raid tracer.
+
+Structural checks (always on):
+  * the file is valid JSON with a `traceEvents` list;
+  * every B (span begin) on a (pid, tid) lane has a matching E with the same
+    name, properly nested (stack discipline), with non-negative duration;
+  * metadata events ('M') are well-formed (thread_name / process_name with an
+    args.name label).
+
+Request-tracing checks (oiraidd server spans, see docs/OBSERVABILITY.md):
+  * --require-span NAME: at least one completed span with this name exists
+    (repeatable; e.g. --require-span request --require-span decode);
+  * every `request` span carries args with a positive integer `req` id and an
+    `op` string, and its child stage spans lie within the request interval;
+  * per request, the stage durations (decode/queue/lock/io/codec/reply --
+    whichever are present) sum to the request duration within --tolerance
+    (default 5%), the paper-trail form of "the stages account for the whole
+    end-to-end latency".
+
+Exit 0 when everything holds; exit 1 with one line per violation otherwise.
+
+Usage: check_trace.py TRACE.json [--require-span NAME]... [--min-requests N]
+                      [--tolerance FRAC]
+"""
+
+import argparse
+import json
+import sys
+
+STAGES = ("decode", "queue", "lock", "io", "codec", "reply")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--require-span", action="append", default=[],
+                        metavar="NAME",
+                        help="require >= 1 completed span with this name")
+    parser.add_argument("--min-requests", type=int, default=0,
+                        help="require >= N completed `request` spans")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="stage-sum vs request-duration tolerance "
+                             "(fraction; default 0.05)")
+    args = parser.parse_args()
+
+    errors = []
+    with open(args.trace) as fh:
+        doc = json.load(fh)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        sys.exit(f"{args.trace}: no traceEvents list")
+
+    # Walk each lane with a span stack; collect completed spans.
+    stacks = {}          # (pid, tid) -> [event, ...]
+    spans = []           # (name, pid, tid, start_us, end_us, args)
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph == "M":
+            if e.get("name") not in ("thread_name", "process_name",
+                                     "thread_sort_index"):
+                errors.append(f"event {i}: unknown metadata kind {e.get('name')!r}")
+            elif "name" not in e.get("args", {}):
+                errors.append(f"event {i}: metadata without args.name")
+            continue
+        if ph not in ("B", "E"):
+            continue  # counters / async pairs are fine but unchecked here
+        lane = (e.get("pid"), e.get("tid"))
+        if ph == "B":
+            stacks.setdefault(lane, []).append(e)
+            continue
+        stack = stacks.get(lane) or []
+        if not stack:
+            errors.append(f"event {i}: E {e.get('name')!r} on lane {lane} "
+                          "without a matching B")
+            continue
+        b = stack.pop()
+        if b.get("name") != e.get("name"):
+            errors.append(f"event {i}: E {e.get('name')!r} closes "
+                          f"B {b.get('name')!r} (bad nesting) on lane {lane}")
+            continue
+        if e["ts"] < b["ts"]:
+            errors.append(f"event {i}: span {e.get('name')!r} has negative "
+                          f"duration ({b['ts']} -> {e['ts']})")
+        spans.append((b["name"], *lane, b["ts"], e["ts"], b.get("args", {})))
+    for lane, stack in stacks.items():
+        for b in stack:
+            errors.append(f"unclosed span {b.get('name')!r} on lane {lane}")
+
+    by_name = {}
+    for s in spans:
+        by_name.setdefault(s[0], []).append(s)
+    for name in args.require_span:
+        if not by_name.get(name):
+            errors.append(f"no completed span named {name!r}")
+
+    # Per-request checks: args schema, containment, stage-sum accounting.
+    requests = by_name.get("request", [])
+    if len(requests) < args.min_requests:
+        errors.append(f"only {len(requests)} request span(s); "
+                      f"need >= {args.min_requests}")
+    for _, pid, tid, start, end, req_args in requests:
+        rid = req_args.get("req")
+        if not isinstance(rid, int) or rid <= 0:
+            errors.append(f"request span at ts={start}: bad args.req {rid!r}")
+        if not isinstance(req_args.get("op"), str):
+            errors.append(f"request span at ts={start}: missing args.op")
+        stage_sum = 0.0
+        for stage in STAGES:
+            for name, spid, stid, s, e, _ in by_name.get(stage, []):
+                if spid != pid or stid != tid:
+                    continue
+                # Tolerate a microsecond of float slack at the edges.
+                if s < start - 1 or e > end + 1:
+                    continue  # a different request on the same lane
+                stage_sum += e - s
+        total = end - start
+        if total > 0 and abs(stage_sum - total) > args.tolerance * total + 2.0:
+            errors.append(
+                f"request {req_args.get('req')}: stages sum to "
+                f"{stage_sum:.1f} us but the request took {total:.1f} us "
+                f"(> {args.tolerance:.0%} apart)")
+
+    if errors:
+        for err in errors:
+            print(f"check_trace: {err}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_trace: ok ({len(spans)} spans, {len(requests)} requests, "
+          f"{len(events)} events)")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,7 +8,10 @@
 #      background thread rebuilds it online,
 #   4. wait for the rebuild to finish (status polling), verify every byte,
 #   5. restart the daemon on the same directory and verify again (real
-#      persistence, not process memory).
+#      persistence, not process memory),
+#   6. restart with tracing + slow-request capture on, drive traced traffic,
+#      and validate the /trace span trees (scripts/check_trace.py), the
+#      `oiraidctl profile` report, and the structured slow-request log lines.
 #
 # Usage: scripts/smoke_dataplane.sh [BUILD_DIR]   (default: build)
 # Leaves its artifacts (metrics stream, daemon log) in $SMOKE_DIR if that
@@ -36,11 +39,11 @@ cleanup() {
 }
 trap cleanup EXIT
 
-start_daemon() {
+start_daemon() {  # start_daemon [extra oiraidd flags...]
   rm -f "$PORT_FILE"
   "$OIRAIDD" --dir "$ARRAY_DIR" --v 7 --k 3 --m 3 --height 6 \
     --strip-bytes 4096 --port 0 --port-file "$PORT_FILE" \
-    --metrics-stream-out "$WORK/metrics.jsonl" >>"$DAEMON_LOG" 2>&1 &
+    --metrics-stream-out "$WORK/metrics.jsonl" "$@" >>"$DAEMON_LOG" 2>&1 &
   DAEMON_PID=$!
   for _ in $(seq 1 100); do
     [ -s "$PORT_FILE" ] && break
@@ -100,6 +103,35 @@ stop_daemon
 start_daemon
 verify "$WORK/blob-a.bin" 8192
 verify "$WORK/blob-b.bin" 65536
+stop_daemon
+
+echo "== 6. tracing + slow-request capture"
+SCRIPT_DIR="$(cd "$(dirname "$0")" && pwd)"
+# A 1 us threshold makes every request a "slow" capture, so the bounded ring
+# and the structured log line are exercised deterministically.
+start_daemon --metrics-port 0 --trace-out "$WORK/oiraidd-trace.json" \
+  --trace-ring 4096 --slow-request-us 1
+for _ in $(seq 1 100); do
+  METRICS_PORT=$(sed -n 's/.*metrics exporter on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "$DAEMON_LOG" | tail -1)
+  [ -n "$METRICS_PORT" ] && break
+  sleep 0.1
+done
+[ -n "$METRICS_PORT" ] || { echo "FAIL: no metrics exporter port in log"; cat "$DAEMON_LOG"; exit 1; }
+"$OIRAIDCTL" write --port "$PORT" --trace --offset 0 --in "$WORK/blob-a.bin" \
+  2> "$WORK/trace-id.txt"
+grep -q "^trace id [0-9]" "$WORK/trace-id.txt" || { echo "FAIL: no client trace id"; exit 1; }
+"$OIRAIDCTL" read --port "$PORT" --trace --offset 0 \
+  --length "$(stat -c %s "$WORK/blob-a.bin")" --out "$WORK/readback.bin" 2>/dev/null
+cmp "$WORK/blob-a.bin" "$WORK/readback.bin" || { echo "FAIL: traced read mismatch"; exit 1; }
+"$OIRAIDCTL" profile --port "$PORT" | tee "$WORK/profile.txt"
+grep -q "slow-request id=" "$WORK/profile.txt" || { echo "FAIL: no slow-request capture in profile"; exit 1; }
+grep -q "oiraidd slow-request id=" "$DAEMON_LOG" || { echo "FAIL: no slow-request log line"; exit 1; }
+python3 -c "import urllib.request; open('$WORK/trace.json','wb').write(
+    urllib.request.urlopen('http://127.0.0.1:$METRICS_PORT/trace', timeout=5).read())"
+python3 "$SCRIPT_DIR/check_trace.py" "$WORK/trace.json" \
+  --require-span request --require-span decode --require-span queue \
+  --require-span reply --min-requests 2
 stop_daemon
 
 [ -s "$WORK/metrics.jsonl" ] || { echo "FAIL: no metrics stream produced"; exit 1; }

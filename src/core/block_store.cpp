@@ -6,11 +6,51 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "util/assert.hpp"
 
 namespace oi::core {
+
+// ------------------------------------------------------------ io timer ----
+
+namespace {
+
+thread_local bool g_io_armed = false;
+thread_local std::uint64_t g_io_ns = 0;
+
+std::uint64_t io_steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// RAII around one backend I/O call: no clock reads unless armed.
+struct IoScope {
+  bool active = IoTimer::armed();
+  std::uint64_t t0 = active ? io_steady_ns() : 0;
+  ~IoScope() {
+    if (active) IoTimer::add_ns(io_steady_ns() - t0);
+  }
+};
+
+}  // namespace
+
+void IoTimer::arm() {
+  g_io_armed = true;
+  g_io_ns = 0;
+}
+
+std::uint64_t IoTimer::disarm_us() {
+  g_io_armed = false;
+  return g_io_ns / 1000;
+}
+
+bool IoTimer::armed() { return g_io_armed; }
+
+void IoTimer::add_ns(std::uint64_t ns) { g_io_ns += ns; }
 
 // ------------------------------------------------------------------ mem ----
 
@@ -28,6 +68,7 @@ void MemBlockStore::read(std::size_t disk, std::size_t offset,
                          std::span<std::uint8_t> out) const {
   OI_ASSERT(disk < store_.size() && offset < strips_, "strip out of range");
   OI_ASSERT(out.size() == strip_bytes_, "read buffer must be one strip");
+  IoScope io;
   const std::uint8_t* src = store_[disk].data() + offset * strip_bytes_;
   std::copy(src, src + strip_bytes_, out.begin());
 }
@@ -36,6 +77,7 @@ void MemBlockStore::write(std::size_t disk, std::size_t offset,
                           std::span<const std::uint8_t> data) {
   OI_ASSERT(disk < store_.size() && offset < strips_, "strip out of range");
   OI_ASSERT(data.size() == strip_bytes_, "write must be one strip");
+  IoScope io;
   std::copy(data.begin(), data.end(), store_[disk].begin() +
                                           static_cast<std::ptrdiff_t>(offset * strip_bytes_));
 }
@@ -111,6 +153,7 @@ void FileBlockStore::read(std::size_t disk, std::size_t offset,
                           std::span<std::uint8_t> out) const {
   OI_ASSERT(disk < fds_.size() && offset < strips_, "strip out of range");
   OI_ASSERT(out.size() == strip_bytes_, "read buffer must be one strip");
+  IoScope io;
   std::size_t done = 0;
   while (done < out.size()) {
     const ssize_t n = ::pread(fds_[disk], out.data() + done, out.size() - done,
@@ -127,6 +170,7 @@ void FileBlockStore::write(std::size_t disk, std::size_t offset,
                            std::span<const std::uint8_t> data) {
   OI_ASSERT(disk < fds_.size() && offset < strips_, "strip out of range");
   OI_ASSERT(data.size() == strip_bytes_, "write must be one strip");
+  IoScope io;
   std::size_t done = 0;
   while (done < data.size()) {
     const ssize_t n = ::pwrite(fds_[disk], data.data() + done, data.size() - done,
@@ -148,6 +192,7 @@ void FileBlockStore::trim_disk(std::size_t disk, std::uint8_t fill) {
 }
 
 void FileBlockStore::flush() {
+  IoScope io;
   for (std::size_t d = 0; d < fds_.size(); ++d) {
     // Clear-then-sync: a write racing with the fdatasync re-marks the disk,
     // so its bytes are covered by the *next* flush instead of never.

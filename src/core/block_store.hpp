@@ -50,6 +50,30 @@ class BlockStore {
   virtual std::string describe() const = 0;
 };
 
+/// Per-thread stopwatch for time spent inside BlockStore read/write/flush.
+/// The block server arms it around each array call to split "waiting on the
+/// backing store" (io) from "XOR/parity math" (codec) in its per-stage
+/// request profile:
+///
+///   IoTimer::arm();
+///   array.write(...);                         // codec + store I/O interleaved
+///   const auto io_us = IoTimer::disarm_us();  // just the store I/O share
+///
+/// Thread-local and allocation-free: backends accumulate elapsed time only
+/// when the calling thread armed the timer, so un-instrumented callers pay
+/// one thread-local bool read per strip I/O and no clock reads.
+class IoTimer {
+ public:
+  /// Starts (or restarts) accumulation on this thread; resets the total.
+  static void arm();
+  /// Stops accumulation; returns the microseconds accumulated since arm().
+  static std::uint64_t disarm_us();
+  static bool armed();
+  /// Backends call this with their elapsed I/O time (public so out-of-tree
+  /// BlockStore implementations can participate).
+  static void add_ns(std::uint64_t ns);
+};
+
 /// The historical in-memory backend, extracted verbatim from core::Array:
 /// one contiguous byte vector per disk, strips concatenated.
 class MemBlockStore final : public BlockStore {

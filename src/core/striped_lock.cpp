@@ -1,15 +1,100 @@
 #include "core/striped_lock.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
 
 #include "util/assert.hpp"
+#include "util/metrics.hpp"
 
 namespace oi::core {
 
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
 DomainLockTable::DomainLockTable(const layout::ConcurrencyMap& map)
     : count_(map.domains()),
-      locks_(std::make_unique<std::shared_mutex[]>(map.domains())) {
+      locks_(std::make_unique<std::shared_mutex[]>(map.domains())),
+      stats_(std::make_unique<DomainStats[]>(map.domains())) {
   OI_ENSURE(count_ >= 1, "lock table needs at least one domain");
+}
+
+std::size_t DomainLockTable::profile_bucket(std::uint64_t us) {
+  return std::min<std::size_t>(std::bit_width(us), kProfileBuckets - 1);
+}
+
+void DomainLockTable::note_wait(std::uint32_t domain, std::uint64_t wait_us,
+                                bool contended) {
+  DomainStats& s = stats_[domain];
+  s.acquisitions.fetch_add(1, std::memory_order_relaxed);
+  if (contended) s.contended.fetch_add(1, std::memory_order_relaxed);
+  s.wait_us.fetch_add(wait_us, std::memory_order_relaxed);
+  s.wait_hist[profile_bucket(wait_us)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void DomainLockTable::note_hold(std::span<const std::uint32_t> domains,
+                                std::uint64_t hold_us) {
+  const std::size_t bucket = profile_bucket(hold_us);
+  for (const std::uint32_t d : domains) {
+    DomainStats& s = stats_[d];
+    s.hold_us.fetch_add(hold_us, std::memory_order_relaxed);
+    s.hold_hist[bucket].fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+DomainLockTable::DomainProfile DomainLockTable::profile(
+    std::uint32_t domain) const {
+  OI_ASSERT(domain < count_, "domain id out of range");
+  const DomainStats& s = stats_[domain];
+  DomainProfile out;
+  out.domain = domain;
+  out.acquisitions = s.acquisitions.load(std::memory_order_relaxed);
+  out.contended = s.contended.load(std::memory_order_relaxed);
+  out.wait_us = s.wait_us.load(std::memory_order_relaxed);
+  out.hold_us = s.hold_us.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kProfileBuckets; ++i) {
+    out.wait_hist[i] = s.wait_hist[i].load(std::memory_order_relaxed);
+    out.hold_hist[i] = s.hold_hist[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<DomainLockTable::DomainProfile> DomainLockTable::top_domains(
+    std::size_t k) const {
+  std::vector<DomainProfile> all;
+  all.reserve(count_);
+  for (std::uint32_t d = 0; d < count_; ++d) {
+    DomainProfile p = profile(d);
+    if (p.acquisitions > 0) all.push_back(std::move(p));
+  }
+  std::sort(all.begin(), all.end(),
+            [](const DomainProfile& a, const DomainProfile& b) {
+              if (a.wait_us != b.wait_us) return a.wait_us > b.wait_us;
+              if (a.contended != b.contended) return a.contended > b.contended;
+              return a.domain < b.domain;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+void DomainLockTable::reset_profile() {
+  for (std::size_t d = 0; d < count_; ++d) {
+    DomainStats& s = stats_[d];
+    s.acquisitions.store(0, std::memory_order_relaxed);
+    s.contended.store(0, std::memory_order_relaxed);
+    s.wait_us.store(0, std::memory_order_relaxed);
+    s.hold_us.store(0, std::memory_order_relaxed);
+    for (auto& b : s.wait_hist) b.store(0, std::memory_order_relaxed);
+    for (auto& b : s.hold_hist) b.store(0, std::memory_order_relaxed);
+  }
 }
 
 DomainLockTable::Guard& DomainLockTable::Guard::operator=(Guard&& other) noexcept {
@@ -18,14 +103,21 @@ DomainLockTable::Guard& DomainLockTable::Guard::operator=(Guard&& other) noexcep
     table_ = other.table_;
     domains_ = std::move(other.domains_);
     exclusive_ = other.exclusive_;
+    acquired_ns_ = other.acquired_ns_;
     other.table_ = nullptr;
     other.domains_.clear();
+    other.acquired_ns_ = 0;
   }
   return *this;
 }
 
 void DomainLockTable::Guard::release() {
   if (!table_) return;
+  // Hold time is charged per guard (one clock read), attributed to every
+  // domain it covered; guards taken while metrics were off carry no stamp.
+  if (acquired_ns_ != 0) {
+    table_->note_hold(domains_, (steady_ns() - acquired_ns_) / 1000);
+  }
   // Unlock order is irrelevant for correctness; reverse of acquisition keeps
   // lock-analysis tooling quiet.
   for (auto it = domains_.rbegin(); it != domains_.rend(); ++it) {
@@ -37,6 +129,7 @@ void DomainLockTable::Guard::release() {
   }
   table_ = nullptr;
   domains_.clear();
+  acquired_ns_ = 0;
 }
 
 namespace {
@@ -54,25 +147,67 @@ DomainLockTable::Guard DomainLockTable::lock_shared(
     std::span<const std::uint32_t> domains) {
   std::vector<std::uint32_t> order = sorted_unique(domains);
   OI_ASSERT(order.empty() || order.back() < count_, "domain id out of range");
-  for (const std::uint32_t d : order) locks_[d].lock_shared();
-  return Guard(this, std::move(order), /*exclusive=*/false);
+  if (!metrics::enabled()) {
+    for (const std::uint32_t d : order) locks_[d].lock_shared();
+    return Guard(this, std::move(order), /*exclusive=*/false);
+  }
+  for (const std::uint32_t d : order) {
+    // try_lock probe: uncontended acquisitions cost no clock read.
+    if (locks_[d].try_lock_shared()) {
+      note_wait(d, 0, /*contended=*/false);
+      continue;
+    }
+    const std::uint64_t t0 = steady_ns();
+    locks_[d].lock_shared();
+    note_wait(d, (steady_ns() - t0) / 1000, /*contended=*/true);
+  }
+  Guard guard(this, std::move(order), /*exclusive=*/false);
+  guard.acquired_ns_ = steady_ns();
+  return guard;
 }
 
 DomainLockTable::Guard DomainLockTable::lock_exclusive(
     std::span<const std::uint32_t> domains) {
   std::vector<std::uint32_t> order = sorted_unique(domains);
   OI_ASSERT(order.empty() || order.back() < count_, "domain id out of range");
-  for (const std::uint32_t d : order) locks_[d].lock();
-  return Guard(this, std::move(order), /*exclusive=*/true);
+  if (!metrics::enabled()) {
+    for (const std::uint32_t d : order) locks_[d].lock();
+    return Guard(this, std::move(order), /*exclusive=*/true);
+  }
+  for (const std::uint32_t d : order) {
+    if (locks_[d].try_lock()) {
+      note_wait(d, 0, /*contended=*/false);
+      continue;
+    }
+    const std::uint64_t t0 = steady_ns();
+    locks_[d].lock();
+    note_wait(d, (steady_ns() - t0) / 1000, /*contended=*/true);
+  }
+  Guard guard(this, std::move(order), /*exclusive=*/true);
+  guard.acquired_ns_ = steady_ns();
+  return guard;
 }
 
 DomainLockTable::Guard DomainLockTable::lock_all_exclusive() {
   std::vector<std::uint32_t> order(count_);
+  const bool profiled = metrics::enabled();
   for (std::uint32_t d = 0; d < count_; ++d) {
     order[d] = d;
+    if (!profiled) {
+      locks_[d].lock();
+      continue;
+    }
+    if (locks_[d].try_lock()) {
+      note_wait(d, 0, /*contended=*/false);
+      continue;
+    }
+    const std::uint64_t t0 = steady_ns();
     locks_[d].lock();
+    note_wait(d, (steady_ns() - t0) / 1000, /*contended=*/true);
   }
-  return Guard(this, std::move(order), /*exclusive=*/true);
+  Guard guard(this, std::move(order), /*exclusive=*/true);
+  if (profiled) guard.acquired_ns_ = steady_ns();
+  return guard;
 }
 
 std::vector<std::uint32_t> domains_of_range(const layout::StripeMap& map,

@@ -10,8 +10,17 @@
 // (re)planning, restore -- take lock_all_exclusive(), which is also the
 // ordering barrier that makes the Array's plain (non-atomic) rebuild
 // bookkeeping safe to rewrite.
+//
+// Contention profiler: while util/metrics is enabled, every acquisition
+// records per-domain wait/hold statistics (relaxed atomics, one try_lock
+// probe + at most two clock reads per domain). top_domains() ranks the
+// hottest domains for `oiraidctl profile` and the server's status text;
+// while metrics are off the only cost is one relaxed atomic-bool load per
+// acquisition (the util/metrics contract).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
@@ -27,6 +36,30 @@ class DomainLockTable {
   explicit DomainLockTable(const layout::ConcurrencyMap& map);
 
   std::size_t domains() const { return count_; }
+
+  /// Power-of-two microsecond buckets for the per-domain wait/hold
+  /// histograms: bucket 0 is sub-microsecond, bucket i counts samples in
+  /// [2^(i-1), 2^i) us, the top bucket clamps (>= ~16 ms).
+  static constexpr std::size_t kProfileBuckets = 16;
+  static std::size_t profile_bucket(std::uint64_t us);
+
+  /// One domain's contention profile, as of the snapshot.
+  struct DomainProfile {
+    std::uint32_t domain = 0;
+    std::uint64_t acquisitions = 0;
+    /// Acquisitions that found the lock taken (the try_lock probe failed).
+    std::uint64_t contended = 0;
+    std::uint64_t wait_us = 0;  ///< total time blocked acquiring
+    std::uint64_t hold_us = 0;  ///< total time held
+    std::array<std::uint64_t, kProfileBuckets> wait_hist{};
+    std::array<std::uint64_t, kProfileBuckets> hold_hist{};
+  };
+
+  DomainProfile profile(std::uint32_t domain) const;
+  /// The k hottest domains by total wait (ties broken by contended count),
+  /// skipping never-acquired domains; at most k entries.
+  std::vector<DomainProfile> top_domains(std::size_t k) const;
+  void reset_profile();
 
   /// RAII hold on a set of domains. Move-only; unlocks on destruction.
   class Guard {
@@ -49,6 +82,10 @@ class DomainLockTable {
     DomainLockTable* table_ = nullptr;
     std::vector<std::uint32_t> domains_;
     bool exclusive_ = false;
+    /// Nanosecond acquisition stamp (steady clock); 0 = not profiled, so
+    /// release() skips hold accounting for guards taken while metrics were
+    /// off.
+    std::uint64_t acquired_ns_ = 0;
   };
 
   /// `domains` may be unsorted and contain duplicates; the guard locks each
@@ -60,8 +97,24 @@ class DomainLockTable {
 
  private:
   friend class Guard;
+
+  /// Per-domain relaxed-atomic counters; writers never synchronize through
+  /// them (TSan-clean), readers get consistent-enough snapshots.
+  struct DomainStats {
+    std::atomic<std::uint64_t> acquisitions{0};
+    std::atomic<std::uint64_t> contended{0};
+    std::atomic<std::uint64_t> wait_us{0};
+    std::atomic<std::uint64_t> hold_us{0};
+    std::array<std::atomic<std::uint64_t>, kProfileBuckets> wait_hist{};
+    std::array<std::atomic<std::uint64_t>, kProfileBuckets> hold_hist{};
+  };
+
+  void note_wait(std::uint32_t domain, std::uint64_t wait_us, bool contended);
+  void note_hold(std::span<const std::uint32_t> domains, std::uint64_t hold_us);
+
   std::size_t count_ = 0;
   std::unique_ptr<std::shared_mutex[]> locks_;
+  std::unique_ptr<DomainStats[]> stats_;
 };
 
 /// Domains covered by the byte range [offset, offset + length) of an array

@@ -10,14 +10,18 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <future>
+#include <iostream>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
 
+#include "core/block_store.hpp"
 #include "util/assert.hpp"
 #include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace oi::server {
 
@@ -28,6 +32,7 @@ struct ServerMetrics {
   metrics::Counter& disconnects;
   metrics::Counter& requests;
   metrics::Counter& errors;
+  metrics::Counter& slow_requests;
   metrics::Counter& read_bytes;
   metrics::Counter& write_bytes;
   metrics::Counter& rebuild_steps;
@@ -38,29 +43,60 @@ struct ServerMetrics {
   metrics::FixedHistogram& read_latency_us;
   metrics::FixedHistogram& write_latency_us;
   metrics::FixedHistogram& status_latency_us;
+  // Per-stage lifecycle latency (shared log geometry; trace-id exemplars).
+  metrics::FixedHistogram& stage_decode;
+  metrics::FixedHistogram& stage_queue;
+  metrics::FixedHistogram& stage_lock;
+  metrics::FixedHistogram& stage_io;
+  metrics::FixedHistogram& stage_codec;
+  metrics::FixedHistogram& stage_reply;
 
   static ServerMetrics& instance() {
     auto& reg = metrics::Registry::instance();
-    static ServerMetrics m{reg.counter("server.net.connections"),
-                           reg.counter("server.net.disconnects"),
-                           reg.counter("server.net.requests"),
-                           reg.counter("server.net.errors"),
-                           reg.counter("server.io.read_bytes"),
-                           reg.counter("server.io.write_bytes"),
-                           reg.counter("server.rebuild.steps"),
-                           reg.gauge("server.rebuild.active"),
-                           reg.gauge("rebuild.watermark"),
-                           reg.gauge("server.rebuild.total_steps"),
-                           reg.gauge("server.disks.failed"),
-                           reg.histogram("server.req.read.latency_us", 0.0,
-                                         20000.0, 40),
-                           reg.histogram("server.req.write.latency_us", 0.0,
-                                         20000.0, 40),
-                           reg.histogram("server.req.status.latency_us", 0.0,
-                                         20000.0, 40)};
+    static ServerMetrics m{
+        reg.counter("server.net.connections"),
+        reg.counter("server.net.disconnects"),
+        reg.counter("server.net.requests"),
+        reg.counter("server.net.errors"),
+        reg.counter("server.req.slow"),
+        reg.counter("server.io.read_bytes"),
+        reg.counter("server.io.write_bytes"),
+        reg.counter("server.rebuild.steps"),
+        reg.gauge("server.rebuild.active"),
+        reg.gauge("rebuild.watermark"),
+        reg.gauge("server.rebuild.total_steps"),
+        reg.gauge("server.disks.failed"),
+        reg.latency_histogram("server.req.read.latency_us"),
+        reg.latency_histogram("server.req.write.latency_us"),
+        reg.latency_histogram("server.req.status.latency_us"),
+        reg.latency_histogram("server.stage.decode.latency_us"),
+        reg.latency_histogram("server.stage.queue.latency_us"),
+        reg.latency_histogram("server.stage.lock.latency_us"),
+        reg.latency_histogram("server.stage.io.latency_us"),
+        reg.latency_histogram("server.stage.codec.latency_us"),
+        reg.latency_histogram("server.stage.reply.latency_us")};
     return m;
   }
 };
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kPing: return "ping";
+    case Op::kRead: return "read";
+    case Op::kWrite: return "write";
+    case Op::kFailDisk: return "fail_disk";
+    case Op::kStatus: return "status";
+    case Op::kStop: return "stop";
+    case Op::kProfile: return "profile";
+  }
+  return "unknown";
+}
+
+/// Trailing-p99 ring length and recompute cadence; small enough that the
+/// occasional nth_element under slow_mutex_ is noise.
+constexpr std::size_t kRecentRing = 512;
+constexpr std::uint64_t kRecomputeEvery = 128;
+constexpr std::size_t kSlowLinesKept = 16;
 
 using Clock = std::chrono::steady_clock;
 
@@ -112,6 +148,9 @@ BlockServer::BlockServer(PersistentArray& array, BlockServerConfig config)
       tenants_(config_.tenants) {
   OI_ENSURE(config_.rebuild_batch_steps >= 1,
             "rebuild batch must be at least one step");
+  slow_capture_ =
+      config_.slow_request_us > 0.0 || config_.slow_p99_multiple > 0.0;
+  recent_totals_.reserve(kRecentRing);
   if (config_.qos_controller) {
     controller_ =
         std::make_unique<RebuildController>(config_.controller, tenants_);
@@ -225,31 +264,59 @@ void BlockServer::handle_connection(int fd) {
       if (n <= 0) return;  // peer closed
       got += static_cast<std::size_t>(n);
     }
+    RequestTrace rt;
+    rt.timed = metrics::enabled() || trace::enabled() || slow_capture_;
+    if (rt.timed) rt.t_start = trace::wall_seconds();
     Frame request;
-    const auto payload_len = decode_header({header, kHeaderBytes}, request);
-    if (!payload_len) {
+    const auto info = decode_header({header, kHeaderBytes}, request);
+    if (!info) {
       // Protocol violation (bad magic or hostile length): count it, drop the
       // connection.
       m.errors.increment();
       return;
     }
-    request.payload.resize(*payload_len);
+    std::uint8_t extension[kTraceIdBytes];
     got = 0;
-    while (got < *payload_len) {
+    while (got < info->extension_len) {
+      pollfd pfd{fd, POLLIN, 0};
+      if (::poll(&pfd, 1, 1000 /*ms*/) <= 0) {
+        if (stopping_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      const ssize_t n = ::recv(fd, extension + got, info->extension_len - got, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;
+      got += static_cast<std::size_t>(n);
+    }
+    decode_extension({extension, info->extension_len}, request);
+    request.payload.resize(info->payload_len);
+    got = 0;
+    while (got < info->payload_len) {
       pollfd pfd{fd, POLLIN, 0};
       if (::poll(&pfd, 1, 1000 /*ms*/) <= 0) {
         if (stopping_.load(std::memory_order_acquire)) return;
         continue;
       }
       const ssize_t n = ::recv(fd, request.payload.data() + got,
-                               *payload_len - got, 0);
+                               info->payload_len - got, 0);
       if (n < 0 && errno == EINTR) continue;
       if (n <= 0) return;
       got += static_cast<std::size_t>(n);
     }
+    // Untraced requests still get a (small, server-local) id so exemplars
+    // and slow-log lines always point at something.
+    rt.id = request.trace_id != 0
+                ? request.trace_id
+                : internal_ids_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (rt.timed) rt.t_decoded = trace::wall_seconds();
     m.requests.increment();
-    const Frame response = execute_on_pool(request);
-    if (!send_all(fd, encode_frame(response))) {
+    const Frame response = execute_on_pool(request, rt);
+    const bool sent = send_all(fd, encode_frame(response));
+    if (rt.timed) {
+      rt.t_done = trace::wall_seconds();
+      finish_request(request, rt);
+    }
+    if (!sent) {
       // The peer vanished with a response in flight; unlike a clean close
       // this loses an acknowledged-side effect, so count it as an error.
       m.errors.increment();
@@ -259,23 +326,28 @@ void BlockServer::handle_connection(int fd) {
   }
 }
 
-Frame BlockServer::execute_on_pool(const Frame& request) {
+Frame BlockServer::execute_on_pool(const Frame& request, RequestTrace& rt) {
   // Per-request handoff: the connection thread blocks on its own response,
   // preserving per-connection ordering, while total array concurrency is
-  // bounded by the pool width.
+  // bounded by the pool width. The promise/future pair also publishes the
+  // worker's writes into `rt` back to the connection thread.
   std::promise<Frame> done;
   std::future<Frame> response = done.get_future();
   const auto arrival = Clock::now();
-  pool_->submit([this, &request, &done, arrival] {
-    done.set_value(handle_request(request, arrival));
+  pool_->submit([this, &request, &done, arrival, &rt] {
+    if (rt.timed) rt.t_worker_start = trace::wall_seconds();
+    Frame out = handle_request(request, arrival, rt);
+    if (rt.timed) rt.t_worker_end = trace::wall_seconds();
+    done.set_value(std::move(out));
   });
   Frame out = response.get();
-  out.tenant = request.tenant;  // responses echo the request's tenant tag
+  out.tenant = request.tenant;      // responses echo the request's tenant tag
+  out.trace_id = request.trace_id;  // and its trace id (0 = no extension)
   return out;
 }
 
 Frame BlockServer::handle_request(const Frame& request,
-                                  Clock::time_point arrival) {
+                                  Clock::time_point arrival, RequestTrace& rt) {
   auto& m = ServerMetrics::instance();
   try {
     switch (request.op) {
@@ -299,13 +371,23 @@ Frame BlockServer::handle_request(const Frame& request,
         const auto start = Clock::now();
         Frame response{Op::kRead};
         {
-          const auto domains = core::domains_of_range(
-              map_, concurrency_, request.arg, length,
-              array_.array().strip_bytes());
+          auto domains = core::domains_of_range(map_, concurrency_,
+                                                request.arg, length,
+                                                array_.array().strip_bytes());
+          const double lock_t0 = rt.timed ? trace::wall_seconds() : 0.0;
           auto guard = locks_.lock_shared(domains);
+          if (rt.timed) {
+            rt.lock_us = (trace::wall_seconds() - lock_t0) * 1e6;
+            rt.has_array_stages = true;
+            rt.domains = std::move(domains);
+            core::IoTimer::arm();
+          }
           response.payload = array_.array().read_bytes(request.arg, length);
+          if (rt.timed) rt.io_us = static_cast<double>(core::IoTimer::disarm_us());
         }
-        if (metrics::enabled()) m.read_latency_us.record(elapsed_us(start));
+        if (metrics::enabled()) {
+          m.read_latency_us.record_ex(elapsed_us(start), rt.id);
+        }
         // SLO latency spans queueing too -- measured from frame arrival, not
         // from dispatch, so pool backlog under rebuild pressure is visible to
         // the controller.
@@ -322,13 +404,23 @@ Frame BlockServer::handle_request(const Frame& request,
         governor_.acquire_client(request.payload.size());
         const auto start = Clock::now();
         {
-          const auto domains = core::domains_of_range(
+          auto domains = core::domains_of_range(
               map_, concurrency_, request.arg, request.payload.size(),
               array_.array().strip_bytes());
+          const double lock_t0 = rt.timed ? trace::wall_seconds() : 0.0;
           auto guard = locks_.lock_exclusive(domains);
+          if (rt.timed) {
+            rt.lock_us = (trace::wall_seconds() - lock_t0) * 1e6;
+            rt.has_array_stages = true;
+            rt.domains = std::move(domains);
+            core::IoTimer::arm();
+          }
           array_.array().write_bytes(request.arg, request.payload);
+          if (rt.timed) rt.io_us = static_cast<double>(core::IoTimer::disarm_us());
         }
-        if (metrics::enabled()) m.write_latency_us.record(elapsed_us(start));
+        if (metrics::enabled()) {
+          m.write_latency_us.record_ex(elapsed_us(start), rt.id);
+        }
         tenants_.sensors(request.tenant)
             .record(elapsed_us(arrival), /*is_write=*/true,
                     request.payload.size());
@@ -337,8 +429,15 @@ Frame BlockServer::handle_request(const Frame& request,
       }
       case Op::kFailDisk: {
         // Whole-array transition: every domain, exclusively.
+        const double lock_t0 = rt.timed ? trace::wall_seconds() : 0.0;
         auto barrier = locks_.lock_all_exclusive();
+        if (rt.timed) {
+          rt.lock_us = (trace::wall_seconds() - lock_t0) * 1e6;
+          rt.has_array_stages = true;
+          core::IoTimer::arm();
+        }
         array_.fail_disk(static_cast<std::size_t>(request.arg));
+        if (rt.timed) rt.io_us = static_cast<double>(core::IoTimer::disarm_us());
         m.failed_disks.set(
             static_cast<double>(array_.array().failed_disks().size()));
         return Frame{Op::kFailDisk};
@@ -351,6 +450,12 @@ Frame BlockServer::handle_request(const Frame& request,
         record_latency(m.status_latency_us, start);
         return response;
       }
+      case Op::kProfile: {
+        Frame response{Op::kProfile};
+        const std::string text = profile_text();
+        response.payload.assign(text.begin(), text.end());
+        return response;
+      }
       case Op::kStop: {
         stop();
         return Frame{Op::kStop};
@@ -361,6 +466,151 @@ Frame BlockServer::handle_request(const Frame& request,
     m.errors.increment();
     return error_frame(request.op, error.what());
   }
+}
+
+void BlockServer::finish_request(const Frame& request, RequestTrace& rt) {
+  auto& m = ServerMetrics::instance();
+  // Stage durations. By construction they sum exactly to total_us: codec
+  // absorbs worker-side time that is neither lock wait nor store I/O
+  // (validation, governor, parity math), reply absorbs the pool handoff back
+  // to the connection thread plus the socket write.
+  const double total_us = (rt.t_done - rt.t_start) * 1e6;
+  const double decode_us = (rt.t_decoded - rt.t_start) * 1e6;
+  const double queue_us = (rt.t_worker_start - rt.t_decoded) * 1e6;
+  const double worker_us = (rt.t_worker_end - rt.t_worker_start) * 1e6;
+  const double codec_us = std::max(0.0, worker_us - rt.lock_us - rt.io_us);
+  const double reply_us = (rt.t_done - rt.t_worker_end) * 1e6;
+
+  if (metrics::enabled()) {
+    m.stage_decode.record_ex(decode_us, rt.id);
+    m.stage_queue.record_ex(queue_us, rt.id);
+    if (rt.has_array_stages) {
+      m.stage_lock.record_ex(rt.lock_us, rt.id);
+      m.stage_io.record_ex(rt.io_us, rt.id);
+      m.stage_codec.record_ex(codec_us, rt.id);
+    }
+    m.stage_reply.record_ex(reply_us, rt.id);
+  }
+
+  // Trailing-p99 ring: one short critical section per completed request.
+  double trailing = trailing_p99_us_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(slow_mutex_);
+    if (recent_totals_.size() < kRecentRing) {
+      recent_totals_.push_back(total_us);
+    } else {
+      recent_totals_[recent_next_] = total_us;
+      recent_next_ = (recent_next_ + 1) % kRecentRing;
+    }
+    if (++finished_requests_ % kRecomputeEvery == 0) {
+      std::vector<double> sorted = recent_totals_;
+      const std::size_t idx = sorted.size() * 99 / 100;
+      std::nth_element(sorted.begin(),
+                       sorted.begin() + static_cast<std::ptrdiff_t>(idx),
+                       sorted.end());
+      trailing = sorted[idx];
+      trailing_p99_us_.store(trailing, std::memory_order_relaxed);
+    }
+  }
+
+  const bool slow =
+      (config_.slow_request_us > 0.0 && total_us > config_.slow_request_us) ||
+      (config_.slow_p99_multiple > 0.0 && trailing > 0.0 &&
+       total_us > config_.slow_p99_multiple * trailing);
+  if (slow) {
+    std::ostringstream line;
+    line << "slow-request id=" << rt.id << " op=" << op_name(request.op)
+         << " tenant=" << request.tenant
+         << " total_us=" << std::llround(total_us)
+         << " decode_us=" << std::llround(decode_us)
+         << " queue_us=" << std::llround(queue_us)
+         << " lock_us=" << std::llround(rt.lock_us)
+         << " io_us=" << std::llround(rt.io_us)
+         << " codec_us=" << std::llround(codec_us)
+         << " reply_us=" << std::llround(reply_us) << " domains=";
+    if (rt.domains.empty()) {
+      line << '-';
+    } else {
+      for (std::size_t i = 0; i < rt.domains.size(); ++i) {
+        line << (i == 0 ? "" : ",") << rt.domains[i];
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(slow_mutex_);
+      if (slow_lines_.size() >= kSlowLinesKept) {
+        slow_lines_.erase(slow_lines_.begin());
+      }
+      slow_lines_.push_back(line.str());
+    }
+    // Bump the counter only after the line is in the ring, so anything
+    // that observes the count (status pollers, tests) can rely on the
+    // capture being readable.
+    slow_count_.fetch_add(1, std::memory_order_relaxed);
+    m.slow_requests.increment();
+    std::cerr << "oiraidd " << line.str() << '\n';
+  }
+
+  // Span tree: every request while tracing free-runs; only the captured
+  // tails once a slow threshold is set, so a bounded flight-recorder ring
+  // keeps the interesting requests instead of the latest ones.
+  if (trace::enabled() && (!slow_capture_ || slow)) {
+    thread_local std::uint64_t lane = 0;
+    if (lane == 0) lane = trace::wall_lane("oiraidd conn");
+    auto& tracer = trace::Tracer::instance();
+    std::ostringstream args;
+    args << "{\"req\": " << rt.id << ", \"op\": \"" << op_name(request.op)
+         << "\", \"tenant\": " << request.tenant << ", \"domains\": [";
+    for (std::size_t i = 0; i < rt.domains.size(); ++i) {
+      args << (i == 0 ? "" : ", ") << rt.domains[i];
+    }
+    args << "]}";
+    tracer.begin(0, lane, "request", rt.t_start, "server", args.str());
+    tracer.begin(0, lane, "decode", rt.t_start, "server");
+    tracer.end(0, lane, "decode", rt.t_decoded);
+    tracer.begin(0, lane, "queue", rt.t_decoded, "server");
+    tracer.end(0, lane, "queue", rt.t_worker_start);
+    if (rt.has_array_stages) {
+      // The three worker stages are drawn back-to-back from their measured
+      // durations (store I/O interleaves with parity math in reality; the
+      // tree shows the split, not the interleaving).
+      const double lock_end = rt.t_worker_start + rt.lock_us / 1e6;
+      const double io_end = lock_end + rt.io_us / 1e6;
+      tracer.begin(0, lane, "lock", rt.t_worker_start, "server");
+      tracer.end(0, lane, "lock", lock_end);
+      tracer.begin(0, lane, "io", lock_end, "server");
+      tracer.end(0, lane, "io", io_end);
+      tracer.begin(0, lane, "codec", io_end, "server");
+      tracer.end(0, lane, "codec", rt.t_worker_end);
+    } else {
+      // Non-array ops (ping/status/profile/...) spend their whole worker
+      // interval in "codec" (the catch-all compute stage), so the stage
+      // spans still partition the request end to end.
+      tracer.begin(0, lane, "codec", rt.t_worker_start, "server");
+      tracer.end(0, lane, "codec", rt.t_worker_end);
+    }
+    tracer.begin(0, lane, "reply", rt.t_worker_end, "server");
+    tracer.end(0, lane, "reply", rt.t_done);
+    tracer.end(0, lane, "request", rt.t_done);
+  }
+}
+
+std::string BlockServer::profile_text() {
+  std::ostringstream os;
+  os << "slow_requests " << slow_count_.load(std::memory_order_relaxed) << '\n'
+     << "trailing_p99_us "
+     << std::llround(trailing_p99_us_.load(std::memory_order_relaxed)) << '\n';
+  const auto hot = locks_.top_domains(8);
+  os << "hot_domains " << hot.size() << '\n';
+  for (const auto& d : hot) {
+    os << "domain " << d.domain << " acquisitions " << d.acquisitions
+       << " contended " << d.contended << " wait_us " << d.wait_us
+       << " hold_us " << d.hold_us << '\n';
+  }
+  std::lock_guard<std::mutex> lock(slow_mutex_);
+  for (auto it = slow_lines_.rbegin(); it != slow_lines_.rend(); ++it) {
+    os << *it << '\n';
+  }
+  return os.str();
 }
 
 std::string BlockServer::status_text() {
@@ -381,6 +631,14 @@ std::string BlockServer::status_text() {
      << "rebuild_active " << (array.rebuild_active() ? 1 : 0) << '\n'
      << "rebuild_watermark " << array.rebuild_watermark() << '\n'
      << "rebuild_total_steps " << array.rebuild_total_steps() << '\n';
+  os << "slow_requests " << slow_count_.load(std::memory_order_relaxed) << '\n';
+  // The hottest lock domains by accumulated wait; `oiraidctl profile` has
+  // the longer list plus recent slow-request captures.
+  for (const auto& d : locks_.top_domains(4)) {
+    os << "hot_domain " << d.domain << " acquisitions " << d.acquisitions
+       << " contended " << d.contended << " wait_us " << d.wait_us
+       << " hold_us " << d.hold_us << '\n';
+  }
   os << "qos_controller " << (controller_ ? 1 : 0) << '\n'
      << "qos_rebuild_rate_bytes_per_second " << rebuild_rate() << '\n';
   if (controller_) {

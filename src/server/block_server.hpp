@@ -27,6 +27,17 @@
 // per-op `server.req.*.latency_us` histograms, the `rebuild.watermark`
 // gauge) -- point `oiraidctl top` at the daemon's --metrics-port to watch a
 // rebuild race client traffic live.
+//
+// Request tracing: every request is timed through six lifecycle stages
+// (decode, queue, lock, io, codec, reply; see docs/OBSERVABILITY.md). Stage
+// durations feed the always-on `server.stage.<name>.latency_us` histograms
+// (with the request's trace id as the bucket exemplar), wall-clock span
+// trees in util/trace (one lane per connection thread), and the tail-based
+// slow-request capture: requests slower than `slow_request_us` -- or than
+// `slow_p99_multiple` times the trailing p99 -- are counted, logged as one
+// structured stderr line, kept for `oiraidctl profile`, and when thresholds
+// are set span emission narrows to just those requests so a bounded trace
+// ring retains the interesting tails.
 #pragma once
 
 #include <atomic>
@@ -72,6 +83,14 @@ struct BlockServerConfig {
   /// then ignored.
   bool qos_controller = false;
   RebuildControllerConfig controller;
+  /// Slow-request capture: a request whose end-to-end time (header decoded
+  /// -> reply sent) exceeds this many microseconds is captured. 0 disables
+  /// the absolute threshold.
+  double slow_request_us = 0.0;
+  /// Adaptive threshold: capture requests slower than this multiple of the
+  /// trailing p99 (recomputed every few hundred requests). 0 disables.
+  /// Either threshold being set switches span emission to tail-based.
+  double slow_p99_multiple = 0.0;
 };
 
 class BlockServer {
@@ -86,6 +105,15 @@ class BlockServer {
   BlockServer& operator=(const BlockServer&) = delete;
 
   std::uint16_t port() const { return port_; }
+  /// Requests captured by the slow-request thresholds so far.
+  std::uint64_t slow_requests() const {
+    return slow_count_.load(std::memory_order_relaxed);
+  }
+  /// Trailing p99 of end-to-end request time (us); 0 until enough requests
+  /// completed to compute one.
+  double trailing_p99_us() const {
+    return trailing_p99_us_.load(std::memory_order_relaxed);
+  }
   /// Current rebuild pacing rate in bytes/second (the controller's live rate,
   /// or the static bucket's configured rate; 0 = unthrottled static).
   double rebuild_rate() const;
@@ -96,6 +124,27 @@ class BlockServer {
   void stop();
 
  private:
+  /// Per-request stage record. Filled across two threads -- the connection
+  /// thread (decode, reply, finish) and the worker (lock, io, codec) -- with
+  /// the promise/future handoff as the synchronization point, so no field
+  /// needs to be atomic. Timestamps are trace::wall_seconds() doubles; the
+  /// stage durations are derived in finish_request() and sum exactly to the
+  /// end-to-end time by construction (codec absorbs worker-side time that is
+  /// neither lock wait nor store I/O, reply absorbs the pool handoff back).
+  struct RequestTrace {
+    bool timed = false;  ///< any of metrics / tracing / slow capture live
+    std::uint64_t id = 0;
+    double t_start = 0.0;         ///< header fully read
+    double t_decoded = 0.0;       ///< frame assembled, about to submit
+    double t_worker_start = 0.0;  ///< pool task picked the request up
+    double t_worker_end = 0.0;    ///< handle_request returned
+    double t_done = 0.0;          ///< reply written to the socket
+    double lock_us = 0.0;         ///< domain-lock acquisition wait
+    double io_us = 0.0;           ///< BlockStore time (core::IoTimer)
+    bool has_array_stages = false;
+    std::vector<std::uint32_t> domains;
+  };
+
   void serve();
   void handle_connection(int fd);
   /// One request -> one response, executed on the worker pool under the
@@ -104,11 +153,18 @@ class BlockServer {
   /// arrival -> completion (queueing included -- what the client experiences),
   /// while the `server.req.*.latency_us` histograms stay pure service time.
   Frame handle_request(const Frame& request,
-                       std::chrono::steady_clock::time_point arrival);
+                       std::chrono::steady_clock::time_point arrival,
+                       RequestTrace& rt);
   /// Submits the request to the pool and waits for its response.
-  Frame execute_on_pool(const Frame& request);
+  Frame execute_on_pool(const Frame& request, RequestTrace& rt);
+  /// Post-reply bookkeeping on the connection thread: stage histograms,
+  /// span-tree emission, trailing-p99 ring, slow-request capture.
+  void finish_request(const Frame& request, RequestTrace& rt);
   void rebuild_loop();
   std::string status_text();
+  /// Body of the kProfile response / `oiraidctl profile`: hottest lock
+  /// domains and recent slow-request captures, "key value"-style lines.
+  std::string profile_text();
 
   PersistentArray& array_;
   BlockServerConfig config_;
@@ -128,6 +184,23 @@ class BlockServer {
   std::vector<std::thread> workers_;
   std::thread acceptor_;
   std::thread rebuilder_;
+
+  // --- request tracing / slow capture state ---
+  /// Any slow-request threshold configured (precomputed: checked per frame).
+  bool slow_capture_ = false;
+  /// Ids for requests the client did not trace (so exemplars and slow-log
+  /// lines always correlate to *something*); client ids carry a pid in the
+  /// high 32 bits, these stay small, so the two spaces read apart.
+  std::atomic<std::uint64_t> internal_ids_{0};
+  std::atomic<std::uint64_t> slow_count_{0};
+  std::atomic<double> trailing_p99_us_{0.0};
+  /// Guards the trailing ring and the recent-slow lines (touched once per
+  /// completed request, far off the hot path's lock domains).
+  std::mutex slow_mutex_;
+  std::vector<double> recent_totals_;
+  std::size_t recent_next_ = 0;
+  std::uint64_t finished_requests_ = 0;
+  std::vector<std::string> slow_lines_;  ///< newest last, bounded
 };
 
 }  // namespace oi::server

@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
@@ -40,31 +41,46 @@ std::uint64_t get_le(std::span<const std::uint8_t> bytes) {
 
 std::vector<std::uint8_t> encode_frame(const Frame& frame) {
   std::vector<std::uint8_t> out;
-  out.reserve(kHeaderBytes + frame.payload.size());
+  out.reserve(kHeaderBytes + (frame.trace_id != 0 ? kTraceIdBytes : 0) +
+              frame.payload.size());
   out.insert(out.end(), kMagic, kMagic + 4);
   out.push_back(static_cast<std::uint8_t>(frame.op));
-  out.push_back(static_cast<std::uint8_t>(frame.status));
+  out.push_back(static_cast<std::uint8_t>(
+      static_cast<std::uint8_t>(frame.status) |
+      (frame.trace_id != 0 ? kTraceFlag : 0)));
   put_u16(out, frame.tenant);
   put_u64(out, frame.arg);
   put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  if (frame.trace_id != 0) put_u64(out, frame.trace_id);
   out.insert(out.end(), frame.payload.begin(), frame.payload.end());
   return out;
 }
 
-std::optional<std::uint32_t> decode_header(std::span<const std::uint8_t> header,
-                                           Frame& out) {
+std::optional<HeaderInfo> decode_header(std::span<const std::uint8_t> header,
+                                        Frame& out) {
   if (header.size() != kHeaderBytes ||
       std::memcmp(header.data(), kMagic, 4) != 0) {
     return std::nullopt;
   }
   out.op = static_cast<Op>(header[4]);
-  out.status = static_cast<Status>(header[5]);
+  out.status = static_cast<Status>(header[5] & ~kTraceFlag);
   out.tenant = static_cast<std::uint16_t>(get_le(header.subspan(6, 2)));
   out.arg = get_le(header.subspan(8, 8));
+  out.trace_id = 0;
   const auto len = static_cast<std::uint32_t>(get_le(header.subspan(16, 4)));
   if (len > kMaxPayload) return std::nullopt;
   out.payload.clear();
-  return len;
+  HeaderInfo info;
+  info.payload_len = len;
+  info.extension_len = (header[5] & kTraceFlag) != 0
+                           ? static_cast<std::uint32_t>(kTraceIdBytes)
+                           : 0;
+  return info;
+}
+
+void decode_extension(std::span<const std::uint8_t> extension, Frame& out) {
+  if (extension.empty()) return;
+  out.trace_id = get_le(extension);
 }
 
 // --------------------------------------------------------------- client ----
@@ -132,16 +148,41 @@ Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+namespace {
+
+/// Fresh client-unique trace ids: pid in the high bits keeps concurrent
+/// clients on one host from colliding, the counter keeps one client's
+/// requests distinct. Never returns 0 (0 = untraced on the wire).
+std::uint64_t next_trace_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  static const std::uint64_t pid_bits =
+      static_cast<std::uint64_t>(::getpid()) << 32;
+  const std::uint64_t id =
+      pid_bits | (counter.fetch_add(1, std::memory_order_relaxed) + 1);
+  return id != 0 ? id : 1;
+}
+
+}  // namespace
+
 Frame Client::roundtrip(Frame request) {
   request.tenant = tenant_;
+  if (tracing_ && request.trace_id == 0) request.trace_id = next_trace_id();
+  if (request.trace_id != 0) last_trace_id_ = request.trace_id;
   send_frame(fd_, request, timeout_ms_);
   std::uint8_t header[kHeaderBytes];
   recv_exact(fd_, header, kHeaderBytes, timeout_ms_);
   Frame response;
-  const auto len = decode_header({header, kHeaderBytes}, response);
-  if (!len) throw std::runtime_error("oiraidd client: malformed response");
-  response.payload.resize(*len);
-  if (*len > 0) recv_exact(fd_, response.payload.data(), *len, timeout_ms_);
+  const auto info = decode_header({header, kHeaderBytes}, response);
+  if (!info) throw std::runtime_error("oiraidd client: malformed response");
+  if (info->extension_len > 0) {
+    std::uint8_t extension[kTraceIdBytes];
+    recv_exact(fd_, extension, info->extension_len, timeout_ms_);
+    decode_extension({extension, info->extension_len}, response);
+  }
+  response.payload.resize(info->payload_len);
+  if (info->payload_len > 0) {
+    recv_exact(fd_, response.payload.data(), info->payload_len, timeout_ms_);
+  }
   if (response.status != Status::kOk) {
     throw std::runtime_error(std::string(response.payload.begin(),
                                          response.payload.end()));
@@ -178,6 +219,11 @@ void Client::fail_disk(std::size_t disk) {
 
 std::string Client::status() {
   const Frame response = roundtrip(Frame{Op::kStatus});
+  return std::string(response.payload.begin(), response.payload.end());
+}
+
+std::string Client::profile() {
+  const Frame response = roundtrip(Frame{Op::kProfile});
   return std::string(response.payload.begin(), response.payload.end());
 }
 

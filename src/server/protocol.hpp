@@ -3,13 +3,23 @@
 // frame, many frames per connection. Deliberately minimal -- a loopback
 // block-device control protocol, not a network filesystem:
 //
-//   request:  magic[4] op u8  pad u8  tenant u16  arg u64  payload_len u32  payload
-//   response: magic[4] op u8  status  tenant u16  arg u64  payload_len u32  payload
+//   request:  magic[4] op u8  pad u8  tenant u16  arg u64  payload_len u32  [trace id u64]  payload
+//   response: magic[4] op u8  status  tenant u16  arg u64  payload_len u32  [trace id u64]  payload
 //
 // The tenant field (header bytes 6-7, previously reserved padding that was
 // always written as zero) tags the request for per-tenant QoS accounting on
 // the server; 0 means "untagged" and maps to the default tenant, so pre-QoS
 // clients interoperate unchanged. Responses echo the request's tenant.
+//
+// Byte 5 -- the request pad byte (always zero pre-tracing) and the response
+// status byte (0/1) -- doubles as a flags field: when its high bit
+// (kTraceFlag) is set, an 8-byte little-endian trace id follows the header
+// before the payload. The id correlates a client-issued request with the
+// server's stage spans, slow-request log lines and histogram exemplars;
+// responses echo the request's id the same way. Old clients send the bit
+// clear (their pad is zero) and old servers reject flagged requests as a
+// protocol error, so the extension is opt-in per request. Status values
+// occupy the low 7 bits.
 //
 //   kPing      -> status only (liveness)
 //   kRead      arg = byte offset, payload = "<length u32>"; response payload = data
@@ -18,6 +28,9 @@
 //              rebuild thread then brings it back online
 //   kStatus    response payload = "key value" lines (disks, failed disks,
 //              rebuild watermark/total, epoch); stable for scripts to parse
+//   kProfile   response payload = "key value" lines of profiling state: the
+//              hottest lock domains (wait/hold/contention) and recent
+//              slow-request exemplars
 //   kStop      asks the server to shut down after responding
 //
 // Status kError responses carry the human-readable reason as payload.
@@ -36,6 +49,10 @@ inline constexpr std::size_t kHeaderBytes = 20;
 /// Upper bound on a frame payload; a frame beyond it is a protocol error
 /// (keeps a garbage or hostile length field from allocating gigabytes).
 inline constexpr std::uint32_t kMaxPayload = 64u << 20;
+/// High bit of header byte 5: an 8-byte little-endian trace id follows the
+/// header before the payload. The low 7 bits stay the status space.
+inline constexpr std::uint8_t kTraceFlag = 0x80;
+inline constexpr std::size_t kTraceIdBytes = 8;
 
 enum class Op : std::uint8_t {
   kPing = 0,
@@ -44,6 +61,7 @@ enum class Op : std::uint8_t {
   kFailDisk = 3,
   kStatus = 4,
   kStop = 5,
+  kProfile = 6,
 };
 
 enum class Status : std::uint8_t {
@@ -57,15 +75,31 @@ struct Frame {
   /// QoS accounting id; 0 = untagged (the default tenant).
   std::uint16_t tenant = 0;
   std::uint64_t arg = 0;
+  /// Client-to-server trace correlation id; 0 = untraced. Non-zero ids ride
+  /// the kTraceFlag header extension and are echoed in the response.
+  std::uint64_t trace_id = 0;
   std::vector<std::uint8_t> payload;
 };
 
-/// Serializes header + payload into one contiguous buffer.
+/// What a decoded header says still needs to be read off the wire, in order:
+/// `extension_len` trace-extension bytes (0 or kTraceIdBytes), then
+/// `payload_len` payload bytes.
+struct HeaderInfo {
+  std::uint32_t payload_len = 0;
+  std::uint32_t extension_len = 0;
+};
+
+/// Serializes header [+ trace extension] + payload into one contiguous
+/// buffer; the trace extension is emitted iff `frame.trace_id != 0`.
 std::vector<std::uint8_t> encode_frame(const Frame& frame);
-/// Parses a header; returns the payload length still to be read, or nullopt
-/// on a bad magic/oversized length (protocol error -- drop the connection).
-std::optional<std::uint32_t> decode_header(std::span<const std::uint8_t> header,
-                                           Frame& out);
+/// Parses a header; returns the byte counts still to be read, or nullopt on
+/// a bad magic/oversized length (protocol error -- drop the connection).
+/// `out.trace_id` is zeroed here; decode_extension() fills it.
+std::optional<HeaderInfo> decode_header(std::span<const std::uint8_t> header,
+                                        Frame& out);
+/// Folds the trace-extension bytes announced by decode_header() into the
+/// frame (no-op on an empty span, for untraced frames).
+void decode_extension(std::span<const std::uint8_t> extension, Frame& out);
 
 /// Blocking client for one oiraidd connection. Methods throw
 /// std::runtime_error on connection loss, protocol errors, or kError
@@ -77,7 +111,11 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
   Client(Client&& other) noexcept
-      : fd_(other.fd_), timeout_ms_(other.timeout_ms_), tenant_(other.tenant_) {
+      : fd_(other.fd_),
+        timeout_ms_(other.timeout_ms_),
+        tenant_(other.tenant_),
+        tracing_(other.tracing_),
+        last_trace_id_(other.last_trace_id_) {
     other.fd_ = -1;
   }
   Client& operator=(Client&&) = delete;
@@ -86,12 +124,22 @@ class Client {
   void set_tenant(std::uint16_t tenant) { tenant_ = tenant; }
   std::uint16_t tenant() const { return tenant_; }
 
+  /// When on, every subsequent request is stamped with a fresh non-zero
+  /// trace id (client-unique) so it correlates with the server's stage spans
+  /// and slow-request log; the id of the most recent exchange is readable via
+  /// last_trace_id().
+  void set_tracing(bool on) { tracing_ = on; }
+  bool tracing() const { return tracing_; }
+  std::uint64_t last_trace_id() const { return last_trace_id_; }
+
   void ping();
   std::vector<std::uint8_t> read(std::uint64_t offset, std::uint32_t length);
   void write(std::uint64_t offset, std::span<const std::uint8_t> data);
   void fail_disk(std::size_t disk);
   /// "key value" lines; see protocol comment.
   std::string status();
+  /// "key value" profiling lines (hot lock domains, slow-request exemplars).
+  std::string profile();
   void stop();
 
   /// One raw request -> response exchange (the primitive the helpers above
@@ -104,6 +152,8 @@ class Client {
   int fd_ = -1;
   int timeout_ms_;
   std::uint16_t tenant_ = 0;
+  bool tracing_ = false;
+  std::uint64_t last_trace_id_ = 0;
 };
 
 }  // namespace oi::server

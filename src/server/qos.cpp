@@ -18,6 +18,20 @@ std::string tenant_metric(std::uint16_t id, const char* what) {
 
 // ------------------------------------------------------------- sensors ----
 
+const std::vector<double>& TenantSensors::bucket_uppers() {
+  static const std::vector<double> uppers = metrics::log_bucket_uppers(
+      metrics::kLatencyLowUs, metrics::kLatencyHighUs, kBuckets);
+  return uppers;
+}
+
+std::size_t TenantSensors::bucket_index(double latency_us) {
+  const auto& uppers = bucket_uppers();
+  // Last edge excluded from the search: past-the-top clamps into it.
+  return static_cast<std::size_t>(
+      std::upper_bound(uppers.begin(), uppers.end() - 1, latency_us) -
+      uppers.begin());
+}
+
 TenantSensors::TenantSensors(TenantConfig config)
     : config_(std::move(config)),
       ops_metric_(metrics::Registry::instance().counter(
@@ -26,9 +40,8 @@ TenantSensors::TenantSensors(TenantConfig config)
           tenant_metric(config_.id, "read_bytes"))),
       write_bytes_metric_(metrics::Registry::instance().counter(
           tenant_metric(config_.id, "write_bytes"))),
-      latency_metric_(metrics::Registry::instance().histogram(
-          tenant_metric(config_.id, "latency_us"), 0.0,
-          kBucketWidthUs * kBuckets, kBuckets)) {
+      latency_metric_(metrics::Registry::instance().latency_histogram(
+          tenant_metric(config_.id, "latency_us"))) {
   // The SLO is configuration, but exporting it as a gauge lets dashboards
   // draw the target line next to the latency series.
   metrics::Registry::instance()
@@ -38,9 +51,7 @@ TenantSensors::TenantSensors(TenantConfig config)
 
 void TenantSensors::record(double latency_us, bool is_write, std::size_t bytes) {
   const double clamped = std::max(latency_us, 0.0);
-  auto bucket = static_cast<std::size_t>(clamped / kBucketWidthUs);
-  bucket = std::min(bucket, kBuckets - 1);
-  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  counts_[bucket_index(clamped)].fetch_add(1, std::memory_order_relaxed);
   total_.fetch_add(1, std::memory_order_relaxed);
   sum_us_.fetch_add(static_cast<std::uint64_t>(clamped),
                     std::memory_order_relaxed);
@@ -71,20 +82,22 @@ double TenantSensors::interval_quantile(const Snapshot& cur,
     samples += cur.counts[i] - prev.counts[i];
   }
   if (samples == 0) return 0.0;
+  const auto& uppers = bucket_uppers();
   const double target = q * static_cast<double>(samples);
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
     const std::uint64_t in_bucket = cur.counts[i] - prev.counts[i];
     if (in_bucket == 0) continue;
     if (static_cast<double>(seen + in_bucket) >= target) {
-      // Linear interpolation inside the bucket.
+      // Linear interpolation inside the (variable-width) bucket.
+      const double lower = i == 0 ? 0.0 : uppers[i - 1];
       const double within =
           (target - static_cast<double>(seen)) / static_cast<double>(in_bucket);
-      return (static_cast<double>(i) + within) * kBucketWidthUs;
+      return lower + within * (uppers[i] - lower);
     }
     seen += in_bucket;
   }
-  return kBucketWidthUs * kBuckets;
+  return uppers.back();
 }
 
 // --------------------------------------------------------------- table ----

@@ -51,11 +51,19 @@ struct TenantConfig {
 /// (relaxed atomics), consistent-enough snapshots for control purposes.
 class TenantSensors {
  public:
-  /// 100 us buckets spanning 0..25.6 ms; slower requests clamp into the last
-  /// bucket, which only ever *overstates* a violation (safe direction: the
-  /// controller backs off).
-  static constexpr std::size_t kBuckets = 256;
-  static constexpr double kBucketWidthUs = 100.0;
+  /// Log-spaced buckets on the shared latency geometry (metrics::kLatency*,
+  /// ~1 us .. 10 s). The old 100 us uniform grid clamped everything past
+  /// 25.6 ms into one bucket, flattening tail p99s; log spacing keeps ~12%
+  /// relative resolution across seven decades. Values past the top edge
+  /// still clamp into the last bucket, which only ever *overstates* a
+  /// violation (safe direction: the controller backs off).
+  static constexpr std::size_t kBuckets = metrics::kLatencyBuckets;
+
+  /// The shared bucket upper edges (size kBuckets; the last is the clamp
+  /// edge, metrics::kLatencyHighUs).
+  static const std::vector<double>& bucket_uppers();
+  /// Bucket index for a latency sample (clamps below 0 and above the top).
+  static std::size_t bucket_index(double latency_us);
 
   struct Snapshot {
     std::array<std::uint64_t, kBuckets> counts{};

@@ -14,6 +14,7 @@
 
 #include "util/assert.hpp"
 #include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace oi::telemetry {
 namespace {
@@ -130,6 +131,11 @@ void HttpExporter::handle_connection(int fd) {
   } else if (path == "/vars") {
     response = make_response(200, "OK", "application/json",
                              metrics::Registry::instance().to_json());
+  } else if (path == "/trace") {
+    // Live dump of the trace buffer (ring or unbounded) in Chrome
+    // trace-event JSON -- save it and open in ui.perfetto.dev.
+    response = make_response(200, "OK", "application/json",
+                             trace::Tracer::instance().to_json());
   } else if (path == "/healthz") {
     response = make_response(200, "OK", "text/plain", "ok\n");
   } else if (path.empty()) {
@@ -137,7 +143,7 @@ void HttpExporter::handle_connection(int fd) {
                              "only GET is supported\n");
   } else {
     response = make_response(404, "Not Found", "text/plain",
-                             "try /metrics, /vars or /healthz\n");
+                             "try /metrics, /vars, /trace or /healthz\n");
   }
   send_all(fd, response);
 }

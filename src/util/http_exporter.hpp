@@ -3,6 +3,7 @@
 //
 //   GET /metrics  -> Prometheus text exposition 0.0.4 of the registry
 //   GET /vars     -> the JSON snapshot (same bytes as --metrics-out)
+//   GET /trace    -> the live trace buffer as Chrome trace-event JSON
 //   GET /healthz  -> "ok\n" (liveness probe for scripts and CI)
 //
 // anything else is a 404. Requests are served one at a time (a scrape takes

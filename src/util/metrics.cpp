@@ -1,5 +1,6 @@
 #include "util/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <ostream>
 #include <sstream>
@@ -35,19 +36,46 @@ void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
 bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
 FixedHistogram::FixedHistogram(double lo, double hi, std::size_t buckets)
-    : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets) {
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets),
+      exemplars_(buckets) {
   OI_ENSURE(buckets >= 1, "histogram needs at least one bucket");
   OI_ENSURE(hi > lo, "histogram range must be non-empty");
 }
 
-void FixedHistogram::record(double x) {
-  if (!enabled()) return;
-  std::size_t index = 0;
-  if (x >= lo_) {
-    index = static_cast<std::size_t>((x - lo_) / width_);
-    if (index >= counts_.size()) index = counts_.size() - 1;
+FixedHistogram::FixedHistogram(std::vector<double> uppers)
+    : lo_(0.0),
+      width_(0.0),
+      uppers_(std::move(uppers)),
+      counts_(uppers_.size()),
+      exemplars_(uppers_.size()) {
+  OI_ENSURE(!uppers_.empty(), "histogram needs at least one bucket");
+  for (std::size_t i = 1; i < uppers_.size(); ++i) {
+    OI_ENSURE(uppers_[i] > uppers_[i - 1],
+              "histogram bounds must be strictly increasing");
   }
+}
+
+std::size_t FixedHistogram::index_of(double x) const {
+  if (uppers_.empty()) {
+    if (x < lo_) return 0;
+    const std::size_t index = static_cast<std::size_t>((x - lo_) / width_);
+    return index >= counts_.size() ? counts_.size() - 1 : index;
+  }
+  // First bucket whose upper edge exceeds x; values past the last finite edge
+  // clamp into the terminal bucket, same as the uniform geometry.
+  const auto it = std::upper_bound(uppers_.begin(), uppers_.end() - 1, x);
+  return static_cast<std::size_t>(it - uppers_.begin());
+}
+
+void FixedHistogram::record_ex(double x, std::uint64_t exemplar_id) {
+  if (!enabled()) return;
+  const std::size_t index = index_of(x);
   counts_[index].fetch_add(1, std::memory_order_relaxed);
+  if (exemplar_id != 0) {
+    exemplars_[index].store(exemplar_id, std::memory_order_relaxed);
+  }
   total_.fetch_add(1, std::memory_order_relaxed);
   double expected = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(expected, expected + x,
@@ -57,8 +85,21 @@ void FixedHistogram::record(double x) {
 
 void FixedHistogram::reset() {
   for (auto& count : counts_) count.store(0, std::memory_order_relaxed);
+  for (auto& exemplar : exemplars_) exemplar.store(0, std::memory_order_relaxed);
   total_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> log_bucket_uppers(double lo, double hi, std::size_t buckets) {
+  OI_ENSURE(buckets >= 1, "histogram needs at least one bucket");
+  OI_ENSURE(lo > 0.0 && hi > lo, "log buckets need 0 < lo < hi");
+  std::vector<double> uppers(buckets);
+  const double step = std::log(hi / lo) / static_cast<double>(buckets);
+  for (std::size_t i = 0; i + 1 < buckets; ++i) {
+    uppers[i] = lo * std::exp(step * static_cast<double>(i + 1));
+  }
+  uppers[buckets - 1] = hi;  // exact top edge, no rounding drift
+  return uppers;
 }
 
 Registry& Registry::instance() {
@@ -96,17 +137,40 @@ FixedHistogram& Registry::histogram(const std::string& name, double lo, double h
   if (!slot) {
     slot = std::unique_ptr<FixedHistogram>(new FixedHistogram(lo, hi, buckets));
   } else {
-    OI_ENSURE(slot->low() == lo && slot->buckets() == buckets &&
+    OI_ENSURE(slot->uniform() && slot->low() == lo && slot->buckets() == buckets &&
                   slot->bucket_width() == (hi - lo) / static_cast<double>(buckets),
               "histogram '" + name + "' re-registered with different bounds");
   }
   return *slot;
 }
 
+FixedHistogram& Registry::log_histogram(const std::string& name,
+                                        std::vector<double> uppers) {
+  OI_ENSURE(valid_name(name), "invalid metric name: '" + name + "'");
+  std::lock_guard<std::mutex> lock(mutex_);
+  OI_ENSURE(!counters_.contains(name) && !gauges_.contains(name),
+            "metric '" + name + "' is already registered as a different kind");
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::unique_ptr<FixedHistogram>(new FixedHistogram(std::move(uppers)));
+  } else {
+    OI_ENSURE(!slot->uniform() && slot->uppers() == uppers,
+              "histogram '" + name + "' re-registered with different bounds");
+  }
+  return *slot;
+}
+
+FixedHistogram& Registry::latency_histogram(const std::string& name) {
+  return log_histogram(
+      name, log_bucket_uppers(kLatencyLowUs, kLatencyHighUs, kLatencyBuckets));
+}
+
 void Registry::write_json(std::ostream& out) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  // schema_version 2: histograms carry a running "sum" (docs/OBSERVABILITY.md).
-  out << "{\n  \"schema_version\": 2,\n  \"counters\": {";
+  // schema_version 3: explicit-bounds histograms carry "uppers" in place of
+  // low/bucket_width, and any histogram may carry "exemplars"
+  // (docs/OBSERVABILITY.md).
+  out << "{\n  \"schema_version\": 3,\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
     out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << counter->value();
@@ -122,14 +186,35 @@ void Registry::write_json(std::ostream& out) const {
   out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
   first = true;
   for (const auto& [name, hist] : histograms_) {
-    out << (first ? "\n" : ",\n") << "    \"" << name << "\": {\"low\": "
-        << format_double(hist->low()) << ", \"bucket_width\": "
-        << format_double(hist->bucket_width()) << ", \"total\": " << hist->total()
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": {";
+    if (hist->uniform()) {
+      out << "\"low\": " << format_double(hist->low()) << ", \"bucket_width\": "
+          << format_double(hist->bucket_width());
+    } else {
+      out << "\"uppers\": [";
+      for (std::size_t i = 0; i < hist->buckets(); ++i) {
+        out << (i == 0 ? "" : ", ") << format_double(hist->uppers()[i]);
+      }
+      out << "]";
+    }
+    out << ", \"total\": " << hist->total()
         << ", \"sum\": " << format_double(hist->sum()) << ", \"counts\": [";
     for (std::size_t i = 0; i < hist->buckets(); ++i) {
       out << (i == 0 ? "" : ", ") << hist->bucket(i);
     }
-    out << "]}";
+    out << "]";
+    bool any_exemplar = false;
+    for (std::size_t i = 0; i < hist->buckets(); ++i) {
+      if (hist->exemplar(i) != 0) { any_exemplar = true; break; }
+    }
+    if (any_exemplar) {
+      out << ", \"exemplars\": [";
+      for (std::size_t i = 0; i < hist->buckets(); ++i) {
+        out << (i == 0 ? "" : ", ") << hist->exemplar(i);
+      }
+      out << "]";
+    }
+    out << "}";
     first = false;
   }
   out << (first ? "" : "\n  ") << "}\n}\n";
@@ -190,9 +275,8 @@ void Registry::write_prometheus(std::ostream& out) const {
     const std::size_t buckets = hist->buckets();
     for (std::size_t i = 0; i < buckets; ++i) {
       cumulative += hist->bucket(i);
-      const double upper = hist->low() + static_cast<double>(i + 1) * hist->bucket_width();
       out << p << "_bucket{le=\""
-          << (i + 1 == buckets ? "+Inf" : prom_double(upper)) << "\"} "
+          << (i + 1 == buckets ? "+Inf" : prom_double(hist->upper(i))) << "\"} "
           << cumulative << "\n";
     }
     out << p << "_sum " << prom_double(hist->sum()) << "\n"
@@ -219,12 +303,21 @@ Snapshot Registry::snapshot() const {
     Snapshot::Histogram h;
     h.low = hist->low();
     h.bucket_width = hist->bucket_width();
+    h.uppers = hist->uppers();
     h.sum = hist->sum();
     h.counts.resize(hist->buckets());
     std::uint64_t cumulative = 0;
+    bool any_exemplar = false;
     for (std::size_t i = 0; i < h.counts.size(); ++i) {
       h.counts[i] = hist->bucket(i);
       cumulative += h.counts[i];
+      if (hist->exemplar(i) != 0) any_exemplar = true;
+    }
+    if (any_exemplar) {
+      h.exemplars.resize(hist->buckets());
+      for (std::size_t i = 0; i < h.exemplars.size(); ++i) {
+        h.exemplars[i] = hist->exemplar(i);
+      }
     }
     h.total = cumulative;  // derived from the counts so the copy is coherent
     snap.histograms.emplace(name, std::move(h));

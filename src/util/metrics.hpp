@@ -69,12 +69,25 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Fixed-bucket histogram: buckets [lo + i*width, lo + (i+1)*width), values
-/// outside the range clamped to the edge buckets. Bucket bounds are fixed at
-/// registration so recording is one index computation plus an atomic add.
+/// Bucketed histogram. Two geometries share one recording type:
+///   - uniform: buckets [lo + i*width, lo + (i+1)*width), one index
+///     computation per record (the original fixed-bucket form);
+///   - explicit bounds (log-spaced in practice): `uppers[i]` is the upper
+///     edge of bucket i, indexed by binary search over a handful of doubles.
+/// Either way values outside the range clamp into the edge buckets and the
+/// bounds are fixed at registration.
+///
+/// Each bucket also carries one relaxed exemplar slot: `record_ex(x, id)`
+/// stores `id` (a request/trace id) alongside the count, so a tail bucket can
+/// name a recent request that landed in it. Exemplars surface in the JSON
+/// snapshot and the JSONL stream, never in the Prometheus text exposition
+/// (the 0.0.4 grammar has no room for them).
 class FixedHistogram {
  public:
-  void record(double x);
+  void record(double x) { record_ex(x, 0); }
+  /// Record `x` and, when `exemplar_id` is non-zero, remember it as the most
+  /// recent id to land in that bucket.
+  void record_ex(double x, std::uint64_t exemplar_id);
   std::uint64_t total() const { return total_.load(std::memory_order_relaxed); }
   /// Running sum of every recorded value (CAS-accumulated), so means and the
   /// Prometheus `_sum` series are derivable from a snapshot.
@@ -82,20 +95,45 @@ class FixedHistogram {
   std::uint64_t bucket(std::size_t i) const {
     return counts_[i].load(std::memory_order_relaxed);
   }
+  std::uint64_t exemplar(std::size_t i) const {
+    return exemplars_[i].load(std::memory_order_relaxed);
+  }
   std::size_t buckets() const { return counts_.size(); }
+  bool uniform() const { return uppers_.empty(); }
+  /// Upper bucket edges for explicit-bounds histograms; empty when uniform.
+  const std::vector<double>& uppers() const { return uppers_; }
+  /// Upper edge of bucket i regardless of geometry.
+  double upper(std::size_t i) const {
+    return uniform() ? lo_ + static_cast<double>(i + 1) * width_ : uppers_[i];
+  }
   double low() const { return lo_; }
   double bucket_width() const { return width_; }
+  std::size_t index_of(double x) const;
 
  private:
   friend class Registry;
   FixedHistogram(double lo, double hi, std::size_t buckets);
+  explicit FixedHistogram(std::vector<double> uppers);
   void reset();
   double lo_;
   double width_;
+  std::vector<double> uppers_;  // empty for uniform geometry
   std::vector<std::atomic<std::uint64_t>> counts_;
+  std::vector<std::atomic<std::uint64_t>> exemplars_;
   std::atomic<std::uint64_t> total_{0};
   std::atomic<double> sum_{0.0};
 };
+
+/// Geometric bucket edges: `buckets` log-spaced steps whose last edge is `hi`,
+/// starting at `lo` (`uppers[0] == lo * r`, `uppers[buckets-1] == hi`).
+std::vector<double> log_bucket_uppers(double lo, double hi, std::size_t buckets);
+
+/// Shared latency-bucket geometry for request / stage / tenant histograms:
+/// log-spaced from ~1 us to 10 s so rebuild-window tails resolve instead of
+/// clamping into one terminal bucket (8 buckets per decade, 56 total).
+inline constexpr double kLatencyLowUs = 1.0;
+inline constexpr double kLatencyHighUs = 1e7;
+inline constexpr std::size_t kLatencyBuckets = 56;
 
 /// Point-in-time copy of every registered metric, decoupled from the live
 /// atomics. The telemetry sampler diffs consecutive snapshots to emit
@@ -107,6 +145,8 @@ struct Snapshot {
     double sum = 0.0;
     std::uint64_t total = 0;
     std::vector<std::uint64_t> counts;
+    std::vector<double> uppers;          // empty for uniform geometry
+    std::vector<std::uint64_t> exemplars;  // empty when no exemplar was seen
 
     bool operator==(const Histogram&) const = default;
   };
@@ -131,6 +171,12 @@ class Registry {
   /// different bounds throws.
   FixedHistogram& histogram(const std::string& name, double lo, double hi,
                             std::size_t buckets);
+  /// Explicit-bounds histogram (strictly increasing upper edges); a repeat
+  /// with different edges or a uniform registration of the same name throws.
+  FixedHistogram& log_histogram(const std::string& name,
+                                std::vector<double> uppers);
+  /// Log-spaced latency histogram with the shared kLatency* geometry.
+  FixedHistogram& latency_histogram(const std::string& name);
 
   /// Snapshot of every registered metric as a single JSON object, keys sorted
   /// by name (see docs/OBSERVABILITY.md for the schema).

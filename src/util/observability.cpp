@@ -43,7 +43,7 @@ Session::Session(const Flags& flags) {
       "sampling cadence for --metrics-stream-out (default 250)");
   FlagRegistry::instance().declare(
       "metrics-port",
-      "serve /metrics, /vars and /healthz over HTTP on 127.0.0.1:PORT "
+      "serve /metrics, /vars, /trace and /healthz over HTTP on 127.0.0.1:PORT "
       "(0 = ephemeral port)");
 
   trace_path_ = flags.get_string("trace-out", "");
@@ -90,7 +90,7 @@ Session::Session(const Flags& flags) {
     exporter_ = std::make_unique<telemetry::HttpExporter>(
         static_cast<std::uint16_t>(port));
     OI_LOG_INFO << "metrics exporter listening on 127.0.0.1:"
-                << exporter_->port() << " (/metrics /vars /healthz)";
+                << exporter_->port() << " (/metrics /vars /trace /healthz)";
   }
 }
 

@@ -148,6 +148,13 @@ double HistogramData::quantile(double q) const {
   std::uint64_t samples = 0;
   for (std::uint64_t c : counts) samples += c;
   if (samples == 0) return 0.0;
+  // Lower edge of bucket i under either geometry. With explicit edges the
+  // first bucket catches everything below uppers[0], so its lower edge is 0
+  // (latency histograms never go negative).
+  const auto lower_edge = [this](std::size_t i) {
+    if (uppers.empty()) return low + static_cast<double>(i) * bucket_width;
+    return i == 0 ? 0.0 : uppers[i - 1];
+  };
   const double target = q * static_cast<double>(samples);
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < counts.size(); ++i) {
@@ -155,15 +162,19 @@ double HistogramData::quantile(double q) const {
     if (static_cast<double>(seen + counts[i]) >= target) {
       if (i + 1 == counts.size()) {
         // Open-ended last bucket: clamp to its lower edge.
-        return low + static_cast<double>(i) * bucket_width;
+        return lower_edge(i);
       }
       const double within = (target - static_cast<double>(seen)) /
                             static_cast<double>(counts[i]);
-      return low + (static_cast<double>(i) + within) * bucket_width;
+      const double upper =
+          uppers.empty() ? low + static_cast<double>(i + 1) * bucket_width
+                         : uppers[i];
+      return lower_edge(i) + within * (upper - lower_edge(i));
     }
     seen += counts[i];
   }
-  return low + static_cast<double>(counts.size()) * bucket_width;
+  return uppers.empty() ? low + static_cast<double>(counts.size()) * bucket_width
+                        : uppers.back();
 }
 
 HistogramMap parse_prometheus_histograms(const std::string& body) {
@@ -233,6 +244,9 @@ HistogramMap parse_prometheus_histograms(const std::string& body) {
   HistogramMap out;
   for (auto& [name, partial] : partials) {
     HistogramData data;
+    // Keep the recovered uniform geometry for consumers that read
+    // low/bucket_width directly; quantile() prefers the explicit edges, which
+    // stay correct when the buckets are log-spaced.
     if (partial.uppers.size() >= 2) {
       data.bucket_width = partial.uppers[1] - partial.uppers[0];
       data.low = partial.uppers[0] - data.bucket_width;
@@ -240,6 +254,7 @@ HistogramMap parse_prometheus_histograms(const std::string& body) {
       data.bucket_width = partial.uppers[0];
       data.low = 0.0;
     }
+    data.uppers = partial.uppers;
     data.counts.resize(partial.cumulative.size());
     std::uint64_t prev = 0;
     for (std::size_t i = 0; i < partial.cumulative.size(); ++i) {
@@ -250,6 +265,85 @@ HistogramMap parse_prometheus_histograms(const std::string& body) {
     data.total = partial.count > 0 ? partial.count : prev;
     data.sum = partial.sum;
     out[name] = std::move(data);
+  }
+  return out;
+}
+
+std::map<std::string, std::vector<ExemplarEntry>> parse_vars_exemplars(
+    const std::string& body) {
+  std::map<std::string, std::vector<ExemplarEntry>> out;
+  Cursor c{body};
+  c.expect('{');
+  if (c.eat('}')) return out;
+  for (;;) {
+    const std::string key = c.parse_string();
+    c.expect(':');
+    if (key != "histograms") {
+      c.skip_value();
+    } else {
+      c.expect('{');
+      if (!c.eat('}')) {
+        for (;;) {
+          const std::string name = c.parse_string();
+          c.expect(':');
+          c.expect('{');
+          double low = 0.0, width = 0.0;
+          std::vector<double> uppers;
+          std::vector<std::uint64_t> counts, exemplars;
+          if (!c.eat('}')) {
+            for (;;) {
+              const std::string field = c.parse_string();
+              c.expect(':');
+              if (field == "low") {
+                low = c.parse_number();
+              } else if (field == "bucket_width") {
+                width = c.parse_number();
+              } else if (field == "uppers" || field == "counts" ||
+                         field == "exemplars") {
+                std::vector<double> values;
+                c.expect('[');
+                if (!c.eat(']')) {
+                  for (;;) {
+                    values.push_back(c.parse_number());
+                    if (c.eat(']')) break;
+                    c.expect(',');
+                  }
+                }
+                if (field == "uppers") {
+                  uppers = std::move(values);
+                } else {
+                  auto& dst = field == "counts" ? counts : exemplars;
+                  dst.reserve(values.size());
+                  for (double v : values) {
+                    dst.push_back(static_cast<std::uint64_t>(v));
+                  }
+                }
+              } else {
+                c.skip_value();
+              }
+              if (c.eat('}')) break;
+              c.expect(',');
+            }
+          }
+          std::vector<ExemplarEntry> entries;
+          for (std::size_t i = 0; i < exemplars.size(); ++i) {
+            if (exemplars[i] == 0) continue;
+            ExemplarEntry entry;
+            entry.upper = i < uppers.size()
+                              ? uppers[i]
+                              : low + static_cast<double>(i + 1) * width;
+            entry.count = i < counts.size() ? counts[i] : 0;
+            entry.id = exemplars[i];
+            entries.push_back(entry);
+          }
+          if (!entries.empty()) out.emplace(name, std::move(entries));
+          if (c.eat('}')) break;
+          c.expect(',');
+        }
+      }
+    }
+    if (c.eat('}')) break;
+    c.expect(',');
   }
   return out;
 }
@@ -359,6 +453,27 @@ void StreamFollower::apply_line(const std::string& line) {
                 hist.low = c.parse_number();
               } else if (field == "bucket_width") {
                 hist.bucket_width = c.parse_number();
+              } else if (field == "uppers") {
+                hist.uppers.clear();
+                c.expect('[');
+                if (!c.eat(']')) {
+                  for (;;) {
+                    hist.uppers.push_back(c.parse_number());
+                    if (c.eat(']')) break;
+                    c.expect(',');
+                  }
+                }
+              } else if (field == "exemplars") {
+                hist.exemplars.clear();
+                c.expect('[');
+                if (!c.eat(']')) {
+                  for (;;) {
+                    hist.exemplars.push_back(
+                        static_cast<std::uint64_t>(c.parse_number()));
+                    if (c.eat(']')) break;
+                    c.expect(',');
+                  }
+                }
               } else if (field == "counts") {
                 // Full array on every change (the sampler never deltas
                 // inside a histogram), so replace wholesale.

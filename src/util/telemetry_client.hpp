@@ -44,11 +44,20 @@ struct HistogramData {
   double sum = 0.0;
   std::uint64_t total = 0;
   std::vector<std::uint64_t> counts;
+  /// Explicit upper bucket edges (log-spaced histograms). From a scrape these
+  /// are the finite `le` values (one fewer than counts, the last series line
+  /// being `+Inf`); from the stream they cover every bucket. Empty for
+  /// uniform geometry, where low/bucket_width describe the buckets instead.
+  std::vector<double> uppers;
+  /// Most recent request/trace id seen per bucket (stream only; zero-filled
+  /// or empty when the source carried none).
+  std::vector<std::uint64_t> exemplars;
 
   /// Interpolated value at quantile q in [0,1]; 0 when empty. The last
   /// bucket is open-ended (the exporter labels it `+Inf`), so tail quantiles
   /// landing there clamp to its lower edge -- an *under*-estimate, never an
-  /// invented latency.
+  /// invented latency. With explicit `uppers` the interpolation is per-bucket
+  /// (variable widths); otherwise low/bucket_width fixed-width math applies.
   double quantile(double q) const;
   double mean() const { return total > 0 ? sum / static_cast<double>(total) : 0.0; }
 };
@@ -67,6 +76,21 @@ HistogramMap parse_prometheus_histograms(const std::string& body);
 /// Looks up a dotted histogram name in either keying (dotted or mangled).
 std::optional<HistogramData> find_histogram(const HistogramMap& map,
                                             const std::string& dotted);
+
+/// One exemplar recovered from a registry JSON snapshot: the bucket's upper
+/// edge, its count, and the most recent request/trace id that landed in it.
+struct ExemplarEntry {
+  double upper = 0.0;
+  std::uint64_t count = 0;
+  std::uint64_t id = 0;
+};
+
+/// Parses the registry's `/vars` JSON snapshot (metrics schema_version >= 3)
+/// and returns, per histogram that carries exemplars, the non-zero exemplar
+/// buckets in ascending bucket order. Histograms without exemplars are
+/// omitted. Throws std::runtime_error on malformed JSON.
+std::map<std::string, std::vector<ExemplarEntry>> parse_vars_exemplars(
+    const std::string& body);
 
 /// Incrementally tails a telemetry::Sampler JSONL stream, folding the delta
 /// records into a cumulative MetricMap. Tolerates the file not existing yet

@@ -99,16 +99,33 @@ void Sampler::write_record(const metrics::Snapshot& snap) {
     std::ostringstream h;
     h << "{";
     if (is_new) {
-      // Static bucket geometry travels once per histogram.
-      h << "\"low\": " << json_double(hist.low)
-        << ", \"bucket_width\": " << json_double(hist.bucket_width) << ", ";
+      // Static bucket geometry travels once per histogram: low/bucket_width
+      // for uniform buckets, the explicit upper edges for log-spaced ones.
+      if (hist.uppers.empty()) {
+        h << "\"low\": " << json_double(hist.low)
+          << ", \"bucket_width\": " << json_double(hist.bucket_width) << ", ";
+      } else {
+        h << "\"uppers\": [";
+        for (std::size_t i = 0; i < hist.uppers.size(); ++i) {
+          h << (i == 0 ? "" : ", ") << json_double(hist.uppers[i]);
+        }
+        h << "], ";
+      }
     }
     h << "\"total\": " << hist.total << ", \"sum\": " << json_double(hist.sum)
       << ", \"counts\": [";
     for (std::size_t i = 0; i < hist.counts.size(); ++i) {
       h << (i == 0 ? "" : ", ") << hist.counts[i];
     }
-    h << "]}";
+    h << "]";
+    if (!hist.exemplars.empty()) {
+      h << ", \"exemplars\": [";
+      for (std::size_t i = 0; i < hist.exemplars.size(); ++i) {
+        h << (i == 0 ? "" : ", ") << hist.exemplars[i];
+      }
+      h << "]";
+    }
+    h << "}";
     append(hists, name, h.str());
   }
 

@@ -69,6 +69,7 @@ void Tracer::start() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     events_.clear();
+    metadata_.clear();
     ring_head_ = 0;
     dropped_ = 0;
   }
@@ -80,6 +81,7 @@ void Tracer::stop() { g_enabled.store(false, std::memory_order_relaxed); }
 void Tracer::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   events_.clear();
+  metadata_.clear();
   ring_head_ = 0;
   dropped_ = 0;
 }
@@ -89,6 +91,7 @@ void Tracer::set_ring_capacity(std::size_t capacity) {
   ring_capacity_ = capacity;
   events_.clear();
   events_.shrink_to_fit();
+  metadata_.clear();
   // Pre-size the ring so steady-state emission never reallocates.
   if (capacity > 0) events_.reserve(capacity);
   ring_head_ = 0;
@@ -116,6 +119,19 @@ std::uint64_t Tracer::next_run_id() {
 
 void Tracer::push(Event event) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (event.phase == 'M') {
+    // Metadata side table: labels describe topology, not history, so they
+    // never enter (or age out of) the ring. Same (kind, pid, tid) relabels.
+    for (Event& existing : metadata_) {
+      if (existing.category == event.category && existing.pid == event.pid &&
+          existing.tid == event.tid) {
+        existing.name = std::move(event.name);
+        return;
+      }
+    }
+    metadata_.push_back(std::move(event));
+    return;
+  }
   if (ring_capacity_ > 0 && events_.size() == ring_capacity_) {
     // Flight recorder: overwrite the oldest slot and advance the head.
     events_[ring_head_] = std::move(event);
@@ -127,46 +143,47 @@ void Tracer::push(Event event) {
 }
 
 void Tracer::begin(std::uint64_t pid, std::uint64_t tid, std::string_view name,
-                   double ts_seconds, std::string_view category) {
+                   double ts_seconds, std::string_view category,
+                   std::string_view args_json) {
   if (!enabled()) return;
   push({'B', pid, tid, 0, ts_seconds * 1e6, 0.0, std::string(name),
-        std::string(category)});
+        std::string(category), std::string(args_json)});
 }
 
 void Tracer::end(std::uint64_t pid, std::uint64_t tid, std::string_view name,
                  double ts_seconds) {
   if (!enabled()) return;
-  push({'E', pid, tid, 0, ts_seconds * 1e6, 0.0, std::string(name), {}});
+  push({'E', pid, tid, 0, ts_seconds * 1e6, 0.0, std::string(name), {}, {}});
 }
 
 void Tracer::counter(std::uint64_t pid, std::string_view name, double ts_seconds,
                      double value) {
   if (!enabled()) return;
-  push({'C', pid, 0, 0, ts_seconds * 1e6, value, std::string(name), {}});
+  push({'C', pid, 0, 0, ts_seconds * 1e6, value, std::string(name), {}, {}});
 }
 
 void Tracer::async_begin(std::uint64_t pid, std::string_view category,
                          std::uint64_t id, std::string_view name, double ts_seconds) {
   if (!enabled()) return;
   push({'b', pid, 0, id, ts_seconds * 1e6, 0.0, std::string(name),
-        std::string(category)});
+        std::string(category), {}});
 }
 
 void Tracer::async_end(std::uint64_t pid, std::string_view category, std::uint64_t id,
                        std::string_view name, double ts_seconds) {
   if (!enabled()) return;
   push({'e', pid, 0, id, ts_seconds * 1e6, 0.0, std::string(name),
-        std::string(category)});
+        std::string(category), {}});
 }
 
 void Tracer::thread_name(std::uint64_t pid, std::uint64_t tid, std::string_view name) {
   if (!enabled()) return;
-  push({'M', pid, tid, 0, 0.0, 0.0, std::string(name), "thread_name"});
+  push({'M', pid, tid, 0, 0.0, 0.0, std::string(name), "thread_name", {}});
 }
 
 void Tracer::process_name(std::uint64_t pid, std::string_view name) {
   if (!enabled()) return;
-  push({'M', pid, 0, 0, 0.0, 0.0, std::string(name), "process_name"});
+  push({'M', pid, 0, 0, 0.0, 0.0, std::string(name), "process_name", {}});
 }
 
 void Tracer::write_json(std::ostream& out) const {
@@ -174,40 +191,50 @@ void Tracer::write_json(std::ostream& out) const {
   write_json_locked(out);
 }
 
+void Tracer::write_event(std::ostream& out, const Event& e, bool first) const {
+  out << (first ? "\n" : ",\n");
+  out << "  {\"ph\": \"" << e.phase << "\", \"pid\": " << e.pid;
+  switch (e.phase) {
+    case 'M':
+      // Metadata: category holds the kind, the label travels in args.
+      if (e.category == "thread_name") out << ", \"tid\": " << e.tid;
+      out << ", \"name\": \"" << e.category << "\", \"args\": {\"name\": \""
+          << escape(e.name) << "\"}";
+      break;
+    case 'C':
+      out << ", \"tid\": 0, \"name\": \"" << escape(e.name)
+          << "\", \"ts\": " << format_double(e.ts_us)
+          << ", \"args\": {\"value\": " << format_double(e.value) << "}";
+      break;
+    case 'b':
+    case 'e':
+      out << ", \"tid\": 0, \"name\": \"" << escape(e.name) << "\", \"cat\": \""
+          << escape(e.category) << "\", \"id\": " << e.id
+          << ", \"ts\": " << format_double(e.ts_us);
+      break;
+    default:  // 'B' / 'E'
+      out << ", \"tid\": " << e.tid << ", \"name\": \"" << escape(e.name) << "\"";
+      if (!e.category.empty()) out << ", \"cat\": \"" << escape(e.category) << "\"";
+      out << ", \"ts\": " << format_double(e.ts_us);
+      if (!e.args.empty()) out << ", \"args\": " << e.args;  // caller-serialized
+      break;
+  }
+  out << "}";
+}
+
 void Tracer::write_json_locked(std::ostream& out) const {
   out << "{\"traceEvents\": [";
+  // Metadata first: the side table survives any amount of ring churn, so a
+  // flight-recorder dump still labels every lane.
+  for (std::size_t i = 0; i < metadata_.size(); ++i) {
+    write_event(out, metadata_[i], i == 0);
+  }
   for (std::size_t i = 0; i < events_.size(); ++i) {
     // Chronological order: a wrapped ring's oldest event sits at ring_head_
     // (ring_head_ stays 0 until the ring wraps, so this is the identity for
     // unbounded buffers and partially filled rings).
     const Event& e = events_[(ring_head_ + i) % events_.size()];
-    out << (i == 0 ? "\n" : ",\n");
-    out << "  {\"ph\": \"" << e.phase << "\", \"pid\": " << e.pid;
-    switch (e.phase) {
-      case 'M':
-        // Metadata: category holds the kind, the label travels in args.
-        if (e.category == "thread_name") out << ", \"tid\": " << e.tid;
-        out << ", \"name\": \"" << e.category << "\", \"args\": {\"name\": \""
-            << escape(e.name) << "\"}";
-        break;
-      case 'C':
-        out << ", \"tid\": 0, \"name\": \"" << escape(e.name)
-            << "\", \"ts\": " << format_double(e.ts_us)
-            << ", \"args\": {\"value\": " << format_double(e.value) << "}";
-        break;
-      case 'b':
-      case 'e':
-        out << ", \"tid\": 0, \"name\": \"" << escape(e.name) << "\", \"cat\": \""
-            << escape(e.category) << "\", \"id\": " << e.id
-            << ", \"ts\": " << format_double(e.ts_us);
-        break;
-      default:  // 'B' / 'E'
-        out << ", \"tid\": " << e.tid << ", \"name\": \"" << escape(e.name) << "\"";
-        if (!e.category.empty()) out << ", \"cat\": \"" << escape(e.category) << "\"";
-        out << ", \"ts\": " << format_double(e.ts_us);
-        break;
-    }
-    out << "}";
+    write_event(out, e, metadata_.empty() && i == 0);
   }
   out << "\n], \"displayTimeUnit\": \"ms\"}\n";
 }
@@ -270,6 +297,13 @@ double wall_seconds() {
   using Clock = std::chrono::steady_clock;
   static const Clock::time_point start = Clock::now();
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::uint64_t wall_lane(std::string_view label) {
+  static std::atomic<std::uint64_t> next{1000};
+  const std::uint64_t lane = next.fetch_add(1, std::memory_order_relaxed);
+  Tracer::instance().thread_name(0, lane, label);
+  return lane;
 }
 
 WallSpan::WallSpan(std::string_view name, std::uint64_t tid)

@@ -44,9 +44,10 @@ class Tracer {
 
   /// Flight-recorder mode: bound the buffer to the last `capacity` events
   /// (0 = unbounded, the default). Once full, each new event overwrites the
-  /// oldest; write_json() always emits chronological order. Metadata events
-  /// age out like any other, so arm the ring before long runs and accept
-  /// that lane labels from the distant past may be gone. Clears the buffer.
+  /// oldest; write_json() always emits chronological order. Metadata (lane /
+  /// process labels) lives in a side table keyed by (kind, pid, tid) rather
+  /// than in the ring, so a wrapped ring dump still labels every lane no
+  /// matter how long the run was. Clears the buffer.
   void set_ring_capacity(std::size_t capacity);
   std::size_t ring_capacity() const;
   /// Events overwritten since the last start()/set_ring_capacity().
@@ -63,8 +64,12 @@ class Tracer {
   // --- emission; timestamps in seconds on the caller's clock ---
 
   /// `B` duration-begin on lane (pid, tid). Spans on one lane must nest.
+  /// `args_json`, when non-empty, must be a serialized JSON object (e.g.
+  /// `{"req": 42}`) and is attached verbatim as the span's `args` -- how
+  /// request spans carry id / tenant / op / domains into the viewer.
   void begin(std::uint64_t pid, std::uint64_t tid, std::string_view name,
-             double ts_seconds, std::string_view category = {});
+             double ts_seconds, std::string_view category = {},
+             std::string_view args_json = {});
   /// `E` duration-end matching the innermost open begin on (pid, tid).
   void end(std::uint64_t pid, std::uint64_t tid, std::string_view name,
            double ts_seconds);
@@ -94,14 +99,19 @@ class Tracer {
     double value = 0.0;        ///< counter sample ('C' only)
     std::string name;
     std::string category;      ///< doubles as the metadata kind for 'M'
+    std::string args;          ///< serialized JSON object ('B' only), or empty
   };
 
   void push(Event event);
+  void write_event(std::ostream& out, const Event& e, bool first) const;
   void write_json_locked(std::ostream& out) const;
 
   std::atomic<std::uint64_t> run_ids_{0};
   mutable std::mutex mutex_;
   std::vector<Event> events_;
+  /// Lane / process labels, deduped by (kind, pid, tid), newest label wins.
+  /// Kept outside the ring so bounded dumps always label their lanes.
+  std::vector<Event> metadata_;
   std::size_t ring_capacity_ = 0;  ///< 0 = unbounded
   std::size_t ring_head_ = 0;      ///< oldest event once the ring wrapped
   std::uint64_t dropped_ = 0;
@@ -122,6 +132,12 @@ void disarm_crash_dump();
 /// Monotonic seconds since the first call in this process -- the wall clock
 /// used by WallSpan and host-side counter samples.
 double wall_seconds();
+
+/// Claims a fresh wall-clock lane (a tid on the host pid 0) and labels it in
+/// the viewer via thread_name(). Lane ids start at 1000 so they never collide
+/// with hand-picked WallSpan tids; each worker thread of the block server
+/// claims one lazily and emits its request span trees there.
+std::uint64_t wall_lane(std::string_view label);
 
 /// RAII duration span on the wall clock (pid 0). Safe to construct whether or
 /// not tracing is enabled.

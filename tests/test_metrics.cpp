@@ -162,11 +162,11 @@ TEST_F(MetricsTest, HistogramKeepsARunningSum) {
   EXPECT_DOUBLE_EQ(h.sum(), 0.0);
 }
 
-TEST_F(MetricsTest, JsonSchemaV2CarriesHistogramSums) {
+TEST_F(MetricsTest, JsonSchemaV3CarriesHistogramSums) {
   Registry& reg = Registry::instance();
   reg.histogram("test.metrics.json_sum_hist", 0.0, 4.0, 4).record(1.5);
   const std::string json = reg.to_json();
-  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"sum\": 1.5"), std::string::npos);
 }
 

@@ -17,19 +17,34 @@ constexpr double kMiB = 1024.0 * 1024.0;
 
 TEST(TenantSensorsTest, RecordsIntoBucketsAndCounters) {
   TenantSensors sensors({1, "t", 1000.0});
-  sensors.record(50.0, /*is_write=*/false, 4096);    // bucket 0
-  sensors.record(150.0, /*is_write=*/false, 4096);   // bucket 1
-  sensors.record(150.0, /*is_write=*/true, 8192);    // bucket 1
-  sensors.record(1e9, /*is_write=*/false, 1);        // clamps to last bucket
-  sensors.record(-5.0, /*is_write=*/false, 1);       // clamps to bucket 0
+  sensors.record(50.0, /*is_write=*/false, 4096);
+  sensors.record(150.0, /*is_write=*/false, 4096);
+  sensors.record(150.0, /*is_write=*/true, 8192);
+  sensors.record(1e9, /*is_write=*/false, 1);   // clamps to last bucket
+  sensors.record(-5.0, /*is_write=*/false, 1);  // clamps to bucket 0
   const auto snap = sensors.snapshot();
   EXPECT_EQ(snap.total, 5u);
-  EXPECT_EQ(snap.counts[0], 2u);
-  EXPECT_EQ(snap.counts[1], 2u);
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[TenantSensors::bucket_index(50.0)], 1u);
+  EXPECT_EQ(snap.counts[TenantSensors::bucket_index(150.0)], 2u);
   EXPECT_EQ(snap.counts[TenantSensors::kBuckets - 1], 1u);
+  // Log spacing: 50 us and 150 us land in distinct non-edge buckets.
+  EXPECT_NE(TenantSensors::bucket_index(50.0), 0u);
+  EXPECT_NE(TenantSensors::bucket_index(50.0), TenantSensors::bucket_index(150.0));
+  EXPECT_LT(TenantSensors::bucket_index(150.0), TenantSensors::kBuckets - 1);
   EXPECT_EQ(sensors.ops(), 5u);
   EXPECT_EQ(sensors.read_bytes(), 4096u + 4096u + 1u + 1u);
   EXPECT_EQ(sensors.write_bytes(), 8192u);
+}
+
+TEST(TenantSensorsTest, LogBucketsResolveTheTail) {
+  // The regression the log geometry fixes: under the old 100 us x 256 grid,
+  // everything past 25.6 ms clamped into one bucket, so a 30 ms and a 5 s
+  // request were indistinguishable. Now they are.
+  EXPECT_NE(TenantSensors::bucket_index(30e3), TenantSensors::bucket_index(5e6));
+  // And the edges line up with the shared metrics geometry.
+  EXPECT_EQ(TenantSensors::bucket_uppers().size(), TenantSensors::kBuckets);
+  EXPECT_DOUBLE_EQ(TenantSensors::bucket_uppers().back(), metrics::kLatencyHighUs);
 }
 
 TEST(TenantSensorsTest, IntervalQuantileUsesOnlyTheDelta) {
@@ -41,8 +56,11 @@ TEST(TenantSensorsTest, IntervalQuantileUsesOnlyTheDelta) {
   for (int i = 0; i < 100; ++i) sensors.record(5050.0, false, 1);
   const auto second = sensors.snapshot();
   const double p99 = TenantSensors::interval_quantile(second, first, 0.99);
-  EXPECT_GE(p99, 5000.0);
-  EXPECT_LE(p99, 5200.0);
+  // The interpolated p99 stays inside the (log-spaced) bucket holding 5050 us.
+  const auto& uppers = TenantSensors::bucket_uppers();
+  const std::size_t slow = TenantSensors::bucket_index(5050.0);
+  EXPECT_GE(p99, uppers[slow - 1]);
+  EXPECT_LE(p99, uppers[slow]);
   // Cumulative (prev = zeroes) sees both halves: the median sits in the fast
   // bucket, the p99 in the slow one.
   const double cumulative_p50 =
@@ -54,13 +72,15 @@ TEST(TenantSensorsTest, IntervalQuantileUsesOnlyTheDelta) {
 
 TEST(TenantSensorsTest, QuantileInterpolatesWithinBucket) {
   TenantSensors sensors({1, "t", 0.0});
-  for (int i = 0; i < 100; ++i) sensors.record(150.0, false, 1);  // bucket 1
+  for (int i = 0; i < 100; ++i) sensors.record(150.0, false, 1);
   const auto snap = sensors.snapshot();
   const double p50 =
       TenantSensors::interval_quantile(snap, TenantSensors::Snapshot{}, 0.50);
-  // All mass in [100,200): any interpolated quantile stays inside the bucket.
-  EXPECT_GE(p50, 100.0);
-  EXPECT_LE(p50, 200.0);
+  // All mass in one bucket: any interpolated quantile stays inside its edges.
+  const auto& uppers = TenantSensors::bucket_uppers();
+  const std::size_t bucket = TenantSensors::bucket_index(150.0);
+  EXPECT_GE(p50, uppers[bucket - 1]);
+  EXPECT_LE(p50, uppers[bucket]);
 }
 
 TEST(TenantTableTest, DefaultSlotAndFallback) {

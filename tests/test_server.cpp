@@ -20,7 +20,9 @@
 #include "bibd/constructions.hpp"
 #include "server/persistent_array.hpp"
 #include "server/protocol.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace oi::server {
 namespace {
@@ -330,6 +332,141 @@ TEST_F(TenantServerTest, ResponsesEchoTheRequestTenant) {
   Frame request{Op::kPing};
   const Frame response = client.roundtrip(request);
   EXPECT_EQ(response.tenant, 2);
+}
+
+// ------------------------------------- request tracing & profiling ----
+
+/// Splits one "slow-request k=v k=v ..." line into its key=value fields.
+std::map<std::string, std::string> parse_slow_line(const std::string& line) {
+  std::map<std::string, std::string> kv;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      kv[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+  }
+  return kv;
+}
+
+class TracingServerTest : public TenantServerTest {};
+
+TEST_F(TracingServerTest, ResponsesEchoTheRequestTraceId) {
+  Client traced = connect();
+  traced.set_tracing(true);
+  const Frame response = traced.roundtrip(Frame{Op::kPing});
+  EXPECT_NE(traced.last_trace_id(), 0u);
+  EXPECT_EQ(response.trace_id, traced.last_trace_id());
+  // Untraced clients never see a flagged response (old-client wire compat).
+  Client plain = connect();
+  const Frame untagged = plain.roundtrip(Frame{Op::kPing});
+  EXPECT_EQ(untagged.trace_id, 0u);
+}
+
+TEST_F(TracingServerTest, SlowCaptureStageBreakdownSumsToEndToEnd) {
+  // A threshold below any real request time turns every request into a
+  // capture, which is exactly what the acceptance check wants: the
+  // per-stage breakdown must account for the entire end-to-end time.
+  BlockServerConfig config;
+  config.slow_request_us = 0.001;
+  restart_with(config);
+  Client client = connect();
+  client.write(0, std::vector<std::uint8_t>(kStripBytes, 3));
+  client.read(0, kStripBytes);
+  client.ping();
+  // The counter is bumped after the reply hits the wire, so the client
+  // can get here a beat before the server finishes its bookkeeping.
+  for (int i = 0; i < 200 && server_->slow_requests() < 3u; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(server_->slow_requests(), 3u);
+
+  const std::string profile = client.profile();
+  ASSERT_NE(profile.find("slow-request id="), std::string::npos) << profile;
+  std::istringstream is(profile);
+  std::string line;
+  std::size_t checked = 0;
+  while (std::getline(is, line)) {
+    if (line.rfind("slow-request ", 0) != 0) continue;
+    const auto kv = parse_slow_line(line);
+    const double total = std::stod(kv.at("total_us"));
+    const double stages =
+        std::stod(kv.at("decode_us")) + std::stod(kv.at("queue_us")) +
+        std::stod(kv.at("lock_us")) + std::stod(kv.at("io_us")) +
+        std::stod(kv.at("codec_us")) + std::stod(kv.at("reply_us"));
+    // Stages partition [t_start, t_done] by construction; only integer
+    // rounding of the six printed fields can perturb the sum.
+    EXPECT_NEAR(stages, total, std::max(0.05 * total, 4.0)) << line;
+    EXPECT_NE(kv.at("id"), "0") << line;
+    ++checked;
+  }
+  EXPECT_GE(checked, 3u);
+
+  // The slow counter also reaches status (scripts watch it there).
+  const auto kv = parse_status(client.status());
+  EXPECT_GE(std::stoull(kv.at("slow_requests")), 3u);
+}
+
+TEST_F(TracingServerTest, ProfileReportsHotDomainsWhenMetricsAreOn) {
+  metrics::set_enabled(true);
+  Client client = connect();
+  client.write(0, std::vector<std::uint8_t>(2 * kStripBytes, 9));
+  client.read(0, kStripBytes);
+  const std::string profile = client.profile();
+  metrics::set_enabled(false);
+  EXPECT_NE(profile.find("hot_domains "), std::string::npos) << profile;
+  EXPECT_NE(profile.find("domain "), std::string::npos) << profile;
+  EXPECT_NE(profile.find("acquisitions "), std::string::npos) << profile;
+  // status carries the short version of the same table.
+  const std::string status = client.status();
+  EXPECT_NE(status.find("hot_domain "), std::string::npos) << status;
+}
+
+TEST_F(TracingServerTest, TracedRequestsEmitNestedStageSpans) {
+  auto& tracer = trace::Tracer::instance();
+  tracer.clear();
+  tracer.start();
+  Client client = connect();
+  client.set_tracing(true);
+  client.write(0, std::vector<std::uint8_t>(kStripBytes, 1));
+  const std::uint64_t write_id = client.last_trace_id();
+  // Requests on one connection are serialized, so this ping's response
+  // guarantees the write's finish_request (span emission) already ran.
+  client.ping();
+  tracer.stop();
+  const std::string json = tracer.to_json();
+  tracer.clear();
+  for (const char* name :
+       {"\"request\"", "\"decode\"", "\"queue\"", "\"lock\"", "\"io\"",
+        "\"codec\"", "\"reply\""}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name << "\n" << json;
+  }
+  // The span args carry the client's id, correlating wire to trace.
+  EXPECT_NE(json.find("\"req\": " + std::to_string(write_id)),
+            std::string::npos)
+      << json;
+}
+
+TEST_F(TracingServerTest, SlowThresholdNarrowsSpanEmissionToCapturedTails) {
+  // An unreachable threshold plus active tracing: no request is slow, so no
+  // spans may be emitted (a bounded flight-recorder ring then keeps only
+  // interesting requests).
+  BlockServerConfig config;
+  config.slow_request_us = 1e9;
+  restart_with(config);
+  auto& tracer = trace::Tracer::instance();
+  tracer.clear();
+  tracer.start();
+  Client client = connect();
+  client.set_tracing(true);
+  client.write(0, std::vector<std::uint8_t>(kStripBytes, 4));
+  client.ping();
+  tracer.stop();
+  const std::string json = tracer.to_json();
+  tracer.clear();
+  EXPECT_EQ(json.find("\"request\""), std::string::npos) << json;
+  EXPECT_EQ(server_->slow_requests(), 0u);
 }
 
 }  // namespace

@@ -32,14 +32,22 @@
 //
 //   oiraidctl ping      --port 9500
 //   oiraidctl status    --port 9500
-//       daemon state as "key value" lines (failed disks, rebuild watermark)
+//       daemon state as "key value" lines (failed disks, rebuild watermark,
+//       hottest lock domains, slow-request count)
+//   oiraidctl profile   --port 9500
+//       request-profile report: slow-request captures (per-stage breakdown),
+//       trailing p99, and the lock-domain contention table (see
+//       docs/OBSERVABILITY.md, "Request tracing & profiling")
 //   oiraidctl read      --port 9500 --offset 0 --length 64 [--out FILE]
 //       read bytes; hex to stdout, or raw bytes to --out FILE
 //   oiraidctl write     --port 9500 --offset 0 --data STR | --in FILE |
 //                       --fill BYTE --length N
 //       write bytes through the parity path
 //   (read/write also take --tenant N to tag requests for the daemon's
-//   per-tenant QoS accounting; see docs/QOS.md)
+//   per-tenant QoS accounting; see docs/QOS.md. All client commands take
+//   --trace to stamp each request with a fresh trace id -- printed on
+//   stderr -- which the daemon echoes in its spans, slow-request log lines
+//   and histogram exemplars; see docs/OBSERVABILITY.md)
 //   oiraidctl fail      --port 9500 --disk 4
 //       durably fail a disk; the daemon rebuilds it online
 //   oiraidctl stop      --port 9500
@@ -86,7 +94,7 @@ using namespace oi;
 
 int usage() {
   std::cerr << "usage: oiraidctl <designs|plan|map|recover|simulate|tolerance|mttdl|mc|export|top"
-               "|ping|status|read|write|fail|stop> "
+               "|ping|status|profile|read|write|fail|stop> "
                "[--flags]\n       see the header of tools/oiraidctl.cpp for details\n";
   return 2;
 }
@@ -375,9 +383,31 @@ std::string top_value(double v) {
   return os.str();
 }
 
+using ExemplarMap = std::map<std::string, std::vector<telemetry::ExemplarEntry>>;
+
+// Tail exemplars for one histogram: the most recent request ids that landed
+// in its slowest occupied buckets, newest bucket edge first. One line per
+// histogram keeps the section compact; `oiraidctl profile` has the full
+// per-request breakdown for any id shown here.
+void render_exemplars(std::ostream& out, const ExemplarMap& exemplars,
+                      const std::string& dotted, const std::string& label) {
+  const auto it = exemplars.find(dotted);
+  if (it == exemplars.end() || it->second.empty()) return;
+  out << "    " << label << " tail ids:";
+  constexpr std::size_t kShow = 3;
+  const auto& entries = it->second;
+  const std::size_t first =
+      entries.size() > kShow ? entries.size() - kShow : 0;
+  for (std::size_t i = entries.size(); i-- > first;) {
+    out << "  id=" << entries[i].id << " <=" << top_value(entries[i].upper)
+        << "us";
+  }
+  out << "\n";
+}
+
 void render_top(std::ostream& out, const telemetry::MetricMap& values,
                 const telemetry::HistogramMap& histograms,
-                const std::string& source) {
+                const ExemplarMap& exemplars, const std::string& source) {
   out << "oiraidctl top -- " << source << "\n";
 
   // Curated Monte-Carlo campaign summary when one is (or was) running.
@@ -440,7 +470,25 @@ void render_top(std::ostream& out, const telemetry::MetricMap& values,
       return true;
     };
     for (const char* op : {"read", "write", "status"}) {
-      latency_row(op, std::string("server.req.") + op + ".latency_us");
+      const std::string base = std::string("server.req.") + op + ".latency_us";
+      if (latency_row(op, base)) render_exemplars(out, exemplars, base, op);
+    }
+
+    // Stage breakdown (decode/queue/lock/io/codec/reply) when the daemon was
+    // run with metrics on; exemplar ids link tail buckets back to requests.
+    bool wrote_stages = false;
+    for (const char* stage :
+         {"decode", "queue", "lock", "io", "codec", "reply"}) {
+      const std::string base =
+          std::string("server.stage.") + stage + ".latency_us";
+      const auto count = telemetry::find_metric(values, base + ".count");
+      if (!count.has_value() || *count <= 0) continue;
+      if (!wrote_stages) {
+        out << "stages\n";
+        wrote_stages = true;
+      }
+      latency_row(std::string("  ") + stage, base);
+      render_exemplars(out, exemplars, base, stage);
     }
 
     // Per-tenant QoS section (daemons started with --tenants). Tenants are
@@ -528,6 +576,7 @@ int cmd_top(const Flags& flags) {
     }
     telemetry::MetricMap values;
     telemetry::HistogramMap histograms;
+    ExemplarMap exemplars;
     std::string source;
     if (use_http) {
       try {
@@ -541,6 +590,14 @@ int cmd_top(const Flags& flags) {
                   << "/metrics (" << error.what() << ")\n";
         continue;
       }
+      try {
+        // Exemplars (tail request ids) only live in the JSON snapshot; the
+        // Prometheus text stays exemplar-free on purpose. Best-effort: an
+        // older producer without /vars still gets the full table above.
+        exemplars = telemetry::parse_vars_exemplars(telemetry::http_get(
+            host, static_cast<std::uint16_t>(port), "/vars"));
+      } catch (const std::exception&) {
+      }
       source = host + ":" + std::to_string(port) + "/metrics";
     } else {
       follower.poll();
@@ -553,7 +610,7 @@ int cmd_top(const Flags& flags) {
     }
     std::ostringstream frame;
     if (clear) frame << "\x1b[2J\x1b[H";  // redraw in place
-    render_top(frame, values, histograms, source);
+    render_top(frame, values, histograms, exemplars, source);
     std::cout << frame.str() << std::flush;
   }
   return 0;
@@ -576,7 +633,19 @@ server::Client daemon_client(const Flags& flags) {
     throw std::invalid_argument("--tenant must be in 0..65535");
   }
   client.set_tenant(static_cast<std::uint16_t>(tenant));
+  // --trace: stamp every request with a client-unique trace id so this
+  // invocation correlates with the daemon's stage spans and slow-request
+  // captures end to end.
+  if (flags.get_bool("trace", false)) client.set_tracing(true);
   return client;
+}
+
+/// After a traced exchange, tell the operator which id to look for in the
+/// daemon's spans / slow log / exemplars (stderr, so --out piping stays clean).
+void report_trace_id(const server::Client& client) {
+  if (client.tracing() && client.last_trace_id() != 0) {
+    std::cerr << "trace id " << client.last_trace_id() << "\n";
+  }
 }
 
 int cmd_ping(const Flags& flags) {
@@ -590,6 +659,11 @@ int cmd_status(const Flags& flags) {
   return 0;
 }
 
+int cmd_profile(const Flags& flags) {
+  std::cout << daemon_client(flags).profile();
+  return 0;
+}
+
 int cmd_read(const Flags& flags) {
   const auto offset = static_cast<std::uint64_t>(flags.get_int("offset", 0));
   const std::int64_t length = flags.get_int("length", -1);
@@ -599,6 +673,7 @@ int cmd_read(const Flags& flags) {
   }
   auto client = daemon_client(flags);
   const auto data = client.read(offset, static_cast<std::uint32_t>(length));
+  report_trace_id(client);
   const std::string out_path = flags.get_string("out", "");
   if (!out_path.empty()) {
     std::ofstream out(out_path, std::ios::binary);
@@ -643,6 +718,7 @@ int cmd_write(const Flags& flags) {
   }
   auto client = daemon_client(flags);
   client.write(offset, data);
+  report_trace_id(client);
   std::cout << "wrote " << data.size() << " bytes at offset " << offset << "\n";
   return 0;
 }
@@ -701,6 +777,8 @@ int main(int argc, char** argv) {
       code = cmd_ping(flags);
     } else if (command == "status") {
       code = cmd_status(flags);
+    } else if (command == "profile") {
+      code = cmd_profile(flags);
     } else if (command == "read") {
       code = cmd_read(flags);
     } else if (command == "write") {

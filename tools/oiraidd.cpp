@@ -20,6 +20,15 @@
 //   --request-threads N worker threads executing client requests against the
 //                       striped array (default 0 = min(cores, 8))
 //
+// Tracing / slow-request capture (see docs/OBSERVABILITY.md):
+//   --slow-request-us X capture requests slower than X us end-to-end: count
+//                       them, log one structured stderr line each, keep them
+//                       for `oiraidctl profile` (0 = off)
+//   --slow-p99x X       also capture requests slower than X times the
+//                       trailing p99 (0 = off). Either flag set narrows span
+//                       emission to just the captured tails, so a bounded
+//                       --trace-ring retains slow requests, not recent ones.
+//
 // QoS (see docs/QOS.md):
 //   --tenants "SPEC;SPEC;..."   declare tenants for per-tenant accounting;
 //                       each SPEC is comma-separated key=value pairs, e.g.
@@ -121,6 +130,8 @@ int run(const Flags& flags) {
       static_cast<std::size_t>(flags.get_int("rebuild-batch", 8));
   config.request_threads =
       static_cast<std::size_t>(flags.get_int("request-threads", 0));
+  config.slow_request_us = flags.get_double("slow-request-us", 0.0);
+  config.slow_p99_multiple = flags.get_double("slow-p99x", 0.0);
   if (flags.has("tenants")) {
     for (const auto& spec :
          workload::parse_tenant_list(flags.get_string("tenants", ""))) {
@@ -168,6 +179,12 @@ int main(int argc, char** argv) {
     // Flags' ctor skips argv[0] (the program name) itself.
     const Flags flags(argc, argv);
     const obs::Session obs(flags);
+    // Announce the resolved exporter port (scripts pass --metrics-port 0 and
+    // scrape /trace and /metrics off whatever the kernel picked).
+    if (obs.exporter_port() != 0) {
+      std::cout << "oiraidd: metrics exporter on 127.0.0.1:"
+                << obs.exporter_port() << std::endl;
+    }
     const int code = run(flags);
     for (const std::string& name : flags.unused()) {
       std::cerr << "warning: unused flag --" << name << "\n";
